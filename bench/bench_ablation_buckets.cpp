@@ -1,0 +1,69 @@
+// Ablation: the security/performance trade-off of the bucketization
+// scheme as the prefix bit length lambda sweeps 2..20 over a fixed
+// corpus. Reports the k-anonymity level (min/avg bucket size), response
+// size, prefix-list size, and the fraction of random negative queries a
+// prefix-list-holding client resolves locally (the Fig. 6 f-knob).
+#include <cstdio>
+#include <vector>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "oprf/anonymity.h"
+#include "oprf/client.h"
+#include "oprf/server.h"
+
+int main() {
+  using cbl::ChaChaRng;
+  namespace oprf = cbl::oprf;
+
+  constexpr std::size_t kCorpus = 16'384;
+  auto rng = ChaChaRng::from_string_seed("ablation-buckets");
+  const auto corpus =
+      cbl::blocklist::generate_corpus(kCorpus, rng).addresses();
+
+  std::printf("=== Ablation: bucketization prefix length (corpus %zu "
+              "entries) ===\n\n",
+              kCorpus);
+  std::printf("%-8s %-10s %-10s %-12s %-12s %-12s %-14s %-18s\n", "lambda",
+              "k (min)", "k (avg)", "E[anon set]", "H (bits)", "resp (KB)",
+              "prefix list", "neg. online frac");
+
+  for (const unsigned lambda : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u, 20u}) {
+    auto server_rng = ChaChaRng::from_string_seed("ab-server");
+    auto client_rng = ChaChaRng::from_string_seed("ab-client");
+    oprf::OprfServer server(oprf::Oracle::fast(), lambda, server_rng);
+    server.setup(corpus);
+    const auto stats = server.stats();
+
+    oprf::OprfClient client(oprf::Oracle::fast(), lambda, client_rng);
+    client.set_prefix_list(server.prefix_list());
+
+    // Fraction of random (non-listed) addresses that still need an online
+    // round because their prefix collides with some blocklist entry.
+    auto probe_rng = ChaChaRng::from_string_seed("ab-probe");
+    int online = 0;
+    const int probes = 2'000;
+    for (int i = 0; i < probes; ++i) {
+      if (client.may_be_listed(cbl::blocklist::random_address(
+              cbl::blocklist::Chain::kBitcoin, probe_rng))) {
+        ++online;
+      }
+    }
+
+    const std::size_t list_entries = server.prefix_list().size();
+    const auto anon = oprf::analyze_buckets(server.bucket_sizes());
+    std::printf("%-8u %-10zu %-10.1f %-12.1f %-12.2f %-12.2f %-14zu %-18.4f\n",
+                lambda, stats.k_anonymity, stats.avg_size,
+                anon.expected_anonymity_set, anon.shannon_entropy_bits,
+                stats.avg_size * 32.0 / 1024.0, list_entries,
+                static_cast<double>(online) / probes);
+  }
+
+  std::printf(
+      "\nReading: every +1 bit of prefix halves k (anonymity) and the "
+      "response size, while sharpening the prefix-list filter; once "
+      "2^lambda approaches the corpus size the negative-query online "
+      "fraction collapses toward the list/universe ratio — this is the "
+      "lever that trades Fig. 6 throughput against Table I anonymity.\n");
+  return 0;
+}

@@ -1,0 +1,265 @@
+// Micro-benchmarks (google-benchmark) for every cryptographic primitive
+// the protocols are built from, plus two design-choice ablations the
+// DESIGN.md calls out: brute-force vs BSGS tally recovery, and naive vs
+// shared-doubling multiscalar multiplication.
+#include <benchmark/benchmark.h>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "hash/argon2.h"
+#include "hash/sha256.h"
+#include "hash/sha512.h"
+#include "nizk/batch.h"
+#include "nizk/proof_a.h"
+#include "nizk/proof_b.h"
+#include "nizk/vote_or.h"
+#include "oprf/oracle.h"
+#include "voting/dlp.h"
+#include "vrf/vrf.h"
+
+namespace {
+
+using cbl::ChaChaRng;
+using cbl::ec::RistrettoPoint;
+using cbl::ec::Scalar;
+
+ChaChaRng& rng() {
+  static ChaChaRng r = ChaChaRng::from_string_seed("bench-crypto");
+  return r;
+}
+
+void BM_ScalarMul(benchmark::State& state) {
+  const auto p = RistrettoPoint::base() * Scalar::random(rng());
+  const auto s = Scalar::random(rng());
+  for (auto _ : state) benchmark::DoNotOptimize(p * s);
+}
+BENCHMARK(BM_ScalarMul);
+
+void BM_PointAdd(benchmark::State& state) {
+  const auto p = RistrettoPoint::base() * Scalar::random(rng());
+  const auto q = RistrettoPoint::base() * Scalar::random(rng());
+  for (auto _ : state) benchmark::DoNotOptimize(p + q);
+}
+BENCHMARK(BM_PointAdd);
+
+void BM_Encode(benchmark::State& state) {
+  const auto p = RistrettoPoint::base() * Scalar::random(rng());
+  for (auto _ : state) benchmark::DoNotOptimize(p.encode());
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State& state) {
+  const auto enc = (RistrettoPoint::base() * Scalar::random(rng())).encode();
+  for (auto _ : state) benchmark::DoNotOptimize(RistrettoPoint::decode(enc));
+}
+BENCHMARK(BM_Decode);
+
+void BM_HashToGroup(benchmark::State& state) {
+  const cbl::Bytes data = cbl::to_bytes("1BvBMSEYstWetqTFn5Au4m4GFg7xJaNVN2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RistrettoPoint::hash_to_group(data, "bench"));
+  }
+}
+BENCHMARK(BM_HashToGroup);
+
+void BM_OracleFast(benchmark::State& state) {
+  const auto oracle = cbl::oprf::Oracle::fast();
+  const cbl::Bytes addr = cbl::to_bytes("1BvBMSEYstWetqTFn5Au4m4GFg7xJaNVN2");
+  for (auto _ : state) benchmark::DoNotOptimize(oracle.map_to_group(addr));
+}
+BENCHMARK(BM_OracleFast);
+
+void BM_OracleArgon2(benchmark::State& state) {
+  // memory in KiB as the sweep parameter.
+  cbl::hash::Argon2Params params;
+  params.memory_kib = static_cast<std::uint32_t>(state.range(0));
+  params.time_cost = 3;
+  const auto oracle = cbl::oprf::Oracle::slow(params);
+  const cbl::Bytes addr = cbl::to_bytes("1BvBMSEYstWetqTFn5Au4m4GFg7xJaNVN2");
+  for (auto _ : state) benchmark::DoNotOptimize(oracle.map_to_group(addr));
+}
+BENCHMARK(BM_OracleArgon2)->Arg(64)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const cbl::Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(cbl::hash::Sha256::digest(data));
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Sha512_1KiB(benchmark::State& state) {
+  const cbl::Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(cbl::hash::Sha512::digest(data));
+}
+BENCHMARK(BM_Sha512_1KiB);
+
+void BM_ProofA_Prove(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto x = Scalar::random(rng());
+  const cbl::nizk::StatementA st{crs.g * x, crs.h1 * x, crs.h2 * x};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::nizk::ProofA::prove(crs, st, x, rng()));
+  }
+}
+BENCHMARK(BM_ProofA_Prove)->Unit(benchmark::kMillisecond);
+
+void BM_ProofA_Verify(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto x = Scalar::random(rng());
+  const cbl::nizk::StatementA st{crs.g * x, crs.h1 * x, crs.h2 * x};
+  const auto proof = cbl::nizk::ProofA::prove(crs, st, x, rng());
+  for (auto _ : state) benchmark::DoNotOptimize(proof.verify(crs, st));
+}
+BENCHMARK(BM_ProofA_Verify)->Unit(benchmark::kMillisecond);
+
+void BM_ProofB_Prove(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto x = Scalar::random(rng());
+  const auto v = Scalar::from_u64(1);
+  const auto y = crs.g * Scalar::random(rng());
+  const cbl::nizk::StatementB st{crs.g * x, crs.g * v + crs.h * x,
+                                 crs.g * v + y * x, y};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::nizk::ProofB::prove(crs, st, x, v, rng()));
+  }
+}
+BENCHMARK(BM_ProofB_Prove)->Unit(benchmark::kMillisecond);
+
+void BM_ProofB_Verify(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto x = Scalar::random(rng());
+  const auto v = Scalar::from_u64(1);
+  const auto y = crs.g * Scalar::random(rng());
+  const cbl::nizk::StatementB st{crs.g * x, crs.g * v + crs.h * x,
+                                 crs.g * v + y * x, y};
+  const auto proof = cbl::nizk::ProofB::prove(crs, st, x, v, rng());
+  for (auto _ : state) benchmark::DoNotOptimize(proof.verify(crs, st));
+}
+BENCHMARK(BM_ProofB_Verify)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryVote_Prove(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto x = Scalar::random(rng());
+  const auto c = crs.g + crs.h * x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cbl::nizk::BinaryVoteProof::prove(crs, c, 1, x, rng()));
+  }
+}
+BENCHMARK(BM_BinaryVote_Prove)->Unit(benchmark::kMillisecond);
+
+void BM_Vrf_Prove(benchmark::State& state) {
+  const auto keys = cbl::vrf::KeyPair::generate(rng());
+  const cbl::Bytes nu = cbl::to_bytes("challenge");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::vrf::prove(keys, nu, rng()));
+  }
+}
+BENCHMARK(BM_Vrf_Prove)->Unit(benchmark::kMillisecond);
+
+void BM_Vrf_Verify(benchmark::State& state) {
+  const auto keys = cbl::vrf::KeyPair::generate(rng());
+  const cbl::Bytes nu = cbl::to_bytes("challenge");
+  const auto proof = cbl::vrf::prove(keys, nu, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::vrf::verify(keys.pk, nu, proof));
+  }
+}
+BENCHMARK(BM_Vrf_Verify)->Unit(benchmark::kMillisecond);
+
+// --- ablation: batch vs sequential verification -----------------------------
+
+void BM_ProofA_VerifySequential(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<cbl::nizk::StatementA> statements;
+  std::vector<cbl::nizk::ProofA> proofs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = Scalar::random(rng());
+    statements.push_back({crs.g * x, crs.h1 * x, crs.h2 * x});
+    proofs.push_back(cbl::nizk::ProofA::prove(crs, statements.back(), x, rng()));
+  }
+  for (auto _ : state) {
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      ok &= proofs[i].verify(crs, statements[i]);
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ProofA_VerifySequential)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ProofA_VerifyBatched(benchmark::State& state) {
+  const auto& crs = cbl::commit::Crs::default_crs();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<cbl::nizk::StatementA> statements;
+  std::vector<cbl::nizk::ProofA> proofs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = Scalar::random(rng());
+    statements.push_back({crs.g * x, crs.h1 * x, crs.h2 * x});
+    proofs.push_back(cbl::nizk::ProofA::prove(crs, statements.back(), x, rng()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cbl::nizk::batch_verify_proof_a(crs, statements, proofs, rng()));
+  }
+}
+BENCHMARK(BM_ProofA_VerifyBatched)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// --- ablation: DLP solver choice ------------------------------------------
+
+void BM_DlpBrute(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = RistrettoPoint::base();
+  const auto v = g * Scalar::from_u64(n);  // worst case: answer at the end
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::voting::solve_dlp_bruteforce(g, v, n));
+  }
+}
+BENCHMARK(BM_DlpBrute)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+
+void BM_DlpBsgs(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto g = RistrettoPoint::base();
+  const auto v = g * Scalar::from_u64(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbl::voting::solve_dlp_bsgs(g, v, n));
+  }
+}
+BENCHMARK(BM_DlpBsgs)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+
+// --- ablation: multiscalar strategy ----------------------------------------
+
+void BM_MultiscalarNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars.push_back(Scalar::random(rng()));
+    points.push_back(RistrettoPoint::base() * Scalar::random(rng()));
+  }
+  for (auto _ : state) {
+    RistrettoPoint acc = RistrettoPoint::identity();
+    for (std::size_t i = 0; i < n; ++i) acc = acc + points[i] * scalars[i];
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MultiscalarNaive)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_MultiscalarShared(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars.push_back(Scalar::random(rng()));
+    points.push_back(RistrettoPoint::base() * Scalar::random(rng()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RistrettoPoint::multiscalar_mul(scalars, points));
+  }
+}
+BENCHMARK(BM_MultiscalarShared)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

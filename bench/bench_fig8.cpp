@@ -1,0 +1,125 @@
+// Reproduces Fig. 8: the distribution of on-chain operation times at a
+// fixed committee size.
+//   Left panel:  round-2 verification time per shareholder position —
+//                the Y computation differs across positions.
+//   Right panel: DLP recovery time as a function of the hidden tally
+//                (brute force cost is linear in the answer).
+// Both are reported as the underlying samples plus a CDF.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "nizk/proof_b.h"
+#include "voting/dlp.h"
+#include "voting/shareholder.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using cbl::ChaChaRng;
+using cbl::ec::RistrettoPoint;
+using cbl::ec::Scalar;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void print_cdf(const std::vector<double>& samples_ms, const char* label) {
+  std::vector<double> sorted = samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  std::printf("CDF of %s:\n  ", label);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    std::printf("p%.0f=%.3fms  ", q * 100, sorted[idx]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 15;  // the paper's "medium" committee
+  const auto& crs = cbl::commit::Crs::default_crs();
+  auto rng = ChaChaRng::from_string_seed("fig8");
+
+  std::printf("=== Fig. 8: distribution of on-chain operation times (N = "
+              "%zu) ===\n\n", kN);
+
+  // Committee state.
+  std::vector<Scalar> xs, vs;
+  std::vector<RistrettoPoint> c0s, cs;
+  for (std::size_t i = 0; i < kN; ++i) {
+    xs.push_back(Scalar::random(rng));
+    vs.push_back(Scalar::from_u64(rng.uniform(2)));
+    c0s.push_back(crs.g * xs.back());
+    cs.push_back(crs.g * vs.back() + crs.h * xs.back());
+  }
+
+  // --- Left: verification time per shareholder position -----------------
+  std::printf("--- left panel: round-2 verification time by shareholder "
+              "position ---\n");
+  std::printf("%-10s %-14s\n", "position", "verify (ms)");
+  std::vector<double> verify_samples;
+  for (std::size_t p = 0; p < kN; ++p) {
+    const RistrettoPoint y = cbl::voting::compute_y(c0s, p);
+    const RistrettoPoint psi = crs.g * vs[p] + y * xs[p];
+    const auto proof = cbl::nizk::ProofB::prove(
+        crs, {c0s[p], cs[p], psi, y}, xs[p], vs[p], rng);
+
+    const int reps = 10;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      // On-chain verification includes recomputing Y for position p.
+      const RistrettoPoint y_chain = cbl::voting::compute_y(c0s, p);
+      if (!proof.verify(crs, {c0s[p], cs[p], psi, y_chain})) {
+        std::fprintf(stderr, "verify failed\n");
+        return 1;
+      }
+    }
+    const double ms = ms_since(t0) / reps;
+    verify_samples.push_back(ms);
+    std::printf("%-10zu %-14.3f\n", p, ms);
+  }
+  print_cdf(verify_samples, "round-2 verification time");
+
+  // --- Right: DLP recovery vs hidden tally ------------------------------
+  std::printf("\n--- right panel: tally recovery (brute-force ECDLP) by "
+              "hidden tally value ---\n");
+  std::printf("%-8s %-16s %-16s\n", "tally", "brute (ms)", "bsgs (ms)");
+  std::vector<double> dlp_samples;
+  for (std::size_t tally = 0; tally <= kN; ++tally) {
+    const RistrettoPoint v = crs.g * Scalar::from_u64(tally);
+    const int reps = 20;
+
+    auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      if (cbl::voting::solve_dlp_bruteforce(crs.g, v, kN) != tally) {
+        std::fprintf(stderr, "dlp failed\n");
+        return 1;
+      }
+    }
+    const double brute_ms = ms_since(t0) / reps;
+
+    t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      (void)cbl::voting::solve_dlp_bsgs(crs.g, v, kN);
+    }
+    const double bsgs_ms = ms_since(t0) / reps;
+
+    dlp_samples.push_back(brute_ms);
+    std::printf("%-8zu %-16.3f %-16.3f\n", tally, brute_ms, bsgs_ms);
+  }
+  print_cdf(dlp_samples, "DLP recovery time (brute force)");
+
+  std::printf(
+      "\nPaper shape to check: verification time varies only mildly with "
+      "position (Y aggregation touches N-1 terms regardless); DLP recovery "
+      "grows with the hidden tally but stays trivially cheap (the paper's "
+      "point: the committee-scale DLP is practical to brute force).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces Fig. 9 and Table II: on-chain storage and gas cost of the
+// full decentralized evaluation, from actual protocol runs on the
+// simulated chain.
+//   Fig. 9 left:  total proof bytes stored on chain vs N, for
+//                 thresh/N ratios 1.2 / 1.5 / 2.0.
+//   Fig. 9 right: total gas (storage gas + eWASM-converted verification
+//                 CPU at 1 gas = 0.1 us) vs N.
+//   Table II:     per-shareholder USD cost at 11.8 Gwei for N = 5..11.
+#include <cstdio>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+
+namespace {
+
+using cbl::ChaChaRng;
+namespace voting = cbl::voting;
+namespace chain_ns = cbl::chain;
+
+struct RunCost {
+  std::size_t proof_bytes;
+  std::uint64_t total_gas;
+  double per_shareholder_usd;
+};
+
+RunCost run_ceremony(std::size_t n, double thresh_ratio, unsigned seed_salt) {
+  auto rng = ChaChaRng::from_string_seed("fig9-" + std::to_string(n) + "-" +
+                                         std::to_string(seed_salt));
+  chain_ns::Blockchain chain;
+
+  voting::EvaluationConfig cfg;
+  cfg.committee_size = n;
+  cfg.thresh = static_cast<std::size_t>(
+      static_cast<double>(n) * thresh_ratio + 0.5);
+  cfg.deposit = 100;
+  cfg.reward = 1;
+  cfg.penalty = 1;
+  cfg.provider_deposit = static_cast<chain_ns::Amount>(2 * n);
+
+  std::vector<unsigned> votes(cfg.thresh);
+  for (auto& v : votes) v = static_cast<unsigned>(rng.uniform(2));
+
+  voting::Ceremony ceremony(chain, cfg, votes, rng);
+  const auto result = ceremony.run();
+
+  RunCost cost;
+  cost.proof_bytes = result.stored_proof_bytes;
+  cost.total_gas = chain.total_gas();
+
+  // Per-shareholder cost: gas paid by one committee member's own
+  // transactions (shield + VoteCommit + VRF reveal + Vote + withdraw),
+  // plus an equal share of the collective on-chain procedures
+  // (committee finalization, tally bookkeeping, payoff) whose cost grows
+  // with N — the same accounting that gives the paper's Table II its
+  // mild growth.
+  double usd = 0;
+  std::size_t counted = 0;
+  for (const auto& p : ceremony.participants()) {
+    if (!ceremony.contract().is_selected(p.index)) continue;
+    usd += chain.usd_paid_by(p.funding_account) +
+           chain.usd_paid_by(p.payout_account);
+    ++counted;
+  }
+  const double shared_usd = chain.usd_paid_by(ceremony.provider_account());
+  cost.per_shareholder_usd =
+      counted == 0 ? 0
+                   : usd / static_cast<double>(counted) +
+                         shared_usd / static_cast<double>(counted);
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 9: on-chain cost growth with the number of voters "
+              "===\n\n");
+  std::printf("--- left panel: compulsory proof bytes stored on chain ---\n");
+  std::printf("%-5s %-16s %-16s %-16s\n", "N", "thresh=1.2N", "thresh=1.5N",
+              "thresh=2.0N");
+  const std::vector<std::size_t> ns = {5, 9, 13, 17, 21, 25};
+  std::vector<std::vector<RunCost>> all(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    for (const double ratio : {1.2, 1.5, 2.0}) {
+      all[i].push_back(run_ceremony(ns[i], ratio, static_cast<unsigned>(
+                                                      ratio * 10)));
+    }
+    std::printf("%-5zu %-16zu %-16zu %-16zu\n", ns[i], all[i][0].proof_bytes,
+                all[i][1].proof_bytes, all[i][2].proof_bytes);
+  }
+
+  std::printf("\n--- right panel: converted Ethereum gas cost (storage + "
+              "eWASM compute) ---\n");
+  std::printf("%-5s %-16s %-16s %-16s\n", "N", "thresh=1.2N", "thresh=1.5N",
+              "thresh=2.0N");
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::printf("%-5zu %-16llu %-16llu %-16llu\n", ns[i],
+                static_cast<unsigned long long>(all[i][0].total_gas),
+                static_cast<unsigned long long>(all[i][1].total_gas),
+                static_cast<unsigned long long>(all[i][2].total_gas));
+  }
+
+  std::printf("\n=== Table II: estimated on-chain cost undertaken by each "
+              "shareholder (11.8 Gwei) ===\n");
+  std::printf("%-24s", "# of shareholder voters");
+  const std::vector<std::size_t> table2_ns = {5, 7, 9, 11};
+  std::vector<double> usd;
+  for (const auto n : table2_ns) {
+    usd.push_back(run_ceremony(n, 1.2, 42).per_shareholder_usd);
+    std::printf(" %-8zu", n);
+  }
+  std::printf("\n%-24s", "Cost (USD)");
+  for (const double u : usd) std::printf(" %-8.2f", u);
+  std::printf("\n");
+
+  std::printf(
+      "\nPaper shape to check: proof bytes grow linearly in N with slope "
+      "scaled by the thresh ratio (registration dominates storage); gas "
+      "follows the same shape because storage gas dominates the eWASM "
+      "compute component; per-shareholder USD cost is nearly flat in N "
+      "(each member pays for its own constant-size proofs plus a slowly "
+      "growing verification share) and lands at tens of USD, the paper's "
+      "order of magnitude.\n");
+  return 0;
+}

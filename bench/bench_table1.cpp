@@ -1,0 +1,165 @@
+// Reproduces Table I: computational and communication overhead of the
+// private blocklist query under the paper's two k-anonymity settings and
+// both oracles (fast SHA-2-based vs slow Argon2id 4 MiB / t=3).
+//
+// Note on settings (see EXPERIMENTS.md): the paper's table reports
+// k = 4 with a 0.13 KB response and k = 977 with a 30.53 KB response for
+// its 243,000-entry corpus; those pairs correspond to effective bucket
+// counts of 2^16 and 2^8 (k = |S| / 2^lambda, response = k * 32 B). We
+// therefore run lambda = 16 and lambda = 8 and label them by their k.
+// Preprocess times are measured on a scaled corpus and extrapolated
+// linearly to 243,000 entries (the per-entry work is independent).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "oprf/client.h"
+#include "game/dos_economics.h"
+#include "oprf/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using cbl::ChaChaRng;
+namespace oprf = cbl::oprf;
+
+constexpr std::size_t kPaperCorpus = 243'000;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Row {
+  std::string setting;
+  std::string oracle;
+  double k;
+  double resp_kb;
+  double preprocess_s_extrapolated;
+  double query_gen_ms;
+  double oblivious_eval_ms;
+  double recover_ms;
+};
+
+Row run_setting(unsigned lambda, bool slow, std::size_t bench_entries,
+                int query_reps) {
+  auto rng = ChaChaRng::from_string_seed("table1");
+  auto server_rng = ChaChaRng::from_string_seed("table1-server");
+  auto client_rng = ChaChaRng::from_string_seed("table1-client");
+
+  const auto corpus = cbl::blocklist::generate_corpus(bench_entries, rng)
+                          .addresses();
+
+  const oprf::Oracle oracle =
+      slow ? oprf::Oracle::slow_paper_defaults() : oprf::Oracle::fast();
+
+  oprf::OprfServer server(oracle, lambda, server_rng);
+  const auto t_pre = Clock::now();
+  server.setup(corpus);
+  const double preprocess_ms = ms_since(t_pre);
+
+  oprf::OprfClient client(oracle, lambda, client_rng);
+
+  double query_ms = 0, eval_ms = 0, recover_ms = 0;
+  for (int i = 0; i < query_reps; ++i) {
+    const std::string& target = corpus[static_cast<std::size_t>(i) %
+                                       corpus.size()];
+    auto t0 = Clock::now();
+    const auto prepared = client.prepare(target);
+    query_ms += ms_since(t0);
+
+    t0 = Clock::now();
+    const auto response = server.handle(prepared.request);
+    eval_ms += ms_since(t0);
+
+    t0 = Clock::now();
+    (void)client.finish(prepared.pending, response);
+    recover_ms += ms_since(t0);
+    client.clear_cache();  // keep each rep a full cold query
+  }
+
+  Row row;
+  row.setting = "lambda=" + std::to_string(lambda);
+  row.oracle = slow ? "Argon2id(4MiB,t=3)" : "SHA-512";
+  // k and response size at the paper's full corpus scale.
+  row.k = static_cast<double>(kPaperCorpus) /
+          static_cast<double>(std::size_t{1} << lambda);
+  row.resp_kb = row.k * 32.0 / 1024.0;
+  row.preprocess_s_extrapolated =
+      preprocess_ms / 1000.0 *
+      (static_cast<double>(kPaperCorpus) /
+       static_cast<double>(bench_entries));
+  row.query_gen_ms = query_ms / query_reps;
+  row.oblivious_eval_ms = eval_ms / query_reps;
+  row.recover_ms = recover_ms / query_reps;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table I: overhead of the private blocklist query "
+      "(paper-scale corpus %zu entries) ===\n\n",
+      kPaperCorpus);
+  std::printf("%-12s %-20s %-10s %-12s %-16s %-14s %-16s %-12s\n", "Setting",
+              "Oracle", "k-anon", "Resp. (KB)", "Preprocess (s)*",
+              "Query (ms)", "Obliv.eval (ms)", "Recover (ms)");
+
+  const struct {
+    unsigned lambda;
+    bool slow;
+    std::size_t bench_entries;
+    int reps;
+  } settings[] = {
+      {16, false, 8'192, 50},
+      {8, false, 8'192, 50},
+      {16, true, 192, 10},
+      {8, true, 192, 10},
+  };
+
+  for (const auto& s : settings) {
+    const Row row = run_setting(s.lambda, s.slow, s.bench_entries, s.reps);
+    std::printf("%-12s %-20s %-10.1f %-12.2f %-16.1f %-14.3f %-16.3f %-12.3f\n",
+                row.setting.c_str(), row.oracle.c_str(), row.k, row.resp_kb,
+                row.preprocess_s_extrapolated, row.query_gen_ms,
+                row.oblivious_eval_ms, row.recover_ms);
+  }
+
+  std::printf(
+      "\n* preprocess measured on a scaled corpus, extrapolated linearly to "
+      "%zu entries, single core.\n"
+      "Paper shape to check: Argon2 preprocessing is orders of magnitude "
+      "slower than the fast oracle (hours vs seconds at scale); the slow "
+      "oracle penalizes query generation (DoS defence) but leaves oblivious "
+      "evaluation and recovery at sub-millisecond cost; response size grows "
+      "linearly with k (0.13 KB at k~4 vs ~30 KB at k~977).\n",
+      kPaperCorpus);
+
+  // DoS economics with the measured costs (Section IV-B remarks): the
+  // asymmetry the slow oracle buys against a 1000-core flood.
+  {
+    const Row slow = run_setting(16, true, 96, 5);
+    const Row fast = run_setting(16, false, 2'048, 30);
+    cbl::game::DosParams dos;
+    dos.attacker_us_per_query = slow.query_gen_ms * 1'000.0;
+    dos.server_us_per_query = slow.oblivious_eval_ms * 1'000.0;
+    dos.attacker_cores = 1'000;
+    dos.server_cores = 8;
+    const auto report = cbl::game::analyze_dos(dos);
+    std::printf(
+        "\nDoS economics (measured): one bogus query costs the attacker "
+        "%.1fx what it costs the server; a %u-core flood mints %.0f q/s "
+        "vs %.0f q/s server capacity -> defence %s (%.0f cores needed to "
+        "saturate). Without the slow oracle the same query costs the "
+        "attacker only %.2f ms.\n",
+        report.cost_asymmetry, dos.attacker_cores, report.attacker_flood_rate,
+        report.server_capacity, report.defence_holds ? "HOLDS" : "fails",
+        report.cores_to_saturate, fast.query_gen_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The Section V-E analysis, numerically: utility tables for society M
+// versus coercers A, the two undominated coercer strategies, how VRF
+// pool dilution inflates k*, and the Stackelberg equilibrium over a
+// ladder of protection methods.
+//
+//   ./examples/coercion_game
+#include <cstdio>
+
+#include "game/game.h"
+#include "game/sortition_math.h"
+
+int main() {
+  using namespace cbl::game;
+
+  GameParams params;
+  params.society_value_fair = 100;
+  params.society_loss_if_biased = 60;
+  params.coercer_value_favoured = 40;
+  params.coercer_loss_otherwise = 40;
+  params.max_coercible = 40;
+
+  const std::uint64_t committee = 5;
+  const std::uint64_t majority = committee / 2 + 1;
+
+  // --- pool dilution: the VRF defence ------------------------------------
+  std::printf("=== VRF pool dilution (N = %llu committee seats) ===\n",
+              static_cast<unsigned long long>(committee));
+  std::printf("%-8s %-22s %-12s\n", "pool", "k* (90%% capture)",
+              "vs no dilution");
+  for (std::uint64_t pool : {5ull, 10ull, 20ull, 40ull, 80ull}) {
+    const auto k = effective_k_star(pool, committee, 0.90);
+    std::printf("%-8llu %-22llu %.1fx\n",
+                static_cast<unsigned long long>(pool),
+                static_cast<unsigned long long>(k),
+                static_cast<double>(k) / static_cast<double>(majority));
+  }
+
+  // --- protection ladder ---------------------------------------------------
+  // psi_0: plaintext votes, known identities. psi_1: anonymized identities
+  // (coercion per head costs more). psi_2: anonymity + VRF dilution over a
+  // 40-candidate pool. psi_3: heavyweight mixnet infrastructure.
+  const std::vector<ProtectionMethod> ladder = {
+      {"psi0: none", 0.0, 2.0, majority},
+      {"psi1: anonymized ids", 1.5, 8.0, majority},
+      {"psi2: anon + VRF pool 40", 2.5, 8.0,
+       effective_k_star(40, committee, 0.90)},
+      {"psi3: heavy mixnets", 25.0, 20.0,
+       effective_k_star(80, committee, 0.90)},
+  };
+
+  std::printf("\n=== coercer best responses ===\n");
+  std::printf("%-28s %-6s %-10s %-10s %-10s\n", "protection", "k*", "A plays",
+              "U_A", "U_M");
+  for (const auto& psi : ladder) {
+    const auto n = coercer_best_response(params, psi);
+    std::printf("%-28s %-6llu %-10llu %-10.1f %-10.1f %s\n", psi.name.c_str(),
+                static_cast<unsigned long long>(psi.k_star),
+                static_cast<unsigned long long>(n),
+                coercer_utility(params, psi, n),
+                society_utility(params, psi, n),
+                coercion_deterred(params, psi) ? "(deterred)" : "(coerces!)");
+  }
+
+  const auto solution = solve_stackelberg(params, ladder);
+  std::printf("\n=== Stackelberg equilibrium ===\n");
+  std::printf("society commits to: %s\n",
+              ladder[solution.method_index].name.c_str());
+  std::printf("coercer best response: n = %llu\n",
+              static_cast<unsigned long long>(solution.coercer_response));
+  std::printf("U_M = %.1f, U_A = %.1f\n", solution.society_utility,
+              solution.coercer_utility);
+  std::printf("\nReading: anonymization raises per-head coercion cost; VRF "
+              "dilution multiplies how many heads must be bought. Their "
+              "combination deters rational coercion at a small fraction of "
+              "the cost of heavyweight infrastructure — the paper's core "
+              "cryptoeconomic claim.\n");
+  return 0;
+}

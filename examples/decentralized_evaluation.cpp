@@ -1,0 +1,98 @@
+// The full Fig. 3 / Fig. 4 workflow on the simulated blockchain:
+// candidates shield stakes and register with NIZK-verified commitments,
+// the VRF sortition picks a committee, the committee votes in the
+// self-tallying second round, the chain solves the small DLP, and
+// payoffs flow through the shielded pool to fresh anonymous accounts.
+// An adversarial shareholder trying to forge proofs is rejected on chain.
+//
+//   ./examples/decentralized_evaluation
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "voting/ceremony.h"
+
+int main() {
+  using namespace cbl;
+
+  auto rng = ChaChaRng::from_string_seed("decentralized-evaluation");
+  chain::Blockchain chain;
+
+  voting::EvaluationConfig config;
+  config.thresh = 9;          // candidate pool (dilution against coercion)
+  config.committee_size = 5;  // N
+  config.deposit = 100;
+  config.reward = 1;
+  config.penalty = 1;
+  config.provider_deposit = 10;
+
+  // 6 of 9 candidates think the proposed blocklist service is good.
+  const std::vector<unsigned> votes = {1, 1, 0, 1, 1, 0, 1, 0, 1};
+  voting::Ceremony ceremony(chain, config, votes, rng);
+
+  std::printf("=== registration ===\n");
+  ceremony.fund_and_shield();
+
+  // --- adversarial attempt: register with a forged pi_A -----------------
+  {
+    voting::Shareholder mallory(chain.crs(), rng, 1, config.deposit);
+    const auto acct = chain.ledger().create_account("mallory");
+    chain.ledger().mint(acct, config.deposit);
+    chain.shielded_pool().shield(acct, config.deposit, mallory.deposit_note(),
+                                 mallory.make_shield_proof(rng));
+    auto forged = mallory.build_round1(rng);
+    forged.proof_a.omega = forged.proof_a.omega + ec::Scalar::one();
+    try {
+      ceremony.contract().register_shareholder(acct, forged);
+      std::printf("BUG: forged registration accepted!\n");
+    } catch (const ChainError& e) {
+      std::printf("forged registration rejected on chain: %s\n", e.what());
+    }
+  }
+
+  ceremony.register_all();
+  std::printf("%zu candidates registered; challenge nu = %s...\n",
+              ceremony.contract().registered_count(),
+              to_hex(ceremony.contract().challenge()).substr(0, 16).c_str());
+
+  std::printf("\n=== VRF sortition ===\n");
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+  std::printf("committee (by VRF ranking): ");
+  for (const auto& p : ceremony.participants()) {
+    if (ceremony.contract().is_selected(p.index)) {
+      std::printf("#%zu(vote=%u) ", p.index, p.shareholder->vote());
+    }
+  }
+  std::printf("\n");
+
+  std::printf("\n=== auto-tally ===\n");
+  ceremony.vote_all();
+  const auto& outcome = ceremony.contract().outcome();
+  std::printf("solveDLP(g, V) = %llu of %zu -> service %s\n",
+              static_cast<unsigned long long>(outcome.tally),
+              config.committee_size,
+              outcome.approved ? "APPROVED" : "REJECTED");
+
+  std::printf("\n=== payoff through the shielded pool ===\n");
+  ceremony.payoff_and_withdraw();
+  for (const auto& p : ceremony.participants()) {
+    if (!ceremony.contract().is_selected(p.index)) continue;
+    std::printf("committee member #%zu withdrew %lld tokens to a fresh "
+                "anonymous account\n",
+                p.index,
+                static_cast<long long>(
+                    chain.ledger().balance(p.payout_account)));
+  }
+
+  std::printf("\n=== on-chain cost accounting ===\n");
+  std::printf("proof bytes stored on chain: %zu\n",
+              ceremony.contract().stored_proof_bytes());
+  std::printf("total gas across the ceremony: %llu (%.2f USD at %.1f gwei)\n",
+              static_cast<unsigned long long>(chain.total_gas()),
+              chain.schedule().gas_to_usd(chain.total_gas()),
+              chain.schedule().gwei_per_gas);
+  std::printf("chain emitted %zu public events; every acceptance decision "
+              "above was proof-checked, never trusted.\n",
+              chain.events().size());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// The curated-registry lifecycle on chain: two providers apply with
+// stakes, decentralized evaluations decide who gets listed, a watchdog's
+// challenge delists a degraded provider (slashing its stake), and expiry
+// forces periodic re-evaluation — the paper's trustless alternative to
+// "just trust Google Safe Browsing".
+//
+//   ./examples/registry_lifecycle
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+#include "voting/registry.h"
+
+namespace {
+
+using namespace cbl;
+
+// One decentralized evaluation whose committee splits `yes`/`no`.
+voting::EvaluationContract& run_evaluation(
+    chain::Blockchain& chain, unsigned yes, unsigned no, ChaChaRng& rng,
+    std::vector<std::unique_ptr<voting::Ceremony>>& keep_alive) {
+  voting::EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = yes + no;
+  cfg.deposit = 10;
+  cfg.provider_deposit = 2 * (yes + no);
+  std::vector<unsigned> votes;
+  for (unsigned i = 0; i < yes; ++i) votes.push_back(1);
+  for (unsigned i = 0; i < no; ++i) votes.push_back(0);
+  keep_alive.push_back(
+      std::make_unique<voting::Ceremony>(chain, cfg, votes, rng));
+  keep_alive.back()->run();
+  return keep_alive.back()->contract();
+}
+
+const char* status_name(voting::RegistryContract::ListingStatus s) {
+  using S = voting::RegistryContract::ListingStatus;
+  switch (s) {
+    case S::kPendingEvaluation: return "pending-evaluation";
+    case S::kListed: return "LISTED";
+    case S::kChallenged: return "challenged";
+    case S::kDelisted: return "DELISTED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  auto rng = ChaChaRng::from_string_seed("registry-lifecycle");
+  chain::Blockchain chain;
+  std::vector<std::unique_ptr<voting::Ceremony>> ceremonies;
+
+  voting::RegistryConfig cfg;
+  cfg.min_stake = 100;
+  cfg.listing_period = 50;
+  cfg.winner_share_percent = 50;
+  voting::RegistryContract registry(chain, cfg);
+
+  const auto acme = chain.ledger().create_account("acme-blocklists");
+  const auto shady = chain.ledger().create_account("shady-lists-inc");
+  const auto watchdog = chain.ledger().create_account("watchdog");
+  chain.ledger().mint(acme, 500);
+  chain.ledger().mint(shady, 500);
+  chain.ledger().mint(watchdog, 500);
+
+  std::printf("=== applications ===\n");
+  registry.apply(acme, "acme", 100);
+  registry.apply(shady, "shady", 100);
+  std::printf("acme and shady applied with 100-token stakes\n");
+
+  std::printf("\n=== initial evaluations ===\n");
+  registry.record_evaluation("acme", run_evaluation(chain, 5, 0, rng,
+                                                    ceremonies));
+  registry.record_evaluation("shady", run_evaluation(chain, 1, 4, rng,
+                                                     ceremonies));
+  std::printf("acme:  %s\n",
+              status_name(registry.lookup("acme")->status));
+  std::printf("shady: %s (stake refunded: balance %lld)\n",
+              registry.lookup("shady") ? "still pending?!" : "dismissed",
+              static_cast<long long>(chain.ledger().balance(shady)));
+
+  std::printf("\n=== acme degrades; the watchdog challenges ===\n");
+  registry.open_challenge(watchdog, "acme", 100);
+  std::printf("challenge open (watchdog staked 100; acme still serves "
+              "users meanwhile: %s)\n",
+              registry.is_listed("acme") ? "listed" : "not listed");
+  registry.resolve_challenge("acme",
+                             run_evaluation(chain, 1, 4, rng, ceremonies));
+  std::printf("re-evaluation rejected acme -> %s\n",
+              status_name(registry.lookup("acme")->status));
+  std::printf("balances: acme %lld (lost stake), watchdog %lld "
+              "(stake back + 50%% of the slash), treasury %lld\n",
+              static_cast<long long>(chain.ledger().balance(acme)),
+              static_cast<long long>(chain.ledger().balance(watchdog)),
+              static_cast<long long>(
+                  chain.ledger().balance(chain.ledger().treasury())));
+
+  std::printf("\n=== periodic re-evaluation (expiry) ===\n");
+  const auto fresh = chain.ledger().create_account("fresh-provider");
+  chain.ledger().mint(fresh, 500);
+  registry.apply(fresh, "fresh", 120);
+  registry.record_evaluation("fresh",
+                             run_evaluation(chain, 4, 1, rng, ceremonies));
+  std::printf("fresh listed until block %llu\n",
+              static_cast<unsigned long long>(
+                  registry.lookup("fresh")->expires_at_block));
+  for (int i = 0; i < 50; ++i) chain.seal_block();
+  registry.flag_expired("fresh");
+  std::printf("after %d blocks anyone may flag it: %s -> must re-evaluate\n",
+              50, status_name(registry.lookup("fresh")->status));
+  registry.record_evaluation("fresh",
+                             run_evaluation(chain, 5, 0, rng, ceremonies));
+  std::printf("re-approved: %s\n",
+              status_name(registry.lookup("fresh")->status));
+
+  std::printf("\ntotal registry + evaluation gas burned: %llu (%0.2f USD)\n",
+              static_cast<unsigned long long>(chain.total_gas()),
+              chain.schedule().gas_to_usd(chain.total_gas()));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Operational scenario: a provider ingests daily scam feeds (with the
+// duplicate-heavy shape of real abuse databases), expires stale entries,
+// rotates its OPRF key, and is periodically re-evaluated by the
+// decentralized registry; a skeptical third party later forces a
+// challenge re-evaluation after the provider silently degrades.
+//
+//   ./examples/scam_feed
+#include <cstdio>
+
+#include "blocklist/generator.h"
+#include "core/service.h"
+
+int main() {
+  using namespace cbl;
+
+  auto rng = ChaChaRng::from_string_seed("scam-feed");
+
+  core::ProviderConfig pcfg;
+  pcfg.lambda = 8;
+  core::BlocklistProvider provider("cryptoscamdb.example", pcfg, rng);
+
+  // --- a week of feeds ---------------------------------------------------
+  std::printf("=== ingesting 7 daily feeds ===\n");
+  std::uint64_t day_epoch = 1'650'000'000;
+  for (int day = 0; day < 7; ++day) {
+    blocklist::FeedConfig fcfg;
+    fcfg.count = 400;
+    fcfg.duplicate_rate = 0.25;  // abuse reports repeat heavily
+    fcfg.epoch_start = day_epoch;
+    fcfg.epoch_end = day_epoch + 86'400;
+    const auto feed = blocklist::generate_feed(fcfg, rng);
+    const auto added = provider.ingest(feed);
+    std::printf("day %d: %zu reports, %zu new unique addresses (total %zu)\n",
+                day, feed.size(), added, provider.store().size());
+    day_epoch += 86'400;
+  }
+
+  std::printf("\ncategory breakdown:\n");
+  for (const auto& b : provider.store().breakdown()) {
+    std::printf("  %-16s %zu\n", blocklist::category_name(b.category).c_str(),
+                b.count);
+  }
+
+  // --- user traffic with caching -----------------------------------------
+  core::BlocklistUser user(provider, rng);
+  const auto addresses = provider.published_entries();
+  int hits = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (user.query(addresses[static_cast<std::size_t>(i) * 7]).listed) ++hits;
+  }
+  std::printf("\nspot queries: %d/40 listed (expected 40)\n", hits);
+
+  // --- maintenance: expiry + key rotation ---------------------------------
+  const auto removed = provider.expire_entries(1'650'000'000 + 2 * 86'400);
+  provider.rotate_key();
+  user.sync_prefix_list();
+  std::printf("expired %zu stale entries, rotated OPRF key; service now at "
+              "%zu entries\n",
+              removed, provider.store().size());
+
+  // --- decentralized registry --------------------------------------------
+  chain::Blockchain chain;
+  voting::EvaluationConfig vcfg;
+  vcfg.thresh = 5;
+  vcfg.committee_size = 3;
+  vcfg.deposit = 50;
+  vcfg.provider_deposit = 20;
+  core::EvaluationCoordinator coordinator(chain, vcfg,
+                                          /*period_blocks=*/10, rng);
+
+  auto entry = coordinator.evaluate(provider, 15);
+  std::printf("\n=== decentralized evaluation ===\n");
+  std::printf("registry['%s']: %s (tally %llu/%zu), next review at block "
+              "%llu\n",
+              entry.provider_name.c_str(),
+              entry.approved ? "APPROVED" : "REJECTED",
+              static_cast<unsigned long long>(entry.last_outcome.tally),
+              vcfg.committee_size,
+              static_cast<unsigned long long>(entry.next_evaluation_block));
+
+  // --- the provider degrades; a challenger forces re-evaluation ----------
+  std::printf("\n=== provider silently serves only half its list ===\n");
+  const auto published = provider.published_entries();
+  std::vector<std::string> half(published.begin(),
+                                published.begin() +
+                                    static_cast<long>(published.size() / 2));
+  provider.server().setup(half);
+
+  const auto challenger = chain.ledger().create_account("watchdog");
+  chain.ledger().mint(challenger, vcfg.provider_deposit + 10);
+  entry = coordinator.challenge(provider, challenger, vcfg.provider_deposit,
+                                25);
+  std::printf("challenge verdict: %s (tally %llu/%zu) — the registry now "
+              "warns users away.\n",
+              entry.approved ? "APPROVED" : "REJECTED",
+              static_cast<unsigned long long>(entry.last_outcome.tally),
+              vcfg.committee_size);
+  return 0;
+}

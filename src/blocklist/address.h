@@ -1,0 +1,65 @@
+// Cryptocurrency payment-address formats. The paper's corpus mixes
+// Bitcoin, Ethereum, and Ripple addresses scraped from Bitcoin Abuse /
+// CryptoScamDB; we generate format-faithful synthetic equivalents:
+// Base58Check P2PKH for Bitcoin, EIP-55 checksummed hex for Ethereum, and
+// Ripple's base58 variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace cbl::blocklist {
+
+enum class Chain : std::uint8_t {
+  kBitcoin = 0,         // legacy Base58Check P2PKH
+  kEthereum = 1,        // EIP-55 hex
+  kRipple = 2,          // ripple base58
+  kBitcoinSegwit = 3,   // BIP-173 bech32 P2WPKH
+};
+
+std::string chain_name(Chain chain);
+
+/// Base58 encoding with an arbitrary alphabet (Bitcoin and Ripple use
+/// different alphabets for the same algorithm).
+std::string base58_encode(ByteView data, std::string_view alphabet);
+std::optional<Bytes> base58_decode(std::string_view text,
+                                   std::string_view alphabet);
+
+extern const std::string_view kBitcoinAlphabet;
+extern const std::string_view kRippleAlphabet;
+
+/// A Bitcoin P2PKH address: version 0x00 + 20 payload bytes +
+/// 4-byte double-SHA256 checksum, Base58 encoded.
+std::string make_bitcoin_address(const std::array<std::uint8_t, 20>& payload);
+bool validate_bitcoin_address(std::string_view address);
+
+/// An Ethereum address with EIP-55 mixed-case checksum.
+std::string make_ethereum_address(const std::array<std::uint8_t, 20>& payload);
+bool validate_ethereum_address(std::string_view address);
+
+/// A Ripple (classic) address: version 0x00 + 20 bytes + checksum in the
+/// Ripple base58 alphabet.
+std::string make_ripple_address(const std::array<std::uint8_t, 20>& payload);
+bool validate_ripple_address(std::string_view address);
+
+/// Bech32 (BIP-173) encoding with the given human-readable part.
+std::string bech32_encode(std::string_view hrp,
+                          const std::vector<std::uint8_t>& data5);
+std::optional<std::pair<std::string, std::vector<std::uint8_t>>> bech32_decode(
+    std::string_view text);
+
+/// A Bitcoin SegWit v0 P2WPKH address (bc1q...).
+std::string make_segwit_address(const std::array<std::uint8_t, 20>& payload);
+bool validate_segwit_address(std::string_view address);
+
+/// Random format-valid address of the given chain.
+std::string random_address(Chain chain, Rng& rng);
+
+/// Detects the chain of a well-formed address; nullopt if unrecognized.
+std::optional<Chain> detect_chain(std::string_view address);
+
+}  // namespace cbl::blocklist

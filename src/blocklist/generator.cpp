@@ -1,0 +1,78 @@
+#include "blocklist/generator.h"
+
+namespace cbl::blocklist {
+
+namespace {
+
+Chain pick_chain(const FeedConfig& c, Rng& rng) {
+  const double total = c.bitcoin_weight + c.ethereum_weight + c.ripple_weight;
+  const double roll =
+      static_cast<double>(rng.uniform(1'000'000)) / 1'000'000.0 * total;
+  if (roll < c.bitcoin_weight) return Chain::kBitcoin;
+  if (roll < c.bitcoin_weight + c.ethereum_weight) return Chain::kEthereum;
+  return Chain::kRipple;
+}
+
+Category pick_category(Rng& rng) {
+  // Rough mix: scams dominate, per the Chainalysis crime report the paper
+  // cites.
+  const auto roll = rng.uniform(100);
+  if (roll < 40) return Category::kPhishing;
+  if (roll < 65) return Category::kPonzi;
+  if (roll < 80) return Category::kRansomware;
+  if (roll < 88) return Category::kSextortion;
+  if (roll < 95) return Category::kDarknetMarket;
+  return Category::kExchangeHack;
+}
+
+}  // namespace
+
+std::vector<Entry> generate_feed(const FeedConfig& config, Rng& rng) {
+  std::vector<Entry> feed;
+  feed.reserve(config.count);
+  const auto dup_threshold =
+      static_cast<std::uint64_t>(config.duplicate_rate * 1'000'000.0);
+
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const bool duplicate =
+        !feed.empty() && rng.uniform(1'000'000) < dup_threshold;
+    if (duplicate) {
+      Entry copy = feed[rng.uniform(feed.size())];
+      copy.report_count = 1;
+      copy.first_reported =
+          config.epoch_start +
+          rng.uniform(config.epoch_end - config.epoch_start);
+      feed.push_back(copy);
+      continue;
+    }
+    Entry e;
+    e.chain = pick_chain(config, rng);
+    e.address = random_address(e.chain, rng);
+    e.category = pick_category(rng);
+    e.first_reported = config.epoch_start +
+                       rng.uniform(config.epoch_end - config.epoch_start);
+    feed.push_back(e);
+  }
+  return feed;
+}
+
+Store generate_corpus(std::size_t unique_count, Rng& rng) {
+  Store store;
+  // Several overlapping feeds so the dedup path is genuinely exercised.
+  while (store.size() < unique_count) {
+    FeedConfig cfg;
+    cfg.count = std::min<std::size_t>(unique_count - store.size() + 64, 4096);
+    store.merge(generate_feed(cfg, rng));
+  }
+  // Trim overshoot deterministically: rebuild with exactly unique_count.
+  if (store.size() > unique_count) {
+    Store trimmed;
+    auto all = store.entries();
+    all.resize(unique_count);
+    trimmed.merge(all);
+    return trimmed;
+  }
+  return store;
+}
+
+}  // namespace cbl::blocklist

@@ -1,0 +1,38 @@
+// Synthetic scam-feed generator. Stands in for the public datasets the
+// paper scrapes (Bitcoin Abuse Database, CryptoScamDB): only the
+// statistical shape matters downstream — unique addresses hash uniformly
+// into buckets — so a format-faithful synthetic corpus preserves every
+// experiment (see DESIGN.md, substitutions table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blocklist/store.h"
+#include "common/rng.h"
+
+namespace cbl::blocklist {
+
+struct FeedConfig {
+  std::size_t count = 1000;
+  /// Fraction (0..1) of entries that duplicate earlier ones in the same
+  /// feed, mirroring how abuse databases accumulate repeated reports.
+  double duplicate_rate = 0.10;
+  /// Chain mix, weights normalized internally. Defaults roughly follow the
+  /// paper's corpus (Bitcoin-dominated).
+  double bitcoin_weight = 0.70;
+  double ethereum_weight = 0.25;
+  double ripple_weight = 0.05;
+  /// Report timestamps drawn uniformly from [epoch_start, epoch_end).
+  std::uint64_t epoch_start = 1'577'836'800;  // 2020-01-01
+  std::uint64_t epoch_end = 1'650'000'000;    // ~2022-04
+};
+
+/// Generates one synthetic feed. Deterministic for a given Rng state.
+std::vector<Entry> generate_feed(const FeedConfig& config, Rng& rng);
+
+/// Convenience: a deduplicated store with approximately `unique_count`
+/// unique addresses assembled from several overlapping feeds.
+Store generate_corpus(std::size_t unique_count, Rng& rng);
+
+}  // namespace cbl::blocklist

@@ -1,0 +1,126 @@
+#include "blocklist/io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace cbl::blocklist {
+
+namespace {
+
+std::optional<Chain> chain_from_name(std::string_view name) {
+  if (name == "bitcoin") return Chain::kBitcoin;
+  if (name == "ethereum") return Chain::kEthereum;
+  if (name == "ripple") return Chain::kRipple;
+  if (name == "bitcoin-segwit") return Chain::kBitcoinSegwit;
+  return std::nullopt;
+}
+
+std::optional<Category> category_from_name(std::string_view name) {
+  for (const auto c :
+       {Category::kPhishing, Category::kPonzi, Category::kRansomware,
+        Category::kDarknetMarket, Category::kExchangeHack,
+        Category::kSextortion}) {
+    if (category_name(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const auto tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+std::string format_entry(const Entry& entry) {
+  std::ostringstream out;
+  out << entry.address << '\t' << chain_name(entry.chain) << '\t'
+      << category_name(entry.category) << '\t' << entry.first_reported << '\t'
+      << entry.report_count;
+  return out.str();
+}
+
+std::optional<Entry> parse_entry_line(const std::string& line) {
+  const auto fields = split_tabs(line);
+  if (fields.size() != 5) return std::nullopt;
+  if (fields[0].empty()) return std::nullopt;
+
+  Entry entry;
+  entry.address = std::string(fields[0]);
+  const auto chain = chain_from_name(fields[1]);
+  const auto category = category_from_name(fields[2]);
+  const auto reported = parse_number<std::uint64_t>(fields[3]);
+  const auto reports = parse_number<std::uint32_t>(fields[4]);
+  if (!chain || !category || !reported || !reports || *reports == 0) {
+    return std::nullopt;
+  }
+  entry.chain = *chain;
+  entry.category = *category;
+  entry.first_reported = *reported;
+  entry.report_count = *reports;
+  return entry;
+}
+
+void export_store(const Store& store, std::ostream& out) {
+  auto entries = store.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.address < b.address; });
+  out << "# cbl blocklist v1: address\tchain\tcategory\tfirst_reported\t"
+         "report_count\n";
+  for (const auto& entry : entries) out << format_entry(entry) << '\n';
+}
+
+std::string export_store_to_string(const Store& store) {
+  std::ostringstream out;
+  export_store(store, out);
+  return out.str();
+}
+
+ImportStats import_into_store(std::istream& in, Store& store) {
+  ImportStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++stats.lines_total;
+    const auto entry = parse_entry_line(line);
+    if (!entry) {
+      ++stats.lines_rejected;
+      continue;
+    }
+    if (store.add(*entry)) {
+      ++stats.entries_imported;
+    } else {
+      ++stats.entries_merged;
+    }
+  }
+  return stats;
+}
+
+ImportStats import_string_into_store(const std::string& text, Store& store) {
+  std::istringstream in(text);
+  return import_into_store(in, store);
+}
+
+}  // namespace cbl::blocklist

@@ -1,0 +1,37 @@
+// Import/export of blocklists in a line-oriented text format
+// (tab-separated: address, chain, category, first_reported,
+// report_count), the interchange shape public abuse databases use.
+// Parsing is tolerant of comments/blank lines and strict about fields.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "blocklist/store.h"
+
+namespace cbl::blocklist {
+
+/// Writes every entry of the store, one line each, sorted by address
+/// (canonical output: re-exporting a re-imported store is byte-stable).
+void export_store(const Store& store, std::ostream& out);
+std::string export_store_to_string(const Store& store);
+
+struct ImportStats {
+  std::size_t lines_total = 0;
+  std::size_t entries_imported = 0;  // new unique addresses
+  std::size_t entries_merged = 0;    // duplicate reports folded in
+  std::size_t lines_rejected = 0;    // malformed lines skipped
+};
+
+/// Merges the stream's entries into the store. Malformed lines are
+/// counted and skipped (feeds are scraped data; one bad row must not
+/// poison the batch).
+ImportStats import_into_store(std::istream& in, Store& store);
+ImportStats import_string_into_store(const std::string& text, Store& store);
+
+/// Single-line codecs (exposed for tests).
+std::string format_entry(const Entry& entry);
+std::optional<Entry> parse_entry_line(const std::string& line);
+
+}  // namespace cbl::blocklist

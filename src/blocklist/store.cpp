@@ -1,0 +1,96 @@
+#include "blocklist/store.h"
+
+#include <algorithm>
+
+namespace cbl::blocklist {
+
+std::string category_name(Category c) {
+  switch (c) {
+    case Category::kPhishing: return "phishing";
+    case Category::kPonzi: return "ponzi";
+    case Category::kRansomware: return "ransomware";
+    case Category::kDarknetMarket: return "darknet-market";
+    case Category::kExchangeHack: return "exchange-hack";
+    case Category::kSextortion: return "sextortion";
+  }
+  return "unknown";
+}
+
+bool Store::add(const Entry& entry) {
+  auto [it, inserted] = entries_.try_emplace(entry.address, entry);
+  if (inserted) {
+    insertion_order_.push_back(entry.address);
+    return true;
+  }
+  Entry& existing = it->second;
+  existing.report_count += entry.report_count;
+  existing.first_reported = std::min(existing.first_reported, entry.first_reported);
+  return false;
+}
+
+std::size_t Store::merge(const std::vector<Entry>& feed) {
+  std::size_t added = 0;
+  for (const Entry& e : feed) {
+    if (add(e)) ++added;
+  }
+  return added;
+}
+
+bool Store::contains(const std::string& address) const {
+  return entries_.contains(address);
+}
+
+std::optional<Entry> Store::lookup(const std::string& address) const {
+  const auto it = entries_.find(address);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Store::addresses() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& addr : insertion_order_) {
+    if (entries_.contains(addr)) out.push_back(addr);
+  }
+  return out;
+}
+
+std::vector<Entry> Store::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& addr : insertion_order_) {
+    const auto it = entries_.find(addr);
+    if (it != entries_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::size_t Store::expire_older_than(std::uint64_t cutoff_time) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.first_reported < cutoff_time) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<Store::CategoryBreakdown> Store::breakdown() const {
+  std::unordered_map<std::uint8_t, std::size_t> counts;
+  for (const auto& [addr, entry] : entries_) {
+    ++counts[static_cast<std::uint8_t>(entry.category)];
+  }
+  std::vector<CategoryBreakdown> out;
+  for (const auto& [cat, count] : counts) {
+    out.push_back({static_cast<Category>(cat), count});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return static_cast<int>(a.category) < static_cast<int>(b.category);
+  });
+  return out;
+}
+
+}  // namespace cbl::blocklist

@@ -1,0 +1,71 @@
+// The blocklist data model: entries with report metadata, and a
+// deduplicating store that merges feeds the way the paper consolidates
+// Bitcoin Abuse + CryptoScamDB into ~243k unique entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocklist/address.h"
+
+namespace cbl::blocklist {
+
+enum class Category : std::uint8_t {
+  kPhishing = 0,
+  kPonzi = 1,
+  kRansomware = 2,
+  kDarknetMarket = 3,
+  kExchangeHack = 4,
+  kSextortion = 5,
+};
+
+std::string category_name(Category c);
+
+struct Entry {
+  std::string address;
+  Chain chain = Chain::kBitcoin;
+  Category category = Category::kPhishing;
+  std::uint64_t first_reported = 0;  // unix seconds
+  std::uint32_t report_count = 1;
+};
+
+/// Deduplicating blocklist store. Merging an entry that already exists
+/// bumps its report count and keeps the earliest report time (the common
+/// aggregation rule of public abuse databases).
+class Store {
+ public:
+  /// Returns true if the address was new.
+  bool add(const Entry& entry);
+
+  /// Merges a whole feed; returns the number of newly added addresses.
+  std::size_t merge(const std::vector<Entry>& feed);
+
+  bool contains(const std::string& address) const;
+  std::optional<Entry> lookup(const std::string& address) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// All unique addresses (order unspecified but deterministic for a given
+  /// insertion sequence).
+  std::vector<std::string> addresses() const;
+  std::vector<Entry> entries() const;
+
+  /// Drops entries older than the cutoff — the "clearing up obsolete
+  /// entries" duty the paper's periodic re-evaluation checks for.
+  std::size_t expire_older_than(std::uint64_t cutoff_time);
+
+  struct CategoryBreakdown {
+    Category category;
+    std::size_t count;
+  };
+  std::vector<CategoryBreakdown> breakdown() const;
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace cbl::blocklist

@@ -1,0 +1,48 @@
+// The on-chain cost model of Section VI-C. The paper estimates costs by
+// (a) counting the bytes of proofs that must be stored on chain, and
+// (b) converting measured verification CPU time via the Ethereum
+// WebAssembly proposal's assumption that 1 gas = 0.1 us of execution;
+// finally (c) pricing gas at 11.8 Gwei (April 2022). This struct encodes
+// exactly that estimation pipeline.
+#pragma once
+
+#include <cstdint>
+
+namespace cbl::chain {
+
+struct GasSchedule {
+  /// Flat transaction overhead (Ethereum intrinsic gas).
+  std::uint64_t base_tx_gas = 21'000;
+
+  /// Storage cost per byte persisted on chain. Ethereum's SSTORE is
+  /// 20,000 gas per fresh 32-byte word = 625 gas/byte.
+  std::uint64_t gas_per_storage_byte = 625;
+
+  /// eWASM metering assumption used by the paper: 1 gas = 0.1 us,
+  /// i.e. 10 gas per microsecond of execution.
+  double gas_per_microsecond = 10.0;
+
+  /// Gas price used in the paper's Table II (April 2022).
+  double gwei_per_gas = 11.8;
+
+  /// ETH/USD conversion. ~3000 USD/ETH around April 2022.
+  double usd_per_eth = 3'000.0;
+
+  std::uint64_t storage_gas(std::size_t bytes) const {
+    return gas_per_storage_byte * static_cast<std::uint64_t>(bytes);
+  }
+
+  std::uint64_t compute_gas(double microseconds) const {
+    return static_cast<std::uint64_t>(microseconds * gas_per_microsecond);
+  }
+
+  double gas_to_eth(std::uint64_t gas) const {
+    return static_cast<double>(gas) * gwei_per_gas * 1e-9;
+  }
+
+  double gas_to_usd(std::uint64_t gas) const {
+    return gas_to_eth(gas) * usd_per_eth;
+  }
+};
+
+}  // namespace cbl::chain

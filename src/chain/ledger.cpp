@@ -1,0 +1,88 @@
+#include "chain/ledger.h"
+
+namespace cbl::chain {
+
+AccountId Ledger::create_account(std::string label) {
+  const AccountId id = labels_.size();
+  labels_.push_back(std::move(label));
+  balances_[id] = 0;
+  return id;
+}
+
+const std::string& Ledger::label(AccountId id) const {
+  if (id >= labels_.size()) throw ChainError("Ledger: unknown account");
+  return labels_[id];
+}
+
+void Ledger::require_account(AccountId id) const {
+  if (!balances_.contains(id)) throw ChainError("Ledger: unknown account");
+}
+
+void Ledger::mint(AccountId id, Amount amount) {
+  require_account(id);
+  if (amount < 0) throw ChainError("Ledger: negative mint");
+  balances_[id] += amount;
+}
+
+Amount Ledger::balance(AccountId id) const {
+  require_account(id);
+  return balances_.at(id);
+}
+
+void Ledger::transfer(AccountId from, AccountId to, Amount amount) {
+  require_account(from);
+  require_account(to);
+  if (amount < 0) throw ChainError("Ledger: negative transfer");
+  if (balances_[from] < amount) throw ChainError("Ledger: insufficient funds");
+  balances_[from] -= amount;
+  balances_[to] += amount;
+}
+
+DepositId Ledger::lock_deposit(AccountId from, Amount amount) {
+  require_account(from);
+  if (amount <= 0) throw ChainError("Ledger: deposit must be positive");
+  if (balances_[from] < amount) throw ChainError("Ledger: insufficient funds");
+  balances_[from] -= amount;
+  deposits_.push_back({from, amount, true});
+  return deposits_.size() - 1;
+}
+
+Amount Ledger::deposit_amount(DepositId id) const {
+  if (id >= deposits_.size()) throw ChainError("Ledger: unknown deposit");
+  return deposits_[id].active ? deposits_[id].amount : 0;
+}
+
+void Ledger::release_deposit(DepositId id) {
+  if (id >= deposits_.size()) throw ChainError("Ledger: unknown deposit");
+  Deposit& d = deposits_[id];
+  if (!d.active) throw ChainError("Ledger: deposit already settled");
+  balances_[d.owner] += d.amount;
+  d.amount = 0;
+  d.active = false;
+}
+
+void Ledger::slash_deposit(DepositId id, Amount amount) {
+  if (id >= deposits_.size()) throw ChainError("Ledger: unknown deposit");
+  Deposit& d = deposits_[id];
+  if (!d.active) throw ChainError("Ledger: deposit already settled");
+  if (amount < 0 || amount > d.amount) {
+    throw ChainError("Ledger: slash exceeds deposit");
+  }
+  d.amount -= amount;
+  balances_[kTreasury] += amount;
+}
+
+void Ledger::pay_from_treasury(AccountId to, Amount amount) {
+  transfer(kTreasury, to, amount);
+}
+
+Amount Ledger::total_supply() const {
+  Amount total = 0;
+  for (const auto& [id, bal] : balances_) total += bal;
+  for (const auto& d : deposits_) {
+    if (d.active) total += d.amount;
+  }
+  return total;
+}
+
+}  // namespace cbl::chain

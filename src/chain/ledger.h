@@ -1,0 +1,63 @@
+// Token ledger: transparent accounts, locked deposits (the stake a
+// shareholder or provider puts up), and slashing. The blockchain owns
+// one; contracts manipulate it through their ChainContext.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace cbl::chain {
+
+using AccountId = std::uint64_t;
+using DepositId = std::uint64_t;
+using Amount = std::int64_t;  // token units; signed to catch underflow bugs
+
+class Ledger {
+ public:
+  AccountId create_account(std::string label);
+  const std::string& label(AccountId id) const;
+
+  void mint(AccountId id, Amount amount);
+  Amount balance(AccountId id) const;
+
+  /// Throws ChainError on insufficient funds or unknown accounts.
+  void transfer(AccountId from, AccountId to, Amount amount);
+
+  /// Moves `amount` from the account into an escrow slot.
+  DepositId lock_deposit(AccountId from, Amount amount);
+  Amount deposit_amount(DepositId id) const;
+
+  /// Returns the remaining escrowed amount to its owner.
+  void release_deposit(DepositId id);
+
+  /// Confiscates `amount` from the escrow into the treasury account (the
+  /// redistribution pool). Remaining escrow stays locked.
+  void slash_deposit(DepositId id, Amount amount);
+
+  /// Pays `amount` out of the treasury to an account (reward path).
+  void pay_from_treasury(AccountId to, Amount amount);
+
+  AccountId treasury() const { return kTreasury; }
+  Amount total_supply() const;
+
+ private:
+  static constexpr AccountId kTreasury = 0;
+
+  struct Deposit {
+    AccountId owner;
+    Amount amount;
+    bool active;
+  };
+
+  void require_account(AccountId id) const;
+
+  std::vector<std::string> labels_ = {"treasury"};
+  std::unordered_map<AccountId, Amount> balances_ = {{kTreasury, 0}};
+  std::vector<Deposit> deposits_;
+};
+
+}  // namespace cbl::chain

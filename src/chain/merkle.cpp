@@ -1,0 +1,75 @@
+#include "chain/merkle.h"
+
+#include <stdexcept>
+
+namespace cbl::chain {
+
+MerkleTree::Digest MerkleTree::hash_leaf(ByteView payload) {
+  hash::Sha256 h;
+  h.update("cbl/merkle/leaf").update(payload);
+  return h.finalize();
+}
+
+MerkleTree::Digest MerkleTree::hash_node(const Digest& left,
+                                         const Digest& right) {
+  hash::Sha256 h;
+  h.update("cbl/merkle/node")
+      .update(ByteView(left.data(), left.size()))
+      .update(ByteView(right.data(), right.size()));
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;
+
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(level);
+
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      // Odd tail is paired with itself (Bitcoin-style duplication is a
+      // known pitfall; with domain separation and fixed indices it is
+      // safe for inclusion proofs).
+      const Digest& right = i + 1 < prev.size() ? prev[i + 1] : prev[i];
+      next.push_back(hash_node(prev[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleTree::Proof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::prove: index out of range");
+  }
+  Proof proof;
+  std::size_t i = index;
+  for (std::size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& level = levels_[depth];
+    const std::size_t sibling = i ^ 1;
+    ProofStep step;
+    step.sibling = sibling < level.size() ? level[sibling] : level[i];
+    step.sibling_on_right = (i & 1) == 0;
+    proof.push_back(step);
+    i >>= 1;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, ByteView leaf_payload,
+                        const Proof& proof) {
+  Digest acc = hash_leaf(leaf_payload);
+  for (const auto& step : proof) {
+    acc = step.sibling_on_right ? hash_node(acc, step.sibling)
+                                : hash_node(step.sibling, acc);
+  }
+  return acc == root;
+}
+
+}  // namespace cbl::chain

@@ -1,0 +1,49 @@
+// Binary Merkle tree over SHA-256 with domain-separated leaf/node
+// hashing (second-preimage hardened). The blockchain commits each sealed
+// block to the Merkle root of its transaction receipts, so a light
+// client can verify that a given transaction executed without replaying
+// the chain — the "publicly verifiable" integrity anchor of the threat
+// model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/sha256.h"
+
+namespace cbl::chain {
+
+class MerkleTree {
+ public:
+  using Digest = hash::Sha256::Digest;
+
+  struct ProofStep {
+    Digest sibling;
+    bool sibling_on_right;
+  };
+  using Proof = std::vector<ProofStep>;
+
+  /// Builds the tree over the given leaf payloads (hashed internally).
+  /// An empty leaf set has the all-zero root.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Digest& root() const { return root_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf `index`; throws std::out_of_range.
+  Proof prove(std::size_t index) const;
+
+  /// Verifies that `leaf_payload` is the index-th leaf under `root`.
+  static bool verify(const Digest& root, ByteView leaf_payload,
+                     const Proof& proof);
+
+  static Digest hash_leaf(ByteView payload);
+  static Digest hash_node(const Digest& left, const Digest& right);
+
+ private:
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+  Digest root_{};
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace cbl::chain

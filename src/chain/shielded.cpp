@@ -1,0 +1,132 @@
+#include "chain/shielded.h"
+
+namespace cbl::chain {
+
+ShieldedPool::ShieldedPool(Ledger& ledger, const commit::Crs& crs)
+    : ledger_(ledger), crs_(crs) {
+  escrow_ = ledger_.create_account("shielded-pool-escrow");
+}
+
+std::string ShieldedPool::key_of(const commit::Commitment& note) const {
+  const auto enc = note.encode();
+  return std::string(enc.begin(), enc.end());
+}
+
+void ShieldedPool::shield(AccountId from, Amount amount,
+                          const commit::Commitment& note,
+                          const nizk::SchnorrProof& opening_proof) {
+  if (amount <= 0) throw ChainError("ShieldedPool: amount must be positive");
+  if (notes_.contains(key_of(note))) {
+    throw ChainError("ShieldedPool: duplicate note");
+  }
+  // The committed value must equal the transparent amount being shielded:
+  // note / g^amount must be h^r for a known r.
+  const ec::RistrettoPoint residue =
+      note.point() - crs_.g * ec::Scalar::from_u64(static_cast<std::uint64_t>(amount));
+  if (!opening_proof.verify(crs_.h, residue, kSpendDomain)) {
+    throw ChainError("ShieldedPool: shield opening proof invalid");
+  }
+  ledger_.transfer(from, escrow_, amount);
+  notes_[key_of(note)] = NoteState{};
+}
+
+void ShieldedPool::split(const commit::Commitment& input,
+                         const nizk::RepresentationProof& spend_auth,
+                         const commit::Commitment& out1,
+                         const commit::Commitment& out2) {
+  auto it = notes_.find(key_of(input));
+  if (it == notes_.end()) throw ChainError("ShieldedPool: unknown note");
+  if (it->second.spent) throw ChainError("ShieldedPool: note already spent");
+  if (it->second.locked) throw ChainError("ShieldedPool: note is locked");
+  if (!spend_auth.verify(crs_.g, crs_.h, input.point(), kSpendDomain)) {
+    throw ChainError("ShieldedPool: spend authorization invalid");
+  }
+  // Homomorphic value conservation.
+  if (!(input == out1 * out2)) {
+    throw ChainError("ShieldedPool: outputs do not conserve value");
+  }
+  if (notes_.contains(key_of(out1)) || notes_.contains(key_of(out2))) {
+    throw ChainError("ShieldedPool: output note already exists");
+  }
+  it->second.spent = true;
+  notes_[key_of(out1)] = NoteState{};
+  notes_[key_of(out2)] = NoteState{};
+}
+
+void ShieldedPool::unshield(const commit::Commitment& note, Amount claimed,
+                            const nizk::SchnorrProof& opening_proof,
+                            AccountId to) {
+  auto it = notes_.find(key_of(note));
+  if (it == notes_.end()) throw ChainError("ShieldedPool: unknown note");
+  if (it->second.spent) throw ChainError("ShieldedPool: note already spent");
+  if (it->second.locked) throw ChainError("ShieldedPool: note is locked");
+  if (claimed <= 0) throw ChainError("ShieldedPool: claim must be positive");
+  const ec::RistrettoPoint residue =
+      note.point() -
+      crs_.g * ec::Scalar::from_u64(static_cast<std::uint64_t>(claimed));
+  if (!opening_proof.verify(crs_.h, residue, kSpendDomain)) {
+    throw ChainError("ShieldedPool: unshield opening proof invalid");
+  }
+  it->second.spent = true;
+  ledger_.transfer(escrow_, to, claimed);
+}
+
+void ShieldedPool::replace_note(const commit::Commitment& old_note,
+                                const commit::Commitment& new_note) {
+  auto it = notes_.find(key_of(old_note));
+  if (it == notes_.end()) throw ChainError("ShieldedPool: unknown note");
+  if (it->second.spent) throw ChainError("ShieldedPool: note already spent");
+  if (notes_.contains(key_of(new_note))) {
+    throw ChainError("ShieldedPool: replacement note already exists");
+  }
+  it->second.spent = true;
+  notes_[key_of(new_note)] = NoteState{};
+}
+
+void ShieldedPool::lock_note(const commit::Commitment& note) {
+  auto it = notes_.find(key_of(note));
+  if (it == notes_.end()) throw ChainError("ShieldedPool: unknown note");
+  if (it->second.spent) throw ChainError("ShieldedPool: note already spent");
+  if (it->second.locked) throw ChainError("ShieldedPool: note already locked");
+  it->second.locked = true;
+}
+
+void ShieldedPool::unlock_note(const commit::Commitment& note) {
+  auto it = notes_.find(key_of(note));
+  if (it == notes_.end()) throw ChainError("ShieldedPool: unknown note");
+  it->second.locked = false;
+}
+
+bool ShieldedPool::note_locked(const commit::Commitment& note) const {
+  const auto it = notes_.find(key_of(note));
+  return it != notes_.end() && it->second.locked;
+}
+
+void ShieldedPool::fund_escrow(AccountId from, Amount amount) {
+  ledger_.transfer(from, escrow_, amount);
+}
+
+void ShieldedPool::drain_escrow(AccountId to, Amount amount) {
+  ledger_.transfer(escrow_, to, amount);
+}
+
+bool ShieldedPool::note_exists(const commit::Commitment& note) const {
+  return notes_.contains(key_of(note));
+}
+
+bool ShieldedPool::note_spent(const commit::Commitment& note) const {
+  const auto it = notes_.find(key_of(note));
+  return it != notes_.end() && it->second.spent;
+}
+
+std::size_t ShieldedPool::live_notes() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : notes_) {
+    if (!state.spent) ++n;
+  }
+  return n;
+}
+
+Amount ShieldedPool::escrow_balance() const { return ledger_.balance(escrow_); }
+
+}  // namespace cbl::chain

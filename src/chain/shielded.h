@@ -1,0 +1,99 @@
+// A shielded token pool in the style of the private-payment frameworks
+// the paper bridges to (Zerocash/Zether lineage): value lives in Pedersen
+// commitments, spends are authorized by zero-knowledge opening proofs,
+// and in-pool transfers conserve value homomorphically without revealing
+// amounts.
+//
+// Faithful simplification (documented in DESIGN.md): spent notes are
+// tracked by their commitment rather than by a SNARK-bound nullifier, so
+// the pool hides amounts and recipient accounts but reveals *which* note
+// was consumed. The paper treats private payments as an existing
+// building block; this is the minimal substrate with the properties its
+// bridging layer actually uses (hidden volumes, hidden shareholder
+// identities at payoff).
+#pragma once
+
+#include <unordered_map>
+
+#include "chain/ledger.h"
+#include "commit/crs.h"
+#include "commit/pedersen.h"
+#include "nizk/sigma.h"
+
+namespace cbl::chain {
+
+class ShieldedPool {
+ public:
+  ShieldedPool(Ledger& ledger, const commit::Crs& crs);
+
+  /// Transparent -> shielded: locks `amount` tokens from `from` behind a
+  /// commitment the caller constructed as Com(amount; r). The chain checks
+  /// the commitment matches the deposited amount (this edge reveals the
+  /// amount, as in Zcash t->z).
+  /// The proof must show note / g^amount = h^r for a known r (single-base
+  /// Schnorr) — a full representation proof would let a cheater commit to
+  /// a different amount than deposited.
+  void shield(AccountId from, Amount amount, const commit::Commitment& note,
+              const nizk::SchnorrProof& opening_proof);
+
+  /// Shielded -> shielded 1-to-2 split. Value conservation is the
+  /// homomorphic identity input = out1 * out2; the spender proves
+  /// knowledge of the input opening. Amounts never appear.
+  void split(const commit::Commitment& input,
+             const nizk::RepresentationProof& spend_auth,
+             const commit::Commitment& out1, const commit::Commitment& out2);
+
+  /// Shielded -> transparent: reveals the amount of one note and pays it
+  /// to `to` after verifying the opening proof for Com(claimed; r).
+  void unshield(const commit::Commitment& note, Amount claimed,
+                const nizk::SchnorrProof& opening_proof, AccountId to);
+
+  // --- Bridging interface (Section V-C "Bridging secure payoff") --------
+  // These entry points are reserved for on-chain contracts, which the
+  // threat model trusts for integrity: the evaluation contract replaces a
+  // deposit note with its homomorphically updated version and settles the
+  // value difference against a transparent account. In a production
+  // deployment the same transition would be authorized by the ZKP bridge
+  // the paper sketches; the value flows are identical.
+
+  /// Replaces `old_note` (consuming it, even if locked) with `new_note`.
+  void replace_note(const commit::Commitment& old_note,
+                    const commit::Commitment& new_note);
+
+  /// Locks/unlocks a note: locked notes cannot be split, unshielded, or
+  /// re-registered — the contract's hold on a shareholder's stake.
+  void lock_note(const commit::Commitment& note);
+  void unlock_note(const commit::Commitment& note);
+  bool note_locked(const commit::Commitment& note) const;
+
+  /// Moves transparent tokens into the pool escrow (funding rewards).
+  void fund_escrow(AccountId from, Amount amount);
+
+  /// Moves transparent tokens out of the pool escrow (absorbing slashes).
+  void drain_escrow(AccountId to, Amount amount);
+
+  bool note_exists(const commit::Commitment& note) const;
+  bool note_spent(const commit::Commitment& note) const;
+  std::size_t live_notes() const;
+
+  /// Tokens held by the pool's escrow (total shielded value; an invariant
+  /// checked by tests: equals sum of unspent note amounts).
+  Amount escrow_balance() const;
+
+  static constexpr std::string_view kSpendDomain = "cbl/shielded/spend";
+
+ private:
+  struct NoteState {
+    bool spent = false;
+    bool locked = false;
+  };
+
+  std::string key_of(const commit::Commitment& note) const;
+
+  Ledger& ledger_;
+  const commit::Crs& crs_;
+  AccountId escrow_;
+  std::unordered_map<std::string, NoteState> notes_;
+};
+
+}  // namespace cbl::chain

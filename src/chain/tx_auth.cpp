@@ -1,0 +1,64 @@
+#include "chain/tx_auth.h"
+
+#include "ec/codec.h"
+#include "hash/sha256.h"
+
+namespace cbl::chain {
+
+void AuthorizedGateway::bind_key(AccountId account,
+                                 const ec::RistrettoPoint& pk) {
+  keys_[account] = pk;
+  nonces_.try_emplace(account, 0);
+}
+
+std::uint64_t AuthorizedGateway::next_nonce(AccountId account) const {
+  const auto it = nonces_.find(account);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+Bytes AuthorizedGateway::auth_message(AccountId account,
+                                      std::string_view method,
+                                      ByteView payload, std::uint64_t nonce) {
+  // Hash the payload so the signed message stays small regardless of
+  // submission size.
+  const auto payload_digest = hash::Sha256::digest(payload);
+  ec::ByteWriter w;
+  w.u64(account);
+  w.var_bytes(to_bytes(method));
+  w.raw(ByteView(payload_digest.data(), payload_digest.size()));
+  w.u64(nonce);
+  return w.take();
+}
+
+nizk::Signature AuthorizedGateway::sign_submission(
+    const nizk::SigningKey& key, AccountId account, std::string_view method,
+    ByteView payload, std::uint64_t nonce, Rng& rng) {
+  return nizk::sign(key, auth_message(account, method, payload, nonce),
+                    kAuthDomain, rng);
+}
+
+TxReceipt AuthorizedGateway::submit(AccountId account, std::string method,
+                                    ByteView payload, std::uint64_t nonce,
+                                    const nizk::Signature& signature,
+                                    const std::function<void()>& fn) {
+  const auto key = keys_.find(account);
+  if (key == keys_.end()) {
+    throw ChainError("AuthorizedGateway: no key bound for account");
+  }
+  if (nonce != nonces_[account]) {
+    throw ChainError("AuthorizedGateway: nonce mismatch (replay?)");
+  }
+  const Bytes message = auth_message(account, method, payload, nonce);
+  if (!nizk::verify_signature(key->second, message, kAuthDomain, signature)) {
+    throw ChainError("AuthorizedGateway: invalid transaction signature");
+  }
+  // Execute first: a reverting tx must not burn the nonce (the sender
+  // may retry the same signed submission after fixing state).
+  auto receipt = chain_.execute(account, std::move(method),
+                                payload.size() + nizk::Signature::kWireSize,
+                                fn);
+  ++nonces_[account];
+  return receipt;
+}
+
+}  // namespace cbl::chain

@@ -1,0 +1,51 @@
+// Transaction authorization at the chain boundary: accounts bind a
+// Schnorr public key, and every submission through the gateway must
+// carry a signature over (account, method, payload digest, nonce) with a
+// strictly increasing per-account nonce — the standard
+// authentication + replay-protection discipline of a real chain,
+// modelled without disturbing the contract layer.
+#pragma once
+
+#include <unordered_map>
+
+#include "chain/blockchain.h"
+#include "nizk/signature.h"
+
+namespace cbl::chain {
+
+class AuthorizedGateway {
+ public:
+  static constexpr std::string_view kAuthDomain = "cbl/chain/tx-auth/v1";
+
+  explicit AuthorizedGateway(Blockchain& chain) : chain_(chain) {}
+
+  /// Binds (or rebinds) the key that must sign the account's txs.
+  void bind_key(AccountId account, const ec::RistrettoPoint& pk);
+  bool has_key(AccountId account) const { return keys_.contains(account); }
+  std::uint64_t next_nonce(AccountId account) const;
+
+  /// The exact bytes the account signs for a submission.
+  static Bytes auth_message(AccountId account, std::string_view method,
+                            ByteView payload, std::uint64_t nonce);
+
+  /// Client-side helper: signs the submission with the account's key.
+  static nizk::Signature sign_submission(const nizk::SigningKey& key,
+                                         AccountId account,
+                                         std::string_view method,
+                                         ByteView payload,
+                                         std::uint64_t nonce, Rng& rng);
+
+  /// Verifies signature + nonce, then executes `fn` as a metered
+  /// transaction. Throws ChainError (no state change, no nonce burn) on
+  /// unknown account key, bad signature, or nonce mismatch.
+  TxReceipt submit(AccountId account, std::string method, ByteView payload,
+                   std::uint64_t nonce, const nizk::Signature& signature,
+                   const std::function<void()>& fn);
+
+ private:
+  Blockchain& chain_;
+  std::unordered_map<AccountId, ec::RistrettoPoint> keys_;
+  std::unordered_map<AccountId, std::uint64_t> nonces_;
+};
+
+}  // namespace cbl::chain

@@ -1,0 +1,55 @@
+#include "commit/crs.h"
+
+#include "hash/sha512.h"
+
+namespace cbl::commit {
+
+namespace {
+
+ec::RistrettoPoint derive_generator(std::string_view label, ByteView seed) {
+  hash::Sha512 h;
+  h.update("cbl/crs/v1/").update(label).update(seed);
+  return ec::RistrettoPoint::from_uniform_bytes(h.finalize());
+}
+
+Crs build(ByteView seed) {
+  Crs crs;
+  crs.g = ec::RistrettoPoint::base();  // the standard group generator
+  crs.h = derive_generator("h", seed);
+  crs.h1 = derive_generator("h1", seed);
+  crs.h2 = derive_generator("h2", seed);
+  crs.g_hat = derive_generator("g_hat", seed);
+  crs.h_hat = derive_generator("h_hat", seed);
+  return crs;
+}
+
+}  // namespace
+
+const Crs& Crs::default_crs() {
+  static const Crs crs = build(cbl::to_bytes("default-setup"));
+  return crs;
+}
+
+Crs Crs::from_contributions(const std::vector<Bytes>& contributions) {
+  // Chain-hash all contributions; any single unpredictable contribution
+  // makes the seed unpredictable.
+  hash::Sha512 h;
+  h.update("cbl/crs/contributions");
+  for (const auto& c : contributions) {
+    std::uint8_t len[8];
+    store_le64(len, c.size());
+    h.update(ByteView(len, 8)).update(c);
+  }
+  const auto digest = h.finalize();
+  return build(ByteView(digest.data(), digest.size()));
+}
+
+Bytes Crs::to_bytes() const {
+  Bytes out;
+  for (const auto* p : {&g, &h, &h1, &h2, &g_hat, &h_hat}) {
+    append(out, p->encode());
+  }
+  return out;
+}
+
+}  // namespace cbl::commit

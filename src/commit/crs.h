@@ -1,0 +1,34 @@
+// The Common Reference String of Section V-D: six group generators
+// (g, h, h1, h2, g_hat, h_hat). h1/h2 are required for the rigorous
+// security proof (the OR branch showing the CRS contains a DDH tuple);
+// g_hat/h_hat anchor that OR branch. Generators are derived by hashing
+// nothing-up-my-sleeve labels to the group, optionally mixed with
+// contributions from a distributed setup so no party knows the discrete
+// logs between them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ec/ristretto.h"
+
+namespace cbl::commit {
+
+struct Crs {
+  ec::RistrettoPoint g, h, h1, h2, g_hat, h_hat;
+
+  /// The library-default CRS (fixed nothing-up-my-sleeve labels).
+  static const Crs& default_crs();
+
+  /// Distributed setup: every participant contributes entropy; the
+  /// generators depend on all contributions, so a single honest
+  /// contributor suffices for none of the discrete-log relations to be
+  /// known to anyone.
+  static Crs from_contributions(const std::vector<Bytes>& contributions);
+
+  /// Serializes the six generators (for transcripts and on-chain storage).
+  Bytes to_bytes() const;
+};
+
+}  // namespace cbl::commit

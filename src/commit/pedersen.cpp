@@ -1,0 +1,24 @@
+#include "commit/pedersen.h"
+
+namespace cbl::commit {
+
+Commitment Commitment::commit(const ec::RistrettoPoint& g,
+                              const ec::RistrettoPoint& h,
+                              const Opening& opening) {
+  return Commitment(g * opening.value + h * opening.randomness);
+}
+
+std::pair<Commitment, Opening> Commitment::commit_random(
+    const ec::RistrettoPoint& g, const ec::RistrettoPoint& h,
+    const ec::Scalar& value, Rng& rng) {
+  Opening opening{value, ec::Scalar::random(rng)};
+  return {commit(g, h, opening), opening};
+}
+
+bool Commitment::verify(const ec::RistrettoPoint& g,
+                        const ec::RistrettoPoint& h,
+                        const Opening& opening) const {
+  return commit(g, h, opening).point_ == point_;
+}
+
+}  // namespace cbl::commit

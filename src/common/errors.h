@@ -1,0 +1,33 @@
+// Error taxonomy for the library. Recoverable conditions that a caller is
+// expected to branch on (e.g. decode failure of untrusted bytes) are
+// reported through std::optional return values; exceptional conditions
+// (protocol violations, broken invariants) throw one of the types below.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbl {
+
+/// A peer violated the protocol: malformed message, invalid proof,
+/// out-of-order phase, double submission, etc.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A cryptographic check failed (proof did not verify, point failed to
+/// decode where a valid one was required, signature mismatch).
+class CryptoError : public ProtocolError {
+ public:
+  explicit CryptoError(const std::string& what) : ProtocolError(what) {}
+};
+
+/// The simulated blockchain rejected a transaction (assert failure inside
+/// a contract, insufficient deposit, unknown method).
+class ChainError : public ProtocolError {
+ public:
+  explicit ChainError(const std::string& what) : ProtocolError(what) {}
+};
+
+}  // namespace cbl

@@ -1,0 +1,40 @@
+#include "core/multi_provider.h"
+
+namespace cbl::core {
+
+void MultiProviderUser::subscribe(BlocklistProvider& provider) {
+  Subscription sub;
+  sub.provider = &provider;
+  sub.user = std::make_unique<BlocklistUser>(provider, rng_);
+  subscriptions_.push_back(std::move(sub));
+}
+
+MultiProviderUser::AggregateResult MultiProviderUser::query(
+    std::string_view address) {
+  AggregateResult result;
+  for (auto& sub : subscriptions_) {
+    const auto r = sub.user->query(address);
+    ProviderVerdict verdict;
+    verdict.provider = sub.provider->name();
+    verdict.listed = r.listed;
+    verdict.required_interaction = r.required_interaction;
+    if (r.listed) ++result.listing_count;
+    result.verdicts.push_back(std::move(verdict));
+  }
+
+  switch (policy_) {
+    case AggregationPolicy::kAny:
+      result.listed = result.listing_count > 0;
+      break;
+    case AggregationPolicy::kMajority:
+      result.listed = result.listing_count * 2 > subscriptions_.size();
+      break;
+    case AggregationPolicy::kAll:
+      result.listed = !subscriptions_.empty() &&
+                      result.listing_count == subscriptions_.size();
+      break;
+  }
+  return result;
+}
+
+}  // namespace cbl::core

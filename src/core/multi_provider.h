@@ -1,0 +1,62 @@
+// Multi-provider querying: real users consult several independently
+// operated blocklists (the paper's premise is a marketplace of services
+// curated by the registry). This aggregator fans a private query out to
+// a set of providers — each query independently blinded, so no provider
+// learns anything from the others — and combines the verdicts under a
+// configurable policy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+
+namespace cbl::core {
+
+enum class AggregationPolicy {
+  kAny,       // listed if ANY provider lists it (recall-oriented)
+  kMajority,  // listed if more than half do
+  kAll,       // listed only if every provider agrees (precision-oriented)
+};
+
+class MultiProviderUser {
+ public:
+  explicit MultiProviderUser(AggregationPolicy policy, Rng& rng)
+      : policy_(policy), rng_(rng) {}
+
+  /// Providers are queried in subscription order. Each gets its own
+  /// client (own blinding factors, own cache).
+  void subscribe(BlocklistProvider& provider);
+  std::size_t provider_count() const { return subscriptions_.size(); }
+
+  struct ProviderVerdict {
+    std::string provider;
+    bool listed = false;
+    bool required_interaction = false;
+  };
+
+  struct AggregateResult {
+    bool listed = false;           // policy-combined verdict
+    std::size_t listing_count = 0; // providers that listed the address
+    std::vector<ProviderVerdict> verdicts;
+  };
+
+  /// One private membership query against every subscribed provider.
+  AggregateResult query(std::string_view address);
+
+  AggregationPolicy policy() const { return policy_; }
+  void set_policy(AggregationPolicy policy) { policy_ = policy; }
+
+ private:
+  struct Subscription {
+    BlocklistProvider* provider;
+    std::unique_ptr<BlocklistUser> user;
+  };
+
+  AggregationPolicy policy_;
+  Rng& rng_;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace cbl::core

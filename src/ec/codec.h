@@ -1,0 +1,63 @@
+// Bounds-checked binary codec for protocol messages. Writers build the
+// canonical wire form; readers parse UNTRUSTED bytes, throwing
+// ProtocolError on truncation, trailing garbage, non-canonical field
+// elements, or invalid group encodings. Message-level parsers wrap this
+// into optional-returning from_bytes() functions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/errors.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+
+namespace cbl::ec {
+
+class ByteWriter {
+ public:
+  ByteWriter& u8(std::uint8_t v);
+  ByteWriter& u32(std::uint32_t v);
+  ByteWriter& u64(std::uint64_t v);
+  ByteWriter& raw(ByteView data);
+  /// u32 length prefix + payload.
+  ByteWriter& var_bytes(ByteView data);
+  ByteWriter& point(const RistrettoPoint& p);
+  ByteWriter& scalar(const Scalar& s);
+
+  Bytes take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes raw(std::size_t len);
+  /// Reads a u32 length prefix then the payload; rejects lengths beyond
+  /// `max_len` (pre-allocation bound against hostile inputs).
+  Bytes var_bytes(std::size_t max_len);
+  /// Throws on invalid (non-canonical) encodings.
+  RistrettoPoint point();
+  /// Canonical scalars only.
+  Scalar scalar();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws unless the whole input was consumed (no trailing garbage).
+  void expect_done() const;
+
+ private:
+  const std::uint8_t* take(std::size_t len);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cbl::ec

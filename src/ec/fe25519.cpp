@@ -1,0 +1,227 @@
+#include "ec/fe25519.h"
+
+#include <cstring>
+
+namespace cbl::ec {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+// 16 * p, limbwise: adding this before a subtraction keeps limbs
+// non-negative for any weakly reduced operand.
+constexpr u64 k16P[5] = {
+    (kMask51 - 18) << 4,  // 16 * (2^51 - 19)
+    kMask51 << 4, kMask51 << 4, kMask51 << 4, kMask51 << 4};
+
+}  // namespace
+
+Fe25519 Fe25519::from_u64(u64 v) noexcept {
+  Fe25519 r;
+  r.limbs_[0] = v & kMask51;
+  r.limbs_[1] = v >> 51;
+  return r;
+}
+
+const Fe25519& Fe25519::zero() noexcept {
+  static const Fe25519 z;
+  return z;
+}
+
+const Fe25519& Fe25519::one() noexcept {
+  static const Fe25519 o = from_u64(1);
+  return o;
+}
+
+void Fe25519::weak_reduce() noexcept {
+  u64 c;
+  c = limbs_[0] >> 51; limbs_[0] &= kMask51; limbs_[1] += c;
+  c = limbs_[1] >> 51; limbs_[1] &= kMask51; limbs_[2] += c;
+  c = limbs_[2] >> 51; limbs_[2] &= kMask51; limbs_[3] += c;
+  c = limbs_[3] >> 51; limbs_[3] &= kMask51; limbs_[4] += c;
+  c = limbs_[4] >> 51; limbs_[4] &= kMask51; limbs_[0] += 19 * c;
+  c = limbs_[0] >> 51; limbs_[0] &= kMask51; limbs_[1] += c;
+}
+
+Fe25519 Fe25519::from_bytes(const std::array<std::uint8_t, 32>& s) noexcept {
+  Fe25519 r;
+  r.limbs_[0] = cbl::load_le64(s.data()) & kMask51;
+  r.limbs_[1] = (cbl::load_le64(s.data() + 6) >> 3) & kMask51;
+  r.limbs_[2] = (cbl::load_le64(s.data() + 12) >> 6) & kMask51;
+  r.limbs_[3] = (cbl::load_le64(s.data() + 19) >> 1) & kMask51;
+  r.limbs_[4] = (cbl::load_le64(s.data() + 24) >> 12) & kMask51;
+  return r;
+}
+
+std::array<std::uint8_t, 32> Fe25519::to_bytes() const noexcept {
+  Fe25519 t = *this;
+  t.weak_reduce();
+
+  // Compute the carry that a +19 would ripple to the top: q = 1 iff
+  // t >= p, then add 19*q and drop bit 255 to reduce canonically.
+  u64 q = (t.limbs_[0] + 19) >> 51;
+  q = (t.limbs_[1] + q) >> 51;
+  q = (t.limbs_[2] + q) >> 51;
+  q = (t.limbs_[3] + q) >> 51;
+  q = (t.limbs_[4] + q) >> 51;
+
+  t.limbs_[0] += 19 * q;
+  u64 c;
+  c = t.limbs_[0] >> 51; t.limbs_[0] &= kMask51; t.limbs_[1] += c;
+  c = t.limbs_[1] >> 51; t.limbs_[1] &= kMask51; t.limbs_[2] += c;
+  c = t.limbs_[2] >> 51; t.limbs_[2] &= kMask51; t.limbs_[3] += c;
+  c = t.limbs_[3] >> 51; t.limbs_[3] &= kMask51; t.limbs_[4] += c;
+  t.limbs_[4] &= kMask51;
+
+  std::array<std::uint8_t, 32> out{};
+  u64 words[4];
+  words[0] = t.limbs_[0] | t.limbs_[1] << 51;
+  words[1] = t.limbs_[1] >> 13 | t.limbs_[2] << 38;
+  words[2] = t.limbs_[2] >> 26 | t.limbs_[3] << 25;
+  words[3] = t.limbs_[3] >> 39 | t.limbs_[4] << 12;
+  for (int i = 0; i < 4; ++i) cbl::store_le64(out.data() + 8 * i, words[i]);
+  return out;
+}
+
+Fe25519 Fe25519::operator+(const Fe25519& o) const noexcept {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.limbs_[i] = limbs_[i] + o.limbs_[i];
+  r.weak_reduce();
+  return r;
+}
+
+Fe25519 Fe25519::operator-(const Fe25519& o) const noexcept {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) {
+    r.limbs_[i] = limbs_[i] + k16P[i] - o.limbs_[i];
+  }
+  r.weak_reduce();
+  return r;
+}
+
+Fe25519 Fe25519::operator-() const noexcept {
+  return zero() - *this;
+}
+
+Fe25519 Fe25519::operator*(const Fe25519& o) const noexcept {
+  const u64 a0 = limbs_[0], a1 = limbs_[1], a2 = limbs_[2], a3 = limbs_[3],
+            a4 = limbs_[4];
+  const u64 b0 = o.limbs_[0], b1 = o.limbs_[1], b2 = o.limbs_[2],
+            b3 = o.limbs_[3], b4 = o.limbs_[4];
+
+  auto m = [](u64 x, u64 y) { return static_cast<u128>(x) * y; };
+
+  u128 r0 = m(a0, b0) + 19 * (m(a1, b4) + m(a2, b3) + m(a3, b2) + m(a4, b1));
+  u128 r1 = m(a0, b1) + m(a1, b0) + 19 * (m(a2, b4) + m(a3, b3) + m(a4, b2));
+  u128 r2 = m(a0, b2) + m(a1, b1) + m(a2, b0) + 19 * (m(a3, b4) + m(a4, b3));
+  u128 r3 = m(a0, b3) + m(a1, b2) + m(a2, b1) + m(a3, b0) + 19 * m(a4, b4);
+  u128 r4 = m(a0, b4) + m(a1, b3) + m(a2, b2) + m(a3, b1) + m(a4, b0);
+
+  Fe25519 out;
+  u64 c;
+  c = static_cast<u64>(r0 >> 51); out.limbs_[0] = static_cast<u64>(r0) & kMask51;
+  r1 += c;
+  c = static_cast<u64>(r1 >> 51); out.limbs_[1] = static_cast<u64>(r1) & kMask51;
+  r2 += c;
+  c = static_cast<u64>(r2 >> 51); out.limbs_[2] = static_cast<u64>(r2) & kMask51;
+  r3 += c;
+  c = static_cast<u64>(r3 >> 51); out.limbs_[3] = static_cast<u64>(r3) & kMask51;
+  r4 += c;
+  c = static_cast<u64>(r4 >> 51); out.limbs_[4] = static_cast<u64>(r4) & kMask51;
+  out.limbs_[0] += 19 * c;
+  c = out.limbs_[0] >> 51; out.limbs_[0] &= kMask51; out.limbs_[1] += c;
+  return out;
+}
+
+Fe25519 Fe25519::square() const noexcept { return *this * *this; }
+
+Fe25519 Fe25519::pow(const std::array<std::uint8_t, 32>& e) const noexcept {
+  Fe25519 result = one();
+  // Left-to-right binary exponentiation over the 255 meaningful bits.
+  for (int bit = 254; bit >= 0; --bit) {
+    result = result.square();
+    if ((e[static_cast<std::size_t>(bit / 8)] >> (bit % 8)) & 1) {
+      result = result * *this;
+    }
+  }
+  return result;
+}
+
+Fe25519 Fe25519::invert() const noexcept {
+  // p - 2 = 2^255 - 21, little endian: eb ff .. ff 7f.
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xeb;
+  e[31] = 0x7f;
+  return pow(e);
+}
+
+Fe25519 Fe25519::pow_p58() const noexcept {
+  // (p - 5) / 8 = 2^252 - 3, little endian: fd ff .. ff 0f.
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return pow(e);
+}
+
+bool Fe25519::is_negative() const noexcept {
+  return (to_bytes()[0] & 1) != 0;
+}
+
+bool Fe25519::is_zero() const noexcept {
+  const auto b = to_bytes();
+  std::uint8_t acc = 0;
+  for (auto v : b) acc |= v;
+  return acc == 0;
+}
+
+bool Fe25519::operator==(const Fe25519& o) const noexcept {
+  return to_bytes() == o.to_bytes();
+}
+
+Fe25519 Fe25519::abs() const noexcept {
+  return is_negative() ? -*this : *this;
+}
+
+Fe25519 Fe25519::select(bool flag, const Fe25519& a, const Fe25519& b) noexcept {
+  return flag ? a : b;
+}
+
+const Fe25519& Fe25519::sqrt_m1() noexcept {
+  // sqrt(-1) = 2^((p-1)/4); normalize to the non-negative root, matching
+  // the ristretto255 specification constant.
+  static const Fe25519 v = [] {
+    std::array<std::uint8_t, 32> e;  // (p-1)/4 = 2^253 - 5: fb ff .. ff 1f
+    e.fill(0xff);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    return from_u64(2).pow(e).abs();
+  }();
+  return v;
+}
+
+const Fe25519& Fe25519::edwards_d() noexcept {
+  static const Fe25519 v = -(from_u64(121665) * from_u64(121666).invert());
+  return v;
+}
+
+SqrtRatioResult sqrt_ratio_m1(const Fe25519& u, const Fe25519& v) noexcept {
+  const Fe25519 v3 = v.square() * v;
+  const Fe25519 v7 = v3.square() * v;
+  Fe25519 r = (u * v3) * (u * v7).pow_p58();
+  const Fe25519 check = v * r.square();
+
+  const Fe25519 neg_u = -u;
+  const bool correct_sign = check == u;
+  const bool flipped_sign = check == neg_u;
+  const bool flipped_sign_i = check == neg_u * Fe25519::sqrt_m1();
+
+  if (flipped_sign || flipped_sign_i) r = r * Fe25519::sqrt_m1();
+  return SqrtRatioResult{correct_sign || flipped_sign, r.abs()};
+}
+
+}  // namespace cbl::ec

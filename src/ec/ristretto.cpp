@@ -1,0 +1,255 @@
+#include "ec/ristretto.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "hash/sha512.h"
+
+namespace cbl::ec {
+
+namespace {
+
+// Derived curve constants, computed once at startup and cross-checked by
+// the ristretto255 specification test vectors in the test suite.
+const Fe25519& one_minus_d_sq() noexcept {
+  static const Fe25519 v =
+      Fe25519::one() - Fe25519::edwards_d().square();
+  return v;
+}
+
+const Fe25519& d_minus_one_sq() noexcept {
+  static const Fe25519 v =
+      (Fe25519::edwards_d() - Fe25519::one()).square();
+  return v;
+}
+
+const Fe25519& sqrt_ad_minus_one() noexcept {
+  // sqrt(a*d - 1) with a = -1, i.e. sqrt(-d - 1). The ristretto255
+  // specification fixes the NEGATIVE (odd) root for this constant; the
+  // hash-to-group test vectors pin the choice down.
+  static const Fe25519 v = [] {
+    const auto r =
+        sqrt_ratio_m1(-Fe25519::edwards_d() - Fe25519::one(), Fe25519::one());
+    assert(r.was_square);
+    return -r.root;
+  }();
+  return v;
+}
+
+const Fe25519& invsqrt_a_minus_d() noexcept {
+  // 1/sqrt(a - d) = 1/sqrt(-1 - d); the non-negative root.
+  static const Fe25519 v = [] {
+    const auto r =
+        sqrt_ratio_m1(Fe25519::one(), -Fe25519::one() - Fe25519::edwards_d());
+    assert(r.was_square);
+    return r.root;
+  }();
+  return v;
+}
+
+}  // namespace
+
+RistrettoPoint::RistrettoPoint() noexcept
+    : x_(Fe25519::zero()),
+      y_(Fe25519::one()),
+      z_(Fe25519::one()),
+      t_(Fe25519::zero()) {}
+
+const RistrettoPoint& RistrettoPoint::identity() noexcept {
+  static const RistrettoPoint p;
+  return p;
+}
+
+const RistrettoPoint& RistrettoPoint::base() noexcept {
+  static const RistrettoPoint p = [] {
+    // The ed25519 base point: y = 4/5, x the even root of
+    // (y^2 - 1) / (d*y^2 + 1).
+    const Fe25519 y = Fe25519::from_u64(4) * Fe25519::from_u64(5).invert();
+    const Fe25519 y_sq = y.square();
+    const auto r = sqrt_ratio_m1(y_sq - Fe25519::one(),
+                                 Fe25519::edwards_d() * y_sq + Fe25519::one());
+    assert(r.was_square);
+    const Fe25519 x = r.root;  // non-negative == even lsb, matching ed25519 B
+    return RistrettoPoint(x, y, Fe25519::one(), x * y);
+  }();
+  return p;
+}
+
+std::optional<RistrettoPoint> RistrettoPoint::decode(
+    const Encoding& bytes) noexcept {
+  const Fe25519 s = Fe25519::from_bytes(bytes);
+  // Canonical encoding and non-negative s are both required.
+  if (s.to_bytes() != bytes || s.is_negative()) return std::nullopt;
+
+  const Fe25519 ss = s.square();
+  const Fe25519 u1 = Fe25519::one() - ss;
+  const Fe25519 u2 = Fe25519::one() + ss;
+  const Fe25519 u2_sqr = u2.square();
+  const Fe25519 v = -(Fe25519::edwards_d() * u1.square()) - u2_sqr;
+
+  const auto inv = sqrt_ratio_m1(Fe25519::one(), v * u2_sqr);
+  const Fe25519 den_x = inv.root * u2;
+  const Fe25519 den_y = inv.root * den_x * v;
+
+  const Fe25519 x = ((s + s) * den_x).abs();
+  const Fe25519 y = u1 * den_y;
+  const Fe25519 t = x * y;
+
+  if (!inv.was_square || t.is_negative() || y.is_zero()) return std::nullopt;
+  return RistrettoPoint(x, y, Fe25519::one(), t);
+}
+
+RistrettoPoint::Encoding RistrettoPoint::encode() const noexcept {
+  const Fe25519 u1 = (z_ + y_) * (z_ - y_);
+  const Fe25519 u2 = x_ * y_;
+
+  const auto inv = sqrt_ratio_m1(Fe25519::one(), u1 * u2.square());
+  const Fe25519 den1 = inv.root * u1;
+  const Fe25519 den2 = inv.root * u2;
+  const Fe25519 z_inv = den1 * den2 * t_;
+
+  const Fe25519 ix = x_ * Fe25519::sqrt_m1();
+  const Fe25519 iy = y_ * Fe25519::sqrt_m1();
+  const Fe25519 enchanted_den = den1 * invsqrt_a_minus_d();
+
+  const bool rotate = (t_ * z_inv).is_negative();
+  const Fe25519 x = Fe25519::select(rotate, iy, x_);
+  Fe25519 y = Fe25519::select(rotate, ix, y_);
+  const Fe25519 den_inv = Fe25519::select(rotate, enchanted_den, den2);
+
+  if ((x * z_inv).is_negative()) y = -y;
+  return (den_inv * (z_ - y)).abs().to_bytes();
+}
+
+RistrettoPoint RistrettoPoint::elligator_map(const Fe25519& t) noexcept {
+  const Fe25519& d = Fe25519::edwards_d();
+  const Fe25519 r = Fe25519::sqrt_m1() * t.square();
+  const Fe25519 u = (r + Fe25519::one()) * one_minus_d_sq();
+  const Fe25519 v = (-Fe25519::one() - r * d) * (r + d);
+
+  const auto sq = sqrt_ratio_m1(u, v);
+  Fe25519 s = sq.root;
+  const Fe25519 s_prime = -(s * t).abs();
+  if (!sq.was_square) s = s_prime;
+  const Fe25519 c = sq.was_square ? -Fe25519::one() : r;
+
+  const Fe25519 n = c * (r - Fe25519::one()) * d_minus_one_sq() - v;
+  const Fe25519 s_sq = s.square();
+
+  const Fe25519 w0 = (s + s) * v;
+  const Fe25519 w1 = n * sqrt_ad_minus_one();
+  const Fe25519 w2 = Fe25519::one() - s_sq;
+  const Fe25519 w3 = Fe25519::one() + s_sq;
+
+  return RistrettoPoint(w0 * w3, w2 * w1, w1 * w3, w0 * w2);
+}
+
+RistrettoPoint RistrettoPoint::from_uniform_bytes(
+    const std::array<std::uint8_t, 64>& bytes) noexcept {
+  std::array<std::uint8_t, 32> half;
+  std::copy(bytes.begin(), bytes.begin() + 32, half.begin());
+  const RistrettoPoint p1 = elligator_map(Fe25519::from_bytes(half));
+  std::copy(bytes.begin() + 32, bytes.end(), half.begin());
+  const RistrettoPoint p2 = elligator_map(Fe25519::from_bytes(half));
+  return p1 + p2;
+}
+
+RistrettoPoint RistrettoPoint::hash_to_group(
+    ByteView data, std::string_view domain_sep) noexcept {
+  hash::Sha512 h;
+  h.update(domain_sep).update(data);
+  return from_uniform_bytes(h.finalize());
+}
+
+RistrettoPoint RistrettoPoint::operator+(const RistrettoPoint& o) const noexcept {
+  // Unified addition in extended coordinates (add-2008-hwcd-3, a = -1).
+  static const Fe25519 two_d = Fe25519::edwards_d() + Fe25519::edwards_d();
+
+  const Fe25519 a = (y_ - x_) * (o.y_ - o.x_);
+  const Fe25519 b = (y_ + x_) * (o.y_ + o.x_);
+  const Fe25519 c = t_ * two_d * o.t_;
+  const Fe25519 d = (z_ + z_) * o.z_;
+  const Fe25519 e = b - a;
+  const Fe25519 f = d - c;
+  const Fe25519 g = d + c;
+  const Fe25519 h = b + a;
+  return RistrettoPoint(e * f, g * h, f * g, e * h);
+}
+
+RistrettoPoint RistrettoPoint::dbl() const noexcept {
+  // dbl-2008-hwcd, a = -1.
+  const Fe25519 a = x_.square();
+  const Fe25519 b = y_.square();
+  const Fe25519 c = z_.square() + z_.square();
+  const Fe25519 d = -a;
+  const Fe25519 e = (x_ + y_).square() - a - b;
+  const Fe25519 g = d + b;
+  const Fe25519 f = g - c;
+  const Fe25519 h = d - b;
+  return RistrettoPoint(e * f, g * h, f * g, e * h);
+}
+
+RistrettoPoint RistrettoPoint::operator-() const noexcept {
+  return RistrettoPoint(-x_, y_, z_, -t_);
+}
+
+RistrettoPoint RistrettoPoint::operator-(const RistrettoPoint& o) const noexcept {
+  return *this + (-o);
+}
+
+RistrettoPoint RistrettoPoint::operator*(const Scalar& s) const noexcept {
+  // 4-bit fixed-window left-to-right: table[i] = i * P.
+  RistrettoPoint table[16];
+  table[0] = identity();
+  table[1] = *this;
+  for (int i = 2; i < 16; ++i) table[i] = table[i - 1] + *this;
+
+  const auto bytes = s.to_bytes();
+  RistrettoPoint acc = identity();
+  for (int i = 31; i >= 0; --i) {
+    const std::uint8_t byte = bytes[static_cast<std::size_t>(i)];
+    acc = acc.dbl().dbl().dbl().dbl();
+    acc = acc + table[byte >> 4];
+    acc = acc.dbl().dbl().dbl().dbl();
+    acc = acc + table[byte & 0x0f];
+  }
+  return acc;
+}
+
+bool RistrettoPoint::operator==(const RistrettoPoint& o) const noexcept {
+  // Ristretto equality: x1*y2 == y1*x2 or y1*y2 == x1*x2.
+  return (x_ * o.y_ == y_ * o.x_) || (y_ * o.y_ == x_ * o.x_);
+}
+
+RistrettoPoint RistrettoPoint::multiscalar_mul(
+    const std::vector<Scalar>& scalars,
+    const std::vector<RistrettoPoint>& points) {
+  if (scalars.size() != points.size()) {
+    throw std::invalid_argument("multiscalar_mul: size mismatch");
+  }
+  // Shared-doubling (interleaved) evaluation: one doubling chain for all
+  // terms instead of one per term.
+  std::vector<std::array<RistrettoPoint, 16>> tables(points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    tables[k][0] = identity();
+    tables[k][1] = points[k];
+    for (int i = 2; i < 16; ++i) tables[k][i] = tables[k][i - 1] + points[k];
+  }
+  std::vector<std::array<std::uint8_t, 32>> bytes(scalars.size());
+  for (std::size_t k = 0; k < scalars.size(); ++k) bytes[k] = scalars[k].to_bytes();
+
+  RistrettoPoint acc = identity();
+  for (int i = 31; i >= 0; --i) {
+    for (int half = 1; half >= 0; --half) {  // high nibble first
+      acc = acc.dbl().dbl().dbl().dbl();
+      for (std::size_t k = 0; k < scalars.size(); ++k) {
+        const std::uint8_t byte = bytes[k][static_cast<std::size_t>(i)];
+        const std::uint8_t nibble = half ? byte >> 4 : byte & 0x0f;
+        if (nibble != 0) acc = acc + tables[k][nibble];
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace cbl::ec

@@ -1,0 +1,83 @@
+// The Ristretto255 prime-order group (draft-irtf-cfrg-ristretto255) built
+// on twisted Edwards25519 extended coordinates. This is "the group G" of
+// the paper: the OPRF runs over it, Pedersen commitments / NIZKs / VRF
+// all use its elements, and its 32-byte canonical encodings are the wire
+// format everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ec/fe25519.h"
+#include "ec/scalar.h"
+
+namespace cbl::ec {
+
+class RistrettoPoint {
+ public:
+  using Encoding = std::array<std::uint8_t, 32>;
+
+  /// The identity element.
+  RistrettoPoint() noexcept;
+
+  /// The canonical base point (the ed25519 base point's coset).
+  static const RistrettoPoint& base() noexcept;
+
+  static const RistrettoPoint& identity() noexcept;
+
+  /// Decodes a canonical 32-byte encoding; nullopt for invalid encodings
+  /// (non-canonical field element, negative s, non-square, y = 0).
+  static std::optional<RistrettoPoint> decode(const Encoding& bytes) noexcept;
+
+  /// Canonical 32-byte encoding.
+  Encoding encode() const noexcept;
+
+  /// Maps 64 uniformly random bytes to a group element (two Elligator2
+  /// invocations, summed) — the "hash to group" used to build the random
+  /// oracle H: {0,1}* -> G of Fig. 2.
+  static RistrettoPoint from_uniform_bytes(
+      const std::array<std::uint8_t, 64>& bytes) noexcept;
+
+  /// H(domain_sep || data): SHA-512 then from_uniform_bytes.
+  static RistrettoPoint hash_to_group(ByteView data,
+                                      std::string_view domain_sep) noexcept;
+
+  RistrettoPoint operator+(const RistrettoPoint& o) const noexcept;
+  RistrettoPoint operator-(const RistrettoPoint& o) const noexcept;
+  RistrettoPoint operator-() const noexcept;
+
+  /// Scalar multiplication (4-bit fixed window; variable time — this
+  /// library is a research artifact, see SECURITY note in README).
+  RistrettoPoint operator*(const Scalar& s) const noexcept;
+
+  /// Group equality (encoding-independent, per the ristretto spec).
+  bool operator==(const RistrettoPoint& o) const noexcept;
+
+  bool is_identity() const noexcept { return *this == identity(); }
+
+  /// sum(scalars[i] * points[i]); sizes must match.
+  static RistrettoPoint multiscalar_mul(
+      const std::vector<Scalar>& scalars,
+      const std::vector<RistrettoPoint>& points);
+
+ private:
+  RistrettoPoint(const Fe25519& x, const Fe25519& y, const Fe25519& z,
+                 const Fe25519& t) noexcept
+      : x_(x), y_(y), z_(z), t_(t) {}
+
+  static RistrettoPoint elligator_map(const Fe25519& t) noexcept;
+  RistrettoPoint dbl() const noexcept;
+
+  // Extended twisted Edwards coordinates (X : Y : Z : T), x = X/Z,
+  // y = Y/Z, T = XY/Z.
+  Fe25519 x_, y_, z_, t_;
+};
+
+inline RistrettoPoint operator*(const Scalar& s, const RistrettoPoint& p) noexcept {
+  return p * s;
+}
+
+}  // namespace cbl::ec

@@ -1,0 +1,239 @@
+#include "ec/scalar.h"
+
+namespace cbl::ec {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// l = 2^252 + 27742317777372353535851937790883648493.
+constexpr std::array<u64, 4> kL = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                                   0x0000000000000000ULL, 0x1000000000000000ULL};
+
+// -l^{-1} mod 2^64, derived by Newton iteration at startup.
+u64 mont_inv_factor() noexcept {
+  u64 x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - kL[0] * x;  // x = l0^{-1} mod 2^64
+  return ~x + 1;                                   // -x
+}
+
+// a + b with carry out; a - b with borrow out.
+inline u64 adc(u64 a, u64 b, u64& carry) noexcept {
+  const u128 t = static_cast<u128>(a) + b + carry;
+  carry = static_cast<u64>(t >> 64);
+  return static_cast<u64>(t);
+}
+
+inline u64 sbb(u64 a, u64 b, u64& borrow) noexcept {
+  const u128 t = static_cast<u128>(a) - b - borrow;
+  borrow = static_cast<u64>(t >> 64) & 1;
+  return static_cast<u64>(t);
+}
+
+// true iff a >= l.
+bool geq_l(const std::array<u64, 4>& a) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (a[static_cast<std::size_t>(i)] != kL[static_cast<std::size_t>(i)]) {
+      return a[static_cast<std::size_t>(i)] > kL[static_cast<std::size_t>(i)];
+    }
+  }
+  return true;
+}
+
+void sub_l(std::array<u64, 4>& a) noexcept {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) a[static_cast<std::size_t>(i)] =
+      sbb(a[static_cast<std::size_t>(i)], kL[static_cast<std::size_t>(i)], borrow);
+}
+
+// Montgomery product: a * b * 2^{-256} mod l (CIOS), inputs < l.
+std::array<u64, 4> mont_mul(const std::array<u64, 4>& a,
+                            const std::array<u64, 4>& b) noexcept {
+  static const u64 kInv = mont_inv_factor();
+  u64 t[6] = {0, 0, 0, 0, 0, 0};
+
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 prod = static_cast<u128>(a[static_cast<std::size_t>(i)]) *
+                            b[static_cast<std::size_t>(j)] +
+                        t[j] + carry;
+      t[j] = static_cast<u64>(prod);
+      carry = static_cast<u64>(prod >> 64);
+    }
+    u64 c2 = 0;
+    t[4] = adc(t[4], carry, c2);
+    t[5] = c2;
+
+    const u64 m = t[0] * kInv;
+    carry = 0;
+    {
+      const u128 prod = static_cast<u128>(m) * kL[0] + t[0];
+      carry = static_cast<u64>(prod >> 64);
+    }
+    for (int j = 1; j < 4; ++j) {
+      const u128 prod =
+          static_cast<u128>(m) * kL[static_cast<std::size_t>(j)] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(prod);
+      carry = static_cast<u64>(prod >> 64);
+    }
+    c2 = 0;
+    t[3] = adc(t[4], carry, c2);
+    t[4] = t[5] + c2;
+    t[5] = 0;
+  }
+
+  std::array<u64, 4> r = {t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || geq_l(r)) sub_l(r);
+  return r;
+}
+
+// 2^256 mod l and 2^512 mod l, bootstrapped by repeated modular doubling.
+std::array<u64, 4> pow2_mod_l(int exponent) noexcept {
+  std::array<u64, 4> r = {1, 0, 0, 0};
+  for (int i = 0; i < exponent; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) r[static_cast<std::size_t>(j)] =
+        adc(r[static_cast<std::size_t>(j)], r[static_cast<std::size_t>(j)], carry);
+    if (carry != 0 || geq_l(r)) sub_l(r);
+  }
+  return r;
+}
+
+const std::array<u64, 4>& r2_mod_l() noexcept {
+  static const std::array<u64, 4> v = pow2_mod_l(512);
+  return v;
+}
+
+}  // namespace
+
+Scalar Scalar::from_u64(u64 v) noexcept {
+  Scalar s;
+  s.limbs_ = {v, 0, 0, 0};
+  return s;
+}
+
+const Scalar& Scalar::zero() noexcept {
+  static const Scalar s;
+  return s;
+}
+
+const Scalar& Scalar::one() noexcept {
+  static const Scalar s = from_u64(1);
+  return s;
+}
+
+std::optional<Scalar> Scalar::from_canonical_bytes(
+    const std::array<std::uint8_t, 32>& bytes) noexcept {
+  Scalar s;
+  for (int i = 0; i < 4; ++i) {
+    s.limbs_[static_cast<std::size_t>(i)] = load_le64(bytes.data() + 8 * i);
+  }
+  if (geq_l(s.limbs_)) return std::nullopt;
+  return s;
+}
+
+Scalar Scalar::from_bytes_mod_order(
+    const std::array<std::uint8_t, 32>& bytes) noexcept {
+  std::array<std::uint8_t, 64> wide{};
+  std::copy(bytes.begin(), bytes.end(), wide.begin());
+  return from_bytes_wide(wide);
+}
+
+Scalar Scalar::from_bytes_wide(
+    const std::array<std::uint8_t, 64>& bytes) noexcept {
+  // Binary reduction: r = sum bits, msb first, r = 2r + bit (mod l).
+  // ~1k word additions; simple and obviously correct.
+  std::array<u64, 4> r = {0, 0, 0, 0};
+  for (int byte = 63; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      u64 carry = 0;
+      for (int j = 0; j < 4; ++j) r[static_cast<std::size_t>(j)] =
+          adc(r[static_cast<std::size_t>(j)], r[static_cast<std::size_t>(j)], carry);
+      if (carry != 0 || geq_l(r)) sub_l(r);
+      if ((bytes[static_cast<std::size_t>(byte)] >> bit) & 1) {
+        u64 c = 1;
+        for (int j = 0; j < 4 && c != 0; ++j) {
+          r[static_cast<std::size_t>(j)] =
+              adc(r[static_cast<std::size_t>(j)], 0, c);
+        }
+        if (geq_l(r)) sub_l(r);
+      }
+    }
+  }
+  Scalar s;
+  s.limbs_ = r;
+  return s;
+}
+
+Scalar Scalar::random(Rng& rng) {
+  std::array<std::uint8_t, 64> wide;
+  rng.fill(wide.data(), wide.size());
+  return from_bytes_wide(wide);
+}
+
+std::array<std::uint8_t, 32> Scalar::to_bytes() const noexcept {
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 4; ++i) {
+    store_le64(out.data() + 8 * i, limbs_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Scalar Scalar::operator+(const Scalar& o) const noexcept {
+  Scalar r;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limbs_[static_cast<std::size_t>(i)] =
+        adc(limbs_[static_cast<std::size_t>(i)],
+            o.limbs_[static_cast<std::size_t>(i)], carry);
+  }
+  if (carry != 0 || geq_l(r.limbs_)) sub_l(r.limbs_);
+  return r;
+}
+
+Scalar Scalar::operator-(const Scalar& o) const noexcept {
+  Scalar r;
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limbs_[static_cast<std::size_t>(i)] =
+        sbb(limbs_[static_cast<std::size_t>(i)],
+            o.limbs_[static_cast<std::size_t>(i)], borrow);
+  }
+  if (borrow != 0) {
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      r.limbs_[static_cast<std::size_t>(i)] =
+          adc(r.limbs_[static_cast<std::size_t>(i)],
+              kL[static_cast<std::size_t>(i)], carry);
+    }
+  }
+  return r;
+}
+
+Scalar Scalar::operator-() const noexcept { return zero() - *this; }
+
+Scalar Scalar::operator*(const Scalar& o) const noexcept {
+  // ab = REDC(REDC(a*b) * R^2): two Montgomery products keep the external
+  // representation plain.
+  Scalar r;
+  r.limbs_ = mont_mul(mont_mul(limbs_, o.limbs_), r2_mod_l());
+  return r;
+}
+
+Scalar Scalar::invert() const noexcept {
+  // Fermat: x^(l-2). Exponent bits taken from l with 2 subtracted.
+  std::array<u64, 4> e = kL;
+  e[0] -= 2;  // l is odd with low limb ...ed, no borrow
+  Scalar result = one();
+  for (int bit = 255; bit >= 0; --bit) {
+    result = result * result;
+    if ((e[static_cast<std::size_t>(bit / 64)] >> (bit % 64)) & 1) {
+      result = result * *this;
+    }
+  }
+  return result;
+}
+
+}  // namespace cbl::ec

@@ -1,0 +1,31 @@
+#include "game/dos_economics.h"
+
+namespace cbl::game {
+
+DosReport analyze_dos(const DosParams& params) {
+  DosReport report;
+  report.cost_asymmetry =
+      params.attacker_us_per_query / params.server_us_per_query;
+  report.attacker_flood_rate = static_cast<double>(params.attacker_cores) *
+                               1e6 / params.attacker_us_per_query;
+  report.server_capacity = static_cast<double>(params.server_cores) * 1e6 /
+                           params.server_us_per_query;
+  // Each attacker core mints 1e6/attacker_us q/s; each server core absorbs
+  // 1e6/server_us q/s; saturation needs the ratio of the two.
+  report.cores_to_saturate = static_cast<double>(params.server_cores) *
+                             params.attacker_us_per_query /
+                             params.server_us_per_query;
+  report.defence_holds = report.attacker_flood_rate < report.server_capacity;
+  return report;
+}
+
+double required_slowdown(double attacker_fast_us, double server_us,
+                         unsigned attacker_cores, unsigned server_cores) {
+  // Need attacker_cores * 1e6 / (fast_us * slowdown) < server_cores * 1e6
+  // / server_us, i.e. slowdown > (attacker_cores * server_us) /
+  // (server_cores * fast_us).
+  return static_cast<double>(attacker_cores) * server_us /
+         (static_cast<double>(server_cores) * attacker_fast_us);
+}
+
+}  // namespace cbl::game

@@ -1,0 +1,49 @@
+// Economics of the slow-oracle DoS defence (Section IV-B remarks):
+// a bogus query costs the ATTACKER one Argon2id evaluation, while the
+// SERVER answers with one cheap scalar multiplication — "server
+// responses should not require a significant amount of computation
+// compared to requests made by clients". These helpers turn measured
+// per-operation costs into the asymmetry ratio and the flood rates each
+// side can sustain, the quantities that decide whether the defence
+// holds.
+#pragma once
+
+#include <cstdint>
+
+namespace cbl::game {
+
+struct DosParams {
+  /// Attacker-side cost to mint one valid-looking query (the slow oracle
+  /// H plus blinding), in CPU-microseconds per query.
+  double attacker_us_per_query = 6'000;
+  /// Server-side cost to answer one query (one exponentiation + bucket
+  /// lookup), in CPU-microseconds.
+  double server_us_per_query = 100;
+  /// Cores each side can bring to bear.
+  unsigned attacker_cores = 1'000;  // a botnet
+  unsigned server_cores = 8;
+};
+
+struct DosReport {
+  /// attacker_us / server_us: how much more the flood costs its sender
+  /// than its victim, per query.
+  double cost_asymmetry = 0;
+  /// Queries/sec the attacker can mint with its cores.
+  double attacker_flood_rate = 0;
+  /// Queries/sec the server can absorb with its cores.
+  double server_capacity = 0;
+  /// attacker cores required to saturate this server.
+  double cores_to_saturate = 0;
+  /// True if the attacker's entire fleet cannot saturate the server.
+  bool defence_holds = false;
+};
+
+DosReport analyze_dos(const DosParams& params);
+
+/// The oracle slowdown factor (slow/fast cost ratio) needed so that an
+/// attacker with `attacker_cores` cannot saturate a server with
+/// `server_cores`, given the fast-oracle costs of both sides.
+double required_slowdown(double attacker_fast_us, double server_us,
+                         unsigned attacker_cores, unsigned server_cores);
+
+}  // namespace cbl::game

@@ -1,0 +1,71 @@
+#include "game/game.h"
+
+#include <stdexcept>
+
+namespace cbl::game {
+
+bool oracle_fair(const ProtectionMethod& psi, std::uint64_t n) {
+  return n < psi.k_star;
+}
+
+double society_utility(const GameParams& params, const ProtectionMethod& psi,
+                       std::uint64_t n) {
+  const double value = oracle_fair(psi, n)
+                           ? params.society_value_fair
+                           : params.society_value_fair -
+                                 params.society_loss_if_biased;
+  return value - psi.cost_to_society;
+}
+
+double coercer_utility(const GameParams& params, const ProtectionMethod& psi,
+                       std::uint64_t n) {
+  const double value = oracle_fair(psi, n)
+                           ? params.coercer_value_favoured -
+                                 params.coercer_loss_otherwise
+                           : params.coercer_value_favoured;
+  return value - static_cast<double>(n) * psi.coercion_cost_per_shareholder;
+}
+
+std::uint64_t coercer_best_response(const GameParams& params,
+                                    const ProtectionMethod& psi) {
+  std::uint64_t best_n = 0;
+  double best_u = coercer_utility(params, psi, 0);
+  for (std::uint64_t n = 1; n <= params.max_coercible; ++n) {
+    const double u = coercer_utility(params, psi, n);
+    if (u > best_u) {
+      best_u = u;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+bool coercion_deterred(const GameParams& params, const ProtectionMethod& psi) {
+  // c_A - C_A(psi) * k* <= c_A - eps_A  <=>  C_A(psi) * k* >= eps_A.
+  return psi.coercion_cost_per_shareholder *
+             static_cast<double>(psi.k_star) >=
+         params.coercer_loss_otherwise;
+}
+
+StackelbergSolution solve_stackelberg(
+    const GameParams& params, const std::vector<ProtectionMethod>& methods) {
+  if (methods.empty()) {
+    throw std::invalid_argument("solve_stackelberg: no methods");
+  }
+  StackelbergSolution best;
+  bool first = true;
+  for (std::size_t j = 0; j < methods.size(); ++j) {
+    const std::uint64_t n = coercer_best_response(params, methods[j]);
+    const double u_m = society_utility(params, methods[j], n);
+    if (first || u_m > best.society_utility) {
+      first = false;
+      best.method_index = j;
+      best.coercer_response = n;
+      best.society_utility = u_m;
+      best.coercer_utility = coercer_utility(params, methods[j], n);
+    }
+  }
+  return best;
+}
+
+}  // namespace cbl::game

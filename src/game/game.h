@@ -1,0 +1,67 @@
+// The strategic game of Section V-E: society M (choosing a protection
+// method psi_j) versus coercers A (choosing how many shareholders n to
+// coerce). Utilities follow the paper:
+//   U_M(psi, n) = V_M(Oracle(psi, n)) - C_M(psi)
+//   U_A(psi, n) = V_A(Oracle(psi, n)) - n * C_A(psi)
+// where Oracle outputs a fairly-derived result unless A coerces at least
+// k* shareholders (k* itself depends on psi through pool dilution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbl::game {
+
+/// A protection method psi_j available to the society.
+struct ProtectionMethod {
+  std::string name;
+  /// Implementation cost C_M(psi_j) to the society.
+  double cost_to_society = 0.0;
+  /// Per-shareholder coercion cost C_A(psi_j) this method imposes on A.
+  double coercion_cost_per_shareholder = 1.0;
+  /// Minimum number of shareholders A must coerce under this method to
+  /// flip the outcome (k*, inflated by anonymity / pool dilution).
+  std::uint64_t k_star = 1;
+};
+
+struct GameParams {
+  double society_value_fair = 100.0;       // c_M
+  double society_loss_if_biased = 60.0;    // eps_M
+  double coercer_value_favoured = 40.0;    // c_A
+  double coercer_loss_otherwise = 40.0;    // eps_A
+  std::uint64_t max_coercible = 15;        // upper bound of Sigma_A
+};
+
+/// Oracle(psi, n): true iff the evaluation outcome is fairly derived.
+bool oracle_fair(const ProtectionMethod& psi, std::uint64_t n);
+
+double society_utility(const GameParams& params, const ProtectionMethod& psi,
+                       std::uint64_t n);
+double coercer_utility(const GameParams& params, const ProtectionMethod& psi,
+                       std::uint64_t n);
+
+/// A's best response to psi. Per the paper's analysis only n = 0 and
+/// n = k* are undominated; this computes the argmax over the full range
+/// as a check of that claim (ties break toward not coercing).
+std::uint64_t coercer_best_response(const GameParams& params,
+                                    const ProtectionMethod& psi);
+
+/// True iff rational A is deterred: U_A(psi, k*) <= U_A(psi, 0), i.e.
+/// c_A - C_A(psi) * k* <= c_A - eps_A.
+bool coercion_deterred(const GameParams& params, const ProtectionMethod& psi);
+
+struct StackelbergSolution {
+  std::size_t method_index = 0;
+  std::uint64_t coercer_response = 0;
+  double society_utility = 0;
+  double coercer_utility = 0;
+};
+
+/// The leader M commits to the psi maximizing U_M given that A
+/// best-responds (the Stackelberg equilibrium of the paper's
+/// Implications paragraph).
+StackelbergSolution solve_stackelberg(const GameParams& params,
+                                      const std::vector<ProtectionMethod>& methods);
+
+}  // namespace cbl::game

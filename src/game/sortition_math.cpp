@@ -1,0 +1,62 @@
+#include "game/sortition_math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cbl::game {
+
+namespace {
+
+// log(n choose k) via lgamma, stable for large arguments.
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+}  // namespace
+
+double hypergeometric_pmf(std::uint64_t pool, std::uint64_t controlled,
+                          std::uint64_t seats, std::uint64_t k) {
+  if (controlled > pool || seats > pool) return 0.0;
+  if (k > controlled || k > seats) return 0.0;
+  if (seats - k > pool - controlled) return 0.0;
+  const double log_p = log_choose(controlled, k) +
+                       log_choose(pool - controlled, seats - k) -
+                       log_choose(pool, seats);
+  return std::exp(log_p);
+}
+
+double hypergeometric_tail(std::uint64_t pool, std::uint64_t controlled,
+                           std::uint64_t seats, std::uint64_t k) {
+  double tail = 0.0;
+  const std::uint64_t upper = std::min(controlled, seats);
+  for (std::uint64_t i = k; i <= upper; ++i) {
+    tail += hypergeometric_pmf(pool, controlled, seats, i);
+  }
+  return std::min(1.0, tail);
+}
+
+double majority_capture_probability(std::uint64_t pool,
+                                    std::uint64_t controlled,
+                                    std::uint64_t seats) {
+  const std::uint64_t majority = seats / 2 + 1;
+  return hypergeometric_tail(pool, controlled, seats, majority);
+}
+
+std::uint64_t min_controlled_for_capture(std::uint64_t pool,
+                                         std::uint64_t seats, double target) {
+  for (std::uint64_t c = 0; c <= pool; ++c) {
+    if (majority_capture_probability(pool, c, seats) >= target) return c;
+  }
+  return pool + 1;
+}
+
+std::uint64_t effective_k_star(std::uint64_t pool, std::uint64_t seats,
+                               double target) {
+  return min_controlled_for_capture(pool, seats, target);
+}
+
+}  // namespace cbl::game

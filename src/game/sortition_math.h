@@ -1,0 +1,38 @@
+// Quantifies the pool-dilution defence: with VRF sortition picking N
+// committee seats uniformly from a pool of P registered candidates, a
+// coercer controlling c candidates captures a Hypergeometric(P, c, N)
+// number of seats. These helpers compute how many candidates A must
+// control for a majority capture — the k*-inflation that feeds the
+// Section V-E game.
+#pragma once
+
+#include <cstdint>
+
+namespace cbl::game {
+
+/// P(X = k) for X ~ Hypergeometric(pool, controlled, seats).
+double hypergeometric_pmf(std::uint64_t pool, std::uint64_t controlled,
+                          std::uint64_t seats, std::uint64_t k);
+
+/// P(X >= k).
+double hypergeometric_tail(std::uint64_t pool, std::uint64_t controlled,
+                           std::uint64_t seats, std::uint64_t k);
+
+/// Probability that a coercer controlling `controlled` of `pool`
+/// candidates captures a strict majority of an N-seat committee.
+double majority_capture_probability(std::uint64_t pool,
+                                    std::uint64_t controlled,
+                                    std::uint64_t seats);
+
+/// Minimum number of candidates A must control so that the majority-
+/// capture probability reaches `target` (returns pool+1 if unreachable).
+std::uint64_t min_controlled_for_capture(std::uint64_t pool,
+                                         std::uint64_t seats, double target);
+
+/// Effective k* under sortition: without dilution A coerces
+/// ceil((seats+1)/2) seated voters; with dilution it must control
+/// min_controlled_for_capture(pool, seats, target) pool members.
+std::uint64_t effective_k_star(std::uint64_t pool, std::uint64_t seats,
+                               double target);
+
+}  // namespace cbl::game

@@ -1,0 +1,295 @@
+#include "hash/argon2.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "hash/blake2b.h"
+
+namespace cbl::hash {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 0x13;
+constexpr std::uint32_t kTypeId = 2;  // Argon2id
+constexpr std::uint32_t kSyncPoints = 4;
+constexpr std::size_t kBlockWords = 128;  // 1024 bytes
+
+struct Block {
+  std::uint64_t w[kBlockWords];
+
+  void operator^=(const Block& other) noexcept {
+    for (std::size_t i = 0; i < kBlockWords; ++i) w[i] ^= other.w[i];
+  }
+};
+
+void le32(Bytes& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  store_le32(b, v);
+  append(out, ByteView(b, 4));
+}
+
+// BlaMka mixing function: BLAKE2b's G with the extra 32x32->64
+// multiplication that gives Argon2 its compute hardness.
+inline void gb(std::uint64_t& a, std::uint64_t& b, std::uint64_t& c,
+               std::uint64_t& d) noexcept {
+  auto mul = [](std::uint64_t x, std::uint64_t y) noexcept {
+    return 2 * (x & 0xffffffffULL) * (y & 0xffffffffULL);
+  };
+  a = a + b + mul(a, b);
+  d = std::rotr(d ^ a, 32);
+  c = c + d + mul(c, d);
+  b = std::rotr(b ^ c, 24);
+  a = a + b + mul(a, b);
+  d = std::rotr(d ^ a, 16);
+  c = c + d + mul(c, d);
+  b = std::rotr(b ^ c, 63);
+}
+
+// The permutation P over 16 64-bit words.
+inline void permute(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                    std::uint64_t& v3, std::uint64_t& v4, std::uint64_t& v5,
+                    std::uint64_t& v6, std::uint64_t& v7, std::uint64_t& v8,
+                    std::uint64_t& v9, std::uint64_t& v10, std::uint64_t& v11,
+                    std::uint64_t& v12, std::uint64_t& v13, std::uint64_t& v14,
+                    std::uint64_t& v15) noexcept {
+  gb(v0, v4, v8, v12);
+  gb(v1, v5, v9, v13);
+  gb(v2, v6, v10, v14);
+  gb(v3, v7, v11, v15);
+  gb(v0, v5, v10, v15);
+  gb(v1, v6, v11, v12);
+  gb(v2, v7, v8, v13);
+  gb(v3, v4, v9, v14);
+}
+
+// Compression function G(X, Y) from RFC 9106 §3.5.
+void compress(const Block& x, const Block& y, Block& out) noexcept {
+  Block r;
+  for (std::size_t i = 0; i < kBlockWords; ++i) r.w[i] = x.w[i] ^ y.w[i];
+  Block z = r;
+
+  // Rowwise: 8 rows of 16 words.
+  for (int row = 0; row < 8; ++row) {
+    std::uint64_t* v = z.w + 16 * row;
+    permute(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8], v[9], v[10],
+            v[11], v[12], v[13], v[14], v[15]);
+  }
+  // Columnwise: 8 columns of 16 words taken as u64 pairs.
+  for (int col = 0; col < 8; ++col) {
+    std::uint64_t* v = z.w;
+    const int b = 2 * col;
+    permute(v[b], v[b + 1], v[b + 16], v[b + 17], v[b + 32], v[b + 33],
+            v[b + 48], v[b + 49], v[b + 64], v[b + 65], v[b + 80], v[b + 81],
+            v[b + 96], v[b + 97], v[b + 112], v[b + 113]);
+  }
+
+  for (std::size_t i = 0; i < kBlockWords; ++i) out.w[i] = z.w[i] ^ r.w[i];
+}
+
+void block_from_bytes(const Bytes& bytes, Block& b) noexcept {
+  for (std::size_t i = 0; i < kBlockWords; ++i) {
+    b.w[i] = load_le64(bytes.data() + 8 * i);
+  }
+}
+
+struct Position {
+  std::uint32_t pass, lane, slice;
+};
+
+}  // namespace
+
+Bytes argon2_hprime(ByteView input, std::uint32_t tag_length) {
+  Bytes prefixed;
+  prefixed.reserve(4 + input.size());
+  le32(prefixed, tag_length);
+  append(prefixed, input);
+
+  if (tag_length <= 64) {
+    return Blake2b::digest(ByteView(prefixed.data(), prefixed.size()),
+                           tag_length);
+  }
+  const std::uint32_t r = (tag_length + 31) / 32 - 2;
+  Bytes out;
+  out.reserve(tag_length);
+  Bytes v = Blake2b::digest(ByteView(prefixed.data(), prefixed.size()), 64);
+  out.insert(out.end(), v.begin(), v.begin() + 32);
+  for (std::uint32_t i = 1; i < r; ++i) {
+    v = Blake2b::digest(ByteView(v.data(), v.size()), 64);
+    out.insert(out.end(), v.begin(), v.begin() + 32);
+  }
+  v = Blake2b::digest(ByteView(v.data(), v.size()), tag_length - 32 * r);
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+Bytes argon2id(ByteView password, ByteView salt, const Argon2Params& params,
+               ByteView secret, ByteView associated_data) {
+  const std::uint32_t p = params.parallelism;
+  if (p == 0) throw std::invalid_argument("argon2id: parallelism must be > 0");
+  if (params.memory_kib < 8 * p) {
+    throw std::invalid_argument("argon2id: memory must be >= 8 * parallelism");
+  }
+  if (params.time_cost == 0) {
+    throw std::invalid_argument("argon2id: time cost must be > 0");
+  }
+  if (params.tag_length < 4) {
+    throw std::invalid_argument("argon2id: tag length must be >= 4");
+  }
+
+  // H0: the 64-byte seed hash over all parameters and inputs.
+  Bytes h0_input;
+  le32(h0_input, p);
+  le32(h0_input, params.tag_length);
+  le32(h0_input, params.memory_kib);
+  le32(h0_input, params.time_cost);
+  le32(h0_input, kVersion);
+  le32(h0_input, kTypeId);
+  le32(h0_input, static_cast<std::uint32_t>(password.size()));
+  append(h0_input, password);
+  le32(h0_input, static_cast<std::uint32_t>(salt.size()));
+  append(h0_input, salt);
+  le32(h0_input, static_cast<std::uint32_t>(secret.size()));
+  append(h0_input, secret);
+  le32(h0_input, static_cast<std::uint32_t>(associated_data.size()));
+  append(h0_input, associated_data);
+  const Bytes h0 = Blake2b::digest(ByteView(h0_input.data(), h0_input.size()), 64);
+
+  // Memory layout: p lanes x q columns, m' = 4p * floor(m / 4p) blocks.
+  const std::uint32_t m_prime = 4 * p * (params.memory_kib / (4 * p));
+  const std::uint32_t q = m_prime / p;           // lane length
+  const std::uint32_t seg_len = q / kSyncPoints;  // segment length
+
+  std::vector<Block> memory(m_prime);
+  auto at = [&](std::uint32_t lane, std::uint32_t col) -> Block& {
+    return memory[static_cast<std::size_t>(lane) * q + col];
+  };
+
+  // First two columns of every lane from H'.
+  for (std::uint32_t lane = 0; lane < p; ++lane) {
+    for (std::uint32_t col = 0; col < 2; ++col) {
+      Bytes seed(h0.begin(), h0.end());
+      le32(seed, col);
+      le32(seed, lane);
+      block_from_bytes(argon2_hprime(ByteView(seed.data(), seed.size()), 1024),
+                       at(lane, col));
+    }
+  }
+
+  // Data-independent (Argon2i-style) J1||J2 generator for the first half of
+  // the first pass of Argon2id.
+  struct AddressGenerator {
+    Block input{}, address{};
+    std::uint32_t next_index = 128;
+
+    AddressGenerator(const Position& pos, std::uint32_t m_prime,
+                     std::uint32_t passes) {
+      input.w[0] = pos.pass;
+      input.w[1] = pos.lane;
+      input.w[2] = pos.slice;
+      input.w[3] = m_prime;
+      input.w[4] = passes;
+      input.w[5] = kTypeId;
+      input.w[6] = 0;  // counter, incremented before each refill
+    }
+
+    std::uint64_t next() noexcept {
+      if (next_index == 128) {
+        ++input.w[6];
+        Block zero{}, tmp{};
+        compress(zero, input, tmp);
+        compress(zero, tmp, address);
+        next_index = 0;
+      }
+      return address.w[next_index++];
+    }
+  };
+
+  for (std::uint32_t pass = 0; pass < params.time_cost; ++pass) {
+    for (std::uint32_t slice = 0; slice < kSyncPoints; ++slice) {
+      for (std::uint32_t lane = 0; lane < p; ++lane) {
+        const Position pos{pass, lane, slice};
+        const bool data_independent = pass == 0 && slice < kSyncPoints / 2;
+        AddressGenerator gen(pos, m_prime, params.time_cost);
+
+        std::uint32_t start = 0;
+        if (pass == 0 && slice == 0) {
+          start = 2;  // columns 0 and 1 are seeded
+          if (data_independent) {
+            // Keep the J sequence aligned with block indices.
+            for (std::uint32_t i = 0; i < start; ++i) (void)gen.next();
+          }
+        }
+
+        for (std::uint32_t idx = start; idx < seg_len; ++idx) {
+          const std::uint32_t col = slice * seg_len + idx;
+          const std::uint32_t prev_col = col == 0 ? q - 1 : col - 1;
+
+          std::uint64_t j;
+          if (data_independent) {
+            j = gen.next();
+          } else {
+            j = at(lane, prev_col).w[0];
+          }
+          const std::uint32_t j1 = static_cast<std::uint32_t>(j);
+          const std::uint32_t j2 = static_cast<std::uint32_t>(j >> 32);
+
+          std::uint32_t ref_lane = j2 % p;
+          if (pass == 0 && slice == 0) ref_lane = lane;
+
+          // Reference area size per RFC 9106 §3.4.1.3.
+          std::uint32_t area;
+          if (pass == 0) {
+            if (slice == 0) {
+              area = idx - 1;
+            } else if (ref_lane == lane) {
+              area = slice * seg_len + idx - 1;
+            } else {
+              area = slice * seg_len - (idx == 0 ? 1 : 0);
+            }
+          } else {
+            if (ref_lane == lane) {
+              area = q - seg_len + idx - 1;
+            } else {
+              area = q - seg_len - (idx == 0 ? 1 : 0);
+            }
+          }
+
+          // Non-uniform mapping favouring recent blocks.
+          const std::uint64_t x = (static_cast<std::uint64_t>(j1) * j1) >> 32;
+          const std::uint64_t y = (static_cast<std::uint64_t>(area) * x) >> 32;
+          const std::uint32_t z = area - 1 - static_cast<std::uint32_t>(y);
+
+          std::uint32_t start_col = 0;
+          if (pass != 0) {
+            start_col = slice == kSyncPoints - 1 ? 0 : (slice + 1) * seg_len;
+          }
+          const std::uint32_t ref_col = (start_col + z) % q;
+
+          Block result;
+          compress(at(lane, prev_col), at(ref_lane, ref_col), result);
+          if (pass == 0) {
+            at(lane, col) = result;
+          } else {
+            at(lane, col) ^= result;  // version 0x13 XORs over old contents
+          }
+        }
+      }
+    }
+  }
+
+  // Final block: XOR of the last column across lanes, hashed to tag length.
+  Block final_block = at(0, q - 1);
+  for (std::uint32_t lane = 1; lane < p; ++lane) {
+    final_block ^= at(lane, q - 1);
+  }
+  Bytes final_bytes(1024);
+  for (std::size_t i = 0; i < kBlockWords; ++i) {
+    store_le64(final_bytes.data() + 8 * i, final_block.w[i]);
+  }
+  return argon2_hprime(ByteView(final_bytes.data(), final_bytes.size()),
+                       params.tag_length);
+}
+
+}  // namespace cbl::hash

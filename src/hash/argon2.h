@@ -1,0 +1,29 @@
+// Argon2id (RFC 9106, version 0x13), from scratch on top of BLAKE2b.
+// The paper instantiates its "inefficient oracle" H with Argon2id
+// (memory = 4 MiB, time cost = 3) to rate-limit bogus blocklist queries;
+// this module provides that oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cbl::hash {
+
+struct Argon2Params {
+  std::uint32_t time_cost = 3;       // passes over memory (t)
+  std::uint32_t memory_kib = 4096;   // memory in KiB (m); >= 8 * parallelism
+  std::uint32_t parallelism = 1;     // lanes (p)
+  std::uint32_t tag_length = 32;     // output bytes (T)
+};
+
+/// Computes the Argon2id tag. `secret` and `associated_data` are the
+/// optional K and X inputs of the RFC; pass empty views when unused.
+/// Throws std::invalid_argument for out-of-range parameters.
+Bytes argon2id(ByteView password, ByteView salt, const Argon2Params& params,
+               ByteView secret = {}, ByteView associated_data = {});
+
+/// The variable-length hash H' from RFC 9106 §3.3 (exposed for tests).
+Bytes argon2_hprime(ByteView input, std::uint32_t tag_length);
+
+}  // namespace cbl::hash

@@ -1,0 +1,128 @@
+#include "hash/blake2b.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace cbl::hash {
+
+namespace {
+
+constexpr std::uint64_t kIV[8] = {
+    0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL, 0x3c6ef372fe94f82bULL,
+    0xa54ff53a5f1d36f1ULL, 0x510e527fade682d1ULL, 0x9b05688c2b3e6c1fULL,
+    0x1f83d9abfb41bd6bULL, 0x5be0cd19137e2179ULL};
+
+constexpr std::uint8_t kSigma[12][16] = {
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+    {14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3},
+    {11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4},
+    {7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8},
+    {9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13},
+    {2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9},
+    {12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11},
+    {13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10},
+    {6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5},
+    {10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0},
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+    {14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3}};
+
+inline void g(std::uint64_t& a, std::uint64_t& b, std::uint64_t& c,
+              std::uint64_t& d, std::uint64_t x, std::uint64_t y) noexcept {
+  a = a + b + x;
+  d = std::rotr(d ^ a, 32);
+  c = c + d;
+  b = std::rotr(b ^ c, 24);
+  a = a + b + y;
+  d = std::rotr(d ^ a, 16);
+  c = c + d;
+  b = std::rotr(b ^ c, 63);
+}
+
+}  // namespace
+
+Blake2b::Blake2b(std::size_t digest_len, ByteView key)
+    : digest_len_(digest_len) {
+  if (digest_len == 0 || digest_len > kMaxDigestSize) {
+    throw std::invalid_argument("Blake2b: digest length must be in [1,64]");
+  }
+  if (key.size() > 64) {
+    throw std::invalid_argument("Blake2b: key too long");
+  }
+  for (int i = 0; i < 8; ++i) h_[i] = kIV[i];
+  h_[0] ^= 0x01010000ULL ^ (static_cast<std::uint64_t>(key.size()) << 8) ^
+           static_cast<std::uint64_t>(digest_len);
+  if (!key.empty()) {
+    std::uint8_t block[128] = {};
+    std::memcpy(block, key.data(), key.size());
+    update(ByteView(block, 128));
+  }
+}
+
+void Blake2b::process_block(const std::uint8_t* block, bool is_last) noexcept {
+  std::uint64_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le64(block + 8 * i);
+
+  std::uint64_t v[16];
+  for (int i = 0; i < 8; ++i) v[i] = h_[i];
+  for (int i = 0; i < 8; ++i) v[8 + i] = kIV[i];
+  v[12] ^= t_[0];
+  v[13] ^= t_[1];
+  if (is_last) v[14] = ~v[14];
+
+  for (int round = 0; round < 12; ++round) {
+    const std::uint8_t* s = kSigma[round];
+    g(v[0], v[4], v[8], v[12], m[s[0]], m[s[1]]);
+    g(v[1], v[5], v[9], v[13], m[s[2]], m[s[3]]);
+    g(v[2], v[6], v[10], v[14], m[s[4]], m[s[5]]);
+    g(v[3], v[7], v[11], v[15], m[s[6]], m[s[7]]);
+    g(v[0], v[5], v[10], v[15], m[s[8]], m[s[9]]);
+    g(v[1], v[6], v[11], v[12], m[s[10]], m[s[11]]);
+    g(v[2], v[7], v[8], v[13], m[s[12]], m[s[13]]);
+    g(v[3], v[4], v[9], v[14], m[s[14]], m[s[15]]);
+  }
+
+  for (int i = 0; i < 8; ++i) h_[i] ^= v[i] ^ v[8 + i];
+}
+
+Blake2b& Blake2b::update(ByteView data) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n > 0) {
+    // A full buffer is only compressed once we know more input follows:
+    // the final block must be flagged in finalize().
+    if (buffer_len_ == 128) {
+      t_[0] += 128;
+      if (t_[0] < 128) ++t_[1];
+      process_block(buffer_, /*is_last=*/false);
+      buffer_len_ = 0;
+    }
+    const std::size_t take = std::min(n, 128 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+  }
+  return *this;
+}
+
+Bytes Blake2b::finalize() {
+  t_[0] += buffer_len_;
+  if (t_[0] < buffer_len_) ++t_[1];
+  std::memset(buffer_ + buffer_len_, 0, 128 - buffer_len_);
+  process_block(buffer_, /*is_last=*/true);
+
+  Bytes out(digest_len_);
+  std::uint8_t full[64];
+  for (int i = 0; i < 8; ++i) store_le64(full + 8 * i, h_[i]);
+  std::memcpy(out.data(), full, digest_len_);
+  return out;
+}
+
+Bytes Blake2b::digest(ByteView data, std::size_t digest_len, ByteView key) {
+  Blake2b h(digest_len, key);
+  h.update(data);
+  return h.finalize();
+}
+
+}  // namespace cbl::hash

@@ -1,0 +1,41 @@
+// BLAKE2b (RFC 7693), from scratch. Supports variable digest length
+// (1..64) and keyed hashing. Argon2id builds its H^x hash and its block
+// compression on this primitive.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cbl::hash {
+
+class Blake2b {
+ public:
+  static constexpr std::size_t kMaxDigestSize = 64;
+
+  /// `digest_len` in [1, 64]; `key` may be empty (unkeyed) or up to 64 bytes.
+  explicit Blake2b(std::size_t digest_len = 64, ByteView key = {});
+
+  Blake2b& update(ByteView data) noexcept;
+  Blake2b& update(std::string_view data) noexcept {
+    return update(ByteView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                           data.size()));
+  }
+
+  /// Writes `digest_len` bytes into `out`.
+  Bytes finalize();
+
+  static Bytes digest(ByteView data, std::size_t digest_len = 64,
+                      ByteView key = {});
+
+ private:
+  void process_block(const std::uint8_t* block, bool is_last) noexcept;
+
+  std::uint64_t h_[8];
+  std::uint64_t t_[2] = {0, 0};
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+  std::size_t digest_len_;
+};
+
+}  // namespace cbl::hash

@@ -1,0 +1,87 @@
+#include "hash/keccak.h"
+
+#include <bit>
+#include <cstring>
+
+namespace cbl::hash {
+
+namespace {
+
+constexpr std::uint64_t kRC[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRot[24] = {1,  3,  6,  10, 15, 21, 28, 36, 45, 55, 2,  14,
+                          27, 41, 56, 8,  25, 43, 62, 18, 39, 61, 20, 44};
+constexpr int kPi[24] = {10, 7,  11, 17, 18, 3, 5,  16, 8,  21, 24, 4,
+                         15, 23, 19, 13, 12, 2, 20, 14, 22, 9,  6,  1};
+
+void keccak_f1600(std::uint64_t st[25]) noexcept {
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    std::uint64_t bc[5];
+    for (int i = 0; i < 5; ++i) {
+      bc[i] = st[i] ^ st[i + 5] ^ st[i + 10] ^ st[i + 15] ^ st[i + 20];
+    }
+    for (int i = 0; i < 5; ++i) {
+      const std::uint64_t t = bc[(i + 4) % 5] ^ std::rotl(bc[(i + 1) % 5], 1);
+      for (int j = 0; j < 25; j += 5) st[j + i] ^= t;
+    }
+    // Rho and pi.
+    std::uint64_t t = st[1];
+    for (int i = 0; i < 24; ++i) {
+      const int j = kPi[i];
+      const std::uint64_t tmp = st[j];
+      st[j] = std::rotl(t, kRot[i]);
+      t = tmp;
+    }
+    // Chi.
+    for (int j = 0; j < 25; j += 5) {
+      for (int i = 0; i < 5; ++i) bc[i] = st[j + i];
+      for (int i = 0; i < 5; ++i) {
+        st[j + i] ^= ~bc[(i + 1) % 5] & bc[(i + 2) % 5];
+      }
+    }
+    // Iota.
+    st[0] ^= kRC[round];
+  }
+}
+
+}  // namespace
+
+void Keccak256::absorb_block() noexcept {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    state_[i] ^= load_le64(buffer_ + 8 * i);
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+Keccak256& Keccak256::update(ByteView data) noexcept {
+  for (std::uint8_t b : data) {
+    buffer_[buffer_len_++] = b;
+    if (buffer_len_ == kRate) absorb_block();
+  }
+  return *this;
+}
+
+Keccak256::Digest Keccak256::finalize() noexcept {
+  // Original Keccak padding: 0x01 ... 0x80 within the rate.
+  std::memset(buffer_ + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] = 0x01;
+  buffer_[kRate - 1] |= 0x80;
+  buffer_len_ = kRate;
+  absorb_block();
+
+  Digest out;
+  for (int i = 0; i < 4; ++i) store_le64(out.data() + 8 * i, state_[i]);
+  return out;
+}
+
+}  // namespace cbl::hash

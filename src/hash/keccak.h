@@ -1,0 +1,49 @@
+// Keccak-256 (the pre-NIST-padding variant used by Ethereum), from
+// scratch. Needed to produce/validate EIP-55 checksummed Ethereum
+// addresses in the synthetic blocklist corpus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cbl::hash {
+
+class Keccak256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Keccak256() noexcept = default;
+
+  Keccak256& update(ByteView data) noexcept;
+  Keccak256& update(std::string_view data) noexcept {
+    return update(ByteView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                           data.size()));
+  }
+
+  Digest finalize() noexcept;
+
+  static Digest digest(ByteView data) noexcept {
+    Keccak256 h;
+    h.update(data);
+    return h.finalize();
+  }
+  static Digest digest(std::string_view data) noexcept {
+    Keccak256 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  static constexpr std::size_t kRate = 136;  // 1600 - 2*256 bits
+
+  void absorb_block() noexcept;
+
+  std::uint64_t state_[25] = {};
+  std::uint8_t buffer_[kRate];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace cbl::hash

@@ -1,0 +1,49 @@
+// SHA-512 (FIPS 180-4). The 64-byte digest feeds hash-to-group
+// (ristretto255 one-way map wants 64 uniform bytes) and wide scalar
+// reduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cbl::hash {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512() noexcept;
+
+  Sha512& update(ByteView data) noexcept;
+  Sha512& update(std::string_view data) noexcept {
+    return update(ByteView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                           data.size()));
+  }
+
+  Digest finalize() noexcept;
+  void reset() noexcept;
+
+  static Digest digest(ByteView data) noexcept {
+    Sha512 h;
+    h.update(data);
+    return h.finalize();
+  }
+  static Digest digest(std::string_view data) noexcept {
+    Sha512 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0;  // bytes; 2^64-byte inputs are out of scope
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace cbl::hash

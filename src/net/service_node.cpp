@@ -1,0 +1,192 @@
+#include "net/service_node.h"
+
+#include "ec/codec.h"
+
+namespace cbl::net {
+
+namespace {
+
+Bytes status_frame(Status status, ByteView body = {}) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(status));
+  append(out, body);
+  return out;
+}
+
+Bytes encode_info(const ServiceInfo& info) {
+  ec::ByteWriter w;
+  w.u32(info.lambda).u8(info.oracle_kind);
+  w.u32(info.argon2_memory_kib).u32(info.argon2_time_cost);
+  w.u64(info.epoch).u64(info.entry_count);
+  return w.take();
+}
+
+std::optional<ServiceInfo> decode_info(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    ServiceInfo info;
+    info.lambda = r.u32();
+    info.oracle_kind = r.u8();
+    info.argon2_memory_kib = r.u32();
+    info.argon2_time_cost = r.u32();
+    info.epoch = r.u64();
+    info.entry_count = r.u64();
+    r.expect_done();
+    return info;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
+                                           std::string endpoint,
+                                           oprf::OprfServer& server,
+                                           oprf::Oracle oracle)
+    : endpoint_(std::move(endpoint)), server_(server), oracle_(oracle) {
+  transport.register_endpoint(
+      endpoint_, [this](ByteView frame) { return handle_frame(frame); });
+}
+
+std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
+  if (frame.empty()) return status_frame(Status::kBadRequest);
+  const auto method = static_cast<Method>(frame[0]);
+  const ByteView body(frame.data() + 1, frame.size() - 1);
+
+  switch (method) {
+    case Method::kQuery: {
+      const auto request = oprf::parse_query_request(body);
+      if (!request) return status_frame(Status::kBadRequest);
+      try {
+        const auto response = server_.handle(*request);
+        return status_frame(Status::kOk, oprf::serialize(response));
+      } catch (const ProtocolError&) {
+        // Rate limit / auth failures surface as a distinct status so the
+        // client can back off instead of retrying.
+        return status_frame(Status::kRateLimited);
+      }
+    }
+    case Method::kPrefixList:
+      return status_frame(Status::kOk,
+                          oprf::serialize_prefix_list(server_.prefix_list()));
+    case Method::kInfo: {
+      ServiceInfo info;
+      info.lambda = server_.lambda();
+      info.oracle_kind =
+          oracle_.kind() == oprf::Oracle::Kind::kSlow ? 1 : 0;
+      if (info.oracle_kind == 1) {
+        info.argon2_memory_kib = oracle_.argon2_params().memory_kib;
+        info.argon2_time_cost = oracle_.argon2_params().time_cost;
+      }
+      info.epoch = server_.epoch();
+      info.entry_count = server_.entry_count();
+      return status_frame(Status::kOk, encode_info(info));
+    }
+  }
+  return status_frame(Status::kBadRequest);
+}
+
+RemoteBlocklistClient::RemoteBlocklistClient(Transport& transport,
+                                             std::string endpoint, Rng& rng,
+                                             RemoteClientConfig config)
+    : transport_(transport), endpoint_(std::move(endpoint)), config_(config) {
+  const Bytes frame = {static_cast<std::uint8_t>(Method::kInfo)};
+  unsigned attempts = 0;
+  const auto result = call_with_retry(frame, &attempts);
+  if (!result.delivered || result.response.empty() ||
+      result.response[0] != static_cast<std::uint8_t>(Status::kOk)) {
+    throw ProtocolError("RemoteBlocklistClient: service info unavailable");
+  }
+  const auto info = decode_info(
+      ByteView(result.response.data() + 1, result.response.size() - 1));
+  if (!info || info->lambda == 0 || info->lambda > 32) {
+    throw ProtocolError("RemoteBlocklistClient: malformed service info");
+  }
+  info_ = *info;
+
+  // Mirror the service's oracle locally (lambda/oracle sync).
+  oprf::Oracle oracle = oprf::Oracle::fast();
+  if (info_.oracle_kind == 1) {
+    hash::Argon2Params params;
+    params.memory_kib = info_.argon2_memory_kib;
+    params.time_cost = info_.argon2_time_cost;
+    oracle = oprf::Oracle::slow(params);
+  }
+  client_.emplace(oracle, info_.lambda, rng);
+}
+
+CallResult RemoteBlocklistClient::call_with_retry(ByteView frame,
+                                                  unsigned* attempts) {
+  CallResult result;
+  for (unsigned attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    *attempts = attempt + 1;
+    result = transport_.call(endpoint_, frame);
+    if (result.delivered) return result;
+  }
+  return result;
+}
+
+bool RemoteBlocklistClient::sync_prefix_list() {
+  const Bytes frame = {static_cast<std::uint8_t>(Method::kPrefixList)};
+  unsigned attempts = 0;
+  const auto result = call_with_retry(frame, &attempts);
+  if (!result.delivered || result.response.empty() ||
+      result.response[0] != static_cast<std::uint8_t>(Status::kOk)) {
+    return false;
+  }
+  const auto prefixes = oprf::parse_prefix_list(
+      ByteView(result.response.data() + 1, result.response.size() - 1));
+  if (!prefixes) return false;
+  client_->set_prefix_list(*prefixes);
+  return true;
+}
+
+RemoteBlocklistClient::QueryOutcome RemoteBlocklistClient::query(
+    std::string_view address) {
+  QueryOutcome outcome;
+  if (client_->has_prefix_list() && !client_->may_be_listed(address)) {
+    outcome.kind = QueryOutcome::Kind::kOk;
+    outcome.resolved_locally = true;
+    return outcome;
+  }
+
+  const auto prepared = client_->prepare(address);
+  Bytes frame = {static_cast<std::uint8_t>(Method::kQuery)};
+  append(frame, oprf::serialize(prepared.request));
+
+  const auto result = call_with_retry(frame, &outcome.attempts);
+  outcome.rtt_ms = result.rtt_ms;
+  if (!result.delivered) {
+    outcome.kind = QueryOutcome::Kind::kUnreachable;
+    return outcome;
+  }
+  if (result.response.empty()) {
+    outcome.kind = QueryOutcome::Kind::kMalformed;
+    return outcome;
+  }
+  const auto status = static_cast<Status>(result.response[0]);
+  if (status == Status::kRateLimited) {
+    outcome.kind = QueryOutcome::Kind::kRateLimited;
+    return outcome;
+  }
+  if (status != Status::kOk) {
+    outcome.kind = QueryOutcome::Kind::kMalformed;
+    return outcome;
+  }
+  const auto response = oprf::parse_query_response(
+      ByteView(result.response.data() + 1, result.response.size() - 1));
+  if (!response) {
+    outcome.kind = QueryOutcome::Kind::kMalformed;
+    return outcome;
+  }
+  try {
+    outcome.listed = client_->finish(prepared.pending, *response).listed;
+    outcome.kind = QueryOutcome::Kind::kOk;
+  } catch (const ProtocolError&) {
+    outcome.kind = QueryOutcome::Kind::kMalformed;
+  }
+  return outcome;
+}
+
+}  // namespace cbl::net

@@ -1,0 +1,99 @@
+// The deployable faces of the query service: a node that exposes an
+// OprfServer over the transport, and a remote client that speaks the
+// binary protocol with retry handling. Frames are a 1-byte method tag
+// followed by the message body; responses are a 1-byte status followed
+// by the body.
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.h"
+#include "oprf/client.h"
+#include "oprf/server.h"
+#include "oprf/wire.h"
+
+namespace cbl::net {
+
+enum class Method : std::uint8_t {
+  kQuery = 1,
+  kPrefixList = 2,
+  kInfo = 3,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,
+  kRateLimited = 2,
+};
+
+/// Service metadata a first-time client synchronizes on (Section IV-B:
+/// "a first-time user should synchronize on the value of lambda").
+struct ServiceInfo {
+  std::uint32_t lambda = 0;
+  std::uint8_t oracle_kind = 0;  // 0 fast, 1 slow
+  std::uint32_t argon2_memory_kib = 0;
+  std::uint32_t argon2_time_cost = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t entry_count = 0;
+};
+
+/// Binds an OprfServer to a transport endpoint.
+class BlocklistServiceNode {
+ public:
+  BlocklistServiceNode(Transport& transport, std::string endpoint,
+                       oprf::OprfServer& server, oprf::Oracle oracle);
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  std::optional<Bytes> handle_frame(ByteView frame);
+
+  std::string endpoint_;
+  oprf::OprfServer& server_;
+  oprf::Oracle oracle_;
+};
+
+/// Retry policy for the remote client.
+struct RemoteClientConfig {
+  unsigned max_retries = 3;
+};
+
+/// Client side: discovers the service parameters over the wire, then
+/// issues private queries with bounded retries on transport loss.
+class RemoteBlocklistClient {
+ public:
+  /// Fetches ServiceInfo from the node and constructs a matching local
+  /// OPRF client (same oracle, same lambda). Throws ProtocolError if the
+  /// service is unreachable or speaks garbage.
+  RemoteBlocklistClient(Transport& transport, std::string endpoint, Rng& rng,
+                        RemoteClientConfig config = RemoteClientConfig());
+
+  struct QueryOutcome {
+    enum class Kind { kOk, kUnreachable, kMalformed, kRateLimited };
+    Kind kind = Kind::kUnreachable;
+    bool listed = false;
+    bool resolved_locally = false;
+    double rtt_ms = 0.0;
+    unsigned attempts = 0;
+  };
+
+  QueryOutcome query(std::string_view address);
+
+  /// Downloads and installs the prefix list (enables the local fast
+  /// path). Returns false if the transfer failed after retries.
+  bool sync_prefix_list();
+
+  const ServiceInfo& info() const { return info_; }
+  void set_api_key(std::string key) { client_->set_api_key(std::move(key)); }
+
+ private:
+  CallResult call_with_retry(ByteView frame, unsigned* attempts);
+
+  Transport& transport_;
+  std::string endpoint_;
+  RemoteClientConfig config_;
+  ServiceInfo info_;
+  std::optional<oprf::OprfClient> client_;
+};
+
+}  // namespace cbl::net

@@ -1,0 +1,43 @@
+#include "net/transport.h"
+
+namespace cbl::net {
+
+void Transport::register_endpoint(const std::string& name, Handler handler) {
+  endpoints_[name] = std::move(handler);
+}
+
+double Transport::sample_latency() {
+  const double span = config_.latency_ms_max - config_.latency_ms_min;
+  const double u = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
+  return config_.latency_ms_min + span * u;
+}
+
+CallResult Transport::call(const std::string& endpoint, ByteView request) {
+  ++stats_.calls;
+  CallResult result;
+  result.rtt_ms = sample_latency() + sample_latency();  // both legs
+
+  const auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) {
+    ++stats_.drops;
+    return result;
+  }
+  if (config_.drop_rate > 0.0) {
+    const double roll = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
+    if (roll < config_.drop_rate) {
+      ++stats_.drops;
+      return result;
+    }
+  }
+
+  stats_.bytes_sent += request.size();
+  const auto response = it->second(request);
+  result.delivered = true;
+  if (response) {
+    result.response = *response;
+    stats_.bytes_received += result.response.size();
+  }
+  return result;
+}
+
+}  // namespace cbl::net

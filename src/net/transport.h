@@ -1,0 +1,69 @@
+// Simulated request/response transport: in-process endpoints with
+// configurable latency and loss, deterministic under a seeded Rng.
+// Stands in for the HTTPS round-trips of a deployed blocklist service so
+// the full client/server stack — including the binary wire formats —
+// can be exercised end to end, with the byte/latency accounting the
+// capacity model (Fig. 6) is calibrated against.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace cbl::net {
+
+struct TransportConfig {
+  double latency_ms_min = 5.0;
+  double latency_ms_max = 50.0;
+  /// Probability a call is lost (request or response leg).
+  double drop_rate = 0.0;
+};
+
+struct CallResult {
+  bool delivered = false;
+  Bytes response;
+  double rtt_ms = 0.0;
+};
+
+struct TransportStats {
+  std::uint64_t calls = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t bytes_sent = 0;      // client -> server
+  std::uint64_t bytes_received = 0;  // server -> client
+};
+
+class Transport {
+ public:
+  /// A handler consumes a request frame and produces a response frame;
+  /// nullopt means the endpoint rejects the frame (delivered error).
+  using Handler = std::function<std::optional<Bytes>(ByteView)>;
+
+  explicit Transport(TransportConfig config, Rng& rng)
+      : config_(config), rng_(rng) {}
+
+  void register_endpoint(const std::string& name, Handler handler);
+  bool has_endpoint(const std::string& name) const {
+    return endpoints_.contains(name);
+  }
+
+  /// Simulates one round trip. Undelivered calls (drops, unknown
+  /// endpoint) return delivered = false; handler rejections return
+  /// delivered = true with an empty response.
+  CallResult call(const std::string& endpoint, ByteView request);
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  double sample_latency();
+
+  TransportConfig config_;
+  Rng& rng_;
+  std::unordered_map<std::string, Handler> endpoints_;
+  TransportStats stats_;
+};
+
+}  // namespace cbl::net

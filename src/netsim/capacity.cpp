@@ -1,0 +1,37 @@
+#include "netsim/capacity.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cbl::netsim {
+
+CapacityEstimate estimate_capacity(const ServerProfile& server,
+                                   const WorkloadProfile& workload) {
+  CapacityEstimate est;
+  const double online_rate_per_client =
+      workload.queries_per_client_per_sec * workload.online_fraction;
+
+  if (online_rate_per_client <= 0) {
+    est.cpu_bound_clients = est.bandwidth_bound_clients =
+        est.max_concurrent_clients = std::numeric_limits<double>::infinity();
+    return est;
+  }
+
+  const double cpu_sec_per_online =
+      workload.cpu_us_per_online_query * 1e-6;
+  est.cpu_bound_clients =
+      static_cast<double>(server.cpu_cores) /
+      (online_rate_per_client * cpu_sec_per_online);
+
+  const double bits_per_online =
+      (workload.response_bytes + workload.request_bytes) * 8.0;
+  est.bandwidth_bound_clients =
+      server.bandwidth_bits_per_sec / (online_rate_per_client * bits_per_online);
+
+  est.max_concurrent_clients =
+      std::min(est.cpu_bound_clients, est.bandwidth_bound_clients);
+  est.cpu_limited = est.cpu_bound_clients <= est.bandwidth_bound_clients;
+  return est;
+}
+
+}  // namespace cbl::netsim

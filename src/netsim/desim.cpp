@@ -1,0 +1,107 @@
+#include "netsim/desim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbl::netsim {
+
+SimResult simulate(const ServerProfile& server, const WorkloadProfile& workload,
+                   std::uint64_t clients, const SimConfig& config, Rng& rng) {
+  SimResult result;
+  const double cpu_capacity_per_tick =
+      static_cast<double>(server.cpu_cores) * config.tick_sec;  // core-sec
+  const double bw_capacity_per_tick =
+      server.bandwidth_bits_per_sec * config.tick_sec;  // bits
+
+  // Work backlogs in resource units.
+  double cpu_backlog = 0;  // core-seconds
+  double bw_backlog = 0;   // bits
+  double cpu_busy = 0, bw_busy = 0;
+
+  const double p_query = workload.queries_per_client_per_sec * config.tick_sec;
+  const double p_online = p_query * workload.online_fraction;
+  const std::uint64_t ticks =
+      static_cast<std::uint64_t>(config.duration_sec / config.tick_sec);
+
+  // Per-tick arrivals: binomial(clients, p_online), approximated by a
+  // normal draw for large populations (clients can reach millions) and
+  // exact Bernoulli summation for small ones.
+  auto draw_online = [&]() -> double {
+    const double mean = static_cast<double>(clients) * p_online;
+    if (clients < 64) {
+      std::uint64_t n = 0;
+      for (std::uint64_t c = 0; c < clients; ++c) {
+        if (static_cast<double>(rng.uniform(1'000'000'000)) / 1e9 < p_online) {
+          ++n;
+        }
+      }
+      return static_cast<double>(n);
+    }
+    const double stddev = std::sqrt(mean * (1.0 - std::min(1.0, p_online)));
+    // Box-Muller.
+    const double u1 =
+        (static_cast<double>(rng.uniform(1'000'000'000)) + 1.0) / 1e9;
+    const double u2 = static_cast<double>(rng.uniform(1'000'000'000)) / 1e9;
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return std::max(0.0, mean + stddev * z);
+  };
+
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    const double online = draw_online();
+    result.online_queries += static_cast<std::uint64_t>(online);
+    const double total =
+        static_cast<double>(clients) * p_query;
+    result.local_queries += static_cast<std::uint64_t>(
+        std::max(0.0, total - online));
+
+    cpu_backlog += online * workload.cpu_us_per_online_query * 1e-6;
+    bw_backlog +=
+        online * (workload.response_bytes + workload.request_bytes) * 8.0;
+
+    const double cpu_served = std::min(cpu_backlog, cpu_capacity_per_tick);
+    cpu_busy += cpu_served;
+    cpu_backlog -= cpu_served;
+
+    const double bw_served = std::min(bw_backlog, bw_capacity_per_tick);
+    bw_busy += bw_served;
+    bw_backlog -= bw_served;
+
+    result.peak_cpu_backlog_sec =
+        std::max(result.peak_cpu_backlog_sec,
+                 cpu_backlog / static_cast<double>(server.cpu_cores));
+    result.peak_bw_backlog_sec = std::max(
+        result.peak_bw_backlog_sec, bw_backlog / server.bandwidth_bits_per_sec);
+  }
+
+  result.cpu_utilization =
+      cpu_busy / (cpu_capacity_per_tick * static_cast<double>(ticks));
+  result.bw_utilization =
+      bw_busy / (bw_capacity_per_tick * static_cast<double>(ticks));
+  result.stable = result.peak_cpu_backlog_sec < config.max_backlog_sec &&
+                  result.peak_bw_backlog_sec < config.max_backlog_sec;
+  return result;
+}
+
+std::uint64_t find_max_stable_clients(const ServerProfile& server,
+                                      const WorkloadProfile& workload,
+                                      const SimConfig& config, Rng& rng,
+                                      std::uint64_t hi_hint) {
+  std::uint64_t hi = hi_hint;
+  if (hi == 0) {
+    const auto est = estimate_capacity(server, workload);
+    hi = static_cast<std::uint64_t>(est.max_concurrent_clients * 4) + 16;
+  }
+  std::uint64_t lo = 0;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (simulate(server, workload, mid, config, rng).stable) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace cbl::netsim

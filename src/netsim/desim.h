@@ -1,0 +1,46 @@
+// Discrete-event validation of the closed-form capacity model: simulates
+// a client population issuing queries against a server with finite CPU
+// cores and uplink bandwidth, and reports whether the system is stable
+// (bounded queues) at a given concurrency. find_max_stable_clients()
+// binary-searches the knee — the simulated counterpart of the JMeter
+// experiment behind Fig. 6.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "netsim/capacity.h"
+
+namespace cbl::netsim {
+
+struct SimConfig {
+  double duration_sec = 30.0;
+  double tick_sec = 0.01;
+  /// A run counts as stable if the worst backlog stays under this many
+  /// seconds of work.
+  double max_backlog_sec = 2.0;
+};
+
+struct SimResult {
+  bool stable = false;
+  double peak_cpu_backlog_sec = 0;
+  double peak_bw_backlog_sec = 0;
+  double cpu_utilization = 0;   // busy fraction over the run
+  double bw_utilization = 0;
+  std::uint64_t online_queries = 0;
+  std::uint64_t local_queries = 0;
+};
+
+/// Simulates `clients` concurrent clients for config.duration_sec.
+/// Arrivals are Bernoulli per client per tick; online/local split follows
+/// workload.online_fraction.
+SimResult simulate(const ServerProfile& server, const WorkloadProfile& workload,
+                   std::uint64_t clients, const SimConfig& config, Rng& rng);
+
+/// Largest client count that simulates stable (binary search).
+std::uint64_t find_max_stable_clients(const ServerProfile& server,
+                                      const WorkloadProfile& workload,
+                                      const SimConfig& config, Rng& rng,
+                                      std::uint64_t hi_hint = 0);
+
+}  // namespace cbl::netsim

@@ -1,0 +1,156 @@
+#include "nizk/batch.h"
+
+#include <stdexcept>
+
+namespace cbl::nizk {
+
+namespace {
+
+// Accumulates (scalar, point) terms and finally checks that the combined
+// multiscalar multiplication is the identity.
+class Accumulator {
+ public:
+  void add(const ec::Scalar& scalar, const ec::RistrettoPoint& point) {
+    scalars_.push_back(scalar);
+    points_.push_back(point);
+  }
+
+  bool is_identity() const {
+    if (scalars_.empty()) return true;
+    return ec::RistrettoPoint::multiscalar_mul(scalars_, points_)
+        .is_identity();
+  }
+
+ private:
+  std::vector<ec::Scalar> scalars_;
+  std::vector<ec::RistrettoPoint> points_;
+};
+
+// 128-bit random coefficient: plenty for soundness, half-width for speed.
+ec::Scalar random_coefficient(Rng& rng) {
+  std::array<std::uint8_t, 32> bytes{};
+  rng.fill(bytes.data(), 16);
+  return ec::Scalar::from_bytes_mod_order(bytes);
+}
+
+}  // namespace
+
+bool batch_verify_proof_a(const commit::Crs& crs,
+                          std::span<const StatementA> statements,
+                          std::span<const ProofA> proofs, Rng& rng) {
+  if (statements.size() != proofs.size()) {
+    throw std::invalid_argument("batch_verify_proof_a: size mismatch");
+  }
+  Accumulator acc;
+  // Generator coefficients are accumulated instead of adding one term per
+  // equation.
+  ec::Scalar g_coeff, h_coeff, h1_coeff, h2_coeff, ghat_coeff, hhat_coeff;
+
+  for (std::size_t i = 0; i < proofs.size(); ++i) {
+    const auto& st = statements[i];
+    const auto& p = proofs[i];
+    const ec::Scalar e = p.compute_challenge(st) + p.a;
+
+    // Five verification equations, each with a fresh random weight rho:
+    //  (1) sigma0 + e*c0 - omega*g        = 0
+    //  (2) sigma1 + e*c1 - omega*h1       = 0
+    //  (3) sigma2 + e*c2 - omega*h2       = 0
+    //  (4) gamma0 + a*g_hat - b*g         = 0
+    //  (5) gamma1 + a*h_hat - b*h         = 0
+    const ec::Scalar r1 = random_coefficient(rng);
+    const ec::Scalar r2 = random_coefficient(rng);
+    const ec::Scalar r3 = random_coefficient(rng);
+    const ec::Scalar r4 = random_coefficient(rng);
+    const ec::Scalar r5 = random_coefficient(rng);
+
+    acc.add(r1, p.sigma0);
+    acc.add(r1 * e, st.c0);
+    acc.add(r2, p.sigma1);
+    acc.add(r2 * e, st.c1);
+    acc.add(r3, p.sigma2);
+    acc.add(r3 * e, st.c2);
+    acc.add(r4, p.gamma0);
+    acc.add(r5, p.gamma1);
+
+    g_coeff = g_coeff - r1 * p.omega - r4 * p.b;
+    h1_coeff = h1_coeff - r2 * p.omega;
+    h2_coeff = h2_coeff - r3 * p.omega;
+    ghat_coeff = ghat_coeff + r4 * p.a;
+    hhat_coeff = hhat_coeff + r5 * p.a;
+    h_coeff = h_coeff - r5 * p.b;
+  }
+  acc.add(g_coeff, crs.g);
+  acc.add(h_coeff, crs.h);
+  acc.add(h1_coeff, crs.h1);
+  acc.add(h2_coeff, crs.h2);
+  acc.add(ghat_coeff, crs.g_hat);
+  acc.add(hhat_coeff, crs.h_hat);
+  return acc.is_identity();
+}
+
+bool batch_verify_proof_b(const commit::Crs& crs,
+                          std::span<const StatementB> statements,
+                          std::span<const ProofB> proofs, Rng& rng) {
+  if (statements.size() != proofs.size()) {
+    throw std::invalid_argument("batch_verify_proof_b: size mismatch");
+  }
+  Accumulator acc;
+  ec::Scalar g_coeff, h_coeff, ghat_coeff, hhat_coeff;
+
+  for (std::size_t i = 0; i < proofs.size(); ++i) {
+    const auto& st = statements[i];
+    const auto& p = proofs[i];
+    const ec::Scalar e = p.compute_challenge(st) + p.a;
+
+    // Equations:
+    //  (1) sigma0 + e*c0  - omega_x*g                 = 0
+    //  (2) sigma1 + e*C   - omega_v*g - omega_x*h     = 0
+    //  (3) sigma2 + e*psi - omega_v*g - omega_x*Y     = 0
+    //  (4) gamma0 + a*g_hat - b*g                     = 0
+    //  (5) gamma1 + a*h_hat - b*h                     = 0
+    const ec::Scalar r1 = random_coefficient(rng);
+    const ec::Scalar r2 = random_coefficient(rng);
+    const ec::Scalar r3 = random_coefficient(rng);
+    const ec::Scalar r4 = random_coefficient(rng);
+    const ec::Scalar r5 = random_coefficient(rng);
+
+    acc.add(r1, p.sigma0);
+    acc.add(r1 * e, st.c0);
+    acc.add(r2, p.sigma1);
+    acc.add(r2 * e, st.big_c);
+    acc.add(r3, p.sigma2);
+    acc.add(r3 * e, st.psi);
+    acc.add(-(r3 * p.omega_x), st.y);  // Y differs per statement
+    acc.add(r4, p.gamma0);
+    acc.add(r5, p.gamma1);
+
+    g_coeff = g_coeff - r1 * p.omega_x - (r2 + r3) * p.omega_v - r4 * p.b;
+    h_coeff = h_coeff - r2 * p.omega_x - r5 * p.b;
+    ghat_coeff = ghat_coeff + r4 * p.a;
+    hhat_coeff = hhat_coeff + r5 * p.a;
+  }
+  acc.add(g_coeff, crs.g);
+  acc.add(h_coeff, crs.h);
+  acc.add(ghat_coeff, crs.g_hat);
+  acc.add(hhat_coeff, crs.h_hat);
+  return acc.is_identity();
+}
+
+bool batch_verify_signatures(std::span<const SignedMessage> items,
+                             std::string_view domain, Rng& rng) {
+  Accumulator acc;
+  ec::Scalar g_coeff;
+  for (const auto& item : items) {
+    // R + c*pk - s*g = 0.
+    const ec::Scalar c = signature_challenge_for(item.pk, item.signature,
+                                                 item.message, domain);
+    const ec::Scalar rho = random_coefficient(rng);
+    acc.add(rho, item.signature.nonce_commitment);
+    acc.add(rho * c, item.pk);
+    g_coeff = g_coeff - rho * item.signature.response;
+  }
+  acc.add(g_coeff, ec::RistrettoPoint::base());
+  return acc.is_identity();
+}
+
+}  // namespace cbl::nizk

@@ -1,0 +1,45 @@
+// Batch verification via random linear combination: every verification
+// equation of every proof is multiplied by an independent random
+// 128-bit coefficient and the whole system collapses into a single
+// multiscalar multiplication checked against the identity. A cheating
+// proof survives with probability ~2^-128. This is how an off-chain
+// auditor (or a light client replaying history — "it is publicly
+// verifiable that all shareholder voters faithfully follow the
+// computation procedures") re-verifies a whole proposal's proofs at a
+// fraction of the sequential cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "nizk/proof_a.h"
+#include "nizk/proof_b.h"
+#include "nizk/signature.h"
+
+namespace cbl::nizk {
+
+/// Batch-verifies pi_A proofs. Equivalent to verifying each proof
+/// individually (up to the 2^-128 soundness slack); returns false if ANY
+/// proof in the batch is invalid. Empty batches verify trivially.
+bool batch_verify_proof_a(const commit::Crs& crs,
+                          std::span<const StatementA> statements,
+                          std::span<const ProofA> proofs, Rng& rng);
+
+/// Batch-verifies pi_B proofs (each statement carries its own Y).
+bool batch_verify_proof_b(const commit::Crs& crs,
+                          std::span<const StatementB> statements,
+                          std::span<const ProofB> proofs, Rng& rng);
+
+/// Batch-verifies Schnorr signatures over (pk, message) pairs under one
+/// domain.
+struct SignedMessage {
+  ec::RistrettoPoint pk;
+  Bytes message;
+  Signature signature;
+};
+bool batch_verify_signatures(std::span<const SignedMessage> items,
+                             std::string_view domain, Rng& rng);
+
+}  // namespace cbl::nizk

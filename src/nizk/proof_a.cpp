@@ -1,0 +1,97 @@
+#include "nizk/proof_a.h"
+
+#include "ec/codec.h"
+#include "nizk/transcript.h"
+
+namespace cbl::nizk {
+
+namespace {
+
+// mu <- R(c0, c1, c2, sigma0, sigma1, sigma2, gamma0, gamma1).
+ec::Scalar challenge_mu(const StatementA& st, const ProofA& p) {
+  Transcript t("cbl/nizk/proof-a");
+  t.absorb_point("c0", st.c0).absorb_point("c1", st.c1).absorb_point("c2",
+                                                                     st.c2);
+  t.absorb_point("sigma0", p.sigma0)
+      .absorb_point("sigma1", p.sigma1)
+      .absorb_point("sigma2", p.sigma2);
+  t.absorb_point("gamma0", p.gamma0).absorb_point("gamma1", p.gamma1);
+  return t.challenge("mu");
+}
+
+}  // namespace
+
+ProofA ProofA::prove(const commit::Crs& crs, const StatementA& statement,
+                     const ec::Scalar& x, Rng& rng) {
+  // Step 4: alpha, beta0, beta1 <-$ F.
+  const ec::Scalar alpha = ec::Scalar::random(rng);
+  const ec::Scalar beta0 = ec::Scalar::random(rng);
+  const ec::Scalar beta1 = ec::Scalar::random(rng);
+
+  ProofA proof;
+  // Step 5: sigma_i = (g, h1, h2)^alpha; gamma0 = g_hat^b0 g^b1,
+  // gamma1 = h_hat^b0 h^b1.
+  proof.sigma0 = crs.g * alpha;
+  proof.sigma1 = crs.h1 * alpha;
+  proof.sigma2 = crs.h2 * alpha;
+  proof.gamma0 = crs.g_hat * beta0 + crs.g * beta1;
+  proof.gamma1 = crs.h_hat * beta0 + crs.h * beta1;
+
+  // Step 6: mu from the random oracle.
+  const ec::Scalar mu = challenge_mu(statement, proof);
+
+  // Step 7: a = -beta0, b = beta1, omega = alpha + (mu + a) x.
+  proof.a = -beta0;
+  proof.b = beta1;
+  proof.omega = alpha + (mu + proof.a) * x;
+  return proof;
+}
+
+bool ProofA::verify(const commit::Crs& crs, const StatementA& st) const {
+  const ec::Scalar mu = challenge_mu(st, *this);
+  const ec::Scalar e = mu + a;
+
+  // b0: sigma0 * c0^(mu+a) == g^omega.
+  const bool b0 = sigma0 + st.c0 * e == crs.g * omega;
+  // b1, b2 likewise for h1, h2.
+  const bool b1 = sigma1 + st.c1 * e == crs.h1 * omega;
+  const bool b2 = sigma2 + st.c2 * e == crs.h2 * omega;
+  // b3: gamma0 * g_hat^a == g^b;  b4: gamma1 * h_hat^a == h^b.
+  const bool b3 = gamma0 + crs.g_hat * a == crs.g * b;
+  const bool b4 = gamma1 + crs.h_hat * a == crs.h * b;
+  return b0 && b1 && b2 && b3 && b4;
+}
+
+Bytes ProofA::to_bytes() const {
+  Bytes out;
+  for (const auto* p : {&sigma0, &sigma1, &sigma2, &gamma0, &gamma1}) {
+    append(out, p->encode());
+  }
+  for (const auto* s : {&a, &b, &omega}) append(out, s->to_bytes());
+  return out;
+}
+
+ec::Scalar ProofA::compute_challenge(const StatementA& statement) const {
+  return challenge_mu(statement, *this);
+}
+
+std::optional<ProofA> ProofA::from_bytes(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    ProofA proof;
+    proof.sigma0 = r.point();
+    proof.sigma1 = r.point();
+    proof.sigma2 = r.point();
+    proof.gamma0 = r.point();
+    proof.gamma1 = r.point();
+    proof.a = r.scalar();
+    proof.b = r.scalar();
+    proof.omega = r.scalar();
+    r.expect_done();
+    return proof;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::nizk

@@ -1,0 +1,46 @@
+// Pi_A: the round-1 NIZK of Fig. 5, implemented operation-for-operation.
+// It proves the relation
+//   phi_A((c0,c1,c2), x):  c0 = g^x  AND  c1 = h1^x  AND  c2 = h2^x,
+// i.e. the registration commitments are well-formed under a common secret
+// x — composed (via the gamma/a/b terms) with the OR-branch "the CRS
+// contains a DDH tuple", which is what makes the proof simulatable in the
+// non-programmable ROM (Section V-D).
+#pragma once
+
+#include <optional>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+
+namespace cbl::nizk {
+
+/// The public statement of phi_A.
+struct StatementA {
+  ec::RistrettoPoint c0, c1, c2;
+};
+
+struct ProofA {
+  ec::RistrettoPoint sigma0, sigma1, sigma2;  // g^a, h1^a, h2^a (alpha)
+  ec::RistrettoPoint gamma0, gamma1;          // OR-branch commitments
+  ec::Scalar a, b, omega;
+
+  /// M's computation in Fig. 5 (steps 1-7 use the caller's x and v; this
+  /// function takes the already-computed statement plus witness x).
+  static ProofA prove(const commit::Crs& crs, const StatementA& statement,
+                      const ec::Scalar& x, Rng& rng);
+
+  /// B's verification in Fig. 5: recompute mu, check b0..b4.
+  bool verify(const commit::Crs& crs, const StatementA& statement) const;
+
+  Bytes to_bytes() const;
+  static std::optional<ProofA> from_bytes(ByteView data);
+
+  /// The Fiat-Shamir challenge mu for this (statement, proof) pair —
+  /// exposed for batch verification.
+  ec::Scalar compute_challenge(const StatementA& statement) const;
+  /// 5 points + 3 scalars.
+  static constexpr std::size_t kWireSize = 5 * 32 + 3 * 32;
+};
+
+}  // namespace cbl::nizk

@@ -1,0 +1,93 @@
+#include "nizk/proof_b.h"
+
+#include "ec/codec.h"
+#include "nizk/transcript.h"
+
+namespace cbl::nizk {
+
+namespace {
+
+ec::Scalar challenge_mu(const StatementB& st, const ProofB& p) {
+  Transcript t("cbl/nizk/proof-b");
+  t.absorb_point("c0", st.c0)
+      .absorb_point("C", st.big_c)
+      .absorb_point("psi", st.psi)
+      .absorb_point("Y", st.y);
+  t.absorb_point("sigma0", p.sigma0)
+      .absorb_point("sigma1", p.sigma1)
+      .absorb_point("sigma2", p.sigma2);
+  t.absorb_point("gamma0", p.gamma0).absorb_point("gamma1", p.gamma1);
+  return t.challenge("mu");
+}
+
+}  // namespace
+
+ProofB ProofB::prove(const commit::Crs& crs, const StatementB& st,
+                     const ec::Scalar& x, const ec::Scalar& v, Rng& rng) {
+  const ec::Scalar alpha = ec::Scalar::random(rng);
+  const ec::Scalar delta = ec::Scalar::random(rng);
+  const ec::Scalar beta0 = ec::Scalar::random(rng);
+  const ec::Scalar beta1 = ec::Scalar::random(rng);
+
+  ProofB proof;
+  proof.sigma0 = crs.g * alpha;
+  proof.sigma1 = crs.g * delta + crs.h * alpha;
+  proof.sigma2 = crs.g * delta + st.y * alpha;
+  proof.gamma0 = crs.g_hat * beta0 + crs.g * beta1;
+  proof.gamma1 = crs.h_hat * beta0 + crs.h * beta1;
+
+  const ec::Scalar mu = challenge_mu(st, proof);
+  proof.a = -beta0;
+  proof.b = beta1;
+  const ec::Scalar e = mu + proof.a;
+  proof.omega_x = alpha + e * x;
+  proof.omega_v = delta + e * v;
+  return proof;
+}
+
+bool ProofB::verify(const commit::Crs& crs, const StatementB& st) const {
+  const ec::Scalar mu = challenge_mu(st, *this);
+  const ec::Scalar e = mu + a;
+
+  const bool b0 = sigma0 + st.c0 * e == crs.g * omega_x;
+  const bool b1 = sigma1 + st.big_c * e == crs.g * omega_v + crs.h * omega_x;
+  const bool b2 = sigma2 + st.psi * e == crs.g * omega_v + st.y * omega_x;
+  const bool b3 = gamma0 + crs.g_hat * a == crs.g * b;
+  const bool b4 = gamma1 + crs.h_hat * a == crs.h * b;
+  return b0 && b1 && b2 && b3 && b4;
+}
+
+Bytes ProofB::to_bytes() const {
+  Bytes out;
+  for (const auto* p : {&sigma0, &sigma1, &sigma2, &gamma0, &gamma1}) {
+    append(out, p->encode());
+  }
+  for (const auto* s : {&a, &b, &omega_x, &omega_v}) append(out, s->to_bytes());
+  return out;
+}
+
+ec::Scalar ProofB::compute_challenge(const StatementB& statement) const {
+  return challenge_mu(statement, *this);
+}
+
+std::optional<ProofB> ProofB::from_bytes(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    ProofB proof;
+    proof.sigma0 = r.point();
+    proof.sigma1 = r.point();
+    proof.sigma2 = r.point();
+    proof.gamma0 = r.point();
+    proof.gamma1 = r.point();
+    proof.a = r.scalar();
+    proof.b = r.scalar();
+    proof.omega_x = r.scalar();
+    proof.omega_v = r.scalar();
+    r.expect_done();
+    return proof;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::nizk

@@ -1,0 +1,53 @@
+// Pi_B: the round-2 NIZK for
+//   phi_B((c0, C, psi, Y), (x, v)):
+//     c0 = g^x  AND  C = g^v h^x  AND  psi = g^v Y^x.
+// The paper omits the concrete steps "due to the space limit" but states
+// it mirrors the OR-composition structure of Fig. 5; we instantiate it as
+// a two-witness sigma protocol with the same gamma/a/b OR-branch:
+//   prover:  alpha, delta, beta0, beta1 <-$ F
+//            sigma0 = g^alpha, sigma1 = g^delta h^alpha,
+//            sigma2 = g^delta Y^alpha,
+//            gamma0 = g_hat^beta0 g^beta1, gamma1 = h_hat^beta0 h^beta1
+//            mu = R(statement, sigmas, gammas)
+//            a = -beta0, b = beta1,
+//            omega_x = alpha + (mu+a) x, omega_v = delta + (mu+a) v
+//   verifier: sigma0 c0^(mu+a)  == g^omega_x
+//             sigma1 C^(mu+a)   == g^omega_v h^omega_x
+//             sigma2 psi^(mu+a) == g^omega_v Y^omega_x
+//             gamma0 g_hat^a == g^b,  gamma1 h_hat^a == h^b.
+#pragma once
+
+#include <optional>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+
+namespace cbl::nizk {
+
+struct StatementB {
+  ec::RistrettoPoint c0;   // round-1 comm_secret
+  ec::RistrettoPoint big_c;  // round-1 comm_vote C
+  ec::RistrettoPoint psi;  // round-2 aggregated vote
+  ec::RistrettoPoint y;    // Eq. (3), recomputable by the chain
+};
+
+struct ProofB {
+  ec::RistrettoPoint sigma0, sigma1, sigma2;
+  ec::RistrettoPoint gamma0, gamma1;
+  ec::Scalar a, b, omega_x, omega_v;
+
+  static ProofB prove(const commit::Crs& crs, const StatementB& statement,
+                      const ec::Scalar& x, const ec::Scalar& v, Rng& rng);
+  bool verify(const commit::Crs& crs, const StatementB& statement) const;
+
+  Bytes to_bytes() const;
+  static std::optional<ProofB> from_bytes(ByteView data);
+
+  /// The Fiat-Shamir challenge mu (exposed for batch verification).
+  ec::Scalar compute_challenge(const StatementB& statement) const;
+  /// 5 points + 4 scalars.
+  static constexpr std::size_t kWireSize = 5 * 32 + 4 * 32;
+};
+
+}  // namespace cbl::nizk

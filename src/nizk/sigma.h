@@ -1,0 +1,72 @@
+// Basic sigma protocols compiled with Fiat-Shamir: Schnorr proof of
+// knowledge of a discrete log, and Chaum-Pedersen proof of discrete-log
+// equality. They back the deposit-opening proof (registration), the
+// shielded-pool spend authorization, and the VRF.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "ec/ristretto.h"
+#include "nizk/transcript.h"
+
+namespace cbl::nizk {
+
+/// Proves knowledge of x with y = base^x.
+struct SchnorrProof {
+  ec::RistrettoPoint commitment;  // base^k
+  ec::Scalar response;            // k + c*x
+
+  static SchnorrProof prove(const ec::RistrettoPoint& base,
+                            const ec::RistrettoPoint& y, const ec::Scalar& x,
+                            std::string_view domain, Rng& rng);
+  bool verify(const ec::RistrettoPoint& base, const ec::RistrettoPoint& y,
+              std::string_view domain) const;
+
+  Bytes to_bytes() const;
+  static std::optional<SchnorrProof> from_bytes(ByteView data);
+  static constexpr std::size_t kWireSize = 64;
+};
+
+/// Okamoto representation proof: knowledge of (m, r) with
+/// p = base_g^m * base_h^r — i.e. knowledge of a Pedersen opening without
+/// revealing it. Authorizes shielded-pool spends and deposit withdrawals.
+struct RepresentationProof {
+  ec::RistrettoPoint commitment;  // base_g^k1 * base_h^k2
+  ec::Scalar z1, z2;              // k1 + c*m, k2 + c*r
+
+  static RepresentationProof prove(const ec::RistrettoPoint& base_g,
+                                   const ec::RistrettoPoint& base_h,
+                                   const ec::RistrettoPoint& p,
+                                   const ec::Scalar& m, const ec::Scalar& r,
+                                   std::string_view domain, Rng& rng);
+  bool verify(const ec::RistrettoPoint& base_g,
+              const ec::RistrettoPoint& base_h, const ec::RistrettoPoint& p,
+              std::string_view domain) const;
+
+  Bytes to_bytes() const;
+  static std::optional<RepresentationProof> from_bytes(ByteView data);
+  static constexpr std::size_t kWireSize = 96;
+};
+
+/// Proves log_{base1}(y1) = log_{base2}(y2) (same exponent x).
+struct DleqProof {
+  ec::RistrettoPoint commitment1;  // base1^k
+  ec::RistrettoPoint commitment2;  // base2^k
+  ec::Scalar response;             // k + c*x
+
+  static DleqProof prove(const ec::RistrettoPoint& base1,
+                         const ec::RistrettoPoint& y1,
+                         const ec::RistrettoPoint& base2,
+                         const ec::RistrettoPoint& y2, const ec::Scalar& x,
+                         std::string_view domain, Rng& rng);
+  bool verify(const ec::RistrettoPoint& base1, const ec::RistrettoPoint& y1,
+              const ec::RistrettoPoint& base2, const ec::RistrettoPoint& y2,
+              std::string_view domain) const;
+
+  Bytes to_bytes() const;
+  static std::optional<DleqProof> from_bytes(ByteView data);
+  static constexpr std::size_t kWireSize = 96;
+};
+
+}  // namespace cbl::nizk

@@ -1,0 +1,41 @@
+// Schnorr signatures over Ristretto255 (key-prefixed, Fiat-Shamir). Used
+// to authenticate off-chain messages in the state-channel extension and
+// optionally to authorize transactions on the simulated chain.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "ec/ristretto.h"
+
+namespace cbl::nizk {
+
+struct SigningKey {
+  ec::Scalar sk;
+  ec::RistrettoPoint pk;
+
+  static SigningKey generate(Rng& rng);
+};
+
+struct Signature {
+  ec::RistrettoPoint nonce_commitment;  // R = g^k
+  ec::Scalar response;                  // s = k + c * sk
+
+  Bytes to_bytes() const;
+  static std::optional<Signature> from_bytes(ByteView data);
+  static constexpr std::size_t kWireSize = 64;
+};
+
+/// Signs `message` under a domain label (prevents cross-protocol reuse).
+Signature sign(const SigningKey& key, ByteView message,
+               std::string_view domain, Rng& rng);
+
+bool verify_signature(const ec::RistrettoPoint& pk, ByteView message,
+                      std::string_view domain, const Signature& sig);
+
+/// The Fiat-Shamir challenge (exposed for batch verification).
+ec::Scalar signature_challenge_for(const ec::RistrettoPoint& pk,
+                                   const Signature& sig, ByteView message,
+                                   std::string_view domain);
+
+}  // namespace cbl::nizk

@@ -1,0 +1,102 @@
+#include "nizk/vote_or.h"
+
+#include <stdexcept>
+
+#include "ec/codec.h"
+#include "nizk/transcript.h"
+
+namespace cbl::nizk {
+
+namespace {
+
+ec::Scalar challenge_mu(const ec::RistrettoPoint& commitment,
+                        const ec::RistrettoPoint& a0,
+                        const ec::RistrettoPoint& a1, std::uint64_t weight) {
+  Transcript t("cbl/nizk/binary-vote");
+  t.absorb_point("C", commitment);
+  t.absorb_point("a0", a0).absorb_point("a1", a1);
+  t.absorb_u64("weight", weight);
+  return t.challenge("mu");
+}
+
+}  // namespace
+
+BinaryVoteProof BinaryVoteProof::prove(const commit::Crs& crs,
+                                       const ec::RistrettoPoint& commitment,
+                                       unsigned v, const ec::Scalar& x,
+                                       Rng& rng, std::uint64_t weight) {
+  if (v > 1) throw std::invalid_argument("BinaryVoteProof: v must be 0 or 1");
+  if (weight == 0) throw std::invalid_argument("BinaryVoteProof: zero weight");
+  const ec::RistrettoPoint g_tau = crs.g * ec::Scalar::from_u64(weight);
+  if (!(g_tau * ec::Scalar::from_u64(v) + crs.h * x == commitment)) {
+    throw std::invalid_argument("BinaryVoteProof: (v, x) does not open C");
+  }
+
+  // Branch statements: D0 = C (v=0 -> C = h^x), D1 = C - g^tau (v=1).
+  const ec::RistrettoPoint d[2] = {commitment, commitment - g_tau};
+  const unsigned real = v, fake = 1 - v;
+
+  // Simulate the fake branch: pick its challenge and response first.
+  ec::Scalar c_branch[2], z_branch[2];
+  ec::RistrettoPoint a_branch[2];
+  c_branch[fake] = ec::Scalar::random(rng);
+  z_branch[fake] = ec::Scalar::random(rng);
+  a_branch[fake] = crs.h * z_branch[fake] - d[fake] * c_branch[fake];
+
+  // Honest commitment for the real branch.
+  const ec::Scalar w = ec::Scalar::random(rng);
+  a_branch[real] = crs.h * w;
+
+  const ec::Scalar mu =
+      challenge_mu(commitment, a_branch[0], a_branch[1], weight);
+  c_branch[real] = mu - c_branch[fake];
+  z_branch[real] = w + c_branch[real] * x;
+
+  BinaryVoteProof proof;
+  proof.a0 = a_branch[0];
+  proof.a1 = a_branch[1];
+  proof.c0 = c_branch[0];
+  proof.c1 = c_branch[1];
+  proof.z0 = z_branch[0];
+  proof.z1 = z_branch[1];
+  return proof;
+}
+
+bool BinaryVoteProof::verify(const commit::Crs& crs,
+                             const ec::RistrettoPoint& commitment,
+                             std::uint64_t weight) const {
+  if (weight == 0) return false;
+  const ec::Scalar mu = challenge_mu(commitment, a0, a1, weight);
+  if (!(c0 + c1 == mu)) return false;
+  const ec::RistrettoPoint d0 = commitment;
+  const ec::RistrettoPoint d1 =
+      commitment - crs.g * ec::Scalar::from_u64(weight);
+  return crs.h * z0 == a0 + d0 * c0 && crs.h * z1 == a1 + d1 * c1;
+}
+
+Bytes BinaryVoteProof::to_bytes() const {
+  Bytes out;
+  append(out, a0.encode());
+  append(out, a1.encode());
+  for (const auto* s : {&c0, &c1, &z0, &z1}) append(out, s->to_bytes());
+  return out;
+}
+
+std::optional<BinaryVoteProof> BinaryVoteProof::from_bytes(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    BinaryVoteProof proof;
+    proof.a0 = r.point();
+    proof.a1 = r.point();
+    proof.c0 = r.scalar();
+    proof.c1 = r.scalar();
+    proof.z0 = r.scalar();
+    proof.z1 = r.scalar();
+    r.expect_done();
+    return proof;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::nizk

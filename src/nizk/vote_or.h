@@ -1,0 +1,41 @@
+// Disjunctive (CDS OR-composition) proof that a vote commitment
+// C = g^(tau*v) h^x opens to v in {0, 1} for a PUBLIC weight tau:
+// knowledge of x such that
+//   C = h^x        (v = 0)   OR   C / g^tau = h^x   (v = 1).
+// Fig. 4's auto-tally is only sound if every committed vote is binary
+// (scaled by its declared weight) — otherwise a voter could commit
+// g^100 h^x and swing the tally — so the registration phase verifies
+// this proof alongside pi_A. tau = 1 recovers the unweighted protocol.
+#pragma once
+
+#include <optional>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+
+namespace cbl::nizk {
+
+struct BinaryVoteProof {
+  ec::RistrettoPoint a0, a1;   // per-branch commitments
+  ec::Scalar c0, c1;           // branch challenges, c0 + c1 = mu
+  ec::Scalar z0, z1;           // branch responses
+
+  /// `v` must be 0 or 1 and (v, x) must open `commitment`; throws
+  /// std::invalid_argument otherwise (an honest prover cannot prove a
+  /// false statement, so we fail loudly instead of emitting garbage).
+  static BinaryVoteProof prove(const commit::Crs& crs,
+                               const ec::RistrettoPoint& commitment,
+                               unsigned v, const ec::Scalar& x, Rng& rng,
+                               std::uint64_t weight = 1);
+
+  bool verify(const commit::Crs& crs, const ec::RistrettoPoint& commitment,
+              std::uint64_t weight = 1) const;
+
+  Bytes to_bytes() const;
+  static std::optional<BinaryVoteProof> from_bytes(ByteView data);
+  /// 2 points + 4 scalars.
+  static constexpr std::size_t kWireSize = 2 * 32 + 4 * 32;
+};
+
+}  // namespace cbl::nizk

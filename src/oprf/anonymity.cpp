@@ -1,0 +1,33 @@
+#include "oprf/anonymity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbl::oprf {
+
+AnonymityReport analyze_buckets(const std::vector<std::size_t>& bucket_sizes) {
+  AnonymityReport report;
+  for (const std::size_t size : bucket_sizes) {
+    if (size == 0) continue;
+    ++report.nonempty_buckets;
+    report.total_entries += size;
+    report.k_min = report.k_min == 0 ? size : std::min(report.k_min, size);
+    report.k_max = std::max(report.k_max, size);
+  }
+  if (report.total_entries == 0) return report;
+
+  const double total = static_cast<double>(report.total_entries);
+  double expected = 0, shannon = 0;
+  for (const std::size_t size : bucket_sizes) {
+    if (size == 0) continue;
+    const double s = static_cast<double>(size);
+    expected += s * s / total;
+    shannon += (s / total) * std::log2(s);
+  }
+  report.expected_anonymity_set = expected;
+  report.shannon_entropy_bits = shannon;
+  report.min_entropy_bits = std::log2(static_cast<double>(report.k_min));
+  return report;
+}
+
+}  // namespace cbl::oprf

@@ -1,0 +1,32 @@
+// Quantifies the k-anonymity the bucketization actually provides.
+// When a curious server sees a lambda-bit prefix, its posterior over
+// WHICH listed entry was queried (assuming the query targets the list)
+// is uniform within the bucket, so the privacy level is a property of
+// the bucket-size distribution:
+//   - min-entropy (worst case):  log2(min bucket size)
+//   - Shannon entropy (average): sum_b (|b|/S) * log2 |b|
+//   - expected anonymity set:    sum_b |b|^2 / S  (size-biased mean —
+//     a random LISTED query lands in big buckets more often)
+// The formal framework the paper leans on [34] phrases its bounds in
+// exactly these distributional terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cbl::oprf {
+
+struct AnonymityReport {
+  std::size_t k_min = 0;               // min non-empty bucket size
+  std::size_t k_max = 0;
+  double expected_anonymity_set = 0;   // size-biased mean bucket size
+  double shannon_entropy_bits = 0;     // H(entry | prefix), listed queries
+  double min_entropy_bits = 0;         // -log2 of the best-case guess
+  std::size_t total_entries = 0;
+  std::size_t nonempty_buckets = 0;
+};
+
+/// Analyzes a bucket-size distribution (zero entries are skipped).
+AnonymityReport analyze_buckets(const std::vector<std::size_t>& bucket_sizes);
+
+}  // namespace cbl::oprf

@@ -1,0 +1,100 @@
+#include "oprf/client.h"
+
+#include <algorithm>
+
+namespace cbl::oprf {
+
+OprfClient::OprfClient(Oracle oracle, unsigned lambda, Rng& rng)
+    : oracle_(oracle), lambda_(lambda), rng_(rng) {
+  if (lambda == 0 || lambda > 32) {
+    throw std::invalid_argument("OprfClient: lambda must be in [1,32]");
+  }
+}
+
+OprfClient::Prepared OprfClient::prepare(std::string_view entry) const {
+  const Bytes raw = to_bytes(entry);
+  Prepared p;
+  p.pending.blinding = ec::Scalar::random(rng_);
+  p.pending.hashed = oracle_.map_to_group(raw);
+  p.pending.prefix = Oracle::prefix(raw, lambda_);
+
+  p.request.prefix = p.pending.prefix;
+  p.request.masked_query = (p.pending.hashed * p.pending.blinding).encode();
+  p.request.api_key = api_key_;
+  p.request.want_evaluation_proof = pinned_commitment_.has_value();
+  const auto it = cache_.find(p.pending.prefix);
+  if (it != cache_.end()) {
+    p.request.cached_epoch = it->second.epoch;
+    p.pending.used_cache_hint = true;
+  }
+  return p;
+}
+
+OprfClient::Result OprfClient::finish(const PendingQuery& pending,
+                                      const QueryResponse& response) {
+  const auto evaluated = ec::RistrettoPoint::decode(response.evaluated);
+  if (!evaluated) {
+    throw ProtocolError("OprfClient: malformed evaluated point");
+  }
+  if (pinned_commitment_) {
+    // Verifiable OPRF: the evaluation must carry a valid DLEQ against
+    // the pinned key commitment. The masked point is recomputable from
+    // the pending state.
+    const ec::RistrettoPoint masked = pending.hashed * pending.blinding;
+    if (!response.evaluation_proof ||
+        !response.evaluation_proof->verify(
+            ec::RistrettoPoint::base(), *pinned_commitment_, masked,
+            *evaluated, OprfServer::kEvalProofDomain)) {
+      throw ProtocolError("OprfClient: evaluation proof missing or invalid");
+    }
+  }
+  // verdict <- psi^(1/r) in s_p.
+  const ec::RistrettoPoint::Encoding unblinded =
+      (*evaluated * pending.blinding.invert()).encode();
+
+  const std::vector<ec::RistrettoPoint::Encoding>* bucket = nullptr;
+  const std::vector<Bytes>* metadata = nullptr;
+  if (response.bucket_omitted) {
+    const auto it = cache_.find(pending.prefix);
+    if (it == cache_.end() || it->second.epoch != response.epoch) {
+      throw ProtocolError(
+          "OprfClient: server omitted bucket but no matching cache entry");
+    }
+    bucket = &it->second.bucket;
+    metadata = &it->second.metadata;
+  } else {
+    auto& slot = cache_[pending.prefix];
+    slot.epoch = response.epoch;
+    slot.bucket = response.bucket;
+    slot.metadata = response.metadata;
+    if (!std::is_sorted(slot.bucket.begin(), slot.bucket.end())) {
+      throw ProtocolError("OprfClient: bucket not in canonical order");
+    }
+    bucket = &slot.bucket;
+    metadata = &slot.metadata;
+  }
+
+  Result result;
+  const auto it = std::lower_bound(bucket->begin(), bucket->end(), unblinded);
+  result.listed = it != bucket->end() && *it == unblinded;
+  if (result.listed && !metadata->empty()) {
+    const std::size_t index =
+        static_cast<std::size_t>(std::distance(bucket->begin(), it));
+    if (index < metadata->size()) {
+      result.metadata = OprfServer::open_metadata(
+          OprfServer::metadata_key(unblinded), (*metadata)[index]);
+    }
+  }
+  return result;
+}
+
+void OprfClient::set_prefix_list(std::vector<std::uint32_t> prefixes) {
+  prefix_list_.emplace(prefixes.begin(), prefixes.end());
+}
+
+bool OprfClient::may_be_listed(std::string_view entry) const {
+  if (!prefix_list_) return true;
+  return prefix_list_->contains(Oracle::prefix(to_bytes(entry), lambda_));
+}
+
+}  // namespace cbl::oprf

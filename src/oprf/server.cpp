@@ -1,0 +1,296 @@
+#include "oprf/server.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "hash/sha256.h"
+
+namespace cbl::oprf {
+
+OprfServer::OprfServer(Oracle oracle, unsigned lambda, Rng& rng)
+    : oracle_(oracle), lambda_(lambda), rng_(rng) {
+  if (lambda == 0 || lambda > 32) {
+    throw std::invalid_argument("OprfServer: lambda must be in [1,32]");
+  }
+}
+
+void OprfServer::setup(std::span<const std::string> entries,
+                       unsigned num_threads) {
+  std::unique_lock lock(data_mutex_);
+  entries_.assign(entries.begin(), entries.end());
+  rebuild(num_threads);
+}
+
+void OprfServer::rotate_key(unsigned num_threads) {
+  std::unique_lock lock(data_mutex_);
+  rebuild(num_threads);
+}
+
+void OprfServer::rebuild(unsigned num_threads) {
+  mask_ = ec::Scalar::random(rng_);
+  key_commitment_ = ec::RistrettoPoint::base() * mask_;
+  ++epoch_;
+  buckets_.clear();
+
+  // Blind all entries: b = H(q)^R. The exponentiations dominate, so they
+  // are sharded over worker threads; bucket insertion stays sequential.
+  std::vector<ec::RistrettoPoint::Encoding> blinded(entries_.size());
+  std::vector<std::uint32_t> prefixes(entries_.size());
+
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Bytes entry = to_bytes(entries_[i]);
+      blinded[i] = (oracle_.map_to_group(entry) * mask_).encode();
+      prefixes[i] = Oracle::prefix(entry, lambda_);
+    }
+  };
+
+  if (num_threads <= 1 || entries_.size() < 2 * num_threads) {
+    work(0, entries_.size());
+  } else {
+    std::vector<std::thread> threads;
+    const std::size_t chunk = (entries_.size() + num_threads - 1) / num_threads;
+    for (unsigned t = 0; t < num_threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(entries_.size(), begin + chunk);
+      if (begin >= end) break;
+      threads.emplace_back(work, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  entry_index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entry_index_[entries_[i]] = prefixes[i];
+    Bucket& bucket = buckets_[prefixes[i]];
+    bucket.blinded.push_back(blinded[i]);
+    if (metadata_provider_) {
+      bucket.metadata.push_back(
+          seal_metadata(metadata_key(blinded[i]),
+                        metadata_provider_(entries_[i])));
+    }
+  }
+  // Sort each bucket (with metadata riding along) for binary search and
+  // for a canonical wire representation.
+  for (auto& [prefix, bucket] : buckets_) {
+    std::vector<std::size_t> order(bucket.blinded.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return bucket.blinded[a] < bucket.blinded[b];
+    });
+    Bucket sorted;
+    sorted.blinded.reserve(order.size());
+    for (const std::size_t i : order) {
+      sorted.blinded.push_back(bucket.blinded[i]);
+      if (!bucket.metadata.empty()) sorted.metadata.push_back(bucket.metadata[i]);
+    }
+    bucket = std::move(sorted);
+  }
+}
+
+QueryResponse OprfServer::handle(const QueryRequest& request) {
+  if (rate_limiting_) {
+    std::lock_guard limiter_lock(limiter_mutex_);
+    const auto it = authorized_.find(request.api_key);
+    if (it == authorized_.end() || !it->second) {
+      throw ProtocolError("OprfServer: unauthorized api key");
+    }
+    if (++window_counts_[request.api_key] > max_per_window_) {
+      throw ProtocolError("OprfServer: rate limit exceeded");
+    }
+  }
+  std::shared_lock lock(data_mutex_);
+  if (request.prefix >> lambda_ != 0) {
+    throw ProtocolError("OprfServer: prefix out of range for lambda");
+  }
+  const auto masked = ec::RistrettoPoint::decode(request.masked_query);
+  if (!masked) {
+    throw ProtocolError("OprfServer: malformed masked query");
+  }
+
+  QueryResponse response;
+  const ec::RistrettoPoint evaluated = *masked * mask_;
+  response.evaluated = evaluated.encode();
+  response.epoch = epoch_;
+  if (request.want_evaluation_proof) {
+    std::lock_guard rng_lock(rng_mutex_);
+    response.evaluation_proof = nizk::DleqProof::prove(
+        ec::RistrettoPoint::base(), key_commitment_, *masked, evaluated,
+        mask_, kEvalProofDomain, rng_);
+  }
+
+  if (request.cached_epoch == epoch_) {
+    response.bucket_omitted = true;
+    return response;
+  }
+  const auto it = buckets_.find(request.prefix);
+  if (it != buckets_.end()) {
+    response.bucket = it->second.blinded;
+    response.metadata = it->second.metadata;
+  }
+  return response;
+}
+
+void OprfServer::insert_into_bucket(const std::string& entry) {
+  const Bytes raw = to_bytes(entry);
+  const auto blinded = (oracle_.map_to_group(raw) * mask_).encode();
+  const std::uint32_t prefix = Oracle::prefix(raw, lambda_);
+  Bucket& bucket = buckets_[prefix];
+  const auto it =
+      std::lower_bound(bucket.blinded.begin(), bucket.blinded.end(), blinded);
+  const auto offset = it - bucket.blinded.begin();
+  bucket.blinded.insert(it, blinded);
+  if (metadata_provider_) {
+    bucket.metadata.insert(bucket.metadata.begin() + offset,
+                           seal_metadata(metadata_key(blinded),
+                                         metadata_provider_(entry)));
+  }
+  entry_index_[entry] = prefix;
+}
+
+std::size_t OprfServer::add_entries(std::span<const std::string> entries) {
+  std::unique_lock lock(data_mutex_);
+  std::size_t added = 0;
+  for (const auto& entry : entries) {
+    if (entry_index_.contains(entry)) continue;
+    insert_into_bucket(entry);
+    entries_.push_back(entry);
+    ++added;
+  }
+  if (added > 0) ++epoch_;
+  return added;
+}
+
+std::size_t OprfServer::remove_entries(std::span<const std::string> entries) {
+  std::unique_lock lock(data_mutex_);
+  std::size_t removed = 0;
+  for (const auto& entry : entries) {
+    const auto idx = entry_index_.find(entry);
+    if (idx == entry_index_.end()) continue;
+    // Recompute the blinded value to locate it inside the sorted bucket.
+    const auto blinded =
+        (oracle_.map_to_group(to_bytes(entry)) * mask_).encode();
+    Bucket& bucket = buckets_[idx->second];
+    const auto it = std::lower_bound(bucket.blinded.begin(),
+                                     bucket.blinded.end(), blinded);
+    if (it != bucket.blinded.end() && *it == blinded) {
+      const auto offset = it - bucket.blinded.begin();
+      bucket.blinded.erase(it);
+      if (!bucket.metadata.empty()) {
+        bucket.metadata.erase(bucket.metadata.begin() + offset);
+      }
+      if (bucket.blinded.empty()) buckets_.erase(idx->second);
+      ++removed;
+    }
+    entry_index_.erase(idx);
+    std::erase(entries_, entry);
+  }
+  if (removed > 0) ++epoch_;
+  return removed;
+}
+
+std::vector<std::uint32_t> OprfServer::prefix_list() const {
+  std::shared_lock lock(data_mutex_);
+  std::vector<std::uint32_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& [prefix, bucket] : buckets_) out.push_back(prefix);
+  return out;  // std::map iteration order is already sorted
+}
+
+OprfServer::BucketStats OprfServer::stats() const {
+  std::shared_lock lock(data_mutex_);
+  BucketStats s;
+  s.buckets_total = std::size_t{1} << lambda_;
+  s.buckets_nonempty = buckets_.size();
+  std::size_t total = 0;
+  for (const auto& [prefix, bucket] : buckets_) {
+    const std::size_t n = bucket.blinded.size();
+    total += n;
+    s.min_size = s.min_size == 0 ? n : std::min(s.min_size, n);
+    s.max_size = std::max(s.max_size, n);
+  }
+  s.avg_size = s.buckets_total == 0
+                   ? 0.0
+                   : static_cast<double>(total) /
+                         static_cast<double>(s.buckets_total);
+  s.k_anonymity = s.min_size;
+  QueryResponse probe;
+  s.avg_response_bytes =
+      probe.wire_size() +
+      static_cast<std::size_t>(s.avg_size * sizeof(ec::RistrettoPoint::Encoding));
+  return s;
+}
+
+std::vector<std::size_t> OprfServer::bucket_sizes() const {
+  std::shared_lock lock(data_mutex_);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(buckets_.size());
+  for (const auto& [prefix, bucket] : buckets_) {
+    sizes.push_back(bucket.blinded.size());
+  }
+  return sizes;
+}
+
+void OprfServer::enable_rate_limiting(std::uint32_t max_queries_per_window) {
+  rate_limiting_ = true;
+  max_per_window_ = max_queries_per_window;
+}
+
+void OprfServer::authorize_key(const std::string& key) {
+  authorized_[key] = true;
+}
+
+void OprfServer::revoke_key(const std::string& key) {
+  authorized_[key] = false;
+}
+
+void OprfServer::advance_window() {
+  std::lock_guard limiter_lock(limiter_mutex_);
+  window_counts_.clear();
+}
+
+void OprfServer::set_metadata_provider(MetadataProvider provider) {
+  metadata_provider_ = std::move(provider);
+}
+
+std::array<std::uint8_t, 32> OprfServer::metadata_key(
+    const ec::RistrettoPoint::Encoding& oprf_output) {
+  const Bytes okm = hash::hkdf_sha256(
+      ByteView(oprf_output.data(), oprf_output.size()),
+      to_bytes("cbl/oprf/metadata/salt"), to_bytes("metadata-key"), 32);
+  std::array<std::uint8_t, 32> key;
+  std::copy(okm.begin(), okm.end(), key.begin());
+  return key;
+}
+
+Bytes OprfServer::seal_metadata(const std::array<std::uint8_t, 32>& key,
+                                ByteView plaintext) {
+  // Stream-cipher encryption with a zero nonce is safe here because each
+  // key is unique per (entry, epoch) pair; integrity from HMAC-SHA256/16.
+  ChaChaRng stream(key);
+  Bytes ciphertext(plaintext.begin(), plaintext.end());
+  const Bytes pad = stream.bytes(ciphertext.size());
+  for (std::size_t i = 0; i < ciphertext.size(); ++i) ciphertext[i] ^= pad[i];
+  const auto tag = hash::hmac_sha256(key, ciphertext);
+  Bytes out(tag.begin(), tag.begin() + 16);
+  append(out, ciphertext);
+  return out;
+}
+
+std::optional<Bytes> OprfServer::open_metadata(
+    const std::array<std::uint8_t, 32>& key, ByteView ciphertext) {
+  if (ciphertext.size() < 16) return std::nullopt;
+  const ByteView tag(ciphertext.data(), 16);
+  const ByteView body(ciphertext.data() + 16, ciphertext.size() - 16);
+  const auto expected = hash::hmac_sha256(key, body);
+  if (!constant_time_eq(tag, ByteView(expected.data(), 16))) {
+    return std::nullopt;
+  }
+  ChaChaRng stream(key);
+  Bytes plaintext(body.begin(), body.end());
+  const Bytes pad = stream.bytes(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) plaintext[i] ^= pad[i];
+  return plaintext;
+}
+
+}  // namespace cbl::oprf

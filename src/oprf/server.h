@@ -1,0 +1,151 @@
+// The blocklist service provider S of Fig. 2: preprocesses the raw
+// blocklist under a secret mask R into 2^lambda prefix buckets, answers
+// blinded queries, and optionally publishes the prefix list so clients
+// can resolve most negatives locally. Includes the authorized-key rate
+// limiter the paper recommends against service-exhaustion attacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+#include "oprf/oracle.h"
+#include "nizk/sigma.h"
+#include "oprf/protocol.h"
+
+namespace cbl::oprf {
+
+/// Optional metadata source: maps a raw entry to plaintext metadata that
+/// the server stores encrypted under a key only derivable by a client who
+/// actually holds the listed entry (private-keyword-search-style
+/// extension, Section IV-B "Support for metadata query").
+using MetadataProvider = std::function<Bytes(const std::string& entry)>;
+
+// Thread safety: handle() and the read accessors may run concurrently
+// from many threads (the "considerable amount of users simultaneously"
+// goal); maintenance operations (setup / rotate_key / add_entries /
+// remove_entries / set_metadata_provider) take the write lock and may
+// run concurrently with queries but not with each other.
+
+class OprfServer {
+ public:
+  OprfServer(Oracle oracle, unsigned lambda, Rng& rng);
+
+  /// Data preprocessing (stage 1 of Fig. 2): samples a fresh mask R,
+  /// blinds every entry and partitions into buckets. `num_threads` > 1
+  /// parallelizes the exponentiations as in the paper's 8-core setup.
+  void setup(std::span<const std::string> entries, unsigned num_threads = 1);
+
+  /// Key rotation: new R, same data ("S can run this protocol in rotation
+  /// whenever there is a demand for adjusting R"). Bumps the epoch, which
+  /// invalidates client caches.
+  void rotate_key(unsigned num_threads = 1);
+
+  /// Incremental maintenance under the CURRENT mask R: blinds only the
+  /// new entries (one exponentiation each) instead of re-running setup.
+  /// Bumps the epoch once per call (bucket contents changed, so client
+  /// caches must refresh). Returns how many entries were actually
+  /// added/removed (duplicates and absentees are skipped).
+  std::size_t add_entries(std::span<const std::string> entries);
+  std::size_t remove_entries(std::span<const std::string> entries);
+  bool serves(const std::string& entry) const {
+    return entry_index_.contains(entry);
+  }
+
+  /// Online evaluation (stage 3 of Fig. 2). Throws ProtocolError on
+  /// malformed queries or rate-limit violations.
+  QueryResponse handle(const QueryRequest& request);
+
+  /// The published key commitment g^R for the current epoch (the
+  /// verifiable-OPRF anchor clients verify evaluation proofs against).
+  const ec::RistrettoPoint& key_commitment() const { return key_commitment_; }
+
+  static constexpr std::string_view kEvalProofDomain =
+      "cbl/oprf/evaluation-proof/v1";
+
+  /// Sorted list of non-empty prefixes, for distribution to clients.
+  std::vector<std::uint32_t> prefix_list() const;
+
+  std::uint64_t epoch() const { return epoch_; }
+  unsigned lambda() const { return lambda_; }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  struct BucketStats {
+    std::size_t buckets_total = 0;      // 2^lambda
+    std::size_t buckets_nonempty = 0;
+    std::size_t min_size = 0;           // over non-empty buckets
+    std::size_t max_size = 0;
+    double avg_size = 0.0;              // over all 2^lambda buckets
+    /// The k of k-anonymity: a query is hidden among the entries of its
+    /// bucket, so the guarantee is the minimum non-empty bucket size.
+    std::size_t k_anonymity = 0;
+    std::size_t avg_response_bytes = 0;
+  };
+  BucketStats stats() const;
+
+  /// Sizes of all non-empty buckets (input to anonymity analysis).
+  std::vector<std::size_t> bucket_sizes() const;
+
+  // --- Rate limiting (authorized keys) -----------------------------------
+  void enable_rate_limiting(std::uint32_t max_queries_per_window);
+  void authorize_key(const std::string& key);
+  void revoke_key(const std::string& key);
+  /// Starts a new accounting window (driven by the host's clock).
+  void advance_window();
+
+  // --- Metadata extension -------------------------------------------------
+  void set_metadata_provider(MetadataProvider provider);
+
+  /// Derives the symmetric key protecting entry metadata from the OPRF
+  /// output F(R, entry) = H(entry)^R. Exposed so the client can derive
+  /// the same key after unblinding.
+  static std::array<std::uint8_t, 32> metadata_key(
+      const ec::RistrettoPoint::Encoding& oprf_output);
+
+  /// Encrypts/decrypts metadata under a key (ChaCha20 stream + HMAC tag).
+  static Bytes seal_metadata(const std::array<std::uint8_t, 32>& key,
+                             ByteView plaintext);
+  static std::optional<Bytes> open_metadata(
+      const std::array<std::uint8_t, 32>& key, ByteView ciphertext);
+
+ private:
+  struct Bucket {
+    std::vector<ec::RistrettoPoint::Encoding> blinded;  // sorted
+    std::vector<Bytes> metadata;                        // aligned with blinded
+  };
+
+  void rebuild(unsigned num_threads);
+  void insert_into_bucket(const std::string& entry);
+
+  Oracle oracle_;
+  unsigned lambda_;
+  Rng& rng_;
+  ec::Scalar mask_;  // R
+  ec::RistrettoPoint key_commitment_;  // g^R
+  std::uint64_t epoch_ = 0;
+  std::vector<std::string> entries_;
+  std::unordered_map<std::string, std::uint32_t> entry_index_;  // -> prefix
+  std::map<std::uint32_t, Bucket> buckets_;
+  MetadataProvider metadata_provider_;
+
+  bool rate_limiting_ = false;
+  std::uint32_t max_per_window_ = 0;
+  std::unordered_map<std::string, std::uint32_t> window_counts_;
+  std::unordered_map<std::string, bool> authorized_;
+
+  mutable std::shared_mutex data_mutex_;   // buckets / mask / epoch
+  mutable std::mutex limiter_mutex_;       // rate-limiter counters
+  mutable std::mutex rng_mutex_;           // evaluation-proof randomness
+};
+
+}  // namespace cbl::oprf

@@ -1,0 +1,130 @@
+#include "oprf/wire.h"
+
+#include <algorithm>
+
+#include "ec/codec.h"
+
+namespace cbl::oprf {
+
+namespace {
+// Hard caps against hostile length prefixes.
+constexpr std::size_t kMaxBucket = 1u << 22;        // 4M entries
+constexpr std::size_t kMaxMetadataBytes = 1u << 16;  // per entry
+constexpr std::size_t kMaxApiKey = 256;
+constexpr std::size_t kMaxPrefixes = 1u << 24;
+}  // namespace
+
+Bytes serialize(const QueryRequest& request) {
+  ec::ByteWriter w;
+  w.u32(request.prefix);
+  w.raw(ByteView(request.masked_query.data(), request.masked_query.size()));
+  w.u64(request.cached_epoch);
+  w.var_bytes(to_bytes(request.api_key));
+  w.u8(request.want_evaluation_proof ? 1 : 0);
+  return w.take();
+}
+
+std::optional<QueryRequest> parse_query_request(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    QueryRequest request;
+    request.prefix = r.u32();
+    const Bytes masked = r.raw(32);
+    std::copy(masked.begin(), masked.end(), request.masked_query.begin());
+    request.cached_epoch = r.u64();
+    request.api_key = to_string(r.var_bytes(kMaxApiKey));
+    const std::uint8_t want = r.u8();
+    if (want > 1) return std::nullopt;
+    request.want_evaluation_proof = want == 1;
+    r.expect_done();
+    return request;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes serialize(const QueryResponse& response) {
+  ec::ByteWriter w;
+  w.raw(ByteView(response.evaluated.data(), response.evaluated.size()));
+  w.u64(response.epoch);
+  w.u8(response.bucket_omitted ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(response.bucket.size()));
+  for (const auto& entry : response.bucket) {
+    w.raw(ByteView(entry.data(), entry.size()));
+  }
+  w.u32(static_cast<std::uint32_t>(response.metadata.size()));
+  for (const auto& m : response.metadata) w.var_bytes(m);
+  w.u8(response.evaluation_proof ? 1 : 0);
+  if (response.evaluation_proof) {
+    w.raw(response.evaluation_proof->to_bytes());
+  }
+  return w.take();
+}
+
+std::optional<QueryResponse> parse_query_response(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    QueryResponse response;
+    const Bytes evaluated = r.raw(32);
+    std::copy(evaluated.begin(), evaluated.end(), response.evaluated.begin());
+    response.epoch = r.u64();
+    const std::uint8_t omitted = r.u8();
+    if (omitted > 1) return std::nullopt;
+    response.bucket_omitted = omitted == 1;
+
+    const std::uint32_t bucket_size = r.u32();
+    if (bucket_size > kMaxBucket) return std::nullopt;
+    response.bucket.reserve(bucket_size);
+    for (std::uint32_t i = 0; i < bucket_size; ++i) {
+      const Bytes entry = r.raw(32);
+      ec::RistrettoPoint::Encoding enc;
+      std::copy(entry.begin(), entry.end(), enc.begin());
+      response.bucket.push_back(enc);
+    }
+    const std::uint32_t metadata_count = r.u32();
+    if (metadata_count > kMaxBucket) return std::nullopt;
+    response.metadata.reserve(metadata_count);
+    for (std::uint32_t i = 0; i < metadata_count; ++i) {
+      response.metadata.push_back(r.var_bytes(kMaxMetadataBytes));
+    }
+    const std::uint8_t has_proof = r.u8();
+    if (has_proof > 1) return std::nullopt;
+    if (has_proof == 1) {
+      const auto proof = nizk::DleqProof::from_bytes(
+          r.raw(nizk::DleqProof::kWireSize));
+      if (!proof) return std::nullopt;
+      response.evaluation_proof = *proof;
+    }
+    r.expect_done();
+    return response;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes serialize_prefix_list(const std::vector<std::uint32_t>& prefixes) {
+  ec::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(prefixes.size()));
+  for (const auto p : prefixes) w.u32(p);
+  return w.take();
+}
+
+std::optional<std::vector<std::uint32_t>> parse_prefix_list(ByteView data) {
+  try {
+    ec::ByteReader r(data);
+    const std::uint32_t count = r.u32();
+    if (count > kMaxPrefixes) return std::nullopt;
+    std::vector<std::uint32_t> prefixes;
+    prefixes.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) prefixes.push_back(r.u32());
+    r.expect_done();
+    if (!std::is_sorted(prefixes.begin(), prefixes.end())) {
+      return std::nullopt;  // canonical form is sorted
+    }
+    return prefixes;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::oprf

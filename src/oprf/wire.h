@@ -1,0 +1,23 @@
+// Canonical wire format for the query protocol messages — what actually
+// travels between a user and a blocklist provider. Parsers treat input
+// as untrusted and return nullopt on any malformation.
+#pragma once
+
+#include <optional>
+
+#include "oprf/protocol.h"
+
+namespace cbl::oprf {
+
+Bytes serialize(const QueryRequest& request);
+std::optional<QueryRequest> parse_query_request(ByteView data);
+
+Bytes serialize(const QueryResponse& response);
+std::optional<QueryResponse> parse_query_response(ByteView data);
+
+/// Serialized prefix list (sorted u32 prefixes), as distributed to
+/// clients for the local fast path.
+Bytes serialize_prefix_list(const std::vector<std::uint32_t>& prefixes);
+std::optional<std::vector<std::uint32_t>> parse_prefix_list(ByteView data);
+
+}  // namespace cbl::oprf

@@ -1,0 +1,38 @@
+#include "voting/audit.h"
+
+#include <algorithm>
+
+namespace cbl::voting {
+
+AuditReport audit_provider(oprf::OprfServer& server, oprf::OprfClient& client,
+                           std::span<const std::string> published_entries,
+                           std::size_t sample_count, Rng& rng) {
+  AuditReport report;
+  if (published_entries.empty()) return report;
+
+  const auto prefix_list = server.prefix_list();
+
+  for (std::size_t s = 0; s < sample_count; ++s) {
+    const std::string& entry =
+        published_entries[rng.uniform(published_entries.size())];
+    ++report.samples;
+
+    // Check 2: the advertised prefix list must cover this entry's prefix.
+    const std::uint32_t prefix =
+        oprf::Oracle::prefix(to_bytes(entry), server.lambda());
+    if (!std::binary_search(prefix_list.begin(), prefix_list.end(), prefix)) {
+      ++report.prefix_failures;
+      continue;  // membership through the protocol would fail trivially
+    }
+
+    // Check 1: random membership inference through the live protocol.
+    const auto prepared = client.prepare(entry);
+    const auto response = server.handle(prepared.request);
+    if (!client.finish(prepared.pending, response).listed) {
+      ++report.membership_failures;
+    }
+  }
+  return report;
+}
+
+}  // namespace cbl::voting

@@ -1,0 +1,34 @@
+// Shareholder-side service audit (Section V-C, "Verifiable blocklist
+// service"): before voting on quality, shareholders verify that
+//  1) published blocklist entries are actually served, via random
+//     membership inference through the private query protocol itself;
+//  2) prefixes and blocklist entries are correctly mapped (the bucket a
+//     served entry lands in matches its advertised prefix).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "oprf/client.h"
+#include "oprf/server.h"
+
+namespace cbl::voting {
+
+struct AuditReport {
+  std::size_t samples = 0;
+  std::size_t membership_failures = 0;  // entry claimed but not served
+  std::size_t prefix_failures = 0;      // prefix list inconsistent
+  bool passed() const {
+    return membership_failures == 0 && prefix_failures == 0;
+  }
+};
+
+/// Samples `sample_count` entries uniformly from the provider's published
+/// blocklist and spot-checks the live service. `client` must be
+/// configured with the same oracle and lambda as the server.
+AuditReport audit_provider(oprf::OprfServer& server, oprf::OprfClient& client,
+                           std::span<const std::string> published_entries,
+                           std::size_t sample_count, Rng& rng);
+
+}  // namespace cbl::voting

@@ -1,0 +1,117 @@
+#include "voting/ceremony.h"
+
+namespace cbl::voting {
+
+Ceremony::Ceremony(chain::Blockchain& chain, EvaluationConfig config,
+                   const std::vector<unsigned>& votes, Rng& rng)
+    : Ceremony(chain, config, votes,
+               std::vector<std::uint32_t>(votes.size(), 1), rng) {}
+
+Ceremony::Ceremony(chain::Blockchain& chain, EvaluationConfig config,
+                   const std::vector<unsigned>& votes,
+                   const std::vector<std::uint32_t>& weights, Rng& rng)
+    : chain_(chain), config_(config), rng_(rng) {
+  if (votes.size() != config_.thresh || weights.size() != votes.size()) {
+    throw std::invalid_argument("Ceremony: one vote per registering candidate");
+  }
+  provider_ = chain_.ledger().create_account("blocklist-provider");
+  chain_.ledger().mint(provider_, config_.provider_deposit + 1'000);
+
+  participants_.reserve(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    CeremonyParticipant p;
+    p.shareholder = std::make_unique<Shareholder>(
+        chain_.crs(), rng_, votes[i], config_.deposit, weights[i]);
+    p.funding_account =
+        chain_.ledger().create_account("shareholder-" + std::to_string(i));
+    p.payout_account =
+        chain_.ledger().create_account("anon-payout-" + std::to_string(i));
+    chain_.ledger().mint(p.funding_account,
+                         p.shareholder->total_stake() + 100);
+    participants_.push_back(std::move(p));
+  }
+  contract_ = std::make_unique<EvaluationContract>(chain_, config_, provider_);
+}
+
+void Ceremony::fund_and_shield() {
+  for (auto& p : participants_) {
+    chain_.execute(p.funding_account, "shield-deposit", 32 + 64, [&] {
+      chain_.shielded_pool().shield(p.funding_account,
+                                    p.shareholder->total_stake(),
+                                    p.shareholder->deposit_note(),
+                                    p.shareholder->make_shield_proof(rng_));
+    });
+  }
+}
+
+void Ceremony::register_all() {
+  for (auto& p : participants_) {
+    p.index = contract_->register_shareholder(
+        p.funding_account, p.shareholder->build_round1(rng_));
+  }
+}
+
+void Ceremony::reveal_all() {
+  const Bytes& nu = contract_->challenge();
+  for (auto& p : participants_) {
+    contract_->reveal_vrf(p.index, p.shareholder->build_vrf_reveal(nu, rng_),
+                          p.funding_account);
+  }
+}
+
+void Ceremony::finalize_committee() {
+  contract_->finalize_committee(provider_);
+  for (const auto& p : participants_) {
+    if (contract_->is_selected(p.index)) {
+      result_.committee_indices.push_back(p.index);
+    }
+  }
+}
+
+void Ceremony::vote_all() {
+  const auto secrets = contract_->committee_secrets();
+  for (auto& p : participants_) {
+    const auto position = contract_->committee_position(p.index);
+    if (!position) continue;
+    contract_->submit_round2(
+        p.index, p.shareholder->build_round2(secrets, *position, rng_),
+        p.funding_account);
+  }
+}
+
+void Ceremony::payoff_and_withdraw() {
+  result_.outcome = contract_->outcome();
+  contract_->run_payoff(provider_);
+  contract_->settle_provider(provider_);
+
+  for (auto& p : participants_) {
+    if (!contract_->is_selected(p.index)) continue;
+    const auto updated = contract_->updated_note(p.index);
+    const auto opening = p.shareholder->updated_note_opening(
+        result_.outcome.approved, config_.reward, config_.penalty);
+    const auto claim = static_cast<chain::Amount>(
+        load_le64(opening.value.to_bytes().data()));
+    chain_.execute(p.payout_account, "withdraw", 32 + 64, [&] {
+      chain_.shielded_pool().unshield(
+          updated, claim,
+          p.shareholder->make_withdraw_proof(result_.outcome.approved,
+                                             config_.reward, config_.penalty,
+                                             rng_),
+          p.payout_account);
+    });
+    result_.payouts.push_back(chain_.ledger().balance(p.payout_account));
+  }
+  result_.stored_proof_bytes = contract_->stored_proof_bytes();
+}
+
+CeremonyResult Ceremony::run() {
+  fund_and_shield();
+  register_all();
+  reveal_all();
+  finalize_committee();
+  vote_all();
+  payoff_and_withdraw();
+  return result_;
+}
+
+}  // namespace cbl::voting

@@ -1,0 +1,69 @@
+// End-to-end driver for one full decentralized evaluation: shields the
+// stakes, runs both rounds and the sortition, tallies, pays off, and
+// withdraws — the whole Fig. 3 workflow in one call. Used by tests,
+// examples, and the cost benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "voting/contract.h"
+#include "voting/shareholder.h"
+
+namespace cbl::voting {
+
+struct CeremonyResult {
+  EvaluationContract::Outcome outcome;
+  std::vector<std::size_t> committee_indices;
+  /// Post-withdrawal balances of the anonymous payout accounts, aligned
+  /// with committee_indices.
+  std::vector<chain::Amount> payouts;
+  std::size_t stored_proof_bytes = 0;
+};
+
+struct CeremonyParticipant {
+  std::unique_ptr<Shareholder> shareholder;
+  chain::AccountId funding_account = 0;
+  chain::AccountId payout_account = 0;  // fresh, unlinked
+  std::size_t index = 0;
+};
+
+class Ceremony {
+ public:
+  /// `votes[i]` is candidate i's intended vote; votes.size() must equal
+  /// config.thresh (everyone who registers). The second form declares a
+  /// per-candidate voting weight tau_i (stake scales accordingly).
+  Ceremony(chain::Blockchain& chain, EvaluationConfig config,
+           const std::vector<unsigned>& votes, Rng& rng);
+  Ceremony(chain::Blockchain& chain, EvaluationConfig config,
+           const std::vector<unsigned>& votes,
+           const std::vector<std::uint32_t>& weights, Rng& rng);
+
+  /// Runs everything and returns the outcome. Individual stages are also
+  /// exposed below for benches that need per-stage timing.
+  CeremonyResult run();
+
+  // Staged interface ---------------------------------------------------------
+  void fund_and_shield();
+  void register_all();
+  void reveal_all();
+  void finalize_committee();
+  void vote_all();
+  void payoff_and_withdraw();
+
+  EvaluationContract& contract() { return *contract_; }
+  std::vector<CeremonyParticipant>& participants() { return participants_; }
+  chain::AccountId provider_account() const { return provider_; }
+
+ private:
+  chain::Blockchain& chain_;
+  EvaluationConfig config_;
+  Rng& rng_;
+  chain::AccountId provider_;
+  std::vector<CeremonyParticipant> participants_;
+  std::unique_ptr<EvaluationContract> contract_;
+  CeremonyResult result_;
+};
+
+}  // namespace cbl::voting

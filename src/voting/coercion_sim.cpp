@@ -1,0 +1,81 @@
+#include "voting/coercion_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "game/sortition_math.h"
+#include "voting/ceremony.h"
+#include "vrf/vrf.h"
+
+namespace cbl::voting {
+
+CoercionSimResult simulate_sortition_capture(const CoercionSimConfig& config,
+                                             Rng& rng) {
+  CoercionSimResult result;
+  result.trials = config.trials;
+  result.analytical_capture_rate = game::majority_capture_probability(
+      config.pool_size, config.controlled, config.committee_size);
+
+  const std::size_t majority = config.committee_size / 2 + 1;
+
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    // Fresh keys for everyone, fresh public challenge.
+    const Bytes challenge = rng.bytes(32);
+    std::vector<std::pair<vrf::Output, bool>> ranked;  // (output, coerced)
+    ranked.reserve(config.pool_size);
+    for (std::size_t i = 0; i < config.pool_size; ++i) {
+      const auto keys = vrf::KeyPair::generate(rng);
+      ranked.emplace_back(vrf::evaluate(keys, challenge),
+                          i < config.controlled);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    std::size_t coerced_seats = 0;
+    for (std::size_t s = 0; s < config.committee_size; ++s) {
+      if (ranked[s].second) ++coerced_seats;
+    }
+    if (coerced_seats >= majority) ++result.captures;
+  }
+  result.empirical_capture_rate =
+      static_cast<double>(result.captures) /
+      static_cast<double>(std::max<std::size_t>(1, result.trials));
+  return result;
+}
+
+CoercionSimResult simulate_full_ceremony_capture(
+    const CoercionSimConfig& config, Rng& rng) {
+  CoercionSimResult result;
+  result.trials = config.trials;
+  result.analytical_capture_rate = game::majority_capture_probability(
+      config.pool_size, config.controlled, config.committee_size);
+
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    chain::Blockchain chain;
+    // Per-trial beacon divergence so each ceremony draws a fresh nu.
+    chain.emit_event("trial", std::to_string(t) + to_hex(rng.bytes(8)));
+
+    EvaluationConfig cfg;
+    cfg.thresh = config.pool_size;
+    cfg.committee_size = config.committee_size;
+    cfg.deposit = 10;
+    cfg.provider_deposit =
+        static_cast<chain::Amount>(2 * config.committee_size);
+
+    // Coerced candidates vote 1; the honest society votes 0. The coercer
+    // wins the trial iff the final outcome is "approved".
+    std::vector<unsigned> votes(config.pool_size, 0);
+    for (std::size_t i = 0; i < config.controlled; ++i) votes[i] = 1;
+
+    Ceremony ceremony(chain, cfg, votes, rng);
+    const auto outcome = ceremony.run().outcome;
+    if (outcome.approved) ++result.captures;
+  }
+  result.empirical_capture_rate =
+      static_cast<double>(result.captures) /
+      static_cast<double>(std::max<std::size_t>(1, result.trials));
+  return result;
+}
+
+}  // namespace cbl::voting

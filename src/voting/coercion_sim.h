@@ -1,0 +1,43 @@
+// Empirical validation of the Section V-E pool-dilution defence: a
+// coercer buys `controlled` of the `pool_size` registered candidates and
+// wins only if the VRF sortition seats a strict majority of them. The
+// simulator runs the real mechanism (fresh VRF keys, a fresh challenge,
+// real ranking) and compares the observed capture rate with the
+// hypergeometric prediction of game/sortition_math.h.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+
+namespace cbl::voting {
+
+struct CoercionSimConfig {
+  std::size_t pool_size = 20;      // thresh: registered candidates
+  std::size_t committee_size = 5;  // N: seats
+  std::size_t controlled = 5;      // candidates the coercer bought
+  std::size_t trials = 200;
+};
+
+struct CoercionSimResult {
+  std::size_t trials = 0;
+  std::size_t captures = 0;  // trials where coerced members hold a majority
+  double empirical_capture_rate = 0;
+  double analytical_capture_rate = 0;  // hypergeometric prediction
+};
+
+/// Runs `trials` independent sortitions through the real VRF machinery
+/// (per-candidate keypairs, per-trial challenge, output ranking) and
+/// counts majority captures.
+CoercionSimResult simulate_sortition_capture(const CoercionSimConfig& config,
+                                             Rng& rng);
+
+/// Heavier variant: runs a handful of COMPLETE evaluation ceremonies on a
+/// simulated chain, with coerced candidates voting 1 and honest
+/// candidates voting 0, and counts how often the final outcome lands the
+/// coercer's way. Cross-checks that the end-to-end protocol behaves like
+/// its sortition core.
+CoercionSimResult simulate_full_ceremony_capture(
+    const CoercionSimConfig& config, Rng& rng);
+
+}  // namespace cbl::voting

@@ -1,0 +1,489 @@
+#include "voting/contract.h"
+
+#include <algorithm>
+
+#include "hash/sha256.h"
+#include "nizk/signature.h"
+#include "voting/shareholder.h"
+#include "voting/wire.h"
+
+namespace cbl::voting {
+
+EvaluationContract::EvaluationContract(chain::Blockchain& chain,
+                                       EvaluationConfig config,
+                                       chain::AccountId provider)
+    : chain_(chain), crs_(chain.crs()), config_(config), provider_(provider) {
+  if (config_.committee_size == 0 || config_.committee_size > config_.thresh) {
+    throw ChainError("EvaluationContract: need 0 < N <= thresh");
+  }
+  if (config_.provider_deposit <
+      static_cast<chain::Amount>(config_.committee_size) * config_.reward) {
+    throw ChainError(
+        "EvaluationContract: provider deposit cannot cover rewards");
+  }
+  chain_.execute(provider, "propose", 64, [&] {
+    provider_deposit_id_ =
+        chain_.ledger().lock_deposit(provider, config_.provider_deposit);
+  });
+  chain_.emit_event("proposal-open");
+}
+
+void EvaluationContract::require_phase(Phase expected, const char* what) const {
+  if (phase_ != expected) {
+    throw ChainError(std::string("EvaluationContract: ") + what +
+                            " called in wrong phase");
+  }
+}
+
+std::uint64_t EvaluationContract::current_deadline() const {
+  std::uint64_t window = 0;
+  switch (phase_) {
+    case Phase::kRegistration: window = config_.registration_deadline_blocks; break;
+    case Phase::kVrfReveal: window = config_.reveal_deadline_blocks; break;
+    case Phase::kRound2: window = config_.round2_deadline_blocks; break;
+    default: return 0;
+  }
+  return window == 0 ? 0 : phase_started_at_ + window;
+}
+
+namespace {
+void require_deadline_passed(const chain::Blockchain& chain,
+                             std::uint64_t deadline, const char* what) {
+  if (deadline != 0 && chain.height() < deadline) {
+    throw ChainError(std::string("EvaluationContract: ") + what +
+                     " before the phase deadline");
+  }
+}
+}  // namespace
+
+std::size_t EvaluationContract::register_shareholder(
+    chain::AccountId payer, const Round1Submission& sub) {
+  std::size_t index = 0;
+  chain_.execute(payer, "VoteCommit", Round1Submission::wire_size(), [&] {
+    require_phase(Phase::kRegistration, "VoteCommit");
+
+    // assert NIZK_verify(pi_deposit, phi_pub): the deposit note is a
+    // commitment to exactly D, and it exists unspent and unlocked in the
+    // shielded pool.
+    auto& pool = chain_.shielded_pool();
+    if (!pool.note_exists(sub.deposit_note) ||
+        pool.note_spent(sub.deposit_note) ||
+        pool.note_locked(sub.deposit_note)) {
+      throw ChainError("VoteCommit: deposit note unavailable");
+    }
+    if (sub.weight == 0 || sub.weight > config_.max_weight) {
+      throw ChainError("VoteCommit: weight out of range");
+    }
+    const auto stake = static_cast<std::uint64_t>(config_.deposit) *
+                       sub.weight;
+    const ec::RistrettoPoint residue =
+        sub.deposit_note.point() - crs_.g * ec::Scalar::from_u64(stake);
+    if (!sub.deposit_proof.verify(crs_.h, residue,
+                                  chain::ShieldedPool::kSpendDomain)) {
+      throw ChainError("VoteCommit: invalid deposit proof");
+    }
+
+    // assert NIZK_verify(pi_A, phi_A, comm_secret, comm_vote): the
+    // commitments are well-formed under one secret, and the vote is
+    // binary.
+    const nizk::StatementA statement{sub.comm_secret, sub.c1, sub.c2};
+    if (!sub.proof_a.verify(crs_, statement)) {
+      throw ChainError("VoteCommit: invalid pi_A");
+    }
+    if (!sub.vote_proof.verify(crs_, sub.comm_vote, sub.weight)) {
+      throw ChainError("VoteCommit: invalid binary-vote proof");
+    }
+
+    // Reject duplicate VRF keys / commitments (sybil hygiene within one
+    // proposal).
+    for (const auto& slot : shareholders_) {
+      if (slot.round1.vrf_pk == sub.vrf_pk ||
+          slot.round1.comm_secret == sub.comm_secret) {
+        throw ChainError("VoteCommit: duplicate registration material");
+      }
+    }
+
+    pool.lock_note(sub.deposit_note);
+    index = shareholders_.size();
+    shareholders_.push_back(ShareholderSlot{sub, std::nullopt, std::nullopt,
+                                            false, std::nullopt});
+    stored_proof_bytes_ += Round1Submission::wire_size();
+    chain_.emit_event("intention fixed");
+    if (shareholders_.size() == config_.thresh) close_registration();
+  });
+  return index;
+}
+
+std::size_t EvaluationContract::register_shareholder_bytes(
+    chain::AccountId payer, ByteView submission) {
+  const auto parsed = parse_round1(submission);
+  if (!parsed) throw ChainError("VoteCommit: malformed submission bytes");
+  return register_shareholder(payer, *parsed);
+}
+
+void EvaluationContract::reveal_vrf_bytes(std::size_t index, ByteView reveal,
+                                          chain::AccountId payer) {
+  const auto parsed = parse_vrf_reveal(reveal);
+  if (!parsed) throw ChainError("VrfReveal: malformed reveal bytes");
+  reveal_vrf(index, *parsed, payer);
+}
+
+void EvaluationContract::submit_round2_bytes(std::size_t index,
+                                             ByteView submission,
+                                             chain::AccountId payer) {
+  const auto parsed = parse_round2(submission);
+  if (!parsed) throw ChainError("Vote: malformed submission bytes");
+  submit_round2(index, *parsed, payer);
+}
+
+void EvaluationContract::close_registration() {
+  // "On receive signal (cnt = thresh), output a random number nu."
+  challenge_ = chain_.randomness_beacon();
+  phase_ = Phase::kVrfReveal;
+  phase_started_at_ = chain_.height();
+  chain_.emit_event("registration closed");
+}
+
+const Bytes& EvaluationContract::challenge() const {
+  if (phase_ == Phase::kRegistration) {
+    throw ChainError("EvaluationContract: challenge not yet emitted");
+  }
+  return challenge_;
+}
+
+void EvaluationContract::reveal_vrf(std::size_t index, const VrfReveal& reveal,
+                                    chain::AccountId payer) {
+  chain_.execute(payer, "VrfReveal", VrfReveal::wire_size(), [&] {
+    require_phase(Phase::kVrfReveal, "VrfReveal");
+    if (index >= shareholders_.size()) {
+      throw ChainError("VrfReveal: unknown shareholder");
+    }
+    auto& slot = shareholders_[index];
+    if (slot.vrf_out) throw ChainError("VrfReveal: already revealed");
+    if (!vrf::verify(slot.round1.vrf_pk, challenge_, reveal.proof)) {
+      throw ChainError("VrfReveal: VRF verification failed");
+    }
+    slot.vrf_out = vrf::output(reveal.proof);
+    slot.vrf_reveal = reveal;
+    stored_proof_bytes_ += VrfReveal::wire_size();
+  });
+}
+
+void EvaluationContract::finalize_committee(chain::AccountId payer) {
+  chain_.execute(payer, "FinalizeCommittee", 0, [&] {
+    require_phase(Phase::kVrfReveal, "FinalizeCommittee");
+
+    // Rank revealed candidates by VRF output; smallest N win.
+    std::vector<std::size_t> revealed;
+    for (std::size_t i = 0; i < shareholders_.size(); ++i) {
+      if (shareholders_[i].vrf_out) revealed.push_back(i);
+    }
+    if (revealed.size() < config_.committee_size) {
+      throw ChainError(
+          "FinalizeCommittee: not enough VRF reveals for a committee");
+    }
+    std::sort(revealed.begin(), revealed.end(),
+              [&](std::size_t a, std::size_t b) {
+                return *shareholders_[a].vrf_out < *shareholders_[b].vrf_out;
+              });
+    committee_.assign(revealed.begin(),
+                      revealed.begin() +
+                          static_cast<long>(config_.committee_size));
+    // Y's definition needs a canonical order; use registration order.
+    std::sort(committee_.begin(), committee_.end());
+    for (const std::size_t i : committee_) shareholders_[i].selected = true;
+
+    // "unlock $deposit for all unselected."
+    auto& pool = chain_.shielded_pool();
+    for (std::size_t i = 0; i < shareholders_.size(); ++i) {
+      if (!shareholders_[i].selected) {
+        pool.unlock_note(shareholders_[i].round1.deposit_note);
+      }
+    }
+    aggregate_ = ec::RistrettoPoint::identity();  // V := 1
+    phase_ = Phase::kRound2;
+    phase_started_at_ = chain_.height();
+    chain_.emit_event("voters fixed");
+  });
+}
+
+bool EvaluationContract::is_selected(std::size_t index) const {
+  return index < shareholders_.size() && shareholders_[index].selected;
+}
+
+std::optional<std::size_t> EvaluationContract::committee_position(
+    std::size_t index) const {
+  const auto it = std::find(committee_.begin(), committee_.end(), index);
+  if (it == committee_.end()) return std::nullopt;
+  return static_cast<std::size_t>(std::distance(committee_.begin(), it));
+}
+
+std::vector<ec::RistrettoPoint> EvaluationContract::committee_secrets() const {
+  std::vector<ec::RistrettoPoint> secrets;
+  secrets.reserve(committee_.size());
+  for (const std::size_t i : committee_) {
+    secrets.push_back(shareholders_[i].round1.comm_secret);
+  }
+  return secrets;
+}
+
+void EvaluationContract::submit_round2(std::size_t index,
+                                       const Round2Submission& sub,
+                                       chain::AccountId payer) {
+  chain_.execute(payer, "Vote", Round2Submission::wire_size(), [&] {
+    require_phase(Phase::kRound2, "Vote");
+    const auto position = committee_position(index);
+    if (!position) throw ChainError("Vote: not a committee member");
+    auto& slot = shareholders_[index];
+    if (slot.round2) throw ChainError("Vote: duplicate submission");
+
+    // The chain recomputes Y from the public round-1 commitments and
+    // verifies pi_B against it.
+    const ec::RistrettoPoint y = compute_y(committee_secrets(), *position);
+    nizk::StatementB statement;
+    statement.c0 = slot.round1.comm_secret;
+    statement.big_c = slot.round1.comm_vote;
+    statement.psi = sub.psi;
+    statement.y = y;
+    if (!sub.proof_b.verify(crs_, statement)) {
+      throw ChainError("Vote: invalid pi_B");
+    }
+
+    slot.round2 = sub;
+    aggregate_ = aggregate_ + sub.psi;  // V := V * psi
+    ++round2_count_;
+    stored_proof_bytes_ += Round2Submission::wire_size();
+    chain_.emit_event("vote fixed");
+    if (round2_count_ == committee_.size()) auto_tally();
+  });
+}
+
+void EvaluationContract::auto_tally() {
+  // tally := solveDLP(g, V); brute force over [0, sum of weights].
+  std::uint64_t total_weight = 0;
+  for (const std::size_t i : committee_) {
+    total_weight += shareholders_[i].round1.weight;
+  }
+  const auto tally = solve_dlp_bruteforce(crs_.g, aggregate_, total_weight);
+  if (!tally) {
+    // Unreachable for honest aggregation: pi_B + the weighted binary-vote
+    // proof guarantee V is in the image of g^[0, total_weight].
+    throw ChainError("auto_tally: DLP solution out of range");
+  }
+  outcome_.tally = *tally;
+  outcome_.total_weight = total_weight;
+  outcome_.approved = *tally * 2 > total_weight;  // Eq. (1)
+  phase_ = Phase::kTallied;
+  chain_.emit_event("outcome released",
+                    outcome_.approved ? "approved" : "rejected");
+}
+
+Bytes EvaluationContract::expected_settlement_message(
+    const ec::RistrettoPoint& aggregate) const {
+  std::vector<ec::RistrettoPoint> secrets, vote_comms;
+  std::vector<std::uint32_t> weights;
+  for (const std::size_t i : committee_) {
+    secrets.push_back(shareholders_[i].round1.comm_secret);
+    vote_comms.push_back(shareholders_[i].round1.comm_vote);
+    weights.push_back(shareholders_[i].round1.weight);
+  }
+  // Same hash the channel computes in settlement_message(), rebuilt from
+  // the chain's own records and the claimed aggregate.
+  hash::Sha256 h;
+  h.update("cbl/voting/state-channel/message");
+  h.update(challenge_);
+  for (std::size_t i = 0; i < secrets.size(); ++i) {
+    h.update(secrets[i].encode());
+    h.update(vote_comms[i].encode());
+    std::uint8_t w[4];
+    store_le32(w, weights[i]);
+    h.update(ByteView(w, 4));
+  }
+  h.update(aggregate.encode());
+  const auto digest = h.finalize();
+  return Bytes(digest.begin(), digest.end());
+}
+
+void EvaluationContract::settle_round2_offchain(
+    const OffchainSettlement& settlement, chain::AccountId payer) {
+  chain_.execute(payer, "SettleOffchain", settlement.wire_size(), [&] {
+    require_phase(Phase::kRound2, "SettleOffchain");
+    if (round2_count_ != 0) {
+      throw ChainError(
+          "SettleOffchain: on-chain votes already cast; finish on chain");
+    }
+    if (settlement.signatures.size() != committee_.size()) {
+      throw ChainError("SettleOffchain: need one signature per member");
+    }
+    const Bytes message = expected_settlement_message(settlement.aggregate);
+    for (std::size_t pos = 0; pos < committee_.size(); ++pos) {
+      const auto& slot = shareholders_[committee_[pos]];
+      if (!nizk::verify_signature(slot.round1.vrf_pk, message,
+                                  Round2Channel::kSettleDomain,
+                                  settlement.signatures[pos])) {
+        throw ChainError("SettleOffchain: signature verification failed");
+      }
+    }
+    aggregate_ = settlement.aggregate;
+    round2_count_ = committee_.size();
+    stored_proof_bytes_ += settlement.wire_size();
+    chain_.emit_event("round2 settled off-chain");
+    auto_tally();
+  });
+}
+
+const EvaluationContract::Outcome& EvaluationContract::outcome() const {
+  if (phase_ != Phase::kTallied && phase_ != Phase::kPaidOff) {
+    throw ChainError("EvaluationContract: outcome not yet available");
+  }
+  return outcome_;
+}
+
+commit::Commitment EvaluationContract::updated_note(std::size_t index) const {
+  if (index >= shareholders_.size() || !shareholders_[index].selected) {
+    throw ChainError("updated_note: not a committee member");
+  }
+  const auto& slot = shareholders_[index];
+  const auto swing = ec::Scalar::from_u64(
+      static_cast<std::uint64_t>(config_.reward + config_.penalty));
+  const auto tau = ec::Scalar::from_u64(slot.round1.weight);
+  // helper = comm_vote (outcome = 1) or g^tau / comm_vote (outcome = 0);
+  // its g-exponent is tau * eq(v, outcome). updated =
+  // note * helper^swing / g^(penalty * tau).
+  const ec::RistrettoPoint helper =
+      outcome_.approved ? slot.round1.comm_vote
+                        : crs_.g * tau - slot.round1.comm_vote;
+  const ec::RistrettoPoint updated =
+      slot.round1.deposit_note.point() + helper * swing -
+      crs_.g *
+          ec::Scalar::from_u64(static_cast<std::uint64_t>(config_.penalty)) *
+          tau;
+  return commit::Commitment(updated);
+}
+
+EvaluationContract::ProposalExport EvaluationContract::export_record() const {
+  if (phase_ != Phase::kTallied && phase_ != Phase::kPaidOff) {
+    throw ChainError("export_record: proposal not yet tallied");
+  }
+  ProposalExport record;
+  record.challenge = challenge_;
+  for (const auto& slot : shareholders_) {
+    record.round1.push_back(serialize(slot.round1));
+    if (slot.vrf_reveal) {
+      record.vrf_reveals.emplace_back(serialize(*slot.vrf_reveal));
+    } else {
+      record.vrf_reveals.emplace_back();
+    }
+  }
+  record.committee = committee_;
+  for (const std::size_t i : committee_) {
+    if (shareholders_[i].round2) {
+      record.round2.push_back(serialize(*shareholders_[i].round2));
+    }
+  }
+  record.outcome = outcome_;
+  return record;
+}
+
+void EvaluationContract::run_payoff(chain::AccountId payer) {
+  chain_.execute(payer, "payoff", 0, [&] {
+    require_phase(Phase::kTallied, "payoff");
+    auto& pool = chain_.shielded_pool();
+
+    // Public escrow settlement: each weight unit on the winning side
+    // gains `reward`, each on the losing side loses `penalty`; the
+    // weighted counts are public once the tally is out.
+    const auto total_w = static_cast<chain::Amount>(outcome_.total_weight);
+    const auto winners = static_cast<chain::Amount>(
+        outcome_.approved ? outcome_.tally
+                          : outcome_.total_weight - outcome_.tally);
+    const chain::Amount net =
+        winners * config_.reward - (total_w - winners) * config_.penalty;
+    if (net > 0) {
+      // Rewards are funded from the provider's stake.
+      chain_.ledger().slash_deposit(provider_deposit_id_, net);
+      pool.fund_escrow(chain_.ledger().treasury(), net);
+    } else if (net < 0) {
+      pool.drain_escrow(chain_.ledger().treasury(), -net);
+    }
+
+    for (const std::size_t i : committee_) {
+      const commit::Commitment updated = updated_note(i);
+      pool.replace_note(shareholders_[i].round1.deposit_note, updated);
+    }
+    phase_ = Phase::kPaidOff;
+    chain_.emit_event("payoff complete");
+  });
+}
+
+void EvaluationContract::settle_provider(chain::AccountId payer) {
+  chain_.execute(payer, "settle-provider", 0, [&] {
+    require_phase(Phase::kPaidOff, "settle-provider");
+    chain_.ledger().release_deposit(provider_deposit_id_);
+  });
+}
+
+void EvaluationContract::abort_registration(chain::AccountId payer) {
+  chain_.execute(payer, "abort-registration", 0, [&] {
+    require_phase(Phase::kRegistration, "abort-registration");
+    require_deadline_passed(chain_, current_deadline(), "abort-registration");
+    auto& pool = chain_.shielded_pool();
+    for (const auto& slot : shareholders_) {
+      pool.unlock_note(slot.round1.deposit_note);
+    }
+    chain_.ledger().release_deposit(provider_deposit_id_);
+    phase_ = Phase::kAborted;
+    chain_.emit_event("registration aborted");
+  });
+}
+
+void EvaluationContract::abort_reveal(chain::AccountId payer) {
+  chain_.execute(payer, "abort-reveal", 0, [&] {
+    require_phase(Phase::kVrfReveal, "abort-reveal");
+    require_deadline_passed(chain_, current_deadline(), "abort-reveal");
+    std::size_t revealed = 0;
+    for (const auto& slot : shareholders_) {
+      if (slot.vrf_out) ++revealed;
+    }
+    if (revealed >= config_.committee_size) {
+      throw ChainError(
+          "abort-reveal: enough reveals exist; finalize the committee");
+    }
+    auto& pool = chain_.shielded_pool();
+    for (const auto& slot : shareholders_) {
+      pool.unlock_note(slot.round1.deposit_note);
+    }
+    chain_.ledger().release_deposit(provider_deposit_id_);
+    phase_ = Phase::kAborted;
+    chain_.emit_event("reveal aborted");
+  });
+}
+
+void EvaluationContract::abort_stalled(chain::AccountId payer) {
+  chain_.execute(payer, "abort", 0, [&] {
+    require_phase(Phase::kRound2, "abort");
+    require_deadline_passed(chain_, current_deadline(), "abort");
+    if (round2_count_ == committee_.size()) {
+      throw ChainError("abort: nothing is stalled");
+    }
+    auto& pool = chain_.shielded_pool();
+    for (const std::size_t i : committee_) {
+      const auto& slot = shareholders_[i];
+      if (slot.round2) {
+        pool.unlock_note(slot.round1.deposit_note);  // responders keep stake
+      } else {
+        // Stallers' notes stay locked forever (burned); the equivalent
+        // value is redistributed from escrow to the treasury.
+        pool.drain_escrow(
+            chain_.ledger().treasury(),
+            config_.deposit *
+                static_cast<chain::Amount>(slot.round1.weight));
+      }
+    }
+    chain_.ledger().release_deposit(provider_deposit_id_);
+    phase_ = Phase::kAborted;
+    chain_.emit_event("evaluation aborted");
+  });
+}
+
+}  // namespace cbl::voting

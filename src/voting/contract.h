@@ -1,0 +1,213 @@
+// The on-chain side of Fig. 4: Registration (Setup / VoteCommit / VRF
+// sortition) and Auto-tally (Setup / Vote / solveDLP / payoff). Every
+// entry point runs as a metered blockchain transaction; every accept or
+// reject decision is driven by publicly verifiable proofs, never by
+// trusting a submitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "voting/dlp.h"
+#include "voting/messages.h"
+#include "voting/state_channel.h"
+
+namespace cbl::voting {
+
+struct EvaluationConfig {
+  /// `thresh`: how many candidates may register (the dilution pool of the
+  /// game-theoretic defence); `committee_size`: N, how many the VRF
+  /// selects to actually vote.
+  std::size_t thresh = 8;
+  std::size_t committee_size = 5;
+
+  /// Stake per weight unit (D), and the per-unit payoff swing.
+  chain::Amount deposit = 100;
+  chain::Amount reward = 1;
+  chain::Amount penalty = 1;
+
+  /// Cap on a single shareholder's declared weight tau_i. Bounds both
+  /// stake concentration and the DLP search range of the tally.
+  std::uint32_t max_weight = 16;
+
+  /// The provider's stake backing the reward pool; must cover
+  /// committee_size * reward.
+  chain::Amount provider_deposit = 200;
+
+  /// Per-phase deadlines in blocks from phase start; 0 disables the
+  /// deadline (aborts are then allowed at any time, which suits tests
+  /// and trusted deployments). With a deadline set, the corresponding
+  /// abort is only accepted once the chain height passes it — so no
+  /// party can grief the protocol by aborting prematurely.
+  std::uint64_t registration_deadline_blocks = 0;
+  std::uint64_t reveal_deadline_blocks = 0;
+  std::uint64_t round2_deadline_blocks = 0;
+};
+
+class EvaluationContract {
+ public:
+  enum class Phase {
+    kRegistration,
+    kVrfReveal,
+    kRound2,
+    kTallied,
+    kPaidOff,
+    kAborted,
+  };
+
+  struct Outcome {
+    std::uint64_t tally = 0;         // sum of tau_i * v_i over the committee
+    std::uint64_t total_weight = 0;  // sum of tau_i over the committee
+    bool approved = false;           // tally > total_weight / 2 (Eq. 1)
+  };
+
+  /// Locks the provider's deposit and opens registration.
+  EvaluationContract(chain::Blockchain& chain, EvaluationConfig config,
+                     chain::AccountId provider);
+
+  // --- Registration phase -------------------------------------------------
+
+  /// VoteCommit: verifies pi_deposit, pi_A, and the binary-vote proof;
+  /// locks the deposit note. Registration auto-closes when cnt == thresh,
+  /// emitting the VRF challenge nu. Returns the shareholder index.
+  std::size_t register_shareholder(chain::AccountId payer,
+                                   const Round1Submission& submission);
+
+  // Byte-level entry points: exactly what a deployed chain receives.
+  // Malformed bytes revert with ChainError before any verification work.
+  std::size_t register_shareholder_bytes(chain::AccountId payer,
+                                         ByteView submission);
+  void reveal_vrf_bytes(std::size_t index, ByteView reveal,
+                        chain::AccountId payer);
+  void submit_round2_bytes(std::size_t index, ByteView submission,
+                           chain::AccountId payer);
+
+  /// The challenge nu (only after registration closed).
+  const Bytes& challenge() const;
+
+  /// Submits (y_i, prf_i); the chain checks VRF.Verify.
+  void reveal_vrf(std::size_t index, const VrfReveal& reveal,
+                  chain::AccountId payer);
+
+  /// Fixes the committee: the committee_size smallest VRF outputs win.
+  /// Non-revealers are treated as unselected. Unselected deposits unlock.
+  void finalize_committee(chain::AccountId payer);
+
+  bool is_selected(std::size_t index) const;
+  std::optional<std::size_t> committee_position(std::size_t index) const;
+
+  /// Ordered comm_secret values of the selected committee (public input
+  /// to everyone's Y computation).
+  std::vector<ec::RistrettoPoint> committee_secrets() const;
+
+  // --- Auto-tally phase -----------------------------------------------------
+
+  /// Vote: verifies pi_B against the recomputed Y; V *= psi. When the
+  /// last committee member submits, the contract solves the DLP and fixes
+  /// the outcome.
+  void submit_round2(std::size_t index, const Round2Submission& submission,
+                     chain::AccountId payer);
+
+  /// One-transaction alternative to N Vote calls: an N-of-N co-signed
+  /// settlement produced by the off-chain Round2Channel. Each signature
+  /// must verify under the corresponding committee member's registered
+  /// VRF public key over the channel's settlement message. Only usable
+  /// before any on-chain Vote was accepted; on any failure the committee
+  /// simply falls back to the on-chain path.
+  void settle_round2_offchain(const OffchainSettlement& settlement,
+                              chain::AccountId payer);
+
+  /// The exact message the chain expects channel signatures over, for a
+  /// claimed aggregate (public: anyone can recompute it).
+  Bytes expected_settlement_message(
+      const ec::RistrettoPoint& aggregate) const;
+
+  const Outcome& outcome() const;
+
+  // --- Payoff ----------------------------------------------------------------
+
+  /// Replaces every committee deposit note with its homomorphically
+  /// updated version (Section V-C payoff bridging) and settles the public
+  /// net value against the provider's stake.
+  void run_payoff(chain::AccountId payer);
+
+  commit::Commitment updated_note(std::size_t index) const;
+
+  /// Releases the provider's remaining stake (after payoff).
+  void settle_provider(chain::AccountId payer);
+
+  // --- Abort paths -------------------------------------------------------------
+
+  /// "Otherwise, the voting procedures would be deemed unsuccessful and
+  /// the deposited tokens will be redistributed": callable in Round2 when
+  /// at least one committee member has stalled (and the round-2 deadline,
+  /// if configured, has passed). Responders' notes unlock; stallers'
+  /// notes are burned and their value drained to the treasury.
+  void abort_stalled(chain::AccountId payer);
+
+  /// Registration never filled up: everyone's stake unlocks, the
+  /// provider's deposit returns. Requires the registration deadline (if
+  /// configured) to have passed.
+  void abort_registration(chain::AccountId payer);
+
+  /// Too few VRF reveals to seat a committee by the reveal deadline:
+  /// full unwind, nobody is punished (reveal failures are
+  /// indistinguishable from network trouble).
+  void abort_reveal(chain::AccountId payer);
+
+  /// The block at which the current phase's deadline expires (0 = none).
+  std::uint64_t current_deadline() const;
+
+  Phase phase() const { return phase_; }
+  std::size_t registered_count() const { return shareholders_.size(); }
+  const EvaluationConfig& config() const { return config_; }
+
+  /// Total bytes of proofs/commitments persisted on chain so far (the
+  /// Fig. 9 left-panel quantity).
+  std::size_t stored_proof_bytes() const { return stored_proof_bytes_; }
+
+  /// The public record of this proposal for third-party replay
+  /// verification (voting/replay.h). Available once tallied.
+  struct ProposalExport {
+    Bytes challenge;
+    std::vector<Bytes> round1;
+    std::vector<std::optional<Bytes>> vrf_reveals;
+    std::vector<std::size_t> committee;
+    std::vector<Bytes> round2;
+    Outcome outcome;
+  };
+  ProposalExport export_record() const;
+
+ private:
+  struct ShareholderSlot {
+    Round1Submission round1;
+    std::optional<vrf::Output> vrf_out;
+    std::optional<VrfReveal> vrf_reveal;  // retained for public replay
+    bool selected = false;
+    std::optional<Round2Submission> round2;
+  };
+
+  void require_phase(Phase expected, const char* what) const;
+  void close_registration();
+  void auto_tally();
+
+  chain::Blockchain& chain_;
+  const commit::Crs& crs_;
+  EvaluationConfig config_;
+  chain::AccountId provider_;
+  chain::DepositId provider_deposit_id_;
+
+  Phase phase_ = Phase::kRegistration;
+  std::uint64_t phase_started_at_ = 0;
+  std::vector<ShareholderSlot> shareholders_;
+  Bytes challenge_;
+  std::vector<std::size_t> committee_;  // shareholder indices, Y order
+  ec::RistrettoPoint aggregate_;        // V
+  std::size_t round2_count_ = 0;
+  Outcome outcome_;
+  std::size_t stored_proof_bytes_ = 0;
+};
+
+}  // namespace cbl::voting

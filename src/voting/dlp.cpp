@@ -1,0 +1,51 @@
+#include "voting/dlp.h"
+
+#include <cmath>
+#include <map>
+
+namespace cbl::voting {
+
+std::optional<std::uint64_t> solve_dlp_bruteforce(
+    const ec::RistrettoPoint& g, const ec::RistrettoPoint& v,
+    std::uint64_t max_exponent) {
+  ec::RistrettoPoint acc = ec::RistrettoPoint::identity();
+  for (std::uint64_t t = 0; t <= max_exponent; ++t) {
+    if (acc == v) return t;
+    acc = acc + g;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> solve_dlp_bsgs(const ec::RistrettoPoint& g,
+                                            const ec::RistrettoPoint& v,
+                                            std::uint64_t max_exponent) {
+  const std::uint64_t m = static_cast<std::uint64_t>(
+                              std::ceil(std::sqrt(static_cast<double>(
+                                  max_exponent + 1)))) +
+                          1;
+
+  // Baby steps: g^j for j in [0, m), keyed by encoding.
+  std::map<ec::RistrettoPoint::Encoding, std::uint64_t> table;
+  ec::RistrettoPoint baby = ec::RistrettoPoint::identity();
+  for (std::uint64_t j = 0; j < m; ++j) {
+    table.emplace(baby.encode(), j);
+    baby = baby + g;
+  }
+
+  // Giant steps: v - i*m*g for i in [0, m].
+  const ec::RistrettoPoint giant_stride =
+      -(g * ec::Scalar::from_u64(m));
+  ec::RistrettoPoint probe = v;
+  for (std::uint64_t i = 0; i <= m; ++i) {
+    const auto it = table.find(probe.encode());
+    if (it != table.end()) {
+      const std::uint64_t t = i * m + it->second;
+      if (t <= max_exponent) return t;
+      return std::nullopt;  // match beyond the claimed range
+    }
+    probe = probe + giant_stride;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cbl::voting

@@ -1,0 +1,24 @@
+// The small-exponent discrete-log recovery of Fig. 4's auto-tally:
+// tally = solveDLP(g, V) where V = g^tally and tally in [0, N]. Brute
+// force suffices for committee-scale N (the paper's point); a baby-step /
+// giant-step variant is included as the ablation comparator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ec/ristretto.h"
+
+namespace cbl::voting {
+
+/// Linear scan: checks g^t for t = 0..max_exponent.
+std::optional<std::uint64_t> solve_dlp_bruteforce(
+    const ec::RistrettoPoint& g, const ec::RistrettoPoint& v,
+    std::uint64_t max_exponent);
+
+/// Baby-step giant-step: O(sqrt(max)) group operations plus a table.
+std::optional<std::uint64_t> solve_dlp_bsgs(const ec::RistrettoPoint& g,
+                                            const ec::RistrettoPoint& v,
+                                            std::uint64_t max_exponent);
+
+}  // namespace cbl::voting

@@ -1,0 +1,59 @@
+// On-chain message formats of the two-round protocol (Fig. 4), with byte
+// accounting for the Fig. 9 storage-cost reproduction.
+#pragma once
+
+#include <cstddef>
+
+#include "commit/pedersen.h"
+#include "ec/ristretto.h"
+#include "nizk/proof_a.h"
+#include "nizk/proof_b.h"
+#include "nizk/sigma.h"
+#include "nizk/vote_or.h"
+#include "vrf/vrf.h"
+
+namespace cbl::voting {
+
+/// VoteCommit of the registration phase: deposit note + pi_deposit, the
+/// VRF public key, the commitments (comm_secret = c0, plus c1/c2 for
+/// pi_A, comm_vote = C), pi_A, and the binary-vote proof.
+struct Round1Submission {
+  commit::Commitment deposit_note;        // Com(tau*D; s'), already shielded
+  nizk::SchnorrProof deposit_proof;       // pi_deposit: note / g^(tau*D) = h^s'
+  ec::RistrettoPoint vrf_pk;
+  ec::RistrettoPoint comm_secret;         // c0 = g^x
+  ec::RistrettoPoint c1, c2;              // h1^x, h2^x
+  ec::RistrettoPoint comm_vote;           // C = g^(tau*v) h^x
+  nizk::ProofA proof_a;
+  nizk::BinaryVoteProof vote_proof;       // v in {0,1} scaled by tau
+  /// Declared voting weight tau_i (Eq. 1); stake scales with it.
+  std::uint32_t weight = 1;
+
+  static constexpr std::size_t wire_size() {
+    return 32                              // deposit note
+           + nizk::SchnorrProof::kWireSize // pi_deposit
+           + 32                            // vrf pk
+           + 4 * 32                        // c0, c1, c2, C
+           + nizk::ProofA::kWireSize + nizk::BinaryVoteProof::kWireSize
+           + 4;                            // weight
+  }
+};
+
+/// The VRF reveal after the chain outputs the challenge nu.
+struct VrfReveal {
+  vrf::Proof proof;
+
+  static constexpr std::size_t wire_size() { return vrf::Proof::kWireSize; }
+};
+
+/// The auto-tally round: psi = g^v Y^x plus pi_B.
+struct Round2Submission {
+  ec::RistrettoPoint psi;
+  nizk::ProofB proof_b;
+
+  static constexpr std::size_t wire_size() {
+    return 32 + nizk::ProofB::kWireSize;
+  }
+};
+
+}  // namespace cbl::voting

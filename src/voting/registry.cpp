@@ -1,0 +1,161 @@
+#include "voting/registry.h"
+
+namespace cbl::voting {
+
+RegistryContract::RegistryContract(chain::Blockchain& chain,
+                                   RegistryConfig config)
+    : chain_(chain), config_(config) {
+  if (config_.winner_share_percent > 100) {
+    throw ChainError("RegistryContract: winner share must be <= 100%");
+  }
+}
+
+RegistryContract::Listing& RegistryContract::require_listing(
+    const std::string& name) {
+  const auto it = listings_.find(name);
+  if (it == listings_.end()) {
+    throw ChainError("RegistryContract: unknown listing");
+  }
+  return it->second;
+}
+
+bool RegistryContract::evaluation_completed(
+    const EvaluationContract& evaluation) {
+  return evaluation.phase() == EvaluationContract::Phase::kTallied ||
+         evaluation.phase() == EvaluationContract::Phase::kPaidOff;
+}
+
+void RegistryContract::apply(chain::AccountId provider,
+                             const std::string& name, chain::Amount stake) {
+  chain_.execute(provider, "registry-apply", 64 + name.size(), [&] {
+    if (listings_.contains(name)) {
+      throw ChainError("registry-apply: name already taken");
+    }
+    if (stake < config_.min_stake) {
+      throw ChainError("registry-apply: stake below minimum");
+    }
+    Listing listing;
+    listing.name = name;
+    listing.provider = provider;
+    listing.stake = chain_.ledger().lock_deposit(provider, stake);
+    listing.status = ListingStatus::kPendingEvaluation;
+    listings_[name] = listing;
+    chain_.emit_event("registry-application", name);
+  });
+}
+
+void RegistryContract::record_evaluation(
+    const std::string& name, const EvaluationContract& evaluation) {
+  chain_.execute(chain_.ledger().treasury(), "registry-record", 32, [&] {
+    Listing& listing = require_listing(name);
+    if (listing.status != ListingStatus::kPendingEvaluation) {
+      throw ChainError("registry-record: listing not awaiting evaluation");
+    }
+    if (!evaluation_completed(evaluation)) {
+      throw ChainError("registry-record: evaluation not completed");
+    }
+    if (evaluation.outcome().approved) {
+      listing.status = ListingStatus::kListed;
+      listing.listed_at_block = chain_.height();
+      listing.expires_at_block = chain_.height() + config_.listing_period;
+      chain_.emit_event("registry-listed", name);
+    } else {
+      // Turned away: stake returned, application removed.
+      chain_.ledger().release_deposit(listing.stake);
+      listings_.erase(name);
+      chain_.emit_event("registry-dismissed", name);
+    }
+  });
+}
+
+void RegistryContract::open_challenge(chain::AccountId challenger,
+                                      const std::string& name,
+                                      chain::Amount stake) {
+  chain_.execute(challenger, "registry-challenge", 64, [&] {
+    Listing& listing = require_listing(name);
+    if (listing.status != ListingStatus::kListed) {
+      throw ChainError("registry-challenge: listing not challengeable");
+    }
+    const chain::Amount provider_stake =
+        chain_.ledger().deposit_amount(listing.stake);
+    if (stake < provider_stake) {
+      throw ChainError(
+          "registry-challenge: stake must match the provider's");
+    }
+    listing.challenger = challenger;
+    listing.challenger_stake = chain_.ledger().lock_deposit(challenger, stake);
+    listing.status = ListingStatus::kChallenged;
+    chain_.emit_event("registry-challenge-open", name);
+  });
+}
+
+void RegistryContract::resolve_challenge(
+    const std::string& name, const EvaluationContract& evaluation) {
+  chain_.execute(chain_.ledger().treasury(), "registry-resolve", 32, [&] {
+    Listing& listing = require_listing(name);
+    if (listing.status != ListingStatus::kChallenged) {
+      throw ChainError("registry-resolve: no open challenge");
+    }
+    if (!evaluation_completed(evaluation)) {
+      throw ChainError("registry-resolve: evaluation not completed");
+    }
+
+    auto slash_to_winner = [&](chain::DepositId loser_stake,
+                               chain::AccountId winner) {
+      const chain::Amount total = chain_.ledger().deposit_amount(loser_stake);
+      const chain::Amount winner_cut =
+          total * static_cast<chain::Amount>(config_.winner_share_percent) /
+          100;
+      // Slash everything to the treasury, then forward the winner's cut.
+      chain_.ledger().slash_deposit(loser_stake, total);
+      chain_.ledger().release_deposit(loser_stake);  // zero-value unlock
+      if (winner_cut > 0) chain_.ledger().pay_from_treasury(winner, winner_cut);
+    };
+
+    if (evaluation.outcome().approved) {
+      // Provider vindicated: challenger pays.
+      slash_to_winner(*listing.challenger_stake, listing.provider);
+      listing.challenger.reset();
+      listing.challenger_stake.reset();
+      listing.status = ListingStatus::kListed;
+      listing.expires_at_block = chain_.height() + config_.listing_period;
+      chain_.emit_event("registry-challenge-failed", name);
+    } else {
+      // Provider exposed: delisted and slashed; challenger refunded.
+      slash_to_winner(listing.stake, *listing.challenger);
+      chain_.ledger().release_deposit(*listing.challenger_stake);
+      listing.status = ListingStatus::kDelisted;
+      chain_.emit_event("registry-delisted", name);
+    }
+  });
+}
+
+void RegistryContract::flag_expired(const std::string& name) {
+  chain_.execute(chain_.ledger().treasury(), "registry-flag-expired", 32, [&] {
+    Listing& listing = require_listing(name);
+    if (listing.status != ListingStatus::kListed) {
+      throw ChainError("registry-flag-expired: not listed");
+    }
+    if (chain_.height() < listing.expires_at_block) {
+      throw ChainError("registry-flag-expired: listing still valid");
+    }
+    listing.status = ListingStatus::kPendingEvaluation;
+    chain_.emit_event("registry-expired", name);
+  });
+}
+
+bool RegistryContract::is_listed(const std::string& name) const {
+  const auto it = listings_.find(name);
+  return it != listings_.end() &&
+         (it->second.status == ListingStatus::kListed ||
+          it->second.status == ListingStatus::kChallenged);
+}
+
+std::optional<RegistryContract::Listing> RegistryContract::lookup(
+    const std::string& name) const {
+  const auto it = listings_.find(name);
+  if (it == listings_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cbl::voting

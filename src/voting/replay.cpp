@@ -1,0 +1,181 @@
+#include "voting/replay.h"
+
+#include <algorithm>
+
+#include "nizk/batch.h"
+#include "voting/dlp.h"
+#include "voting/shareholder.h"
+#include "voting/wire.h"
+
+namespace cbl::voting {
+
+namespace {
+
+void violation(ReplayReport& report, std::string what) {
+  report.violations.push_back(std::move(what));
+}
+
+}  // namespace
+
+ReplayReport replay_proposal(const commit::Crs& crs,
+                             const ProposalRecord& record, Rng& rng) {
+  ReplayReport report;
+
+  // ---- Stage 1: registration submissions ---------------------------------
+  if (record.round1.size() != record.config.thresh) {
+    violation(report, "registration count does not match thresh");
+  }
+  if (record.vrf_reveals.size() != record.round1.size()) {
+    violation(report, "vrf reveal list misaligned with registrations");
+    report.valid = false;
+    return report;
+  }
+
+  std::vector<Round1Submission> registrations;
+  std::vector<nizk::StatementA> statements_a;
+  std::vector<nizk::ProofA> proofs_a;
+  for (std::size_t i = 0; i < record.round1.size(); ++i) {
+    const auto parsed = parse_round1(record.round1[i]);
+    if (!parsed) {
+      violation(report,
+                "registration " + std::to_string(i) + ": malformed bytes");
+      continue;
+    }
+    if (parsed->weight == 0 || parsed->weight > record.config.max_weight) {
+      violation(report,
+                "registration " + std::to_string(i) + ": weight out of range");
+    }
+    if (!parsed->vote_proof.verify(crs, parsed->comm_vote, parsed->weight)) {
+      violation(report, "registration " + std::to_string(i) +
+                            ": binary-vote proof invalid");
+    }
+    ++report.proofs_checked;
+    statements_a.push_back({parsed->comm_secret, parsed->c1, parsed->c2});
+    proofs_a.push_back(parsed->proof_a);
+    registrations.push_back(*parsed);
+  }
+  if (registrations.size() != record.round1.size()) {
+    report.valid = false;
+    return report;  // cannot continue with unparseable registrations
+  }
+
+  // Duplicate registration material.
+  for (std::size_t i = 0; i < registrations.size(); ++i) {
+    for (std::size_t j = i + 1; j < registrations.size(); ++j) {
+      if (registrations[i].vrf_pk == registrations[j].vrf_pk ||
+          registrations[i].comm_secret == registrations[j].comm_secret) {
+        violation(report, "duplicate registration material at " +
+                              std::to_string(i) + "," + std::to_string(j));
+      }
+    }
+  }
+
+  // Batched pi_A verification.
+  report.proofs_checked += proofs_a.size();
+  if (!nizk::batch_verify_proof_a(crs, statements_a, proofs_a, rng)) {
+    violation(report, "pi_A batch verification failed");
+  }
+
+  // ---- Stage 2: sortition --------------------------------------------------
+  std::vector<std::pair<vrf::Output, std::size_t>> revealed;
+  for (std::size_t i = 0; i < record.vrf_reveals.size(); ++i) {
+    if (!record.vrf_reveals[i]) continue;
+    const auto reveal = parse_vrf_reveal(*record.vrf_reveals[i]);
+    if (!reveal) {
+      violation(report, "vrf reveal " + std::to_string(i) + ": malformed");
+      continue;
+    }
+    if (!vrf::verify(registrations[i].vrf_pk, record.challenge,
+                     reveal->proof)) {
+      violation(report,
+                "vrf reveal " + std::to_string(i) + ": proof invalid");
+      continue;
+    }
+    ++report.proofs_checked;
+    revealed.emplace_back(vrf::output(reveal->proof), i);
+  }
+
+  std::vector<std::size_t> expected_committee;
+  if (revealed.size() < record.config.committee_size) {
+    violation(report, "not enough valid vrf reveals for a committee");
+  } else {
+    std::sort(revealed.begin(), revealed.end());
+    for (std::size_t s = 0; s < record.config.committee_size; ++s) {
+      expected_committee.push_back(revealed[s].second);
+    }
+    std::sort(expected_committee.begin(), expected_committee.end());
+    if (expected_committee != record.committee) {
+      violation(report, "claimed committee does not match VRF ranking");
+    }
+  }
+
+  // ---- Stage 3: round 2 ------------------------------------------------------
+  if (record.round2.size() != record.committee.size()) {
+    violation(report, "round-2 count does not match committee size");
+    report.valid = report.violations.empty();
+    return report;
+  }
+  std::vector<ec::RistrettoPoint> secrets;
+  std::uint64_t total_weight = 0;
+  bool committee_indices_ok = true;
+  for (const std::size_t idx : record.committee) {
+    if (idx >= registrations.size()) {
+      violation(report, "committee index out of range");
+      committee_indices_ok = false;
+      break;
+    }
+    secrets.push_back(registrations[idx].comm_secret);
+    total_weight += registrations[idx].weight;
+  }
+
+  if (committee_indices_ok) {
+    std::vector<nizk::StatementB> statements_b;
+    std::vector<nizk::ProofB> proofs_b;
+    ec::RistrettoPoint aggregate = ec::RistrettoPoint::identity();
+    bool round2_ok = true;
+    for (std::size_t pos = 0; pos < record.round2.size(); ++pos) {
+      const auto parsed = parse_round2(record.round2[pos]);
+      if (!parsed) {
+        violation(report, "round-2 " + std::to_string(pos) + ": malformed");
+        round2_ok = false;
+        continue;
+      }
+      nizk::StatementB st;
+      st.c0 = secrets[pos];
+      st.big_c = registrations[record.committee[pos]].comm_vote;
+      st.psi = parsed->psi;
+      st.y = compute_y(secrets, pos);
+      statements_b.push_back(st);
+      proofs_b.push_back(parsed->proof_b);
+      aggregate = aggregate + parsed->psi;
+    }
+    if (round2_ok) {
+      report.proofs_checked += proofs_b.size();
+      if (!nizk::batch_verify_proof_b(crs, statements_b, proofs_b, rng)) {
+        violation(report, "pi_B batch verification failed");
+      }
+      // ---- Stage 4: tally ---------------------------------------------------
+      const auto tally =
+          solve_dlp_bruteforce(crs.g, aggregate, total_weight);
+      if (!tally) {
+        violation(report, "aggregate outside the weight-bounded DLP range");
+      } else {
+        if (*tally != record.claimed_outcome.tally) {
+          violation(report, "claimed tally does not match aggregation");
+        }
+        if (record.claimed_outcome.total_weight != total_weight) {
+          violation(report, "claimed total weight incorrect");
+        }
+        const bool approved = *tally * 2 > total_weight;
+        if (approved != record.claimed_outcome.approved) {
+          violation(report, "claimed outcome contradicts Eq. (1)");
+        }
+      }
+    }
+  }
+
+  report.valid = report.violations.empty();
+  return report;
+}
+
+}  // namespace cbl::voting

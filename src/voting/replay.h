@@ -1,0 +1,43 @@
+// Public replay verification — the operational meaning of "it is
+// publicly verifiable that all shareholder voters faithfully follow the
+// computation procedures". Any third party holding the public record of
+// a proposal (the byte submissions and the claimed results, all of which
+// live on chain) can re-verify every proof (batched), re-run the
+// sortition, re-aggregate the tally, and compare against what the chain
+// announced — without any secret and without trusting the chain's
+// execution.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "commit/crs.h"
+#include "common/rng.h"
+#include "voting/contract.h"
+
+namespace cbl::voting {
+
+/// Everything a proposal leaves in public view.
+struct ProposalRecord {
+  EvaluationConfig config;
+  Bytes challenge;                              // nu
+  std::vector<Bytes> round1;                    // registration order
+  std::vector<std::optional<Bytes>> vrf_reveals;  // aligned with round1
+  std::vector<std::size_t> committee;           // claimed, ascending indices
+  std::vector<Bytes> round2;                    // committee order
+  EvaluationContract::Outcome claimed_outcome;
+};
+
+struct ReplayReport {
+  bool valid = false;
+  std::vector<std::string> violations;  // empty iff valid
+  std::size_t proofs_checked = 0;
+};
+
+/// Re-verifies the record end to end. Never throws on bad records —
+/// every defect lands in `violations`.
+ReplayReport replay_proposal(const commit::Crs& crs,
+                             const ProposalRecord& record, Rng& rng);
+
+}  // namespace cbl::voting

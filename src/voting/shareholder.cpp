@@ -1,0 +1,132 @@
+#include "voting/shareholder.h"
+
+#include <stdexcept>
+
+#include "chain/shielded.h"
+#include "voting/state_channel.h"
+
+namespace cbl::voting {
+
+ec::RistrettoPoint compute_y(
+    const std::vector<ec::RistrettoPoint>& committee_secrets,
+    std::size_t position) {
+  if (position >= committee_secrets.size()) {
+    throw std::invalid_argument("compute_y: position out of range");
+  }
+  ec::RistrettoPoint y = ec::RistrettoPoint::identity();
+  for (std::size_t i = 0; i < position; ++i) y = y + committee_secrets[i];
+  for (std::size_t i = position + 1; i < committee_secrets.size(); ++i) {
+    y = y - committee_secrets[i];
+  }
+  return y;
+}
+
+Shareholder::Shareholder(const commit::Crs& crs, Rng& rng, unsigned vote,
+                         chain::Amount deposit, std::uint32_t weight)
+    : crs_(crs), vote_(vote), deposit_(deposit), weight_(weight) {
+  if (vote > 1) throw std::invalid_argument("Shareholder: vote must be 0/1");
+  if (weight == 0) throw std::invalid_argument("Shareholder: zero weight");
+  secret_ = ec::Scalar::random(rng);
+  deposit_randomness_ = ec::Scalar::random(rng);
+  deposit_note_ = commit::Commitment::commit(
+      crs_.g, crs_.h,
+      {ec::Scalar::from_u64(static_cast<std::uint64_t>(total_stake())),
+       deposit_randomness_});
+  vrf_keys_ = vrf::KeyPair::generate(rng);
+}
+
+nizk::SchnorrProof Shareholder::make_shield_proof(Rng& rng) const {
+  const ec::RistrettoPoint residue =
+      deposit_note_.point() -
+      crs_.g * ec::Scalar::from_u64(static_cast<std::uint64_t>(total_stake()));
+  return nizk::SchnorrProof::prove(crs_.h, residue, deposit_randomness_,
+                                   chain::ShieldedPool::kSpendDomain, rng);
+}
+
+Round1Submission Shareholder::build_round1(Rng& rng) const {
+  Round1Submission sub;
+  sub.deposit_note = deposit_note_;
+  sub.deposit_proof = make_shield_proof(rng);
+  sub.vrf_pk = vrf_keys_.pk;
+  sub.comm_secret = crs_.g * secret_;
+  sub.c1 = crs_.h1 * secret_;
+  sub.c2 = crs_.h2 * secret_;
+  // The committed "vote" is the weighted value tau * v.
+  const ec::Scalar scaled_vote =
+      ec::Scalar::from_u64(static_cast<std::uint64_t>(vote_) * weight_);
+  sub.comm_vote = crs_.g * scaled_vote + crs_.h * secret_;
+  sub.proof_a = nizk::ProofA::prove(
+      crs_, {sub.comm_secret, sub.c1, sub.c2}, secret_, rng);
+  sub.vote_proof = nizk::BinaryVoteProof::prove(crs_, sub.comm_vote, vote_,
+                                                secret_, rng, weight_);
+  sub.weight = weight_;
+  return sub;
+}
+
+VrfReveal Shareholder::build_vrf_reveal(ByteView challenge, Rng& rng) const {
+  return VrfReveal{vrf::prove(vrf_keys_, challenge, rng)};
+}
+
+vrf::Output Shareholder::vrf_output(ByteView challenge, Rng& rng) const {
+  return vrf::output(vrf::prove(vrf_keys_, challenge, rng));
+}
+
+Round2Submission Shareholder::build_round2(
+    const std::vector<ec::RistrettoPoint>& committee_secrets,
+    std::size_t my_position, Rng& rng) const {
+  const ec::RistrettoPoint y = compute_y(committee_secrets, my_position);
+  const ec::Scalar v =
+      ec::Scalar::from_u64(static_cast<std::uint64_t>(vote_) * weight_);
+
+  Round2Submission sub;
+  sub.psi = crs_.g * v + y * secret_;
+  nizk::StatementB st;
+  st.c0 = committee_secrets[my_position];
+  st.big_c = crs_.g * v + crs_.h * secret_;
+  st.psi = sub.psi;
+  st.y = y;
+  sub.proof_b = nizk::ProofB::prove(crs_, st, secret_, v, rng);
+  return sub;
+}
+
+nizk::Signature Shareholder::sign_settlement(ByteView message,
+                                             Rng& rng) const {
+  const nizk::SigningKey key{vrf_keys_.sk, vrf_keys_.pk};
+  return nizk::sign(key, message, Round2Channel::kSettleDomain, rng);
+}
+
+commit::Opening Shareholder::updated_note_opening(
+    bool outcome, chain::Amount reward, chain::Amount penalty) const {
+  // eq(v, outcome) via the arithmetized boolean equality
+  // 1 - v - o + 2vo; per-unit swing = reward + penalty, scaled by tau.
+  const unsigned eq = vote_ == (outcome ? 1u : 0u) ? 1u : 0u;
+  const auto swing = ec::Scalar::from_u64(
+      static_cast<std::uint64_t>(reward + penalty));
+  const auto tau = ec::Scalar::from_u64(weight_);
+
+  commit::Opening opening;
+  opening.value =
+      ec::Scalar::from_u64(static_cast<std::uint64_t>(total_stake())) +
+      ec::Scalar::from_u64(eq) * swing * tau -
+      ec::Scalar::from_u64(static_cast<std::uint64_t>(penalty)) * tau;
+  // helper = C^swing (outcome=1) or (g^tau/C)^swing (outcome=0); its
+  // h-exponent is +x*swing or -x*swing respectively.
+  opening.randomness = outcome ? deposit_randomness_ + secret_ * swing
+                               : deposit_randomness_ - secret_ * swing;
+  return opening;
+}
+
+nizk::SchnorrProof Shareholder::make_withdraw_proof(bool outcome,
+                                                    chain::Amount reward,
+                                                    chain::Amount penalty,
+                                                    Rng& rng) const {
+  const auto opening = updated_note_opening(outcome, reward, penalty);
+  const commit::Commitment updated =
+      commit::Commitment::commit(crs_.g, crs_.h, opening);
+  const ec::RistrettoPoint residue =
+      updated.point() - crs_.g * opening.value;
+  return nizk::SchnorrProof::prove(crs_.h, residue, opening.randomness,
+                                   chain::ShieldedPool::kSpendDomain, rng);
+}
+
+}  // namespace cbl::voting

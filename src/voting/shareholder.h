@@ -1,0 +1,85 @@
+// The shareholder voter M_i: all off-chain computation of Fig. 4/Fig. 5
+// — secret generation, commitments, both NIZK rounds, the VRF reveal,
+// and the payoff-side bookkeeping (opening of the homomorphically updated
+// deposit note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "commit/crs.h"
+#include "commit/pedersen.h"
+#include "common/rng.h"
+#include "nizk/signature.h"
+#include "voting/messages.h"
+
+namespace cbl::voting {
+
+/// Aggregates the committee's comm_secret values per Eq. (3):
+/// Y_p = prod_{i<p} c0_i / prod_{i>p} c0_i. Public computation — both the
+/// shareholder (to vote) and the chain (to verify) run it.
+ec::RistrettoPoint compute_y(
+    const std::vector<ec::RistrettoPoint>& committee_secrets,
+    std::size_t position);
+
+class Shareholder {
+ public:
+  /// `vote` is the binary quality verdict on the proposed blocklist
+  /// service; `deposit` the (public) per-weight-unit stake D the contract
+  /// demands; `weight` the declared voting weight tau_i (total stake
+  /// locked is weight * deposit).
+  Shareholder(const commit::Crs& crs, Rng& rng, unsigned vote,
+              chain::Amount deposit, std::uint32_t weight = 1);
+
+  /// The deposit note Com(D; s') to pre-shield into the pool.
+  const commit::Commitment& deposit_note() const { return deposit_note_; }
+  nizk::SchnorrProof make_shield_proof(Rng& rng) const;
+
+  Round1Submission build_round1(Rng& rng) const;
+  VrfReveal build_vrf_reveal(ByteView challenge, Rng& rng) const;
+  vrf::Output vrf_output(ByteView challenge, Rng& rng) const;
+
+  /// Round 2 given the ordered comm_secret list of the selected committee
+  /// and this shareholder's position within it.
+  Round2Submission build_round2(
+      const std::vector<ec::RistrettoPoint>& committee_secrets,
+      std::size_t my_position, Rng& rng) const;
+
+  /// Signs a state-channel settlement message under the registered VRF
+  /// key (it is an ordinary discrete-log keypair, so it doubles as a
+  /// signing key for channel settlements).
+  nizk::Signature sign_settlement(ByteView message, Rng& rng) const;
+
+  // --- Payoff side -------------------------------------------------------
+  /// Opening of the post-payoff deposit note, derived from the public
+  /// outcome. value = D + eq*(reward+penalty) - penalty,
+  /// randomness = s' +/- x*(reward+penalty).
+  commit::Opening updated_note_opening(bool outcome, chain::Amount reward,
+                                       chain::Amount penalty) const;
+
+  /// Spend authorization for withdrawing the updated note.
+  nizk::SchnorrProof make_withdraw_proof(bool outcome, chain::Amount reward,
+                                         chain::Amount penalty,
+                                         Rng& rng) const;
+
+  unsigned vote() const { return vote_; }
+  std::uint32_t weight() const { return weight_; }
+  chain::Amount total_stake() const {
+    return deposit_ * static_cast<chain::Amount>(weight_);
+  }
+  const ec::Scalar& secret() const { return secret_; }
+  const ec::RistrettoPoint& vrf_pk() const { return vrf_keys_.pk; }
+
+ private:
+  const commit::Crs& crs_;
+  unsigned vote_;
+  chain::Amount deposit_;
+  std::uint32_t weight_;
+  ec::Scalar secret_;             // x
+  ec::Scalar deposit_randomness_; // s'
+  commit::Commitment deposit_note_;
+  vrf::KeyPair vrf_keys_;
+};
+
+}  // namespace cbl::voting

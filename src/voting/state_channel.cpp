@@ -1,0 +1,71 @@
+#include "voting/state_channel.h"
+
+#include <stdexcept>
+
+#include "ec/codec.h"
+#include "hash/sha256.h"
+#include "voting/shareholder.h"
+
+namespace cbl::voting {
+
+Round2Channel::Round2Channel(const commit::Crs& crs,
+                             std::vector<ec::RistrettoPoint> committee_secrets,
+                             std::vector<ec::RistrettoPoint> committee_vote_comms,
+                             std::vector<std::uint32_t> weights,
+                             Bytes channel_tag)
+    : crs_(crs),
+      secrets_(std::move(committee_secrets)),
+      vote_comms_(std::move(committee_vote_comms)),
+      weights_(std::move(weights)),
+      tag_(std::move(channel_tag)),
+      submissions_(secrets_.size()) {
+  if (secrets_.size() != vote_comms_.size() ||
+      secrets_.size() != weights_.size() || secrets_.empty()) {
+    throw std::invalid_argument("Round2Channel: inconsistent committee data");
+  }
+}
+
+bool Round2Channel::submit(std::size_t position,
+                           const Round2Submission& submission) {
+  if (position >= submissions_.size() || submissions_[position]) return false;
+
+  // The channel verifies exactly what the chain would.
+  nizk::StatementB statement;
+  statement.c0 = secrets_[position];
+  statement.big_c = vote_comms_[position];
+  statement.psi = submission.psi;
+  statement.y = compute_y(secrets_, position);
+  if (!submission.proof_b.verify(crs_, statement)) return false;
+
+  submissions_[position] = submission;
+  ++received_;
+  return true;
+}
+
+ec::RistrettoPoint Round2Channel::aggregate() const {
+  if (!complete()) {
+    throw std::logic_error("Round2Channel: aggregate before completion");
+  }
+  ec::RistrettoPoint v = ec::RistrettoPoint::identity();
+  for (const auto& sub : submissions_) v = v + sub->psi;
+  return v;
+}
+
+Bytes Round2Channel::settlement_message() const {
+  // Bind channel tag + committee identity + aggregate under one hash.
+  hash::Sha256 h;
+  h.update("cbl/voting/state-channel/message");
+  h.update(tag_);
+  for (std::size_t i = 0; i < secrets_.size(); ++i) {
+    h.update(secrets_[i].encode());
+    h.update(vote_comms_[i].encode());
+    std::uint8_t w[4];
+    store_le32(w, weights_[i]);
+    h.update(ByteView(w, 4));
+  }
+  h.update(aggregate().encode());
+  const auto digest = h.finalize();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace cbl::voting

@@ -1,0 +1,76 @@
+// Off-chain state channel for the auto-tally round — the cost reduction
+// the paper points to ("costs could be further reduced in deployment
+// through off-chain state channel designs"). Committee members exchange
+// (psi_i, pi_B_i) off chain; everyone verifies everyone, and once the
+// aggregate V = prod psi_i is agreed, each member signs a settlement
+// message under the very key it registered for the VRF (both are
+// discrete-log keys on the same curve). The chain then accepts a single
+// N-of-N co-signed settlement — 32 + 64N bytes and ONE transaction —
+// instead of N proof-carrying transactions. Any member can refuse to
+// sign, which simply falls back to the fully on-chain Vote path, so the
+// channel is an optimization, never a weakening: a forged aggregate
+// needs all N registered keys, and even a fully colluding committee can
+// only settle values it could have voted for (the DLP bound caps the
+// tally at the committee's total weight).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "commit/crs.h"
+#include "nizk/signature.h"
+#include "voting/messages.h"
+
+namespace cbl::voting {
+
+/// The single on-chain message that settles round 2 through the channel.
+struct OffchainSettlement {
+  ec::RistrettoPoint aggregate;             // V
+  std::vector<nizk::Signature> signatures;  // one per committee position
+
+  std::size_t wire_size() const { return 32 + signatures.size() * 64; }
+};
+
+/// Off-chain coordinator state. Each member runs one (or they share a
+/// relay); all inputs are verified locally exactly as the chain would.
+class Round2Channel {
+ public:
+  static constexpr std::string_view kSettleDomain =
+      "cbl/voting/state-channel/settle/v1";
+
+  /// `committee_secrets` / `committee_vote_comms` / `weights` are the
+  /// public round-1 data of the selected committee, in committee order;
+  /// `channel_tag` uniquely identifies the contract instance (use the
+  /// contract's challenge nu).
+  Round2Channel(const commit::Crs& crs,
+                std::vector<ec::RistrettoPoint> committee_secrets,
+                std::vector<ec::RistrettoPoint> committee_vote_comms,
+                std::vector<std::uint32_t> weights, Bytes channel_tag);
+
+  /// Verifies and records one member's round-2 submission. Returns false
+  /// (and records nothing) if pi_B fails or the position already
+  /// submitted — the caller should then fall back on chain.
+  bool submit(std::size_t position, const Round2Submission& submission);
+
+  bool complete() const { return received_ == submissions_.size(); }
+  std::size_t pending() const { return submissions_.size() - received_; }
+
+  /// The agreed aggregate (only meaningful once complete).
+  ec::RistrettoPoint aggregate() const;
+
+  /// The byte string every member signs: binds the channel tag, the
+  /// committee's identity, and the aggregate.
+  Bytes settlement_message() const;
+
+ private:
+  const commit::Crs& crs_;
+  std::vector<ec::RistrettoPoint> secrets_;
+  std::vector<ec::RistrettoPoint> vote_comms_;
+  std::vector<std::uint32_t> weights_;
+  Bytes tag_;
+  std::vector<std::optional<Round2Submission>> submissions_;
+  std::size_t received_ = 0;
+};
+
+}  // namespace cbl::voting

@@ -1,0 +1,86 @@
+#include "voting/wire.h"
+
+#include "ec/codec.h"
+
+namespace cbl::voting {
+
+Bytes serialize(const Round1Submission& sub) {
+  ec::ByteWriter w;
+  w.point(sub.deposit_note.point());
+  w.raw(sub.deposit_proof.to_bytes());
+  w.point(sub.vrf_pk);
+  w.point(sub.comm_secret);
+  w.point(sub.c1);
+  w.point(sub.c2);
+  w.point(sub.comm_vote);
+  w.raw(sub.proof_a.to_bytes());
+  w.raw(sub.vote_proof.to_bytes());
+  w.u32(sub.weight);
+  return w.take();
+}
+
+std::optional<Round1Submission> parse_round1(ByteView data) {
+  if (data.size() != Round1Submission::wire_size()) return std::nullopt;
+  try {
+    ec::ByteReader r(data);
+    Round1Submission sub;
+    sub.deposit_note = commit::Commitment(r.point());
+    const auto deposit_proof =
+        nizk::SchnorrProof::from_bytes(r.raw(nizk::SchnorrProof::kWireSize));
+    if (!deposit_proof) return std::nullopt;
+    sub.deposit_proof = *deposit_proof;
+    sub.vrf_pk = r.point();
+    sub.comm_secret = r.point();
+    sub.c1 = r.point();
+    sub.c2 = r.point();
+    sub.comm_vote = r.point();
+    const auto proof_a =
+        nizk::ProofA::from_bytes(r.raw(nizk::ProofA::kWireSize));
+    if (!proof_a) return std::nullopt;
+    sub.proof_a = *proof_a;
+    const auto vote_proof = nizk::BinaryVoteProof::from_bytes(
+        r.raw(nizk::BinaryVoteProof::kWireSize));
+    if (!vote_proof) return std::nullopt;
+    sub.vote_proof = *vote_proof;
+    sub.weight = r.u32();
+    if (sub.weight == 0) return std::nullopt;
+    r.expect_done();
+    return sub;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes serialize(const VrfReveal& reveal) { return reveal.proof.to_bytes(); }
+
+std::optional<VrfReveal> parse_vrf_reveal(ByteView data) {
+  const auto proof = vrf::Proof::from_bytes(data);
+  if (!proof) return std::nullopt;
+  return VrfReveal{*proof};
+}
+
+Bytes serialize(const Round2Submission& sub) {
+  ec::ByteWriter w;
+  w.point(sub.psi);
+  w.raw(sub.proof_b.to_bytes());
+  return w.take();
+}
+
+std::optional<Round2Submission> parse_round2(ByteView data) {
+  if (data.size() != Round2Submission::wire_size()) return std::nullopt;
+  try {
+    ec::ByteReader r(data);
+    Round2Submission sub;
+    sub.psi = r.point();
+    const auto proof_b =
+        nizk::ProofB::from_bytes(r.raw(nizk::ProofB::kWireSize));
+    if (!proof_b) return std::nullopt;
+    sub.proof_b = *proof_b;
+    r.expect_done();
+    return sub;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::voting

@@ -1,0 +1,22 @@
+// Canonical wire format for the on-chain submissions of Fig. 4 — the
+// exact bytes whose storage Fig. 9 meters. Parsers treat input as
+// untrusted and return nullopt on any malformation (truncation, invalid
+// encodings, trailing bytes).
+#pragma once
+
+#include <optional>
+
+#include "voting/messages.h"
+
+namespace cbl::voting {
+
+Bytes serialize(const Round1Submission& submission);
+std::optional<Round1Submission> parse_round1(ByteView data);
+
+Bytes serialize(const VrfReveal& reveal);
+std::optional<VrfReveal> parse_vrf_reveal(ByteView data);
+
+Bytes serialize(const Round2Submission& submission);
+std::optional<Round2Submission> parse_round2(ByteView data);
+
+}  // namespace cbl::voting

@@ -1,0 +1,93 @@
+#include "vrf/vrf.h"
+
+#include "ec/codec.h"
+#include "hash/sha512.h"
+
+namespace cbl::vrf {
+
+namespace {
+
+constexpr std::string_view kHashDomain = "cbl/vrf/hash-to-group/v1";
+constexpr std::string_view kDleqDomain = "cbl/vrf/dleq/v1";
+
+ec::RistrettoPoint hash_point(const ec::RistrettoPoint& pk, ByteView input) {
+  // Binding the public key into H prevents cross-key output grinding.
+  Bytes data;
+  append(data, pk.encode());
+  append(data, input);
+  return ec::RistrettoPoint::hash_to_group(data, kHashDomain);
+}
+
+}  // namespace
+
+KeyPair KeyPair::generate(Rng& rng) {
+  KeyPair kp;
+  kp.sk = ec::Scalar::random(rng);
+  kp.pk = ec::RistrettoPoint::base() * kp.sk;
+  return kp;
+}
+
+Proof prove(const KeyPair& keys, ByteView input, Rng& rng) {
+  const ec::RistrettoPoint h = hash_point(keys.pk, input);
+  Proof proof;
+  proof.gamma = h * keys.sk;
+  proof.dleq = nizk::DleqProof::prove(ec::RistrettoPoint::base(), keys.pk, h,
+                                      proof.gamma, keys.sk, kDleqDomain, rng);
+  return proof;
+}
+
+Output evaluate(const KeyPair& keys, ByteView input) {
+  Proof unproved;
+  unproved.gamma = hash_point(keys.pk, input) * keys.sk;
+  return output(unproved);
+}
+
+Output output(const Proof& proof) {
+  hash::Sha512 h;
+  h.update("cbl/vrf/output/v1");
+  const auto enc = proof.gamma.encode();
+  h.update(ByteView(enc.data(), enc.size()));
+  const auto digest = h.finalize();
+  Output out;
+  std::copy(digest.begin(), digest.begin() + 32, out.begin());
+  return out;
+}
+
+bool verify(const ec::RistrettoPoint& pk, ByteView input, const Proof& proof) {
+  const ec::RistrettoPoint h = hash_point(pk, input);
+  return proof.dleq.verify(ec::RistrettoPoint::base(), pk, h, proof.gamma,
+                           kDleqDomain);
+}
+
+double output_to_unit_interval(const Output& out) {
+  // Top 53 bits as a big-endian fraction: 53 bits fit a double exactly,
+  // so the result is always strictly below 1.0.
+  const std::uint64_t v = load_be64(out.data()) >> 11;
+  return static_cast<double>(v) / 9007199254740992.0;  // 2^53
+}
+
+Bytes Proof::to_bytes() const {
+  Bytes out;
+  append(out, gamma.encode());
+  append(out, dleq.to_bytes());
+  return out;
+}
+
+std::optional<Proof> Proof::from_bytes(ByteView data) {
+  if (data.size() != kWireSize) return std::nullopt;
+  try {
+    ec::ByteReader r(data);
+    Proof proof;
+    proof.gamma = r.point();
+    const Bytes dleq_bytes = r.raw(nizk::DleqProof::kWireSize);
+    const auto dleq = nizk::DleqProof::from_bytes(dleq_bytes);
+    if (!dleq) return std::nullopt;
+    proof.dleq = *dleq;
+    r.expect_done();
+    return proof;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cbl::vrf

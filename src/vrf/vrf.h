@@ -1,0 +1,59 @@
+// Verifiable random function over Ristretto255 (ECVRF-style: Gamma =
+// sk * H(pk || input), with a Chaum-Pedersen DLEQ proof binding Gamma to
+// the registered public key). Fig. 4 uses it for publicly verifiable
+// committee sortition: the chain emits a challenge nu, every registered
+// candidate evaluates the VRF on nu, and the outputs (which nobody can
+// bias) rank who gets voting privileges — the pool-dilution defence of
+// the game-theoretic analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+#include "nizk/sigma.h"
+
+namespace cbl::vrf {
+
+struct KeyPair {
+  ec::Scalar sk;
+  ec::RistrettoPoint pk;
+
+  static KeyPair generate(Rng& rng);
+};
+
+struct Proof {
+  ec::RistrettoPoint gamma;
+  nizk::DleqProof dleq;
+
+  Bytes to_bytes() const;
+  static std::optional<Proof> from_bytes(ByteView data);
+  /// gamma + DLEQ (2 points + 1 scalar).
+  static constexpr std::size_t kWireSize = 32 + nizk::DleqProof::kWireSize;
+};
+
+using Output = std::array<std::uint8_t, 32>;
+
+/// VRF.Eval + VRF.Prove: deterministic output plus proof.
+Proof prove(const KeyPair& keys, ByteView input, Rng& rng);
+
+/// VRF.Eval alone: the output without a proof (for the key owner's own
+/// planning, e.g. "would I be selected?"; anyone else must demand the
+/// proved version).
+Output evaluate(const KeyPair& keys, ByteView input);
+
+/// The VRF output beta derived from a proof (only meaningful if the proof
+/// verifies).
+Output output(const Proof& proof);
+
+/// VRF.Verify.
+bool verify(const ec::RistrettoPoint& pk, ByteView input, const Proof& proof);
+
+/// Interprets the output as a uniform value in [0, 1) — used for ranking
+/// and for probability-threshold sortition.
+double output_to_unit_interval(const Output& out);
+
+}  // namespace cbl::vrf

@@ -1,0 +1,116 @@
+// Tests for the anonymity metrics: hand-computed distributions, uniform
+// vs skewed comparisons, degenerate inputs, and consistency with a live
+// server's bucket structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "oprf/anonymity.h"
+#include "oprf/server.h"
+
+namespace cbl::oprf {
+namespace {
+
+using cbl::ChaChaRng;
+
+TEST(Anonymity, UniformBucketsHandComputed) {
+  // Four buckets of 8: every metric collapses to 8 / log2(8) = 3 bits.
+  const auto r = analyze_buckets({8, 8, 8, 8});
+  EXPECT_EQ(r.k_min, 8u);
+  EXPECT_EQ(r.k_max, 8u);
+  EXPECT_EQ(r.total_entries, 32u);
+  EXPECT_EQ(r.nonempty_buckets, 4u);
+  EXPECT_DOUBLE_EQ(r.expected_anonymity_set, 8.0);
+  EXPECT_DOUBLE_EQ(r.shannon_entropy_bits, 3.0);
+  EXPECT_DOUBLE_EQ(r.min_entropy_bits, 3.0);
+}
+
+TEST(Anonymity, SkewPenalizesWorstCaseFirst) {
+  // Same total entries, one tiny bucket: the WORST-CASE metric
+  // (min-entropy) collapses to zero. The size-biased averages can even
+  // rise — a random listed query lands in the big bucket more often —
+  // which is exactly why the worst-case metric is the one the formal
+  // k-anonymity guarantee quotes.
+  const auto uniform = analyze_buckets({8, 8, 8, 8});
+  const auto skewed = analyze_buckets({1, 8, 8, 15});
+  EXPECT_EQ(skewed.total_entries, uniform.total_entries);
+  EXPECT_EQ(skewed.k_min, 1u);
+  EXPECT_DOUBLE_EQ(skewed.min_entropy_bits, 0.0);
+  EXPECT_LT(skewed.min_entropy_bits, uniform.min_entropy_bits);
+  EXPECT_GT(skewed.shannon_entropy_bits, uniform.shannon_entropy_bits);
+  // Size-biased expectation: (1 + 64 + 64 + 225) / 32.
+  EXPECT_NEAR(skewed.expected_anonymity_set, 354.0 / 32.0, 1e-12);
+}
+
+TEST(Anonymity, SingletonBucketHasZeroEntropy) {
+  const auto r = analyze_buckets({1});
+  EXPECT_DOUBLE_EQ(r.shannon_entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(r.min_entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_anonymity_set, 1.0);
+}
+
+TEST(Anonymity, EmptyAndZeroBucketsHandled) {
+  const auto empty = analyze_buckets({});
+  EXPECT_EQ(empty.total_entries, 0u);
+  EXPECT_EQ(empty.k_min, 0u);
+  const auto zeros = analyze_buckets({0, 5, 0, 3});
+  EXPECT_EQ(zeros.nonempty_buckets, 2u);
+  EXPECT_EQ(zeros.k_min, 3u);
+  EXPECT_EQ(zeros.total_entries, 8u);
+}
+
+TEST(Anonymity, SizeBiasedMeanAtLeastPlainMean) {
+  // Jensen: E[X^2]/E[X] >= E[X] for bucket sizes X.
+  auto rng = ChaChaRng::from_string_seed("anon-jensen");
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> sizes;
+    std::size_t total = 0;
+    const std::size_t n = 3 + rng.uniform(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      sizes.push_back(1 + rng.uniform(50));
+      total += sizes.back();
+    }
+    const auto r = analyze_buckets(sizes);
+    const double plain_mean =
+        static_cast<double>(total) / static_cast<double>(n);
+    EXPECT_GE(r.expected_anonymity_set + 1e-9, plain_mean);
+    // And entropy is bounded by log2 of the largest bucket.
+    EXPECT_LE(r.shannon_entropy_bits,
+              std::log2(static_cast<double>(r.k_max)) + 1e-9);
+    EXPECT_GE(r.shannon_entropy_bits, r.min_entropy_bits - 1e-9);
+  }
+}
+
+TEST(Anonymity, LiveServerBucketsMatchEntryCount) {
+  auto rng = ChaChaRng::from_string_seed("anon-live");
+  const auto corpus = blocklist::generate_corpus(500, rng).addresses();
+  auto server_rng = ChaChaRng::from_string_seed("anon-server");
+  OprfServer server(Oracle::fast(), 5, server_rng);
+  server.setup(corpus);
+
+  const auto report = analyze_buckets(server.bucket_sizes());
+  EXPECT_EQ(report.total_entries, corpus.size());
+  EXPECT_EQ(report.nonempty_buckets, server.prefix_list().size());
+  EXPECT_EQ(report.k_min, server.stats().k_anonymity);
+  // 500 entries in 32 buckets: entropy close to log2(500/32).
+  EXPECT_NEAR(report.shannon_entropy_bits, std::log2(500.0 / 32.0), 0.3);
+}
+
+TEST(Anonymity, MoreBitsMonotonicallyLowerEntropy) {
+  auto rng = ChaChaRng::from_string_seed("anon-mono");
+  const auto corpus = blocklist::generate_corpus(2'000, rng).addresses();
+  double prev = 1e9;
+  for (const unsigned lambda : {2u, 4u, 6u, 8u}) {
+    auto server_rng = ChaChaRng::from_string_seed("anon-mono-server");
+    OprfServer server(Oracle::fast(), lambda, server_rng);
+    server.setup(corpus);
+    const auto report = analyze_buckets(server.bucket_sizes());
+    EXPECT_LT(report.shannon_entropy_bits, prev) << lambda;
+    prev = report.shannon_entropy_bits;
+  }
+}
+
+}  // namespace
+}  // namespace cbl::oprf

@@ -1,0 +1,321 @@
+// Cross-validation of the optimized limb arithmetic (fe25519 5x51-bit,
+// scalar 4x64-bit Montgomery) against an independent, obviously-correct
+// reference: a byte-level bignum with shift-subtract modular reduction.
+// Random sweeps plus adversarial edge values around the moduli hunt for
+// carry/borrow bugs the RFC vectors might miss.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ec/fe25519.h"
+#include "ec/scalar.h"
+
+namespace cbl::ec {
+namespace {
+
+using cbl::ChaChaRng;
+
+// ----------------------------------------------------------------- RefInt
+// Arbitrary-size unsigned integer, little-endian 32-bit words. Slow and
+// simple on purpose.
+class RefInt {
+ public:
+  RefInt() = default;
+
+  static RefInt from_le_bytes(ByteView bytes) {
+    RefInt r;
+    for (std::size_t i = 0; i < bytes.size(); i += 4) {
+      std::uint32_t word = 0;
+      for (std::size_t j = 0; j < 4 && i + j < bytes.size(); ++j) {
+        word |= static_cast<std::uint32_t>(bytes[i + j]) << (8 * j);
+      }
+      r.words_.push_back(word);
+    }
+    r.trim();
+    return r;
+  }
+
+  static RefInt from_u64(std::uint64_t v) {
+    RefInt r;
+    r.words_ = {static_cast<std::uint32_t>(v),
+                static_cast<std::uint32_t>(v >> 32)};
+    r.trim();
+    return r;
+  }
+
+  std::array<std::uint8_t, 32> to_le_bytes32() const {
+    std::array<std::uint8_t, 32> out{};
+    for (std::size_t i = 0; i < words_.size() && i < 8; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        out[4 * i + static_cast<std::size_t>(j)] =
+            static_cast<std::uint8_t>(words_[i] >> (8 * j));
+      }
+    }
+    return out;
+  }
+
+  int compare(const RefInt& o) const {
+    if (words_.size() != o.words_.size()) {
+      return words_.size() < o.words_.size() ? -1 : 1;
+    }
+    for (std::size_t i = words_.size(); i-- > 0;) {
+      if (words_[i] != o.words_[i]) return words_[i] < o.words_[i] ? -1 : 1;
+    }
+    return 0;
+  }
+  bool operator==(const RefInt& o) const { return compare(o) == 0; }
+
+  RefInt add(const RefInt& o) const {
+    RefInt r;
+    std::uint64_t carry = 0;
+    const std::size_t n = std::max(words_.size(), o.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t sum = carry + word(i) + o.word(i);
+      r.words_.push_back(static_cast<std::uint32_t>(sum));
+      carry = sum >> 32;
+    }
+    if (carry) r.words_.push_back(static_cast<std::uint32_t>(carry));
+    r.trim();
+    return r;
+  }
+
+  /// this - o; requires this >= o.
+  RefInt sub(const RefInt& o) const {
+    RefInt r;
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(word(i)) -
+                          static_cast<std::int64_t>(o.word(i)) - borrow;
+      borrow = 0;
+      if (diff < 0) {
+        diff += std::int64_t{1} << 32;
+        borrow = 1;
+      }
+      r.words_.push_back(static_cast<std::uint32_t>(diff));
+    }
+    EXPECT_EQ(borrow, 0) << "RefInt::sub underflow";
+    r.trim();
+    return r;
+  }
+
+  RefInt mul(const RefInt& o) const {
+    RefInt r;
+    r.words_.assign(words_.size() + o.words_.size(), 0);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t carry = 0;
+      for (std::size_t j = 0; j < o.words_.size(); ++j) {
+        const std::uint64_t t =
+            static_cast<std::uint64_t>(words_[i]) * o.words_[j] +
+            r.words_[i + j] + carry;
+        r.words_[i + j] = static_cast<std::uint32_t>(t);
+        carry = t >> 32;
+      }
+      r.words_[i + o.words_.size()] += static_cast<std::uint32_t>(carry);
+    }
+    r.trim();
+    return r;
+  }
+
+  RefInt shifted_left_bits(std::size_t bits) const {
+    RefInt r = *this;
+    for (std::size_t b = 0; b < bits; ++b) r = r.add(r);
+    return r;
+  }
+
+  /// this mod m, via binary shift-subtract long division.
+  RefInt mod(const RefInt& m) const {
+    EXPECT_FALSE(m.words_.empty()) << "mod by zero";
+    RefInt r;  // remainder accumulates bit by bit, msb first
+    for (std::size_t i = words_.size(); i-- > 0;) {
+      for (int bit = 31; bit >= 0; --bit) {
+        r = r.add(r);
+        if ((words_[i] >> bit) & 1) r = r.add(RefInt::from_u64(1));
+        if (r.compare(m) >= 0) r = r.sub(m);
+      }
+    }
+    return r;
+  }
+
+ private:
+  std::uint32_t word(std::size_t i) const {
+    return i < words_.size() ? words_[i] : 0;
+  }
+  void trim() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  }
+
+  std::vector<std::uint32_t> words_;  // little endian, trimmed
+};
+
+RefInt ref_p() {
+  // 2^255 - 19.
+  return RefInt::from_u64(1).shifted_left_bits(255).sub(RefInt::from_u64(19));
+}
+
+RefInt ref_l() {
+  // 2^252 + 27742317777372353535851937790883648493.
+  const auto c = RefInt::from_le_bytes(
+      from_hex("edd3f55c1a631258d69cf7a2def9de14").value());
+  return RefInt::from_u64(1).shifted_left_bits(252).add(c);
+}
+
+// Edge-value byte patterns around the moduli and word boundaries.
+std::vector<std::array<std::uint8_t, 32>> edge_values() {
+  std::vector<std::array<std::uint8_t, 32>> out;
+  auto push_hex = [&](const char* hex) {
+    const auto bytes = from_hex(hex).value();
+    std::array<std::uint8_t, 32> a{};
+    std::copy(bytes.begin(), bytes.end(), a.begin());
+    out.push_back(a);
+  };
+  push_hex("0000000000000000000000000000000000000000000000000000000000000000");
+  push_hex("0100000000000000000000000000000000000000000000000000000000000000");
+  push_hex("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");  // p-1
+  push_hex("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");  // p
+  push_hex("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");  // p+1
+  push_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");  // 2^255-1
+  push_hex("ecd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");  // l-1
+  push_hex("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");  // l
+  push_hex("eed3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");  // l+1
+  push_hex("ffffffff000000000000000000000000ffffffff000000000000000000000000");
+  push_hex("0000000000000000ffffffffffffffff0000000000000000ffffffffffffffff");
+  return out;
+}
+
+// ----------------------------------------------------------------- fe25519
+
+class FeReferenceTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("fe-ref");
+
+  static Fe25519 fe_from(const std::array<std::uint8_t, 32>& bytes) {
+    auto masked = bytes;
+    masked[31] &= 0x7f;
+    return Fe25519::from_bytes(masked);
+  }
+
+  static RefInt ref_from(const std::array<std::uint8_t, 32>& bytes) {
+    auto masked = bytes;
+    masked[31] &= 0x7f;
+    return RefInt::from_le_bytes(masked).mod(ref_p());
+  }
+};
+
+TEST_F(FeReferenceTest, MulMatchesReferenceOnRandoms) {
+  for (int i = 0; i < 60; ++i) {
+    std::array<std::uint8_t, 32> a_bytes, b_bytes;
+    rng_.fill(a_bytes.data(), 32);
+    rng_.fill(b_bytes.data(), 32);
+    const auto expected =
+        ref_from(a_bytes).mul(ref_from(b_bytes)).mod(ref_p()).to_le_bytes32();
+    EXPECT_EQ((fe_from(a_bytes) * fe_from(b_bytes)).to_bytes(), expected)
+        << "a=" << to_hex(ByteView(a_bytes)) << " b=" << to_hex(ByteView(b_bytes));
+  }
+}
+
+TEST_F(FeReferenceTest, AddSubMatchReferenceOnEdges) {
+  const auto edges = edge_values();
+  const auto p = ref_p();
+  for (const auto& a : edges) {
+    for (const auto& b : edges) {
+      const RefInt ra = ref_from(a), rb = ref_from(b);
+      EXPECT_EQ((fe_from(a) + fe_from(b)).to_bytes(),
+                ra.add(rb).mod(p).to_le_bytes32());
+      // a - b mod p == a + (p - b) mod p.
+      EXPECT_EQ((fe_from(a) - fe_from(b)).to_bytes(),
+                ra.add(p.sub(rb)).mod(p).to_le_bytes32());
+    }
+  }
+}
+
+TEST_F(FeReferenceTest, MulMatchesReferenceOnEdgePairs) {
+  const auto edges = edge_values();
+  const auto p = ref_p();
+  for (const auto& a : edges) {
+    for (const auto& b : edges) {
+      EXPECT_EQ((fe_from(a) * fe_from(b)).to_bytes(),
+                ref_from(a).mul(ref_from(b)).mod(p).to_le_bytes32());
+    }
+  }
+}
+
+TEST_F(FeReferenceTest, CanonicalEncodingIsBelowP) {
+  const auto p = ref_p();
+  for (int i = 0; i < 20; ++i) {
+    std::array<std::uint8_t, 32> bytes;
+    rng_.fill(bytes.data(), 32);
+    const auto canonical = fe_from(bytes).to_bytes();
+    EXPECT_LT(RefInt::from_le_bytes(canonical).compare(p), 0);
+  }
+}
+
+// ------------------------------------------------------------------ Scalar
+
+class ScalarReferenceTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("sc-ref");
+};
+
+TEST_F(ScalarReferenceTest, MulMatchesReferenceOnRandoms) {
+  const auto l = ref_l();
+  for (int i = 0; i < 60; ++i) {
+    std::array<std::uint8_t, 32> a_bytes, b_bytes;
+    rng_.fill(a_bytes.data(), 32);
+    rng_.fill(b_bytes.data(), 32);
+    const Scalar a = Scalar::from_bytes_mod_order(a_bytes);
+    const Scalar b = Scalar::from_bytes_mod_order(b_bytes);
+    const auto expected = RefInt::from_le_bytes(a_bytes)
+                              .mod(l)
+                              .mul(RefInt::from_le_bytes(b_bytes).mod(l))
+                              .mod(l)
+                              .to_le_bytes32();
+    EXPECT_EQ((a * b).to_bytes(), expected);
+  }
+}
+
+TEST_F(ScalarReferenceTest, AddSubMatchReferenceOnEdges) {
+  const auto l = ref_l();
+  for (const auto& a_bytes : edge_values()) {
+    for (const auto& b_bytes : edge_values()) {
+      const Scalar a = Scalar::from_bytes_mod_order(a_bytes);
+      const Scalar b = Scalar::from_bytes_mod_order(b_bytes);
+      const RefInt ra = RefInt::from_le_bytes(a_bytes).mod(l);
+      const RefInt rb = RefInt::from_le_bytes(b_bytes).mod(l);
+      EXPECT_EQ((a + b).to_bytes(), ra.add(rb).mod(l).to_le_bytes32());
+      EXPECT_EQ((a - b).to_bytes(),
+                ra.add(l.sub(rb)).mod(l).to_le_bytes32());
+    }
+  }
+}
+
+TEST_F(ScalarReferenceTest, WideReductionMatchesReference) {
+  const auto l = ref_l();
+  for (int i = 0; i < 40; ++i) {
+    std::array<std::uint8_t, 64> wide;
+    rng_.fill(wide.data(), 64);
+    const auto expected =
+        RefInt::from_le_bytes(wide).mod(l).to_le_bytes32();
+    EXPECT_EQ(Scalar::from_bytes_wide(wide).to_bytes(), expected);
+  }
+  // All-ones wide input (the largest possible).
+  std::array<std::uint8_t, 64> ones;
+  ones.fill(0xff);
+  EXPECT_EQ(Scalar::from_bytes_wide(ones).to_bytes(),
+            RefInt::from_le_bytes(ones).mod(l).to_le_bytes32());
+}
+
+TEST_F(ScalarReferenceTest, MontgomeryRoundTripIdentities) {
+  // (a*b)*c == a*(b*c) and a*1 == a on adversarial values.
+  for (const auto& bytes : edge_values()) {
+    const Scalar a = Scalar::from_bytes_mod_order(bytes);
+    const Scalar b = Scalar::from_u64(0xffffffffffffffffULL);
+    const Scalar c = Scalar::from_u64(2);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * Scalar::one(), a);
+    EXPECT_EQ(a * Scalar::zero(), Scalar::zero());
+  }
+}
+
+}  // namespace
+}  // namespace cbl::ec

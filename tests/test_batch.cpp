@@ -1,0 +1,151 @@
+// Tests for batch verification: equivalence with sequential
+// verification, detection of a single bad proof anywhere in the batch,
+// statement-shuffling detection, and edge cases.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nizk/batch.h"
+
+namespace cbl::nizk {
+namespace {
+
+using cbl::ChaChaRng;
+using commit::Crs;
+using ec::RistrettoPoint;
+using ec::Scalar;
+
+class BatchTest : public ::testing::Test {
+ protected:
+  const Crs& crs_ = Crs::default_crs();
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("batch-tests");
+
+  std::pair<std::vector<StatementA>, std::vector<ProofA>> make_a_batch(
+      std::size_t n) {
+    std::vector<StatementA> statements;
+    std::vector<ProofA> proofs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Scalar x = Scalar::random(rng_);
+      statements.push_back({crs_.g * x, crs_.h1 * x, crs_.h2 * x});
+      proofs.push_back(ProofA::prove(crs_, statements.back(), x, rng_));
+    }
+    return {statements, proofs};
+  }
+
+  std::pair<std::vector<StatementB>, std::vector<ProofB>> make_b_batch(
+      std::size_t n) {
+    std::vector<StatementB> statements;
+    std::vector<ProofB> proofs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Scalar x = Scalar::random(rng_);
+      const Scalar v = Scalar::from_u64(rng_.uniform(2));
+      const RistrettoPoint y = crs_.g * Scalar::random(rng_);
+      StatementB st;
+      st.c0 = crs_.g * x;
+      st.big_c = crs_.g * v + crs_.h * x;
+      st.psi = crs_.g * v + y * x;
+      st.y = y;
+      statements.push_back(st);
+      proofs.push_back(ProofB::prove(crs_, st, x, v, rng_));
+    }
+    return {statements, proofs};
+  }
+};
+
+TEST_F(BatchTest, ProofABatchAccepts) {
+  auto [statements, proofs] = make_a_batch(10);
+  EXPECT_TRUE(batch_verify_proof_a(crs_, statements, proofs, rng_));
+}
+
+TEST_F(BatchTest, ProofAEmptyBatchAccepts) {
+  EXPECT_TRUE(batch_verify_proof_a(crs_, {}, {}, rng_));
+}
+
+TEST_F(BatchTest, ProofASingleBadProofDetectedAnywhere) {
+  for (std::size_t bad_pos : {0u, 4u, 9u}) {
+    auto [statements, proofs] = make_a_batch(10);
+    proofs[bad_pos].omega = proofs[bad_pos].omega + Scalar::one();
+    EXPECT_FALSE(batch_verify_proof_a(crs_, statements, proofs, rng_))
+        << "bad at " << bad_pos;
+  }
+}
+
+TEST_F(BatchTest, ProofAWrongStatementDetected) {
+  auto [statements, proofs] = make_a_batch(6);
+  std::swap(statements[1], statements[4]);  // proofs no longer match
+  EXPECT_FALSE(batch_verify_proof_a(crs_, statements, proofs, rng_));
+}
+
+TEST_F(BatchTest, ProofASizeMismatchThrows) {
+  auto [statements, proofs] = make_a_batch(3);
+  proofs.pop_back();
+  EXPECT_THROW(
+      (void)batch_verify_proof_a(crs_, statements, proofs, rng_),
+      std::invalid_argument);
+}
+
+TEST_F(BatchTest, ProofBBatchAccepts) {
+  auto [statements, proofs] = make_b_batch(8);
+  EXPECT_TRUE(batch_verify_proof_b(crs_, statements, proofs, rng_));
+}
+
+TEST_F(BatchTest, ProofBBadProofDetected) {
+  auto [statements, proofs] = make_b_batch(8);
+  proofs[3].omega_v = proofs[3].omega_v + Scalar::one();
+  EXPECT_FALSE(batch_verify_proof_b(crs_, statements, proofs, rng_));
+}
+
+TEST_F(BatchTest, ProofBForgedPsiDetected) {
+  auto [statements, proofs] = make_b_batch(5);
+  statements[2].psi = statements[2].psi + RistrettoPoint::base();
+  EXPECT_FALSE(batch_verify_proof_b(crs_, statements, proofs, rng_));
+}
+
+TEST_F(BatchTest, ProofBMatchesSequentialOnMixedBatch) {
+  // Cross-check: batch result equals AND of individual verifications,
+  // for both all-good and one-bad batches.
+  auto [statements, proofs] = make_b_batch(6);
+  auto sequential = [&] {
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+      if (!proofs[i].verify(crs_, statements[i])) return false;
+    }
+    return true;
+  };
+  EXPECT_EQ(batch_verify_proof_b(crs_, statements, proofs, rng_),
+            sequential());
+  proofs[5].a = proofs[5].a + Scalar::one();
+  EXPECT_EQ(batch_verify_proof_b(crs_, statements, proofs, rng_),
+            sequential());
+}
+
+TEST_F(BatchTest, SignatureBatchAcceptsAndDetects) {
+  std::vector<SignedMessage> items;
+  std::vector<SigningKey> keys;
+  for (int i = 0; i < 12; ++i) {
+    keys.push_back(SigningKey::generate(rng_));
+    SignedMessage item;
+    item.pk = keys.back().pk;
+    item.message = to_bytes("message-" + std::to_string(i));
+    item.signature = sign(keys.back(), item.message, "batch-test", rng_);
+    items.push_back(item);
+  }
+  EXPECT_TRUE(batch_verify_signatures(items, "batch-test", rng_));
+
+  // Wrong domain fails wholesale.
+  EXPECT_FALSE(batch_verify_signatures(items, "other-domain", rng_));
+
+  // One swapped message fails the batch.
+  std::swap(items[2].message, items[7].message);
+  EXPECT_FALSE(batch_verify_signatures(items, "batch-test", rng_));
+  std::swap(items[2].message, items[7].message);
+
+  // One forged signature fails the batch.
+  items[9].signature.response = items[9].signature.response + Scalar::one();
+  EXPECT_FALSE(batch_verify_signatures(items, "batch-test", rng_));
+}
+
+TEST_F(BatchTest, SignatureEmptyBatchAccepts) {
+  EXPECT_TRUE(batch_verify_signatures({}, "batch-test", rng_));
+}
+
+}  // namespace
+}  // namespace cbl::nizk

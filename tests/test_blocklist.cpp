@@ -1,0 +1,274 @@
+// Tests for Keccak-256, address formats (Base58Check, EIP-55, Ripple),
+// the synthetic feed generator, and the deduplicating store.
+#include <gtest/gtest.h>
+
+#include "blocklist/address.h"
+#include "blocklist/generator.h"
+#include "blocklist/store.h"
+#include "common/rng.h"
+#include "hash/keccak.h"
+
+namespace cbl::blocklist {
+namespace {
+
+using cbl::ChaChaRng;
+
+TEST(Keccak256, EmptyString) {
+  const auto d = hash::Keccak256::digest("");
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, Abc) {
+  const auto d = hash::Keccak256::digest("abc");
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, MultiBlockStreaming) {
+  std::string msg(500, 'q');
+  hash::Keccak256 h;
+  h.update(msg.substr(0, 137));
+  h.update(msg.substr(137));
+  EXPECT_EQ(h.finalize(), hash::Keccak256::digest(msg));
+}
+
+TEST(Base58, KnownEncoding) {
+  // "Hello World!" is a classic base58 vector: 2NEpo7TZRRrLZSi2U.
+  EXPECT_EQ(base58_encode(to_bytes("Hello World!"), kBitcoinAlphabet),
+            "2NEpo7TZRRrLZSi2U");
+}
+
+TEST(Base58, LeadingZeros) {
+  const Bytes data = {0x00, 0x00, 0x01};
+  const auto encoded = base58_encode(data, kBitcoinAlphabet);
+  EXPECT_EQ(encoded.substr(0, 2), "11");  // zero byte -> '1'
+  const auto decoded = base58_decode(encoded, kBitcoinAlphabet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Base58, RoundTrip) {
+  auto rng = ChaChaRng::from_string_seed("base58");
+  for (int i = 0; i < 20; ++i) {
+    const Bytes data = rng.bytes(1 + rng.uniform(40));
+    for (const auto alphabet : {kBitcoinAlphabet, kRippleAlphabet}) {
+      const auto decoded = base58_decode(base58_encode(data, alphabet), alphabet);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, data);
+    }
+  }
+}
+
+TEST(Base58, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base58_decode("0OIl", kBitcoinAlphabet).has_value());
+}
+
+TEST(Address, BitcoinGenesisStyleKnownVector) {
+  // All-zero payload with version 0 gives the well-known burn address.
+  std::array<std::uint8_t, 20> payload{};
+  EXPECT_EQ(make_bitcoin_address(payload),
+            "1111111111111111111114oLvT2");
+  EXPECT_TRUE(validate_bitcoin_address("1111111111111111111114oLvT2"));
+}
+
+TEST(Address, BitcoinChecksumCatchesTypos) {
+  auto rng = ChaChaRng::from_string_seed("btc");
+  std::string addr = random_address(Chain::kBitcoin, rng);
+  EXPECT_TRUE(validate_bitcoin_address(addr));
+  // Swap a middle character for another alphabet character.
+  const std::size_t i = addr.size() / 2;
+  addr[i] = addr[i] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(validate_bitcoin_address(addr));
+}
+
+TEST(Address, Eip55KnownVector) {
+  // From the EIP-55 specification examples.
+  std::array<std::uint8_t, 20> payload{};
+  const auto hex = from_hex("5aaeb6053f3e94c9b9a09f33669435e7ef1beaed").value();
+  std::copy(hex.begin(), hex.end(), payload.begin());
+  EXPECT_EQ(make_ethereum_address(payload),
+            "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed");
+}
+
+TEST(Address, Eip55ValidationRejectsWrongCase) {
+  EXPECT_TRUE(
+      validate_ethereum_address("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed"));
+  EXPECT_FALSE(
+      validate_ethereum_address("0x5aaeb6053f3e94c9b9a09f33669435e7ef1beaed"));
+  EXPECT_FALSE(validate_ethereum_address("0x5aAeb6053F3E94C9b9A09f3366"));
+  EXPECT_FALSE(
+      validate_ethereum_address("5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed00"));
+}
+
+TEST(Address, RippleRoundTrip) {
+  auto rng = ChaChaRng::from_string_seed("xrp");
+  for (int i = 0; i < 5; ++i) {
+    const auto addr = random_address(Chain::kRipple, rng);
+    EXPECT_TRUE(validate_ripple_address(addr));
+    EXPECT_EQ(addr[0], 'r');  // ripple classic addresses start with 'r'
+  }
+}
+
+TEST(Bech32, Bip173KnownVector) {
+  // The canonical BIP-173 P2WPKH example: hash160 of the test pubkey.
+  std::array<std::uint8_t, 20> payload{};
+  const auto hex = from_hex("751e76e8199196d454941c45d1b3a323f1433bd6").value();
+  std::copy(hex.begin(), hex.end(), payload.begin());
+  EXPECT_EQ(make_segwit_address(payload),
+            "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4");
+  EXPECT_TRUE(
+      validate_segwit_address("bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4"));
+  // Uppercase form is also valid bech32 (single-case).
+  EXPECT_TRUE(
+      validate_segwit_address("BC1QW508D6QEJXTDG4Y5R3ZARVARY0C5XW7KV8F3T4"));
+}
+
+TEST(Bech32, RejectsCorruption) {
+  std::string good = "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4";
+  // Flip one data character.
+  std::string bad = good;
+  bad[10] = bad[10] == 'q' ? 'p' : 'q';
+  EXPECT_FALSE(validate_segwit_address(bad));
+  // Mixed case is invalid per BIP-173.
+  bad = good;
+  bad[3] = 'Q';
+  EXPECT_FALSE(validate_segwit_address(bad));
+  // Wrong HRP.
+  EXPECT_FALSE(validate_segwit_address("tb1qw508d6qejxtdg4y5r3zarvary0c5xw7kxpjzsx"));
+  EXPECT_FALSE(validate_segwit_address("not bech32"));
+}
+
+TEST(Bech32, EncodeDecodeRoundTrip) {
+  auto rng = ChaChaRng::from_string_seed("bech32");
+  for (int i = 0; i < 10; ++i) {
+    const auto addr = random_address(Chain::kBitcoinSegwit, rng);
+    EXPECT_TRUE(validate_segwit_address(addr)) << addr;
+    EXPECT_EQ(addr.substr(0, 4), "bc1q");
+    const auto decoded = bech32_decode(addr);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, "bc");
+    EXPECT_EQ(bech32_encode(decoded->first, decoded->second), addr);
+  }
+}
+
+TEST(Address, DetectChain) {
+  auto rng = ChaChaRng::from_string_seed("detect");
+  EXPECT_EQ(detect_chain(random_address(Chain::kBitcoin, rng)),
+            Chain::kBitcoin);
+  EXPECT_EQ(detect_chain(random_address(Chain::kEthereum, rng)),
+            Chain::kEthereum);
+  EXPECT_EQ(detect_chain(random_address(Chain::kRipple, rng)),
+            Chain::kRipple);
+  EXPECT_EQ(detect_chain(random_address(Chain::kBitcoinSegwit, rng)),
+            Chain::kBitcoinSegwit);
+  EXPECT_FALSE(detect_chain("not an address").has_value());
+}
+
+TEST(Generator, FeedHasRequestedSize) {
+  auto rng = ChaChaRng::from_string_seed("feed");
+  FeedConfig cfg;
+  cfg.count = 500;
+  const auto feed = generate_feed(cfg, rng);
+  EXPECT_EQ(feed.size(), 500u);
+}
+
+TEST(Generator, FeedAddressesAreFormatValid) {
+  auto rng = ChaChaRng::from_string_seed("feed-valid");
+  FeedConfig cfg;
+  cfg.count = 100;
+  for (const auto& e : generate_feed(cfg, rng)) {
+    EXPECT_TRUE(detect_chain(e.address).has_value()) << e.address;
+    EXPECT_EQ(detect_chain(e.address), e.chain);
+  }
+}
+
+TEST(Generator, DuplicateRateRoughlyRespected) {
+  auto rng = ChaChaRng::from_string_seed("feed-dup");
+  FeedConfig cfg;
+  cfg.count = 2000;
+  cfg.duplicate_rate = 0.2;
+  const auto feed = generate_feed(cfg, rng);
+  Store store;
+  const std::size_t unique = store.merge(feed);
+  const double dup_fraction =
+      1.0 - static_cast<double>(unique) / static_cast<double>(feed.size());
+  EXPECT_GT(dup_fraction, 0.12);
+  EXPECT_LT(dup_fraction, 0.28);
+}
+
+TEST(Generator, CorpusHitsExactUniqueCount) {
+  auto rng = ChaChaRng::from_string_seed("corpus");
+  const auto store = generate_corpus(1234, rng);
+  EXPECT_EQ(store.size(), 1234u);
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  auto rng1 = ChaChaRng::from_string_seed("det");
+  auto rng2 = ChaChaRng::from_string_seed("det");
+  FeedConfig cfg;
+  cfg.count = 50;
+  const auto f1 = generate_feed(cfg, rng1);
+  const auto f2 = generate_feed(cfg, rng2);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].address, f2[i].address);
+  }
+}
+
+TEST(Store, DedupBumpsReportCount) {
+  Store store;
+  Entry e;
+  e.address = "addr1";
+  e.first_reported = 100;
+  EXPECT_TRUE(store.add(e));
+  e.first_reported = 50;
+  EXPECT_FALSE(store.add(e));
+  const auto looked = store.lookup("addr1");
+  ASSERT_TRUE(looked.has_value());
+  EXPECT_EQ(looked->report_count, 2u);
+  EXPECT_EQ(looked->first_reported, 50u);  // earliest wins
+}
+
+TEST(Store, ContainsAndSize) {
+  Store store;
+  Entry e;
+  e.address = "a";
+  store.add(e);
+  e.address = "b";
+  store.add(e);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("c"));
+}
+
+TEST(Store, ExpireOldEntries) {
+  Store store;
+  Entry e;
+  e.address = "old";
+  e.first_reported = 10;
+  store.add(e);
+  e.address = "new";
+  e.first_reported = 100;
+  store.add(e);
+  EXPECT_EQ(store.expire_older_than(50), 1u);
+  EXPECT_FALSE(store.contains("old"));
+  EXPECT_TRUE(store.contains("new"));
+  // addresses() must not resurrect expired entries.
+  EXPECT_EQ(store.addresses().size(), 1u);
+}
+
+TEST(Store, BreakdownCoversAllEntries) {
+  auto rng = ChaChaRng::from_string_seed("breakdown");
+  FeedConfig cfg;
+  cfg.count = 300;
+  cfg.duplicate_rate = 0;
+  Store store;
+  store.merge(generate_feed(cfg, rng));
+  std::size_t total = 0;
+  for (const auto& b : store.breakdown()) total += b.count;
+  EXPECT_EQ(total, store.size());
+}
+
+}  // namespace
+}  // namespace cbl::blocklist

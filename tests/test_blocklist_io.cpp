@@ -1,0 +1,104 @@
+// Tests for blocklist import/export: round-trip stability, malformed-
+// line tolerance, merge semantics, and canonical output ordering.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "blocklist/io.h"
+#include "common/rng.h"
+
+namespace cbl::blocklist {
+namespace {
+
+using cbl::ChaChaRng;
+
+TEST(BlocklistIo, EntryLineRoundTrip) {
+  Entry e;
+  e.address = "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed";
+  e.chain = Chain::kEthereum;
+  e.category = Category::kPonzi;
+  e.first_reported = 1'650'000'000;
+  e.report_count = 7;
+
+  const auto line = format_entry(e);
+  const auto parsed = parse_entry_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->address, e.address);
+  EXPECT_EQ(parsed->chain, e.chain);
+  EXPECT_EQ(parsed->category, e.category);
+  EXPECT_EQ(parsed->first_reported, e.first_reported);
+  EXPECT_EQ(parsed->report_count, e.report_count);
+}
+
+TEST(BlocklistIo, MalformedLinesRejected) {
+  EXPECT_FALSE(parse_entry_line("").has_value());
+  EXPECT_FALSE(parse_entry_line("too\tfew\tfields").has_value());
+  EXPECT_FALSE(
+      parse_entry_line("addr\tbitcoin\tphishing\t123\t4\textra").has_value());
+  EXPECT_FALSE(parse_entry_line("addr\tdogecoin\tphishing\t123\t4").has_value());
+  EXPECT_FALSE(parse_entry_line("addr\tbitcoin\tbadcat\t123\t4").has_value());
+  EXPECT_FALSE(parse_entry_line("addr\tbitcoin\tphishing\tnotanum\t4").has_value());
+  EXPECT_FALSE(parse_entry_line("addr\tbitcoin\tphishing\t123\t0").has_value());
+  EXPECT_FALSE(parse_entry_line("\tbitcoin\tphishing\t123\t4").has_value());
+  EXPECT_FALSE(parse_entry_line("addr\tbitcoin\tphishing\t-5\t4").has_value());
+}
+
+TEST(BlocklistIo, StoreRoundTripIsByteStable) {
+  auto rng = ChaChaRng::from_string_seed("io-corpus");
+  const auto store = generate_corpus(200, rng);
+
+  const std::string exported = export_store_to_string(store);
+  Store reimported;
+  const auto stats = import_string_into_store(exported, reimported);
+  EXPECT_EQ(stats.entries_imported, store.size());
+  EXPECT_EQ(stats.lines_rejected, 0u);
+  EXPECT_EQ(reimported.size(), store.size());
+
+  // Canonical form: export(import(export(s))) == export(s).
+  EXPECT_EQ(export_store_to_string(reimported), exported);
+}
+
+TEST(BlocklistIo, ImportMergesDuplicates) {
+  Store store;
+  const std::string feed =
+      "addr1\tbitcoin\tphishing\t100\t2\n"
+      "addr1\tbitcoin\tphishing\t50\t3\n"
+      "addr2\tbitcoin\tponzi\t200\t1\n";
+  const auto stats = import_string_into_store(feed, store);
+  EXPECT_EQ(stats.entries_imported, 2u);
+  EXPECT_EQ(stats.entries_merged, 1u);
+  const auto merged = store.lookup("addr1");
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->report_count, 5u);
+  EXPECT_EQ(merged->first_reported, 50u);  // earliest wins
+}
+
+TEST(BlocklistIo, CommentsAndBlanksSkippedBadLinesCounted) {
+  Store store;
+  const std::string feed =
+      "# header comment\n"
+      "\n"
+      "addr1\tbitcoin\tphishing\t100\t1\n"
+      "garbage line without tabs\n"
+      "addr2\tethereum\transomware\t200\t2\n";
+  const auto stats = import_string_into_store(feed, store);
+  EXPECT_EQ(stats.lines_total, 3u);  // comments/blanks not counted
+  EXPECT_EQ(stats.entries_imported, 2u);
+  EXPECT_EQ(stats.lines_rejected, 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(BlocklistIo, ExportedFeedServesCorrectly) {
+  // The interchange format is good enough to move a blocklist between
+  // two independent provider processes.
+  auto rng = ChaChaRng::from_string_seed("io-serve");
+  const auto original = generate_corpus(60, rng);
+  Store received;
+  import_string_into_store(export_store_to_string(original), received);
+
+  for (const auto& addr : original.addresses()) {
+    EXPECT_TRUE(received.contains(addr));
+  }
+}
+
+}  // namespace
+}  // namespace cbl::blocklist

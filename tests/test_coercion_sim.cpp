@@ -1,0 +1,104 @@
+// Tests for the coercion simulator: degenerate cases, agreement with the
+// hypergeometric model, and the end-to-end ceremony cross-check.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "voting/coercion_sim.h"
+#include "vrf/vrf.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+
+class CoercionSimTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("coercion-sim");
+};
+
+TEST_F(CoercionSimTest, VrfEvaluateMatchesProvedOutput) {
+  const auto keys = vrf::KeyPair::generate(rng_);
+  const Bytes input = to_bytes("nu");
+  EXPECT_EQ(vrf::evaluate(keys, input),
+            vrf::output(vrf::prove(keys, input, rng_)));
+}
+
+TEST_F(CoercionSimTest, NoControlNeverCaptures) {
+  CoercionSimConfig cfg;
+  cfg.pool_size = 10;
+  cfg.committee_size = 5;
+  cfg.controlled = 0;
+  cfg.trials = 30;
+  const auto r = simulate_sortition_capture(cfg, rng_);
+  EXPECT_EQ(r.captures, 0u);
+  EXPECT_DOUBLE_EQ(r.analytical_capture_rate, 0.0);
+}
+
+TEST_F(CoercionSimTest, FullControlAlwaysCaptures) {
+  CoercionSimConfig cfg;
+  cfg.pool_size = 10;
+  cfg.committee_size = 5;
+  cfg.controlled = 10;
+  cfg.trials = 30;
+  const auto r = simulate_sortition_capture(cfg, rng_);
+  EXPECT_EQ(r.captures, r.trials);
+  EXPECT_DOUBLE_EQ(r.analytical_capture_rate, 1.0);
+}
+
+TEST_F(CoercionSimTest, BelowMinorityThresholdNeverCaptures) {
+  // 2 controlled of pool 6, 5 seats: even if both are seated, 2 < 3.
+  CoercionSimConfig cfg;
+  cfg.pool_size = 6;
+  cfg.committee_size = 5;
+  cfg.controlled = 2;
+  cfg.trials = 30;
+  const auto r = simulate_sortition_capture(cfg, rng_);
+  EXPECT_EQ(r.captures, 0u);
+}
+
+TEST_F(CoercionSimTest, EmpiricalTracksHypergeometric) {
+  CoercionSimConfig cfg;
+  cfg.pool_size = 12;
+  cfg.committee_size = 5;
+  cfg.controlled = 6;
+  cfg.trials = 400;
+  const auto r = simulate_sortition_capture(cfg, rng_);
+  // Binomial(400, p) has stddev < 0.025 around p ~ 0.3..0.4; allow 4
+  // sigma.
+  EXPECT_NEAR(r.empirical_capture_rate, r.analytical_capture_rate, 0.10);
+  EXPECT_GT(r.empirical_capture_rate, 0.05);
+  EXPECT_LT(r.empirical_capture_rate, 0.95);
+}
+
+TEST_F(CoercionSimTest, DilutionLowersCaptureRate) {
+  // Same absolute coercion budget (4 candidates) against a growing pool.
+  double prev = 1.1;
+  for (const std::size_t pool : {6u, 12u, 24u}) {
+    CoercionSimConfig cfg;
+    cfg.pool_size = pool;
+    cfg.committee_size = 5;
+    cfg.controlled = 4;
+    cfg.trials = 200;
+    const auto r = simulate_sortition_capture(cfg, rng_);
+    EXPECT_LT(r.analytical_capture_rate, prev) << "pool=" << pool;
+    EXPECT_LE(r.empirical_capture_rate, prev + 0.1) << "pool=" << pool;
+    prev = r.analytical_capture_rate;
+  }
+}
+
+TEST_F(CoercionSimTest, FullCeremonyDegenerateCases) {
+  // Deterministic ends of the full protocol: nobody coerced -> never
+  // approved; everybody coerced -> always approved.
+  CoercionSimConfig cfg;
+  cfg.pool_size = 4;
+  cfg.committee_size = 3;
+  cfg.trials = 3;
+
+  cfg.controlled = 0;
+  EXPECT_EQ(simulate_full_ceremony_capture(cfg, rng_).captures, 0u);
+  cfg.controlled = 4;
+  EXPECT_EQ(simulate_full_ceremony_capture(cfg, rng_).captures, 3u);
+}
+
+}  // namespace
+}  // namespace cbl::voting

@@ -1,0 +1,157 @@
+// Tests for phase deadlines: premature aborts are rejected when a
+// deadline is configured, expired phases unwind cleanly in every state,
+// and the no-deadline default keeps aborts permissionless.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+#include "voting/contract.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+using chain::Blockchain;
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("deadline-tests");
+
+  EvaluationConfig config_with_deadlines() {
+    EvaluationConfig cfg;
+    cfg.thresh = 3;
+    cfg.committee_size = 2;
+    cfg.deposit = 10;
+    cfg.provider_deposit = 10;
+    cfg.registration_deadline_blocks = 5;
+    cfg.reveal_deadline_blocks = 5;
+    cfg.round2_deadline_blocks = 5;
+    return cfg;
+  }
+
+  struct Harness {
+    Blockchain chain;
+    chain::AccountId provider;
+    std::unique_ptr<EvaluationContract> contract;
+    std::vector<std::unique_ptr<Shareholder>> shareholders;
+
+    Harness(const EvaluationConfig& cfg, ChaChaRng& rng) {
+      provider = chain.ledger().create_account("provider");
+      chain.ledger().mint(provider, cfg.provider_deposit + 100);
+      contract = std::make_unique<EvaluationContract>(chain, cfg, provider);
+      for (std::size_t i = 0; i < cfg.thresh; ++i) {
+        shareholders.push_back(
+            std::make_unique<Shareholder>(chain.crs(), rng, 1u, cfg.deposit));
+        const auto acct = chain.ledger().create_account("sh");
+        chain.ledger().mint(acct, cfg.deposit);
+        chain.shielded_pool().shield(acct, cfg.deposit,
+                                     shareholders.back()->deposit_note(),
+                                     shareholders.back()->make_shield_proof(rng));
+      }
+    }
+
+    void register_first(std::size_t n, ChaChaRng& rng) {
+      for (std::size_t i = 0; i < n; ++i) {
+        contract->register_shareholder(0, shareholders[i]->build_round1(rng));
+      }
+    }
+  };
+};
+
+TEST_F(DeadlineTest, RegistrationAbortRejectedBeforeDeadline) {
+  Harness h(config_with_deadlines(), rng_);
+  h.register_first(1, rng_);
+  EXPECT_THROW(h.contract->abort_registration(0), ChainError);
+}
+
+TEST_F(DeadlineTest, RegistrationAbortUnwindsAfterDeadline) {
+  Harness h(config_with_deadlines(), rng_);
+  h.register_first(2, rng_);  // never reaches thresh = 3
+  for (int i = 0; i < 5; ++i) h.chain.seal_block();
+  h.contract->abort_registration(0);
+  EXPECT_EQ(h.contract->phase(), EvaluationContract::Phase::kAborted);
+  // Registered stakes unlocked; provider deposit returned.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(h.chain.shielded_pool().note_locked(
+        h.shareholders[i]->deposit_note()));
+  }
+  EXPECT_EQ(h.chain.ledger().balance(h.provider), 110);
+}
+
+TEST_F(DeadlineTest, RevealAbortOnlyWhenCommitteeImpossible) {
+  Harness h(config_with_deadlines(), rng_);
+  h.register_first(3, rng_);  // closes registration
+  ASSERT_EQ(h.contract->phase(), EvaluationContract::Phase::kVrfReveal);
+
+  // One reveal only (< committee_size = 2), deadline not yet passed.
+  h.contract->reveal_vrf(
+      0, h.shareholders[0]->build_vrf_reveal(h.contract->challenge(), rng_),
+      0);
+  EXPECT_THROW(h.contract->abort_reveal(0), ChainError);  // too early
+  for (int i = 0; i < 5; ++i) h.chain.seal_block();
+  h.contract->abort_reveal(0);
+  EXPECT_EQ(h.contract->phase(), EvaluationContract::Phase::kAborted);
+}
+
+TEST_F(DeadlineTest, RevealAbortRefusedWhenEnoughRevealsExist) {
+  Harness h(config_with_deadlines(), rng_);
+  h.register_first(3, rng_);
+  for (std::size_t i = 0; i < 2; ++i) {
+    h.contract->reveal_vrf(
+        i, h.shareholders[i]->build_vrf_reveal(h.contract->challenge(), rng_),
+        0);
+  }
+  for (int i = 0; i < 5; ++i) h.chain.seal_block();
+  // 2 reveals >= committee_size: the right move is finalize, not abort.
+  EXPECT_THROW(h.contract->abort_reveal(0), ChainError);
+  h.contract->finalize_committee(0);
+  EXPECT_EQ(h.contract->phase(), EvaluationContract::Phase::kRound2);
+}
+
+TEST_F(DeadlineTest, Round2AbortGatedByDeadline) {
+  Harness h(config_with_deadlines(), rng_);
+  h.register_first(3, rng_);
+  for (std::size_t i = 0; i < 3; ++i) {
+    h.contract->reveal_vrf(
+        i, h.shareholders[i]->build_vrf_reveal(h.contract->challenge(), rng_),
+        0);
+  }
+  h.contract->finalize_committee(0);
+  ASSERT_EQ(h.contract->phase(), EvaluationContract::Phase::kRound2);
+
+  // Nobody voted; abort is premature until the deadline passes.
+  EXPECT_THROW(h.contract->abort_stalled(0), ChainError);
+  for (int i = 0; i < 5; ++i) h.chain.seal_block();
+  h.contract->abort_stalled(0);
+  EXPECT_EQ(h.contract->phase(), EvaluationContract::Phase::kAborted);
+}
+
+TEST_F(DeadlineTest, NoDeadlineKeepsAbortsPermissionless) {
+  // Default config (no deadlines): the original semantics hold and a
+  // stalled round 2 can be aborted immediately.
+  Blockchain chain;
+  EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = 2;
+  cfg.deposit = 10;
+  cfg.provider_deposit = 10;
+  Ceremony ceremony(chain, cfg, {1, 0}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+  ceremony.contract().abort_stalled(ceremony.provider_account());
+  EXPECT_EQ(ceremony.contract().phase(), EvaluationContract::Phase::kAborted);
+}
+
+TEST_F(DeadlineTest, CurrentDeadlineReflectsPhase) {
+  Harness h(config_with_deadlines(), rng_);
+  EXPECT_EQ(h.contract->current_deadline(), 5u);  // registration from block 0
+  h.chain.seal_block();
+  h.chain.seal_block();
+  h.register_first(3, rng_);  // closes at height 2
+  EXPECT_EQ(h.contract->current_deadline(), 7u);  // reveal window restarts
+}
+
+}  // namespace
+}  // namespace cbl::voting

@@ -1,0 +1,207 @@
+// Tests for the Section V-E game: utility shapes, the two-undominated-
+// strategies claim, the deterrence condition, Stackelberg selection, and
+// the hypergeometric pool-dilution math.
+#include <gtest/gtest.h>
+
+#include "game/game.h"
+#include "game/dos_economics.h"
+#include "game/sortition_math.h"
+
+namespace cbl::game {
+namespace {
+
+GameParams default_params() {
+  GameParams p;
+  p.society_value_fair = 100;
+  p.society_loss_if_biased = 60;
+  p.coercer_value_favoured = 40;
+  p.coercer_loss_otherwise = 40;
+  p.max_coercible = 20;
+  return p;
+}
+
+TEST(Game, OracleFairBelowKStar) {
+  ProtectionMethod psi{"base", 0, 1.0, 5};
+  EXPECT_TRUE(oracle_fair(psi, 0));
+  EXPECT_TRUE(oracle_fair(psi, 4));
+  EXPECT_FALSE(oracle_fair(psi, 5));
+  EXPECT_FALSE(oracle_fair(psi, 10));
+}
+
+TEST(Game, UtilityValues) {
+  const auto params = default_params();
+  ProtectionMethod psi{"base", 3.0, 2.0, 5};
+  // Fair outcome: society gets c_M - C_M.
+  EXPECT_DOUBLE_EQ(society_utility(params, psi, 0), 100 - 3);
+  // Biased: c_M - eps_M - C_M.
+  EXPECT_DOUBLE_EQ(society_utility(params, psi, 5), 100 - 60 - 3);
+  // Coercer not coercing: favoured value minus loss.
+  EXPECT_DOUBLE_EQ(coercer_utility(params, psi, 0), 40 - 40);
+  // Coercer at k*: full value minus coercion spend.
+  EXPECT_DOUBLE_EQ(coercer_utility(params, psi, 5), 40 - 5 * 2.0);
+}
+
+TEST(Game, OnlyZeroAndKStarAreUndominated) {
+  // Sweep: the best response is always 0 or exactly k*.
+  const auto params = default_params();
+  for (double cost : {0.5, 2.0, 7.9, 8.1, 20.0}) {
+    for (std::uint64_t k_star : {1u, 3u, 5u, 9u}) {
+      ProtectionMethod psi{"x", 0, cost, k_star};
+      const auto n = coercer_best_response(params, psi);
+      EXPECT_TRUE(n == 0 || n == k_star)
+          << "cost=" << cost << " k*=" << k_star << " got n=" << n;
+    }
+  }
+}
+
+TEST(Game, DeterrenceCondition) {
+  const auto params = default_params();  // eps_A = 40
+  // C_A * k* >= eps_A deters.
+  EXPECT_TRUE(coercion_deterred(params, {"strong", 0, 10.0, 5}));   // 50 >= 40
+  EXPECT_FALSE(coercion_deterred(params, {"weak", 0, 5.0, 5}));     // 25 < 40
+  EXPECT_TRUE(coercion_deterred(params, {"edge", 0, 8.0, 5}));      // 40 >= 40
+}
+
+TEST(Game, DeterredCoercerStaysHome) {
+  const auto params = default_params();
+  ProtectionMethod deterring{"strong", 0, 10.0, 5};
+  EXPECT_EQ(coercer_best_response(params, deterring), 0u);
+  ProtectionMethod weak{"weak", 0, 1.0, 5};
+  EXPECT_EQ(coercer_best_response(params, weak), 5u);
+}
+
+TEST(Game, StackelbergPrefersCheapEffectiveProtection) {
+  const auto params = default_params();
+  const std::vector<ProtectionMethod> methods = {
+      {"psi0: nothing", 0.0, 0.5, 3},          // A coerces -> biased
+      {"psi1: anonymize", 2.0, 9.0, 5},        // 45 >= 40: deters, cheap
+      {"psi2: heavy mixnets", 30.0, 50.0, 9},  // deters, expensive
+  };
+  const auto sol = solve_stackelberg(params, methods);
+  EXPECT_EQ(sol.method_index, 1u);
+  EXPECT_EQ(sol.coercer_response, 0u);
+  EXPECT_DOUBLE_EQ(sol.society_utility, 100 - 2);
+}
+
+TEST(Game, StackelbergFallsBackWhenNothingDeters) {
+  // If every method fails to deter, M still picks the cheapest loss.
+  const auto params = default_params();
+  const std::vector<ProtectionMethod> methods = {
+      {"a", 5.0, 0.1, 2},
+      {"b", 1.0, 0.1, 2},
+  };
+  const auto sol = solve_stackelberg(params, methods);
+  EXPECT_EQ(sol.method_index, 1u);
+  EXPECT_EQ(sol.coercer_response, 2u);
+}
+
+TEST(Game, EmptyMethodListThrows) {
+  EXPECT_THROW(solve_stackelberg(default_params(), {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- sortition math
+
+TEST(SortitionMath, PmfSumsToOne) {
+  double total = 0;
+  for (std::uint64_t k = 0; k <= 5; ++k) {
+    total += hypergeometric_pmf(20, 8, 5, k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SortitionMath, HandComputedPmf) {
+  // Hypergeom(10, 4, 3): P(X=0) = C(6,3)/C(10,3) = 20/120.
+  EXPECT_NEAR(hypergeometric_pmf(10, 4, 3, 0), 20.0 / 120.0, 1e-12);
+  // P(X=3) = C(4,3)/C(10,3) = 4/120.
+  EXPECT_NEAR(hypergeometric_pmf(10, 4, 3, 3), 4.0 / 120.0, 1e-12);
+}
+
+TEST(SortitionMath, DegenerateCases) {
+  // Controlling the whole pool captures everything.
+  EXPECT_NEAR(majority_capture_probability(10, 10, 5), 1.0, 1e-12);
+  // Controlling nobody captures nothing.
+  EXPECT_NEAR(majority_capture_probability(10, 0, 5), 0.0, 1e-12);
+  // Out-of-range support is zero probability.
+  EXPECT_EQ(hypergeometric_pmf(10, 3, 3, 4), 0.0);
+}
+
+TEST(SortitionMath, CaptureProbabilityMonotoneInControl) {
+  double prev = -1;
+  for (std::uint64_t c = 0; c <= 30; c += 5) {
+    const double p = majority_capture_probability(30, c, 7);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SortitionMath, PoolDilutionRaisesKStar) {
+  // Fixing a 5-seat committee: the bigger the candidate pool, the more
+  // candidates A must control for a 90% majority capture — the paper's
+  // core argument for blending shareholders into a larger pool.
+  const std::uint64_t seats = 5;
+  std::uint64_t prev = 0;
+  for (std::uint64_t pool : {5u, 10u, 20u, 40u, 80u}) {
+    const auto k = effective_k_star(pool, seats, 0.9);
+    EXPECT_GE(k, prev) << "pool=" << pool;
+    prev = k;
+  }
+  // Without dilution (pool == seats), k* is just the majority.
+  EXPECT_EQ(effective_k_star(seats, seats, 0.9), seats / 2 + 1);
+  // With 16x dilution it is much larger.
+  EXPECT_GT(effective_k_star(80, seats, 0.9), 3 * (seats / 2 + 1));
+}
+
+TEST(SortitionMath, UnreachableTargetReturnsSentinel) {
+  // 2 seats, majority needs 2; controlling 1 of 10 can never reach 90%.
+  EXPECT_EQ(min_controlled_for_capture(10, 2, 1.1), 11u);
+}
+
+// ------------------------------------------------------- DoS economics
+
+TEST(DosEconomics, HandComputedAsymmetry) {
+  DosParams p;
+  p.attacker_us_per_query = 6'000;  // Argon2id(4MiB,t=3) measured
+  p.server_us_per_query = 100;      // one exponentiation
+  p.attacker_cores = 100;
+  p.server_cores = 8;
+  const auto r = analyze_dos(p);
+  EXPECT_DOUBLE_EQ(r.cost_asymmetry, 60.0);
+  // attacker: 100 cores / 6ms = ~16,667 q/s; server: 8 / 100us = 80,000 q/s.
+  EXPECT_NEAR(r.attacker_flood_rate, 16'666.7, 1.0);
+  EXPECT_NEAR(r.server_capacity, 80'000.0, 1.0);
+  EXPECT_NEAR(r.cores_to_saturate, 480.0, 1e-9);
+  EXPECT_TRUE(r.defence_holds);
+}
+
+TEST(DosEconomics, FastOracleLosesToBotnets) {
+  // Without the slow oracle the attacker mints queries as cheaply as the
+  // server answers them: any fleet larger than the server wins.
+  DosParams p;
+  p.attacker_us_per_query = 120;  // fast oracle + blinding
+  p.server_us_per_query = 100;
+  p.attacker_cores = 100;
+  p.server_cores = 8;
+  const auto r = analyze_dos(p);
+  EXPECT_FALSE(r.defence_holds);
+  EXPECT_LT(r.cores_to_saturate, 10.0);
+}
+
+TEST(DosEconomics, RequiredSlowdownScalesWithFleet) {
+  // 1000-core botnet vs 8-core server with ~equal fast costs: the oracle
+  // must cost the attacker ~125x the server's work.
+  const double s = required_slowdown(100, 100, 1'000, 8);
+  EXPECT_NEAR(s, 125.0, 1e-9);
+  // Applying exactly that slowdown lands at the break-even point.
+  DosParams p;
+  p.attacker_us_per_query = 100 * s * 1.01;  // a hair above break-even
+  p.server_us_per_query = 100;
+  p.attacker_cores = 1'000;
+  p.server_cores = 8;
+  EXPECT_TRUE(analyze_dos(p).defence_holds);
+  p.attacker_us_per_query = 100 * s * 0.99;
+  EXPECT_FALSE(analyze_dos(p).defence_holds);
+}
+
+}  // namespace
+}  // namespace cbl::game

@@ -1,0 +1,136 @@
+// Tests for the Private Keyword Search primitive: held keywords resolve
+// to their values, absent keywords resolve to nothing, decryption only
+// succeeds with the genuine OPRF output, and rebuild re-keys everything.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "oprf/keyword_store.h"
+
+namespace cbl::oprf {
+namespace {
+
+using cbl::ChaChaRng;
+
+class KeywordStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.emplace(Oracle::fast(), 3, server_rng_);
+    std::vector<std::pair<std::string, Bytes>> records;
+    for (int i = 0; i < 40; ++i) {
+      records.emplace_back("keyword-" + std::to_string(i),
+                           to_bytes("value-" + std::to_string(i)));
+    }
+    store_->build(records);
+  }
+
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("kws-server");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("kws-client");
+  std::optional<KeywordStore> store_;
+};
+
+TEST_F(KeywordStoreTest, HeldKeywordsResolve) {
+  for (int i = 0; i < 40; i += 7) {
+    const auto value =
+        store_->client_lookup("keyword-" + std::to_string(i), client_rng_);
+    ASSERT_TRUE(value.has_value()) << i;
+    EXPECT_EQ(to_string(*value), "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(KeywordStoreTest, AbsentKeywordsResolveToNothing) {
+  EXPECT_FALSE(store_->client_lookup("keyword-99", client_rng_).has_value());
+  EXPECT_FALSE(store_->client_lookup("", client_rng_).has_value());
+  EXPECT_FALSE(
+      store_->client_lookup("Keyword-1", client_rng_).has_value());  // case
+}
+
+TEST_F(KeywordStoreTest, ServerSeesOnlyBlindedPoints) {
+  const auto [req1, p1] =
+      KeywordStore::prepare(Oracle::fast(), 3, "keyword-1", client_rng_);
+  const auto [req2, p2] =
+      KeywordStore::prepare(Oracle::fast(), 3, "keyword-1", client_rng_);
+  // Fresh blinding each time: identical keywords are unlinkable on the wire.
+  EXPECT_NE(req1.blinded_keyword, req2.blinded_keyword);
+  EXPECT_EQ(req1.prefix, req2.prefix);  // only the lambda-bit prefix leaks
+}
+
+TEST_F(KeywordStoreTest, BucketCiphertextsAreUselessWithoutTheKeyword) {
+  // A nosy client receives the whole bucket but can only decrypt the
+  // record whose keyword it actually holds: other ciphertexts fail
+  // authentication under its derived key.
+  const auto [request, pending] =
+      KeywordStore::prepare(Oracle::fast(), 3, "keyword-2", client_rng_);
+  const auto response = store_->lookup(request);
+  ASSERT_GE(response.bucket.size(), 2u);
+
+  const auto evaluated = ec::RistrettoPoint::decode(response.evaluated);
+  const auto my_tag = (*evaluated * pending.blinding.invert()).encode();
+  int decrypted = 0;
+  for (const auto& record : response.bucket) {
+    if (OprfServer::open_metadata(OprfServer::metadata_key(my_tag),
+                                  record.ciphertext)) {
+      ++decrypted;
+    }
+  }
+  EXPECT_EQ(decrypted, 1);
+}
+
+TEST_F(KeywordStoreTest, MalformedInputsRejected) {
+  KeywordStore::LookupRequest bad;
+  bad.prefix = 1u << 3;
+  EXPECT_THROW((void)store_->lookup(bad), ProtocolError);
+  bad.prefix = 0;
+  bad.blinded_keyword.fill(0xff);
+  EXPECT_THROW((void)store_->lookup(bad), ProtocolError);
+
+  // Malformed server evaluation rejected by the client.
+  const auto [request, pending] =
+      KeywordStore::prepare(Oracle::fast(), 3, "keyword-0", client_rng_);
+  KeywordStore::LookupResponse forged;
+  forged.evaluated.fill(0xff);
+  EXPECT_THROW((void)KeywordStore::finish(pending, forged), ProtocolError);
+}
+
+TEST_F(KeywordStoreTest, RebuildReKeysEverything) {
+  // Capture a record's tag under the old mask.
+  const auto [req, pending] =
+      KeywordStore::prepare(Oracle::fast(), 3, "keyword-5", client_rng_);
+  const auto before = store_->lookup(req);
+  const auto eval_before = ec::RistrettoPoint::decode(before.evaluated);
+  const auto tag_before = (*eval_before * pending.blinding.invert()).encode();
+
+  std::vector<std::pair<std::string, Bytes>> records = {
+      {"keyword-5", to_bytes("new-value")}};
+  store_->build(records);
+  EXPECT_EQ(store_->size(), 1u);
+
+  // Fresh lookups work against the new mask...
+  const auto value = store_->client_lookup("keyword-5", client_rng_);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(to_string(*value), "new-value");
+
+  // ...and the rebuild genuinely re-keyed: the keyword's tag changed, so
+  // keys hoarded from the old epoch open nothing in the new bucket.
+  const auto after = store_->lookup(req);
+  const auto eval_after = ec::RistrettoPoint::decode(after.evaluated);
+  const auto tag_after = (*eval_after * pending.blinding.invert()).encode();
+  EXPECT_NE(tag_before, tag_after);
+  for (const auto& record : after.bucket) {
+    EXPECT_FALSE(OprfServer::open_metadata(
+        OprfServer::metadata_key(tag_before), record.ciphertext));
+  }
+}
+
+TEST_F(KeywordStoreTest, BinaryValuesSurvive) {
+  auto rng = ChaChaRng::from_string_seed("kws-binary");
+  std::vector<std::pair<std::string, Bytes>> records = {
+      {"blob", rng.bytes(1'000)}};
+  KeywordStore store(Oracle::fast(), 2, server_rng_);
+  store.build(records);
+  const auto value = store.client_lookup("blob", client_rng_);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, records[0].second);
+}
+
+}  // namespace
+}  // namespace cbl::oprf

@@ -1,0 +1,164 @@
+// Tests for the Merkle tree and block-header chaining: proofs at every
+// index and size, tamper detection, odd-leaf handling, header chaining,
+// and light-client receipt verification against a live chain.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "chain/merkle.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+
+namespace cbl::chain {
+namespace {
+
+using cbl::ChaChaRng;
+
+std::vector<Bytes> make_leaves(std::size_t n) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(to_bytes("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), MerkleTree::Digest{});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(leaves[0]));
+  const auto proof = tree.prove(0);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+class MerkleSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizeSweep, EveryIndexProvesAndTamperFails) {
+  const auto leaves = make_leaves(GetParam());
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof)) << i;
+    // Wrong payload fails.
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), to_bytes("evil"), proof));
+    // Wrong index (proof/leaf mismatch) fails for non-trivial trees.
+    if (leaves.size() > 1) {
+      EXPECT_FALSE(MerkleTree::verify(tree.root(),
+                                      leaves[(i + 1) % leaves.size()], proof))
+          << i;
+    }
+    // Tampered sibling fails.
+    if (!proof.empty()) {
+      auto bad = proof;
+      bad[0].sibling[0] ^= 1;
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[i], bad));
+    }
+  }
+  EXPECT_THROW((void)tree.prove(leaves.size()), std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizeSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u,
+                                           17u));
+
+TEST(Merkle, RootDependsOnOrderAndContent) {
+  auto leaves = make_leaves(4);
+  const auto root1 = MerkleTree(leaves).root();
+  std::swap(leaves[0], leaves[3]);
+  EXPECT_NE(MerkleTree(leaves).root(), root1);
+  std::swap(leaves[0], leaves[3]);
+  leaves[2].push_back(0);
+  EXPECT_NE(MerkleTree(leaves).root(), root1);
+}
+
+TEST(Blocks, HeadersChain) {
+  Blockchain chain;
+  const auto alice = chain.ledger().create_account("alice");
+  chain.execute(alice, "m1", 10, [] {});
+  chain.seal_block();
+  chain.execute(alice, "m2", 10, [] {});
+  chain.execute(alice, "m3", 10, [] {});
+  chain.seal_block();
+
+  const auto& headers = chain.headers();
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0].height, 0u);
+  EXPECT_EQ(headers[0].tx_count, 1u);
+  EXPECT_EQ(headers[1].tx_count, 2u);
+  EXPECT_EQ(headers[1].prev_hash, headers[0].hash());
+  EXPECT_EQ(headers[0].prev_hash, hash::Sha256::Digest{});  // genesis
+}
+
+TEST(Blocks, ReceiptInclusionProofs) {
+  Blockchain chain;
+  const auto alice = chain.ledger().create_account("alice");
+  for (int i = 0; i < 5; ++i) {
+    chain.execute(alice, "method-" + std::to_string(i),
+                  static_cast<std::size_t>(10 * i), [] {});
+  }
+  chain.seal_block();
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto proof = chain.receipt_inclusion_proof(0, i);
+    EXPECT_TRUE(Blockchain::verify_receipt_inclusion(
+        chain.headers()[0], chain.receipts()[i], proof))
+        << i;
+  }
+  // A receipt does not verify under the wrong proof slot.
+  const auto proof0 = chain.receipt_inclusion_proof(0, 0);
+  EXPECT_FALSE(Blockchain::verify_receipt_inclusion(
+      chain.headers()[0], chain.receipts()[3], proof0));
+  // Unsealed block throws.
+  chain.execute(alice, "late", 1, [] {});
+  EXPECT_THROW((void)chain.receipt_inclusion_proof(1, 0), ChainError);
+}
+
+TEST(Blocks, TamperedReceiptFailsInclusion) {
+  Blockchain chain;
+  const auto alice = chain.ledger().create_account("alice");
+  chain.execute(alice, "transfer", 64, [] {});
+  chain.seal_block();
+  const auto proof = chain.receipt_inclusion_proof(0, 0);
+
+  TxReceipt forged = chain.receipts()[0];
+  forged.gas_used += 1;  // a light client must notice a doctored receipt
+  EXPECT_FALSE(Blockchain::verify_receipt_inclusion(chain.headers()[0],
+                                                    forged, proof));
+  forged = chain.receipts()[0];
+  forged.method = "mint";
+  EXPECT_FALSE(Blockchain::verify_receipt_inclusion(chain.headers()[0],
+                                                    forged, proof));
+}
+
+TEST(Blocks, CeremonyHistoryIsLightClientVerifiable) {
+  // Seal a ceremony's transactions and verify a VoteCommit receipt as a
+  // light client would.
+  auto rng = ChaChaRng::from_string_seed("merkle-ceremony");
+  Blockchain chain;
+  voting::EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = 3;
+  cfg.deposit = 10;
+  cfg.provider_deposit = 10;
+  voting::Ceremony ceremony(chain, cfg, {1, 1, 0}, rng);
+  ceremony.run();
+  chain.seal_block();
+
+  // Find a VoteCommit receipt and prove it.
+  for (std::size_t i = 0; i < chain.receipts().size(); ++i) {
+    if (chain.receipts()[i].method == "VoteCommit") {
+      const auto proof = chain.receipt_inclusion_proof(0, i);
+      EXPECT_TRUE(Blockchain::verify_receipt_inclusion(
+          chain.headers()[0], chain.receipts()[i], proof));
+      return;
+    }
+  }
+  FAIL() << "no VoteCommit receipt found";
+}
+
+}  // namespace
+}  // namespace cbl::chain

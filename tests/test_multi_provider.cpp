@@ -1,0 +1,110 @@
+// Tests for the multi-provider aggregator: policy semantics over
+// overlapping blocklists, independence of blinding across providers, and
+// empty-subscription behaviour.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "core/multi_provider.h"
+
+namespace cbl::core {
+namespace {
+
+using cbl::ChaChaRng;
+
+class MultiProviderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three providers with overlapping corpora:
+    //   shared: on all three; pair: on two; solo: on one.
+    auto rng = ChaChaRng::from_string_seed("mp-corpus");
+    shared_ = blocklist::random_address(blocklist::Chain::kBitcoin, rng);
+    pair_ = blocklist::random_address(blocklist::Chain::kEthereum, rng);
+    solo_ = blocklist::random_address(blocklist::Chain::kRipple, rng);
+    clean_ = blocklist::random_address(blocklist::Chain::kBitcoin, rng);
+
+    blocklist::FeedConfig fcfg;
+    fcfg.count = 40;
+    fcfg.duplicate_rate = 0;
+    ProviderConfig pcfg;
+    pcfg.lambda = 6;
+    const char* names[] = {"alpha", "beta", "gamma"};
+    for (int i = 0; i < 3; ++i) {
+      providers_.push_back(
+          std::make_unique<BlocklistProvider>(names[i], pcfg, rng_));
+      auto feed = blocklist::generate_feed(fcfg, rng);
+      blocklist::Entry e;
+      e.address = shared_;
+      feed.push_back(e);
+      if (i < 2) {
+        e.address = pair_;
+        feed.push_back(e);
+      }
+      if (i == 0) {
+        e.address = solo_;
+        feed.push_back(e);
+      }
+      providers_[static_cast<std::size_t>(i)]->ingest(feed);
+    }
+  }
+
+  MultiProviderUser make_user(AggregationPolicy policy) {
+    MultiProviderUser user(policy, rng_);
+    for (auto& p : providers_) user.subscribe(*p);
+    return user;
+  }
+
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("mp-tests");
+  std::vector<std::unique_ptr<BlocklistProvider>> providers_;
+  std::string shared_, pair_, solo_, clean_;
+};
+
+TEST_F(MultiProviderTest, AnyPolicy) {
+  auto user = make_user(AggregationPolicy::kAny);
+  EXPECT_TRUE(user.query(shared_).listed);
+  EXPECT_TRUE(user.query(pair_).listed);
+  EXPECT_TRUE(user.query(solo_).listed);
+  EXPECT_FALSE(user.query(clean_).listed);
+}
+
+TEST_F(MultiProviderTest, MajorityPolicy) {
+  auto user = make_user(AggregationPolicy::kMajority);
+  EXPECT_TRUE(user.query(shared_).listed);   // 3/3
+  EXPECT_TRUE(user.query(pair_).listed);     // 2/3
+  EXPECT_FALSE(user.query(solo_).listed);    // 1/3
+  EXPECT_FALSE(user.query(clean_).listed);   // 0/3
+}
+
+TEST_F(MultiProviderTest, AllPolicy) {
+  auto user = make_user(AggregationPolicy::kAll);
+  EXPECT_TRUE(user.query(shared_).listed);
+  EXPECT_FALSE(user.query(pair_).listed);
+  EXPECT_FALSE(user.query(solo_).listed);
+}
+
+TEST_F(MultiProviderTest, VerdictBreakdownIsPerProvider) {
+  auto user = make_user(AggregationPolicy::kAny);
+  const auto result = user.query(solo_);
+  ASSERT_EQ(result.verdicts.size(), 3u);
+  EXPECT_EQ(result.listing_count, 1u);
+  EXPECT_EQ(result.verdicts[0].provider, "alpha");
+  EXPECT_TRUE(result.verdicts[0].listed);
+  EXPECT_FALSE(result.verdicts[1].listed);
+  EXPECT_FALSE(result.verdicts[2].listed);
+}
+
+TEST_F(MultiProviderTest, PolicyCanBeSwitched) {
+  auto user = make_user(AggregationPolicy::kAll);
+  EXPECT_FALSE(user.query(pair_).listed);
+  user.set_policy(AggregationPolicy::kAny);
+  EXPECT_TRUE(user.query(pair_).listed);
+}
+
+TEST_F(MultiProviderTest, EmptySubscriptionListsNothing) {
+  MultiProviderUser user(AggregationPolicy::kAll, rng_);
+  const auto result = user.query(shared_);
+  EXPECT_FALSE(result.listed);
+  EXPECT_TRUE(result.verdicts.empty());
+}
+
+}  // namespace
+}  // namespace cbl::core

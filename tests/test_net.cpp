@@ -1,0 +1,211 @@
+// Tests for the simulated transport and the remote service node/client:
+// end-to-end queries over serialized frames, parameter discovery,
+// retries under loss, rate-limit surfacing, and hostile-node behaviour.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "net/service_node.h"
+
+namespace cbl::net {
+namespace {
+
+using cbl::ChaChaRng;
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = blocklist::generate_corpus(150, corpus_rng_).addresses();
+    server_.emplace(oprf::Oracle::fast(), 5, server_rng_);
+    server_->setup(corpus_);
+  }
+
+  Transport make_transport(double drop_rate = 0.0) {
+    TransportConfig cfg;
+    cfg.latency_ms_min = 1;
+    cfg.latency_ms_max = 10;
+    cfg.drop_rate = drop_rate;
+    return Transport(cfg, transport_rng_);
+  }
+
+  ChaChaRng corpus_rng_ = ChaChaRng::from_string_seed("net-corpus");
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("net-server");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("net-client");
+  ChaChaRng transport_rng_ = ChaChaRng::from_string_seed("net-transport");
+  std::vector<std::string> corpus_;
+  std::optional<oprf::OprfServer> server_;
+};
+
+TEST_F(NetTest, EndToEndQueryOverTheWire) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+
+  EXPECT_EQ(client.info().lambda, 5u);
+  EXPECT_EQ(client.info().entry_count, corpus_.size());
+
+  auto outcome = client.query(corpus_[3]);
+  EXPECT_EQ(outcome.kind, RemoteBlocklistClient::QueryOutcome::Kind::kOk);
+  EXPECT_TRUE(outcome.listed);
+  EXPECT_GT(outcome.rtt_ms, 0);
+
+  auto clean = ChaChaRng::from_string_seed("net-clean");
+  outcome = client.query(
+      blocklist::random_address(blocklist::Chain::kBitcoin, clean));
+  EXPECT_EQ(outcome.kind, RemoteBlocklistClient::QueryOutcome::Kind::kOk);
+  EXPECT_FALSE(outcome.listed);
+}
+
+TEST_F(NetTest, PrefixListSyncEnablesLocalResolution) {
+  auto transport = make_transport();
+  oprf::OprfServer sparse(oprf::Oracle::fast(), 18, server_rng_);
+  std::vector<std::string> small(corpus_.begin(), corpus_.begin() + 30);
+  sparse.setup(small);
+  BlocklistServiceNode node(transport, "scamdb", sparse, oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  ASSERT_TRUE(client.sync_prefix_list());
+
+  auto clean = ChaChaRng::from_string_seed("net-clean2");
+  int local = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto outcome = client.query(
+        blocklist::random_address(blocklist::Chain::kEthereum, clean));
+    EXPECT_FALSE(outcome.listed);
+    if (outcome.resolved_locally) ++local;
+  }
+  EXPECT_GE(local, 28);  // nearly all negatives never touch the wire
+}
+
+TEST_F(NetTest, RetriesRideOutPacketLoss) {
+  auto transport = make_transport(/*drop_rate=*/0.4);
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteClientConfig cfg;
+  cfg.max_retries = 10;
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_, cfg);
+
+  int ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto outcome = client.query(corpus_[static_cast<std::size_t>(i)]);
+    if (outcome.kind == RemoteBlocklistClient::QueryOutcome::Kind::kOk) {
+      EXPECT_TRUE(outcome.listed);
+      ++ok;
+    }
+  }
+  // With 10 retries at 40% loss, effectively everything gets through.
+  EXPECT_GE(ok, 19);
+  EXPECT_GT(transport.stats().drops, 0u);
+}
+
+TEST_F(NetTest, UnreachableEndpointFailsConstruction) {
+  auto transport = make_transport();
+  EXPECT_THROW(RemoteBlocklistClient(transport, "nope", client_rng_),
+               ProtocolError);
+}
+
+TEST_F(NetTest, ZeroRetriesSurfacesUnreachable) {
+  auto transport = make_transport(/*drop_rate=*/1.0);
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteClientConfig cfg;
+  cfg.max_retries = 2;
+  EXPECT_THROW(RemoteBlocklistClient(transport, "scamdb", client_rng_, cfg),
+               ProtocolError);
+}
+
+TEST_F(NetTest, RateLimitSurfacesDistinctly) {
+  auto transport = make_transport();
+  server_->enable_rate_limiting(1);
+  server_->authorize_key("k");
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  client.set_api_key("k");
+
+  auto first = client.query(corpus_[0]);
+  EXPECT_EQ(first.kind, RemoteBlocklistClient::QueryOutcome::Kind::kOk);
+  auto second = client.query(corpus_[1]);
+  EXPECT_EQ(second.kind,
+            RemoteBlocklistClient::QueryOutcome::Kind::kRateLimited);
+}
+
+TEST_F(NetTest, HostileNodeGarbageIsMalformedNotCrash) {
+  auto transport = make_transport();
+  transport.register_endpoint(
+      "evil", [](ByteView frame) -> std::optional<Bytes> {
+        if (!frame.empty() &&
+            frame[0] == static_cast<std::uint8_t>(Method::kInfo)) {
+          // A plausible hand-built info frame (lambda=4, fast oracle,
+          // epoch=1, 10 entries) so the client constructs...
+          Bytes out = {0};                              // kOk
+          const Bytes info = {4, 0, 0, 0,               // lambda
+                              0,                        // oracle kind
+                              0, 0, 0, 0, 0, 0, 0, 0,   // argon2 params
+                              1, 0, 0, 0, 0, 0, 0, 0,   // epoch
+                              10, 0, 0, 0, 0, 0, 0, 0}; // entries
+          append(out, info);
+          return out;
+        }
+        // ...then answers queries with garbage.
+        return Bytes{0, 0xde, 0xad, 0xbe, 0xef};
+      });
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+  const auto outcome = client.query(corpus_[0]);
+  EXPECT_EQ(outcome.kind, RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
+}
+
+TEST_F(NetTest, MalformedFramesRejectedByNode) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  // Empty frame.
+  auto result = transport.call("scamdb", {});
+  ASSERT_TRUE(result.delivered);
+  ASSERT_FALSE(result.response.empty());
+  EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kBadRequest));
+  // Unknown method tag.
+  const Bytes bogus = {0x77, 1, 2, 3};
+  result = transport.call("scamdb", bogus);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kBadRequest));
+  // Query tag with truncated body.
+  const Bytes truncated = {static_cast<std::uint8_t>(Method::kQuery), 1, 2};
+  result = transport.call("scamdb", truncated);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kBadRequest));
+}
+
+TEST_F(NetTest, TransportAccountsBytes) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  (void)client.query(corpus_[0]);
+  EXPECT_GT(transport.stats().bytes_sent, 0u);
+  EXPECT_GT(transport.stats().bytes_received, transport.stats().bytes_sent);
+  EXPECT_GE(transport.stats().calls, 2u);  // info + query
+}
+
+TEST_F(NetTest, SlowOracleParametersPropagate) {
+  hash::Argon2Params params;
+  params.memory_kib = 64;
+  params.time_cost = 1;
+  const auto oracle = oprf::Oracle::slow(params);
+  oprf::OprfServer slow_server(oracle, 3, server_rng_);
+  std::vector<std::string> small(corpus_.begin(), corpus_.begin() + 20);
+  slow_server.setup(small);
+
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "slowdb", slow_server, oracle);
+  RemoteBlocklistClient client(transport, "slowdb", client_rng_);
+  EXPECT_EQ(client.info().oracle_kind, 1);
+  EXPECT_EQ(client.info().argon2_memory_kib, 64u);
+  // The client mirrored the slow oracle, so membership works end to end.
+  const auto outcome = client.query(small[7]);
+  EXPECT_EQ(outcome.kind, RemoteBlocklistClient::QueryOutcome::Kind::kOk);
+  EXPECT_TRUE(outcome.listed);
+}
+
+}  // namespace
+}  // namespace cbl::net

@@ -1,0 +1,135 @@
+// Tests for the capacity model and discrete-event simulator behind
+// Fig. 6: closed-form sanity, agreement between model and simulation,
+// and the CPU-bound vs bandwidth-bound crossover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include "common/rng.h"
+#include "netsim/capacity.h"
+#include "netsim/desim.h"
+
+namespace cbl::netsim {
+namespace {
+
+using cbl::ChaChaRng;
+
+TEST(Capacity, ClosedFormHandChecked) {
+  ServerProfile server;
+  server.cpu_cores = 8;
+  server.bandwidth_bits_per_sec = 1e9;
+  WorkloadProfile w;
+  w.online_fraction = 0.01;
+  w.queries_per_client_per_sec = 1.0;
+  w.cpu_us_per_online_query = 100.0;  // 1e-4 core-sec
+  w.response_bytes = 1000;
+  w.request_bytes = 0;
+
+  const auto est = estimate_capacity(server, w);
+  // CPU: 8 / (0.01 * 1e-4) = 8e6 clients.
+  EXPECT_NEAR(est.cpu_bound_clients, 8e6, 1);
+  // BW: 1e9 / (0.01 * 8000) = 1.25e7 clients.
+  EXPECT_NEAR(est.bandwidth_bound_clients, 1.25e7, 1);
+  EXPECT_TRUE(est.cpu_limited);
+  EXPECT_NEAR(est.max_concurrent_clients, 8e6, 1);
+}
+
+TEST(Capacity, MonotoneInOnlineFraction) {
+  ServerProfile server;
+  WorkloadProfile w;
+  double prev = std::numeric_limits<double>::infinity();
+  for (double f : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
+    w.online_fraction = f;
+    const double cap = estimate_capacity(server, w).max_concurrent_clients;
+    EXPECT_LT(cap, prev) << "f=" << f;
+    prev = cap;
+  }
+}
+
+TEST(Capacity, ZeroOnlineFractionIsUnbounded) {
+  ServerProfile server;
+  WorkloadProfile w;
+  w.online_fraction = 0;
+  EXPECT_TRUE(std::isinf(estimate_capacity(server, w).max_concurrent_clients));
+}
+
+TEST(Capacity, LargeResponsesAreBandwidthBound) {
+  // The paper's stronger-privacy setting: response grows ~16x, flipping
+  // the binding resource from CPU to bandwidth.
+  ServerProfile server;
+  server.cpu_cores = 8;
+  server.bandwidth_bits_per_sec = 1e9;
+  WorkloadProfile small, large;
+  small.cpu_us_per_online_query = large.cpu_us_per_online_query = 150;
+  small.response_bytes = 130;     // k ~ 4 entries
+  large.response_bytes = 31'000;  // k ~ 977 entries
+
+  EXPECT_TRUE(estimate_capacity(server, small).cpu_limited);
+  EXPECT_FALSE(estimate_capacity(server, large).cpu_limited);
+  EXPECT_GT(estimate_capacity(server, small).max_concurrent_clients,
+            estimate_capacity(server, large).max_concurrent_clients);
+}
+
+TEST(Desim, StableWellBelowCapacity) {
+  auto rng = ChaChaRng::from_string_seed("desim-stable");
+  ServerProfile server;
+  server.cpu_cores = 2;
+  server.bandwidth_bits_per_sec = 1e8;
+  WorkloadProfile w;
+  w.online_fraction = 0.01;
+  w.cpu_us_per_online_query = 200;
+  w.response_bytes = 2000;
+  SimConfig cfg;
+  cfg.duration_sec = 10;
+
+  const auto est = estimate_capacity(server, w);
+  const auto result = simulate(
+      server, w, static_cast<std::uint64_t>(est.max_concurrent_clients / 4),
+      cfg, rng);
+  EXPECT_TRUE(result.stable);
+  EXPECT_LT(result.cpu_utilization, 0.6);
+  EXPECT_GT(result.online_queries, 0u);
+  EXPECT_GT(result.local_queries, result.online_queries);
+}
+
+TEST(Desim, UnstableWellAboveCapacity) {
+  auto rng = ChaChaRng::from_string_seed("desim-unstable");
+  ServerProfile server;
+  server.cpu_cores = 2;
+  server.bandwidth_bits_per_sec = 1e8;
+  WorkloadProfile w;
+  w.online_fraction = 0.01;
+  w.cpu_us_per_online_query = 200;
+  w.response_bytes = 2000;
+  SimConfig cfg;
+  cfg.duration_sec = 10;
+
+  const auto est = estimate_capacity(server, w);
+  const auto result = simulate(
+      server, w, static_cast<std::uint64_t>(est.max_concurrent_clients * 4),
+      cfg, rng);
+  EXPECT_FALSE(result.stable);
+}
+
+TEST(Desim, BinarySearchAgreesWithClosedForm) {
+  auto rng = ChaChaRng::from_string_seed("desim-knee");
+  ServerProfile server;
+  server.cpu_cores = 1;
+  server.bandwidth_bits_per_sec = 1e8;
+  WorkloadProfile w;
+  w.online_fraction = 0.02;
+  w.cpu_us_per_online_query = 500;
+  w.response_bytes = 4000;
+  SimConfig cfg;
+  cfg.duration_sec = 8;
+
+  const auto est = estimate_capacity(server, w);
+  const auto knee = find_max_stable_clients(server, w, cfg, rng);
+  // The simulated knee should be within ~35% of the closed form (the sim
+  // tolerates transient backlog, so it can sit slightly above).
+  EXPECT_GT(static_cast<double>(knee), est.max_concurrent_clients * 0.65);
+  EXPECT_LT(static_cast<double>(knee), est.max_concurrent_clients * 1.35);
+}
+
+}  // namespace
+}  // namespace cbl::netsim

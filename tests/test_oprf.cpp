@@ -1,0 +1,348 @@
+// Tests for the private blocklist query protocol (Fig. 2): completeness,
+// soundness (no false positives), k-anonymity bucketization, prefix-list
+// fast path, caching, rate limiting, the slow oracle, and the metadata
+// extension.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "oprf/client.h"
+#include "oprf/oracle.h"
+#include "oprf/server.h"
+
+namespace cbl::oprf {
+namespace {
+
+using cbl::ChaChaRng;
+
+std::vector<std::string> test_corpus(std::size_t n, std::string_view seed) {
+  auto rng = ChaChaRng::from_string_seed(seed);
+  return blocklist::generate_corpus(n, rng).addresses();
+}
+
+class OprfProtocol : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = test_corpus(200, "oprf-corpus");
+    server_.emplace(Oracle::fast(), /*lambda=*/3, server_rng_);
+    server_->setup(corpus_);
+    client_.emplace(Oracle::fast(), /*lambda=*/3, client_rng_);
+  }
+
+  bool query(const std::string& entry) {
+    const auto prepared = client_->prepare(entry);
+    const auto response = server_->handle(prepared.request);
+    return client_->finish(prepared.pending, response).listed;
+  }
+
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("server");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("client");
+  std::vector<std::string> corpus_;
+  std::optional<OprfServer> server_;
+  std::optional<OprfClient> client_;
+};
+
+TEST_F(OprfProtocol, ListedEntriesFound) {
+  for (std::size_t i = 0; i < corpus_.size(); i += 17) {
+    EXPECT_TRUE(query(corpus_[i])) << corpus_[i];
+  }
+}
+
+TEST_F(OprfProtocol, UnlistedEntriesNotFound) {
+  auto rng = ChaChaRng::from_string_seed("clean-addresses");
+  for (int i = 0; i < 30; ++i) {
+    const auto addr =
+        blocklist::random_address(blocklist::Chain::kBitcoin, rng);
+    EXPECT_FALSE(query(addr)) << addr;
+  }
+}
+
+TEST_F(OprfProtocol, ServerSeesOnlyPrefixAndBlindedPoint) {
+  // Two different queries with the same prefix are indistinguishable to
+  // the server: the masked points are unrelated random-looking group
+  // elements, and the prefix is identical by construction.
+  const auto p1 = client_->prepare(corpus_[0]);
+  const auto p2 = client_->prepare(corpus_[0]);  // same entry twice
+  // Fresh blinding per query: even the same entry never repeats on the wire.
+  EXPECT_NE(p1.request.masked_query, p2.request.masked_query);
+  EXPECT_EQ(p1.request.prefix, p2.request.prefix);
+}
+
+TEST_F(OprfProtocol, KeyRotationInvalidatesCacheGracefully) {
+  EXPECT_TRUE(query(corpus_[0]));
+  const auto epoch_before = server_->epoch();
+  server_->rotate_key();
+  EXPECT_GT(server_->epoch(), epoch_before);
+  // Clients keep working across rotation (cache miss path).
+  EXPECT_TRUE(query(corpus_[0]));
+  EXPECT_FALSE(query("1BoatSLRHtKNngkdXEeobR76b53LETtpyT"));
+}
+
+TEST_F(OprfProtocol, BucketCacheOmitsRetransmission) {
+  // First query for a prefix transfers the bucket...
+  const auto p1 = client_->prepare(corpus_[0]);
+  EXPECT_EQ(p1.request.cached_epoch, kNoEpoch);
+  const auto r1 = server_->handle(p1.request);
+  EXPECT_FALSE(r1.bucket_omitted);
+  (void)client_->finish(p1.pending, r1);
+
+  // ...a second query with the same prefix does not.
+  const auto p2 = client_->prepare(corpus_[0]);
+  EXPECT_EQ(p2.request.cached_epoch, server_->epoch());
+  const auto r2 = server_->handle(p2.request);
+  EXPECT_TRUE(r2.bucket_omitted);
+  EXPECT_TRUE(r2.bucket.empty());
+  EXPECT_TRUE(client_->finish(p2.pending, r2).listed);
+}
+
+TEST_F(OprfProtocol, OmittedBucketWithoutCacheIsProtocolError) {
+  const auto p = client_->prepare(corpus_[0]);
+  QueryResponse forged;
+  forged.evaluated = server_->handle(p.request).evaluated;
+  forged.epoch = 999;  // an epoch the client has never seen
+  forged.bucket_omitted = true;
+  OprfClient fresh(Oracle::fast(), 3, client_rng_);
+  EXPECT_THROW((void)fresh.finish(p.pending, forged), ProtocolError);
+}
+
+TEST_F(OprfProtocol, MalformedServerResponseRejected) {
+  const auto p = client_->prepare(corpus_[0]);
+  auto response = server_->handle(p.request);
+  response.evaluated.fill(0xff);  // not a valid encoding
+  EXPECT_THROW((void)client_->finish(p.pending, response), ProtocolError);
+}
+
+TEST_F(OprfProtocol, MalformedClientQueryRejected) {
+  QueryRequest bad;
+  bad.prefix = 0;
+  bad.masked_query.fill(0xff);
+  EXPECT_THROW((void)server_->handle(bad), ProtocolError);
+}
+
+TEST_F(OprfProtocol, OutOfRangePrefixRejected) {
+  auto p = client_->prepare(corpus_[0]);
+  p.request.prefix = 1u << 3;  // lambda = 3 allows [0, 8)
+  EXPECT_THROW((void)server_->handle(p.request), ProtocolError);
+}
+
+TEST_F(OprfProtocol, UnsortedBucketRejected) {
+  const auto p = client_->prepare(corpus_[0]);
+  auto response = server_->handle(p.request);
+  ASSERT_GE(response.bucket.size(), 2u);
+  std::swap(response.bucket.front(), response.bucket.back());
+  OprfClient fresh(Oracle::fast(), 3, client_rng_);
+  EXPECT_THROW((void)fresh.finish(p.pending, response), ProtocolError);
+}
+
+TEST_F(OprfProtocol, PrefixListResolvesNegativesLocally) {
+  client_->set_prefix_list(server_->prefix_list());
+  // All listed entries must pass the filter.
+  for (std::size_t i = 0; i < corpus_.size(); i += 11) {
+    EXPECT_TRUE(client_->may_be_listed(corpus_[i]));
+  }
+  // With 200 entries in 8 buckets every prefix is occupied, so negatives
+  // still require interaction at lambda=3; at higher lambda the filter
+  // becomes selective (tested below).
+}
+
+TEST(OprfPrefixList, SelectiveAtHighLambda) {
+  auto server_rng = ChaChaRng::from_string_seed("pl-server");
+  auto client_rng = ChaChaRng::from_string_seed("pl-client");
+  const auto corpus = test_corpus(50, "pl-corpus");
+  OprfServer server(Oracle::fast(), 16, server_rng);
+  server.setup(corpus);
+  OprfClient client(Oracle::fast(), 16, client_rng);
+  client.set_prefix_list(server.prefix_list());
+
+  // All positives pass.
+  for (const auto& addr : corpus) EXPECT_TRUE(client.may_be_listed(addr));
+
+  // Almost all random negatives are filtered locally: 50 of 65536
+  // prefixes occupied -> collision odds ~0.08%.
+  auto rng = ChaChaRng::from_string_seed("pl-clean");
+  int needs_online = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (client.may_be_listed(
+            blocklist::random_address(blocklist::Chain::kEthereum, rng))) {
+      ++needs_online;
+    }
+  }
+  EXPECT_LE(needs_online, 3);
+}
+
+TEST_F(OprfProtocol, BucketStatsReportKAnonymity) {
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.buckets_total, 8u);
+  EXPECT_EQ(stats.buckets_nonempty, 8u);  // 200 entries, 8 buckets
+  EXPECT_GE(stats.k_anonymity, 1u);
+  EXPECT_LE(stats.min_size, stats.max_size);
+  EXPECT_NEAR(stats.avg_size, 200.0 / 8.0, 1e-9);
+}
+
+TEST_F(OprfProtocol, RateLimiterBlocksFloods) {
+  server_->enable_rate_limiting(3);
+  server_->authorize_key("alice");
+  client_->set_api_key("alice");
+
+  for (int i = 0; i < 3; ++i) {
+    const auto p = client_->prepare(corpus_[static_cast<std::size_t>(i)]);
+    EXPECT_NO_THROW((void)server_->handle(p.request));
+  }
+  const auto p = client_->prepare(corpus_[3]);
+  EXPECT_THROW((void)server_->handle(p.request), ProtocolError);
+
+  // A new window resets the budget.
+  server_->advance_window();
+  EXPECT_NO_THROW((void)server_->handle(p.request));
+}
+
+TEST_F(OprfProtocol, UnauthorizedKeyRejected) {
+  server_->enable_rate_limiting(100);
+  server_->authorize_key("alice");
+  server_->revoke_key("alice");
+  client_->set_api_key("alice");
+  const auto p = client_->prepare(corpus_[0]);
+  EXPECT_THROW((void)server_->handle(p.request), ProtocolError);
+
+  client_->set_api_key("mallory");
+  const auto p2 = client_->prepare(corpus_[0]);
+  EXPECT_THROW((void)server_->handle(p2.request), ProtocolError);
+}
+
+TEST(OprfSlowOracle, EndToEndWithArgon2) {
+  auto server_rng = ChaChaRng::from_string_seed("slow-server");
+  auto client_rng = ChaChaRng::from_string_seed("slow-client");
+  hash::Argon2Params cheap;
+  cheap.memory_kib = 64;  // keep the test fast; the bench uses 4 MiB
+  cheap.time_cost = 1;
+  const Oracle oracle = Oracle::slow(cheap);
+
+  const auto corpus = test_corpus(20, "slow-corpus");
+  OprfServer server(oracle, 2, server_rng);
+  server.setup(corpus);
+  OprfClient client(oracle, 2, client_rng);
+
+  const auto prepared = client.prepare(corpus[5]);
+  const auto response = server.handle(prepared.request);
+  EXPECT_TRUE(client.finish(prepared.pending, response).listed);
+
+  const auto neg = client.prepare("0x0000000000000000000000000000000000000000");
+  EXPECT_FALSE(client.finish(neg.pending, server.handle(neg.request)).listed);
+}
+
+TEST(OprfSlowOracle, FastAndSlowOraclesDisagree) {
+  // The two oracles define different PRFs; mixing them breaks membership,
+  // which is why lambda/oracle sync between client and server matters.
+  auto server_rng = ChaChaRng::from_string_seed("mix-server");
+  auto client_rng = ChaChaRng::from_string_seed("mix-client");
+  hash::Argon2Params cheap;
+  cheap.memory_kib = 16;
+  cheap.time_cost = 1;
+
+  const auto corpus = test_corpus(10, "mix-corpus");
+  OprfServer server(Oracle::slow(cheap), 2, server_rng);
+  server.setup(corpus);
+  OprfClient client(Oracle::fast(), 2, client_rng);  // wrong oracle
+  const auto prepared = client.prepare(corpus[0]);
+  const auto response = server.handle(prepared.request);
+  EXPECT_FALSE(client.finish(prepared.pending, response).listed);
+}
+
+TEST(OprfMetadata, RoundTripsForListedEntries) {
+  auto server_rng = ChaChaRng::from_string_seed("md-server");
+  auto client_rng = ChaChaRng::from_string_seed("md-client");
+  const auto corpus = test_corpus(30, "md-corpus");
+
+  OprfServer server(Oracle::fast(), 2, server_rng);
+  server.set_metadata_provider([](const std::string& entry) {
+    return to_bytes("category=phishing;addr=" + entry);
+  });
+  server.setup(corpus);
+  OprfClient client(Oracle::fast(), 2, client_rng);
+
+  const auto prepared = client.prepare(corpus[7]);
+  const auto result =
+      client.finish(prepared.pending, server.handle(prepared.request));
+  ASSERT_TRUE(result.listed);
+  ASSERT_TRUE(result.metadata.has_value());
+  EXPECT_EQ(to_string(*result.metadata), "category=phishing;addr=" + corpus[7]);
+}
+
+TEST(OprfMetadata, SealOpenRejectsTampering) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 7;
+  const Bytes plain = to_bytes("secret metadata");
+  Bytes sealed = OprfServer::seal_metadata(key, plain);
+  const auto opened = OprfServer::open_metadata(key, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+
+  sealed[20] ^= 1;
+  EXPECT_FALSE(OprfServer::open_metadata(key, sealed).has_value());
+
+  std::array<std::uint8_t, 32> wrong_key{};
+  wrong_key[0] = 8;
+  sealed[20] ^= 1;
+  EXPECT_FALSE(OprfServer::open_metadata(wrong_key, sealed).has_value());
+  EXPECT_FALSE(OprfServer::open_metadata(key, Bytes(5, 0)).has_value());
+}
+
+TEST(OprfSetup, ParallelMatchesSequential) {
+  auto rng1 = ChaChaRng::from_string_seed("par");
+  auto rng2 = ChaChaRng::from_string_seed("par");
+  const auto corpus = test_corpus(64, "par-corpus");
+
+  OprfServer seq(Oracle::fast(), 3, rng1);
+  seq.setup(corpus, 1);
+  OprfServer par(Oracle::fast(), 3, rng2);
+  par.setup(corpus, 4);
+
+  // Same RNG seed -> same mask R -> identical buckets.
+  EXPECT_EQ(seq.prefix_list(), par.prefix_list());
+  auto crng = ChaChaRng::from_string_seed("par-client");
+  OprfClient client(Oracle::fast(), 3, crng);
+  const auto p = client.prepare(corpus[0]);
+  const auto r_seq = seq.handle(p.request);
+  const auto r_par = par.handle(p.request);
+  EXPECT_EQ(r_seq.bucket, r_par.bucket);
+  EXPECT_EQ(r_seq.evaluated, r_par.evaluated);
+}
+
+TEST(OprfConfig, InvalidLambdaRejected) {
+  auto rng = ChaChaRng::from_string_seed("cfg");
+  EXPECT_THROW(OprfServer(Oracle::fast(), 0, rng), std::invalid_argument);
+  EXPECT_THROW(OprfServer(Oracle::fast(), 33, rng), std::invalid_argument);
+  EXPECT_THROW(OprfClient(Oracle::fast(), 0, rng), std::invalid_argument);
+  EXPECT_THROW(Oracle::prefix(to_bytes("x"), 0), std::invalid_argument);
+}
+
+// Parameterized sweep: protocol completeness/soundness across lambda.
+class OprfLambdaSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OprfLambdaSweep, CompletenessAndSoundness) {
+  const unsigned lambda = GetParam();
+  auto server_rng = ChaChaRng::from_string_seed("sweep-server");
+  auto client_rng = ChaChaRng::from_string_seed("sweep-client");
+  const auto corpus = test_corpus(60, "sweep-corpus");
+
+  OprfServer server(Oracle::fast(), lambda, server_rng);
+  server.setup(corpus);
+  OprfClient client(Oracle::fast(), lambda, client_rng);
+
+  for (std::size_t i = 0; i < corpus.size(); i += 7) {
+    const auto p = client.prepare(corpus[i]);
+    EXPECT_TRUE(client.finish(p.pending, server.handle(p.request)).listed);
+  }
+  auto rng = ChaChaRng::from_string_seed("sweep-clean");
+  for (int i = 0; i < 10; ++i) {
+    const auto addr = blocklist::random_address(blocklist::Chain::kBitcoin, rng);
+    const auto p = client.prepare(addr);
+    EXPECT_FALSE(client.finish(p.pending, server.handle(p.request)).listed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, OprfLambdaSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u));
+
+}  // namespace
+}  // namespace cbl::oprf

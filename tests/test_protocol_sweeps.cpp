@@ -1,0 +1,164 @@
+// Parameterized end-to-end sweeps and fuzz-style property tests:
+// randomized ceremonies across committee sizes, ristretto decode fuzz,
+// Elligator edge inputs, and the coordinator/on-chain-registry glue.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "core/service.h"
+#include "ec/ristretto.h"
+#include "voting/ceremony.h"
+#include "voting/registry.h"
+
+namespace cbl {
+namespace {
+
+using cbl::ChaChaRng;
+
+// ---------------------------------------------------- ceremony size sweep
+
+class CeremonySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CeremonySizeSweep, RandomVotesTallyExactly) {
+  const std::size_t n = GetParam();
+  auto rng = ChaChaRng::from_string_seed("sweep-" + std::to_string(n));
+
+  // Random votes and weights for an everyone-selected committee.
+  std::vector<unsigned> votes(n);
+  std::vector<std::uint32_t> weights(n);
+  std::uint64_t expected = 0, total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    votes[i] = static_cast<unsigned>(rng.uniform(2));
+    weights[i] = static_cast<std::uint32_t>(1 + rng.uniform(4));
+    expected += votes[i] * weights[i];
+    total += weights[i];
+  }
+
+  chain::Blockchain chain;
+  voting::EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = n;
+  cfg.deposit = 10;
+  cfg.provider_deposit = static_cast<chain::Amount>(2 * n);
+  voting::Ceremony ceremony(chain, cfg, votes, weights, rng);
+  const auto result = ceremony.run();
+
+  EXPECT_EQ(result.outcome.tally, expected);
+  EXPECT_EQ(result.outcome.total_weight, total);
+  EXPECT_EQ(result.outcome.approved, expected * 2 > total);
+  // Conservation through the whole weighted ceremony.
+  EXPECT_EQ(result.payouts.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CeremonySizeSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+// -------------------------------------------------------- ristretto fuzz
+
+TEST(RistrettoFuzz, RandomBytesDecodeOrRejectConsistently) {
+  auto rng = ChaChaRng::from_string_seed("ristretto-fuzz");
+  int accepted = 0;
+  for (int i = 0; i < 500; ++i) {
+    ec::RistrettoPoint::Encoding bytes;
+    rng.fill(bytes.data(), bytes.size());
+    const auto decoded = ec::RistrettoPoint::decode(bytes);
+    if (decoded) {
+      ++accepted;
+      // Round-trip invariant: accepted encodings are canonical.
+      EXPECT_EQ(decoded->encode(), bytes);
+    }
+  }
+  // Roughly 1/8 of random strings are valid encodings (top bit clear ~1/2,
+  // non-negative ~1/2, square ~1/2); allow a generous band.
+  EXPECT_GT(accepted, 20);
+  EXPECT_LT(accepted, 200);
+}
+
+TEST(RistrettoFuzz, ElligatorEdgeInputs) {
+  // Degenerate one-way-map inputs must still land on valid encodable
+  // points (zero, max, low-order-ish patterns).
+  std::vector<std::array<std::uint8_t, 64>> inputs;
+  inputs.emplace_back();  // all zero
+  std::array<std::uint8_t, 64> ones;
+  ones.fill(0xff);
+  inputs.push_back(ones);
+  std::array<std::uint8_t, 64> half{};
+  for (int i = 0; i < 32; ++i) half[static_cast<std::size_t>(i)] = 0xff;
+  inputs.push_back(half);
+
+  for (const auto& input : inputs) {
+    const auto p = ec::RistrettoPoint::from_uniform_bytes(input);
+    const auto decoded = ec::RistrettoPoint::decode(p.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+    // Scalar multiplication on the mapped point behaves.
+    const auto q = p * ec::Scalar::from_u64(3);
+    EXPECT_EQ(q, p + p + p);
+  }
+}
+
+TEST(RistrettoFuzz, ScalarMulMatchesRepeatedAddition) {
+  auto rng = ChaChaRng::from_string_seed("smul-fuzz");
+  const auto p = ec::RistrettoPoint::base() * ec::Scalar::random(rng);
+  ec::RistrettoPoint acc = ec::RistrettoPoint::identity();
+  for (std::uint64_t k = 0; k <= 17; ++k) {
+    EXPECT_EQ(p * ec::Scalar::from_u64(k), acc) << "k=" << k;
+    acc = acc + p;
+  }
+}
+
+// -------------------------------------------- coordinator + registry glue
+
+TEST(CoordinatorRegistryGlue, EvaluationsFlowOntoTheChainRegistry) {
+  auto rng = ChaChaRng::from_string_seed("glue");
+  chain::Blockchain chain;
+
+  voting::RegistryConfig rcfg;
+  rcfg.min_stake = 50;
+  rcfg.listing_period = 100;
+  voting::RegistryContract registry(chain, rcfg);
+
+  voting::EvaluationConfig vcfg;
+  vcfg.thresh = 4;
+  vcfg.committee_size = 3;
+  vcfg.deposit = 10;
+  vcfg.provider_deposit = 10;
+  core::EvaluationCoordinator coordinator(chain, vcfg, 100, rng);
+  coordinator.attach_registry(registry);
+
+  core::ProviderConfig pcfg;
+  pcfg.lambda = 6;
+  core::BlocklistProvider provider("acme", pcfg, rng);
+  auto feed_rng = ChaChaRng::from_string_seed("glue-feed");
+  blocklist::FeedConfig fcfg;
+  fcfg.count = 80;
+  provider.ingest(blocklist::generate_feed(fcfg, feed_rng));
+
+  // Apply on chain, then let the coordinator's evaluation settle it.
+  const auto provider_acct = chain.ledger().create_account("acme-acct");
+  chain.ledger().mint(provider_acct, 200);
+  registry.apply(provider_acct, "acme", 50);
+  EXPECT_FALSE(registry.is_listed("acme"));
+
+  const auto entry = coordinator.evaluate(provider, 10);
+  EXPECT_TRUE(entry.approved);
+  EXPECT_TRUE(registry.is_listed("acme"));  // settled on chain too
+
+  // A challenge on chain is resolved by the next coordinator evaluation.
+  const auto watchdog = chain.ledger().create_account("watchdog");
+  chain.ledger().mint(watchdog, 200);
+  registry.open_challenge(watchdog, "acme", 50);
+  // The provider silently halves its served list before re-evaluation.
+  auto published = provider.published_entries();
+  std::vector<std::string> half(published.begin(),
+                                published.begin() +
+                                    static_cast<long>(published.size() / 2));
+  provider.server().setup(half);
+  const auto entry2 = coordinator.evaluate(provider, 20);
+  EXPECT_FALSE(entry2.approved);
+  EXPECT_FALSE(registry.is_listed("acme"));
+  EXPECT_EQ(registry.lookup("acme")->status,
+            voting::RegistryContract::ListingStatus::kDelisted);
+}
+
+}  // namespace
+}  // namespace cbl

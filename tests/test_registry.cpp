@@ -1,0 +1,180 @@
+// Tests for the token-curated registry contract: apply -> evaluate ->
+// list, dismissal, the full challenge lifecycle with slashing in both
+// directions, expiry, and state-machine error paths.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+#include "voting/registry.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+using chain::Blockchain;
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : registry_(chain_, config()) {
+    provider_ = chain_.ledger().create_account("provider");
+    challenger_ = chain_.ledger().create_account("challenger");
+    chain_.ledger().mint(provider_, 1'000);
+    chain_.ledger().mint(challenger_, 1'000);
+  }
+
+  static RegistryConfig config() {
+    RegistryConfig cfg;
+    cfg.min_stake = 100;
+    cfg.listing_period = 10;
+    cfg.winner_share_percent = 50;
+    return cfg;
+  }
+
+  /// Runs a real evaluation ceremony whose committee votes `approve`.
+  EvaluationContract& run_evaluation(bool approve) {
+    EvaluationConfig cfg;
+    cfg.thresh = cfg.committee_size = 3;
+    cfg.deposit = 10;
+    cfg.provider_deposit = 10;
+    const std::vector<unsigned> votes(3, approve ? 1u : 0u);
+    ceremonies_.push_back(
+        std::make_unique<Ceremony>(chain_, cfg, votes, rng_));
+    ceremonies_.back()->run();
+    return ceremonies_.back()->contract();
+  }
+
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("registry-tests");
+  Blockchain chain_;
+  RegistryContract registry_;
+  chain::AccountId provider_ = 0, challenger_ = 0;
+  std::vector<std::unique_ptr<Ceremony>> ceremonies_;
+};
+
+TEST_F(RegistryTest, ApplyEvaluateList) {
+  registry_.apply(provider_, "acme", 100);
+  EXPECT_FALSE(registry_.is_listed("acme"));
+  EXPECT_EQ(chain_.ledger().balance(provider_), 900);
+
+  registry_.record_evaluation("acme", run_evaluation(true));
+  EXPECT_TRUE(registry_.is_listed("acme"));
+  const auto listing = registry_.lookup("acme");
+  ASSERT_TRUE(listing.has_value());
+  EXPECT_EQ(listing->status, RegistryContract::ListingStatus::kListed);
+  EXPECT_EQ(listing->expires_at_block, chain_.height() + 10);
+}
+
+TEST_F(RegistryTest, RejectedApplicationIsDismissedWithRefund) {
+  registry_.apply(provider_, "shady", 150);
+  registry_.record_evaluation("shady", run_evaluation(false));
+  EXPECT_FALSE(registry_.is_listed("shady"));
+  EXPECT_FALSE(registry_.lookup("shady").has_value());
+  EXPECT_EQ(chain_.ledger().balance(provider_), 1'000);  // stake returned
+}
+
+TEST_F(RegistryTest, ApplicationValidation) {
+  EXPECT_THROW(registry_.apply(provider_, "a", 99), ChainError);  // below min
+  registry_.apply(provider_, "a", 100);
+  EXPECT_THROW(registry_.apply(challenger_, "a", 100), ChainError);  // dup
+  EXPECT_THROW(registry_.record_evaluation("nope", run_evaluation(true)),
+               ChainError);
+}
+
+TEST_F(RegistryTest, CannotRecordIncompleteEvaluation) {
+  registry_.apply(provider_, "acme", 100);
+  EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = 3;
+  cfg.deposit = 10;
+  cfg.provider_deposit = 10;
+  Ceremony ceremony(chain_, cfg, {1, 1, 1}, rng_);
+  // Evaluation never runs -> still in registration phase.
+  EXPECT_THROW(registry_.record_evaluation("acme", ceremony.contract()),
+               ChainError);
+}
+
+TEST_F(RegistryTest, FailedChallengeSlashesChallenger) {
+  registry_.apply(provider_, "acme", 100);
+  registry_.record_evaluation("acme", run_evaluation(true));
+
+  registry_.open_challenge(challenger_, "acme", 100);
+  EXPECT_TRUE(registry_.is_listed("acme"));  // still listed while challenged
+  EXPECT_EQ(chain_.ledger().balance(challenger_), 900);
+
+  // Re-evaluation vindicates the provider.
+  registry_.resolve_challenge("acme", run_evaluation(true));
+  EXPECT_TRUE(registry_.is_listed("acme"));
+  // Challenger lost its 100 stake; provider pocketed 50%.
+  EXPECT_EQ(chain_.ledger().balance(challenger_), 900);
+  EXPECT_EQ(chain_.ledger().balance(provider_), 950);
+  const auto listing = registry_.lookup("acme");
+  EXPECT_EQ(listing->status, RegistryContract::ListingStatus::kListed);
+  EXPECT_FALSE(listing->challenger.has_value());
+}
+
+TEST_F(RegistryTest, SuccessfulChallengeDelistsAndSlashesProvider) {
+  registry_.apply(provider_, "acme", 100);
+  registry_.record_evaluation("acme", run_evaluation(true));
+  registry_.open_challenge(challenger_, "acme", 120);
+
+  // Re-evaluation exposes the provider.
+  registry_.resolve_challenge("acme", run_evaluation(false));
+  EXPECT_FALSE(registry_.is_listed("acme"));
+  const auto listing = registry_.lookup("acme");
+  EXPECT_EQ(listing->status, RegistryContract::ListingStatus::kDelisted);
+  // Challenger stake returned in full plus 50% of the provider's 100.
+  EXPECT_EQ(chain_.ledger().balance(challenger_), 1'050);
+  // Provider lost the stake entirely.
+  EXPECT_EQ(chain_.ledger().balance(provider_), 900);
+}
+
+TEST_F(RegistryTest, ChallengeValidation) {
+  registry_.apply(provider_, "acme", 100);
+  // Cannot challenge a pending application.
+  EXPECT_THROW(registry_.open_challenge(challenger_, "acme", 100), ChainError);
+  registry_.record_evaluation("acme", run_evaluation(true));
+  // Stake must match the provider's.
+  EXPECT_THROW(registry_.open_challenge(challenger_, "acme", 99), ChainError);
+  registry_.open_challenge(challenger_, "acme", 100);
+  // Resolution requires an open challenge... which exists; but a second
+  // challenge cannot stack.
+  EXPECT_THROW(registry_.open_challenge(challenger_, "acme", 100), ChainError);
+  // Resolving a listing with no challenge:
+  registry_.resolve_challenge("acme", run_evaluation(true));
+  EXPECT_THROW(registry_.resolve_challenge("acme", run_evaluation(true)),
+               ChainError);
+}
+
+TEST_F(RegistryTest, ExpiryForcesReEvaluation) {
+  registry_.apply(provider_, "acme", 100);
+  registry_.record_evaluation("acme", run_evaluation(true));
+  // Too early to flag.
+  EXPECT_THROW(registry_.flag_expired("acme"), ChainError);
+  for (int i = 0; i < 10; ++i) chain_.seal_block();
+  registry_.flag_expired("acme");
+  EXPECT_FALSE(registry_.is_listed("acme"));
+  EXPECT_EQ(registry_.lookup("acme")->status,
+            RegistryContract::ListingStatus::kPendingEvaluation);
+  // A fresh approval relists.
+  registry_.record_evaluation("acme", run_evaluation(true));
+  EXPECT_TRUE(registry_.is_listed("acme"));
+}
+
+TEST_F(RegistryTest, SupplyConservedThroughChallengeCycle) {
+  registry_.apply(provider_, "acme", 100);
+  registry_.record_evaluation("acme", run_evaluation(true));
+  registry_.open_challenge(challenger_, "acme", 100);
+  registry_.resolve_challenge("acme", run_evaluation(false));
+  // Of the 2000 minted to the two parties, the provider lost its 100
+  // stake: 50 went to the challenger (winner share), 50 to the treasury.
+  EXPECT_EQ(chain_.ledger().balance(provider_), 900);
+  EXPECT_EQ(chain_.ledger().balance(challenger_), 1'050);
+  EXPECT_EQ(chain_.ledger().deposit_amount(registry_.lookup("acme")->stake),
+            0);
+  // The 50-token remainder of the slash sits in the treasury (the
+  // redistribution pool), so the registry itself created or destroyed
+  // nothing.
+  EXPECT_GE(chain_.ledger().balance(chain_.ledger().treasury()), 50);
+}
+
+}  // namespace
+}  // namespace cbl::voting

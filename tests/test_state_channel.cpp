@@ -1,0 +1,268 @@
+// Tests for Schnorr signatures and the off-chain round-2 state channel:
+// happy-path settlement equals the on-chain tally, the chain rejects
+// partial/forged/mismatched settlements, the channel itself verifies
+// members, and the fallback to on-chain voting keeps working.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "nizk/signature.h"
+#include "voting/ceremony.h"
+#include "voting/state_channel.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+using chain::Blockchain;
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("sig-tests");
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  const auto key = nizk::SigningKey::generate(rng_);
+  const Bytes msg = to_bytes("settle V");
+  const auto sig = nizk::sign(key, msg, "test", rng_);
+  EXPECT_TRUE(nizk::verify_signature(key.pk, msg, "test", sig));
+}
+
+TEST_F(SignatureTest, RejectsWrongMessageKeyAndDomain) {
+  const auto key = nizk::SigningKey::generate(rng_);
+  const auto other = nizk::SigningKey::generate(rng_);
+  const Bytes msg = to_bytes("settle V");
+  const auto sig = nizk::sign(key, msg, "test", rng_);
+  EXPECT_FALSE(nizk::verify_signature(key.pk, to_bytes("settle W"), "test", sig));
+  EXPECT_FALSE(nizk::verify_signature(other.pk, msg, "test", sig));
+  EXPECT_FALSE(nizk::verify_signature(key.pk, msg, "other-domain", sig));
+}
+
+TEST_F(SignatureTest, RejectsTampering) {
+  const auto key = nizk::SigningKey::generate(rng_);
+  const Bytes msg = to_bytes("m");
+  auto sig = nizk::sign(key, msg, "test", rng_);
+  sig.response = sig.response + ec::Scalar::one();
+  EXPECT_FALSE(nizk::verify_signature(key.pk, msg, "test", sig));
+}
+
+TEST_F(SignatureTest, WireRoundTrip) {
+  const auto key = nizk::SigningKey::generate(rng_);
+  const Bytes msg = to_bytes("m");
+  const auto sig = nizk::sign(key, msg, "test", rng_);
+  const auto bytes = sig.to_bytes();
+  EXPECT_EQ(bytes.size(), nizk::Signature::kWireSize);
+  const auto parsed = nizk::Signature::from_bytes(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(nizk::verify_signature(key.pk, msg, "test", *parsed));
+  EXPECT_FALSE(
+      nizk::Signature::from_bytes(ByteView(bytes.data(), 63)).has_value());
+}
+
+// ---------------------------------------------------------- state channel
+
+struct ChannelFixture {
+  Blockchain chain;
+  EvaluationConfig cfg;
+  std::unique_ptr<Ceremony> ceremony;
+
+  ChannelFixture(const std::vector<unsigned>& votes, ChaChaRng& rng,
+                 const std::vector<std::uint32_t>& weights = {}) {
+    cfg.thresh = votes.size();
+    cfg.committee_size = votes.size();
+    cfg.deposit = 10;
+    cfg.provider_deposit = 100;
+    if (weights.empty()) {
+      ceremony = std::make_unique<Ceremony>(chain, cfg, votes, rng);
+    } else {
+      ceremony = std::make_unique<Ceremony>(chain, cfg, votes, weights, rng);
+    }
+    ceremony->fund_and_shield();
+    ceremony->register_all();
+    ceremony->reveal_all();
+    ceremony->finalize_committee();
+  }
+
+  Round2Channel make_channel() {
+    std::vector<ec::RistrettoPoint> secrets, vote_comms;
+    std::vector<std::uint32_t> member_weights;
+    for (auto& p : ceremony->participants()) {
+      // thresh == N: everyone is a committee member, in index order.
+      secrets.push_back(chain.crs().g * p.shareholder->secret());
+      const auto v = ec::Scalar::from_u64(
+          static_cast<std::uint64_t>(p.shareholder->vote()) *
+          p.shareholder->weight());
+      vote_comms.push_back(chain.crs().g * v +
+                           chain.crs().h * p.shareholder->secret());
+      member_weights.push_back(p.shareholder->weight());
+    }
+    return Round2Channel(chain.crs(), secrets, vote_comms, member_weights,
+                         ceremony->contract().challenge());
+  }
+
+  OffchainSettlement run_channel(ChaChaRng& rng) {
+    auto channel = make_channel();
+    const auto secrets = ceremony->contract().committee_secrets();
+    for (auto& p : ceremony->participants()) {
+      const auto pos = ceremony->contract().committee_position(p.index);
+      EXPECT_TRUE(channel.submit(
+          *pos, p.shareholder->build_round2(secrets, *pos, rng)));
+    }
+    EXPECT_TRUE(channel.complete());
+
+    OffchainSettlement settlement;
+    settlement.aggregate = channel.aggregate();
+    const Bytes message = channel.settlement_message();
+    for (auto& p : ceremony->participants()) {
+      settlement.signatures.push_back(
+          p.shareholder->sign_settlement(message, rng));
+    }
+    return settlement;
+  }
+};
+
+class StateChannelTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("channel-tests");
+};
+
+TEST_F(StateChannelTest, SettlementMatchesOnChainTally) {
+  ChannelFixture fx({1, 1, 0, 1, 0}, rng_);
+  const auto settlement = fx.run_channel(rng_);
+  fx.ceremony->contract().settle_round2_offchain(settlement, 1);
+
+  const auto& outcome = fx.ceremony->contract().outcome();
+  EXPECT_EQ(outcome.tally, 3u);
+  EXPECT_TRUE(outcome.approved);
+  EXPECT_EQ(fx.ceremony->contract().phase(),
+            EvaluationContract::Phase::kTallied);
+}
+
+TEST_F(StateChannelTest, PayoffWorksAfterChannelSettlement) {
+  ChannelFixture fx({1, 1, 0}, rng_);
+  const auto settlement = fx.run_channel(rng_);
+  fx.ceremony->contract().settle_round2_offchain(settlement, 1);
+  fx.ceremony->payoff_and_withdraw();
+  // Winners got deposit + reward, loser deposit - penalty.
+  auto& participants = fx.ceremony->participants();
+  EXPECT_EQ(fx.chain.ledger().balance(participants[0].payout_account), 11);
+  EXPECT_EQ(fx.chain.ledger().balance(participants[2].payout_account), 9);
+}
+
+TEST_F(StateChannelTest, WeightedChannelSettlement) {
+  ChannelFixture fx({1, 0, 0}, rng_, {7, 2, 2});
+  const auto settlement = fx.run_channel(rng_);
+  fx.ceremony->contract().settle_round2_offchain(settlement, 1);
+  EXPECT_EQ(fx.ceremony->contract().outcome().tally, 7u);
+  EXPECT_TRUE(fx.ceremony->contract().outcome().approved);
+}
+
+TEST_F(StateChannelTest, ChannelByteSavingsAreReal) {
+  // The settlement costs 32 + 64N bytes versus 320N for on-chain votes.
+  ChannelFixture fx({1, 1, 0, 1, 0}, rng_);
+  const auto settlement = fx.run_channel(rng_);
+  const std::size_t channel_bytes = settlement.wire_size();
+  const std::size_t onchain_bytes = 5 * Round2Submission::wire_size();
+  EXPECT_LT(channel_bytes * 4, onchain_bytes);
+}
+
+TEST_F(StateChannelTest, RejectsMissingSignature) {
+  ChannelFixture fx({1, 0, 1}, rng_);
+  auto settlement = fx.run_channel(rng_);
+  settlement.signatures.pop_back();
+  EXPECT_THROW(fx.ceremony->contract().settle_round2_offchain(settlement, 1),
+               ChainError);
+}
+
+TEST_F(StateChannelTest, RejectsForgedSignature) {
+  ChannelFixture fx({1, 0, 1}, rng_);
+  auto settlement = fx.run_channel(rng_);
+  // Replace one signature by one from a key not registered on chain.
+  const auto mallory = nizk::SigningKey::generate(rng_);
+  settlement.signatures[1] =
+      nizk::sign(mallory, to_bytes("whatever"), Round2Channel::kSettleDomain,
+                 rng_);
+  EXPECT_THROW(fx.ceremony->contract().settle_round2_offchain(settlement, 1),
+               ChainError);
+}
+
+TEST_F(StateChannelTest, RejectsTamperedAggregate) {
+  // Signatures cover the honest V; swapping the aggregate breaks them.
+  ChannelFixture fx({1, 0, 1}, rng_);
+  auto settlement = fx.run_channel(rng_);
+  settlement.aggregate = settlement.aggregate + ec::RistrettoPoint::base();
+  EXPECT_THROW(fx.ceremony->contract().settle_round2_offchain(settlement, 1),
+               ChainError);
+}
+
+TEST_F(StateChannelTest, CollusionCannotExceedWeightBound) {
+  // Even with all N keys colluding, a settlement over g^(total_weight+2)
+  // fails the DLP bound at tally time.
+  ChannelFixture fx({1, 1, 1}, rng_);
+  auto channel = fx.make_channel();
+  OffchainSettlement settlement;
+  settlement.aggregate =
+      ec::RistrettoPoint::base() * ec::Scalar::from_u64(5);  // > 3
+  const Bytes message = fx.ceremony->contract().expected_settlement_message(
+      settlement.aggregate);
+  for (auto& p : fx.ceremony->participants()) {
+    settlement.signatures.push_back(
+        p.shareholder->sign_settlement(message, rng_));
+  }
+  EXPECT_THROW(fx.ceremony->contract().settle_round2_offchain(settlement, 1),
+               ChainError);
+}
+
+TEST_F(StateChannelTest, MixingWithOnChainVotesRejected) {
+  ChannelFixture fx({1, 0, 1}, rng_);
+  // One member votes on chain first...
+  auto& p0 = fx.ceremony->participants()[0];
+  const auto secrets = fx.ceremony->contract().committee_secrets();
+  const auto pos = fx.ceremony->contract().committee_position(p0.index);
+  fx.ceremony->contract().submit_round2(
+      p0.index, p0.shareholder->build_round2(secrets, *pos, rng_),
+      p0.funding_account);
+  // ...so channel settlement is no longer allowed.
+  const auto settlement = fx.run_channel(rng_);
+  EXPECT_THROW(fx.ceremony->contract().settle_round2_offchain(settlement, 1),
+               ChainError);
+}
+
+TEST_F(StateChannelTest, ChannelRejectsBadSubmissions) {
+  ChannelFixture fx({1, 0, 1}, rng_);
+  auto channel = fx.make_channel();
+  const auto secrets = fx.ceremony->contract().committee_secrets();
+  auto& p0 = fx.ceremony->participants()[0];
+  auto sub = p0.shareholder->build_round2(secrets, 0, rng_);
+
+  auto forged = sub;
+  forged.psi = forged.psi + ec::RistrettoPoint::base();
+  EXPECT_FALSE(channel.submit(0, forged));   // invalid proof
+  EXPECT_FALSE(channel.submit(9, sub));      // bad position
+  EXPECT_TRUE(channel.submit(0, sub));
+  EXPECT_FALSE(channel.submit(0, sub));      // duplicate
+  EXPECT_EQ(channel.pending(), 2u);
+  EXPECT_THROW((void)channel.aggregate(), std::logic_error);
+}
+
+TEST_F(StateChannelTest, FallbackToOnChainAfterChannelFailure) {
+  // A member refuses to sign: the committee just votes on chain, and the
+  // protocol completes normally.
+  ChannelFixture fx({1, 1, 0}, rng_);
+  auto channel = fx.make_channel();
+  const auto secrets = fx.ceremony->contract().committee_secrets();
+  // Two members submit off-chain, the third stalls the channel...
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& p = fx.ceremony->participants()[i];
+    const auto pos = fx.ceremony->contract().committee_position(p.index);
+    EXPECT_TRUE(channel.submit(
+        *pos, p.shareholder->build_round2(secrets, *pos, rng_)));
+  }
+  EXPECT_FALSE(channel.complete());
+  // ...so everyone falls back to the on-chain Vote path.
+  fx.ceremony->vote_all();
+  EXPECT_EQ(fx.ceremony->contract().outcome().tally, 2u);
+}
+
+}  // namespace
+}  // namespace cbl::voting

@@ -1,0 +1,37 @@
+// Compile-and-smoke test for the umbrella header: one include must give
+// a working end-to-end slice of the whole public API.
+#include "cbl.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, OneIncludeEndToEnd) {
+  auto rng = cbl::ChaChaRng::from_string_seed("umbrella");
+
+  // Query side.
+  cbl::core::ProviderConfig pcfg;
+  pcfg.lambda = 6;
+  cbl::core::BlocklistProvider provider("smoke", pcfg, rng);
+  cbl::blocklist::FeedConfig fcfg;
+  fcfg.count = 50;
+  const auto feed = cbl::blocklist::generate_feed(fcfg, rng);
+  provider.ingest(feed);
+  cbl::core::BlocklistUser user(provider, rng);
+  EXPECT_TRUE(user.query(feed.front().address).listed);
+
+  // Evaluation side.
+  cbl::chain::Blockchain chain;
+  cbl::voting::EvaluationConfig vcfg;
+  vcfg.thresh = vcfg.committee_size = 3;
+  vcfg.deposit = 10;
+  vcfg.provider_deposit = 10;
+  cbl::voting::Ceremony ceremony(chain, vcfg, {1, 1, 0}, rng);
+  EXPECT_TRUE(ceremony.run().outcome.approved);
+
+  // Analysis side.
+  EXPECT_GT(cbl::game::effective_k_star(20, 5, 0.9), 5u);
+  EXPECT_GT(cbl::oprf::analyze_buckets({4, 4, 4}).min_entropy_bits, 1.9);
+}
+
+}  // namespace

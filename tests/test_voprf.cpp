@@ -1,0 +1,119 @@
+// Tests for the verifiable-OPRF upgrade: honest servers prove their
+// evaluations, cheating evaluations are caught, proofs survive the wire,
+// and key rotation requires re-pinning.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "oprf/client.h"
+#include "oprf/server.h"
+#include "oprf/wire.h"
+
+namespace cbl::oprf {
+namespace {
+
+using cbl::ChaChaRng;
+
+class VoprfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto corpus_rng = ChaChaRng::from_string_seed("voprf-corpus");
+    corpus_ = blocklist::generate_corpus(80, corpus_rng).addresses();
+    server_.emplace(Oracle::fast(), 4, server_rng_);
+    server_->setup(corpus_);
+    client_.emplace(Oracle::fast(), 4, client_rng_);
+    client_->pin_key_commitment(server_->key_commitment());
+  }
+
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("voprf-server");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("voprf-client");
+  std::vector<std::string> corpus_;
+  std::optional<OprfServer> server_;
+  std::optional<OprfClient> client_;
+};
+
+TEST_F(VoprfTest, HonestEvaluationVerifies) {
+  const auto prepared = client_->prepare(corpus_[0]);
+  EXPECT_TRUE(prepared.request.want_evaluation_proof);
+  const auto response = server_->handle(prepared.request);
+  ASSERT_TRUE(response.evaluation_proof.has_value());
+  EXPECT_TRUE(client_->finish(prepared.pending, response).listed);
+}
+
+TEST_F(VoprfTest, MissingProofRejected) {
+  const auto prepared = client_->prepare(corpus_[0]);
+  auto response = server_->handle(prepared.request);
+  response.evaluation_proof.reset();
+  EXPECT_THROW((void)client_->finish(prepared.pending, response),
+               ProtocolError);
+}
+
+TEST_F(VoprfTest, CheatingEvaluationRejected) {
+  // A malicious server answers with psi under a DIFFERENT key R' — the
+  // attack this upgrade catches: without the proof the client would
+  // simply compute a wrong (false-negative) verdict.
+  const auto prepared = client_->prepare(corpus_[0]);
+  auto response = server_->handle(prepared.request);
+
+  auto evil_rng = ChaChaRng::from_string_seed("evil");
+  const ec::Scalar evil_key = ec::Scalar::random(evil_rng);
+  const auto masked = ec::RistrettoPoint::decode(prepared.request.masked_query);
+  response.evaluated = (*masked * evil_key).encode();
+  // Forged proof under the evil key does not match the pinned g^R.
+  response.evaluation_proof = nizk::DleqProof::prove(
+      ec::RistrettoPoint::base(), ec::RistrettoPoint::base() * evil_key,
+      *masked, *ec::RistrettoPoint::decode(response.evaluated), evil_key,
+      OprfServer::kEvalProofDomain, evil_rng);
+  EXPECT_THROW((void)client_->finish(prepared.pending, response),
+               ProtocolError);
+}
+
+TEST_F(VoprfTest, ProofSurvivesTheWire) {
+  const auto prepared = client_->prepare(corpus_[5]);
+  const auto parsed_req =
+      parse_query_request(serialize(prepared.request));
+  ASSERT_TRUE(parsed_req.has_value());
+  EXPECT_TRUE(parsed_req->want_evaluation_proof);
+
+  const auto response = server_->handle(*parsed_req);
+  const auto parsed_resp = parse_query_response(serialize(response));
+  ASSERT_TRUE(parsed_resp.has_value());
+  ASSERT_TRUE(parsed_resp->evaluation_proof.has_value());
+  EXPECT_TRUE(client_->finish(prepared.pending, *parsed_resp).listed);
+}
+
+TEST_F(VoprfTest, KeyRotationRequiresRePinning) {
+  server_->rotate_key();
+  const auto prepared = client_->prepare(corpus_[0]);
+  const auto response = server_->handle(prepared.request);
+  // Proof is honest but against the NEW commitment; the stale pin fails.
+  EXPECT_THROW((void)client_->finish(prepared.pending, response),
+               ProtocolError);
+  // Re-pin and everything works again.
+  client_->pin_key_commitment(server_->key_commitment());
+  const auto prepared2 = client_->prepare(corpus_[0]);
+  EXPECT_TRUE(
+      client_->finish(prepared2.pending, server_->handle(prepared2.request))
+          .listed);
+}
+
+TEST_F(VoprfTest, UnpinnedClientsSkipTheProofPath) {
+  client_->clear_key_commitment();
+  const auto prepared = client_->prepare(corpus_[0]);
+  EXPECT_FALSE(prepared.request.want_evaluation_proof);
+  const auto response = server_->handle(prepared.request);
+  EXPECT_FALSE(response.evaluation_proof.has_value());
+  EXPECT_TRUE(client_->finish(prepared.pending, response).listed);
+}
+
+TEST_F(VoprfTest, CommitmentIsStablePerEpoch) {
+  const auto c1 = server_->key_commitment();
+  const auto prepared = client_->prepare(corpus_[1]);
+  (void)server_->handle(prepared.request);
+  EXPECT_TRUE(server_->key_commitment() == c1);
+  server_->rotate_key();
+  EXPECT_FALSE(server_->key_commitment() == c1);
+}
+
+}  // namespace
+}  // namespace cbl::oprf

@@ -1,0 +1,521 @@
+// Tests for the decentralized evaluation protocol (Fig. 4): the Y
+// aggregation identity, DLP recovery, exhaustive tally correctness, the
+// full ceremony with payoffs, and a battery of failure injections
+// (forged proofs, non-binary votes, double voting, stalling, replay).
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/audit.h"
+#include "voting/ceremony.h"
+#include "voting/contract.h"
+#include "voting/dlp.h"
+#include "voting/shareholder.h"
+#include "blocklist/address.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+using chain::Blockchain;
+using cbl::ChainError;
+using ec::RistrettoPoint;
+using ec::Scalar;
+
+class VotingTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("voting-tests");
+};
+
+// -------------------------------------------------------------- compute_y
+
+TEST_F(VotingTest, YAggregationCancels) {
+  // The HRZ identity: sum_i x_i * Y_i = 0, hence prod psi_i = g^{sum v}.
+  const auto& crs = commit::Crs::default_crs();
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    std::vector<Scalar> secrets;
+    std::vector<RistrettoPoint> c0s;
+    for (std::size_t i = 0; i < n; ++i) {
+      secrets.push_back(Scalar::random(rng_));
+      c0s.push_back(crs.g * secrets.back());
+    }
+    RistrettoPoint sum = RistrettoPoint::identity();
+    for (std::size_t p = 0; p < n; ++p) {
+      sum = sum + compute_y(c0s, p) * secrets[p];
+    }
+    EXPECT_TRUE(sum == RistrettoPoint::identity()) << "n=" << n;
+  }
+}
+
+TEST_F(VotingTest, YPositionOutOfRangeThrows) {
+  EXPECT_THROW(compute_y({RistrettoPoint::base()}, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- DLP
+
+TEST_F(VotingTest, DlpBruteforceAndBsgsAgree) {
+  const auto g = RistrettoPoint::base();
+  for (std::uint64_t t : {0u, 1u, 7u, 25u, 63u}) {
+    const RistrettoPoint v = g * Scalar::from_u64(t);
+    EXPECT_EQ(solve_dlp_bruteforce(g, v, 63), t);
+    EXPECT_EQ(solve_dlp_bsgs(g, v, 63), t);
+  }
+}
+
+TEST_F(VotingTest, DlpOutOfRangeReturnsNullopt) {
+  const auto g = RistrettoPoint::base();
+  const RistrettoPoint v = g * Scalar::from_u64(100);
+  EXPECT_FALSE(solve_dlp_bruteforce(g, v, 50).has_value());
+  EXPECT_FALSE(solve_dlp_bsgs(g, v, 50).has_value());
+}
+
+// ------------------------------------------------------- tally correctness
+
+EvaluationConfig small_config(std::size_t thresh, std::size_t n) {
+  EvaluationConfig cfg;
+  cfg.thresh = thresh;
+  cfg.committee_size = n;
+  cfg.deposit = 100;
+  cfg.reward = 1;
+  cfg.penalty = 1;
+  cfg.provider_deposit = static_cast<chain::Amount>(n) * 2;
+  return cfg;
+}
+
+// Exhaustive sweep over every vote pattern for a 3-member committee where
+// everyone registers and is selected (thresh == N).
+class TallySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TallySweep, TallyEqualsSumOfVotes) {
+  const unsigned pattern = GetParam();
+  std::vector<unsigned> votes;
+  unsigned expected = 0;
+  for (unsigned i = 0; i < 3; ++i) {
+    votes.push_back((pattern >> i) & 1);
+    expected += votes.back();
+  }
+  auto rng = ChaChaRng::from_string_seed("tally-" + std::to_string(pattern));
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(3, 3), votes, rng);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, expected);
+  EXPECT_EQ(result.outcome.approved, expected * 2 > 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, TallySweep,
+                         ::testing::Range(0u, 8u));
+
+TEST_F(VotingTest, FiveMemberCommitteeMajority) {
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(5, 5), {1, 1, 1, 0, 0}, rng_);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, 3u);
+  EXPECT_TRUE(result.outcome.approved);
+}
+
+TEST_F(VotingTest, TieIsRejection) {
+  // Eq. (1): sum <= half means Q-hat = 0; with N = 4 and 2 yes votes the
+  // service is NOT approved.
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(4, 4), {1, 1, 0, 0}, rng_);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, 2u);
+  EXPECT_FALSE(result.outcome.approved);
+}
+
+// ------------------------------------------------------------ VRF sortition
+
+TEST_F(VotingTest, SortitionSelectsExactlyN) {
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(10, 4), std::vector<unsigned>(10, 1),
+                    rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+
+  std::size_t selected = 0;
+  for (const auto& p : ceremony.participants()) {
+    if (ceremony.contract().is_selected(p.index)) ++selected;
+  }
+  EXPECT_EQ(selected, 4u);
+  EXPECT_EQ(ceremony.contract().committee_secrets().size(), 4u);
+
+  // Unselected candidates get their stake mobility back immediately.
+  for (const auto& p : ceremony.participants()) {
+    const bool locked = chain.shielded_pool().note_locked(
+        p.shareholder->deposit_note());
+    EXPECT_EQ(locked, ceremony.contract().is_selected(p.index));
+  }
+}
+
+TEST_F(VotingTest, SortitionOutcomeDependsOnChallenge) {
+  // Two chains with different event histories produce different beacons,
+  // hence (almost surely) different committees for the same candidates.
+  auto run_committee = [&](bool extra_event, std::string_view seed) {
+    auto rng = ChaChaRng::from_string_seed(std::string(seed));
+    Blockchain chain;
+    if (extra_event) chain.emit_event("history-divergence");
+    Ceremony ceremony(chain, small_config(12, 3),
+                      std::vector<unsigned>(12, 1), rng);
+    ceremony.fund_and_shield();
+    ceremony.register_all();
+    ceremony.reveal_all();
+    ceremony.finalize_committee();
+    std::vector<std::size_t> committee;
+    for (const auto& p : ceremony.participants()) {
+      if (ceremony.contract().is_selected(p.index)) committee.push_back(p.index);
+    }
+    return committee;
+  };
+  // Same RNG seed => identical candidates; only the challenge differs.
+  const auto c1 = run_committee(false, "sortition");
+  const auto c2 = run_committee(true, "sortition");
+  EXPECT_NE(c1, c2);
+}
+
+// ------------------------------------------------------------------ payoffs
+
+TEST_F(VotingTest, WinnersGainLosersLose) {
+  Blockchain chain;
+  const auto cfg = small_config(5, 5);
+  std::vector<unsigned> votes = {1, 1, 1, 0, 0};
+  Ceremony ceremony(chain, cfg, votes, rng_);
+  const auto result = ceremony.run();
+  ASSERT_TRUE(result.outcome.approved);
+
+  // Payouts align with committee_indices == participant indices here.
+  ASSERT_EQ(result.payouts.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const chain::Amount expected =
+        votes[i] == 1 ? cfg.deposit + cfg.reward : cfg.deposit - cfg.penalty;
+    EXPECT_EQ(result.payouts[i], expected) << "participant " << i;
+  }
+}
+
+TEST_F(VotingTest, PayoffConservesTotalSupply) {
+  Blockchain chain;
+  chain::Amount before = 0;
+  {
+    Ceremony ceremony(chain, small_config(4, 4), {1, 0, 1, 1}, rng_);
+    before = chain.ledger().total_supply();
+    ceremony.run();
+  }
+  EXPECT_EQ(chain.ledger().total_supply(), before);
+}
+
+TEST_F(VotingTest, WithdrawnAccountsAreFresh) {
+  // Anonymity plumbing: payout lands on accounts that never appeared in
+  // registration transactions.
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(3, 3), {1, 1, 0}, rng_);
+  ceremony.run();
+  for (const auto& p : ceremony.participants()) {
+    for (const auto& r : chain.receipts()) {
+      if (r.payer == p.payout_account) {
+        EXPECT_EQ(r.method, "withdraw");
+      }
+    }
+  }
+}
+
+TEST_F(VotingTest, LoserCannotClaimWinnerAmount) {
+  Blockchain chain;
+  const auto cfg = small_config(3, 3);
+  Ceremony ceremony(chain, cfg, {1, 1, 0}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+  ceremony.vote_all();
+  ceremony.contract().run_payoff(ceremony.provider_account());
+
+  // Participant 2 voted 0, outcome approved: their updated note is worth
+  // deposit - penalty. Claiming deposit + reward must fail.
+  auto& loser = ceremony.participants()[2];
+  const auto updated = ceremony.contract().updated_note(loser.index);
+  EXPECT_THROW(
+      chain.shielded_pool().unshield(
+          updated, cfg.deposit + cfg.reward,
+          loser.shareholder->make_withdraw_proof(true, cfg.reward, cfg.penalty,
+                                                 rng_),
+          loser.payout_account),
+      ChainError);
+  // The honest claim works.
+  chain.shielded_pool().unshield(
+      updated, cfg.deposit - cfg.penalty,
+      loser.shareholder->make_withdraw_proof(true, cfg.reward, cfg.penalty,
+                                             rng_),
+      loser.payout_account);
+  EXPECT_EQ(chain.ledger().balance(loser.payout_account),
+            cfg.deposit - cfg.penalty);
+}
+
+// ---------------------------------------------------------- failure paths
+
+struct ContractHarness {
+  Blockchain chain;
+  EvaluationConfig cfg;
+  chain::AccountId provider;
+  std::unique_ptr<EvaluationContract> contract;
+
+  explicit ContractHarness(EvaluationConfig config) : cfg(config) {
+    provider = chain.ledger().create_account("provider");
+    chain.ledger().mint(provider, cfg.provider_deposit + 100);
+    contract = std::make_unique<EvaluationContract>(chain, cfg, provider);
+  }
+
+  Shareholder make_funded_shareholder(unsigned vote, Rng& rng) {
+    Shareholder sh(chain.crs(), rng, vote, cfg.deposit);
+    const auto acct = chain.ledger().create_account("sh");
+    chain.ledger().mint(acct, cfg.deposit);
+    chain.shielded_pool().shield(acct, cfg.deposit, sh.deposit_note(),
+                                 sh.make_shield_proof(rng));
+    return sh;
+  }
+};
+
+TEST_F(VotingTest, RegistrationRejectsForgedProofA) {
+  ContractHarness h(small_config(3, 3));
+  auto sh = h.make_funded_shareholder(1, rng_);
+  auto sub = sh.build_round1(rng_);
+  sub.proof_a.omega = sub.proof_a.omega + Scalar::one();
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+  EXPECT_EQ(h.contract->registered_count(), 0u);
+}
+
+TEST_F(VotingTest, RegistrationRejectsForgedVoteProof) {
+  ContractHarness h(small_config(3, 3));
+  auto sh = h.make_funded_shareholder(0, rng_);
+  auto sub = sh.build_round1(rng_);
+  sub.vote_proof.z0 = sub.vote_proof.z0 + Scalar::one();
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+}
+
+TEST_F(VotingTest, RegistrationRejectsNonBinaryVoteCommitment) {
+  // A hand-crafted submission committing to v = 5 with internally
+  // consistent pi_A but an unprovable binary-vote statement.
+  ContractHarness h(small_config(3, 3));
+  auto sh = h.make_funded_shareholder(1, rng_);
+  auto sub = sh.build_round1(rng_);
+  // Replace comm_vote by g^5 h^x; the OR proof cannot cover it, keep the
+  // old proof -> must be rejected.
+  sub.comm_vote =
+      h.chain.crs().g * Scalar::from_u64(5) + h.chain.crs().h * sh.secret();
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+}
+
+TEST_F(VotingTest, RegistrationRejectsUnshieldedDeposit) {
+  ContractHarness h(small_config(3, 3));
+  // Shareholder never shields the note.
+  Shareholder sh(h.chain.crs(), rng_, 1, h.cfg.deposit);
+  EXPECT_THROW(h.contract->register_shareholder(0, sh.build_round1(rng_)),
+               ChainError);
+}
+
+TEST_F(VotingTest, RegistrationRejectsReplayedSubmission) {
+  ContractHarness h(small_config(3, 3));
+  auto sh = h.make_funded_shareholder(1, rng_);
+  const auto sub = sh.build_round1(rng_);
+  h.contract->register_shareholder(0, sub);
+  // Same material again: duplicate VRF key / commitments / locked note.
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+}
+
+TEST_F(VotingTest, RegistrationClosesAtThresh) {
+  ContractHarness h(small_config(2, 2));
+  auto s1 = h.make_funded_shareholder(1, rng_);
+  auto s2 = h.make_funded_shareholder(1, rng_);
+  auto s3 = h.make_funded_shareholder(1, rng_);
+  h.contract->register_shareholder(0, s1.build_round1(rng_));
+  EXPECT_THROW((void)h.contract->challenge(), ChainError);
+  h.contract->register_shareholder(0, s2.build_round1(rng_));
+  EXPECT_EQ(h.contract->phase(), EvaluationContract::Phase::kVrfReveal);
+  EXPECT_FALSE(h.contract->challenge().empty());
+  EXPECT_THROW(h.contract->register_shareholder(0, s3.build_round1(rng_)),
+               ChainError);
+}
+
+TEST_F(VotingTest, VrfRevealRejectsWrongProof) {
+  ContractHarness h(small_config(2, 2));
+  auto s1 = h.make_funded_shareholder(1, rng_);
+  auto s2 = h.make_funded_shareholder(1, rng_);
+  const auto i1 = h.contract->register_shareholder(0, s1.build_round1(rng_));
+  h.contract->register_shareholder(0, s2.build_round1(rng_));
+
+  // s2's reveal under s1's index: VRF pk mismatch.
+  EXPECT_THROW(
+      h.contract->reveal_vrf(
+          i1, s2.build_vrf_reveal(h.contract->challenge(), rng_), 0),
+      ChainError);
+  // Correct reveal passes, duplicate is rejected.
+  h.contract->reveal_vrf(i1, s1.build_vrf_reveal(h.contract->challenge(), rng_),
+                         0);
+  EXPECT_THROW(
+      h.contract->reveal_vrf(
+          i1, s1.build_vrf_reveal(h.contract->challenge(), rng_), 0),
+      ChainError);
+}
+
+TEST_F(VotingTest, Round2RejectsForgedPsi) {
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(3, 3), {1, 1, 1}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+
+  auto& p = ceremony.participants()[0];
+  const auto secrets = ceremony.contract().committee_secrets();
+  auto sub = p.shareholder->build_round2(secrets, 0, rng_);
+  sub.psi = sub.psi + RistrettoPoint::base();  // flip the vote to 2
+  EXPECT_THROW(
+      ceremony.contract().submit_round2(p.index, sub, p.funding_account),
+      ChainError);
+}
+
+TEST_F(VotingTest, Round2RejectsDoubleVoteAndOutsiders) {
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(4, 2), {1, 1, 1, 1}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+
+  const auto secrets = ceremony.contract().committee_secrets();
+  bool tested_outsider = false, tested_double = false;
+  for (auto& p : ceremony.participants()) {
+    const auto pos = ceremony.contract().committee_position(p.index);
+    if (!pos && !tested_outsider) {
+      // Not selected: any submission is rejected.
+      auto forged = p.shareholder->build_round2(secrets, 0, rng_);
+      EXPECT_THROW(
+          ceremony.contract().submit_round2(p.index, forged, p.funding_account),
+          ChainError);
+      tested_outsider = true;
+    } else if (pos && !tested_double) {
+      const auto sub = p.shareholder->build_round2(secrets, *pos, rng_);
+      ceremony.contract().submit_round2(p.index, sub, p.funding_account);
+      EXPECT_THROW(
+          ceremony.contract().submit_round2(p.index, sub, p.funding_account),
+          ChainError);
+      tested_double = true;
+    }
+  }
+  EXPECT_TRUE(tested_outsider);
+  EXPECT_TRUE(tested_double);
+}
+
+TEST_F(VotingTest, AbortStalledRedistributesAndReleases) {
+  Blockchain chain;
+  const auto cfg = small_config(3, 3);
+  Ceremony ceremony(chain, cfg, {1, 1, 0}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+
+  // Only participants 0 and 1 vote; 2 stalls.
+  const auto secrets = ceremony.contract().committee_secrets();
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& p = ceremony.participants()[i];
+    const auto pos = ceremony.contract().committee_position(p.index);
+    ceremony.contract().submit_round2(
+        p.index, p.shareholder->build_round2(secrets, *pos, rng_),
+        p.funding_account);
+  }
+  const auto treasury_before =
+      chain.ledger().balance(chain.ledger().treasury());
+  ceremony.contract().abort_stalled(ceremony.provider_account());
+  EXPECT_EQ(ceremony.contract().phase(), EvaluationContract::Phase::kAborted);
+
+  // Responders' notes unlocked; staller's value redistributed.
+  EXPECT_FALSE(chain.shielded_pool().note_locked(
+      ceremony.participants()[0].shareholder->deposit_note()));
+  EXPECT_TRUE(chain.shielded_pool().note_locked(
+      ceremony.participants()[2].shareholder->deposit_note()));
+  EXPECT_EQ(chain.ledger().balance(chain.ledger().treasury()),
+            treasury_before + cfg.deposit);
+}
+
+TEST_F(VotingTest, AbortRequiresActualStall) {
+  Blockchain chain;
+  Ceremony ceremony(chain, small_config(2, 2), {1, 0}, rng_);
+  ceremony.fund_and_shield();
+  ceremony.register_all();
+  ceremony.reveal_all();
+  ceremony.finalize_committee();
+  ceremony.vote_all();  // completes -> kTallied
+  EXPECT_THROW(ceremony.contract().abort_stalled(ceremony.provider_account()),
+               ChainError);
+}
+
+TEST_F(VotingTest, OutcomeUnavailableBeforeTally) {
+  ContractHarness h(small_config(2, 2));
+  EXPECT_THROW((void)h.contract->outcome(), ChainError);
+}
+
+TEST_F(VotingTest, ConfigValidation) {
+  Blockchain chain;
+  const auto provider = chain.ledger().create_account("p");
+  chain.ledger().mint(provider, 1'000);
+  EvaluationConfig bad;
+  bad.committee_size = 5;
+  bad.thresh = 3;  // N > thresh
+  EXPECT_THROW(EvaluationContract(chain, bad, provider), ChainError);
+  bad = EvaluationConfig{};
+  bad.provider_deposit = 0;  // cannot cover rewards
+  EXPECT_THROW(EvaluationContract(chain, bad, provider), ChainError);
+}
+
+TEST_F(VotingTest, StoredProofBytesAccounting) {
+  Blockchain chain;
+  const auto cfg = small_config(4, 3);
+  Ceremony ceremony(chain, cfg, {1, 1, 0, 1}, rng_);
+  ceremony.run();
+  const std::size_t expected = 4 * Round1Submission::wire_size() +
+                               4 * VrfReveal::wire_size() +
+                               3 * Round2Submission::wire_size();
+  EXPECT_EQ(ceremony.contract().stored_proof_bytes(), expected);
+}
+
+// -------------------------------------------------------------------- audit
+
+TEST_F(VotingTest, AuditPassesForHonestProvider) {
+  auto server_rng = ChaChaRng::from_string_seed("audit-server");
+  auto client_rng = ChaChaRng::from_string_seed("audit-client");
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back(blocklist::random_address(blocklist::Chain::kBitcoin,
+                                               server_rng));
+  }
+  oprf::OprfServer server(oprf::Oracle::fast(), 3, server_rng);
+  server.setup(corpus);
+  oprf::OprfClient client(oprf::Oracle::fast(), 3, client_rng);
+
+  const auto report = audit_provider(server, client, corpus, 25, rng_);
+  EXPECT_EQ(report.samples, 25u);
+  EXPECT_TRUE(report.passed());
+}
+
+TEST_F(VotingTest, AuditCatchesMissingEntries) {
+  // The provider publishes 50 entries but only serves 25 of them.
+  auto server_rng = ChaChaRng::from_string_seed("audit2-server");
+  auto client_rng = ChaChaRng::from_string_seed("audit2-client");
+  std::vector<std::string> published;
+  for (int i = 0; i < 50; ++i) {
+    published.push_back(blocklist::random_address(blocklist::Chain::kEthereum,
+                                                  server_rng));
+  }
+  std::vector<std::string> served(published.begin(), published.begin() + 25);
+  oprf::OprfServer server(oprf::Oracle::fast(), 2, server_rng);
+  server.setup(served);
+  oprf::OprfClient client(oprf::Oracle::fast(), 2, client_rng);
+
+  const auto report = audit_provider(server, client, published, 40, rng_);
+  EXPECT_FALSE(report.passed());
+  EXPECT_GT(report.membership_failures, 5u);
+}
+
+}  // namespace
+}  // namespace cbl::voting

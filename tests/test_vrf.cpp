@@ -1,0 +1,104 @@
+// Tests for the Ristretto ECVRF: determinism of output, proof
+// verification, uniqueness, and the sortition-facing helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "vrf/vrf.h"
+
+namespace cbl::vrf {
+namespace {
+
+using cbl::ChaChaRng;
+
+class VrfTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("vrf-tests");
+};
+
+TEST_F(VrfTest, ProveVerifyRoundTrip) {
+  const auto keys = KeyPair::generate(rng_);
+  const Bytes input = to_bytes("challenge-nu-42");
+  const auto proof = prove(keys, input, rng_);
+  EXPECT_TRUE(verify(keys.pk, input, proof));
+}
+
+TEST_F(VrfTest, OutputIsDeterministicAcrossProofRandomness) {
+  // The DLEQ proof uses fresh randomness, but gamma — and therefore the
+  // VRF output — is a deterministic function of (sk, input).
+  const auto keys = KeyPair::generate(rng_);
+  const Bytes input = to_bytes("nu");
+  const auto p1 = prove(keys, input, rng_);
+  const auto p2 = prove(keys, input, rng_);
+  EXPECT_NE(p1.dleq.to_bytes(), p2.dleq.to_bytes());
+  EXPECT_EQ(output(p1), output(p2));
+}
+
+TEST_F(VrfTest, DifferentInputsDifferentOutputs) {
+  const auto keys = KeyPair::generate(rng_);
+  const auto o1 = output(prove(keys, to_bytes("nu-1"), rng_));
+  const auto o2 = output(prove(keys, to_bytes("nu-2"), rng_));
+  EXPECT_NE(o1, o2);
+}
+
+TEST_F(VrfTest, DifferentKeysDifferentOutputs) {
+  const auto k1 = KeyPair::generate(rng_);
+  const auto k2 = KeyPair::generate(rng_);
+  const Bytes input = to_bytes("nu");
+  EXPECT_NE(output(prove(k1, input, rng_)), output(prove(k2, input, rng_)));
+}
+
+TEST_F(VrfTest, VerifyRejectsWrongKey) {
+  const auto k1 = KeyPair::generate(rng_);
+  const auto k2 = KeyPair::generate(rng_);
+  const Bytes input = to_bytes("nu");
+  const auto proof = prove(k1, input, rng_);
+  EXPECT_FALSE(verify(k2.pk, input, proof));
+}
+
+TEST_F(VrfTest, VerifyRejectsWrongInput) {
+  const auto keys = KeyPair::generate(rng_);
+  const auto proof = prove(keys, to_bytes("nu"), rng_);
+  EXPECT_FALSE(verify(keys.pk, to_bytes("mu"), proof));
+}
+
+TEST_F(VrfTest, VerifyRejectsForgedGamma) {
+  // An adversary who wants a nicer output cannot swap gamma: the DLEQ
+  // proof binds gamma to sk.
+  const auto keys = KeyPair::generate(rng_);
+  const Bytes input = to_bytes("nu");
+  auto proof = prove(keys, input, rng_);
+  proof.gamma = proof.gamma + ec::RistrettoPoint::base();
+  EXPECT_FALSE(verify(keys.pk, input, proof));
+}
+
+TEST_F(VrfTest, UnitIntervalMapping) {
+  Output zero{};
+  EXPECT_DOUBLE_EQ(output_to_unit_interval(zero), 0.0);
+  Output ones;
+  ones.fill(0xff);
+  EXPECT_LT(output_to_unit_interval(ones), 1.0);
+  EXPECT_GT(output_to_unit_interval(ones), 0.999);
+}
+
+TEST_F(VrfTest, OutputsLookUniform) {
+  // Crude uniformity check over 200 keys: mean of unit-interval outputs
+  // should be near 0.5.
+  const Bytes input = to_bytes("shared-challenge");
+  double sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto keys = KeyPair::generate(rng_);
+    sum += output_to_unit_interval(output(prove(keys, input, rng_)));
+  }
+  EXPECT_NEAR(sum / 200.0, 0.5, 0.08);
+}
+
+TEST_F(VrfTest, WireSizeMatchesConstant) {
+  const auto keys = KeyPair::generate(rng_);
+  const auto proof = prove(keys, to_bytes("nu"), rng_);
+  EXPECT_EQ(proof.to_bytes().size(), Proof::kWireSize);
+}
+
+}  // namespace
+}  // namespace cbl::vrf

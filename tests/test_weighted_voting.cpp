@@ -1,0 +1,238 @@
+// Tests for the weighted-voting extension (the tau_i of Eq. 1, which the
+// paper defines but omits from its presented procedures): weighted
+// binary-vote proofs, weighted tallies/majorities, stake scaling,
+// weighted payoffs, and rejection of weight cheating.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "voting/ceremony.h"
+#include "voting/contract.h"
+#include "voting/wire.h"
+
+namespace cbl::voting {
+namespace {
+
+using cbl::ChaChaRng;
+using chain::Blockchain;
+using ec::RistrettoPoint;
+using ec::Scalar;
+
+class WeightedVotingTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("weighted-tests");
+  const commit::Crs& crs_ = commit::Crs::default_crs();
+
+  EvaluationConfig config(std::size_t thresh, std::size_t n) {
+    EvaluationConfig cfg;
+    cfg.thresh = thresh;
+    cfg.committee_size = n;
+    cfg.deposit = 10;
+    cfg.reward = 1;
+    cfg.penalty = 1;
+    cfg.max_weight = 16;
+    cfg.provider_deposit = 200;
+    return cfg;
+  }
+};
+
+// ------------------------------------------------- weighted vote OR proof
+
+TEST_F(WeightedVotingTest, WeightedProofCompleteness) {
+  for (const std::uint64_t tau : {1ull, 3ull, 7ull, 16ull}) {
+    for (unsigned v : {0u, 1u}) {
+      const Scalar x = Scalar::random(rng_);
+      const RistrettoPoint c =
+          crs_.g * Scalar::from_u64(tau * v) + crs_.h * x;
+      const auto proof = nizk::BinaryVoteProof::prove(crs_, c, v, x, rng_, tau);
+      EXPECT_TRUE(proof.verify(crs_, c, tau)) << "tau=" << tau << " v=" << v;
+    }
+  }
+}
+
+TEST_F(WeightedVotingTest, ProofDoesNotTransferAcrossWeights) {
+  // A proof for weight 3 must not verify as weight 5 (or the voter could
+  // claim a different tally contribution than it staked for).
+  const Scalar x = Scalar::random(rng_);
+  const RistrettoPoint c = crs_.g * Scalar::from_u64(3) + crs_.h * x;
+  const auto proof = nizk::BinaryVoteProof::prove(crs_, c, 1, x, rng_, 3);
+  EXPECT_TRUE(proof.verify(crs_, c, 3));
+  EXPECT_FALSE(proof.verify(crs_, c, 5));
+  EXPECT_FALSE(proof.verify(crs_, c, 1));
+}
+
+TEST_F(WeightedVotingTest, ProverRefusesMismatchedWeight) {
+  const Scalar x = Scalar::random(rng_);
+  const RistrettoPoint c = crs_.g * Scalar::from_u64(5) + crs_.h * x;
+  // Commitment encodes 5 = tau*v only for (tau=5, v=1); any other claim
+  // is a false statement.
+  EXPECT_NO_THROW(nizk::BinaryVoteProof::prove(crs_, c, 1, x, rng_, 5));
+  EXPECT_THROW(nizk::BinaryVoteProof::prove(crs_, c, 1, x, rng_, 3),
+               std::invalid_argument);
+  EXPECT_THROW(nizk::BinaryVoteProof::prove(crs_, c, 1, x, rng_, 0),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- weighted tally
+
+TEST_F(WeightedVotingTest, WeightedTallySumsWeights) {
+  // votes (1,1,0) with weights (5,2,4): tally = 7 of 11 -> approved.
+  Blockchain chain;
+  Ceremony ceremony(chain, config(3, 3), {1, 1, 0}, {5, 2, 4}, rng_);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, 7u);
+  EXPECT_EQ(result.outcome.total_weight, 11u);
+  EXPECT_TRUE(result.outcome.approved);
+}
+
+TEST_F(WeightedVotingTest, MinorityHeadcountMajorityStakeWins) {
+  // One whale (weight 10) votes yes against four headcount voters
+  // (weight 1 each) voting no: stake majority carries Eq. (1).
+  Blockchain chain;
+  Ceremony ceremony(chain, config(5, 5), {1, 0, 0, 0, 0}, {10, 1, 1, 1, 1},
+                    rng_);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, 10u);
+  EXPECT_EQ(result.outcome.total_weight, 14u);
+  EXPECT_TRUE(result.outcome.approved);
+}
+
+TEST_F(WeightedVotingTest, WeightedTieIsRejection) {
+  // 5 yes vs 5 no by stake: Eq. (1) requires a strict majority.
+  Blockchain chain;
+  Ceremony ceremony(chain, config(2, 2), {1, 0}, {5, 5}, rng_);
+  const auto result = ceremony.run();
+  EXPECT_EQ(result.outcome.tally, 5u);
+  EXPECT_FALSE(result.outcome.approved);
+}
+
+// Parameterized sweep over weighted patterns with exact expectations.
+struct WeightedCase {
+  std::vector<unsigned> votes;
+  std::vector<std::uint32_t> weights;
+};
+
+class WeightedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedSweep, TallyMatchesWeightedSum) {
+  static const WeightedCase cases[] = {
+      {{0, 0, 0}, {2, 3, 4}},
+      {{1, 1, 1}, {2, 3, 4}},
+      {{1, 0, 1}, {1, 16, 1}},
+      {{0, 1, 0}, {7, 7, 7}},
+      {{1, 1, 0, 0}, {4, 3, 2, 1}},
+  };
+  const auto& c = cases[GetParam()];
+  auto rng = ChaChaRng::from_string_seed("wsweep-" +
+                                         std::to_string(GetParam()));
+  Blockchain chain;
+  EvaluationConfig cfg;
+  cfg.thresh = cfg.committee_size = c.votes.size();
+  cfg.deposit = 10;
+  cfg.provider_deposit = 300;
+  Ceremony ceremony(chain, cfg, c.votes, c.weights, rng);
+  const auto result = ceremony.run();
+
+  std::uint64_t expected = 0, total = 0;
+  for (std::size_t i = 0; i < c.votes.size(); ++i) {
+    expected += c.votes[i] * c.weights[i];
+    total += c.weights[i];
+  }
+  EXPECT_EQ(result.outcome.tally, expected);
+  EXPECT_EQ(result.outcome.total_weight, total);
+  EXPECT_EQ(result.outcome.approved, expected * 2 > total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, WeightedSweep, ::testing::Range(0, 5));
+
+// --------------------------------------------------------- weighted payoff
+
+TEST_F(WeightedVotingTest, PayoutsScaleWithWeight) {
+  Blockchain chain;
+  const auto cfg = config(3, 3);
+  // weights (5,2,4), votes (1,1,0) -> approved; winners earn
+  // reward * weight on top of stake, loser pays penalty * weight.
+  Ceremony ceremony(chain, cfg, {1, 1, 0}, {5, 2, 4}, rng_);
+  const auto result = ceremony.run();
+  ASSERT_TRUE(result.outcome.approved);
+  ASSERT_EQ(result.payouts.size(), 3u);
+  EXPECT_EQ(result.payouts[0], 5 * cfg.deposit + 5 * cfg.reward);
+  EXPECT_EQ(result.payouts[1], 2 * cfg.deposit + 2 * cfg.reward);
+  EXPECT_EQ(result.payouts[2], 4 * cfg.deposit - 4 * cfg.penalty);
+}
+
+TEST_F(WeightedVotingTest, WeightedPayoffConservesSupply) {
+  Blockchain chain;
+  chain::Amount before = 0;
+  {
+    Ceremony ceremony(chain, config(4, 4), {1, 0, 1, 1}, {3, 8, 2, 2}, rng_);
+    before = chain.ledger().total_supply();
+    ceremony.run();
+  }
+  EXPECT_EQ(chain.ledger().total_supply(), before);
+}
+
+// -------------------------------------------------------- weight cheating
+
+struct Harness {
+  Blockchain chain;
+  EvaluationConfig cfg;
+  chain::AccountId provider;
+  std::unique_ptr<EvaluationContract> contract;
+
+  explicit Harness(EvaluationConfig config) : cfg(config) {
+    provider = chain.ledger().create_account("provider");
+    chain.ledger().mint(provider, cfg.provider_deposit + 100);
+    contract = std::make_unique<EvaluationContract>(chain, cfg, provider);
+  }
+
+  Shareholder funded(unsigned vote, std::uint32_t weight, Rng& rng) {
+    Shareholder sh(chain.crs(), rng, vote, cfg.deposit, weight);
+    const auto acct = chain.ledger().create_account("sh");
+    chain.ledger().mint(acct, sh.total_stake());
+    chain.shielded_pool().shield(acct, sh.total_stake(), sh.deposit_note(),
+                                 sh.make_shield_proof(rng));
+    return sh;
+  }
+};
+
+TEST_F(WeightedVotingTest, DeclaredWeightMustMatchStake) {
+  Harness h(config(3, 3));
+  // The shareholder staked for weight 2 but declares weight 5 in the
+  // submission: the deposit proof no longer matches g^(5*D).
+  auto sh = h.funded(1, 2, rng_);
+  auto sub = sh.build_round1(rng_);
+  sub.weight = 5;
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+}
+
+TEST_F(WeightedVotingTest, WeightAboveCapRejected) {
+  auto cfg = config(3, 3);
+  cfg.max_weight = 4;
+  Harness h(cfg);
+  auto sh = h.funded(1, 8, rng_);  // stake consistent, but above the cap
+  EXPECT_THROW(h.contract->register_shareholder(0, sh.build_round1(rng_)),
+               ChainError);
+}
+
+TEST_F(WeightedVotingTest, ZeroWeightRejectedEverywhere) {
+  EXPECT_THROW(Shareholder(crs_, rng_, 1, 10, 0), std::invalid_argument);
+  Harness h(config(3, 3));
+  auto sh = h.funded(1, 1, rng_);
+  auto sub = sh.build_round1(rng_);
+  sub.weight = 0;
+  EXPECT_THROW(h.contract->register_shareholder(0, sub), ChainError);
+}
+
+TEST_F(WeightedVotingTest, WeightedRound1WireRoundTrip) {
+  Shareholder sh(crs_, rng_, 1, 10, 7);
+  const auto sub = sh.build_round1(rng_);
+  const auto parsed = parse_round1(serialize(sub));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->weight, 7u);
+  EXPECT_TRUE(parsed->vote_proof.verify(crs_, parsed->comm_vote, 7));
+  EXPECT_FALSE(parsed->vote_proof.verify(crs_, parsed->comm_vote, 1));
+}
+
+}  // namespace
+}  // namespace cbl::voting

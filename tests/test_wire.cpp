@@ -1,0 +1,259 @@
+// Tests for the binary codec and every message wire format: canonical
+// round-trips, untrusted-input robustness (truncation at every prefix
+// length, trailing garbage, hostile length prefixes, invalid group
+// encodings), and end-to-end protocol runs through serialized bytes.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "chain/shielded.h"
+#include "common/rng.h"
+#include "ec/codec.h"
+#include "oprf/client.h"
+#include "oprf/server.h"
+#include "oprf/wire.h"
+#include "voting/shareholder.h"
+#include "voting/wire.h"
+
+namespace cbl {
+namespace {
+
+using cbl::ChaChaRng;
+
+class WireTest : public ::testing::Test {
+ protected:
+  ChaChaRng rng_ = ChaChaRng::from_string_seed("wire-tests");
+};
+
+// ------------------------------------------------------------------ codec
+
+TEST_F(WireTest, WriterReaderRoundTrip) {
+  const auto p = ec::RistrettoPoint::base() * ec::Scalar::random(rng_);
+  const auto s = ec::Scalar::random(rng_);
+
+  ec::ByteWriter w;
+  w.u8(7).u32(0xdeadbeef).u64(0x0102030405060708ULL);
+  w.var_bytes(to_bytes("payload"));
+  w.point(p).scalar(s);
+  const Bytes data = w.take();
+
+  ec::ByteReader r(data);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(to_string(r.var_bytes(100)), "payload");
+  EXPECT_TRUE(r.point() == p);
+  EXPECT_EQ(r.scalar(), s);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST_F(WireTest, ReaderRejectsTruncation) {
+  ec::ByteWriter w;
+  w.u32(1234);
+  const Bytes data = w.take();
+  ec::ByteReader r(ByteView(data.data(), 3));
+  EXPECT_THROW((void)r.u32(), ProtocolError);
+}
+
+TEST_F(WireTest, ReaderRejectsHostileLengthPrefix) {
+  ec::ByteWriter w;
+  w.u32(0xffffffffu);  // claims a 4 GiB payload
+  const Bytes data = w.take();
+  ec::ByteReader r(data);
+  EXPECT_THROW((void)r.var_bytes(1024), ProtocolError);
+}
+
+TEST_F(WireTest, ReaderRejectsTrailingBytes) {
+  ec::ByteWriter w;
+  w.u8(1).u8(2);
+  const Bytes data = w.take();
+  ec::ByteReader r(data);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), ProtocolError);
+}
+
+TEST_F(WireTest, ReaderRejectsInvalidPoint) {
+  Bytes data(32, 0xff);
+  ec::ByteReader r(data);
+  EXPECT_THROW((void)r.point(), ProtocolError);
+}
+
+TEST_F(WireTest, ReaderRejectsNonCanonicalScalar) {
+  Bytes data(32, 0xff);  // way above l
+  ec::ByteReader r(data);
+  EXPECT_THROW((void)r.scalar(), ProtocolError);
+}
+
+// ------------------------------------------------------------ OPRF wire
+
+TEST_F(WireTest, QueryRequestRoundTrip) {
+  oprf::QueryRequest req;
+  req.prefix = 0x2a;
+  req.masked_query =
+      (ec::RistrettoPoint::base() * ec::Scalar::random(rng_)).encode();
+  req.cached_epoch = 3;
+  req.api_key = "alice-key";
+
+  const auto parsed = oprf::parse_query_request(oprf::serialize(req));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->prefix, req.prefix);
+  EXPECT_EQ(parsed->masked_query, req.masked_query);
+  EXPECT_EQ(parsed->cached_epoch, req.cached_epoch);
+  EXPECT_EQ(parsed->api_key, req.api_key);
+}
+
+TEST_F(WireTest, QueryResponseRoundTrip) {
+  oprf::QueryResponse resp;
+  resp.evaluated =
+      (ec::RistrettoPoint::base() * ec::Scalar::random(rng_)).encode();
+  resp.epoch = 9;
+  resp.bucket_omitted = false;
+  for (int i = 0; i < 5; ++i) {
+    resp.bucket.push_back(
+        (ec::RistrettoPoint::base() * ec::Scalar::random(rng_)).encode());
+    resp.metadata.push_back(rng_.bytes(20));
+  }
+  const auto parsed = oprf::parse_query_response(oprf::serialize(resp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->evaluated, resp.evaluated);
+  EXPECT_EQ(parsed->epoch, resp.epoch);
+  EXPECT_EQ(parsed->bucket, resp.bucket);
+  EXPECT_EQ(parsed->metadata, resp.metadata);
+}
+
+TEST_F(WireTest, QueryMessagesRejectEveryTruncation) {
+  oprf::QueryRequest req;
+  req.masked_query =
+      (ec::RistrettoPoint::base() * ec::Scalar::random(rng_)).encode();
+  req.api_key = "k";
+  const Bytes data = oprf::serialize(req);
+  for (std::size_t len = 0; len < data.size(); ++len) {
+    EXPECT_FALSE(
+        oprf::parse_query_request(ByteView(data.data(), len)).has_value())
+        << "len=" << len;
+  }
+  // Trailing garbage also rejected.
+  Bytes extended = data;
+  extended.push_back(0);
+  EXPECT_FALSE(oprf::parse_query_request(extended).has_value());
+}
+
+TEST_F(WireTest, PrefixListRoundTripAndCanonicalOrder) {
+  const std::vector<std::uint32_t> prefixes = {1, 5, 9, 200};
+  const auto parsed =
+      oprf::parse_prefix_list(oprf::serialize_prefix_list(prefixes));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, prefixes);
+
+  // Unsorted lists are non-canonical.
+  const auto bad = oprf::serialize_prefix_list({5, 1});
+  EXPECT_FALSE(oprf::parse_prefix_list(bad).has_value());
+}
+
+TEST_F(WireTest, OprfProtocolOverSerializedBytes) {
+  // Full protocol run where every message crosses a byte boundary.
+  auto server_rng = ChaChaRng::from_string_seed("wire-server");
+  auto client_rng = ChaChaRng::from_string_seed("wire-client");
+  auto corpus_rng = ChaChaRng::from_string_seed("wire-corpus");
+  const auto corpus =
+      blocklist::generate_corpus(100, corpus_rng).addresses();
+
+  oprf::OprfServer server(oprf::Oracle::fast(), 3, server_rng);
+  server.setup(corpus);
+  oprf::OprfClient client(oprf::Oracle::fast(), 3, client_rng);
+
+  const auto prepared = client.prepare(corpus[11]);
+  const Bytes req_bytes = oprf::serialize(prepared.request);
+  const auto req = oprf::parse_query_request(req_bytes);
+  ASSERT_TRUE(req.has_value());
+
+  const Bytes resp_bytes = oprf::serialize(server.handle(*req));
+  const auto resp = oprf::parse_query_response(resp_bytes);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(client.finish(prepared.pending, *resp).listed);
+}
+
+// ----------------------------------------------------------- voting wire
+
+class VotingWireTest : public WireTest {
+ protected:
+  const commit::Crs& crs_ = commit::Crs::default_crs();
+  voting::Shareholder sh_{crs_, rng_, 1, 100};
+};
+
+TEST_F(VotingWireTest, Round1RoundTripPreservesVerifiability) {
+  const auto sub = sh_.build_round1(rng_);
+  const Bytes data = voting::serialize(sub);
+  EXPECT_EQ(data.size(), voting::Round1Submission::wire_size());
+
+  const auto parsed = voting::parse_round1(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->comm_secret == sub.comm_secret);
+  EXPECT_TRUE(parsed->comm_vote == sub.comm_vote);
+  // The parsed proofs still verify against the parsed statement.
+  EXPECT_TRUE(parsed->proof_a.verify(
+      crs_, {parsed->comm_secret, parsed->c1, parsed->c2}));
+  EXPECT_TRUE(parsed->vote_proof.verify(crs_, parsed->comm_vote));
+  EXPECT_EQ(voting::serialize(*parsed), data);  // canonical re-encode
+}
+
+TEST_F(VotingWireTest, Round1RejectsEveryTruncation) {
+  const Bytes data = voting::serialize(sh_.build_round1(rng_));
+  for (std::size_t len = 0; len < data.size(); len += 13) {
+    EXPECT_FALSE(voting::parse_round1(ByteView(data.data(), len)).has_value());
+  }
+  Bytes extended = data;
+  extended.push_back(0);
+  EXPECT_FALSE(voting::parse_round1(extended).has_value());
+}
+
+TEST_F(VotingWireTest, Round1RejectsCorruptedPoints) {
+  Bytes data = voting::serialize(sh_.build_round1(rng_));
+  // Corrupt the first point encoding to a guaranteed-invalid value.
+  std::fill(data.begin(), data.begin() + 32, 0xff);
+  EXPECT_FALSE(voting::parse_round1(data).has_value());
+}
+
+TEST_F(VotingWireTest, VrfRevealRoundTrip) {
+  const Bytes challenge = to_bytes("nu");
+  const auto reveal = sh_.build_vrf_reveal(challenge, rng_);
+  const auto parsed = voting::parse_vrf_reveal(voting::serialize(reveal));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(vrf::verify(sh_.vrf_pk(), challenge, parsed->proof));
+  EXPECT_EQ(vrf::output(parsed->proof), vrf::output(reveal.proof));
+}
+
+TEST_F(VotingWireTest, Round2RoundTripPreservesVerifiability) {
+  std::vector<ec::RistrettoPoint> committee = {
+      crs_.g * sh_.secret(), crs_.g * ec::Scalar::random(rng_),
+      crs_.g * ec::Scalar::random(rng_)};
+  const auto sub = sh_.build_round2(committee, 0, rng_);
+  const Bytes data = voting::serialize(sub);
+  EXPECT_EQ(data.size(), voting::Round2Submission::wire_size());
+
+  const auto parsed = voting::parse_round2(data);
+  ASSERT_TRUE(parsed.has_value());
+  const ec::RistrettoPoint y = voting::compute_y(committee, 0);
+  nizk::StatementB st;
+  st.c0 = committee[0];
+  st.big_c = crs_.g * ec::Scalar::from_u64(sh_.vote()) + crs_.h * sh_.secret();
+  st.psi = parsed->psi;
+  st.y = y;
+  EXPECT_TRUE(parsed->proof_b.verify(crs_, st));
+}
+
+TEST_F(VotingWireTest, RandomBytesNeverParse) {
+  // Fuzz-lite: random blobs of the right length must not parse into valid
+  // submissions (the first 32 bytes are a point encoding; a random string
+  // decodes with probability ~2^-5 per component and the full message has
+  // many, so valid parses are astronomically unlikely).
+  auto fuzz_rng = ChaChaRng::from_string_seed("fuzz");
+  int parsed_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Bytes blob = fuzz_rng.bytes(voting::Round1Submission::wire_size());
+    if (voting::parse_round1(blob).has_value()) ++parsed_count;
+  }
+  EXPECT_EQ(parsed_count, 0);
+}
+
+}  // namespace
+}  // namespace cbl
