@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coercion.dir/bench_ablation_coercion.cpp.o"
+  "CMakeFiles/bench_ablation_coercion.dir/bench_ablation_coercion.cpp.o.d"
+  "bench_ablation_coercion"
+  "bench_ablation_coercion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coercion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coercion_game.dir/coercion_game.cpp.o"
+  "CMakeFiles/coercion_game.dir/coercion_game.cpp.o.d"
+  "coercion_game"
+  "coercion_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coercion_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

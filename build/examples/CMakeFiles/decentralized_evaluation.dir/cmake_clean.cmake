@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_evaluation.dir/decentralized_evaluation.cpp.o"
+  "CMakeFiles/decentralized_evaluation.dir/decentralized_evaluation.cpp.o.d"
+  "decentralized_evaluation"
+  "decentralized_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

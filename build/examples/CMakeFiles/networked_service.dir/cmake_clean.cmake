@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networked_service.dir/networked_service.cpp.o"
+  "CMakeFiles/networked_service.dir/networked_service.cpp.o.d"
+  "networked_service"
+  "networked_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networked_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

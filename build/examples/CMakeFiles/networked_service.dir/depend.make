@@ -1,0 +1,2 @@
+# Empty dependencies file for networked_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_audit.dir/public_audit.cpp.o"
+  "CMakeFiles/public_audit.dir/public_audit.cpp.o.d"
+  "public_audit"
+  "public_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

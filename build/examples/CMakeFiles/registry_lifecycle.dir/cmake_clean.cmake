@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_lifecycle.dir/registry_lifecycle.cpp.o"
+  "CMakeFiles/registry_lifecycle.dir/registry_lifecycle.cpp.o.d"
+  "registry_lifecycle"
+  "registry_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scam_feed.dir/scam_feed.cpp.o"
+  "CMakeFiles/scam_feed.dir/scam_feed.cpp.o.d"
+  "scam_feed"
+  "scam_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scam_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

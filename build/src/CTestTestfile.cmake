@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("ec")
+subdirs("oprf")
+subdirs("blocklist")
+subdirs("commit")
+subdirs("nizk")
+subdirs("vrf")
+subdirs("chain")
+subdirs("voting")
+subdirs("net")
+subdirs("netsim")
+subdirs("game")
+subdirs("core")

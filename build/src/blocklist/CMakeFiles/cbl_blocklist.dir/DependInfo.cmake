@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocklist/address.cpp" "src/blocklist/CMakeFiles/cbl_blocklist.dir/address.cpp.o" "gcc" "src/blocklist/CMakeFiles/cbl_blocklist.dir/address.cpp.o.d"
+  "/root/repo/src/blocklist/generator.cpp" "src/blocklist/CMakeFiles/cbl_blocklist.dir/generator.cpp.o" "gcc" "src/blocklist/CMakeFiles/cbl_blocklist.dir/generator.cpp.o.d"
+  "/root/repo/src/blocklist/io.cpp" "src/blocklist/CMakeFiles/cbl_blocklist.dir/io.cpp.o" "gcc" "src/blocklist/CMakeFiles/cbl_blocklist.dir/io.cpp.o.d"
+  "/root/repo/src/blocklist/store.cpp" "src/blocklist/CMakeFiles/cbl_blocklist.dir/store.cpp.o" "gcc" "src/blocklist/CMakeFiles/cbl_blocklist.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

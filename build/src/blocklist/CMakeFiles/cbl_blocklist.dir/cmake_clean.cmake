@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_blocklist.dir/address.cpp.o"
+  "CMakeFiles/cbl_blocklist.dir/address.cpp.o.d"
+  "CMakeFiles/cbl_blocklist.dir/generator.cpp.o"
+  "CMakeFiles/cbl_blocklist.dir/generator.cpp.o.d"
+  "CMakeFiles/cbl_blocklist.dir/io.cpp.o"
+  "CMakeFiles/cbl_blocklist.dir/io.cpp.o.d"
+  "CMakeFiles/cbl_blocklist.dir/store.cpp.o"
+  "CMakeFiles/cbl_blocklist.dir/store.cpp.o.d"
+  "libcbl_blocklist.a"
+  "libcbl_blocklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_blocklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/cbl_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/cbl_chain.dir/ledger.cpp.o"
+  "CMakeFiles/cbl_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/cbl_chain.dir/merkle.cpp.o"
+  "CMakeFiles/cbl_chain.dir/merkle.cpp.o.d"
+  "CMakeFiles/cbl_chain.dir/shielded.cpp.o"
+  "CMakeFiles/cbl_chain.dir/shielded.cpp.o.d"
+  "CMakeFiles/cbl_chain.dir/tx_auth.cpp.o"
+  "CMakeFiles/cbl_chain.dir/tx_auth.cpp.o.d"
+  "libcbl_chain.a"
+  "libcbl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

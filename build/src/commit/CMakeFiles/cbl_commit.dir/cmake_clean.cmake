@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_commit.dir/crs.cpp.o"
+  "CMakeFiles/cbl_commit.dir/crs.cpp.o.d"
+  "CMakeFiles/cbl_commit.dir/pedersen.cpp.o"
+  "CMakeFiles/cbl_commit.dir/pedersen.cpp.o.d"
+  "libcbl_commit.a"
+  "libcbl_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

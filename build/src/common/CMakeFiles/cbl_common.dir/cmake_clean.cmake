@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_common.dir/bytes.cpp.o"
+  "CMakeFiles/cbl_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/cbl_common.dir/rng.cpp.o"
+  "CMakeFiles/cbl_common.dir/rng.cpp.o.d"
+  "libcbl_common.a"
+  "libcbl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

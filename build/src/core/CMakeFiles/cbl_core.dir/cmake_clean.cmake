@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_core.dir/multi_provider.cpp.o"
+  "CMakeFiles/cbl_core.dir/multi_provider.cpp.o.d"
+  "CMakeFiles/cbl_core.dir/service.cpp.o"
+  "CMakeFiles/cbl_core.dir/service.cpp.o.d"
+  "libcbl_core.a"
+  "libcbl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

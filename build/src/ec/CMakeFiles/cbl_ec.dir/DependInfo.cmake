@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/codec.cpp" "src/ec/CMakeFiles/cbl_ec.dir/codec.cpp.o" "gcc" "src/ec/CMakeFiles/cbl_ec.dir/codec.cpp.o.d"
+  "/root/repo/src/ec/fe25519.cpp" "src/ec/CMakeFiles/cbl_ec.dir/fe25519.cpp.o" "gcc" "src/ec/CMakeFiles/cbl_ec.dir/fe25519.cpp.o.d"
+  "/root/repo/src/ec/ristretto.cpp" "src/ec/CMakeFiles/cbl_ec.dir/ristretto.cpp.o" "gcc" "src/ec/CMakeFiles/cbl_ec.dir/ristretto.cpp.o.d"
+  "/root/repo/src/ec/scalar.cpp" "src/ec/CMakeFiles/cbl_ec.dir/scalar.cpp.o" "gcc" "src/ec/CMakeFiles/cbl_ec.dir/scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_ec.dir/codec.cpp.o"
+  "CMakeFiles/cbl_ec.dir/codec.cpp.o.d"
+  "CMakeFiles/cbl_ec.dir/fe25519.cpp.o"
+  "CMakeFiles/cbl_ec.dir/fe25519.cpp.o.d"
+  "CMakeFiles/cbl_ec.dir/ristretto.cpp.o"
+  "CMakeFiles/cbl_ec.dir/ristretto.cpp.o.d"
+  "CMakeFiles/cbl_ec.dir/scalar.cpp.o"
+  "CMakeFiles/cbl_ec.dir/scalar.cpp.o.d"
+  "libcbl_ec.a"
+  "libcbl_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/dos_economics.cpp" "src/game/CMakeFiles/cbl_game.dir/dos_economics.cpp.o" "gcc" "src/game/CMakeFiles/cbl_game.dir/dos_economics.cpp.o.d"
+  "/root/repo/src/game/game.cpp" "src/game/CMakeFiles/cbl_game.dir/game.cpp.o" "gcc" "src/game/CMakeFiles/cbl_game.dir/game.cpp.o.d"
+  "/root/repo/src/game/sortition_math.cpp" "src/game/CMakeFiles/cbl_game.dir/sortition_math.cpp.o" "gcc" "src/game/CMakeFiles/cbl_game.dir/sortition_math.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

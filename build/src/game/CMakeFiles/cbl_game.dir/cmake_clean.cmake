@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_game.dir/dos_economics.cpp.o"
+  "CMakeFiles/cbl_game.dir/dos_economics.cpp.o.d"
+  "CMakeFiles/cbl_game.dir/game.cpp.o"
+  "CMakeFiles/cbl_game.dir/game.cpp.o.d"
+  "CMakeFiles/cbl_game.dir/sortition_math.cpp.o"
+  "CMakeFiles/cbl_game.dir/sortition_math.cpp.o.d"
+  "libcbl_game.a"
+  "libcbl_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbl_game.a"
+)

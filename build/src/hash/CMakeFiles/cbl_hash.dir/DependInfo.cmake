@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/argon2.cpp" "src/hash/CMakeFiles/cbl_hash.dir/argon2.cpp.o" "gcc" "src/hash/CMakeFiles/cbl_hash.dir/argon2.cpp.o.d"
+  "/root/repo/src/hash/blake2b.cpp" "src/hash/CMakeFiles/cbl_hash.dir/blake2b.cpp.o" "gcc" "src/hash/CMakeFiles/cbl_hash.dir/blake2b.cpp.o.d"
+  "/root/repo/src/hash/keccak.cpp" "src/hash/CMakeFiles/cbl_hash.dir/keccak.cpp.o" "gcc" "src/hash/CMakeFiles/cbl_hash.dir/keccak.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/hash/CMakeFiles/cbl_hash.dir/sha256.cpp.o" "gcc" "src/hash/CMakeFiles/cbl_hash.dir/sha256.cpp.o.d"
+  "/root/repo/src/hash/sha512.cpp" "src/hash/CMakeFiles/cbl_hash.dir/sha512.cpp.o" "gcc" "src/hash/CMakeFiles/cbl_hash.dir/sha512.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_hash.dir/argon2.cpp.o"
+  "CMakeFiles/cbl_hash.dir/argon2.cpp.o.d"
+  "CMakeFiles/cbl_hash.dir/blake2b.cpp.o"
+  "CMakeFiles/cbl_hash.dir/blake2b.cpp.o.d"
+  "CMakeFiles/cbl_hash.dir/keccak.cpp.o"
+  "CMakeFiles/cbl_hash.dir/keccak.cpp.o.d"
+  "CMakeFiles/cbl_hash.dir/sha256.cpp.o"
+  "CMakeFiles/cbl_hash.dir/sha256.cpp.o.d"
+  "CMakeFiles/cbl_hash.dir/sha512.cpp.o"
+  "CMakeFiles/cbl_hash.dir/sha512.cpp.o.d"
+  "libcbl_hash.a"
+  "libcbl_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

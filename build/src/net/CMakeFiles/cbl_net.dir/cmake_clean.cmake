@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_net.dir/service_node.cpp.o"
+  "CMakeFiles/cbl_net.dir/service_node.cpp.o.d"
+  "CMakeFiles/cbl_net.dir/transport.cpp.o"
+  "CMakeFiles/cbl_net.dir/transport.cpp.o.d"
+  "libcbl_net.a"
+  "libcbl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_netsim.dir/capacity.cpp.o"
+  "CMakeFiles/cbl_netsim.dir/capacity.cpp.o.d"
+  "CMakeFiles/cbl_netsim.dir/desim.cpp.o"
+  "CMakeFiles/cbl_netsim.dir/desim.cpp.o.d"
+  "libcbl_netsim.a"
+  "libcbl_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nizk/batch.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/batch.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/batch.cpp.o.d"
+  "/root/repo/src/nizk/proof_a.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/proof_a.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/proof_a.cpp.o.d"
+  "/root/repo/src/nizk/proof_b.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/proof_b.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/proof_b.cpp.o.d"
+  "/root/repo/src/nizk/sigma.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/sigma.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/sigma.cpp.o.d"
+  "/root/repo/src/nizk/signature.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/signature.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/signature.cpp.o.d"
+  "/root/repo/src/nizk/transcript.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/transcript.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/transcript.cpp.o.d"
+  "/root/repo/src/nizk/vote_or.cpp" "src/nizk/CMakeFiles/cbl_nizk.dir/vote_or.cpp.o" "gcc" "src/nizk/CMakeFiles/cbl_nizk.dir/vote_or.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/cbl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/cbl_commit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_nizk.dir/batch.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/batch.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/proof_a.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/proof_a.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/proof_b.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/proof_b.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/sigma.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/sigma.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/signature.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/signature.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/transcript.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/transcript.cpp.o.d"
+  "CMakeFiles/cbl_nizk.dir/vote_or.cpp.o"
+  "CMakeFiles/cbl_nizk.dir/vote_or.cpp.o.d"
+  "libcbl_nizk.a"
+  "libcbl_nizk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_nizk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

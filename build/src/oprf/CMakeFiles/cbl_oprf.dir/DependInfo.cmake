@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oprf/anonymity.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/anonymity.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/anonymity.cpp.o.d"
+  "/root/repo/src/oprf/client.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/client.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/client.cpp.o.d"
+  "/root/repo/src/oprf/keyword_store.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/keyword_store.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/keyword_store.cpp.o.d"
+  "/root/repo/src/oprf/oracle.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/oracle.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/oracle.cpp.o.d"
+  "/root/repo/src/oprf/server.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/server.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/server.cpp.o.d"
+  "/root/repo/src/oprf/wire.cpp" "src/oprf/CMakeFiles/cbl_oprf.dir/wire.cpp.o" "gcc" "src/oprf/CMakeFiles/cbl_oprf.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/cbl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nizk/CMakeFiles/cbl_nizk.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/cbl_commit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

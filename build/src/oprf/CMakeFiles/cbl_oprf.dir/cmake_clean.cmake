@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_oprf.dir/anonymity.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/anonymity.cpp.o.d"
+  "CMakeFiles/cbl_oprf.dir/client.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/client.cpp.o.d"
+  "CMakeFiles/cbl_oprf.dir/keyword_store.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/keyword_store.cpp.o.d"
+  "CMakeFiles/cbl_oprf.dir/oracle.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/oracle.cpp.o.d"
+  "CMakeFiles/cbl_oprf.dir/server.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/server.cpp.o.d"
+  "CMakeFiles/cbl_oprf.dir/wire.cpp.o"
+  "CMakeFiles/cbl_oprf.dir/wire.cpp.o.d"
+  "libcbl_oprf.a"
+  "libcbl_oprf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_oprf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

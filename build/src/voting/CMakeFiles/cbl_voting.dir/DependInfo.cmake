@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/voting/audit.cpp" "src/voting/CMakeFiles/cbl_voting.dir/audit.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/audit.cpp.o.d"
+  "/root/repo/src/voting/ceremony.cpp" "src/voting/CMakeFiles/cbl_voting.dir/ceremony.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/ceremony.cpp.o.d"
+  "/root/repo/src/voting/coercion_sim.cpp" "src/voting/CMakeFiles/cbl_voting.dir/coercion_sim.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/coercion_sim.cpp.o.d"
+  "/root/repo/src/voting/contract.cpp" "src/voting/CMakeFiles/cbl_voting.dir/contract.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/contract.cpp.o.d"
+  "/root/repo/src/voting/dlp.cpp" "src/voting/CMakeFiles/cbl_voting.dir/dlp.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/dlp.cpp.o.d"
+  "/root/repo/src/voting/registry.cpp" "src/voting/CMakeFiles/cbl_voting.dir/registry.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/registry.cpp.o.d"
+  "/root/repo/src/voting/replay.cpp" "src/voting/CMakeFiles/cbl_voting.dir/replay.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/replay.cpp.o.d"
+  "/root/repo/src/voting/shareholder.cpp" "src/voting/CMakeFiles/cbl_voting.dir/shareholder.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/shareholder.cpp.o.d"
+  "/root/repo/src/voting/state_channel.cpp" "src/voting/CMakeFiles/cbl_voting.dir/state_channel.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/state_channel.cpp.o.d"
+  "/root/repo/src/voting/wire.cpp" "src/voting/CMakeFiles/cbl_voting.dir/wire.cpp.o" "gcc" "src/voting/CMakeFiles/cbl_voting.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/cbl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/cbl_commit.dir/DependInfo.cmake"
+  "/root/repo/build/src/nizk/CMakeFiles/cbl_nizk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrf/CMakeFiles/cbl_vrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/cbl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/oprf/CMakeFiles/cbl_oprf.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cbl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

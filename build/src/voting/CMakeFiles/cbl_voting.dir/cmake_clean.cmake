@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_voting.dir/audit.cpp.o"
+  "CMakeFiles/cbl_voting.dir/audit.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/ceremony.cpp.o"
+  "CMakeFiles/cbl_voting.dir/ceremony.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/coercion_sim.cpp.o"
+  "CMakeFiles/cbl_voting.dir/coercion_sim.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/contract.cpp.o"
+  "CMakeFiles/cbl_voting.dir/contract.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/dlp.cpp.o"
+  "CMakeFiles/cbl_voting.dir/dlp.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/registry.cpp.o"
+  "CMakeFiles/cbl_voting.dir/registry.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/replay.cpp.o"
+  "CMakeFiles/cbl_voting.dir/replay.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/shareholder.cpp.o"
+  "CMakeFiles/cbl_voting.dir/shareholder.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/state_channel.cpp.o"
+  "CMakeFiles/cbl_voting.dir/state_channel.cpp.o.d"
+  "CMakeFiles/cbl_voting.dir/wire.cpp.o"
+  "CMakeFiles/cbl_voting.dir/wire.cpp.o.d"
+  "libcbl_voting.a"
+  "libcbl_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbl_vrf.dir/vrf.cpp.o"
+  "CMakeFiles/cbl_vrf.dir/vrf.cpp.o.d"
+  "libcbl_vrf.a"
+  "libcbl_vrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbl_vrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

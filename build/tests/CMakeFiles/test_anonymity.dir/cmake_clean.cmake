@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anonymity.dir/test_anonymity.cpp.o"
+  "CMakeFiles/test_anonymity.dir/test_anonymity.cpp.o.d"
+  "test_anonymity"
+  "test_anonymity.pdb"
+  "test_anonymity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arith_reference.dir/test_arith_reference.cpp.o"
+  "CMakeFiles/test_arith_reference.dir/test_arith_reference.cpp.o.d"
+  "test_arith_reference"
+  "test_arith_reference.pdb"
+  "test_arith_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arith_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

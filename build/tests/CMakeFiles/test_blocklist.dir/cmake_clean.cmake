@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocklist.dir/test_blocklist.cpp.o"
+  "CMakeFiles/test_blocklist.dir/test_blocklist.cpp.o.d"
+  "test_blocklist"
+  "test_blocklist.pdb"
+  "test_blocklist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

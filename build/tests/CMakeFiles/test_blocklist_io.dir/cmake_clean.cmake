@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocklist_io.dir/test_blocklist_io.cpp.o"
+  "CMakeFiles/test_blocklist_io.dir/test_blocklist_io.cpp.o.d"
+  "test_blocklist_io"
+  "test_blocklist_io.pdb"
+  "test_blocklist_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocklist_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency_and_auth.dir/test_concurrency_and_auth.cpp.o"
+  "CMakeFiles/test_concurrency_and_auth.dir/test_concurrency_and_auth.cpp.o.d"
+  "test_concurrency_and_auth"
+  "test_concurrency_and_auth.pdb"
+  "test_concurrency_and_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency_and_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

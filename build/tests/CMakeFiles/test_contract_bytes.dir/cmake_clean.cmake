@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contract_bytes.dir/test_contract_bytes.cpp.o"
+  "CMakeFiles/test_contract_bytes.dir/test_contract_bytes.cpp.o.d"
+  "test_contract_bytes"
+  "test_contract_bytes.pdb"
+  "test_contract_bytes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contract_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

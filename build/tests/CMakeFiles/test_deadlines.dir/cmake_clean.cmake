@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlines.dir/test_deadlines.cpp.o"
+  "CMakeFiles/test_deadlines.dir/test_deadlines.cpp.o.d"
+  "test_deadlines"
+  "test_deadlines.pdb"
+  "test_deadlines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

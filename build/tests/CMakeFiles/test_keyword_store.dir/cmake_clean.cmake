@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyword_store.dir/test_keyword_store.cpp.o"
+  "CMakeFiles/test_keyword_store.dir/test_keyword_store.cpp.o.d"
+  "test_keyword_store"
+  "test_keyword_store.pdb"
+  "test_keyword_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyword_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

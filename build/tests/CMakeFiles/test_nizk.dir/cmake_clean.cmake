@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nizk.dir/test_nizk.cpp.o"
+  "CMakeFiles/test_nizk.dir/test_nizk.cpp.o.d"
+  "test_nizk"
+  "test_nizk.pdb"
+  "test_nizk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nizk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oprf.dir/test_oprf.cpp.o"
+  "CMakeFiles/test_oprf.dir/test_oprf.cpp.o.d"
+  "test_oprf"
+  "test_oprf.pdb"
+  "test_oprf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oprf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

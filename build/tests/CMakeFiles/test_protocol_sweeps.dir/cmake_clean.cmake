@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_sweeps.dir/test_protocol_sweeps.cpp.o"
+  "CMakeFiles/test_protocol_sweeps.dir/test_protocol_sweeps.cpp.o.d"
+  "test_protocol_sweeps"
+  "test_protocol_sweeps.pdb"
+  "test_protocol_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

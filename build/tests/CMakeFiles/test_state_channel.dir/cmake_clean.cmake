@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_channel.dir/test_state_channel.cpp.o"
+  "CMakeFiles/test_state_channel.dir/test_state_channel.cpp.o.d"
+  "test_state_channel"
+  "test_state_channel.pdb"
+  "test_state_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

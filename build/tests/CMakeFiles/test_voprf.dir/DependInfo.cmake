@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_voprf.cpp" "tests/CMakeFiles/test_voprf.dir/test_voprf.cpp.o" "gcc" "tests/CMakeFiles/test_voprf.dir/test_voprf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oprf/CMakeFiles/cbl_oprf.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocklist/CMakeFiles/cbl_blocklist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nizk/CMakeFiles/cbl_nizk.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/cbl_commit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/cbl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cbl_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voprf.dir/test_voprf.cpp.o"
+  "CMakeFiles/test_voprf.dir/test_voprf.cpp.o.d"
+  "test_voprf"
+  "test_voprf.pdb"
+  "test_voprf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voprf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[GrandScenario.EndToEnd]=]  /root/repo/build/tests/test_grand_scenario [==[--gtest_filter=GrandScenario.EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GrandScenario.EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_grand_scenario_TESTS GrandScenario.EndToEnd)
