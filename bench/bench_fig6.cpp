@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "blocklist/generator.h"
 #include "common/rng.h"
 #include "netsim/capacity.h"
@@ -55,7 +56,9 @@ double measure_online_cpu_us(unsigned lambda) {
          reps;
 }
 
-void run_panel(const char* title, double response_bytes, double cpu_us) {
+void run_panel(const char* title, const char* panel_tag,
+               double response_bytes, double cpu_us,
+               cbl::benchjson::Summary& summary) {
   netsim::ServerProfile server;       // the paper's 8-core server
   server.cpu_cores = 8;
   server.bandwidth_bits_per_sec = 1e9;
@@ -65,6 +68,9 @@ void run_panel(const char* title, double response_bytes, double cpu_us) {
   std::printf("%-14s %-22s %-22s %-22s %-10s\n", "online frac",
               "CPU-bound clients", "BW-bound clients", "max concurrent",
               "binding");
+
+  summary.add({"fig6/online_query_cpu", std::string("panel=") + panel_tag,
+               cpu_us * 1e3, response_bytes});
 
   for (const double f : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     netsim::WorkloadProfile w;
@@ -78,6 +84,11 @@ void run_panel(const char* title, double response_bytes, double cpu_us) {
                 est.cpu_bound_clients, est.bandwidth_bound_clients,
                 est.max_concurrent_clients,
                 est.cpu_limited ? "CPU" : "bandwidth");
+    char params[96];
+    std::snprintf(params, sizeof params, "panel=%s,online_frac=%.2f%%",
+                  panel_tag, f * 100);
+    summary.add({"fig6/max_concurrent", params, cpu_us * 1e3, response_bytes,
+                 est.max_concurrent_clients, "clients"});
   }
 
   // Discrete-event validation at a 1-core / 10 Mbps downscaled server:
@@ -103,7 +114,11 @@ void run_panel(const char* title, double response_bytes, double cpu_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("fig6");
+
   std::printf("=== Fig. 6: max concurrent requests vs online-query "
               "fraction ===\n");
 
@@ -111,14 +126,18 @@ int main() {
   const double cpu_large = measure_online_cpu_us(8);
 
   // Response payloads at the paper's 243k-entry scale.
-  run_panel("left panel: k~4 setting (CPU-constrained)", 4 * 32.0,
-            cpu_small);
-  run_panel("right panel: k~977 setting (bandwidth-constrained)", 977 * 32.0,
-            cpu_large);
+  run_panel("left panel: k~4 setting (CPU-constrained)", "k4", 4 * 32.0,
+            cpu_small, summary);
+  run_panel("right panel: k~977 setting (bandwidth-constrained)", "k977",
+            977 * 32.0, cpu_large, summary);
 
   std::printf(
       "\nPaper shape to check: capacity falls ~1/f in both panels; the "
       "small-response setting saturates CPU first, while the stronger "
       "k~977 setting saturates bandwidth first.\n");
+
+  if (!json_path.empty() && summary.write(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

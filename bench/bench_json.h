@@ -1,0 +1,91 @@
+// Minimal machine-readable bench summaries: each bench can append
+// name/params/ns-per-op records and write one BENCH_*.json file via
+// --json <path>, so the perf trajectory is trackable across PRs without
+// scraping stdout tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cbl::benchjson {
+
+struct Record {
+  Record(std::string name, std::string params, double ns_per_op,
+         double bytes_per_query, double value = 0.0, std::string unit = {})
+      : name(std::move(name)),
+        params(std::move(params)),
+        ns_per_op(ns_per_op),
+        bytes_per_query(bytes_per_query),
+        value(value),
+        unit(std::move(unit)) {}
+
+  std::string name;            // e.g. "table1/query_gen"
+  std::string params;          // e.g. "lambda=16,oracle=sha512"
+  double ns_per_op;
+  double bytes_per_query;
+  // Optional extra scalar for results that are not a latency (e.g. a
+  // capacity in clients); emitted only when `unit` is non-empty.
+  double value;
+  std::string unit;
+};
+
+class Summary {
+ public:
+  explicit Summary(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(Record record) { records_.push_back(std::move(record)); }
+
+  /// Renders {"bench": ..., "results": [...]}.
+  std::string to_json() const {
+    std::string out = "{\"bench\":\"" + bench_ + "\",\"results\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      if (i) out += ",";
+      char buf[64];
+      out += "{\"name\":\"" + r.name + "\",\"params\":\"" + r.params + "\"";
+      std::snprintf(buf, sizeof buf, ",\"ns_per_op\":%.3f", r.ns_per_op);
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"bytes_per_query\":%.1f",
+                    r.bytes_per_query);
+      out += buf;
+      if (!r.unit.empty()) {
+        std::snprintf(buf, sizeof buf, ",\"value\":%.3f", r.value);
+        out += buf;
+        out += ",\"unit\":\"" + r.unit + "\"";
+      }
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes the summary; returns false (with a diagnostic) on I/O error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string body = to_json();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                    body.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+/// Pulls the value of `--json <path>` out of argv; empty if absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace cbl::benchjson

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "blocklist/generator.h"
 #include "common/rng.h"
 #include "oprf/client.h"
@@ -101,7 +102,11 @@ Row run_setting(unsigned lambda, bool slow, std::size_t bench_entries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("table1");
+
   std::printf(
       "=== Table I: overhead of the private blocklist query "
       "(paper-scale corpus %zu entries) ===\n\n",
@@ -128,6 +133,17 @@ int main() {
                 row.setting.c_str(), row.oracle.c_str(), row.k, row.resp_kb,
                 row.preprocess_s_extrapolated, row.query_gen_ms,
                 row.oblivious_eval_ms, row.recover_ms);
+
+    const std::string params = row.setting + ",oracle=" + row.oracle;
+    const double bytes_per_query = row.resp_kb * 1024.0;
+    summary.add({"table1/query_gen", params, row.query_gen_ms * 1e6,
+                 bytes_per_query});
+    summary.add({"table1/oblivious_eval", params,
+                 row.oblivious_eval_ms * 1e6, bytes_per_query});
+    summary.add({"table1/recover", params, row.recover_ms * 1e6,
+                 bytes_per_query});
+    summary.add({"table1/preprocess_extrapolated", params,
+                 row.preprocess_s_extrapolated * 1e9, bytes_per_query});
   }
 
   std::printf(
@@ -160,6 +176,10 @@ int main() {
         report.cost_asymmetry, dos.attacker_cores, report.attacker_flood_rate,
         report.server_capacity, report.defence_holds ? "HOLDS" : "fails",
         report.cores_to_saturate, fast.query_gen_ms);
+  }
+
+  if (!json_path.empty() && summary.write(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

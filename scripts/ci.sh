@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI entry point: builds the tree twice — an optimized Release build and a
+# Debug build instrumented with AddressSanitizer + UBSan — and runs the
+# full test suite on both. Usage:
+#
+#   scripts/ci.sh [build-root]        # default build root: build-ci/
+#
+# Any failure (configure, compile, or test) aborts the script.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_root="${1:-${repo_root}/build-ci}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+generator_args=()
+if command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="${build_root}/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -S "${repo_root}" -B "${dir}" "${generator_args[@]}" "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config asan-ubsan \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCBL_SANITIZE="address;undefined"
+
+echo "=== CI OK: Release and ASan/UBSan suites both green ==="

@@ -1,6 +1,7 @@
 #include "chain/blockchain.h"
 
 #include "ec/codec.h"
+#include "obs/metrics.h"
 
 namespace cbl::chain {
 
@@ -27,6 +28,20 @@ TxReceipt Blockchain::execute(AccountId payer, std::string method,
       schedule_.base_tx_gas + receipt.storage_gas + receipt.compute_gas;
   receipt.usd_cost = schedule_.gas_to_usd(receipt.gas_used);
   receipts_.push_back(receipt);
+
+  auto& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    const obs::Labels labels = {{"method", receipt.method}};
+    registry
+        .counter("cbl_chain_tx_total", labels,
+                 "Executed contract transactions by method")
+        .inc();
+    registry
+        .histogram("cbl_chain_gas_per_tx",
+                   obs::Histogram::log_buckets(1e3, 1e9, 3), labels,
+                   "Gas consumed per contract call")
+        .observe(static_cast<double>(receipt.gas_used));
+  }
   return receipt;
 }
 

@@ -1,6 +1,24 @@
 #include "core/service.h"
 
+#include "obs/trace.h"
+
 namespace cbl::core {
+
+namespace {
+
+obs::Counter& provider_counter(const char* op) {
+  return obs::MetricsRegistry::global().counter(
+      "cbl_core_provider_ops_total", {{"op", op}},
+      "Provider lifecycle operations (ingest / expire / rotate)");
+}
+
+obs::Counter& user_query_counter(const char* path) {
+  return obs::MetricsRegistry::global().counter(
+      "cbl_core_user_queries_total", {{"path", path}},
+      "BlocklistUser queries by resolution path");
+}
+
+}  // namespace
 
 BlocklistProvider::BlocklistProvider(std::string name, ProviderConfig config,
                                      Rng& rng)
@@ -15,22 +33,27 @@ BlocklistProvider::BlocklistProvider(std::string name, ProviderConfig config,
 
 std::size_t BlocklistProvider::ingest(
     const std::vector<blocklist::Entry>& feed) {
+  provider_counter("ingest").inc();
   const std::size_t added = store_.merge(feed);
   if (added > 0) republish();
   return added;
 }
 
 std::size_t BlocklistProvider::expire_entries(std::uint64_t cutoff) {
+  provider_counter("expire").inc();
   const std::size_t removed = store_.expire_older_than(cutoff);
   if (removed > 0) republish();
   return removed;
 }
 
 void BlocklistProvider::rotate_key() {
+  provider_counter("rotate_key").inc();
+  CBL_SPAN("core.rotate_key");
   server_->rotate_key(config_.setup_threads);
 }
 
 void BlocklistProvider::republish() {
+  CBL_SPAN("core.republish");
   server_->set_metadata_provider([this](const std::string& entry) {
     const auto meta = store_.lookup(entry);
     if (!meta) return Bytes{};
@@ -54,8 +77,10 @@ void BlocklistUser::sync_prefix_list() {
 BlocklistUser::QueryResult BlocklistUser::query(std::string_view address) {
   QueryResult result;
   if (!client_.may_be_listed(address)) {
+    user_query_counter("local").inc();
     return result;  // resolved locally: definitely not listed
   }
+  user_query_counter("online").inc();
   result.required_interaction = true;
   const auto prepared = client_.prepare(address);
   const auto response = provider_.server().handle(prepared.request);
@@ -72,10 +97,12 @@ BlocklistUser::BatchResult BlocklistUser::query_many(
   for (const auto& address : addresses) {
     QueryResult result;
     if (!client_.may_be_listed(address)) {
+      user_query_counter("local").inc();
       ++batch.resolved_locally;
       batch.results.push_back(result);
       continue;
     }
+    user_query_counter("online").inc();
     result.required_interaction = true;
     ++batch.online_round_trips;
     const auto prepared = client_.prepare(address);

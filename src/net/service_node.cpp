@@ -45,31 +45,82 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
                                            oprf::OprfServer& server,
                                            oprf::Oracle oracle)
     : endpoint_(std::move(endpoint)), server_(server), oracle_(oracle) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto request_counter = [&](const char* method) {
+    return &registry.counter("cbl_net_requests_total", {{"method", method}},
+                             "Service requests by wire method");
+  };
+  const auto response_counter = [&](const char* status) {
+    return &registry.counter("cbl_net_responses_total", {{"status", status}},
+                             "Service responses by status");
+  };
+  requests_query_ = request_counter("query");
+  requests_prefix_list_ = request_counter("prefix_list");
+  requests_info_ = request_counter("info");
+  requests_unknown_ = request_counter("unknown");
+  responses_ok_ = response_counter("ok");
+  responses_bad_request_ = response_counter("bad_request");
+  responses_rate_limited_ = response_counter("rate_limited");
   transport.register_endpoint(
       endpoint_, [this](ByteView frame) { return handle_frame(frame); });
 }
 
+obs::Counter& BlocklistServiceNode::method_counter(Method method) {
+  switch (method) {
+    case Method::kQuery:
+      return *requests_query_;
+    case Method::kPrefixList:
+      return *requests_prefix_list_;
+    case Method::kInfo:
+      return *requests_info_;
+  }
+  return *requests_unknown_;
+}
+
+obs::Counter& BlocklistServiceNode::status_counter(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return *responses_ok_;
+    case Status::kRateLimited:
+      return *responses_rate_limited_;
+    case Status::kBadRequest:
+      break;
+  }
+  return *responses_bad_request_;
+}
+
 std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
-  if (frame.empty()) return status_frame(Status::kBadRequest);
+  const auto respond = [this](Status status, ByteView body = {}) {
+    status_counter(status).inc();
+    return status_frame(status, body);
+  };
+  if (frame.empty()) {
+    requests_unknown_->inc();
+    return respond(Status::kBadRequest);
+  }
   const auto method = static_cast<Method>(frame[0]);
+  method_counter(method).inc();
   const ByteView body(frame.data() + 1, frame.size() - 1);
 
   switch (method) {
     case Method::kQuery: {
       const auto request = oprf::parse_query_request(body);
-      if (!request) return status_frame(Status::kBadRequest);
+      if (!request) return respond(Status::kBadRequest);
       try {
         const auto response = server_.handle(*request);
-        return status_frame(Status::kOk, oprf::serialize(response));
+        const Bytes serialized = oprf::serialize(response);
+        return respond(Status::kOk, serialized);
       } catch (const ProtocolError&) {
         // Rate limit / auth failures surface as a distinct status so the
         // client can back off instead of retrying.
-        return status_frame(Status::kRateLimited);
+        return respond(Status::kRateLimited);
       }
     }
-    case Method::kPrefixList:
-      return status_frame(Status::kOk,
-                          oprf::serialize_prefix_list(server_.prefix_list()));
+    case Method::kPrefixList: {
+      const Bytes serialized =
+          oprf::serialize_prefix_list(server_.prefix_list());
+      return respond(Status::kOk, serialized);
+    }
     case Method::kInfo: {
       ServiceInfo info;
       info.lambda = server_.lambda();
@@ -81,10 +132,11 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
       }
       info.epoch = server_.epoch();
       info.entry_count = server_.entry_count();
-      return status_frame(Status::kOk, encode_info(info));
+      const Bytes encoded = encode_info(info);
+      return respond(Status::kOk, encoded);
     }
   }
-  return status_frame(Status::kBadRequest);
+  return respond(Status::kBadRequest);
 }
 
 RemoteBlocklistClient::RemoteBlocklistClient(Transport& transport,

@@ -47,10 +47,20 @@ class BlocklistServiceNode {
 
  private:
   std::optional<Bytes> handle_frame(ByteView frame);
+  obs::Counter& method_counter(Method method);
+  obs::Counter& status_counter(Status status);
 
   std::string endpoint_;
   oprf::OprfServer& server_;
   oprf::Oracle oracle_;
+  // Per-method / per-status request accounting, resolved once.
+  obs::Counter* requests_query_;
+  obs::Counter* requests_prefix_list_;
+  obs::Counter* requests_info_;
+  obs::Counter* requests_unknown_;
+  obs::Counter* responses_ok_;
+  obs::Counter* responses_bad_request_;
+  obs::Counter* responses_rate_limited_;
 };
 
 /// Retry policy for the remote client.

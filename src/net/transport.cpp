@@ -2,8 +2,37 @@
 
 namespace cbl::net {
 
+namespace {
+
+obs::Counter* net_counter(const char* name, const std::string& endpoint,
+                          const char* help) {
+  return &obs::MetricsRegistry::global().counter(
+      name, {{"endpoint", endpoint}}, help);
+}
+
+}  // namespace
+
+Transport::EndpointMetrics& Transport::metrics_for(
+    const std::string& endpoint) {
+  auto it = per_endpoint_.find(endpoint);
+  if (it == per_endpoint_.end()) {
+    EndpointMetrics m;
+    m.calls = net_counter("cbl_net_calls_total", endpoint,
+                          "Round trips attempted per endpoint");
+    m.drops = net_counter("cbl_net_drops_total", endpoint,
+                          "Calls lost to simulated loss or unknown endpoint");
+    m.bytes_sent = net_counter("cbl_net_bytes_sent_total", endpoint,
+                               "Request bytes on the wire");
+    m.bytes_received = net_counter("cbl_net_bytes_received_total", endpoint,
+                                   "Response bytes on the wire");
+    it = per_endpoint_.emplace(endpoint, std::move(m)).first;
+  }
+  return it->second;
+}
+
 void Transport::register_endpoint(const std::string& name, Handler handler) {
   endpoints_[name] = std::move(handler);
+  metrics_for(name);  // pre-resolve the handles off the hot path
 }
 
 double Transport::sample_latency() {
@@ -13,31 +42,69 @@ double Transport::sample_latency() {
 }
 
 CallResult Transport::call(const std::string& endpoint, ByteView request) {
+  if (rtt_ms_ == nullptr) {
+    rtt_ms_ = &obs::MetricsRegistry::global().histogram(
+        "cbl_net_rtt_ms", obs::Histogram::default_latency_ms_buckets(), {},
+        "Simulated round-trip time of delivered calls");
+  }
+  EndpointMetrics& ep = metrics_for(endpoint);
   ++stats_.calls;
+  ++ep.stats.calls;
+  ep.calls->inc();
+
   CallResult result;
   result.rtt_ms = sample_latency() + sample_latency();  // both legs
 
   const auto it = endpoints_.find(endpoint);
   if (it == endpoints_.end()) {
     ++stats_.drops;
+    ++ep.stats.drops;
+    ep.drops->inc();
     return result;
   }
   if (config_.drop_rate > 0.0) {
     const double roll = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
     if (roll < config_.drop_rate) {
       ++stats_.drops;
+      ++ep.stats.drops;
+      ep.drops->inc();
       return result;
     }
   }
 
   stats_.bytes_sent += request.size();
+  ep.stats.bytes_sent += request.size();
+  ep.bytes_sent->inc(request.size());
   const auto response = it->second(request);
   result.delivered = true;
+  rtt_ms_->observe(result.rtt_ms);
   if (response) {
     result.response = *response;
     stats_.bytes_received += result.response.size();
+    ep.stats.bytes_received += result.response.size();
+    ep.bytes_received->inc(result.response.size());
   }
   return result;
+}
+
+TransportStats Transport::endpoint_stats(const std::string& endpoint) const {
+  const auto it = per_endpoint_.find(endpoint);
+  return it == per_endpoint_.end() ? TransportStats{} : it->second.stats;
+}
+
+std::map<std::string, TransportStats> Transport::stats_by_endpoint() const {
+  std::map<std::string, TransportStats> out;
+  for (const auto& [name, metrics] : per_endpoint_) {
+    out.emplace(name, metrics.stats);
+  }
+  return out;
+}
+
+void Transport::reset_stats() {
+  stats_ = TransportStats{};
+  for (auto& [name, metrics] : per_endpoint_) {
+    metrics.stats = TransportStats{};
+  }
 }
 
 }  // namespace cbl::net

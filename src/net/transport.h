@@ -4,15 +4,22 @@
 // the full client/server stack — including the binary wire formats —
 // can be exercised end to end, with the byte/latency accounting the
 // capacity model (Fig. 6) is calibrated against.
+//
+// Accounting is kept twice: a local TransportStats per endpoint (so
+// multi-provider experiments stay attributable, resettable between
+// phases) and mirrored onto the global cbl::obs registry as
+// cbl_net_* counters plus an RTT histogram.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace cbl::net {
 
@@ -55,15 +62,38 @@ class Transport {
   /// delivered = true with an empty response.
   CallResult call(const std::string& endpoint, ByteView request);
 
+  /// Aggregate over every endpoint (plus calls to unknown endpoints).
   const TransportStats& stats() const { return stats_; }
 
+  /// Per-endpoint breakdown; zero stats for endpoints never called.
+  /// Calls to unregistered endpoints are attributed to the name given.
+  TransportStats endpoint_stats(const std::string& endpoint) const;
+  /// Every endpoint with recorded traffic, sorted by name.
+  std::map<std::string, TransportStats> stats_by_endpoint() const;
+
+  /// Zeroes the local accounting (global and per-endpoint) so separate
+  /// experiment phases measure only their own traffic. Does not touch
+  /// the process-wide obs registry (monotone by design).
+  void reset_stats();
+
  private:
+  struct EndpointMetrics {
+    TransportStats stats;
+    obs::Counter* calls = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+  };
+
   double sample_latency();
+  EndpointMetrics& metrics_for(const std::string& endpoint);
 
   TransportConfig config_;
   Rng& rng_;
   std::unordered_map<std::string, Handler> endpoints_;
   TransportStats stats_;
+  std::map<std::string, EndpointMetrics> per_endpoint_;
+  obs::Histogram* rtt_ms_ = nullptr;  // lazily resolved
 };
 
 }  // namespace cbl::net

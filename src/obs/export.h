@@ -1,0 +1,32 @@
+// Exposition: renders a MetricsRegistry snapshot as Prometheus text
+// format (scrape endpoint payload) or as a JSON document (dashboards,
+// bench trajectory files). Both renderings are deterministic — metrics
+// sorted by (name, labels) — so golden tests can compare verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cbl::obs {
+
+/// Prometheus text exposition format 0.0.4: # HELP / # TYPE headers,
+/// histogram rendered as cumulative _bucket{le=...} plus _sum/_count.
+std::string to_prometheus(const std::vector<MetricSnapshot>& samples);
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON snapshot: {"counters": [...], "gauges": [...], "histograms":
+/// [...]} with p50/p90/p99 precomputed per histogram.
+std::string to_json(const std::vector<MetricSnapshot>& samples);
+std::string to_json(const MetricsRegistry& registry);
+
+/// JSON rendering of a trace-log snapshot (array of span events).
+std::string trace_to_json(const std::vector<TraceEvent>& events);
+
+/// Formats a double the way both exporters do: %.17g shortened — integral
+/// values print without a trailing ".0" mantissa. Exposed for tests.
+std::string format_double(double v);
+
+}  // namespace cbl::obs

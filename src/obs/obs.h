@@ -1,0 +1,7 @@
+// Umbrella header for the observability subsystem.
+#pragma once
+
+#include "obs/clock.h"    // IWYU pragma: export
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export

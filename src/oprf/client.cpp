@@ -9,6 +9,21 @@ OprfClient::OprfClient(Oracle oracle, unsigned lambda, Rng& rng)
   if (lambda == 0 || lambda > 32) {
     throw std::invalid_argument("OprfClient: lambda must be in [1,32]");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  const auto fastpath = [&](const char* result) {
+    return &reg.counter("cbl_oprf_client_fastpath_total",
+                        {{"result", result}},
+                        "Prefix-list checks by whether they resolved "
+                        "offline or required an online query");
+  };
+  metrics_.fastpath_local = fastpath("local");
+  metrics_.fastpath_online = fastpath("online");
+  const auto cache = [&](const char* result) {
+    return &reg.counter("cbl_oprf_client_cache_total", {{"result", result}},
+                        "Bucket-cache outcomes of finished online queries");
+  };
+  metrics_.cache_hits = cache("hit");
+  metrics_.cache_misses = cache("miss");
 }
 
 OprfClient::Prepared OprfClient::prepare(std::string_view entry) const {
@@ -60,9 +75,11 @@ OprfClient::Result OprfClient::finish(const PendingQuery& pending,
       throw ProtocolError(
           "OprfClient: server omitted bucket but no matching cache entry");
     }
+    metrics_.cache_hits->inc();
     bucket = &it->second.bucket;
     metadata = &it->second.metadata;
   } else {
+    metrics_.cache_misses->inc();
     auto& slot = cache_[pending.prefix];
     slot.epoch = response.epoch;
     slot.bucket = response.bucket;
@@ -94,7 +111,10 @@ void OprfClient::set_prefix_list(std::vector<std::uint32_t> prefixes) {
 
 bool OprfClient::may_be_listed(std::string_view entry) const {
   if (!prefix_list_) return true;
-  return prefix_list_->contains(Oracle::prefix(to_bytes(entry), lambda_));
+  const bool collides =
+      prefix_list_->contains(Oracle::prefix(to_bytes(entry), lambda_));
+  (collides ? metrics_.fastpath_online : metrics_.fastpath_local)->inc();
+  return collides;
 }
 
 }  // namespace cbl::oprf

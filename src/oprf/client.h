@@ -13,6 +13,7 @@
 
 #include "common/errors.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "oprf/oracle.h"
 #include "oprf/protocol.h"
 #include "oprf/server.h"
@@ -84,6 +85,15 @@ class OprfClient {
   std::optional<std::unordered_set<std::uint32_t>> prefix_list_;
   std::optional<ec::RistrettoPoint> pinned_commitment_;
   std::unordered_map<std::uint32_t, CachedBucket> cache_;
+
+  // Observability handles (cbl_oprf_client_* families).
+  struct Metrics {
+    obs::Counter* fastpath_local;   // prefix list resolved it offline
+    obs::Counter* fastpath_online;  // prefix collision, online query needed
+    obs::Counter* cache_hits;       // server omitted the bucket
+    obs::Counter* cache_misses;     // fresh bucket transferred
+  };
+  Metrics metrics_;
 };
 
 }  // namespace cbl::oprf

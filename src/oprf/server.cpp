@@ -12,6 +12,51 @@ OprfServer::OprfServer(Oracle oracle, unsigned lambda, Rng& rng)
   if (lambda == 0 || lambda > 32) {
     throw std::invalid_argument("OprfServer: lambda must be in [1,32]");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  const auto query_counter = [&](const char* result) {
+    return &reg.counter("cbl_oprf_queries_total", {{"result", result}},
+                        "Online OPRF evaluations by outcome");
+  };
+  metrics_.queries_ok = query_counter("ok");
+  metrics_.queries_rate_limited = query_counter("rate_limited");
+  metrics_.queries_bad_request = query_counter("bad_request");
+  metrics_.buckets_served =
+      &reg.counter("cbl_oprf_buckets_served_total", {},
+                   "Query responses that carried the full bucket");
+  metrics_.buckets_omitted =
+      &reg.counter("cbl_oprf_buckets_omitted_total", {},
+                   "Query responses elided thanks to the client cache hint");
+  metrics_.rebuilds = &reg.counter(
+      "cbl_oprf_rebuilds_total", {},
+      "Full preprocessing passes (setup and key rotations)");
+  metrics_.eval_ms = &reg.histogram(
+      "cbl_oprf_eval_ms", obs::Histogram::default_latency_ms_buckets(), {},
+      "Server-side oblivious evaluation time per query");
+  metrics_.rebuild_ms = &reg.histogram(
+      "cbl_oprf_rebuild_ms", obs::Histogram::default_latency_ms_buckets(), {},
+      "Blind-everything preprocessing duration");
+  metrics_.bucket_size = &reg.histogram(
+      "cbl_oprf_bucket_size", obs::Histogram::log_buckets(1.0, 1e6, 3), {},
+      "Non-empty bucket sizes at each rebuild (the k of k-anonymity)");
+  metrics_.entries =
+      &reg.gauge("cbl_oprf_entries", {}, "Blocklist entries currently served");
+  metrics_.epoch = &reg.gauge("cbl_oprf_epoch", {}, "Current key epoch");
+  metrics_.buckets_nonempty =
+      &reg.gauge("cbl_oprf_buckets_nonempty", {}, "Non-empty prefix buckets");
+  metrics_.k_anonymity = &reg.gauge(
+      "cbl_oprf_k_anonymity", {}, "Minimum non-empty bucket size");
+}
+
+void OprfServer::refresh_data_gauges() {
+  metrics_.entries->set(static_cast<double>(entries_.size()));
+  metrics_.epoch->set(static_cast<double>(epoch_));
+  metrics_.buckets_nonempty->set(static_cast<double>(buckets_.size()));
+  std::size_t min_size = 0;
+  for (const auto& [prefix, bucket] : buckets_) {
+    const std::size_t n = bucket.blinded.size();
+    min_size = min_size == 0 ? n : std::min(min_size, n);
+  }
+  metrics_.k_anonymity->set(static_cast<double>(min_size));
 }
 
 void OprfServer::setup(std::span<const std::string> entries,
@@ -27,6 +72,8 @@ void OprfServer::rotate_key(unsigned num_threads) {
 }
 
 void OprfServer::rebuild(unsigned num_threads) {
+  const auto& clock = obs::MetricsRegistry::global().clock();
+  const std::uint64_t t0 = clock.now_ns();
   mask_ = ec::Scalar::random(rng_);
   key_commitment_ = ec::RistrettoPoint::base() * mask_;
   ++epoch_;
@@ -86,28 +133,44 @@ void OprfServer::rebuild(unsigned num_threads) {
     }
     bucket = std::move(sorted);
   }
+
+  metrics_.rebuilds->inc();
+  metrics_.rebuild_ms->observe(
+      static_cast<double>(clock.now_ns() - t0) / 1e6);
+  for (const auto& [prefix, bucket] : buckets_) {
+    metrics_.bucket_size->observe(
+        static_cast<double>(bucket.blinded.size()));
+  }
+  refresh_data_gauges();
 }
 
 QueryResponse OprfServer::handle(const QueryRequest& request) {
+  auto& registry = obs::MetricsRegistry::global();
+  const bool observing = registry.enabled();
   if (rate_limiting_) {
     std::lock_guard limiter_lock(limiter_mutex_);
     const auto it = authorized_.find(request.api_key);
     if (it == authorized_.end() || !it->second) {
+      metrics_.queries_rate_limited->inc();
       throw ProtocolError("OprfServer: unauthorized api key");
     }
     if (++window_counts_[request.api_key] > max_per_window_) {
+      metrics_.queries_rate_limited->inc();
       throw ProtocolError("OprfServer: rate limit exceeded");
     }
   }
   std::shared_lock lock(data_mutex_);
   if (request.prefix >> lambda_ != 0) {
+    metrics_.queries_bad_request->inc();
     throw ProtocolError("OprfServer: prefix out of range for lambda");
   }
   const auto masked = ec::RistrettoPoint::decode(request.masked_query);
   if (!masked) {
+    metrics_.queries_bad_request->inc();
     throw ProtocolError("OprfServer: malformed masked query");
   }
 
+  const std::uint64_t t0 = observing ? registry.clock().now_ns() : 0;
   QueryResponse response;
   const ec::RistrettoPoint evaluated = *masked * mask_;
   response.evaluated = evaluated.encode();
@@ -118,11 +181,18 @@ QueryResponse OprfServer::handle(const QueryRequest& request) {
         ec::RistrettoPoint::base(), key_commitment_, *masked, evaluated,
         mask_, kEvalProofDomain, rng_);
   }
+  if (observing) {
+    metrics_.eval_ms->observe(
+        static_cast<double>(registry.clock().now_ns() - t0) / 1e6);
+  }
+  metrics_.queries_ok->inc();
 
   if (request.cached_epoch == epoch_) {
     response.bucket_omitted = true;
+    metrics_.buckets_omitted->inc();
     return response;
   }
+  metrics_.buckets_served->inc();
   const auto it = buckets_.find(request.prefix);
   if (it != buckets_.end()) {
     response.bucket = it->second.blinded;
@@ -157,7 +227,10 @@ std::size_t OprfServer::add_entries(std::span<const std::string> entries) {
     entries_.push_back(entry);
     ++added;
   }
-  if (added > 0) ++epoch_;
+  if (added > 0) {
+    ++epoch_;
+    refresh_data_gauges();
+  }
   return added;
 }
 
@@ -185,7 +258,10 @@ std::size_t OprfServer::remove_entries(std::span<const std::string> entries) {
     entry_index_.erase(idx);
     std::erase(entries_, entry);
   }
-  if (removed > 0) ++epoch_;
+  if (removed > 0) {
+    ++epoch_;
+    refresh_data_gauges();
+  }
   return removed;
 }
 

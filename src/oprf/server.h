@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "ec/ristretto.h"
 #include "ec/scalar.h"
+#include "obs/metrics.h"
 #include "oprf/oracle.h"
 #include "nizk/sigma.h"
 #include "oprf/protocol.h"
@@ -146,6 +147,26 @@ class OprfServer {
   mutable std::shared_mutex data_mutex_;   // buckets / mask / epoch
   mutable std::mutex limiter_mutex_;       // rate-limiter counters
   mutable std::mutex rng_mutex_;           // evaluation-proof randomness
+
+  // Observability handles (process-global cbl_oprf_* families, resolved
+  // once in the constructor; see DESIGN.md "Observability").
+  struct Metrics {
+    obs::Counter* queries_ok;
+    obs::Counter* queries_rate_limited;
+    obs::Counter* queries_bad_request;
+    obs::Counter* buckets_served;
+    obs::Counter* buckets_omitted;  // client cache hits server-side
+    obs::Counter* rebuilds;
+    obs::Histogram* eval_ms;
+    obs::Histogram* rebuild_ms;
+    obs::Histogram* bucket_size;
+    obs::Gauge* entries;
+    obs::Gauge* epoch;
+    obs::Gauge* buckets_nonempty;
+    obs::Gauge* k_anonymity;
+  };
+  Metrics metrics_;
+  void refresh_data_gauges();  // caller holds data_mutex_
 };
 
 }  // namespace cbl::oprf

@@ -1,5 +1,7 @@
 #include "voting/ceremony.h"
 
+#include "obs/trace.h"
+
 namespace cbl::voting {
 
 Ceremony::Ceremony(chain::Blockchain& chain, EvaluationConfig config,
@@ -34,6 +36,7 @@ Ceremony::Ceremony(chain::Blockchain& chain, EvaluationConfig config,
 }
 
 void Ceremony::fund_and_shield() {
+  CBL_SPAN("ceremony.fund_and_shield");
   for (auto& p : participants_) {
     chain_.execute(p.funding_account, "shield-deposit", 32 + 64, [&] {
       chain_.shielded_pool().shield(p.funding_account,
@@ -45,6 +48,7 @@ void Ceremony::fund_and_shield() {
 }
 
 void Ceremony::register_all() {
+  CBL_SPAN("ceremony.commit");
   for (auto& p : participants_) {
     p.index = contract_->register_shareholder(
         p.funding_account, p.shareholder->build_round1(rng_));
@@ -52,6 +56,7 @@ void Ceremony::register_all() {
 }
 
 void Ceremony::reveal_all() {
+  CBL_SPAN("ceremony.vrf_reveal");
   const Bytes& nu = contract_->challenge();
   for (auto& p : participants_) {
     contract_->reveal_vrf(p.index, p.shareholder->build_vrf_reveal(nu, rng_),
@@ -60,6 +65,7 @@ void Ceremony::reveal_all() {
 }
 
 void Ceremony::finalize_committee() {
+  CBL_SPAN("ceremony.sortition");
   contract_->finalize_committee(provider_);
   for (const auto& p : participants_) {
     if (contract_->is_selected(p.index)) {
@@ -69,6 +75,7 @@ void Ceremony::finalize_committee() {
 }
 
 void Ceremony::vote_all() {
+  CBL_SPAN("ceremony.vote");
   const auto secrets = contract_->committee_secrets();
   for (auto& p : participants_) {
     const auto position = contract_->committee_position(p.index);
@@ -80,6 +87,7 @@ void Ceremony::vote_all() {
 }
 
 void Ceremony::payoff_and_withdraw() {
+  CBL_SPAN("ceremony.tally_and_payoff");
   result_.outcome = contract_->outcome();
   contract_->run_payoff(provider_);
   contract_->settle_provider(provider_);

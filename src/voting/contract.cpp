@@ -4,6 +4,7 @@
 
 #include "hash/sha256.h"
 #include "nizk/signature.h"
+#include "obs/trace.h"
 #include "voting/shareholder.h"
 #include "voting/wire.h"
 
@@ -78,20 +79,23 @@ std::size_t EvaluationContract::register_shareholder(
                        sub.weight;
     const ec::RistrettoPoint residue =
         sub.deposit_note.point() - crs_.g * ec::Scalar::from_u64(stake);
-    if (!sub.deposit_proof.verify(crs_.h, residue,
-                                  chain::ShieldedPool::kSpendDomain)) {
-      throw ChainError("VoteCommit: invalid deposit proof");
-    }
+    {
+      CBL_SPAN("voting.nizk_verify");
+      if (!sub.deposit_proof.verify(crs_.h, residue,
+                                    chain::ShieldedPool::kSpendDomain)) {
+        throw ChainError("VoteCommit: invalid deposit proof");
+      }
 
-    // assert NIZK_verify(pi_A, phi_A, comm_secret, comm_vote): the
-    // commitments are well-formed under one secret, and the vote is
-    // binary.
-    const nizk::StatementA statement{sub.comm_secret, sub.c1, sub.c2};
-    if (!sub.proof_a.verify(crs_, statement)) {
-      throw ChainError("VoteCommit: invalid pi_A");
-    }
-    if (!sub.vote_proof.verify(crs_, sub.comm_vote, sub.weight)) {
-      throw ChainError("VoteCommit: invalid binary-vote proof");
+      // assert NIZK_verify(pi_A, phi_A, comm_secret, comm_vote): the
+      // commitments are well-formed under one secret, and the vote is
+      // binary.
+      const nizk::StatementA statement{sub.comm_secret, sub.c1, sub.c2};
+      if (!sub.proof_a.verify(crs_, statement)) {
+        throw ChainError("VoteCommit: invalid pi_A");
+      }
+      if (!sub.vote_proof.verify(crs_, sub.comm_vote, sub.weight)) {
+        throw ChainError("VoteCommit: invalid binary-vote proof");
+      }
     }
 
     // Reject duplicate VRF keys / commitments (sybil hygiene within one
@@ -245,8 +249,11 @@ void EvaluationContract::submit_round2(std::size_t index,
     statement.big_c = slot.round1.comm_vote;
     statement.psi = sub.psi;
     statement.y = y;
-    if (!sub.proof_b.verify(crs_, statement)) {
-      throw ChainError("Vote: invalid pi_B");
+    {
+      CBL_SPAN("voting.nizk_verify");
+      if (!sub.proof_b.verify(crs_, statement)) {
+        throw ChainError("Vote: invalid pi_B");
+      }
     }
 
     slot.round2 = sub;

@@ -6,6 +6,7 @@
 
 #include "blocklist/generator.h"
 #include "core/service.h"
+#include "obs/metrics.h"
 
 namespace cbl::core {
 namespace {
@@ -235,6 +236,82 @@ TEST_F(CoreTest, ChallengeRequiresMatchingDeposit) {
   EXPECT_TRUE(entry.approved);
   // Stake returned after the forced re-evaluation.
   EXPECT_EQ(chain.ledger().balance(challenger), balance_before);
+}
+
+namespace {
+
+double counter_value(const std::vector<obs::MetricSnapshot>& samples,
+                     const std::string& name, const obs::Labels& labels) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TEST_F(CoreTest, QueryManyMetricsMatchBatchAccounting) {
+  // Sparse prefix space (2^12 buckets, 400 entries) so random negatives
+  // mostly resolve via the local prefix list.
+  ProviderConfig cfg;
+  cfg.lambda = 12;
+  BlocklistProvider provider("acme", cfg, rng_);
+  const auto entries = feed(400, "f-obs");
+  provider.ingest(entries);
+  BlocklistUser user(provider, rng_);
+
+  // A wallet batch mixing listed addresses (always online), repeated
+  // prefixes (cache hits) and random negatives (mostly local).
+  std::vector<std::string> batch;
+  for (int i = 0; i < 25; ++i) {
+    batch.push_back(entries[static_cast<std::size_t>(i) * 7].address);
+  }
+  const std::vector<std::string> repeats(batch.begin(), batch.begin() + 10);
+  batch.insert(batch.end(), repeats.begin(), repeats.end());
+  auto neg_rng = ChaChaRng::from_string_seed("obs-negatives");
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(
+        blocklist::random_address(blocklist::Chain::kEthereum, neg_rng));
+  }
+
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  const auto result = user.query_many(batch);
+  const auto after = obs::MetricsRegistry::global().snapshot();
+
+  ASSERT_EQ(result.results.size(), batch.size());
+  EXPECT_EQ(result.resolved_locally + result.online_round_trips, batch.size());
+  EXPECT_LE(result.buckets_transferred, result.online_round_trips);
+
+  const auto delta = [&](const std::string& name, const obs::Labels& labels) {
+    return counter_value(after, name, labels) -
+           counter_value(before, name, labels);
+  };
+
+  // The facade's path counters must agree with the batch accounting...
+  EXPECT_EQ(delta("cbl_core_user_queries_total", {{"path", "local"}}),
+            static_cast<double>(result.resolved_locally));
+  EXPECT_EQ(delta("cbl_core_user_queries_total", {{"path", "online"}}),
+            static_cast<double>(result.online_round_trips));
+  // ...and so must the OPRF client's own fast-path counters.
+  EXPECT_EQ(delta("cbl_oprf_client_fastpath_total", {{"result", "local"}}),
+            static_cast<double>(result.resolved_locally));
+  EXPECT_EQ(delta("cbl_oprf_client_fastpath_total", {{"result", "online"}}),
+            static_cast<double>(result.online_round_trips));
+  // Every transferred bucket is a client cache miss; omitted ones are hits.
+  EXPECT_EQ(delta("cbl_oprf_client_cache_total", {{"result", "miss"}}),
+            static_cast<double>(result.buckets_transferred));
+  EXPECT_EQ(delta("cbl_oprf_client_cache_total", {{"result", "hit"}}),
+            static_cast<double>(result.online_round_trips -
+                                result.buckets_transferred));
+  // The server saw exactly the online round trips, all successful.
+  EXPECT_EQ(delta("cbl_oprf_queries_total", {{"result", "ok"}}),
+            static_cast<double>(result.online_round_trips));
+
+  // The batch exercised every path at least once.
+  EXPECT_GT(result.resolved_locally, 0u);
+  EXPECT_GT(result.online_round_trips, 0u);
+  EXPECT_GT(result.buckets_transferred, 0u);
+  EXPECT_GT(result.online_round_trips, result.buckets_transferred);
 }
 
 }  // namespace

@@ -187,6 +187,53 @@ TEST_F(NetTest, TransportAccountsBytes) {
   EXPECT_GE(transport.stats().calls, 2u);  // info + query
 }
 
+TEST_F(NetTest, TransportBreaksStatsDownPerEndpoint) {
+  auto transport = make_transport();
+  BlocklistServiceNode node_a(transport, "provider-a", *server_,
+                              oprf::Oracle::fast());
+  BlocklistServiceNode node_b(transport, "provider-b", *server_,
+                              oprf::Oracle::fast());
+  RemoteBlocklistClient client_a(transport, "provider-a", client_rng_);
+  RemoteBlocklistClient client_b(transport, "provider-b", client_rng_);
+  (void)client_a.query(corpus_[0]);
+  (void)client_a.query(corpus_[1]);
+  (void)client_b.query(corpus_[2]);
+
+  const auto a = transport.endpoint_stats("provider-a");
+  const auto b = transport.endpoint_stats("provider-b");
+  EXPECT_GT(a.calls, b.calls);  // two queries vs one, plus discovery each
+  EXPECT_GT(a.bytes_sent, 0u);
+  EXPECT_GT(b.bytes_sent, 0u);
+  // Per-endpoint stats partition the global aggregate exactly.
+  EXPECT_EQ(a.calls + b.calls, transport.stats().calls);
+  EXPECT_EQ(a.bytes_sent + b.bytes_sent, transport.stats().bytes_sent);
+  EXPECT_EQ(a.bytes_received + b.bytes_received,
+            transport.stats().bytes_received);
+  EXPECT_EQ(transport.stats_by_endpoint().size(), 2u);
+  // Unknown endpoints report zero (and are attributed if actually called).
+  EXPECT_EQ(transport.endpoint_stats("nowhere").calls, 0u);
+  (void)transport.call("nowhere", Bytes{1});
+  EXPECT_EQ(transport.endpoint_stats("nowhere").calls, 1u);
+  EXPECT_EQ(transport.endpoint_stats("nowhere").drops, 1u);
+}
+
+TEST_F(NetTest, TransportResetStatsZeroesAllAccounting) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  (void)client.query(corpus_[0]);
+  ASSERT_GT(transport.stats().calls, 0u);
+  transport.reset_stats();
+  EXPECT_EQ(transport.stats().calls, 0u);
+  EXPECT_EQ(transport.stats().bytes_sent, 0u);
+  EXPECT_EQ(transport.endpoint_stats("scamdb").calls, 0u);
+  // Accounting resumes cleanly after the reset.
+  (void)client.query(corpus_[1]);
+  EXPECT_EQ(transport.endpoint_stats("scamdb").calls,
+            transport.stats().calls);
+}
+
 TEST_F(NetTest, SlowOracleParametersPropagate) {
   hash::Argon2Params params;
   params.memory_kib = 64;

@@ -1,0 +1,332 @@
+// Unit tests for the observability subsystem: bucket boundaries and
+// percentile math against a reference computation, merge associativity,
+// manual-clock span timing, and exposition-format goldens.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace obs = cbl::obs;
+
+namespace {
+
+// Reference quantile: the same fixed-bucket estimator, computed the slow
+// way from raw observations bucketed independently of the Histogram.
+double reference_quantile(const std::vector<double>& bounds,
+                          const std::vector<double>& observations, double q) {
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (const double v : observations) {
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  }
+  return obs::quantile_from_buckets(bounds, counts, q);
+}
+
+}  // namespace
+
+TEST(ObsHistogram, LogBucketsAreGeometric) {
+  const auto bounds = obs::Histogram::log_buckets(1.0, 1000.0, 1);
+  ASSERT_EQ(bounds.size(), 4u);  // 1, 10, 100, 1000
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_NEAR(bounds[1], 10.0, 1e-9);
+  EXPECT_NEAR(bounds[2], 100.0, 1e-6);
+  EXPECT_NEAR(bounds[3], 1000.0, 1e-6);
+  EXPECT_THROW(obs::Histogram::log_buckets(0.0, 10.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(obs::Histogram::log_buckets(10.0, 1.0, 5),
+               std::invalid_argument);
+}
+
+TEST(ObsHistogram, BucketBoundariesUseLessOrEqualSemantics) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // first bucket
+  h.observe(1.0);    // exactly on a bound -> that bucket (le semantics)
+  h.observe(1.0001); // second bucket
+  h.observe(10.0);   // second bucket
+  h.observe(100.0);  // third bucket
+  h.observe(250.0);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 250.0, 1e-9);
+}
+
+TEST(ObsHistogram, QuantilesMatchReferenceComputation) {
+  const auto bounds = obs::Histogram::log_buckets(0.1, 1e4, 5);
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h", bounds);
+
+  std::vector<double> observations;
+  // A bimodal latency distribution: a fast mode around 1 and a slow tail.
+  for (int i = 1; i <= 900; ++i) {
+    observations.push_back(0.5 + 0.001 * i);
+  }
+  for (int i = 1; i <= 100; ++i) {
+    observations.push_back(50.0 + i);
+  }
+  for (const double v : observations) h.observe(v);
+
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q),
+                     reference_quantile(bounds, observations, q))
+        << "q=" << q;
+  }
+  // Sanity: the p50 sits in the fast mode, the p99 in the slow tail.
+  EXPECT_LT(h.p50(), 2.0);
+  EXPECT_GT(h.p99(), 50.0);
+  // Monotone in q.
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(1e9);                   // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);  // clamps to the largest bound
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative) {
+  const auto bounds = obs::Histogram::log_buckets(1.0, 1e3, 3);
+  obs::MetricsRegistry registry;
+  auto make = [&](const char* name, int seed) -> obs::Histogram& {
+    auto& h = registry.histogram(name, bounds);
+    for (int i = 0; i < 50; ++i) {
+      h.observe(static_cast<double>((seed * 37 + i * 13) % 1200));
+    }
+    return h;
+  };
+  auto& a = make("a", 1);
+  auto& b = make("b", 2);
+  auto& c = make("c", 3);
+
+  // (a + b) + c
+  auto& left = registry.histogram("left", bounds);
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+  // a + (b + c), folded in the other order
+  auto& bc = registry.histogram("bc", bounds);
+  bc.merge_from(c);
+  bc.merge_from(b);
+  auto& right = registry.histogram("right", bounds);
+  right.merge_from(bc);
+  right.merge_from(a);
+
+  EXPECT_EQ(left.bucket_counts(), right.bucket_counts());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.sum(), right.sum(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.p90(), right.p90());
+
+  auto& mismatched = registry.histogram("mismatched", {1.0, 2.0});
+  EXPECT_THROW(left.merge_from(mismatched), std::invalid_argument);
+}
+
+TEST(ObsRegistry, CountersAndGaugesRoundTrip) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("cbl_test_total", {{"k", "v"}});
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same (name, labels) -> same handle; different labels -> different.
+  EXPECT_EQ(&registry.counter("cbl_test_total", {{"k", "v"}}), &c);
+  EXPECT_NE(&registry.counter("cbl_test_total", {{"k", "w"}}), &c);
+
+  auto& g = registry.gauge("cbl_test_gauge");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(ObsRegistry, DisabledRegistryDropsUpdatesButKeepsHandles) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("c");
+  auto& h = registry.histogram("h", {1.0, 2.0});
+  registry.set_enabled(false);
+  c.inc();
+  h.observe(1.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  registry.set_enabled(true);
+  c.inc();
+  h.observe(1.5);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsRegistry, ResetZeroesInPlace) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("c");
+  auto& h = registry.histogram("h", {1.0});
+  c.inc(7);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  c.inc();  // handle still live
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, MergeFromFoldsShards) {
+  obs::MetricsRegistry shard1, shard2, total;
+  shard1.counter("cbl_q_total").inc(10);
+  shard2.counter("cbl_q_total").inc(5);
+  shard1.gauge("cbl_epoch").set(3);
+  shard2.gauge("cbl_epoch").set(4);
+  shard1.histogram("cbl_lat_ms", {1.0, 10.0}).observe(0.5);
+  shard2.histogram("cbl_lat_ms", {1.0, 10.0}).observe(5.0);
+
+  total.merge_from(shard1);
+  total.merge_from(shard2);
+  EXPECT_EQ(total.counter("cbl_q_total").value(), 15u);
+  EXPECT_DOUBLE_EQ(total.gauge("cbl_epoch").value(), 4.0);
+  auto& merged = total.histogram("cbl_lat_ms", {1.0, 10.0});
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+TEST(ObsTrace, ManualClockSpansAreDeterministic) {
+  obs::MetricsRegistry registry;
+  obs::ManualClock clock;
+  registry.set_clock(&clock);
+
+  {
+    obs::ScopedSpan span("unit.work", registry);
+    clock.advance_ms(25);
+  }
+  {
+    obs::ScopedSpan span("unit.work", registry);
+    clock.advance_ms(75);
+  }
+
+  auto& h = registry.histogram(obs::kSpanHistogramName,
+                               obs::Histogram::default_latency_ms_buckets(),
+                               {{"span", "unit.work"}});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+  registry.set_clock(nullptr);  // restore default steady clock
+}
+
+TEST(ObsTrace, SpanOnDisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry registry;
+  obs::ManualClock clock;
+  registry.set_clock(&clock);
+  registry.set_enabled(false);
+  {
+    obs::ScopedSpan span("dark.work", registry);
+    clock.advance_ms(10);
+  }
+  registry.set_enabled(true);
+  auto& h = registry.histogram(obs::kSpanHistogramName,
+                               obs::Histogram::default_latency_ms_buckets(),
+                               {{"span", "dark.work"}});
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsTrace, RingBufferKeepsNewestEvents) {
+  obs::MetricsRegistry registry;
+  obs::ManualClock clock;
+  registry.set_clock(&clock);
+  obs::TraceLog log(3);
+  obs::set_trace_log(&log);
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan span("ring.work", registry);
+    clock.advance_ns(static_cast<std::uint64_t>(i + 1));
+  }
+  obs::set_trace_log(nullptr);
+  EXPECT_EQ(log.recorded(), 5u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first order, holding the last three spans (durations 3, 4, 5).
+  EXPECT_EQ(events[0].duration_ns, 3u);
+  EXPECT_EQ(events[1].duration_ns, 4u);
+  EXPECT_EQ(events[2].duration_ns, 5u);
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("cbl_demo_total", {{"result", "ok"}}, "Demo counter")
+      .inc(3);
+  registry.gauge("cbl_demo_gauge", {}, "Demo gauge").set(1.5);
+  auto& h = registry.histogram("cbl_demo_ms", {1.0, 10.0}, {}, "Demo hist");
+  h.observe(0.5);
+  h.observe(0.7);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string expected =
+      "# HELP cbl_demo_gauge Demo gauge\n"
+      "# TYPE cbl_demo_gauge gauge\n"
+      "cbl_demo_gauge 1.5\n"
+      "# HELP cbl_demo_ms Demo hist\n"
+      "# TYPE cbl_demo_ms histogram\n"
+      "cbl_demo_ms_bucket{le=\"1\"} 2\n"
+      "cbl_demo_ms_bucket{le=\"10\"} 3\n"
+      "cbl_demo_ms_bucket{le=\"+Inf\"} 4\n"
+      "cbl_demo_ms_sum 56.2\n"
+      "cbl_demo_ms_count 4\n"
+      "# HELP cbl_demo_total Demo counter\n"
+      "# TYPE cbl_demo_total counter\n"
+      "cbl_demo_total{result=\"ok\"} 3\n";
+  EXPECT_EQ(obs::to_prometheus(registry), expected);
+}
+
+TEST(ObsExport, JsonGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("cbl_demo_total", {{"result", "ok"}}).inc(3);
+  auto& h = registry.histogram("cbl_demo_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string expected =
+      "{\"counters\":[{\"name\":\"cbl_demo_total\",\"labels\":"
+      "{\"result\":\"ok\"},\"value\":3}],\"gauges\":[],\"histograms\":["
+      "{\"name\":\"cbl_demo_ms\",\"labels\":{},\"count\":2,\"sum\":5.5,"
+      "\"p50\":1,\"p90\":8.2,\"p99\":9.82,\"buckets\":["
+      "{\"le\":1,\"count\":1},{\"le\":10,\"count\":1}]}]}";
+  EXPECT_EQ(obs::to_json(registry), expected);
+}
+
+TEST(ObsExport, EscapesLabelValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("cbl_esc_total", {{"path", "a\"b\\c"}}).inc();
+  const std::string text = obs::to_prometheus(registry);
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(ObsExport, TraceJson) {
+  std::vector<obs::TraceEvent> events = {{"x", 10, 5}};
+  EXPECT_EQ(obs::trace_to_json(events),
+            "[{\"span\":\"x\",\"start_ns\":10,\"duration_ns\":5}]");
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsDoNotRace) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("cbl_mt_total");
+  auto& h = registry.histogram("cbl_mt_ms", obs::Histogram::log_buckets(
+                                                0.1, 100.0, 3));
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8, kIters = 5'000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(0.1 * ((t + i) % 100 + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
