@@ -1,21 +1,36 @@
 #!/usr/bin/env bash
-# CI entry point: builds the tree twice — an optimized Release build and a
-# Debug build instrumented with AddressSanitizer + UBSan — and runs the
-# full test suite on both. Usage:
+# CI entry point — the full analysis matrix:
 #
-#   scripts/ci.sh [build-root]        # default build root: build-ci/
+#   1. lint        scripts/ct_lint.py (constant-time discipline, annotation
+#                  driven — see DESIGN.md "Constant-time policy")
+#   2. clang-tidy  .clang-tidy profile over src/ (skipped with a notice
+#                  when clang-tidy is not installed)
+#   3. release     optimized build + full test suite
+#   4. asan-ubsan  Debug + AddressSanitizer + UBSan, full test suite
+#   5. tsan        Debug + ThreadSanitizer, full test suite (query-service
+#                  and voting paths are concurrent; see src/oprf locking)
+#   6. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
+#                  with -fsanitize-coverage=trace-pc, then the differential
+#                  trace harness runs its self-test and the secret audit
 #
-# Any failure (configure, compile, or test) aborts the script.
+# Usage:
+#   scripts/ci.sh [build-root]          # default build root: build-ci/
+#   CBL_CI_STAGES="lint release" scripts/ci.sh    # run a subset
+#
+# Any failure (lint finding, configure, compile, or test) aborts.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
   generator_args=(-G Ninja)
 fi
+
+want() { [[ " ${stages} " == *" $1 "* ]]; }
 
 run_config() {
   local name="$1"
@@ -29,9 +44,58 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-run_config release -DCMAKE_BUILD_TYPE=Release
-run_config asan-ubsan \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCBL_SANITIZE="address;undefined"
+if want lint; then
+  echo "=== [lint] scripts/ct_lint.py ==="
+  python3 "${repo_root}/scripts/ct_lint.py" --root "${repo_root}"
+fi
 
-echo "=== CI OK: Release and ASan/UBSan suites both green ==="
+if want clang-tidy; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== [clang-tidy] configure (compile database) ==="
+    tidy_dir="${build_root}/clang-tidy"
+    cmake -S "${repo_root}" -B "${tidy_dir}" "${generator_args[@]}" \
+      -DCMAKE_BUILD_TYPE=Debug -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    echo "=== [clang-tidy] analyze src/ ==="
+    find "${repo_root}/src" -name '*.cpp' -print0 |
+      xargs -0 -P "${jobs}" -n 8 clang-tidy -p "${tidy_dir}" --quiet
+  else
+    echo "=== [clang-tidy] SKIPPED: clang-tidy not installed ==="
+  fi
+fi
+
+if want release; then
+  run_config release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if want asan-ubsan; then
+  run_config asan-ubsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCBL_SANITIZE="address;undefined"
+fi
+
+if want tsan; then
+  run_config tsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCBL_SANITIZE="thread"
+fi
+
+if want ctcheck; then
+  ct_dir="${build_root}/ctcheck"
+  echo "=== [ctcheck] configure ==="
+  cmake -S "${repo_root}" -B "${ct_dir}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE=Debug -DCBL_CTCHECK=ON
+  echo "=== [ctcheck] build ==="
+  cmake --build "${ct_dir}" -j "${jobs}" --target ctcheck
+  echo "=== [ctcheck] self-test (harness must flag the injected leak) ==="
+  "${ct_dir}/src/ct/ctcheck" --self-test
+  echo "=== [ctcheck] secret audit over the crypto kernels ==="
+  "${ct_dir}/src/ct/ctcheck"
+  if command -v valgrind >/dev/null 2>&1; then
+    echo "=== [ctcheck] valgrind backend (ctgrind-style) ==="
+    valgrind --error-exitcode=1 --quiet "${ct_dir}/src/ct/ctcheck"
+  else
+    echo "=== [ctcheck] valgrind not installed; trace backend only ==="
+  fi
+fi
+
+echo "=== CI OK: stages [${stages}] all green ==="

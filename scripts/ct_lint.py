@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Constant-time discipline lint for the cbl tree.
+
+Annotation-driven static checks (the static leg of the src/ct analysis
+layer; the dynamic leg is the ctcheck harness):
+
+  // ct:secret      on a declaration marks that variable as secret within
+                    its module directory (src/ec, src/oprf, ...).
+  // ct:key-holder  on a struct/class requires a destructor that wipes.
+  // ct:public      documents an audited secret->public decision point;
+                    suppresses findings on that line.
+  // ct:ok          suppresses findings on that line (deliberate pattern,
+                    e.g. the self-test's intentionally leaky compare).
+
+Rules enforced:
+
+  R1  memcmp / std::memcmp anywhere in a crypto module (src/ec, src/oprf,
+      src/hash, src/commit, src/vrf, src/nizk, src/common) — byte compares
+      there must go through ct_equal.
+  R2  == or != with a ct:secret operand — must use ct_equal.
+  R3  if / while / ternary / % / division on a ct:secret operand —
+      secret-dependent control flow or variable-latency arithmetic.
+  R4  a ct:secret name inside an index expression [...] —
+      secret-dependent memory addressing.
+  R5  a ct:key-holder type must declare a destructor, and an inline
+      destructor body must call wipe()/secure_wipe (an out-of-line
+      destructor is accepted as declared; the compiler checks it exists).
+
+Usage:  scripts/ct_lint.py [--root DIR] [--list-secrets]
+Exit code 0 when clean, 1 when findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CRYPTO_MODULES = {"ec", "oprf", "hash", "commit", "vrf", "nizk", "common"}
+SOURCE_GLOBS = ("*.h", "*.cpp")
+
+SECRET_ANNOT = re.compile(r"//.*\bct:secret\b")
+KEYHOLDER_ANNOT = re.compile(r"//\s*ct:key-holder\b")
+SUPPRESS = re.compile(r"//\s*ct:(ok|public)\b")
+LINE_COMMENT = re.compile(r"^\s*(//|\*|/\*)")
+
+# Identifier declared on a `// ct:secret` line: last identifier before
+# `;`, `=`, `{`, or `[` (covers `ec::Scalar mask_;`, `uint8_t buffer_[64];`,
+# `Scalar blinding = ...;`).
+DECL_NAME = re.compile(
+    r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\])?\s*(?:[;={]|=)"
+)
+
+MEMCMP = re.compile(r"\b(?:std::)?memcmp\s*\(")
+STRUCT_DECL = re.compile(r"\b(?:struct|class)\s+([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blanks out string/char literals and trailing // comments so the
+    pattern rules below do not fire inside them."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # drop the comment tail
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def module_of(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root)
+    return rel.parts[0] if len(rel.parts) > 1 else ""
+
+
+def collect_secret_names(files_by_module: dict[str, list[Path]]) -> dict[str, set[str]]:
+    """First pass: gather ct:secret identifiers per module directory."""
+    secrets: dict[str, set[str]] = {}
+    for module, files in files_by_module.items():
+        names: set[str] = set()
+        for path in files:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if not SECRET_ANNOT.search(line):
+                    continue
+                code = line.split("//", 1)[0]
+                m = DECL_NAME.search(code)
+                if m:
+                    names.add(m.group(1))
+        if names:
+            secrets[module] = names
+    return secrets
+
+
+def secret_pattern(names: set[str]) -> re.Pattern[str] | None:
+    if not names:
+        return None
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    return re.compile(rf"\b(?:{alt})\b")
+
+
+def check_file(
+    path: Path, module: str, names: set[str], findings: list[Finding]
+) -> None:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    pat = secret_pattern(names)
+
+    for lineno, raw in enumerate(lines, start=1):
+        if SUPPRESS.search(raw) or SECRET_ANNOT.search(raw):
+            continue
+        if LINE_COMMENT.match(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+
+        # R1: raw memcmp inside a crypto module.
+        if module in CRYPTO_MODULES and MEMCMP.search(code):
+            findings.append(
+                Finding(path, lineno, "R1",
+                        "memcmp in a crypto module — use cbl::ct_equal "
+                        "(or annotate // ct:ok with a reason)")
+            )
+
+        if pat is None or not pat.search(code):
+            continue
+
+        # R2: ==/!= touching a secret name.
+        for m in re.finditer(r"[=!]=", code):
+            # Slice a window around the comparison; a secret on either
+            # side of the operator is a finding.
+            lhs = code[: m.start()]
+            rhs = code[m.end():]
+            lhs_tail = lhs.rsplit("(", 1)[-1].rsplit(",", 1)[-1]
+            rhs_head = re.split(r"[),;&|]", rhs, 1)[0]
+            if pat.search(lhs_tail) or pat.search(rhs_head):
+                findings.append(
+                    Finding(path, lineno, "R2",
+                            "==/!= on a ct:secret value — use cbl::ct_equal")
+                )
+                break
+
+        # R3: secret-dependent control flow / variable-latency arithmetic.
+        ctrl = re.search(r"\b(?:if|while|for|switch)\s*\(", code)
+        if ctrl:
+            tail = code[ctrl.end() - 1:]
+            if pat.search(tail):
+                findings.append(
+                    Finding(path, lineno, "R3",
+                            "secret-dependent branch — use ct_select/ct_swap "
+                            "or masked arithmetic")
+                )
+        if "?" in code and pat.search(code.split("?", 1)[0]):
+            findings.append(
+                Finding(path, lineno, "R3",
+                        "ternary on a ct:secret value — use ct_select")
+            )
+        for m in re.finditer(r"[%/](?!=)", code):
+            around = code[max(0, m.start() - 40): m.start() + 40]
+            if pat.search(around):
+                findings.append(
+                    Finding(path, lineno, "R3",
+                            "division/modulo on a ct:secret value — "
+                            "variable-latency on many cores")
+                )
+                break
+
+        # R4: secret used inside an index expression.
+        for m in re.finditer(r"\[([^\]]*)\]", code):
+            if pat.search(m.group(1)):
+                findings.append(
+                    Finding(path, lineno, "R4",
+                            "ct:secret value used as/inside an array index — "
+                            "secret-dependent addressing")
+                )
+                break
+
+
+def check_key_holders(path: Path, findings: list[Finding]) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    text = "\n".join(lines)
+    for lineno, raw in enumerate(lines, start=1):
+        if not KEYHOLDER_ANNOT.search(raw):
+            continue
+        # The annotated type is on this line or the next few.
+        decl = None
+        for look in lines[lineno - 1: lineno + 3]:
+            m = STRUCT_DECL.search(look)
+            if m:
+                decl = m.group(1)
+                break
+        if decl is None:
+            findings.append(
+                Finding(path, lineno, "R5",
+                        "ct:key-holder annotation with no struct/class "
+                        "declaration nearby")
+            )
+            continue
+        dtor = re.search(rf"~{re.escape(decl)}\s*\(\s*\)\s*(.*)", text)
+        if dtor is None:
+            findings.append(
+                Finding(path, lineno, "R5",
+                        f"ct:key-holder type {decl} declares no destructor — "
+                        "key material must be wiped")
+            )
+            continue
+        tail = dtor.group(1)
+        if tail.lstrip().startswith(";"):
+            continue  # out-of-line destructor: existence is enough here
+        # Inline body: require a wipe call within the destructor's extent
+        # (approximated by the following couple of lines).
+        start = text[: dtor.start()].count("\n")
+        body = "\n".join(lines[start: start + 6])
+        if "wipe" not in body:
+            findings.append(
+                Finding(path, lineno, "R5",
+                        f"~{decl}() does not call wipe()/secure_wipe — "
+                        "key material must be zeroized on destruction")
+            )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the script's parent)")
+    ap.add_argument("--list-secrets", action="store_true",
+                    help="print the collected ct:secret names and exit")
+    args = ap.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    src_root = root / "src"
+    if not src_root.is_dir():
+        print(f"ct_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files_by_module: dict[str, list[Path]] = {}
+    for glob in SOURCE_GLOBS:
+        for path in sorted(src_root.rglob(glob)):
+            files_by_module.setdefault(module_of(path, src_root), []).append(path)
+
+    secrets = collect_secret_names(files_by_module)
+    if args.list_secrets:
+        for module in sorted(secrets):
+            print(f"{module}: {', '.join(sorted(secrets[module]))}")
+        return 0
+
+    findings: list[Finding] = []
+    for module, files in sorted(files_by_module.items()):
+        names = secrets.get(module, set())
+        for path in files:
+            check_file(path, module, names, findings)
+            check_key_holders(path, findings)
+
+    for f in findings:
+        print(f)
+    total_files = sum(len(v) for v in files_by_module.values())
+    status = "FAIL" if findings else "OK"
+    print(f"ct_lint: {status} — {len(findings)} finding(s) over "
+          f"{total_files} files, "
+          f"{sum(len(v) for v in secrets.values())} tracked secret name(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

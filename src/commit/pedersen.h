@@ -10,9 +10,21 @@
 
 namespace cbl::commit {
 
+// ct:key-holder — openings are the secrets of the commitment scheme.
 struct Opening {
-  ec::Scalar value;
-  ec::Scalar randomness;
+  ec::Scalar value;       // ct:secret
+  ec::Scalar randomness;  // ct:secret
+
+  Opening() = default;
+  Opening(ec::Scalar v, ec::Scalar r) : value(v), randomness(r) {}
+  Opening(const Opening&) = default;
+  Opening(Opening&&) = default;
+  Opening& operator=(const Opening&) = default;
+  Opening& operator=(Opening&&) = default;
+  ~Opening() {
+    value.wipe();
+    randomness.wipe();
+  }
 };
 
 class Commitment {

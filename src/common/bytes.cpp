@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include "common/ct.h"
+
 namespace cbl {
 
 namespace {
@@ -45,10 +47,7 @@ std::string to_string(ByteView data) {
 }
 
 bool constant_time_eq(ByteView a, ByteView b) noexcept {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
+  return ct_equal(a, b);  // legacy name, kept for existing call sites
 }
 
 void append(Bytes& dst, ByteView src) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/ct.h"
 
 namespace cbl {
 
@@ -42,6 +43,7 @@ class Rng {
 };
 
 /// Deterministic ChaCha20-based DRBG.
+// ct:key-holder — the seed key determines every future output.
 class ChaChaRng final : public Rng {
  public:
   /// Seeds from a 32-byte key. A fixed seed yields a fixed stream.
@@ -55,13 +57,22 @@ class ChaChaRng final : public Rng {
 
   void fill(std::uint8_t* out, std::size_t len) override;
 
+  ChaChaRng(const ChaChaRng&) = default;
+  ChaChaRng(ChaChaRng&&) = default;
+  ChaChaRng& operator=(const ChaChaRng&) = default;
+  ChaChaRng& operator=(ChaChaRng&&) = default;
+  ~ChaChaRng() override {
+    secure_wipe(key_);
+    secure_wipe(buffer_, sizeof buffer_);
+  }
+
  private:
   void refill();
 
-  std::array<std::uint8_t, 32> key_;
+  std::array<std::uint8_t, 32> key_;  // ct:secret
   std::array<std::uint8_t, 12> nonce_{};
   std::uint32_t counter_ = 0;
-  std::uint8_t buffer_[64];
+  std::uint8_t buffer_[64];  // ct:secret
   std::size_t avail_ = 0;
 };
 

@@ -1,0 +1,213 @@
+#include "ct/ct.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/ct.h"
+
+// ---------------------------------------------------------------------------
+// Valgrind client requests, inlined (ctgrind style).
+//
+// The sequences below are the architecture's canonical "special instruction
+// preamble" that valgrind's JIT recognizes; outside valgrind they execute as
+// a handful of value-preserving rotates, i.e. a no-op. Inlining them keeps
+// the backend available without any valgrind development headers installed.
+// Request codes match valgrind/valgrind.h and valgrind/memcheck.h.
+// ---------------------------------------------------------------------------
+
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+#define CBL_CT_HAVE_VALGRIND 1
+#else
+#define CBL_CT_HAVE_VALGRIND 0
+#endif
+
+#if CBL_CT_HAVE_VALGRIND
+
+namespace {
+
+constexpr std::uintptr_t kVgRunningOnValgrind = 0x1001;
+// Memcheck tool requests: base = ('M' << 24) | ('C' << 16).
+constexpr std::uintptr_t kVgMakeMemUndefined = 0x4d430001;
+constexpr std::uintptr_t kVgMakeMemDefined = 0x4d430002;
+
+std::uintptr_t vg_client_request(std::uintptr_t dflt, std::uintptr_t request,
+                                 std::uintptr_t a1, std::uintptr_t a2) noexcept {
+  volatile std::uintptr_t args[6] = {request, a1, a2, 0, 0, 0};
+  std::uintptr_t result = dflt;
+#if defined(__x86_64__)
+  __asm__ volatile(
+      "rolq $3, %%rdi; rolq $13, %%rdi\n\t"
+      "rolq $61, %%rdi; rolq $51, %%rdi\n\t"
+      "xchgq %%rbx, %%rbx"
+      : "=d"(result)
+      : "a"(&args[0]), "0"(dflt)
+      : "cc", "memory");
+#elif defined(__aarch64__)
+  __asm__ volatile(
+      "mov x3, %1\n\t"
+      "mov x4, %2\n\t"
+      "ror x12, x12, #3  ;  ror x12, x12, #13 \n\t"
+      "ror x12, x12, #51 ;  ror x12, x12, #61 \n\t"
+      "orr x10, x10, x10\n\t"
+      "mov %0, x3"
+      : "=r"(result)
+      : "r"(dflt), "r"(&args[0])
+      : "cc", "memory", "x3", "x4");
+#endif
+  return result;
+}
+
+}  // namespace
+
+#endif  // CBL_CT_HAVE_VALGRIND
+
+// ---------------------------------------------------------------------------
+// MemorySanitizer backend (clang -fsanitize=memory builds only).
+// ---------------------------------------------------------------------------
+
+#if defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#include <sanitizer/msan_interface.h>
+#define CBL_CT_HAVE_MSAN 1
+#endif
+#endif
+#ifndef CBL_CT_HAVE_MSAN
+#define CBL_CT_HAVE_MSAN 0
+#endif
+
+namespace cbl::ct {
+
+namespace {
+
+// Software registry: currently-poisoned ranges keyed by start address.
+// Guarded by a plain mutex — the harness and tests are the only callers,
+// so this is nowhere near any hot path.
+struct Registry {
+  std::mutex mu;
+  std::map<std::uintptr_t, std::size_t> ranges;  // start -> length
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<std::uint64_t> g_declassified{0};
+
+void registry_poison(std::uintptr_t start, std::size_t len) {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  reg.ranges[start] = std::max(reg.ranges[start], len);
+}
+
+// Removes [start, start+len) from the registry, trimming partial overlaps.
+void registry_unpoison(std::uintptr_t start, std::size_t len) {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  const std::uintptr_t end = start + len;
+  auto it = reg.ranges.begin();
+  while (it != reg.ranges.end()) {
+    const std::uintptr_t rs = it->first;
+    const std::uintptr_t re = rs + it->second;
+    if (re <= start || rs >= end) {
+      ++it;
+      continue;
+    }
+    it = reg.ranges.erase(it);
+    if (rs < start) reg.ranges[rs] = start - rs;  // left remainder
+    if (re > end) reg.ranges[end] = re - end;     // right remainder
+  }
+}
+
+}  // namespace
+
+void poison(const void* p, std::size_t len) noexcept {
+  if (p == nullptr || len == 0) return;
+  registry_poison(reinterpret_cast<std::uintptr_t>(p), len);
+#if CBL_CT_HAVE_VALGRIND
+  vg_client_request(0, kVgMakeMemUndefined,
+                    reinterpret_cast<std::uintptr_t>(p), len);
+#endif
+#if CBL_CT_HAVE_MSAN
+  __msan_allocated_memory(p, len);
+#endif
+}
+
+void unpoison(const void* p, std::size_t len) noexcept {
+  if (p == nullptr || len == 0) return;
+  registry_unpoison(reinterpret_cast<std::uintptr_t>(p), len);
+#if CBL_CT_HAVE_VALGRIND
+  vg_client_request(0, kVgMakeMemDefined,
+                    reinterpret_cast<std::uintptr_t>(p), len);
+#endif
+#if CBL_CT_HAVE_MSAN
+  __msan_unpoison(const_cast<void*>(p), len);
+#endif
+}
+
+void declassify(const void* p, std::size_t len) noexcept {
+  g_declassified.fetch_add(1, std::memory_order_relaxed);
+  unpoison(p, len);
+}
+
+bool is_poisoned(const void* p, std::size_t len) noexcept {
+  if (p == nullptr || len == 0) return false;
+  const std::uintptr_t start = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t end = start + len;
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (const auto& [rs, rlen] : reg.ranges) {
+    if (rs < end && rs + rlen > start) return true;
+  }
+  return false;
+}
+
+std::size_t poisoned_bytes() noexcept {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::size_t total = 0;
+  for (const auto& [rs, rlen] : reg.ranges) total += rlen;
+  return total;
+}
+
+std::uint64_t declassified_events() noexcept {
+  return g_declassified.load(std::memory_order_relaxed);
+}
+
+void reset_for_testing() noexcept {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  reg.ranges.clear();
+  g_declassified.store(0, std::memory_order_relaxed);
+}
+
+const char* backend_name() noexcept {
+#if CBL_CT_HAVE_MSAN
+  return "msan";
+#elif CBL_CT_HAVE_VALGRIND
+  return "valgrind";
+#else
+  return "software";
+#endif
+}
+
+bool running_on_valgrind() noexcept {
+#if CBL_CT_HAVE_VALGRIND
+  return vg_client_request(0, kVgRunningOnValgrind, 0, 0) != 0;
+#else
+  return false;
+#endif
+}
+
+SecretScope::SecretScope(void* p, std::size_t len, OnExit on_exit) noexcept
+    : p_(p), len_(len), on_exit_(on_exit) {
+  poison(p_, len_);
+}
+
+SecretScope::~SecretScope() {
+  unpoison(p_, len_);
+  if (on_exit_ == OnExit::kUnpoisonAndWipe) secure_wipe(p_, len_);
+}
+
+}  // namespace cbl::ct

@@ -1,0 +1,83 @@
+// cbl::ct — the secret-taint side of the constant-time analysis layer.
+//
+// The API lets crypto code (and the ctcheck harness) mark byte ranges as
+// SECRET (`poison`), mark them public again (`unpoison`), and record the
+// deliberate, audited points where a secret-derived value becomes public
+// (`declassify` — e.g. a Ristretto encoding that is about to go on the
+// wire). Three backends consume the marks:
+//
+//  * Valgrind (ctgrind-style): poisoned ranges are marked "undefined" via
+//    the client-request mechanism, so running any binary under
+//    `valgrind --error-exitcode=1` turns every secret-dependent branch or
+//    address into a memcheck error. The client requests are inlined here
+//    (the canonical rotate-preamble sequence) so no valgrind headers are
+//    needed; outside valgrind they cost a few no-op instructions.
+//  * MemorySanitizer: poisoned ranges are marked uninitialized via
+//    __msan_allocated_memory when the tree is built with
+//    -DCBL_SANITIZE=memory (clang only; compile-gated).
+//  * Software registry (always on): an interval set of currently-poisoned
+//    ranges plus counters, used by the unit tests and by SecretScope to
+//    verify the bookkeeping. This backend does not detect leaks by itself;
+//    leak *detection* without valgrind/MSan comes from the PC-trace
+//    recorder in ct/trace.h (see ctcheck).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbl::ct {
+
+/// Marks [p, p+len) as secret in every active backend.
+void poison(const void* p, std::size_t len) noexcept;
+
+/// Marks [p, p+len) as public again (no declassification implied — use
+/// for scratch buffers that are wiped rather than published).
+void unpoison(const void* p, std::size_t len) noexcept;
+
+/// Audited secret->public transition: unpoisons and counts the event.
+/// Every call site is a line in the DESIGN.md declassification table.
+void declassify(const void* p, std::size_t len) noexcept;
+
+/// True iff [p, p+len) overlaps a range currently poisoned via poison().
+/// (Software registry view; valgrind/MSan keep their own shadow state.)
+bool is_poisoned(const void* p, std::size_t len) noexcept;
+
+/// Total bytes currently poisoned according to the software registry.
+std::size_t poisoned_bytes() noexcept;
+
+/// Number of declassify() calls since process start (or last reset).
+std::uint64_t declassified_events() noexcept;
+
+/// Test hook: forgets all software-registry state and zeroes counters.
+void reset_for_testing() noexcept;
+
+/// Which heavyweight backend this build can drive, for diagnostics.
+/// "valgrind" means the client requests are compiled in (they only bite
+/// when the process actually runs under valgrind).
+const char* backend_name() noexcept;
+
+/// True when running under valgrind right now (via the RUNNING_ON_VALGRIND
+/// client request); false when the mechanism is compiled out.
+bool running_on_valgrind() noexcept;
+
+/// RAII guard: poisons a buffer on entry, unpoisons (and optionally wipes)
+/// on exit. The canonical way for a function to say "everything in this
+/// buffer is secret for the duration of this computation".
+class SecretScope {
+ public:
+  enum class OnExit { kUnpoison, kUnpoisonAndWipe };
+
+  SecretScope(void* p, std::size_t len,
+              OnExit on_exit = OnExit::kUnpoison) noexcept;
+  ~SecretScope();
+
+  SecretScope(const SecretScope&) = delete;
+  SecretScope& operator=(const SecretScope&) = delete;
+
+ private:
+  void* p_;
+  std::size_t len_;
+  OnExit on_exit_;
+};
+
+}  // namespace cbl::ct

@@ -1,0 +1,50 @@
+#include "ct/trace.h"
+
+// This translation unit must NEVER be compiled with
+// -fsanitize-coverage=trace-pc itself (the callback would recurse); the
+// build system compiles cbl_ct without instrumentation. For the same
+// reason the callback must not call ANY inline/template function: their
+// COMDAT definitions may be kept from an *instrumented* object file, and
+// calling one from inside the callback recurses until the stack dies.
+// Hence raw __atomic builtins instead of std::atomic here.
+
+namespace cbl::ct {
+
+namespace {
+
+thread_local bool t_recording = false;
+thread_local std::uint64_t t_hash = 0;
+thread_local std::uint64_t t_edges = 0;
+
+bool g_any_edge = false;
+
+}  // namespace
+
+void trace_begin() noexcept {
+  t_hash = 14695981039346656037ULL;  // FNV-1a offset basis
+  t_edges = 0;
+  t_recording = true;
+}
+
+TraceStats trace_end() noexcept {
+  t_recording = false;
+  return TraceStats{t_hash, t_edges};
+}
+
+bool trace_instrumented() noexcept {
+  return __atomic_load_n(&g_any_edge, __ATOMIC_RELAXED);
+}
+
+}  // namespace cbl::ct
+
+extern "C" void __sanitizer_cov_trace_pc() {
+  using namespace cbl::ct;
+  if (!__atomic_load_n(&g_any_edge, __ATOMIC_RELAXED)) {
+    __atomic_store_n(&g_any_edge, true, __ATOMIC_RELAXED);
+  }
+  if (!t_recording) return;
+  const auto pc =
+      reinterpret_cast<std::uint64_t>(__builtin_return_address(0));
+  t_hash = (t_hash ^ pc) * 1099511628211ULL;  // FNV-1a prime, order-sensitive
+  ++t_edges;
+}

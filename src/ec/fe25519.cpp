@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/ct.h"
+
 namespace cbl::ec {
 
 namespace {
@@ -140,7 +142,9 @@ Fe25519 Fe25519::square() const noexcept { return *this * *this; }
 
 Fe25519 Fe25519::pow(const std::array<std::uint8_t, 32>& e) const noexcept {
   Fe25519 result = one();
-  // Left-to-right binary exponentiation over the 255 meaningful bits.
+  // Left-to-right binary exponentiation over the 255 meaningful bits. All
+  // callers pass fixed public exponents (p-2, (p-5)/8, (p-1)/4), so the
+  // per-bit branch is on public data. ct:public
   for (int bit = 254; bit >= 0; --bit) {
     result = result.square();
     if ((e[static_cast<std::size_t>(bit / 8)] >> (bit % 8)) & 1) {
@@ -180,15 +184,28 @@ bool Fe25519::is_zero() const noexcept {
 }
 
 bool Fe25519::operator==(const Fe25519& o) const noexcept {
-  return to_bytes() == o.to_bytes();
+  // Byte-level constant-time compare of the canonical encodings (the raw
+  // std::array operator== lowers to an early-exit memcmp).
+  return ct_equal(to_bytes(), o.to_bytes());
 }
 
 Fe25519 Fe25519::abs() const noexcept {
-  return is_negative() ? -*this : *this;
+  // Branch-free |x|: always compute the negation, then select on the sign.
+  return select(is_negative(), -*this, *this);
 }
 
 Fe25519 Fe25519::select(bool flag, const Fe25519& a, const Fe25519& b) noexcept {
-  return flag ? a : b;
+  Fe25519 r;
+  ct_select_u64(ct_mask_u64(flag), r.limbs_, a.limbs_, b.limbs_, 5);
+  return r;
+}
+
+void Fe25519::cmov(const Fe25519& other, std::uint64_t mask) noexcept {
+  ct_select_u64(mask, limbs_, other.limbs_, limbs_, 5);
+}
+
+void Fe25519::wipe() noexcept {
+  secure_wipe(limbs_, sizeof limbs_);
 }
 
 const Fe25519& Fe25519::sqrt_m1() noexcept {
@@ -220,8 +237,14 @@ SqrtRatioResult sqrt_ratio_m1(const Fe25519& u, const Fe25519& v) noexcept {
   const bool flipped_sign = check == neg_u;
   const bool flipped_sign_i = check == neg_u * Fe25519::sqrt_m1();
 
-  if (flipped_sign || flipped_sign_i) r = r * Fe25519::sqrt_m1();
-  return SqrtRatioResult{correct_sign || flipped_sign, r.abs()};
+  // The inputs may derive from secrets (Elligator over a hashed entry,
+  // decode of a masked encoding), so the sign fix is a cmov — the product
+  // is always computed — and the flags combine with `|`, never the
+  // short-circuiting `||`.
+  const bool flipped = flipped_sign | flipped_sign_i;
+  r = Fe25519::select(flipped, r * Fe25519::sqrt_m1(), r);
+  const bool was_square = correct_sign | flipped_sign;
+  return SqrtRatioResult{was_square, r.abs()};
 }
 
 }  // namespace cbl::ec

@@ -58,8 +58,16 @@ class Fe25519 {
   /// |x|: x if non-negative else -x.
   Fe25519 abs() const noexcept;
 
-  /// Constant-time-style select: returns a if flag else b.
+  /// Constant-time select: returns a if flag else b (mask-based limbwise
+  /// cmov; no branch on `flag`).
   static Fe25519 select(bool flag, const Fe25519& a, const Fe25519& b) noexcept;
+
+  /// Constant-time conditional move: *this = other when mask is all-ones
+  /// (from cbl::ct_mask_u64), unchanged when mask is zero.
+  void cmov(const Fe25519& other, std::uint64_t mask) noexcept;
+
+  /// Zeroizes the limbs through a compiler barrier.
+  void wipe() noexcept;
 
   /// sqrt(-1) mod p (the non-negative root), computed once at startup.
   static const Fe25519& sqrt_m1() noexcept;

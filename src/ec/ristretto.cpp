@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/ct.h"
 #include "hash/sha512.h"
 
 namespace cbl::ec {
@@ -78,8 +79,13 @@ const RistrettoPoint& RistrettoPoint::base() noexcept {
 std::optional<RistrettoPoint> RistrettoPoint::decode(
     const Encoding& bytes) noexcept {
   const Fe25519 s = Fe25519::from_bytes(bytes);
-  // Canonical encoding and non-negative s are both required.
-  if (s.to_bytes() != bytes || s.is_negative()) return std::nullopt;
+  // Validity flags accumulate with `&`/`|` (no short-circuit) and gate a
+  // single exit at the end: the verdict itself is public protocol state,
+  // but WHICH check failed — or any value along the way — must not shape
+  // the instruction trace. The canonicity compare is ct_equal, not the
+  // early-exit array operator==.
+  const bool canonical = ct_equal(s.to_bytes(), bytes);
+  const bool nonneg = !s.is_negative();
 
   const Fe25519 ss = s.square();
   const Fe25519 u1 = Fe25519::one() - ss;
@@ -95,7 +101,9 @@ std::optional<RistrettoPoint> RistrettoPoint::decode(
   const Fe25519 y = u1 * den_y;
   const Fe25519 t = x * y;
 
-  if (!inv.was_square || t.is_negative() || y.is_zero()) return std::nullopt;
+  const bool valid = canonical & nonneg & inv.was_square &
+                     !t.is_negative() & !y.is_zero();
+  if (!valid) return std::nullopt;  // ct:public — verdict is protocol state
   return RistrettoPoint(x, y, Fe25519::one(), t);
 }
 
@@ -117,7 +125,8 @@ RistrettoPoint::Encoding RistrettoPoint::encode() const noexcept {
   Fe25519 y = Fe25519::select(rotate, ix, y_);
   const Fe25519 den_inv = Fe25519::select(rotate, enchanted_den, den2);
 
-  if ((x * z_inv).is_negative()) y = -y;
+  // cmov, not a branch: the coordinates may derive from secret scalars.
+  y = Fe25519::select((x * z_inv).is_negative(), -y, y);
   return (den_inv * (z_ - y)).abs().to_bytes();
 }
 
@@ -127,11 +136,12 @@ RistrettoPoint RistrettoPoint::elligator_map(const Fe25519& t) noexcept {
   const Fe25519 u = (r + Fe25519::one()) * one_minus_d_sq();
   const Fe25519 v = (-Fe25519::one() - r * d) * (r + d);
 
+  // Elligator runs over hashed-but-secret data (the queried entry), so
+  // both fixups are selects rather than branches.
   const auto sq = sqrt_ratio_m1(u, v);
-  Fe25519 s = sq.root;
-  const Fe25519 s_prime = -(s * t).abs();
-  if (!sq.was_square) s = s_prime;
-  const Fe25519 c = sq.was_square ? -Fe25519::one() : r;
+  const Fe25519 s_prime = -(sq.root * t).abs();
+  const Fe25519 s = Fe25519::select(sq.was_square, sq.root, s_prime);
+  const Fe25519 c = Fe25519::select(sq.was_square, -Fe25519::one(), r);
 
   const Fe25519 n = c * (r - Fe25519::one()) * d_minus_one_sq() - v;
   const Fe25519 s_sq = s.square();
@@ -197,8 +207,30 @@ RistrettoPoint RistrettoPoint::operator-(const RistrettoPoint& o) const noexcept
   return *this + (-o);
 }
 
+void RistrettoPoint::cmov(const RistrettoPoint& o,
+                          std::uint64_t mask) noexcept {
+  x_.cmov(o.x_, mask);
+  y_.cmov(o.y_, mask);
+  z_.cmov(o.z_, mask);
+  t_.cmov(o.t_, mask);
+}
+
+RistrettoPoint RistrettoPoint::table_select(const RistrettoPoint table[16],
+                                            std::uint8_t index) noexcept {
+  // Full-table scan with cmov: every entry is touched on every call, so
+  // neither the branch pattern nor the data-cache footprint depends on the
+  // (secret) index.
+  RistrettoPoint r = table[0];
+  for (unsigned i = 1; i < 16; ++i) {
+    r.cmov(table[i], cbl::ct_mask_u64(i == index));
+  }
+  return r;
+}
+
 RistrettoPoint RistrettoPoint::operator*(const Scalar& s) const noexcept {
-  // 4-bit fixed-window left-to-right: table[i] = i * P.
+  // 4-bit fixed-window left-to-right: table[i] = i * P. The scalar is
+  // routinely secret (OPRF mask, blinding factor, VRF key), so window
+  // digits index the table via the constant-time scan, never directly.
   RistrettoPoint table[16];
   table[0] = identity();
   table[1] = *this;
@@ -209,16 +241,20 @@ RistrettoPoint RistrettoPoint::operator*(const Scalar& s) const noexcept {
   for (int i = 31; i >= 0; --i) {
     const std::uint8_t byte = bytes[static_cast<std::size_t>(i)];
     acc = acc.dbl().dbl().dbl().dbl();
-    acc = acc + table[byte >> 4];
+    acc = acc + table_select(table, byte >> 4);
     acc = acc.dbl().dbl().dbl().dbl();
-    acc = acc + table[byte & 0x0f];
+    acc = acc + table_select(table, byte & 0x0f);
   }
   return acc;
 }
 
 bool RistrettoPoint::operator==(const RistrettoPoint& o) const noexcept {
-  // Ristretto equality: x1*y2 == y1*x2 or y1*y2 == x1*x2.
-  return (x_ * o.y_ == y_ * o.x_) || (y_ * o.y_ == x_ * o.x_);
+  // Ristretto equality: x1*y2 == y1*x2 or y1*y2 == x1*x2. Both products
+  // are always computed and the verdicts combine with `|` — point
+  // equality runs on commitment openings and OPRF outputs.
+  const bool xy = x_ * o.y_ == y_ * o.x_;
+  const bool yx = y_ * o.y_ == x_ * o.x_;
+  return xy | yx;
 }
 
 RistrettoPoint RistrettoPoint::multiscalar_mul(
@@ -228,7 +264,9 @@ RistrettoPoint RistrettoPoint::multiscalar_mul(
     throw std::invalid_argument("multiscalar_mul: size mismatch");
   }
   // Shared-doubling (interleaved) evaluation: one doubling chain for all
-  // terms instead of one per term.
+  // terms instead of one per term. Variable-time BY DESIGN: this path
+  // only runs on public data (NIZK/DLEQ verification, tally checks);
+  // secret scalars must use operator*. ct:public
   std::vector<std::array<RistrettoPoint, 16>> tables(points.size());
   for (std::size_t k = 0; k < points.size(); ++k) {
     tables[k][0] = identity();

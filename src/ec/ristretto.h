@@ -49,16 +49,28 @@ class RistrettoPoint {
   RistrettoPoint operator-(const RistrettoPoint& o) const noexcept;
   RistrettoPoint operator-() const noexcept;
 
-  /// Scalar multiplication (4-bit fixed window; variable time — this
-  /// library is a research artifact, see SECURITY note in README).
+  /// Scalar multiplication (4-bit fixed window). Constant-time: the
+  /// window digits select table entries via a full-scan cmov
+  /// (table_select), and the add/double schedule is fixed, so neither
+  /// branches nor data-dependent loads reveal the scalar.
   RistrettoPoint operator*(const Scalar& s) const noexcept;
+
+  /// Constant-time conditional move: *this = o when mask is all-ones
+  /// (from cbl::ct_mask_u64), unchanged when mask is zero.
+  void cmov(const RistrettoPoint& o, std::uint64_t mask) noexcept;
+
+  /// Constant-time lookup of table[index] for index in [0, 16): scans all
+  /// 16 entries with cmov so the secret index never forms an address.
+  static RistrettoPoint table_select(const RistrettoPoint table[16],
+                                     std::uint8_t index) noexcept;
 
   /// Group equality (encoding-independent, per the ristretto spec).
   bool operator==(const RistrettoPoint& o) const noexcept;
 
   bool is_identity() const noexcept { return *this == identity(); }
 
-  /// sum(scalars[i] * points[i]); sizes must match.
+  /// sum(scalars[i] * points[i]); sizes must match. Variable-time by
+  /// design — verification-only path, never call with secret scalars.
   static RistrettoPoint multiscalar_mul(
       const std::vector<Scalar>& scalars,
       const std::vector<RistrettoPoint>& points);

@@ -1,5 +1,7 @@
 #include "ec/scalar.h"
 
+#include "common/ct.h"
+
 namespace cbl::ec {
 
 namespace {
@@ -31,20 +33,27 @@ inline u64 sbb(u64 a, u64 b, u64& borrow) noexcept {
   return static_cast<u64>(t);
 }
 
-// true iff a >= l.
-bool geq_l(const std::array<u64, 4>& a) noexcept {
-  for (int i = 3; i >= 0; --i) {
-    if (a[static_cast<std::size_t>(i)] != kL[static_cast<std::size_t>(i)]) {
-      return a[static_cast<std::size_t>(i)] > kL[static_cast<std::size_t>(i)];
-    }
+// All-ones iff a >= l, computed without a branch: subtract l and look at
+// the final borrow. Scalars are routinely secret (blinding factors, the
+// OPRF mask, commitment randomness), so every reduction below is masked
+// rather than conditional.
+u64 geq_l_mask(const std::array<u64, 4>& a) noexcept {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    (void)sbb(a[static_cast<std::size_t>(i)], kL[static_cast<std::size_t>(i)],
+              borrow);
   }
-  return true;
+  return borrow - 1;  // borrow == 0 (a >= l) -> all-ones
 }
 
-void sub_l(std::array<u64, 4>& a) noexcept {
+// a -= l where mask is all-ones; no-op (same instruction trace) otherwise.
+void csub_l(std::array<u64, 4>& a, u64 mask) noexcept {
   u64 borrow = 0;
-  for (int i = 0; i < 4; ++i) a[static_cast<std::size_t>(i)] =
-      sbb(a[static_cast<std::size_t>(i)], kL[static_cast<std::size_t>(i)], borrow);
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        sbb(a[static_cast<std::size_t>(i)],
+            kL[static_cast<std::size_t>(i)] & mask, borrow);
+  }
 }
 
 // Montgomery product: a * b * 2^{-256} mod l (CIOS), inputs < l.
@@ -85,7 +94,8 @@ std::array<u64, 4> mont_mul(const std::array<u64, 4>& a,
   }
 
   std::array<u64, 4> r = {t[0], t[1], t[2], t[3]};
-  if (t[4] != 0 || geq_l(r)) sub_l(r);
+  // CIOS leaves the result < 2l, so one masked subtraction finishes it.
+  csub_l(r, ct_mask_u64(t[4] != 0) | geq_l_mask(r));
   return r;
 }
 
@@ -96,7 +106,7 @@ std::array<u64, 4> pow2_mod_l(int exponent) noexcept {
     u64 carry = 0;
     for (int j = 0; j < 4; ++j) r[static_cast<std::size_t>(j)] =
         adc(r[static_cast<std::size_t>(j)], r[static_cast<std::size_t>(j)], carry);
-    if (carry != 0 || geq_l(r)) sub_l(r);
+    csub_l(r, ct_mask_u64(carry != 0) | geq_l_mask(r));
   }
   return r;
 }
@@ -130,7 +140,8 @@ std::optional<Scalar> Scalar::from_canonical_bytes(
   for (int i = 0; i < 4; ++i) {
     s.limbs_[static_cast<std::size_t>(i)] = load_le64(bytes.data() + 8 * i);
   }
-  if (geq_l(s.limbs_)) return std::nullopt;
+  // ct:public — the canonicity verdict is part of the wire protocol.
+  if (geq_l_mask(s.limbs_) != 0) return std::nullopt;
   return s;
 }
 
@@ -144,22 +155,23 @@ Scalar Scalar::from_bytes_mod_order(
 Scalar Scalar::from_bytes_wide(
     const std::array<std::uint8_t, 64>& bytes) noexcept {
   // Binary reduction: r = sum bits, msb first, r = 2r + bit (mod l).
-  // ~1k word additions; simple and obviously correct.
+  // ~1k word additions; simple and obviously correct. The input is often
+  // secret (blinding-factor sampling), so the per-bit add is masked rather
+  // than branched on.
   std::array<u64, 4> r = {0, 0, 0, 0};
   for (int byte = 63; byte >= 0; --byte) {
     for (int bit = 7; bit >= 0; --bit) {
       u64 carry = 0;
       for (int j = 0; j < 4; ++j) r[static_cast<std::size_t>(j)] =
           adc(r[static_cast<std::size_t>(j)], r[static_cast<std::size_t>(j)], carry);
-      if (carry != 0 || geq_l(r)) sub_l(r);
-      if ((bytes[static_cast<std::size_t>(byte)] >> bit) & 1) {
-        u64 c = 1;
-        for (int j = 0; j < 4 && c != 0; ++j) {
-          r[static_cast<std::size_t>(j)] =
-              adc(r[static_cast<std::size_t>(j)], 0, c);
-        }
-        if (geq_l(r)) sub_l(r);
-      }
+      csub_l(r, ct_mask_u64(carry != 0) | geq_l_mask(r));
+      const u64 b = (bytes[static_cast<std::size_t>(byte)] >> bit) & 1;
+      u64 c = 0;
+      r[0] = adc(r[0], b, c);
+      r[1] = adc(r[1], 0, c);
+      r[2] = adc(r[2], 0, c);
+      r[3] = adc(r[3], 0, c);
+      csub_l(r, geq_l_mask(r));
     }
   }
   Scalar s;
@@ -189,7 +201,7 @@ Scalar Scalar::operator+(const Scalar& o) const noexcept {
         adc(limbs_[static_cast<std::size_t>(i)],
             o.limbs_[static_cast<std::size_t>(i)], carry);
   }
-  if (carry != 0 || geq_l(r.limbs_)) sub_l(r.limbs_);
+  csub_l(r.limbs_, ct_mask_u64(carry != 0) | geq_l_mask(r.limbs_));
   return r;
 }
 
@@ -201,13 +213,13 @@ Scalar Scalar::operator-(const Scalar& o) const noexcept {
         sbb(limbs_[static_cast<std::size_t>(i)],
             o.limbs_[static_cast<std::size_t>(i)], borrow);
   }
-  if (borrow != 0) {
-    u64 carry = 0;
-    for (int i = 0; i < 4; ++i) {
-      r.limbs_[static_cast<std::size_t>(i)] =
-          adc(r.limbs_[static_cast<std::size_t>(i)],
-              kL[static_cast<std::size_t>(i)], carry);
-    }
+  // Masked add-back of l when the subtraction borrowed.
+  const u64 mask = ct_mask_u64(borrow != 0);
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limbs_[static_cast<std::size_t>(i)] =
+        adc(r.limbs_[static_cast<std::size_t>(i)],
+            kL[static_cast<std::size_t>(i)] & mask, carry);
   }
   return r;
 }
@@ -222,8 +234,14 @@ Scalar Scalar::operator*(const Scalar& o) const noexcept {
   return r;
 }
 
+void Scalar::wipe() noexcept {
+  secure_wipe(limbs_.data(), limbs_.size() * sizeof(u64));
+}
+
 Scalar Scalar::invert() const noexcept {
-  // Fermat: x^(l-2). Exponent bits taken from l with 2 subtracted.
+  // Fermat: x^(l-2). Exponent bits taken from l with 2 subtracted — the
+  // exponent is a public constant, so the per-bit branch below leaks
+  // nothing about the base. ct:public
   std::array<u64, 4> e = kL;
   e[0] -= 2;  // l is odd with low limb ...ed, no borrow
   Scalar result = one();

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/ct.h"
 #include "common/rng.h"
 
 namespace cbl::ec {
@@ -50,10 +51,21 @@ class Scalar {
   /// Multiplicative inverse via Fermat; inverse of zero is zero.
   Scalar invert() const noexcept;
 
-  bool operator==(const Scalar& o) const noexcept = default;
+  /// Zeroizes the limbs through a compiler barrier. Key-holding types
+  /// (OPRF masks, blinding factors, VRF keys) call this from their
+  /// destructors per the DESIGN.md constant-time policy.
+  void wipe() noexcept;
+
+  /// Constant-time: a defaulted == would short-circuit limb by limb, and
+  /// scalars are routinely secret (blinding factors, masks, keys).
+  bool operator==(const Scalar& o) const noexcept {
+    return ct_equal(reinterpret_cast<const std::uint8_t*>(limbs_.data()),
+                    reinterpret_cast<const std::uint8_t*>(o.limbs_.data()),
+                    sizeof(limbs_));
+  }
 
   bool is_zero() const noexcept {
-    return limbs_[0] == 0 && limbs_[1] == 0 && limbs_[2] == 0 && limbs_[3] == 0;
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
   }
 
   /// Access to the i-th bit of the canonical representation (for scalar

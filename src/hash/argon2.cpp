@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/ct.h"
 #include "hash/blake2b.h"
 
 namespace cbl::hash {
@@ -154,7 +155,8 @@ Bytes argon2id(ByteView password, ByteView salt, const Argon2Params& params,
   append(h0_input, secret);
   le32(h0_input, static_cast<std::uint32_t>(associated_data.size()));
   append(h0_input, associated_data);
-  const Bytes h0 = Blake2b::digest(ByteView(h0_input.data(), h0_input.size()), 64);
+  Bytes h0 = Blake2b::digest(ByteView(h0_input.data(), h0_input.size()), 64);
+  secure_wipe(h0_input.data(), h0_input.size());  // held the password + pepper
 
   // Memory layout: p lanes x q columns, m' = 4p * floor(m / 4p) blocks.
   const std::uint32_t m_prime = 4 * p * (params.memory_kib / (4 * p));
@@ -288,8 +290,15 @@ Bytes argon2id(ByteView password, ByteView salt, const Argon2Params& params,
   for (std::size_t i = 0; i < kBlockWords; ++i) {
     store_le64(final_bytes.data() + 8 * i, final_block.w[i]);
   }
-  return argon2_hprime(ByteView(final_bytes.data(), final_bytes.size()),
-                       params.tag_length);
+  Bytes tag = argon2_hprime(ByteView(final_bytes.data(), final_bytes.size()),
+                            params.tag_length);
+
+  // Everything below the tag is password-derived state.
+  secure_wipe(h0.data(), h0.size());
+  secure_wipe(memory.data(), memory.size() * sizeof(Block));
+  secure_wipe(&final_block, sizeof(final_block));
+  secure_wipe(final_bytes.data(), final_bytes.size());
+  return tag;
 }
 
 }  // namespace cbl::hash

@@ -24,9 +24,11 @@
 
 namespace cbl::oprf {
 
+// ct:key-holder — the mask R is the store's long-lived secret.
 class KeywordStore {
  public:
   KeywordStore(Oracle oracle, unsigned lambda, Rng& rng);
+  ~KeywordStore() { mask_.wipe(); }
 
   /// (Re)builds the store from keyword -> value pairs under a fresh mask.
   void build(const std::vector<std::pair<std::string, Bytes>>& records);
@@ -58,9 +60,17 @@ class KeywordStore {
   std::optional<Bytes> client_lookup(std::string_view keyword, Rng& rng) const;
 
   // Client primitives (exposed so the round trip can cross a transport).
+  // ct:key-holder
   struct Pending {
-    ec::Scalar blinding;
+    ec::Scalar blinding;  // ct:secret
     std::uint32_t prefix = 0;
+
+    Pending() = default;
+    Pending(const Pending&) = default;
+    Pending(Pending&&) = default;
+    Pending& operator=(const Pending&) = default;
+    Pending& operator=(Pending&&) = default;
+    ~Pending() { blinding.wipe(); }
   };
   static std::pair<LookupRequest, Pending> prepare(const Oracle& oracle,
                                                    unsigned lambda,
@@ -73,7 +83,7 @@ class KeywordStore {
   Oracle oracle_;
   unsigned lambda_;
   Rng& rng_;
-  ec::Scalar mask_;
+  ec::Scalar mask_;  // R  ct:secret
   std::map<std::uint32_t, std::vector<TaggedRecord>> buckets_;
   std::size_t record_count_ = 0;
 };

@@ -57,11 +57,19 @@ struct QueryResponse {
 };
 
 /// Client-side state kept between prepare() and finish().
+// ct:key-holder — the blinding factor is what keeps the query private.
 struct PendingQuery {
-  ec::Scalar blinding;          // r
+  ec::Scalar blinding;          // r  ct:secret
   ec::RistrettoPoint hashed;    // H(u)
   std::uint32_t prefix = 0;
   bool used_cache_hint = false;
+
+  PendingQuery() = default;
+  PendingQuery(const PendingQuery&) = default;
+  PendingQuery(PendingQuery&&) = default;
+  PendingQuery& operator=(const PendingQuery&) = default;
+  PendingQuery& operator=(PendingQuery&&) = default;
+  ~PendingQuery() { blinding.wipe(); }
 };
 
 }  // namespace cbl::oprf

@@ -47,6 +47,8 @@ OprfServer::OprfServer(Oracle oracle, unsigned lambda, Rng& rng)
       "cbl_oprf_k_anonymity", {}, "Minimum non-empty bucket size");
 }
 
+OprfServer::~OprfServer() { mask_.wipe(); }
+
 void OprfServer::refresh_data_gauges() {
   metrics_.entries->set(static_cast<double>(entries_.size()));
   metrics_.epoch->set(static_cast<double>(epoch_));

@@ -38,9 +38,11 @@ using MetadataProvider = std::function<Bytes(const std::string& entry)>;
 // remove_entries / set_metadata_provider) take the write lock and may
 // run concurrently with queries but not with each other.
 
+// ct:key-holder — the mask R is the service's long-lived secret.
 class OprfServer {
  public:
   OprfServer(Oracle oracle, unsigned lambda, Rng& rng);
+  ~OprfServer();
 
   /// Data preprocessing (stage 1 of Fig. 2): samples a fresh mask R,
   /// blinds every entry and partitions into buckets. `num_threads` > 1
@@ -131,7 +133,7 @@ class OprfServer {
   Oracle oracle_;
   unsigned lambda_;
   Rng& rng_;
-  ec::Scalar mask_;  // R
+  ec::Scalar mask_;  // R  ct:secret
   ec::RistrettoPoint key_commitment_;  // g^R
   std::uint64_t epoch_ = 0;
   std::vector<std::string> entries_;

@@ -18,11 +18,19 @@
 
 namespace cbl::vrf {
 
+// ct:key-holder — sk is the candidate's long-lived sortition secret.
 struct KeyPair {
-  ec::Scalar sk;
+  ec::Scalar sk;  // ct:secret
   ec::RistrettoPoint pk;
 
   static KeyPair generate(Rng& rng);
+
+  KeyPair() = default;
+  KeyPair(const KeyPair&) = default;
+  KeyPair(KeyPair&&) = default;
+  KeyPair& operator=(const KeyPair&) = default;
+  KeyPair& operator=(KeyPair&&) = default;
+  ~KeyPair() { sk.wipe(); }
 };
 
 struct Proof {
