@@ -1,0 +1,51 @@
+// Decode surface: blocklist/address.h — the address-format codecs that
+// face scraped feed data (base58 with both alphabets, bech32, chain
+// detection). Asserts the codecs are canonical: any string that decodes
+// must re-encode to itself, and detect_chain must agree with the
+// per-chain validators.
+#include <algorithm>
+#include <string>
+
+#include "blocklist/address.h"
+#include "fuzz/harness.h"
+
+using namespace cbl;
+
+CBL_FUZZ_TARGET(cbl_fuzz_address) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  for (const auto alphabet :
+       {blocklist::kBitcoinAlphabet, blocklist::kRippleAlphabet}) {
+    if (const auto decoded = blocklist::base58_decode(text, alphabet)) {
+      CBL_FUZZ_CHECK(blocklist::base58_encode(*decoded, alphabet) == text);
+    }
+  }
+
+  if (const auto decoded = blocklist::bech32_decode(text)) {
+    // bech32 accepts an all-uppercase spelling; re-encoding is lowercase.
+    std::string lowered(text);
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    CBL_FUZZ_CHECK(
+        blocklist::bech32_encode(decoded->first, decoded->second) == lowered);
+  }
+
+  // detect_chain must agree with the validator it claims matched.
+  if (const auto chain = blocklist::detect_chain(text)) {
+    switch (*chain) {
+      case blocklist::Chain::kBitcoin:
+        CBL_FUZZ_CHECK(blocklist::validate_bitcoin_address(text));
+        break;
+      case blocklist::Chain::kEthereum:
+        CBL_FUZZ_CHECK(blocklist::validate_ethereum_address(text));
+        break;
+      case blocklist::Chain::kRipple:
+        CBL_FUZZ_CHECK(blocklist::validate_ripple_address(text));
+        break;
+      case blocklist::Chain::kBitcoinSegwit:
+        CBL_FUZZ_CHECK(blocklist::validate_segwit_address(text));
+        break;
+    }
+  }
+  return 0;
+}

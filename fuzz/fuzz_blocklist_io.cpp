@@ -1,0 +1,46 @@
+// Decode surface: blocklist/io.h — the line-oriented feed importer
+// (scraped abuse-database rows are the canonical untrusted input of the
+// paper's data pipeline). Asserts parse/format round-trip stability and
+// that the bulk importer's accounting stays consistent on hostile text.
+#include <sstream>
+#include <string>
+
+#include "blocklist/io.h"
+#include "fuzz/harness.h"
+
+using namespace cbl;
+
+CBL_FUZZ_TARGET(cbl_fuzz_blocklist_io) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  if (const auto entry = blocklist::parse_entry_line(text)) {
+    // A parsed entry must survive the format/parse round trip intact.
+    const std::string line = blocklist::format_entry(*entry);
+    const auto again = blocklist::parse_entry_line(line);
+    CBL_FUZZ_CHECK(again.has_value());
+    CBL_FUZZ_CHECK(again->address == entry->address &&
+                   again->chain == entry->chain &&
+                   again->category == entry->category &&
+                   again->first_reported == entry->first_reported &&
+                   again->report_count == entry->report_count);
+  }
+
+  // The bulk importer must skip malformed rows, never crash, and keep
+  // its accounting consistent.
+  blocklist::Store store;
+  const auto stats = blocklist::import_string_into_store(text, store);
+  CBL_FUZZ_CHECK(stats.entries_imported + stats.entries_merged +
+                     stats.lines_rejected <=
+                 stats.lines_total);
+  CBL_FUZZ_CHECK(store.size() == stats.entries_imported);
+
+  // Export of whatever survived must re-import losslessly.
+  if (store.size() != 0) {
+    blocklist::Store round;
+    const auto replay = blocklist::import_string_into_store(
+        blocklist::export_store_to_string(store), round);
+    CBL_FUZZ_CHECK(replay.lines_rejected == 0);
+    CBL_FUZZ_CHECK(round.size() == store.size());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Decode surface: net/service_node.h — the request/response frame
+// parsers and ServiceInfo codec, plus the two stateful consumers of
+// hostile frames: a real BlocklistServiceNode fed raw fuzz input as a
+// request, and a RemoteBlocklistClient whose server replays the fuzz
+// input as its response (must classify as malformed, never crash or
+// leak an exception through query()).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/harness.h"
+#include "net/service_node.h"
+
+using namespace cbl;
+
+namespace {
+
+ByteView g_hostile;  // current fuzz input, served by the hostile endpoint
+
+struct Fixture {
+  ChaChaRng rng = ChaChaRng::from_string_seed("fuzz-net-frame");
+  net::Transport transport{
+      net::TransportConfig{.latency_ms_min = 0.0, .latency_ms_max = 0.0,
+                           .drop_rate = 0.0},
+      rng};
+  oprf::OprfServer server{oprf::Oracle::fast(), 16, rng};
+  std::optional<net::BlocklistServiceNode> node;
+  std::optional<net::RemoteBlocklistClient> client;
+
+  Fixture() {
+    const std::vector<std::string> entries = {"addr-one", "addr-two"};
+    server.setup(entries);
+    node.emplace(transport, "svc", server, oprf::Oracle::fast());
+    // The hostile endpoint answers the initial kInfo handshake honestly
+    // (so a client can finish construction), then replays the current
+    // fuzz input verbatim for every later call.
+    net::ServiceInfo info;
+    info.lambda = 16;
+    transport.register_endpoint(
+        "hostile", [info](ByteView frame) -> std::optional<Bytes> {
+          const auto request = net::parse_request_frame(frame);
+          if (request && request->method == net::Method::kInfo) {
+            Bytes response{static_cast<std::uint8_t>(net::Status::kOk)};
+            const Bytes body = net::encode_info(info);
+            response.insert(response.end(), body.begin(), body.end());
+            return response;
+          }
+          return Bytes(g_hostile.begin(), g_hostile.end());
+        });
+    client.emplace(transport, "hostile", rng);
+  }
+};
+
+}  // namespace
+
+CBL_FUZZ_TARGET(cbl_fuzz_net_frame) {
+  static Fixture f;
+  const ByteView input(data, size);
+
+  // The bare frame parsers are total; decode_info must be canonical.
+  (void)net::parse_request_frame(input);
+  (void)net::parse_response_frame(input);
+  if (const auto info = net::decode_info(input)) {
+    const Bytes re = net::encode_info(*info);
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+  }
+
+  // A real node must answer any request frame without crashing.
+  (void)f.transport.call("svc", input);
+
+  // A client facing a hostile server must classify, not crash/throw.
+  g_hostile = input;
+  if (size != 0 && (data[0] & 1) != 0) {
+    (void)f.client->sync_prefix_list();
+  } else {
+    (void)f.client->query("1BoatSLRHtKNngkdXEeobR76b53LETtpyT");
+  }
+  return 0;
+}

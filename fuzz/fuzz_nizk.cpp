@@ -1,0 +1,58 @@
+// Decode surface: the five nizk proof/signature decoders plus the VRF
+// proof — every from_bytes a hostile chain submission or query response
+// can reach. Selector byte first; successful decodes must re-encode
+// byte-identically (the encodings are canonical).
+#include "fuzz/harness.h"
+#include "nizk/proof_a.h"
+#include "nizk/proof_b.h"
+#include "nizk/sigma.h"
+#include "nizk/signature.h"
+#include "nizk/vote_or.h"
+#include "vrf/vrf.h"
+
+using namespace cbl;
+
+namespace {
+
+template <typename T>
+void check_roundtrip(const std::optional<T>& parsed, ByteView body) {
+  if (!parsed) return;
+  const Bytes re = parsed->to_bytes();
+  CBL_FUZZ_CHECK(re.size() == body.size() &&
+                 std::equal(re.begin(), re.end(), body.begin()));
+}
+
+}  // namespace
+
+CBL_FUZZ_TARGET(cbl_fuzz_nizk) {
+  if (size == 0) return 0;
+  const ByteView body(data + 1, size - 1);
+  switch (data[0] % 7) {
+    case 0:
+      check_roundtrip(nizk::SchnorrProof::from_bytes(body), body);
+      break;
+    case 1:
+      check_roundtrip(nizk::RepresentationProof::from_bytes(body), body);
+      break;
+    case 2:
+      check_roundtrip(nizk::DleqProof::from_bytes(body), body);
+      break;
+    case 3:
+      check_roundtrip(nizk::ProofA::from_bytes(body), body);
+      break;
+    case 4:
+      check_roundtrip(nizk::ProofB::from_bytes(body), body);
+      break;
+    case 5:
+      check_roundtrip(nizk::BinaryVoteProof::from_bytes(body), body);
+      break;
+    case 6:
+      if (data[0] & 0x80) {
+        check_roundtrip(nizk::Signature::from_bytes(body), body);
+      } else {
+        check_roundtrip(vrf::Proof::from_bytes(body), body);
+      }
+      break;
+  }
+  return 0;
+}

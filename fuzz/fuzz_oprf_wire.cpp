@@ -1,0 +1,39 @@
+// Decode surface: oprf/wire.h — the query-protocol messages that travel
+// between users and providers (parse_query_request /
+// parse_query_response / parse_prefix_list). Selector byte first, then
+// the hostile payload; successful parses must re-encode byte-identically.
+#include "fuzz/harness.h"
+#include "oprf/wire.h"
+
+using namespace cbl;
+
+namespace {
+
+bool same(const Bytes& re, ByteView body) {
+  return re.size() == body.size() && std::equal(re.begin(), re.end(), body.begin());
+}
+
+}  // namespace
+
+CBL_FUZZ_TARGET(cbl_fuzz_oprf_wire) {
+  if (size == 0) return 0;
+  const ByteView body(data + 1, size - 1);
+  switch (data[0] % 3) {
+    case 0: {
+      const auto parsed = oprf::parse_query_request(body);
+      if (parsed) CBL_FUZZ_CHECK(same(oprf::serialize(*parsed), body));
+      break;
+    }
+    case 1: {
+      const auto parsed = oprf::parse_query_response(body);
+      if (parsed) CBL_FUZZ_CHECK(same(oprf::serialize(*parsed), body));
+      break;
+    }
+    case 2: {
+      const auto parsed = oprf::parse_prefix_list(body);
+      if (parsed) CBL_FUZZ_CHECK(same(oprf::serialize_prefix_list(*parsed), body));
+      break;
+    }
+  }
+  return 0;
+}

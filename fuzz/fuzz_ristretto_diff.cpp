@@ -1,0 +1,52 @@
+// Differential harness over the two independent decode paths for group
+// elements: RistrettoPoint::decode / Scalar::from_canonical_bytes versus
+// ec::WireReader's point()/scalar(). Both must accept exactly the same
+// byte strings, agree on the decoded value, and re-encode canonically.
+// Also covers from_hex/to_hex (the text-facing byte codec).
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "common/bytes.h"
+#include "ec/codec.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+#include "fuzz/harness.h"
+
+using namespace cbl;
+
+CBL_FUZZ_TARGET(cbl_fuzz_ristretto_diff) {
+  if (size >= 32) {
+    std::array<std::uint8_t, 32> enc{};
+    std::copy_n(data, 32, enc.begin());
+
+    const auto direct = ec::RistrettoPoint::decode(enc);
+    ec::WireReader point_reader(ByteView(data, 32));
+    const ec::RistrettoPoint via_reader = point_reader.point();
+    CBL_FUZZ_CHECK(direct.has_value() == point_reader.finish());
+    if (direct) {
+      CBL_FUZZ_CHECK(via_reader == *direct);
+      CBL_FUZZ_CHECK(direct->encode() == enc);  // canonical re-encode
+    }
+
+    const auto canonical = ec::Scalar::from_canonical_bytes(enc);
+    ec::WireReader scalar_reader(ByteView(data, 32));
+    const ec::Scalar via_scalar = scalar_reader.scalar();
+    CBL_FUZZ_CHECK(canonical.has_value() == scalar_reader.finish());
+    if (canonical) {
+      CBL_FUZZ_CHECK(via_scalar == *canonical);
+      CBL_FUZZ_CHECK(canonical->to_bytes() == enc);
+    }
+  }
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  if (const auto bytes = from_hex(text)) {
+    CBL_FUZZ_CHECK(bytes->size() * 2 == text.size());
+    std::string lowered(text);
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    CBL_FUZZ_CHECK(to_hex(*bytes) == lowered);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Decode surface: voting/wire.h — the on-chain submission parsers of
+// Fig. 4 (parse_round1 / parse_vrf_reveal / parse_round2). The first
+// input byte selects the parser; the rest is the hostile message. When a
+// parse succeeds the canonical re-encode must reproduce the input
+// exactly (serialize(parse(b)) == b).
+#include "fuzz/harness.h"
+#include "voting/wire.h"
+
+using namespace cbl;
+
+CBL_FUZZ_TARGET(cbl_fuzz_voting_wire) {
+  if (size == 0) return 0;
+  const ByteView body(data + 1, size - 1);
+  switch (data[0] % 3) {
+    case 0: {
+      const auto parsed = voting::parse_round1(body);
+      if (parsed) {
+        const Bytes re = voting::serialize(*parsed);
+        CBL_FUZZ_CHECK(re.size() == body.size() &&
+                       std::equal(re.begin(), re.end(), body.begin()));
+      }
+      break;
+    }
+    case 1: {
+      const auto parsed = voting::parse_vrf_reveal(body);
+      if (parsed) {
+        const Bytes re = voting::serialize(*parsed);
+        CBL_FUZZ_CHECK(re.size() == body.size() &&
+                       std::equal(re.begin(), re.end(), body.begin()));
+      }
+      break;
+    }
+    case 2: {
+      const auto parsed = voting::parse_round2(body);
+      if (parsed) {
+        const Bytes re = voting::serialize(*parsed);
+        CBL_FUZZ_CHECK(re.size() == body.size() &&
+                       std::equal(re.begin(), re.end(), body.begin()));
+      }
+      break;
+    }
+  }
+  return 0;
+}

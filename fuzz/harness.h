@@ -1,0 +1,38 @@
+// Shared scaffolding for the cbl::fuzz harnesses (DESIGN.md
+// "Untrusted-input policy"). Each harness TU defines exactly one
+// CBL_FUZZ_TARGET(cbl_fuzz_<surface>) over one decode surface. Three
+// build shapes consume the same TU:
+//
+//   libFuzzer      -fsanitize=fuzzer forwards LLVMFuzzerTestOneInput to
+//                  the named entry (clang toolchains).
+//   standalone     standalone_main.cpp provides a main() that replays a
+//                  corpus and runs a built-in mutation loop — same entry
+//                  symbol, no clang dependency (the CI default here).
+//   combined       -DCBL_FUZZ_COMBINED links every harness into the
+//                  corpus-replay ctest binary; only the named entries
+//                  are emitted (one LLVMFuzzerTestOneInput per binary).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(CBL_FUZZ_COMBINED)
+#define CBL_FUZZ_TARGET(name) \
+  extern "C" int name(const std::uint8_t* data, std::size_t size)
+#else
+#define CBL_FUZZ_TARGET(name)                                        \
+  extern "C" int name(const std::uint8_t* data, std::size_t size);   \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,    \
+                                        std::size_t size) {          \
+    return name(data, size);                                         \
+  }                                                                  \
+  extern "C" int name(const std::uint8_t* data, std::size_t size)
+#endif
+
+// Harness-level invariant (round-trip equality, differential agreement).
+// A violation must be loud under every driver, so trap: ASan/UBSan and
+// libFuzzer all report the faulting input.
+#define CBL_FUZZ_CHECK(cond)      \
+  do {                            \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)

@@ -1,0 +1,256 @@
+// Regenerates the seed corpora under fuzz/corpora/ — one directory per
+// harness, each file a structurally interesting input (valid messages,
+// truncations, bad tags). Deterministic: a fixed DRBG seed, so rerunning
+// the tool reproduces the committed corpus byte for byte.
+//
+// Usage: make_corpus <output-root>   (typically fuzz/corpora)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "blocklist/address.h"
+#include "blocklist/io.h"
+#include "common/rng.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+#include "net/service_node.h"
+#include "nizk/signature.h"
+#include "oprf/wire.h"
+#include "voting/wire.h"
+#include "vrf/vrf.h"
+
+using namespace cbl;
+
+namespace {
+
+std::filesystem::path g_root;
+
+void write(const std::string& surface, const std::string& name,
+           ByteView bytes) {
+  const auto dir = g_root / surface;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write(const std::string& surface, const std::string& name,
+           std::string_view text) {
+  write(surface, name, ByteView(reinterpret_cast<const std::uint8_t*>(
+                                    text.data()),
+                                text.size()));
+}
+
+Bytes with_selector(std::uint8_t selector, ByteView body) {
+  Bytes out{selector};
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+ec::RistrettoPoint rand_point(Rng& rng) {
+  std::array<std::uint8_t, 64> wide;
+  rng.fill(wide.data(), wide.size());
+  return ec::RistrettoPoint::from_uniform_bytes(wide);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <output-root>\n");
+    return 2;
+  }
+  g_root = argv[1];
+  ChaChaRng rng = ChaChaRng::from_string_seed("cbl-corpus");
+
+  // ----------------------------------------------------------- voting_wire
+  voting::Round1Submission r1;
+  r1.deposit_note = commit::Commitment(rand_point(rng));
+  r1.deposit_proof.commitment = rand_point(rng);
+  r1.deposit_proof.response = ec::Scalar::random(rng);
+  r1.vrf_pk = rand_point(rng);
+  r1.comm_secret = rand_point(rng);
+  r1.c1 = rand_point(rng);
+  r1.c2 = rand_point(rng);
+  r1.comm_vote = rand_point(rng);
+  r1.proof_a.sigma0 = rand_point(rng);
+  r1.proof_a.sigma1 = rand_point(rng);
+  r1.proof_a.sigma2 = rand_point(rng);
+  r1.proof_a.gamma0 = rand_point(rng);
+  r1.proof_a.gamma1 = rand_point(rng);
+  r1.proof_a.a = ec::Scalar::random(rng);
+  r1.proof_a.b = ec::Scalar::random(rng);
+  r1.proof_a.omega = ec::Scalar::random(rng);
+  r1.vote_proof.a0 = rand_point(rng);
+  r1.vote_proof.a1 = rand_point(rng);
+  r1.vote_proof.c0 = ec::Scalar::random(rng);
+  r1.vote_proof.c1 = ec::Scalar::random(rng);
+  r1.vote_proof.z0 = ec::Scalar::random(rng);
+  r1.vote_proof.z1 = ec::Scalar::random(rng);
+  r1.weight = 7;
+  const Bytes round1 = voting::serialize(r1);
+
+  voting::VrfReveal reveal;
+  reveal.proof.gamma = rand_point(rng);
+  reveal.proof.dleq.commitment1 = rand_point(rng);
+  reveal.proof.dleq.commitment2 = rand_point(rng);
+  reveal.proof.dleq.response = ec::Scalar::random(rng);
+  const Bytes reveal_wire = voting::serialize(reveal);
+
+  voting::Round2Submission r2;
+  r2.psi = rand_point(rng);
+  r2.proof_b.sigma0 = rand_point(rng);
+  r2.proof_b.sigma1 = rand_point(rng);
+  r2.proof_b.sigma2 = rand_point(rng);
+  r2.proof_b.gamma0 = rand_point(rng);
+  r2.proof_b.gamma1 = rand_point(rng);
+  r2.proof_b.a = ec::Scalar::random(rng);
+  r2.proof_b.b = ec::Scalar::random(rng);
+  r2.proof_b.omega_x = ec::Scalar::random(rng);
+  r2.proof_b.omega_v = ec::Scalar::random(rng);
+  const Bytes round2 = voting::serialize(r2);
+
+  write("fuzz_voting_wire", "round1", with_selector(0, round1));
+  write("fuzz_voting_wire", "round1-truncated",
+        ByteView(with_selector(0, round1)).first(round1.size() / 2));
+  write("fuzz_voting_wire", "reveal", with_selector(1, reveal_wire));
+  write("fuzz_voting_wire", "round2", with_selector(2, round2));
+  write("fuzz_voting_wire", "empty", with_selector(0, ByteView()));
+
+  // ------------------------------------------------------------- oprf_wire
+  oprf::QueryRequest request;
+  request.prefix = 0x00003ad7;
+  request.masked_query = rand_point(rng).encode();
+  request.cached_epoch = 3;
+  const Bytes req_plain = oprf::serialize(request);
+  request.api_key = "corpus-api-key";
+  request.want_evaluation_proof = true;
+  const Bytes req_keyed = oprf::serialize(request);
+
+  oprf::QueryResponse response;
+  response.evaluated = rand_point(rng).encode();
+  response.epoch = 3;
+  for (int i = 0; i < 3; ++i) response.bucket.push_back(rand_point(rng).encode());
+  const Bytes resp_plain = oprf::serialize(response);
+  for (int i = 0; i < 3; ++i) response.metadata.push_back(rng.bytes(9));
+  nizk::DleqProof eval_proof;
+  eval_proof.commitment1 = rand_point(rng);
+  eval_proof.commitment2 = rand_point(rng);
+  eval_proof.response = ec::Scalar::random(rng);
+  response.evaluation_proof = eval_proof;
+  const Bytes resp_full = oprf::serialize(response);
+
+  const Bytes prefixes =
+      oprf::serialize_prefix_list({1, 5, 9, 200, 70000});
+  const Bytes prefixes_empty = oprf::serialize_prefix_list({});
+
+  write("fuzz_oprf_wire", "request", with_selector(0, req_plain));
+  write("fuzz_oprf_wire", "request-keyed", with_selector(0, req_keyed));
+  write("fuzz_oprf_wire", "response", with_selector(1, resp_plain));
+  write("fuzz_oprf_wire", "response-full", with_selector(1, resp_full));
+  write("fuzz_oprf_wire", "prefixes", with_selector(2, prefixes));
+  write("fuzz_oprf_wire", "prefixes-empty", with_selector(2, prefixes_empty));
+
+  // ------------------------------------------------------------------ nizk
+  nizk::SchnorrProof schnorr;
+  schnorr.commitment = rand_point(rng);
+  schnorr.response = ec::Scalar::random(rng);
+  write("fuzz_nizk", "schnorr", with_selector(0, schnorr.to_bytes()));
+  nizk::RepresentationProof repr;
+  repr.commitment = rand_point(rng);
+  repr.z1 = ec::Scalar::random(rng);
+  repr.z2 = ec::Scalar::random(rng);
+  write("fuzz_nizk", "representation", with_selector(1, repr.to_bytes()));
+  write("fuzz_nizk", "dleq", with_selector(2, eval_proof.to_bytes()));
+  write("fuzz_nizk", "proof-a", with_selector(3, r1.proof_a.to_bytes()));
+  write("fuzz_nizk", "proof-b", with_selector(4, r2.proof_b.to_bytes()));
+  write("fuzz_nizk", "vote-or", with_selector(5, r1.vote_proof.to_bytes()));
+  write("fuzz_nizk", "vrf-proof", with_selector(6, reveal.proof.to_bytes()));
+  nizk::Signature sig;
+  sig.nonce_commitment = rand_point(rng);
+  sig.response = ec::Scalar::random(rng);
+  write("fuzz_nizk", "signature", with_selector(0x86, sig.to_bytes()));
+  write("fuzz_nizk", "dleq-truncated",
+        ByteView(with_selector(2, eval_proof.to_bytes())).first(40));
+
+  // ------------------------------------------------------------- net_frame
+  write("fuzz_net_frame", "query",
+        with_selector(static_cast<std::uint8_t>(net::Method::kQuery),
+                      req_plain));
+  write("fuzz_net_frame", "prefix-list",
+        Bytes{static_cast<std::uint8_t>(net::Method::kPrefixList)});
+  write("fuzz_net_frame", "info",
+        Bytes{static_cast<std::uint8_t>(net::Method::kInfo)});
+  write("fuzz_net_frame", "info-trailing",
+        with_selector(static_cast<std::uint8_t>(net::Method::kInfo),
+                      Bytes{0xde, 0xad}));
+  net::ServiceInfo info;
+  info.lambda = 16;
+  info.entry_count = 1000;
+  write("fuzz_net_frame", "response-info",
+        with_selector(static_cast<std::uint8_t>(net::Status::kOk),
+                      net::encode_info(info)));
+  write("fuzz_net_frame", "response-prefixes",
+        with_selector(static_cast<std::uint8_t>(net::Status::kOk), prefixes));
+  write("fuzz_net_frame", "response-rate-limited",
+        Bytes{static_cast<std::uint8_t>(net::Status::kRateLimited)});
+  write("fuzz_net_frame", "bad-method", Bytes{0x09, 0x00});
+  write("fuzz_net_frame", "empty", Bytes{});
+
+  // ---------------------------------------------------------- blocklist_io
+  std::array<std::uint8_t, 20> payload{};
+  rng.fill(payload.data(), payload.size());
+  blocklist::Entry entry;
+  entry.address = blocklist::make_bitcoin_address(payload);
+  entry.chain = blocklist::Chain::kBitcoin;
+  entry.first_reported = 1600000000;
+  entry.report_count = 4;
+  write("fuzz_blocklist_io", "bitcoin-line", blocklist::format_entry(entry));
+  entry.address = blocklist::make_ethereum_address(payload);
+  entry.chain = blocklist::Chain::kEthereum;
+  write("fuzz_blocklist_io", "ethereum-line", blocklist::format_entry(entry));
+  entry.address = blocklist::make_segwit_address(payload);
+  entry.chain = blocklist::Chain::kBitcoinSegwit;
+  const std::string segwit_line = blocklist::format_entry(entry);
+  write("fuzz_blocklist_io", "segwit-line", segwit_line);
+  write("fuzz_blocklist_io", "comment", std::string_view("# a comment\n\n"));
+  write("fuzz_blocklist_io", "malformed",
+        std::string_view("not\ta\tvalid\trow\n"));
+  write("fuzz_blocklist_io", "mixed",
+        "# feed dump\n" + segwit_line + "\nbroken line\n");
+
+  // --------------------------------------------------------------- address
+  write("fuzz_address", "bitcoin", blocklist::make_bitcoin_address(payload));
+  write("fuzz_address", "ethereum", blocklist::make_ethereum_address(payload));
+  write("fuzz_address", "ripple", blocklist::make_ripple_address(payload));
+  write("fuzz_address", "segwit", blocklist::make_segwit_address(payload));
+  std::string damaged = blocklist::make_bitcoin_address(payload);
+  damaged.back() = damaged.back() == '1' ? '2' : '1';
+  write("fuzz_address", "bad-checksum", damaged);
+  write("fuzz_address", "not-an-address", std::string_view("hello world 0x"));
+
+  // -------------------------------------------------------- ristretto_diff
+  write("fuzz_ristretto_diff", "base-point",
+        ByteView(ec::RistrettoPoint::base().encode()));
+  write("fuzz_ristretto_diff", "random-point",
+        ByteView(rand_point(rng).encode()));
+  Bytes invalid(32, 0xff);
+  write("fuzz_ristretto_diff", "invalid-point", invalid);
+  write("fuzz_ristretto_diff", "scalar",
+        ByteView(ec::Scalar::random(rng).to_bytes()));
+  write("fuzz_ristretto_diff", "hex", std::string_view("deadbeef"));
+  write("fuzz_ristretto_diff", "hex-upper", std::string_view("DEADBEEF"));
+  write("fuzz_ristretto_diff", "hex-odd", std::string_view("abc"));
+
+  // ------------------------------------------------------------- roundtrip
+  // Inputs are DRBG seeds for the structure builder; content is arbitrary.
+  write("fuzz_roundtrip", "seed-empty", Bytes{});
+  write("fuzz_roundtrip", "seed-a", std::string_view("roundtrip-seed-a"));
+  write("fuzz_roundtrip", "seed-b", rng.bytes(32));
+
+  std::fprintf(stderr, "make_corpus: wrote corpora under %s\n",
+               g_root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Corpus-replay regression test: every committed corpus input (seeds and
+// regressions) runs through its harness in the default build, so a parser
+// fix that a fuzzer once found can never silently regress — no fuzzing
+// toolchain required. All harness TUs are linked in CBL_FUZZ_COMBINED
+// mode, which emits only the named entry points.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" {
+int cbl_fuzz_voting_wire(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_oprf_wire(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_nizk(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_net_frame(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_blocklist_io(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_address(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_ristretto_diff(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_roundtrip(const std::uint8_t* data, std::size_t size);
+}
+
+namespace {
+
+using Harness = int (*)(const std::uint8_t*, std::size_t);
+
+// Replays corpora/<surface>/ plus corpora/regressions/<surface>/ (the
+// latter holds inputs that once triggered a bug; it may not exist yet).
+std::size_t replay(const char* surface, Harness harness) {
+  std::size_t replayed = 0;
+  const std::filesystem::path root(CBL_CORPUS_DIR);
+  for (const auto& dir : {root / surface, root / "regressions" / surface}) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) continue;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      const std::vector<std::uint8_t> input(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      harness(input.data(), input.size());
+      ++replayed;
+    }
+  }
+  return replayed;
+}
+
+TEST(FuzzCorpusReplay, VotingWire) {
+  EXPECT_GT(replay("fuzz_voting_wire", cbl_fuzz_voting_wire), 0u);
+}
+
+TEST(FuzzCorpusReplay, OprfWire) {
+  EXPECT_GT(replay("fuzz_oprf_wire", cbl_fuzz_oprf_wire), 0u);
+}
+
+TEST(FuzzCorpusReplay, Nizk) {
+  EXPECT_GT(replay("fuzz_nizk", cbl_fuzz_nizk), 0u);
+}
+
+TEST(FuzzCorpusReplay, NetFrame) {
+  EXPECT_GT(replay("fuzz_net_frame", cbl_fuzz_net_frame), 0u);
+}
+
+TEST(FuzzCorpusReplay, BlocklistIo) {
+  EXPECT_GT(replay("fuzz_blocklist_io", cbl_fuzz_blocklist_io), 0u);
+}
+
+TEST(FuzzCorpusReplay, Address) {
+  EXPECT_GT(replay("fuzz_address", cbl_fuzz_address), 0u);
+}
+
+TEST(FuzzCorpusReplay, RistrettoDiff) {
+  EXPECT_GT(replay("fuzz_ristretto_diff", cbl_fuzz_ristretto_diff), 0u);
+}
+
+TEST(FuzzCorpusReplay, Roundtrip) {
+  EXPECT_GT(replay("fuzz_roundtrip", cbl_fuzz_roundtrip), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Driver for toolchains without libFuzzer (the gcc CI image): replays a
+// corpus, then runs a deterministic coverage-blind mutation loop seeded
+// from the corpus. The harness contract is identical to libFuzzer's —
+// the binary links one LLVMFuzzerTestOneInput — so the same harness TU
+// serves both drivers and corpora stay interchangeable.
+//
+// Usage: fuzz_<surface> [flags] [corpus dir or file]...
+//   -seconds=N   mutation-fuzz for N seconds after the replay (default 0)
+//   -runs=N      or for exactly N mutated executions
+//   -seed=N      mutation PRNG seed (default: fixed, so CI is stable)
+//   -max_len=N   cap generated input length (default 8192)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+// Classic byte-level mutations; coverage-blind but effective against
+// parsers when started from structurally valid corpus seeds.
+void mutate(Input& input, std::mt19937_64& prng, std::size_t max_len) {
+  const auto rand_index = [&](std::size_t bound) {
+    return static_cast<std::size_t>(prng() % bound);
+  };
+  const int rounds = 1 + static_cast<int>(prng() % 8);
+  for (int i = 0; i < rounds; ++i) {
+    switch (prng() % 7) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          input[rand_index(input.size())] ^=
+              static_cast<std::uint8_t>(1u << (prng() % 8));
+        }
+        break;
+      case 1:  // byte set
+        if (!input.empty()) {
+          input[rand_index(input.size())] = static_cast<std::uint8_t>(prng());
+        }
+        break;
+      case 2:  // interesting values over a 1/2/4/8-byte window
+        if (!input.empty()) {
+          static constexpr std::uint64_t kInteresting[] = {
+              0,   1,    0x7f,       0x80,       0xff,      0x100,
+              127, 4096, 0x7fffffff, 0xffffffff, 1u << 22,  1u << 24,
+          };
+          const std::uint64_t v =
+              kInteresting[prng() % (sizeof kInteresting / sizeof *kInteresting)];
+          const std::size_t width = std::size_t{1} << (prng() % 4);
+          const std::size_t at = rand_index(input.size());
+          for (std::size_t b = 0; b < width && at + b < input.size(); ++b) {
+            input[at + b] = static_cast<std::uint8_t>(v >> (8 * b));
+          }
+        }
+        break;
+      case 3:  // truncate
+        if (!input.empty()) input.resize(rand_index(input.size()));
+        break;
+      case 4:  // extend with random bytes
+        if (input.size() < max_len) {
+          const std::size_t extra = 1 + rand_index(32);
+          for (std::size_t b = 0; b < extra && input.size() < max_len; ++b) {
+            input.push_back(static_cast<std::uint8_t>(prng()));
+          }
+        }
+        break;
+      case 5:  // duplicate a block
+        if (!input.empty() && input.size() < max_len) {
+          const std::size_t from = rand_index(input.size());
+          const std::size_t len =
+              1 + rand_index(std::min<std::size_t>(input.size() - from, 64));
+          input.insert(input.begin() + static_cast<std::ptrdiff_t>(
+                                           rand_index(input.size())),
+                       input.begin() + static_cast<std::ptrdiff_t>(from),
+                       input.begin() + static_cast<std::ptrdiff_t>(from + len));
+          if (input.size() > max_len) input.resize(max_len);
+        }
+        break;
+      case 6:  // erase a block
+        if (!input.empty()) {
+          const std::size_t from = rand_index(input.size());
+          const std::size_t len =
+              1 + rand_index(std::min<std::size_t>(input.size() - from, 64));
+          input.erase(input.begin() + static_cast<std::ptrdiff_t>(from),
+                      input.begin() + static_cast<std::ptrdiff_t>(from + len));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 0.0;
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0x1d872cb0534f1488ULL;
+  std::size_t max_len = 8192;
+  std::vector<Input> corpus;
+  std::size_t replayed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-seconds=", 0) == 0) {
+      seconds = std::stod(arg.substr(9));
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::stoull(arg.substr(9));
+    } else {
+      std::error_code ec;
+      if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(arg)) {
+          if (entry.is_regular_file()) corpus.push_back(read_file(entry.path()));
+        }
+      } else if (std::filesystem::is_regular_file(arg, ec)) {
+        corpus.push_back(read_file(arg));
+      } else {
+        std::fprintf(stderr, "fuzz: no such corpus input: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+  }
+
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++replayed;
+  }
+
+  std::uint64_t execs = 0;
+  if (seconds > 0.0 || runs > 0) {
+    std::mt19937_64 prng(seed);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds > 0.0 ? seconds : 1e9));
+    while (true) {
+      if (runs > 0 && execs >= runs) break;
+      if (runs == 0 && std::chrono::steady_clock::now() >= deadline) break;
+      Input input = corpus.empty()
+                        ? Input()
+                        : corpus[prng() % corpus.size()];
+      mutate(input, prng, max_len);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++execs;
+      // Check the clock every iteration only when cheap; parsers here run
+      // in microseconds, so this is fine.
+    }
+  }
+
+  std::fprintf(stderr, "fuzz: replayed %zu corpus input(s), %llu mutated exec(s)\n",
+               replayed, static_cast<unsigned long long>(execs));
+  return 0;
+}

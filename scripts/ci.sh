@@ -12,6 +12,10 @@
 #   6. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
 #                  with -fsanitize-coverage=trace-pc, then the differential
 #                  trace harness runs its self-test and the secret audit
+#   7. fuzz-smoke  Debug + ASan/UBSan + -DCBL_FUZZ=ON: every harness
+#                  replays its committed corpus, then mutation-fuzzes for
+#                  CBL_FUZZ_SMOKE_SECONDS (default 30) — any trap, sanitizer
+#                  report, or harness invariant violation aborts
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
@@ -23,7 +27,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck}"
+stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
@@ -47,6 +51,10 @@ run_config() {
 if want lint; then
   echo "=== [lint] scripts/ct_lint.py ==="
   python3 "${repo_root}/scripts/ct_lint.py" --root "${repo_root}"
+  echo "=== [lint] scripts/parser_lint.py self-test ==="
+  python3 "${repo_root}/scripts/parser_lint.py" --self-test
+  echo "=== [lint] scripts/parser_lint.py ==="
+  python3 "${repo_root}/scripts/parser_lint.py" --root "${repo_root}"
 fi
 
 if want clang-tidy; then
@@ -96,6 +104,31 @@ if want ctcheck; then
   else
     echo "=== [ctcheck] valgrind not installed; trace backend only ==="
   fi
+fi
+
+if want fuzz-smoke; then
+  fuzz_dir="${build_root}/fuzz-smoke"
+  fuzz_seconds="${CBL_FUZZ_SMOKE_SECONDS:-30}"
+  echo "=== [fuzz-smoke] configure (ASan/UBSan + harness binaries) ==="
+  cmake -S "${repo_root}" -B "${fuzz_dir}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCBL_SANITIZE="address;undefined" \
+    -DCBL_FUZZ=ON
+  echo "=== [fuzz-smoke] build ==="
+  cmake --build "${fuzz_dir}" -j "${jobs}"
+  driver="$(cat "${fuzz_dir}/fuzz_driver.txt")"
+  echo "=== [fuzz-smoke] driver: ${driver}, ${fuzz_seconds}s per harness ==="
+  for harness in "${fuzz_dir}"/fuzz/fuzz_*; do
+    [[ -x "${harness}" ]] || continue
+    name="$(basename "${harness}")"
+    corpus="${repo_root}/fuzz/corpora/${name}"
+    echo "=== [fuzz-smoke] ${name} ==="
+    if [[ "${driver}" == "libfuzzer" ]]; then
+      "${harness}" -max_total_time="${fuzz_seconds}" -max_len=8192 "${corpus}"
+    else
+      "${harness}" -seconds="${fuzz_seconds}" "${corpus}"
+    fi
+  done
 fi
 
 echo "=== CI OK: stages [${stages}] all green ==="

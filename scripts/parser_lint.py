@@ -1,0 +1,431 @@
+#!/usr/bin/env python3
+"""Parser-hygiene lint for the cbl tree.
+
+Annotation-driven static checks for the untrusted-input policy (see
+DESIGN.md, "Untrusted-input policy"; the dynamic leg is the fuzz/
+harness suite):
+
+  // wire:untrusted fuzz=<target>
+                    on a decode entry point marks it as consuming
+                    attacker-controlled bytes and names the fuzz harness
+                    that covers it (fuzz/<target>.cpp).
+  // wire:parser    near the top of a file marks the whole translation
+                    unit as parser code, enabling the W3 pattern rules.
+  // wire:ok        suppresses findings on that line (audited pattern,
+                    with the reason stated in the comment).
+
+Rules enforced:
+
+  W1  an annotated decode entry must be total: it returns
+      std::optional/std::expected and is declared [[nodiscard]]
+      (malformed input becomes a value, and the caller cannot drop it).
+  W2  no throw / try / catch inside the body of an annotated decode
+      entry — parse failures are values, not exceptions, so no hostile
+      input can drive the unwinder.
+  W3  in wire:parser files: no raw pointer arithmetic on .data(), no
+      memcpy/memmove with a non-constant length, no reinterpret_cast.
+      Bounds-checked access goes through cbl::ByteReader.
+  W4  every wire:untrusted annotation names a fuzz target; the harness
+      file fuzz/<target>.cpp must exist and reference the function.
+  W5  inventory completeness: optional-returning parse_*/from_bytes/
+      *decode* declarations in the wire-facing modules (voting, oprf,
+      net, nizk, vrf, blocklist) must carry a wire:untrusted annotation,
+      so new decode surfaces cannot appear unregistered.
+
+Usage:  scripts/parser_lint.py [--root DIR] [--list-surfaces] [--self-test]
+Exit code 0 when clean, 1 when findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist"}
+SOURCE_GLOBS = ("*.h", "*.cpp")
+
+UNTRUSTED_ANNOT = re.compile(r"//\s*wire:untrusted\b(?:\s+fuzz=(\S+))?")
+PARSER_ANNOT = re.compile(r"//\s*wire:parser\b")
+SUPPRESS = re.compile(r"//\s*wire:ok\b")
+LINE_COMMENT = re.compile(r"^\s*(//|\*|/\*)")
+
+FUNC_NAME = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+DECODE_DECL = re.compile(
+    r"\b(parse_[a-z0-9_]+|from_bytes|from_hex|[a-z0-9_]*decode[a-z0-9_]*)\s*\("
+)
+THROWISH = re.compile(r"\b(throw|try|catch)\b")
+PTR_ARITH = re.compile(r"\.data\(\)\s*\+|\+\s*[A-Za-z_][A-Za-z0-9_.\->]*\.data\(\)")
+MEMCPY = re.compile(r"\b(?:std::)?(memcpy|memmove)\s*\(")
+REINTERPRET = re.compile(r"\breinterpret_cast\b")
+CONST_LEN = re.compile(r"(?:sizeof\b|\b\d+\s*\)?\s*$)")
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blanks out string/char literals and trailing // comments so the
+    pattern rules below do not fire inside them."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # drop the comment tail
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+class Surface:
+    """One wire:untrusted annotation: the decode entry it covers."""
+
+    def __init__(self, path: Path, lineno: int, name: str, decl: str,
+                 fuzz_target: str | None):
+        self.path = path
+        self.lineno = lineno
+        self.name = name
+        self.decl = decl
+        self.fuzz_target = fuzz_target
+
+
+def module_of(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root)
+    return rel.parts[0] if len(rel.parts) > 1 else ""
+
+
+def declaration_after(lines: list[str], start: int) -> tuple[str, int]:
+    """Joins lines from `start` (0-based) until the statement ends at a
+    `;` or an opening `{` — enough of the declaration to see the return
+    type, the [[nodiscard]], and the function name."""
+    joined: list[str] = []
+    for offset in range(6):
+        if start + offset >= len(lines):
+            break
+        code = strip_strings_and_comments(lines[start + offset])
+        joined.append(code)
+        if ";" in code or "{" in code:
+            break
+    return " ".join(joined), start + 1
+
+
+def collect_surfaces(path: Path, findings: list[Finding]) -> list[Surface]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    surfaces: list[Surface] = []
+    for lineno, raw in enumerate(lines, start=1):
+        m = UNTRUSTED_ANNOT.search(raw)
+        if not m:
+            continue
+        # The declaration is the code on this line (trailing annotation)
+        # or starts on the next line (standalone annotation line).
+        own_code = strip_strings_and_comments(raw).strip()
+        if own_code:
+            decl, _ = declaration_after(lines, lineno - 1)
+        else:
+            decl, _ = declaration_after(lines, lineno)
+        names = [n for n in FUNC_NAME.findall(decl)
+                 if n not in ("optional", "pair", "vector", "expected")]
+        if not names:
+            findings.append(
+                Finding(path, lineno, "W1",
+                        "wire:untrusted annotation with no function "
+                        "declaration following it"))
+            continue
+        surfaces.append(Surface(path, lineno, names[0], decl, m.group(1)))
+    return surfaces
+
+
+def check_w1(surface: Surface, findings: list[Finding]) -> None:
+    total = ("std::optional" in surface.decl or "optional<" in surface.decl
+             or "std::expected" in surface.decl or "expected<" in surface.decl)
+    if not total:
+        findings.append(
+            Finding(surface.path, surface.lineno, "W1",
+                    f"{surface.name} is wire:untrusted but does not return "
+                    "std::optional/std::expected — parse must be total"))
+    if "[[nodiscard]]" not in surface.decl:
+        findings.append(
+            Finding(surface.path, surface.lineno, "W1",
+                    f"{surface.name} is wire:untrusted but not [[nodiscard]] "
+                    "— a dropped parse result hides malformed input"))
+
+
+def function_bodies(text: str, name: str) -> list[tuple[int, str]]:
+    """Finds definitions of `name` in `text` and returns (lineno, body)
+    pairs, matching braces from the parameter list's `{`."""
+    bodies: list[tuple[int, str]] = []
+    for m in re.finditer(rf"\b{re.escape(name)}\s*\(", text):
+        # Match the parameter list.
+        depth = 0
+        i = m.end() - 1
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            continue
+        # Skip qualifiers between the parameter list and the body.
+        j = i + 1
+        while j < len(text) and (text[j].isspace() or
+                                 text[j:j + 8].startswith(("const", "noexcept",
+                                                           "override", "final"))):
+            if text[j].isspace():
+                j += 1
+            else:
+                j = re.match(r"\w+", text[j:]).end() + j
+        if j >= len(text) or text[j] != "{":
+            continue  # a declaration or a call, not a definition
+        depth = 0
+        k = j
+        while k < len(text):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        lineno = text[: m.start()].count("\n") + 1
+        bodies.append((lineno, text[j:k + 1]))
+    return bodies
+
+
+def check_w2(surfaces: list[Surface], all_files: list[Path],
+             findings: list[Finding]) -> None:
+    names = {s.name: s for s in surfaces}
+    for path in all_files:
+        text = path.read_text(encoding="utf-8")
+        for name, surface in names.items():
+            if name not in text:
+                continue
+            for lineno, body in function_bodies(text, name):
+                for off, line in enumerate(body.splitlines()):
+                    if SUPPRESS.search(line):
+                        continue
+                    code = strip_strings_and_comments(line)
+                    if THROWISH.search(code):
+                        findings.append(
+                            Finding(path, lineno + off, "W2",
+                                    f"throw/try/catch inside wire:untrusted "
+                                    f"{name}() — hostile bytes must not reach "
+                                    "the unwinder; return nullopt"))
+
+
+def check_w3(path: Path, findings: list[Finding]) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not any(PARSER_ANNOT.search(line) for line in lines[:20]):
+        return
+    for lineno, raw in enumerate(lines, start=1):
+        if SUPPRESS.search(raw) or LINE_COMMENT.match(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        if PTR_ARITH.search(code):
+            findings.append(
+                Finding(path, lineno, "W3",
+                        "raw pointer arithmetic on .data() in a parser file "
+                        "— use cbl::ByteReader (or annotate // wire:ok)"))
+        m = MEMCPY.search(code)
+        if m and not CONST_LEN.search(code):
+            findings.append(
+                Finding(path, lineno, "W3",
+                        f"{m.group(1)} with a non-constant length in a "
+                        "parser file — lengths must be validated through "
+                        "cbl::ByteReader (or annotate // wire:ok)"))
+        if REINTERPRET.search(code):
+            findings.append(
+                Finding(path, lineno, "W3",
+                        "reinterpret_cast in a parser file — parse through "
+                        "cbl::ByteReader views (or annotate // wire:ok)"))
+
+
+def check_w4(surface: Surface, fuzz_root: Path,
+             findings: list[Finding]) -> None:
+    if not surface.fuzz_target:
+        findings.append(
+            Finding(surface.path, surface.lineno, "W4",
+                    f"{surface.name} is wire:untrusted but names no fuzz "
+                    "target (use // wire:untrusted fuzz=<target>)"))
+        return
+    harness = fuzz_root / f"{surface.fuzz_target}.cpp"
+    if not harness.is_file():
+        findings.append(
+            Finding(surface.path, surface.lineno, "W4",
+                    f"fuzz target {surface.fuzz_target} for {surface.name} "
+                    f"has no harness at {harness}"))
+        return
+    if surface.name not in harness.read_text(encoding="utf-8"):
+        findings.append(
+            Finding(surface.path, surface.lineno, "W4",
+                    f"harness {harness.name} never references "
+                    f"{surface.name} — the surface is annotated but not "
+                    "actually fuzzed"))
+
+
+def check_w5(path: Path, surfaces: list[Surface],
+             findings: list[Finding]) -> None:
+    annotated = {s.name for s in surfaces}
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        if SUPPRESS.search(raw) or LINE_COMMENT.match(raw):
+            continue
+        code = strip_strings_and_comments(raw)
+        m = DECODE_DECL.search(code)
+        if not m:
+            continue
+        # Only declarations that return optional/expected are decode
+        # entries; helpers and call sites are skipped.
+        decl, _ = declaration_after(lines, lineno - 1)
+        head = decl.split(m.group(1))[0]
+        if not ("optional" in head or "expected" in head):
+            continue
+        if ";" not in decl.split(m.group(1), 1)[1].split("{", 1)[0]:
+            continue  # a definition in a .cpp, not the declared surface
+        if m.group(1) in annotated:
+            continue
+        window = lines[max(0, lineno - 2): lineno]
+        if any(UNTRUSTED_ANNOT.search(w) for w in window):
+            continue
+        findings.append(
+            Finding(path, lineno, "W5",
+                    f"{m.group(1)} returns optional in a wire-facing module "
+                    "but carries no // wire:untrusted fuzz=<target> "
+                    "annotation — unregistered decode surface"))
+
+
+def run_lint(root: Path, list_surfaces: bool = False) -> tuple[list[Finding], int]:
+    src_root = root / "src"
+    fuzz_root = root / "fuzz"
+    if not src_root.is_dir():
+        print(f"parser_lint: no src/ under {root}", file=sys.stderr)
+        return [], 2
+
+    all_files: list[Path] = []
+    for glob in SOURCE_GLOBS:
+        all_files.extend(sorted(src_root.rglob(glob)))
+
+    findings: list[Finding] = []
+    surfaces: list[Surface] = []
+    for path in all_files:
+        surfaces.extend(collect_surfaces(path, findings))
+
+    if list_surfaces:
+        for s in sorted(surfaces, key=lambda s: (str(s.path), s.lineno)):
+            target = s.fuzz_target or "<none>"
+            print(f"{s.path}:{s.lineno}: {s.name} -> {target}")
+        return [], 0
+
+    for surface in surfaces:
+        check_w1(surface, findings)
+        check_w4(surface, fuzz_root, findings)
+    check_w2(surfaces, all_files, findings)
+    for path in all_files:
+        check_w3(path, findings)
+        if path.suffix == ".h" and module_of(path, src_root) in WIRE_MODULES:
+            check_w5(path, surfaces, findings)
+
+    return findings, len(surfaces)
+
+
+def self_test() -> int:
+    """Seeds one violation per rule into a scratch tree and requires the
+    lint to find each of them — so a refactor of this script cannot
+    silently stop detecting a class of bug."""
+    with tempfile.TemporaryDirectory(prefix="parser_lint_selftest") as tmp:
+        root = Path(tmp)
+        (root / "fuzz").mkdir()
+        (root / "fuzz" / "fuzz_widget.cpp").write_text(
+            "// harness that forgot to call the surface\n")
+        voting = root / "src" / "voting"
+        voting.mkdir(parents=True)
+        (voting / "bad.h").write_text(
+            "#pragma once\n"
+            "// wire:untrusted fuzz=fuzz_widget\n"
+            "bool parse_widget(ByteView data);\n"  # W1 (and W4: not referenced)
+            "// wire:untrusted\n"
+            "[[nodiscard]] std::optional<int> parse_gadget(ByteView data);\n"  # W4: no target
+            "[[nodiscard]] std::optional<int> parse_rogue(ByteView data);\n"  # W5
+        )
+        (voting / "bad.cpp").write_text(
+            "// wire:parser\n"
+            "#include \"voting/bad.h\"\n"
+            "bool parse_widget(ByteView data) {\n"
+            "  if (data.empty()) throw std::runtime_error(\"boom\");\n"  # W2
+            "  const uint8_t* p = data.data() + 4;\n"  # W3 pointer arithmetic
+            "  std::memcpy(out, p, data.size());\n"  # W3 unvalidated length
+            "  auto* w = reinterpret_cast<const uint32_t*>(p);\n"  # W3
+            "  return *w != 0;\n"
+            "}\n")
+        findings, _ = run_lint(root)
+        hit = {f.rule for f in findings}
+        expected = {"W1", "W2", "W3", "W4", "W5"}
+        missing = expected - hit
+        for f in findings:
+            print(f"  (self-test) {f}")
+        if missing:
+            print(f"parser_lint: SELF-TEST FAIL — rules not detected: "
+                  f"{', '.join(sorted(missing))}")
+            return 1
+        print("parser_lint: SELF-TEST OK — every rule detected its "
+              "seeded violation")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the script's parent)")
+    ap.add_argument("--list-surfaces", action="store_true",
+                    help="print the registered decode surfaces and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the lint detects seeded violations")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    findings, surface_count = run_lint(root, list_surfaces=args.list_surfaces)
+    if args.list_surfaces:
+        return 0
+
+    for f in findings:
+        print(f)
+    status = "FAIL" if findings else "OK"
+    print(f"parser_lint: {status} — {len(findings)} finding(s), "
+          f"{surface_count} registered decode surface(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

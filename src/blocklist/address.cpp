@@ -1,3 +1,4 @@
+// wire:parser
 #include "blocklist/address.h"
 
 #include <algorithm>
@@ -223,13 +224,11 @@ std::vector<std::uint8_t> to_base32(ByteView bytes) {
   return out;
 }
 
-std::optional<Bytes> from_base32(const std::uint8_t* data5,
-                                 std::size_t len) {
+std::optional<Bytes> from_base32(ByteView data5) {
   Bytes out;
   std::uint32_t acc = 0;
   int bits = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const std::uint8_t v = data5[i];
+  for (const std::uint8_t v : data5) {
     acc = acc << 5 | v;
     bits += 5;
     if (bits >= 8) {
@@ -307,7 +306,7 @@ bool validate_segwit_address(std::string_view address) {
   if (!decoded || decoded->first != "bc") return false;
   const auto& data5 = decoded->second;
   if (data5.empty() || data5[0] != 0) return false;  // only v0 here
-  const auto program = from_base32(data5.data() + 1, data5.size() - 1);
+  const auto program = from_base32(ByteView(data5).subspan(1));
   // v0 programs are 20 (P2WPKH) or 32 (P2WSH) bytes.
   return program && (program->size() == 20 || program->size() == 32);
 }

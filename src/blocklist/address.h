@@ -26,8 +26,9 @@ std::string chain_name(Chain chain);
 /// Base58 encoding with an arbitrary alphabet (Bitcoin and Ripple use
 /// different alphabets for the same algorithm).
 std::string base58_encode(ByteView data, std::string_view alphabet);
-std::optional<Bytes> base58_decode(std::string_view text,
-                                   std::string_view alphabet);
+// wire:untrusted fuzz=fuzz_address
+[[nodiscard]] std::optional<Bytes> base58_decode(std::string_view text,
+                                                 std::string_view alphabet);
 
 extern const std::string_view kBitcoinAlphabet;
 extern const std::string_view kRippleAlphabet;
@@ -49,8 +50,9 @@ bool validate_ripple_address(std::string_view address);
 /// Bech32 (BIP-173) encoding with the given human-readable part.
 std::string bech32_encode(std::string_view hrp,
                           const std::vector<std::uint8_t>& data5);
-std::optional<std::pair<std::string, std::vector<std::uint8_t>>> bech32_decode(
-    std::string_view text);
+// wire:untrusted fuzz=fuzz_address
+[[nodiscard]] std::optional<std::pair<std::string, std::vector<std::uint8_t>>>
+bech32_decode(std::string_view text);
 
 /// A Bitcoin SegWit v0 P2WPKH address (bc1q...).
 std::string make_segwit_address(const std::array<std::uint8_t, 20>& payload);
@@ -60,6 +62,7 @@ bool validate_segwit_address(std::string_view address);
 std::string random_address(Chain chain, Rng& rng);
 
 /// Detects the chain of a well-formed address; nullopt if unrecognized.
-std::optional<Chain> detect_chain(std::string_view address);
+// wire:untrusted fuzz=fuzz_address
+[[nodiscard]] std::optional<Chain> detect_chain(std::string_view address);
 
 }  // namespace cbl::blocklist

@@ -1,3 +1,4 @@
+// wire:parser
 #include "blocklist/io.h"
 
 #include <algorithm>
@@ -30,9 +31,9 @@ std::optional<Category> category_from_name(std::string_view name) {
 template <typename T>
 std::optional<T> parse_number(std::string_view text) {
   T value{};
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+  const char* end = text.data() + text.size();  // wire:ok from_chars API
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
     return std::nullopt;
   }
   return value;

@@ -32,6 +32,7 @@ ImportStats import_string_into_store(const std::string& text, Store& store);
 
 /// Single-line codecs (exposed for tests).
 std::string format_entry(const Entry& entry);
-std::optional<Entry> parse_entry_line(const std::string& line);
+// wire:untrusted fuzz=fuzz_blocklist_io
+[[nodiscard]] std::optional<Entry> parse_entry_line(const std::string& line);
 
 }  // namespace cbl::blocklist

@@ -59,7 +59,7 @@ hash::Sha256::Digest BlockHeader::hash() const {
 }
 
 Bytes Blockchain::receipt_leaf(const TxReceipt& receipt) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.u64(receipt.block);
   w.var_bytes(to_bytes(receipt.method));
   w.u64(receipt.payer);

@@ -22,7 +22,7 @@ Bytes AuthorizedGateway::auth_message(AccountId account,
   // Hash the payload so the signed message stays small regardless of
   // submission size.
   const auto payload_digest = hash::Sha256::digest(payload);
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.u64(account);
   w.var_bytes(to_bytes(method));
   w.raw(ByteView(payload_digest.data(), payload_digest.size()));

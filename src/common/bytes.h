@@ -21,7 +21,8 @@ std::string to_hex(ByteView data);
 
 /// Parses lowercase/uppercase hex; returns nullopt on odd length or
 /// non-hex characters.
-std::optional<Bytes> from_hex(std::string_view hex);
+// wire:untrusted fuzz=fuzz_ristretto_diff
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
 
 /// Converts a std::string payload into a byte buffer (no re-encoding).
 Bytes to_bytes(std::string_view s);

@@ -1,0 +1,92 @@
+// wire:parser
+#include "common/codec.h"
+
+#include <algorithm>
+
+namespace cbl {
+
+ByteWriter& ByteWriter::u8(std::uint8_t v) {
+  out_.push_back(v);
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32(std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_le32(buf, v);
+  append(out_, ByteView(buf, 4));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_le64(buf, v);
+  append(out_, ByteView(buf, 8));
+  return *this;
+}
+
+ByteWriter& ByteWriter::raw(ByteView data) {
+  append(out_, data);
+  return *this;
+}
+
+ByteWriter& ByteWriter::var_bytes(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  return raw(data);
+}
+
+const std::uint8_t* ByteReader::take(std::size_t len) noexcept {
+  if (failed_ || len > data_.size() - pos_) {
+    failed_ = true;
+    return nullptr;
+  }
+  const std::uint8_t* p = data_.data() + pos_;  // wire:ok bounds-checked above
+  pos_ += len;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() noexcept {
+  const std::uint8_t* p = take(1);
+  return p == nullptr ? 0 : *p;
+}
+
+std::uint32_t ByteReader::u32() noexcept {
+  const std::uint8_t* p = take(4);
+  return p == nullptr ? 0 : load_le32(p);
+}
+
+std::uint64_t ByteReader::u64() noexcept {
+  const std::uint8_t* p = take(8);
+  return p == nullptr ? 0 : load_le64(p);
+}
+
+Bytes ByteReader::raw(std::size_t len) {
+  const std::uint8_t* p = take(len);
+  return p == nullptr ? Bytes() : Bytes(p, p + len);  // wire:ok take() validated
+}
+
+ByteView ByteReader::view(std::size_t len) noexcept {
+  const std::uint8_t* p = take(len);
+  return p == nullptr ? ByteView() : ByteView(p, len);
+}
+
+void ByteReader::fill(std::span<std::uint8_t> out) noexcept {
+  const std::uint8_t* p = take(out.size());
+  if (p == nullptr) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  std::copy(p, p + out.size(), out.begin());  // wire:ok take() validated
+}
+
+Bytes ByteReader::var_bytes(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) {
+    failed_ = true;
+    return Bytes();
+  }
+  return raw(len);
+}
+
+void ByteReader::skip(std::size_t len) noexcept { (void)take(len); }
+
+}  // namespace cbl

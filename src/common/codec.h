@@ -1,0 +1,84 @@
+// Shared bounds-checked binary cursor API — the single decode/encode
+// primitive every wire parser in the tree is built on (see DESIGN.md
+// "Untrusted-input policy").
+//
+// ByteReader is TOTAL over arbitrary byte strings: no read ever touches
+// memory outside the input span, no operation throws, and malformation
+// is latched in a sticky failure flag instead. Reads past the end (or
+// past a hostile length prefix) return zero values / empty buffers and
+// mark the reader failed; a parser performs its reads unconditionally
+// and issues a single [[nodiscard]] finish() at the end, which is true
+// only when every read was in bounds AND the input was consumed exactly
+// (no trailing bytes). This makes "no unchecked read, no trailing-byte
+// acceptance" hold by construction rather than by per-site discipline.
+//
+// ByteWriter builds the canonical wire form; integers are little-endian.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cbl {
+
+class ByteWriter {
+ public:
+  ByteWriter& u8(std::uint8_t v);
+  ByteWriter& u32(std::uint32_t v);
+  ByteWriter& u64(std::uint64_t v);
+  ByteWriter& raw(ByteView data);
+  /// u32 length prefix + payload.
+  ByteWriter& var_bytes(ByteView data);
+
+  Bytes take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) noexcept : data_(data) {}
+
+  /// Scalar reads: return 0 and latch failure when out of bounds.
+  std::uint8_t u8() noexcept;
+  std::uint32_t u32() noexcept;
+  std::uint64_t u64() noexcept;
+
+  /// Owned copy of the next `len` bytes; empty on failure.
+  Bytes raw(std::size_t len);
+  /// Zero-copy window over the next `len` bytes; empty on failure. The
+  /// view aliases the reader's input and must not outlive it.
+  ByteView view(std::size_t len) noexcept;
+  /// Copies exactly `out.size()` bytes into `out`; zero-fills and
+  /// latches failure when truncated.
+  void fill(std::span<std::uint8_t> out) noexcept;
+  /// Reads a u32 length prefix then the payload; lengths beyond
+  /// `max_len` latch failure (pre-allocation bound against hostile
+  /// inputs) and nothing further is consumed.
+  Bytes var_bytes(std::size_t max_len);
+  void skip(std::size_t len) noexcept;
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+  /// True while every read so far was in bounds.
+  bool ok() const noexcept { return !failed_; }
+  /// Latches failure explicitly (semantic validation, e.g. a flag byte
+  /// outside {0,1}), so parsers can keep the single-exit finish() shape.
+  void fail() noexcept { failed_ = true; }
+
+  /// The one success check a parser needs: all reads in bounds and the
+  /// whole input consumed (trailing bytes are malformation).
+  [[nodiscard]] bool finish() const noexcept { return !failed_ && done(); }
+
+ private:
+  /// Start of a `len`-byte window, or nullptr on (latched) failure.
+  const std::uint8_t* take(std::size_t len) noexcept;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace cbl

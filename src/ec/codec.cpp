@@ -1,92 +1,30 @@
+// wire:parser
 #include "ec/codec.h"
 
 namespace cbl::ec {
 
-ByteWriter& ByteWriter::u8(std::uint8_t v) {
-  out_.push_back(v);
-  return *this;
-}
-
-ByteWriter& ByteWriter::u32(std::uint32_t v) {
-  std::uint8_t buf[4];
-  store_le32(buf, v);
-  append(out_, ByteView(buf, 4));
-  return *this;
-}
-
-ByteWriter& ByteWriter::u64(std::uint64_t v) {
-  std::uint8_t buf[8];
-  store_le64(buf, v);
-  append(out_, ByteView(buf, 8));
-  return *this;
-}
-
-ByteWriter& ByteWriter::raw(ByteView data) {
-  append(out_, data);
-  return *this;
-}
-
-ByteWriter& ByteWriter::var_bytes(ByteView data) {
-  u32(static_cast<std::uint32_t>(data.size()));
-  return raw(data);
-}
-
-ByteWriter& ByteWriter::point(const RistrettoPoint& p) {
-  return raw(p.encode());
-}
-
-ByteWriter& ByteWriter::scalar(const Scalar& s) {
-  return raw(s.to_bytes());
-}
-
-const std::uint8_t* ByteReader::take(std::size_t len) {
-  if (len > data_.size() - pos_) {
-    throw ProtocolError("ByteReader: truncated input");
-  }
-  const std::uint8_t* p = data_.data() + pos_;
-  pos_ += len;
-  return p;
-}
-
-std::uint8_t ByteReader::u8() { return *take(1); }
-
-std::uint32_t ByteReader::u32() { return load_le32(take(4)); }
-
-std::uint64_t ByteReader::u64() { return load_le64(take(8)); }
-
-Bytes ByteReader::raw(std::size_t len) {
-  const std::uint8_t* p = take(len);
-  return Bytes(p, p + len);
-}
-
-Bytes ByteReader::var_bytes(std::size_t max_len) {
-  const std::uint32_t len = u32();
-  if (len > max_len) {
-    throw ProtocolError("ByteReader: length prefix exceeds limit");
-  }
-  return raw(len);
-}
-
-RistrettoPoint ByteReader::point() {
-  const std::uint8_t* p = take(32);
-  RistrettoPoint::Encoding enc;
-  std::copy(p, p + 32, enc.begin());
+RistrettoPoint WireReader::point() noexcept {
+  RistrettoPoint::Encoding enc{};
+  fill(enc);
+  if (!ok()) return RistrettoPoint::identity();
   const auto decoded = RistrettoPoint::decode(enc);
-  if (!decoded) throw ProtocolError("ByteReader: invalid point encoding");
+  if (!decoded) {
+    fail();
+    return RistrettoPoint::identity();
+  }
   return *decoded;
 }
 
-Scalar ByteReader::scalar() {
-  const std::uint8_t* p = take(32);
-  std::array<std::uint8_t, 32> enc;
-  std::copy(p, p + 32, enc.begin());
+Scalar WireReader::scalar() noexcept {
+  std::array<std::uint8_t, 32> enc{};
+  fill(enc);
+  if (!ok()) return Scalar();
   const auto s = Scalar::from_canonical_bytes(enc);
-  if (!s) throw ProtocolError("ByteReader: non-canonical scalar");
+  if (!s) {
+    fail();
+    return Scalar();
+  }
   return *s;
-}
-
-void ByteReader::expect_done() const {
-  if (!done()) throw ProtocolError("ByteReader: trailing bytes");
 }
 
 }  // namespace cbl::ec

@@ -1,63 +1,74 @@
-// Bounds-checked binary codec for protocol messages. Writers build the
-// canonical wire form; readers parse UNTRUSTED bytes, throwing
-// ProtocolError on truncation, trailing garbage, non-canonical field
-// elements, or invalid group encodings. Message-level parsers wrap this
-// into optional-returning from_bytes() functions.
+// Group-aware wire codec: cbl::ByteReader/ByteWriter (the shared
+// bounds-checked cursor in common/codec.h) extended with Ristretto
+// point and scalar fields. WireReader inherits the reader's totality
+// contract — an invalid group encoding or non-canonical scalar latches
+// the sticky failure flag and decoding continues with identity/zero, so
+// message parsers stay straight-line and exception-free; the single
+// [[nodiscard]] finish() reports success.
 #pragma once
 
 #include <cstdint>
 
-#include "common/bytes.h"
-#include "common/errors.h"
+#include "common/codec.h"
 #include "ec/ristretto.h"
 #include "ec/scalar.h"
 
 namespace cbl::ec {
 
-class ByteWriter {
+class WireWriter {
  public:
-  ByteWriter& u8(std::uint8_t v);
-  ByteWriter& u32(std::uint32_t v);
-  ByteWriter& u64(std::uint64_t v);
-  ByteWriter& raw(ByteView data);
+  WireWriter& u8(std::uint8_t v) { w_.u8(v); return *this; }
+  WireWriter& u32(std::uint32_t v) { w_.u32(v); return *this; }
+  WireWriter& u64(std::uint64_t v) { w_.u64(v); return *this; }
+  WireWriter& raw(ByteView data) { w_.raw(data); return *this; }
   /// u32 length prefix + payload.
-  ByteWriter& var_bytes(ByteView data);
-  ByteWriter& point(const RistrettoPoint& p);
-  ByteWriter& scalar(const Scalar& s);
+  WireWriter& var_bytes(ByteView data) { w_.var_bytes(data); return *this; }
+  WireWriter& point(const RistrettoPoint& p) { return raw(p.encode()); }
+  WireWriter& scalar(const Scalar& s) { return raw(s.to_bytes()); }
 
-  Bytes take() { return std::move(out_); }
-  std::size_t size() const { return out_.size(); }
+  Bytes take() { return w_.take(); }
+  std::size_t size() const { return w_.size(); }
 
  private:
-  Bytes out_;
+  ByteWriter w_;
 };
 
-class ByteReader {
+class WireReader {
  public:
-  explicit ByteReader(ByteView data) : data_(data) {}
+  explicit WireReader(ByteView data) noexcept : r_(data) {}
 
-  std::uint8_t u8();
-  std::uint32_t u32();
-  std::uint64_t u64();
-  Bytes raw(std::size_t len);
-  /// Reads a u32 length prefix then the payload; rejects lengths beyond
-  /// `max_len` (pre-allocation bound against hostile inputs).
-  Bytes var_bytes(std::size_t max_len);
-  /// Throws on invalid (non-canonical) encodings.
-  RistrettoPoint point();
-  /// Canonical scalars only.
-  Scalar scalar();
+  std::uint8_t u8() noexcept { return r_.u8(); }
+  std::uint32_t u32() noexcept { return r_.u32(); }
+  std::uint64_t u64() noexcept { return r_.u64(); }
+  Bytes raw(std::size_t len) { return r_.raw(len); }
+  ByteView view(std::size_t len) noexcept { return r_.view(len); }
+  void fill(std::span<std::uint8_t> out) noexcept { r_.fill(out); }
+  Bytes var_bytes(std::size_t max_len) { return r_.var_bytes(max_len); }
 
-  std::size_t remaining() const { return data_.size() - pos_; }
-  bool done() const { return pos_ == data_.size(); }
-  /// Throws unless the whole input was consumed (no trailing garbage).
-  void expect_done() const;
+  /// Canonical Ristretto encoding; identity + latched failure otherwise.
+  RistrettoPoint point() noexcept;
+  /// Canonical scalar; zero + latched failure otherwise.
+  Scalar scalar() noexcept;
+  /// A nested fixed-size message decoded by `parse` (an optional-returning
+  /// from_bytes); default-constructed + latched failure when it rejects.
+  template <typename T, typename Parse>
+  T nested(std::size_t wire_size, Parse&& parse) {
+    const auto decoded = parse(view(wire_size));
+    if (!decoded) {
+      fail();
+      return T();
+    }
+    return *decoded;
+  }
+
+  std::size_t remaining() const noexcept { return r_.remaining(); }
+  bool done() const noexcept { return r_.done(); }
+  bool ok() const noexcept { return r_.ok(); }
+  void fail() noexcept { r_.fail(); }
+  [[nodiscard]] bool finish() const noexcept { return r_.finish(); }
 
  private:
-  const std::uint8_t* take(std::size_t len);
-
-  ByteView data_;
-  std::size_t pos_ = 0;
+  ByteReader r_;
 };
 
 }  // namespace cbl::ec

@@ -30,7 +30,9 @@ class RistrettoPoint {
 
   /// Decodes a canonical 32-byte encoding; nullopt for invalid encodings
   /// (non-canonical field element, negative s, non-square, y = 0).
-  static std::optional<RistrettoPoint> decode(const Encoding& bytes) noexcept;
+  // wire:untrusted fuzz=fuzz_ristretto_diff
+  [[nodiscard]] static std::optional<RistrettoPoint> decode(
+      const Encoding& bytes) noexcept;
 
   /// Canonical 32-byte encoding.
   Encoding encode() const noexcept;

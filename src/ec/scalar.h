@@ -26,7 +26,8 @@ class Scalar {
   static const Scalar& one() noexcept;
 
   /// Canonical deserialization: rejects encodings >= l.
-  static std::optional<Scalar> from_canonical_bytes(
+  // wire:untrusted fuzz=fuzz_ristretto_diff
+  [[nodiscard]] static std::optional<Scalar> from_canonical_bytes(
       const std::array<std::uint8_t, 32>& bytes) noexcept;
 
   /// Interprets 32 little-endian bytes and reduces mod l.

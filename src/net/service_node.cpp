@@ -1,3 +1,4 @@
+// wire:parser
 #include "net/service_node.h"
 
 #include "ec/codec.h"
@@ -13,8 +14,10 @@ Bytes status_frame(Status status, ByteView body = {}) {
   return out;
 }
 
+}  // namespace
+
 Bytes encode_info(const ServiceInfo& info) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.u32(info.lambda).u8(info.oracle_kind);
   w.u32(info.argon2_memory_kib).u32(info.argon2_time_cost);
   w.u64(info.epoch).u64(info.entry_count);
@@ -22,23 +25,54 @@ Bytes encode_info(const ServiceInfo& info) {
 }
 
 std::optional<ServiceInfo> decode_info(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    ServiceInfo info;
-    info.lambda = r.u32();
-    info.oracle_kind = r.u8();
-    info.argon2_memory_kib = r.u32();
-    info.argon2_time_cost = r.u32();
-    info.epoch = r.u64();
-    info.entry_count = r.u64();
-    r.expect_done();
-    return info;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  ServiceInfo info;
+  info.lambda = r.u32();
+  info.oracle_kind = r.u8();
+  if (info.oracle_kind > 1) r.fail();
+  info.argon2_memory_kib = r.u32();
+  info.argon2_time_cost = r.u32();
+  info.epoch = r.u64();
+  info.entry_count = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return info;
 }
 
-}  // namespace
+std::optional<RequestFrame> parse_request_frame(ByteView frame) {
+  cbl::ByteReader r(frame);
+  RequestFrame parsed;
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case static_cast<std::uint8_t>(Method::kQuery):
+      // The query body is parsed by oprf::parse_query_request; pass it
+      // through uninterpreted.
+      parsed.method = Method::kQuery;
+      parsed.body = r.view(r.remaining());
+      break;
+    case static_cast<std::uint8_t>(Method::kPrefixList):
+    case static_cast<std::uint8_t>(Method::kInfo):
+      // Bodyless methods: trailing bytes after the tag are malformation,
+      // not padding (regression: PrefixListRejectsTrailingBody).
+      parsed.method = static_cast<Method>(tag);
+      break;
+    default:
+      r.fail();
+      break;
+  }
+  if (!r.finish()) return std::nullopt;
+  return parsed;
+}
+
+std::optional<ResponseFrame> parse_response_frame(ByteView frame) {
+  cbl::ByteReader r(frame);
+  ResponseFrame parsed;
+  const std::uint8_t tag = r.u8();
+  if (tag > static_cast<std::uint8_t>(Status::kRateLimited)) r.fail();
+  parsed.status = static_cast<Status>(tag);
+  parsed.body = r.view(r.remaining());
+  if (!r.finish()) return std::nullopt;
+  return parsed;
+}
 
 BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
                                            std::string endpoint,
@@ -94,17 +128,16 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
     status_counter(status).inc();
     return status_frame(status, body);
   };
-  if (frame.empty()) {
+  const auto parsed = parse_request_frame(frame);
+  if (!parsed) {
     requests_unknown_->inc();
     return respond(Status::kBadRequest);
   }
-  const auto method = static_cast<Method>(frame[0]);
-  method_counter(method).inc();
-  const ByteView body(frame.data() + 1, frame.size() - 1);
+  method_counter(parsed->method).inc();
 
-  switch (method) {
+  switch (parsed->method) {
     case Method::kQuery: {
-      const auto request = oprf::parse_query_request(body);
+      const auto request = oprf::parse_query_request(parsed->body);
       if (!request) return respond(Status::kBadRequest);
       try {
         const auto response = server_.handle(*request);
@@ -146,12 +179,14 @@ RemoteBlocklistClient::RemoteBlocklistClient(Transport& transport,
   const Bytes frame = {static_cast<std::uint8_t>(Method::kInfo)};
   unsigned attempts = 0;
   const auto result = call_with_retry(frame, &attempts);
-  if (!result.delivered || result.response.empty() ||
-      result.response[0] != static_cast<std::uint8_t>(Status::kOk)) {
+  if (!result.delivered) {
     throw ProtocolError("RemoteBlocklistClient: service info unavailable");
   }
-  const auto info = decode_info(
-      ByteView(result.response.data() + 1, result.response.size() - 1));
+  const auto response = parse_response_frame(result.response);
+  if (!response || response->status != Status::kOk) {
+    throw ProtocolError("RemoteBlocklistClient: service info unavailable");
+  }
+  const auto info = decode_info(response->body);
   if (!info || info->lambda == 0 || info->lambda > 32) {
     throw ProtocolError("RemoteBlocklistClient: malformed service info");
   }
@@ -183,12 +218,10 @@ bool RemoteBlocklistClient::sync_prefix_list() {
   const Bytes frame = {static_cast<std::uint8_t>(Method::kPrefixList)};
   unsigned attempts = 0;
   const auto result = call_with_retry(frame, &attempts);
-  if (!result.delivered || result.response.empty() ||
-      result.response[0] != static_cast<std::uint8_t>(Status::kOk)) {
-    return false;
-  }
-  const auto prefixes = oprf::parse_prefix_list(
-      ByteView(result.response.data() + 1, result.response.size() - 1));
+  if (!result.delivered) return false;
+  const auto response = parse_response_frame(result.response);
+  if (!response || response->status != Status::kOk) return false;
+  const auto prefixes = oprf::parse_prefix_list(response->body);
   if (!prefixes) return false;
   client_->set_prefix_list(*prefixes);
   return true;
@@ -213,21 +246,20 @@ RemoteBlocklistClient::QueryOutcome RemoteBlocklistClient::query(
     outcome.kind = QueryOutcome::Kind::kUnreachable;
     return outcome;
   }
-  if (result.response.empty()) {
+  const auto frame_parsed = parse_response_frame(result.response);
+  if (!frame_parsed) {
     outcome.kind = QueryOutcome::Kind::kMalformed;
     return outcome;
   }
-  const auto status = static_cast<Status>(result.response[0]);
-  if (status == Status::kRateLimited) {
+  if (frame_parsed->status == Status::kRateLimited) {
     outcome.kind = QueryOutcome::Kind::kRateLimited;
     return outcome;
   }
-  if (status != Status::kOk) {
+  if (frame_parsed->status != Status::kOk) {
     outcome.kind = QueryOutcome::Kind::kMalformed;
     return outcome;
   }
-  const auto response = oprf::parse_query_response(
-      ByteView(result.response.data() + 1, result.response.size() - 1));
+  const auto response = oprf::parse_query_response(frame_parsed->body);
   if (!response) {
     outcome.kind = QueryOutcome::Kind::kMalformed;
     return outcome;

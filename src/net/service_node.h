@@ -26,6 +26,24 @@ enum class Status : std::uint8_t {
   kRateLimited = 2,
 };
 
+/// A validated request frame: a known method tag plus its body. Bodyless
+/// methods (kPrefixList, kInfo) reject trailing bytes here, so a frame
+/// either maps onto the protocol exactly or is malformed.
+struct RequestFrame {
+  Method method = Method::kQuery;
+  ByteView body;  // aliases the input frame
+};
+// wire:untrusted fuzz=fuzz_net_frame
+[[nodiscard]] std::optional<RequestFrame> parse_request_frame(ByteView frame);
+
+/// A split response frame: a known status tag plus its body.
+struct ResponseFrame {
+  Status status = Status::kBadRequest;
+  ByteView body;  // aliases the input frame
+};
+// wire:untrusted fuzz=fuzz_net_frame
+[[nodiscard]] std::optional<ResponseFrame> parse_response_frame(ByteView frame);
+
 /// Service metadata a first-time client synchronizes on (Section IV-B:
 /// "a first-time user should synchronize on the value of lambda").
 struct ServiceInfo {
@@ -36,6 +54,10 @@ struct ServiceInfo {
   std::uint64_t epoch = 0;
   std::uint64_t entry_count = 0;
 };
+
+Bytes encode_info(const ServiceInfo& info);
+// wire:untrusted fuzz=fuzz_net_frame
+[[nodiscard]] std::optional<ServiceInfo> decode_info(ByteView data);
 
 /// Binds an OprfServer to a transport endpoint.
 class BlocklistServiceNode {

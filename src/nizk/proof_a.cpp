@@ -76,22 +76,18 @@ ec::Scalar ProofA::compute_challenge(const StatementA& statement) const {
 }
 
 std::optional<ProofA> ProofA::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    ProofA proof;
-    proof.sigma0 = r.point();
-    proof.sigma1 = r.point();
-    proof.sigma2 = r.point();
-    proof.gamma0 = r.point();
-    proof.gamma1 = r.point();
-    proof.a = r.scalar();
-    proof.b = r.scalar();
-    proof.omega = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  ProofA proof;
+  proof.sigma0 = r.point();
+  proof.sigma1 = r.point();
+  proof.sigma2 = r.point();
+  proof.gamma0 = r.point();
+  proof.gamma1 = r.point();
+  proof.a = r.scalar();
+  proof.b = r.scalar();
+  proof.omega = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 }  // namespace cbl::nizk

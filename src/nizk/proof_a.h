@@ -34,7 +34,8 @@ struct ProofA {
   bool verify(const commit::Crs& crs, const StatementA& statement) const;
 
   Bytes to_bytes() const;
-  static std::optional<ProofA> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<ProofA> from_bytes(ByteView data);
 
   /// The Fiat-Shamir challenge mu for this (statement, proof) pair —
   /// exposed for batch verification.

@@ -71,23 +71,19 @@ ec::Scalar ProofB::compute_challenge(const StatementB& statement) const {
 }
 
 std::optional<ProofB> ProofB::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    ProofB proof;
-    proof.sigma0 = r.point();
-    proof.sigma1 = r.point();
-    proof.sigma2 = r.point();
-    proof.gamma0 = r.point();
-    proof.gamma1 = r.point();
-    proof.a = r.scalar();
-    proof.b = r.scalar();
-    proof.omega_x = r.scalar();
-    proof.omega_v = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  ProofB proof;
+  proof.sigma0 = r.point();
+  proof.sigma1 = r.point();
+  proof.sigma2 = r.point();
+  proof.gamma0 = r.point();
+  proof.gamma1 = r.point();
+  proof.a = r.scalar();
+  proof.b = r.scalar();
+  proof.omega_x = r.scalar();
+  proof.omega_v = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 }  // namespace cbl::nizk

@@ -42,7 +42,8 @@ struct ProofB {
   bool verify(const commit::Crs& crs, const StatementB& statement) const;
 
   Bytes to_bytes() const;
-  static std::optional<ProofB> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<ProofB> from_bytes(ByteView data);
 
   /// The Fiat-Shamir challenge mu (exposed for batch verification).
   ec::Scalar compute_challenge(const StatementB& statement) const;

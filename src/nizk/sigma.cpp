@@ -143,45 +143,33 @@ Bytes DleqProof::to_bytes() const {
 }
 
 std::optional<SchnorrProof> SchnorrProof::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    SchnorrProof proof;
-    proof.commitment = r.point();
-    proof.response = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  SchnorrProof proof;
+  proof.commitment = r.point();
+  proof.response = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 std::optional<RepresentationProof> RepresentationProof::from_bytes(
     ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    RepresentationProof proof;
-    proof.commitment = r.point();
-    proof.z1 = r.scalar();
-    proof.z2 = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  RepresentationProof proof;
+  proof.commitment = r.point();
+  proof.z1 = r.scalar();
+  proof.z2 = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 std::optional<DleqProof> DleqProof::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    DleqProof proof;
-    proof.commitment1 = r.point();
-    proof.commitment2 = r.point();
-    proof.response = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  DleqProof proof;
+  proof.commitment1 = r.point();
+  proof.commitment2 = r.point();
+  proof.response = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 }  // namespace cbl::nizk

@@ -24,7 +24,8 @@ struct SchnorrProof {
               std::string_view domain) const;
 
   Bytes to_bytes() const;
-  static std::optional<SchnorrProof> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<SchnorrProof> from_bytes(ByteView data);
   static constexpr std::size_t kWireSize = 64;
 };
 
@@ -45,7 +46,8 @@ struct RepresentationProof {
               std::string_view domain) const;
 
   Bytes to_bytes() const;
-  static std::optional<RepresentationProof> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<RepresentationProof> from_bytes(ByteView data);
   static constexpr std::size_t kWireSize = 96;
 };
 
@@ -65,7 +67,8 @@ struct DleqProof {
               std::string_view domain) const;
 
   Bytes to_bytes() const;
-  static std::optional<DleqProof> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<DleqProof> from_bytes(ByteView data);
   static constexpr std::size_t kWireSize = 96;
 };
 

@@ -61,16 +61,12 @@ Bytes Signature::to_bytes() const {
 }
 
 std::optional<Signature> Signature::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    Signature sig;
-    sig.nonce_commitment = r.point();
-    sig.response = r.scalar();
-    r.expect_done();
-    return sig;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  Signature sig;
+  sig.nonce_commitment = r.point();
+  sig.response = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return sig;
 }
 
 }  // namespace cbl::nizk

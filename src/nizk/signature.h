@@ -22,7 +22,8 @@ struct Signature {
   ec::Scalar response;                  // s = k + c * sk
 
   Bytes to_bytes() const;
-  static std::optional<Signature> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<Signature> from_bytes(ByteView data);
   static constexpr std::size_t kWireSize = 64;
 };
 

@@ -83,20 +83,16 @@ Bytes BinaryVoteProof::to_bytes() const {
 }
 
 std::optional<BinaryVoteProof> BinaryVoteProof::from_bytes(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    BinaryVoteProof proof;
-    proof.a0 = r.point();
-    proof.a1 = r.point();
-    proof.c0 = r.scalar();
-    proof.c1 = r.scalar();
-    proof.z0 = r.scalar();
-    proof.z1 = r.scalar();
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  BinaryVoteProof proof;
+  proof.a0 = r.point();
+  proof.a1 = r.point();
+  proof.c0 = r.scalar();
+  proof.c1 = r.scalar();
+  proof.z0 = r.scalar();
+  proof.z1 = r.scalar();
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 }  // namespace cbl::nizk

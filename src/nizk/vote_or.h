@@ -33,7 +33,8 @@ struct BinaryVoteProof {
               std::uint64_t weight = 1) const;
 
   Bytes to_bytes() const;
-  static std::optional<BinaryVoteProof> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<BinaryVoteProof> from_bytes(ByteView data);
   /// 2 points + 4 scalars.
   static constexpr std::size_t kWireSize = 2 * 32 + 4 * 32;
 };

@@ -1,3 +1,4 @@
+// wire:parser
 #include "oprf/wire.h"
 
 #include <algorithm>
@@ -15,7 +16,7 @@ constexpr std::size_t kMaxPrefixes = 1u << 24;
 }  // namespace
 
 Bytes serialize(const QueryRequest& request) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.u32(request.prefix);
   w.raw(ByteView(request.masked_query.data(), request.masked_query.size()));
   w.u64(request.cached_epoch);
@@ -25,26 +26,21 @@ Bytes serialize(const QueryRequest& request) {
 }
 
 std::optional<QueryRequest> parse_query_request(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    QueryRequest request;
-    request.prefix = r.u32();
-    const Bytes masked = r.raw(32);
-    std::copy(masked.begin(), masked.end(), request.masked_query.begin());
-    request.cached_epoch = r.u64();
-    request.api_key = to_string(r.var_bytes(kMaxApiKey));
-    const std::uint8_t want = r.u8();
-    if (want > 1) return std::nullopt;
-    request.want_evaluation_proof = want == 1;
-    r.expect_done();
-    return request;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  QueryRequest request;
+  request.prefix = r.u32();
+  r.fill(request.masked_query);
+  request.cached_epoch = r.u64();
+  request.api_key = to_string(r.var_bytes(kMaxApiKey));
+  const std::uint8_t want = r.u8();
+  if (want > 1) r.fail();
+  request.want_evaluation_proof = want == 1;
+  if (!r.finish()) return std::nullopt;
+  return request;
 }
 
 Bytes serialize(const QueryResponse& response) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.raw(ByteView(response.evaluated.data(), response.evaluated.size()));
   w.u64(response.epoch);
   w.u8(response.bucket_omitted ? 1 : 0);
@@ -62,69 +58,68 @@ Bytes serialize(const QueryResponse& response) {
 }
 
 std::optional<QueryResponse> parse_query_response(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    QueryResponse response;
-    const Bytes evaluated = r.raw(32);
-    std::copy(evaluated.begin(), evaluated.end(), response.evaluated.begin());
-    response.epoch = r.u64();
-    const std::uint8_t omitted = r.u8();
-    if (omitted > 1) return std::nullopt;
-    response.bucket_omitted = omitted == 1;
+  ec::WireReader r(data);
+  QueryResponse response;
+  r.fill(response.evaluated);
+  response.epoch = r.u64();
+  const std::uint8_t omitted = r.u8();
+  if (omitted > 1) r.fail();
+  response.bucket_omitted = omitted == 1;
 
-    const std::uint32_t bucket_size = r.u32();
-    if (bucket_size > kMaxBucket) return std::nullopt;
-    response.bucket.reserve(bucket_size);
-    for (std::uint32_t i = 0; i < bucket_size; ++i) {
-      const Bytes entry = r.raw(32);
-      ec::RistrettoPoint::Encoding enc;
-      std::copy(entry.begin(), entry.end(), enc.begin());
-      response.bucket.push_back(enc);
-    }
-    const std::uint32_t metadata_count = r.u32();
-    if (metadata_count > kMaxBucket) return std::nullopt;
-    response.metadata.reserve(metadata_count);
-    for (std::uint32_t i = 0; i < metadata_count; ++i) {
-      response.metadata.push_back(r.var_bytes(kMaxMetadataBytes));
-    }
-    const std::uint8_t has_proof = r.u8();
-    if (has_proof > 1) return std::nullopt;
-    if (has_proof == 1) {
-      const auto proof = nizk::DleqProof::from_bytes(
-          r.raw(nizk::DleqProof::kWireSize));
-      if (!proof) return std::nullopt;
-      response.evaluation_proof = *proof;
-    }
-    r.expect_done();
-    return response;
-  } catch (const ProtocolError&) {
+  const std::uint32_t bucket_size = r.u32();
+  // A claimed count larger than the bytes left cannot be honest; check
+  // before reserve so a hostile prefix cannot force a huge allocation.
+  if (bucket_size > kMaxBucket || bucket_size * std::size_t{32} > r.remaining()) {
     return std::nullopt;
   }
+  response.bucket.reserve(bucket_size);
+  for (std::uint32_t i = 0; i < bucket_size && r.ok(); ++i) {
+    ec::RistrettoPoint::Encoding enc{};
+    r.fill(enc);
+    response.bucket.push_back(enc);
+  }
+  const std::uint32_t metadata_count = r.u32();
+  // Each metadata entry costs at least its 2-byte length prefix.
+  if (metadata_count > kMaxBucket || metadata_count * std::size_t{2} > r.remaining()) {
+    return std::nullopt;
+  }
+  response.metadata.reserve(metadata_count);
+  for (std::uint32_t i = 0; i < metadata_count && r.ok(); ++i) {
+    response.metadata.push_back(r.var_bytes(kMaxMetadataBytes));
+  }
+  const std::uint8_t has_proof = r.u8();
+  if (has_proof > 1) r.fail();
+  if (has_proof == 1) {
+    response.evaluation_proof = r.nested<nizk::DleqProof>(
+        nizk::DleqProof::kWireSize, nizk::DleqProof::from_bytes);
+  }
+  if (!r.finish()) return std::nullopt;
+  return response;
 }
 
 Bytes serialize_prefix_list(const std::vector<std::uint32_t>& prefixes) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.u32(static_cast<std::uint32_t>(prefixes.size()));
   for (const auto p : prefixes) w.u32(p);
   return w.take();
 }
 
 std::optional<std::vector<std::uint32_t>> parse_prefix_list(ByteView data) {
-  try {
-    ec::ByteReader r(data);
-    const std::uint32_t count = r.u32();
-    if (count > kMaxPrefixes) return std::nullopt;
-    std::vector<std::uint32_t> prefixes;
-    prefixes.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) prefixes.push_back(r.u32());
-    r.expect_done();
-    if (!std::is_sorted(prefixes.begin(), prefixes.end())) {
-      return std::nullopt;  // canonical form is sorted
-    }
-    return prefixes;
-  } catch (const ProtocolError&) {
+  ec::WireReader r(data);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxPrefixes || count * std::size_t{4} > r.remaining()) {
     return std::nullopt;
   }
+  std::vector<std::uint32_t> prefixes;
+  prefixes.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    prefixes.push_back(r.u32());
+  }
+  if (!r.finish()) return std::nullopt;
+  if (!std::is_sorted(prefixes.begin(), prefixes.end())) {
+    return std::nullopt;  // canonical form is sorted
+  }
+  return prefixes;
 }
 
 }  // namespace cbl::oprf

@@ -10,14 +10,18 @@
 namespace cbl::oprf {
 
 Bytes serialize(const QueryRequest& request);
-std::optional<QueryRequest> parse_query_request(ByteView data);
+// wire:untrusted fuzz=fuzz_oprf_wire
+[[nodiscard]] std::optional<QueryRequest> parse_query_request(ByteView data);
 
 Bytes serialize(const QueryResponse& response);
-std::optional<QueryResponse> parse_query_response(ByteView data);
+// wire:untrusted fuzz=fuzz_oprf_wire
+[[nodiscard]] std::optional<QueryResponse> parse_query_response(ByteView data);
 
 /// Serialized prefix list (sorted u32 prefixes), as distributed to
 /// clients for the local fast path.
 Bytes serialize_prefix_list(const std::vector<std::uint32_t>& prefixes);
-std::optional<std::vector<std::uint32_t>> parse_prefix_list(ByteView data);
+// wire:untrusted fuzz=fuzz_oprf_wire
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> parse_prefix_list(
+    ByteView data);
 
 }  // namespace cbl::oprf

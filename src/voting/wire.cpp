@@ -1,3 +1,4 @@
+// wire:parser
 #include "voting/wire.h"
 
 #include "ec/codec.h"
@@ -5,7 +6,7 @@
 namespace cbl::voting {
 
 Bytes serialize(const Round1Submission& sub) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.point(sub.deposit_note.point());
   w.raw(sub.deposit_proof.to_bytes());
   w.point(sub.vrf_pk);
@@ -21,34 +22,24 @@ Bytes serialize(const Round1Submission& sub) {
 
 std::optional<Round1Submission> parse_round1(ByteView data) {
   if (data.size() != Round1Submission::wire_size()) return std::nullopt;
-  try {
-    ec::ByteReader r(data);
-    Round1Submission sub;
-    sub.deposit_note = commit::Commitment(r.point());
-    const auto deposit_proof =
-        nizk::SchnorrProof::from_bytes(r.raw(nizk::SchnorrProof::kWireSize));
-    if (!deposit_proof) return std::nullopt;
-    sub.deposit_proof = *deposit_proof;
-    sub.vrf_pk = r.point();
-    sub.comm_secret = r.point();
-    sub.c1 = r.point();
-    sub.c2 = r.point();
-    sub.comm_vote = r.point();
-    const auto proof_a =
-        nizk::ProofA::from_bytes(r.raw(nizk::ProofA::kWireSize));
-    if (!proof_a) return std::nullopt;
-    sub.proof_a = *proof_a;
-    const auto vote_proof = nizk::BinaryVoteProof::from_bytes(
-        r.raw(nizk::BinaryVoteProof::kWireSize));
-    if (!vote_proof) return std::nullopt;
-    sub.vote_proof = *vote_proof;
-    sub.weight = r.u32();
-    if (sub.weight == 0) return std::nullopt;
-    r.expect_done();
-    return sub;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  Round1Submission sub;
+  sub.deposit_note = commit::Commitment(r.point());
+  sub.deposit_proof = r.nested<nizk::SchnorrProof>(
+      nizk::SchnorrProof::kWireSize, nizk::SchnorrProof::from_bytes);
+  sub.vrf_pk = r.point();
+  sub.comm_secret = r.point();
+  sub.c1 = r.point();
+  sub.c2 = r.point();
+  sub.comm_vote = r.point();
+  sub.proof_a =
+      r.nested<nizk::ProofA>(nizk::ProofA::kWireSize, nizk::ProofA::from_bytes);
+  sub.vote_proof = r.nested<nizk::BinaryVoteProof>(
+      nizk::BinaryVoteProof::kWireSize, nizk::BinaryVoteProof::from_bytes);
+  sub.weight = r.u32();
+  if (sub.weight == 0) r.fail();
+  if (!r.finish()) return std::nullopt;
+  return sub;
 }
 
 Bytes serialize(const VrfReveal& reveal) { return reveal.proof.to_bytes(); }
@@ -60,7 +51,7 @@ std::optional<VrfReveal> parse_vrf_reveal(ByteView data) {
 }
 
 Bytes serialize(const Round2Submission& sub) {
-  ec::ByteWriter w;
+  ec::WireWriter w;
   w.point(sub.psi);
   w.raw(sub.proof_b.to_bytes());
   return w.take();
@@ -68,19 +59,13 @@ Bytes serialize(const Round2Submission& sub) {
 
 std::optional<Round2Submission> parse_round2(ByteView data) {
   if (data.size() != Round2Submission::wire_size()) return std::nullopt;
-  try {
-    ec::ByteReader r(data);
-    Round2Submission sub;
-    sub.psi = r.point();
-    const auto proof_b =
-        nizk::ProofB::from_bytes(r.raw(nizk::ProofB::kWireSize));
-    if (!proof_b) return std::nullopt;
-    sub.proof_b = *proof_b;
-    r.expect_done();
-    return sub;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  Round2Submission sub;
+  sub.psi = r.point();
+  sub.proof_b =
+      r.nested<nizk::ProofB>(nizk::ProofB::kWireSize, nizk::ProofB::from_bytes);
+  if (!r.finish()) return std::nullopt;
+  return sub;
 }
 
 }  // namespace cbl::voting

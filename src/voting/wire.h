@@ -11,12 +11,15 @@
 namespace cbl::voting {
 
 Bytes serialize(const Round1Submission& submission);
-std::optional<Round1Submission> parse_round1(ByteView data);
+// wire:untrusted fuzz=fuzz_voting_wire
+[[nodiscard]] std::optional<Round1Submission> parse_round1(ByteView data);
 
 Bytes serialize(const VrfReveal& reveal);
-std::optional<VrfReveal> parse_vrf_reveal(ByteView data);
+// wire:untrusted fuzz=fuzz_voting_wire
+[[nodiscard]] std::optional<VrfReveal> parse_vrf_reveal(ByteView data);
 
 Bytes serialize(const Round2Submission& submission);
-std::optional<Round2Submission> parse_round2(ByteView data);
+// wire:untrusted fuzz=fuzz_voting_wire
+[[nodiscard]] std::optional<Round2Submission> parse_round2(ByteView data);
 
 }  // namespace cbl::voting

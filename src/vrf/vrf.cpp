@@ -75,19 +75,13 @@ Bytes Proof::to_bytes() const {
 
 std::optional<Proof> Proof::from_bytes(ByteView data) {
   if (data.size() != kWireSize) return std::nullopt;
-  try {
-    ec::ByteReader r(data);
-    Proof proof;
-    proof.gamma = r.point();
-    const Bytes dleq_bytes = r.raw(nizk::DleqProof::kWireSize);
-    const auto dleq = nizk::DleqProof::from_bytes(dleq_bytes);
-    if (!dleq) return std::nullopt;
-    proof.dleq = *dleq;
-    r.expect_done();
-    return proof;
-  } catch (const ProtocolError&) {
-    return std::nullopt;
-  }
+  ec::WireReader r(data);
+  Proof proof;
+  proof.gamma = r.point();
+  proof.dleq = r.nested<nizk::DleqProof>(nizk::DleqProof::kWireSize,
+                                         nizk::DleqProof::from_bytes);
+  if (!r.finish()) return std::nullopt;
+  return proof;
 }
 
 }  // namespace cbl::vrf

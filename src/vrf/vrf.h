@@ -38,7 +38,8 @@ struct Proof {
   nizk::DleqProof dleq;
 
   Bytes to_bytes() const;
-  static std::optional<Proof> from_bytes(ByteView data);
+  // wire:untrusted fuzz=fuzz_nizk
+  [[nodiscard]] static std::optional<Proof> from_bytes(ByteView data);
   /// gamma + DLEQ (2 points + 1 scalar).
   static constexpr std::size_t kWireSize = 32 + nizk::DleqProof::kWireSize;
 };

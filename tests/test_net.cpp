@@ -176,6 +176,157 @@ TEST_F(NetTest, MalformedFramesRejectedByNode) {
   EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kBadRequest));
 }
 
+// Regression: the node used to accept bodyless methods with trailing
+// garbage. parse_request_frame now requires the frame to map onto the
+// protocol exactly, so a kPrefixList frame with extra bytes is rejected.
+TEST_F(NetTest, PrefixListRejectsTrailingBody) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  const Bytes exact = {static_cast<std::uint8_t>(Method::kPrefixList)};
+  auto result = transport.call("scamdb", exact);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kOk));
+
+  const Bytes trailing = {static_cast<std::uint8_t>(Method::kPrefixList),
+                          0xde, 0xad};
+  result = transport.call("scamdb", trailing);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0],
+            static_cast<std::uint8_t>(Status::kBadRequest));
+}
+
+// Regression: same trailing-byte acceptance existed for kInfo frames.
+TEST_F(NetTest, InfoRejectsTrailingBody) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  const Bytes exact = {static_cast<std::uint8_t>(Method::kInfo)};
+  auto result = transport.call("scamdb", exact);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0], static_cast<std::uint8_t>(Status::kOk));
+
+  const Bytes trailing = {static_cast<std::uint8_t>(Method::kInfo), 0x00};
+  result = transport.call("scamdb", trailing);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.response[0],
+            static_cast<std::uint8_t>(Status::kBadRequest));
+}
+
+TEST_F(NetTest, FrameParsersAreTotalOnHostileInput) {
+  // Empty frames carry no tag at all.
+  EXPECT_FALSE(parse_request_frame({}).has_value());
+  EXPECT_FALSE(parse_response_frame({}).has_value());
+  // Unknown method / status tags.
+  const Bytes bad_method = {0x77, 1, 2};
+  EXPECT_FALSE(parse_request_frame(bad_method).has_value());
+  const Bytes bad_status = {0x77, 1, 2};
+  EXPECT_FALSE(parse_response_frame(bad_status).has_value());
+  // A query frame's body aliases the input without the tag byte.
+  const Bytes query = {static_cast<std::uint8_t>(Method::kQuery), 9, 8, 7};
+  const auto parsed = parse_request_frame(query);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, Method::kQuery);
+  ASSERT_EQ(parsed->body.size(), 3u);
+  EXPECT_EQ(parsed->body[0], 9);
+  // Status-only responses (empty body) are well-formed.
+  const Bytes rate_limited = {static_cast<std::uint8_t>(Status::kRateLimited)};
+  const auto response = parse_response_frame(rate_limited);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kRateLimited);
+  EXPECT_TRUE(response->body.empty());
+}
+
+// A server under the attacker's control answers the info handshake
+// honestly, then serves the configured hostile payload for everything
+// else — the client must classify it, never crash or propagate.
+class HostileServer {
+ public:
+  HostileServer(Transport& transport, std::string endpoint) {
+    transport.register_endpoint(
+        std::move(endpoint), [this](ByteView frame) -> std::optional<Bytes> {
+          const auto request = parse_request_frame(frame);
+          if (request && request->method == Method::kInfo) {
+            ServiceInfo info;
+            info.lambda = 5;
+            info.entry_count = 10;
+            Bytes out = {static_cast<std::uint8_t>(Status::kOk)};
+            append(out, encode_info(info));
+            return out;
+          }
+          return payload_;
+        });
+  }
+
+  void set_payload(Bytes payload) { payload_ = std::move(payload); }
+
+ private:
+  Bytes payload_;
+};
+
+TEST_F(NetTest, ClientClassifiesTruncatedResponseFrameAsMalformed) {
+  auto transport = make_transport();
+  HostileServer hostile(transport, "evil");
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+
+  // Entirely empty response frame — not even a status byte.
+  hostile.set_payload({});
+  auto outcome = client.query(corpus_[0]);
+  EXPECT_EQ(outcome.kind,
+            RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
+
+  // Status kOk but a truncated QueryResponse body.
+  hostile.set_payload({static_cast<std::uint8_t>(Status::kOk), 1, 2, 3});
+  outcome = client.query(corpus_[0]);
+  EXPECT_EQ(outcome.kind,
+            RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
+}
+
+TEST_F(NetTest, ClientClassifiesUnknownStatusByteAsMalformed) {
+  auto transport = make_transport();
+  HostileServer hostile(transport, "evil");
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+  hostile.set_payload({0x77, 0xaa, 0xbb});
+  const auto outcome = client.query(corpus_[0]);
+  EXPECT_EQ(outcome.kind,
+            RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
+}
+
+TEST_F(NetTest, ClientRejectsOversizedLengthFieldsWithoutAllocating) {
+  auto transport = make_transport();
+  HostileServer hostile(transport, "evil");
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+
+  // A QueryResponse whose bucket-count field claims 2^32-1 entries with
+  // no bytes behind it: the parser must refuse before reserving.
+  Bytes bomb = {static_cast<std::uint8_t>(Status::kOk)};
+  bomb.insert(bomb.end(), 32, 0x00);              // "evaluated" encoding
+  bomb.insert(bomb.end(), 8, 0x00);               // epoch
+  bomb.push_back(0);                              // bucket_omitted = false
+  bomb.insert(bomb.end(), {0xff, 0xff, 0xff, 0xff});  // bucket count
+  hostile.set_payload(bomb);
+  const auto outcome = client.query(corpus_[0]);
+  EXPECT_EQ(outcome.kind,
+            RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
+
+  // Same attack against the prefix-list download path.
+  Bytes list_bomb = {static_cast<std::uint8_t>(Status::kOk)};
+  list_bomb.insert(list_bomb.end(), {0xff, 0xff, 0xff, 0x0f});
+  hostile.set_payload(list_bomb);
+  EXPECT_FALSE(client.sync_prefix_list());
+}
+
+TEST_F(NetTest, SyncPrefixListRejectsTrailingJunk) {
+  auto transport = make_transport();
+  HostileServer hostile(transport, "evil");
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+  // A well-formed (empty) prefix list followed by trailing junk must be
+  // rejected whole — parsers accept no trailing bytes.
+  Bytes payload = {static_cast<std::uint8_t>(Status::kOk), 0, 0, 0, 0, 0xcc};
+  hostile.set_payload(std::move(payload));
+  EXPECT_FALSE(client.sync_prefix_list());
+}
+
 TEST_F(NetTest, TransportAccountsBytes) {
   auto transport = make_transport();
   BlocklistServiceNode node(transport, "scamdb", *server_,
