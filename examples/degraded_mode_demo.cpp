@@ -1,0 +1,127 @@
+// Degraded-mode walkthrough: a wallet's ResilientClient rides out a
+// provider blackout without ever inventing a membership verdict.
+//
+// A FaultInjector black-holes the only provider for a window of virtual
+// time. The demo drives queries across the outage and prints a timeline
+// showing the degradation ladder in action — fresh answers before the
+// blackout, stale-cache / prefix-only answers while the circuit breaker
+// is open, a half-open probe when the cool-off elapses, and fresh
+// answers again once the probe heals the breaker. It ends with the
+// resilience slice of the Prometheus exposition a monitoring stack
+// would scrape.
+//
+//   ./examples/degraded_mode_demo
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "blocklist/generator.h"
+#include "chaos/chaos.h"
+#include "common/rng.h"
+#include "net/resilient_client.h"
+#include "net/service_node.h"
+#include "obs/obs.h"
+
+namespace {
+
+const char* breaker_name(cbl::net::CircuitBreaker::State state) {
+  using State = cbl::net::CircuitBreaker::State;
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbl;
+
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ManualClock clock;
+  registry.set_clock(&clock);
+
+  // --- one provider, sparse prefix space ----------------------------------
+  auto rng = ChaChaRng::from_string_seed("degraded-demo");
+  auto corpus_rng = ChaChaRng::from_string_seed("degraded-demo-corpus");
+  const auto listed = blocklist::generate_corpus(200, corpus_rng).addresses();
+  const std::unordered_set<std::string> listed_set(listed.begin(),
+                                                   listed.end());
+
+  oprf::OprfServer server(oprf::Oracle::fast(), 16, rng);
+  server.setup(listed);
+
+  net::TransportConfig net_cfg;
+  net_cfg.latency_ms_min = 8;
+  net_cfg.latency_ms_max = 25;
+  net::Transport transport(net_cfg, rng);
+  net::BlocklistServiceNode node(transport, "blocklist.example:443", server,
+                                 oprf::Oracle::fast());
+
+  // --- the outage: both legs black-holed for [1000ms, 3200ms) -------------
+  chaos::FaultPlan plan;
+  plan.name = "demo-blackout";
+  plan.seed = 42;
+  plan.per_endpoint["blocklist.example:443"].blackouts = {{1000.0, 3200.0}};
+  chaos::FaultInjector injector(transport, plan, &clock);
+  std::printf("chaos: %s\n\n", plan.describe().c_str());
+
+  net::ResilienceConfig cfg;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_ms = 800.0;
+  auto client_rng = ChaChaRng::from_string_seed("degraded-demo-client");
+  net::ResilientClient client(injector, {"blocklist.example:443"}, client_rng,
+                              cfg, &clock);
+
+  // --- traffic across the outage ------------------------------------------
+  // Alternate a known-bad address (exercises the OPRF round trip and,
+  // during the outage, the stale cache) with wallet-generated clean ones
+  // (prefix fast path; during the outage, prefix-only negatives).
+  auto wallet_rng = ChaChaRng::from_string_seed("degraded-demo-wallet");
+  std::printf("%8s  %-9s  %-10s  %-11s  %s\n", "t(ms)", "address", "verdict",
+              "freshness", "breaker");
+  for (int i = 0; i < 46; ++i) {
+    std::string address;
+    if (i % 2 == 0) {
+      // Cycle a small working set so outage-time queries repeat addresses
+      // answered before the blackout — that is what the stale cache serves.
+      address = listed[static_cast<std::size_t>(i) % 10];
+    } else {
+      do {
+        address =
+            blocklist::random_address(blocklist::Chain::kBitcoin, wallet_rng);
+      } while (listed_set.count(address) != 0);
+    }
+    const double t = client.now_ms();
+    const auto out = client.query(address);
+    const char* verdict =
+        out.verdict == net::ResilientClient::Outcome::Verdict::kListed
+            ? "LISTED"
+            : (out.verdict == net::ResilientClient::Outcome::Verdict::kNotListed
+                   ? "not-listed"
+                   : "unknown");
+    std::printf("%8.0f  %-9s  %-10s  %-11s  %s\n", t,
+                i % 2 == 0 ? "listed" : "clean", verdict,
+                net::to_string(out.freshness),
+                breaker_name(client.breaker_state("blocklist.example:443")));
+    clock.advance_ms(100);
+  }
+
+  // --- what a scrape would see --------------------------------------------
+  std::printf("\n=== resilience metrics (Prometheus exposition) ===\n");
+  std::vector<obs::MetricSnapshot> resilience;
+  for (auto& s : registry.snapshot()) {
+    if (s.name.rfind("cbl_net_breaker", 0) == 0 ||
+        s.name.rfind("cbl_net_resilient", 0) == 0 ||
+        s.name.rfind("cbl_chaos", 0) == 0) {
+      resilience.push_back(std::move(s));
+    }
+  }
+  std::printf("%s", obs::to_prometheus(resilience).c_str());
+
+  registry.set_clock(&obs::SteadyClock::instance());
+  return 0;
+}

@@ -41,10 +41,8 @@ struct Fixture {
         "hostile", [info](ByteView frame) -> std::optional<Bytes> {
           const auto request = net::parse_request_frame(frame);
           if (request && request->method == net::Method::kInfo) {
-            Bytes response{static_cast<std::uint8_t>(net::Status::kOk)};
-            const Bytes body = net::encode_info(info);
-            response.insert(response.end(), body.begin(), body.end());
-            return response;
+            return net::encode_response_frame(net::Status::kOk,
+                                              net::encode_info(info));
           }
           return Bytes(g_hostile.begin(), g_hostile.end());
         });

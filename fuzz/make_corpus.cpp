@@ -190,12 +190,15 @@ int main(int argc, char** argv) {
   info.lambda = 16;
   info.entry_count = 1000;
   write("fuzz_net_frame", "response-info",
-        with_selector(static_cast<std::uint8_t>(net::Status::kOk),
-                      net::encode_info(info)));
+        net::encode_response_frame(net::Status::kOk, net::encode_info(info)));
   write("fuzz_net_frame", "response-prefixes",
-        with_selector(static_cast<std::uint8_t>(net::Status::kOk), prefixes));
+        net::encode_response_frame(net::Status::kOk, prefixes));
   write("fuzz_net_frame", "response-rate-limited",
-        Bytes{static_cast<std::uint8_t>(net::Status::kRateLimited)});
+        net::encode_response_frame(net::Status::kRateLimited));
+  // A sealed frame with one flipped bit: must fail the checksum gate.
+  Bytes corrupted = net::encode_response_frame(net::Status::kOk, prefixes);
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  write("fuzz_net_frame", "response-corrupted", corrupted);
   write("fuzz_net_frame", "bad-method", Bytes{0x09, 0x00});
   write("fuzz_net_frame", "empty", Bytes{});
 

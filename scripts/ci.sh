@@ -16,6 +16,12 @@
 #                  replays its committed corpus, then mutation-fuzzes for
 #                  CBL_FUZZ_SMOKE_SECONDS (default 30) — any trap, sanitizer
 #                  report, or harness invariant violation aborts
+#   8. chaos-smoke Debug + ASan/UBSan: the seeded chaos harness
+#                  (tests/test_chaos) sweeps randomized fault schedules —
+#                  drops, corruption, blackouts, crash-restart, overload —
+#                  over thousands of queries. CBL_CHAOS_SEED (default
+#                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
+#                  any failure replays bit-exactly
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
@@ -27,7 +33,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke}"
+stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
@@ -129,6 +135,24 @@ if want fuzz-smoke; then
       "${harness}" -seconds="${fuzz_seconds}" "${corpus}"
     fi
   done
+fi
+
+if want chaos-smoke; then
+  chaos_dir="${build_root}/chaos-smoke"
+  chaos_seed="${CBL_CHAOS_SEED:-20260806}"
+  chaos_queries="${CBL_CHAOS_QUERIES:-1000}"
+  echo "=== [chaos-smoke] configure (ASan/UBSan) ==="
+  cmake -S "${repo_root}" -B "${chaos_dir}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCBL_SANITIZE="address;undefined"
+  echo "=== [chaos-smoke] build ==="
+  cmake --build "${chaos_dir}" -j "${jobs}" --target test_chaos
+  echo "=== [chaos-smoke] seed=${chaos_seed} queries=${chaos_queries}/plan ==="
+  echo "=== [chaos-smoke] replay any failure with:" \
+    "CBL_CHAOS_SEED=${chaos_seed} CBL_CHAOS_QUERIES=${chaos_queries}" \
+    "${chaos_dir}/tests/test_chaos ==="
+  CBL_CHAOS_SEED="${chaos_seed}" CBL_CHAOS_QUERIES="${chaos_queries}" \
+    "${chaos_dir}/tests/test_chaos"
 fi
 
 echo "=== CI OK: stages [${stages}] all green ==="

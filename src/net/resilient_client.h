@@ -1,0 +1,200 @@
+// The resilience policy layer over RemoteBlocklistClient: what a wallet
+// actually embeds. The paper's query service is hit on every outgoing
+// transaction, so the client must survive the full WAN failure menu —
+// flaky links, slow providers, crashed nodes, rate-limit storms —
+// without ever inventing a membership verdict.
+//
+// Policy stack, outermost first:
+//   deadline    — every logical query has a virtual-time budget; an
+//                 attempt whose RTT exceeds the per-attempt timeout is a
+//                 failure even if a response eventually "arrived".
+//   breaker     — per-endpoint circuit breaker (closed/open/half-open).
+//                 A tripped endpoint is skipped entirely: no traffic,
+//                 no blocked wallet, until a half-open probe heals it.
+//   hedging     — when the primary answers slowly (or not at all) and
+//                 another provider is registered, the query is hedged
+//                 to the next endpoint and the faster answer wins.
+//   backoff     — exponential with decorrelated jitter between retries;
+//                 kRateLimited honours the server's retry-after hint
+//                 instead of hammering.
+//   degradation — when every provider is down or tripped, the client
+//                 answers from what it still has, tagged honestly:
+//                 stale response cache, then prefix-list-only, then an
+//                 explicit kUnavailable. Never a silent failure, never
+//                 a fabricated verdict.
+//
+// Time is virtual: with a ManualClock the client *drives* it (advancing
+// by each attempt's RTT and by backoff sleeps), which is what makes
+// chaos runs deterministic and replayable from a seed. Without one it
+// reads the obs registry clock and backoff becomes accounting-only.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/service_node.h"
+#include "obs/clock.h"
+
+namespace cbl::net {
+
+/// How trustworthy an answer is — the degradation ladder, top to bottom.
+enum class Freshness : std::uint8_t {
+  kFresh = 0,       // a provider answered the private query just now
+  kStaleCache = 1,  // replayed from the local response cache
+  kPrefixOnly = 2,  // decided by the (public) prefix list alone
+  kUnavailable = 3, // nothing to answer from — explicit failure
+};
+const char* to_string(Freshness freshness);
+
+struct BreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  unsigned failure_threshold = 5;
+  /// How long an open breaker blocks traffic before probing.
+  double open_ms = 1000.0;
+  /// Successful half-open probes required to close again.
+  unsigned half_open_successes = 1;
+};
+
+/// Per-endpoint circuit breaker. State is exported as the gauge
+/// cbl_net_breaker_state{endpoint} (0 closed / 1 open / 2 half-open)
+/// and every transition as cbl_net_breaker_transitions_total{endpoint,to}.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker(const std::string& endpoint, BreakerConfig config);
+
+  /// May traffic flow right now? An open breaker whose cool-off has
+  /// elapsed transitions to half-open here and admits one probe.
+  bool allow(double now_ms);
+  void on_success(double now_ms);
+  void on_failure(double now_ms);
+  State state() const { return state_; }
+
+ private:
+  void transition(State to, double now_ms);
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  unsigned consecutive_failures_ = 0;
+  unsigned half_open_successes_ = 0;
+  double opened_at_ms_ = 0.0;
+  obs::Gauge* state_gauge_;
+  obs::Counter* to_closed_;
+  obs::Counter* to_open_;
+  obs::Counter* to_half_open_;
+};
+
+struct ResilienceConfig {
+  /// Transport attempts (across all providers) per logical query.
+  unsigned max_attempts = 6;
+  /// Per-attempt RTT budget: slower responses count as timeouts.
+  double attempt_timeout_ms = 400.0;
+  /// Whole-query virtual-time budget, retries and backoff included.
+  double call_deadline_ms = 3000.0;
+  /// Decorrelated-jitter backoff: sleep ~ U(base, 3 * previous), capped.
+  double backoff_base_ms = 25.0;
+  double backoff_cap_ms = 1000.0;
+  /// Minimum backoff after kRateLimited when the server sent no hint.
+  double rate_limit_floor_ms = 250.0;
+  /// Hedge to the next provider when the primary's RTT exceeds this
+  /// (0 disables hedging).
+  double hedge_after_ms = 150.0;
+  BreakerConfig breaker;
+  /// Response cache entries kept for degraded answers (FIFO eviction).
+  std::size_t response_cache_max = 4096;
+};
+
+/// A membership client that composes every policy above over one or
+/// more provider endpoints reachable through a Channel (a bare
+/// Transport, or a chaos::FaultInjector wrapping one).
+class ResilientClient {
+ public:
+  ResilientClient(Channel& channel, std::vector<std::string> endpoints,
+                  Rng& rng, ResilienceConfig config = ResilienceConfig(),
+                  obs::ManualClock* clock = nullptr);
+
+  struct Outcome {
+    enum class Verdict : std::uint8_t { kNotListed, kListed, kUnknown };
+    Verdict verdict = Verdict::kUnknown;
+    Freshness freshness = Freshness::kUnavailable;
+    bool listed() const { return verdict == Verdict::kListed; }
+    /// Endpoint that produced a fresh answer; empty otherwise.
+    std::string provider;
+    unsigned attempts = 0;  // transport attempts, hedges included
+    unsigned hedges = 0;    // hedged duplicate requests issued
+    double latency_ms = 0;  // virtual time consumed, backoff included
+    /// Kind of the last attempt failure (meaningful when degraded).
+    RemoteBlocklistClient::QueryOutcome::Kind last_error =
+        RemoteBlocklistClient::QueryOutcome::Kind::kUnreachable;
+  };
+
+  /// One membership query under the full policy stack. Never throws on
+  /// network trouble; the outcome says how good the answer is.
+  Outcome query(std::string_view address);
+
+  /// Connects any still-unconnected providers and syncs their prefix
+  /// lists. Safe to call repeatedly; returns how many providers are
+  /// currently connected.
+  std::size_t sync();
+
+  /// API key forwarded to every provider client (current and future).
+  void set_api_key(std::string key);
+
+  CircuitBreaker::State breaker_state(const std::string& endpoint) const;
+  std::size_t connected_providers() const;
+  std::size_t cached_responses() const { return cache_.size(); }
+  double now_ms() const;
+
+ private:
+  struct Provider {
+    std::string endpoint;
+    std::optional<RemoteBlocklistClient> client;
+    CircuitBreaker breaker;
+    bool prefix_synced = false;
+  };
+  struct CachedVerdict {
+    bool listed = false;
+    double at_ms = 0.0;
+  };
+  struct AttemptResult {
+    RemoteBlocklistClient::QueryOutcome outcome;
+    bool timed_out = false;
+  };
+
+  bool ensure_connected(Provider& provider);
+  AttemptResult attempt(Provider& provider, std::string_view address);
+  void sleep_ms(double ms);
+  void remember(std::string_view address, bool listed);
+  Outcome degrade(std::string_view address, Outcome partial);
+  double backoff_ms(double previous_ms) const;
+
+  Channel& channel_;
+  Rng& rng_;
+  ResilienceConfig config_;
+  obs::ManualClock* clock_;
+  std::vector<Provider> providers_;
+  std::string api_key_;
+  std::unordered_map<std::string, CachedVerdict> cache_;
+  std::deque<std::string> cache_order_;  // FIFO eviction
+  std::size_t next_primary_ = 0;  // round-robin start among providers
+
+  struct Metrics {
+    obs::Counter* fresh;
+    obs::Counter* stale_cache;
+    obs::Counter* prefix_only;
+    obs::Counter* unavailable;
+    obs::Counter* retries;
+    obs::Counter* hedges;
+    obs::Counter* hedge_wins;
+    obs::Counter* timeouts;
+    obs::Counter* rate_limited;
+    obs::Counter* backoff_ms_total;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace cbl::net

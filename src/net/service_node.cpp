@@ -1,20 +1,40 @@
 // wire:parser
 #include "net/service_node.h"
 
+#include <algorithm>
+
 #include "ec/codec.h"
+#include "hash/blake2b.h"
 
 namespace cbl::net {
 
 namespace {
 
-Bytes status_frame(Status status, ByteView body = {}) {
-  Bytes out;
-  out.push_back(static_cast<std::uint8_t>(status));
-  append(out, body);
-  return out;
+/// Keyed-BLAKE2b integrity tag over a sealed (status || body) prefix.
+/// Domain-keyed so a frame checksum can never collide with another use
+/// of BLAKE2b in the tree.
+Bytes frame_checksum(ByteView sealed) {
+  static const Bytes key = to_bytes("cbl/net/frame/v1");
+  return hash::Blake2b::digest(sealed, kFrameChecksumSize, key);
+}
+
+Bytes retry_after_body(std::uint32_t hint_ms) {
+  ec::WireWriter w;
+  w.u32(hint_ms);
+  return w.take();
 }
 
 }  // namespace
+
+Bytes encode_response_frame(Status status, ByteView body) {
+  Bytes out;
+  out.reserve(1 + body.size() + kFrameChecksumSize);
+  out.push_back(static_cast<std::uint8_t>(status));
+  append(out, body);
+  const Bytes sum = frame_checksum(out);
+  append(out, sum);
+  return out;
+}
 
 Bytes encode_info(const ServiceInfo& info) {
   ec::WireWriter w;
@@ -64,11 +84,22 @@ std::optional<RequestFrame> parse_request_frame(ByteView frame) {
 }
 
 std::optional<ResponseFrame> parse_response_frame(ByteView frame) {
-  cbl::ByteReader r(frame);
+  // Integrity first: a frame whose trailing checksum does not match its
+  // (status || body) prefix is malformed as a whole — bit flips and
+  // truncation land here, never in the body parsers.
+  if (frame.size() < 1 + kFrameChecksumSize) return std::nullopt;
+  const std::size_t sealed_len = frame.size() - kFrameChecksumSize;
+  const ByteView sealed = frame.first(sealed_len);
+  const ByteView tag = frame.subspan(sealed_len);
+  const Bytes expect = frame_checksum(sealed);
+  if (!std::equal(expect.begin(), expect.end(), tag.begin(), tag.end())) {
+    return std::nullopt;
+  }
+  cbl::ByteReader r(sealed);
   ResponseFrame parsed;
-  const std::uint8_t tag = r.u8();
-  if (tag > static_cast<std::uint8_t>(Status::kRateLimited)) r.fail();
-  parsed.status = static_cast<Status>(tag);
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kRateLimited)) r.fail();
+  parsed.status = static_cast<Status>(status);
   parsed.body = r.view(r.remaining());
   if (!r.finish()) return std::nullopt;
   return parsed;
@@ -77,8 +108,13 @@ std::optional<ResponseFrame> parse_response_frame(ByteView frame) {
 BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
                                            std::string endpoint,
                                            oprf::OprfServer& server,
-                                           oprf::Oracle oracle)
-    : endpoint_(std::move(endpoint)), server_(server), oracle_(oracle) {
+                                           oprf::Oracle oracle,
+                                           NodeLimits limits)
+    : transport_(&transport),
+      endpoint_(std::move(endpoint)),
+      server_(server),
+      oracle_(oracle),
+      limits_(limits) {
   auto& registry = obs::MetricsRegistry::global();
   const auto request_counter = [&](const char* method) {
     return &registry.counter("cbl_net_requests_total", {{"method", method}},
@@ -95,8 +131,15 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
   responses_ok_ = response_counter("ok");
   responses_bad_request_ = response_counter("bad_request");
   responses_rate_limited_ = response_counter("rate_limited");
+  shed_ = &registry.counter(
+      "cbl_net_shed_total", {{"endpoint", endpoint_}},
+      "Queries shed by the bounded in-flight budget (overload)");
   transport.register_endpoint(
       endpoint_, [this](ByteView frame) { return handle_frame(frame); });
+}
+
+BlocklistServiceNode::~BlocklistServiceNode() {
+  transport_->unregister_endpoint(endpoint_);
 }
 
 obs::Counter& BlocklistServiceNode::method_counter(Method method) {
@@ -123,10 +166,30 @@ obs::Counter& BlocklistServiceNode::status_counter(Status status) {
   return *responses_bad_request_;
 }
 
+std::uint32_t BlocklistServiceNode::admit_or_shed_query() {
+  if (limits_.max_inflight == 0 || limits_.service_ms <= 0.0) return 0;
+  const double now =
+      static_cast<double>(obs::MetricsRegistry::global().clock().now_ns()) /
+      1e6;
+  if (busy_until_ms_ < now) busy_until_ms_ = now;  // queue drained
+  const double backlog_ms = busy_until_ms_ - now;
+  const double capacity_ms =
+      limits_.service_ms * static_cast<double>(limits_.max_inflight);
+  if (backlog_ms + limits_.service_ms > capacity_ms) {
+    // Queue full: shed rather than queue unboundedly. The hint is how
+    // long until a slot frees up.
+    shed_->inc();
+    const double wait_ms = backlog_ms + limits_.service_ms - capacity_ms;
+    return static_cast<std::uint32_t>(wait_ms) + 1;
+  }
+  busy_until_ms_ += limits_.service_ms;
+  return 0;
+}
+
 std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
   const auto respond = [this](Status status, ByteView body = {}) {
     status_counter(status).inc();
-    return status_frame(status, body);
+    return encode_response_frame(status, body);
   };
   const auto parsed = parse_request_frame(frame);
   if (!parsed) {
@@ -137,6 +200,11 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
 
   switch (parsed->method) {
     case Method::kQuery: {
+      // Overload shedding happens before any parsing or crypto work —
+      // the whole point is to spend nothing on load we cannot serve.
+      if (const std::uint32_t hint_ms = admit_or_shed_query()) {
+        return respond(Status::kRateLimited, retry_after_body(hint_ms));
+      }
       const auto request = oprf::parse_query_request(parsed->body);
       if (!request) return respond(Status::kBadRequest);
       try {
@@ -146,6 +214,10 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
       } catch (const ProtocolError&) {
         // Rate limit / auth failures surface as a distinct status so the
         // client can back off instead of retrying.
+        if (limits_.retry_after_hint_ms > 0) {
+          return respond(Status::kRateLimited,
+                         retry_after_body(limits_.retry_after_hint_ms));
+        }
         return respond(Status::kRateLimited);
       }
     }
@@ -172,10 +244,21 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
   return respond(Status::kBadRequest);
 }
 
-RemoteBlocklistClient::RemoteBlocklistClient(Transport& transport,
+RemoteBlocklistClient::RemoteBlocklistClient(Channel& channel,
                                              std::string endpoint, Rng& rng,
                                              RemoteClientConfig config)
-    : transport_(transport), endpoint_(std::move(endpoint)), config_(config) {
+    : channel_(channel), endpoint_(std::move(endpoint)), config_(config) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto outcome_counter = [&](const char* kind) {
+    return &registry.counter("cbl_net_client_outcomes_total",
+                             {{"endpoint", endpoint_}, {"kind", kind}},
+                             "Remote client query outcomes by kind");
+  };
+  outcomes_ok_ = outcome_counter("ok");
+  outcomes_unreachable_ = outcome_counter("unreachable");
+  outcomes_malformed_ = outcome_counter("malformed");
+  outcomes_rate_limited_ = outcome_counter("rate_limited");
+
   const Bytes frame = {static_cast<std::uint8_t>(Method::kInfo)};
   unsigned attempts = 0;
   const auto result = call_with_retry(frame, &attempts);
@@ -208,7 +291,7 @@ CallResult RemoteBlocklistClient::call_with_retry(ByteView frame,
   CallResult result;
   for (unsigned attempt = 0; attempt <= config_.max_retries; ++attempt) {
     *attempts = attempt + 1;
-    result = transport_.call(endpoint_, frame);
+    result = channel_.call(endpoint_, frame);
     if (result.delivered) return result;
   }
   return result;
@@ -228,6 +311,26 @@ bool RemoteBlocklistClient::sync_prefix_list() {
 }
 
 RemoteBlocklistClient::QueryOutcome RemoteBlocklistClient::query(
+    std::string_view address) {
+  QueryOutcome outcome = query_uncounted(address);
+  switch (outcome.kind) {
+    case QueryOutcome::Kind::kOk:
+      outcomes_ok_->inc();
+      break;
+    case QueryOutcome::Kind::kUnreachable:
+      outcomes_unreachable_->inc();
+      break;
+    case QueryOutcome::Kind::kMalformed:
+      outcomes_malformed_->inc();
+      break;
+    case QueryOutcome::Kind::kRateLimited:
+      outcomes_rate_limited_->inc();
+      break;
+  }
+  return outcome;
+}
+
+RemoteBlocklistClient::QueryOutcome RemoteBlocklistClient::query_uncounted(
     std::string_view address) {
   QueryOutcome outcome;
   if (client_->has_prefix_list() && !client_->may_be_listed(address)) {
@@ -252,6 +355,16 @@ RemoteBlocklistClient::QueryOutcome RemoteBlocklistClient::query(
     return outcome;
   }
   if (frame_parsed->status == Status::kRateLimited) {
+    // An optional 4-byte retry-after hint rides in the body.
+    if (!frame_parsed->body.empty()) {
+      cbl::ByteReader r(frame_parsed->body);
+      const std::uint32_t hint_ms = r.u32();
+      if (!r.finish()) {
+        outcome.kind = QueryOutcome::Kind::kMalformed;
+        return outcome;
+      }
+      outcome.retry_after_ms = hint_ms;
+    }
     outcome.kind = QueryOutcome::Kind::kRateLimited;
     return outcome;
   }

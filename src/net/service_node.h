@@ -2,7 +2,14 @@
 // OprfServer over the transport, and a remote client that speaks the
 // binary protocol with retry handling. Frames are a 1-byte method tag
 // followed by the message body; responses are a 1-byte status followed
-// by the body.
+// by the body and a 4-byte keyed-BLAKE2b integrity checksum.
+//
+// The checksum stands in for the record integrity TLS provides in a
+// real deployment: it makes channel corruption (bit flips, truncation)
+// detectable, so a damaged response surfaces as kMalformed instead of a
+// wrong membership verdict. It is NOT a trust mechanism — a malicious
+// server can checksum lies; server honesty is handled by the
+// verifiable-OPRF layer (pinned key commitments + DLEQ proofs).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,15 @@ enum class Status : std::uint8_t {
   kRateLimited = 2,
 };
 
+/// Trailing integrity checksum on every response frame (keyed BLAKE2b-32
+/// over status byte + body).
+inline constexpr std::size_t kFrameChecksumSize = 4;
+
+/// Seals a response frame: status byte, body, integrity checksum. The
+/// node uses this for every reply; tests and hostile-server fixtures use
+/// it to craft frames that reach the body parsers.
+Bytes encode_response_frame(Status status, ByteView body = {});
+
 /// A validated request frame: a known method tag plus its body. Bodyless
 /// methods (kPrefixList, kInfo) reject trailing bytes here, so a frame
 /// either maps onto the protocol exactly or is malformed.
@@ -36,7 +52,9 @@ struct RequestFrame {
 // wire:untrusted fuzz=fuzz_net_frame
 [[nodiscard]] std::optional<RequestFrame> parse_request_frame(ByteView frame);
 
-/// A split response frame: a known status tag plus its body.
+/// A split response frame: a known status tag plus its body. Parsing
+/// verifies and strips the integrity checksum; a frame that fails the
+/// check (corruption, truncation) is malformed as a whole.
 struct ResponseFrame {
   Status status = Status::kBadRequest;
   ByteView body;  // aliases the input frame
@@ -59,11 +77,31 @@ Bytes encode_info(const ServiceInfo& info);
 // wire:untrusted fuzz=fuzz_net_frame
 [[nodiscard]] std::optional<ServiceInfo> decode_info(ByteView data);
 
-/// Binds an OprfServer to a transport endpoint.
+/// Overload-shedding budget for a service node. With max_inflight > 0
+/// the node models a bounded service queue in virtual time (the obs
+/// registry clock): each query occupies the server for service_ms, and
+/// a query arriving when max_inflight are already queued is shed with
+/// kRateLimited (plus a retry-after hint) instead of queuing
+/// unboundedly — load-shedding beats collapse under a traffic storm.
+struct NodeLimits {
+  double service_ms = 0.0;            // simulated per-query service time
+  unsigned max_inflight = 0;          // 0 = unlimited (no shedding)
+  /// Retry-after hint attached to rate-limiter rejections, in ms
+  /// (shedding computes its own hint from the queue depth). 0 = none.
+  std::uint32_t retry_after_hint_ms = 0;
+};
+
+/// Binds an OprfServer to a transport endpoint. The destructor tears the
+/// endpoint down again, so a destroyed node is unreachable (drops) — the
+/// crash half of crash-restart — rather than a dangling handler.
 class BlocklistServiceNode {
  public:
   BlocklistServiceNode(Transport& transport, std::string endpoint,
-                       oprf::OprfServer& server, oprf::Oracle oracle);
+                       oprf::OprfServer& server, oprf::Oracle oracle,
+                       NodeLimits limits = NodeLimits());
+  ~BlocklistServiceNode();
+  BlocklistServiceNode(const BlocklistServiceNode&) = delete;
+  BlocklistServiceNode& operator=(const BlocklistServiceNode&) = delete;
 
   const std::string& endpoint() const { return endpoint_; }
 
@@ -71,10 +109,16 @@ class BlocklistServiceNode {
   std::optional<Bytes> handle_frame(ByteView frame);
   obs::Counter& method_counter(Method method);
   obs::Counter& status_counter(Status status);
+  /// Returns the shed retry-after hint in ms when the query must be
+  /// shed, 0 when it was admitted (and the backlog charged).
+  std::uint32_t admit_or_shed_query();
 
+  Transport* transport_;
   std::string endpoint_;
   oprf::OprfServer& server_;
   oprf::Oracle oracle_;
+  NodeLimits limits_;
+  double busy_until_ms_ = 0.0;  // virtual-time end of the service queue
   // Per-method / per-status request accounting, resolved once.
   obs::Counter* requests_query_;
   obs::Counter* requests_prefix_list_;
@@ -83,6 +127,7 @@ class BlocklistServiceNode {
   obs::Counter* responses_ok_;
   obs::Counter* responses_bad_request_;
   obs::Counter* responses_rate_limited_;
+  obs::Counter* shed_;
 };
 
 /// Retry policy for the remote client.
@@ -91,13 +136,15 @@ struct RemoteClientConfig {
 };
 
 /// Client side: discovers the service parameters over the wire, then
-/// issues private queries with bounded retries on transport loss.
+/// issues private queries with bounded retries on transport loss. Takes
+/// any Channel, so the same client runs over a bare Transport or a
+/// chaos-wrapped one.
 class RemoteBlocklistClient {
  public:
   /// Fetches ServiceInfo from the node and constructs a matching local
   /// OPRF client (same oracle, same lambda). Throws ProtocolError if the
   /// service is unreachable or speaks garbage.
-  RemoteBlocklistClient(Transport& transport, std::string endpoint, Rng& rng,
+  RemoteBlocklistClient(Channel& channel, std::string endpoint, Rng& rng,
                         RemoteClientConfig config = RemoteClientConfig());
 
   struct QueryOutcome {
@@ -107,6 +154,8 @@ class RemoteBlocklistClient {
     bool resolved_locally = false;
     double rtt_ms = 0.0;
     unsigned attempts = 0;
+    /// Server backoff hint carried by kRateLimited responses; 0 if none.
+    std::uint32_t retry_after_ms = 0;
   };
 
   QueryOutcome query(std::string_view address);
@@ -118,14 +167,30 @@ class RemoteBlocklistClient {
   const ServiceInfo& info() const { return info_; }
   void set_api_key(std::string key) { client_->set_api_key(std::move(key)); }
 
+  /// Prefix-list state, exposed so a resilience layer can fall back to
+  /// prefix-only answers when the service is unreachable.
+  bool has_prefix_list() const { return client_->has_prefix_list(); }
+  bool may_be_listed(std::string_view address) const {
+    return client_->may_be_listed(address);
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
  private:
+  QueryOutcome query_uncounted(std::string_view address);
   CallResult call_with_retry(ByteView frame, unsigned* attempts);
 
-  Transport& transport_;
+  Channel& channel_;
   std::string endpoint_;
   RemoteClientConfig config_;
   ServiceInfo info_;
   std::optional<oprf::OprfClient> client_;
+  // Query outcomes by kind (cbl_net_client_outcomes_total), so
+  // dashboards can tell rate-limited from unreachable from malformed.
+  obs::Counter* outcomes_ok_;
+  obs::Counter* outcomes_unreachable_;
+  obs::Counter* outcomes_malformed_;
+  obs::Counter* outcomes_rate_limited_;
 };
 
 }  // namespace cbl::net

@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include <cmath>
+
 namespace cbl::net {
 
 namespace {
@@ -21,6 +23,14 @@ Transport::EndpointMetrics& Transport::metrics_for(
                           "Round trips attempted per endpoint");
     m.drops = net_counter("cbl_net_drops_total", endpoint,
                           "Calls lost to simulated loss or unknown endpoint");
+    m.drops_request = net_counter(
+        "cbl_net_drops_request_total", endpoint,
+        "Calls lost on the request leg (server never saw the frame)");
+    m.drops_response = net_counter(
+        "cbl_net_drops_response_total", endpoint,
+        "Calls lost on the response leg (server worked, reply lost)");
+    m.rejected = net_counter("cbl_net_rejected_total", endpoint,
+                             "Frames the endpoint handler rejected");
     m.bytes_sent = net_counter("cbl_net_bytes_sent_total", endpoint,
                                "Request bytes on the wire");
     m.bytes_received = net_counter("cbl_net_bytes_received_total", endpoint,
@@ -35,10 +45,23 @@ void Transport::register_endpoint(const std::string& name, Handler handler) {
   metrics_for(name);  // pre-resolve the handles off the hot path
 }
 
+void Transport::unregister_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
 double Transport::sample_latency() {
   const double span = config_.latency_ms_max - config_.latency_ms_min;
   const double u = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
   return config_.latency_ms_min + span * u;
+}
+
+bool Transport::leg_dropped() {
+  if (config_.drop_rate <= 0.0) return false;
+  // Two independent legs, overall loss == drop_rate:
+  //   p_leg = 1 - sqrt(1 - drop_rate).
+  const double p_leg = 1.0 - std::sqrt(1.0 - config_.drop_rate);
+  const double roll = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
+  return roll < p_leg;
 }
 
 CallResult Transport::call(const std::string& endpoint, ByteView request) {
@@ -62,28 +85,48 @@ CallResult Transport::call(const std::string& endpoint, ByteView request) {
     ep.drops->inc();
     return result;
   }
-  if (config_.drop_rate > 0.0) {
-    const double roll = static_cast<double>(rng_.uniform(1'000'000)) / 1e6;
-    if (roll < config_.drop_rate) {
-      ++stats_.drops;
-      ++ep.stats.drops;
-      ep.drops->inc();
-      return result;
-    }
+  if (leg_dropped()) {  // request leg: the server never sees the frame
+    ++stats_.drops;
+    ++ep.stats.drops;
+    ++stats_.drops_request;
+    ++ep.stats.drops_request;
+    ep.drops->inc();
+    ep.drops_request->inc();
+    return result;
   }
 
+  // The request made it onto the wire and into the handler; its bytes
+  // count as sent even if the response leg is lost below.
   stats_.bytes_sent += request.size();
   ep.stats.bytes_sent += request.size();
   ep.bytes_sent->inc(request.size());
   const auto response = it->second(request);
+  if (!response) {
+    // Handler rejection: the endpoint saw the frame and refused it. A
+    // distinct outcome — not an empty success, not a drop.
+    ++stats_.rejected;
+    ++ep.stats.rejected;
+    ep.rejected->inc();
+    result.delivered = true;
+    result.rejected = true;
+    rtt_ms_->observe(result.rtt_ms);
+    return result;
+  }
+  if (leg_dropped()) {  // response leg: the server worked for nothing
+    ++stats_.drops;
+    ++ep.stats.drops;
+    ++stats_.drops_response;
+    ++ep.stats.drops_response;
+    ep.drops->inc();
+    ep.drops_response->inc();
+    return result;
+  }
   result.delivered = true;
   rtt_ms_->observe(result.rtt_ms);
-  if (response) {
-    result.response = *response;
-    stats_.bytes_received += result.response.size();
-    ep.stats.bytes_received += result.response.size();
-    ep.bytes_received->inc(result.response.size());
-  }
+  result.response = *response;
+  stats_.bytes_received += result.response.size();
+  ep.stats.bytes_received += result.response.size();
+  ep.bytes_received->inc(result.response.size());
   return result;
 }
 

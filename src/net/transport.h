@@ -5,6 +5,15 @@
 // can be exercised end to end, with the byte/latency accounting the
 // capacity model (Fig. 6) is calibrated against.
 //
+// Loss is modelled per leg: a call is lost either on the request leg
+// (the server never sees it) or on the response leg (the server did the
+// work, the client never hears back). The two legs are sampled
+// independently, each with probability 1 - sqrt(1 - drop_rate), so the
+// configured drop_rate remains the overall probability that the call as
+// a whole is lost — but byte accounting and server-side effects now
+// differ between the two cases, which is what retry-safety and the
+// chaos harness exercise.
+//
 // Accounting is kept twice: a local TransportStats per endpoint (so
 // multi-provider experiments stay attributable, resettable between
 // phases) and mirrored onto the global cbl::obs registry as
@@ -26,24 +35,47 @@ namespace cbl::net {
 struct TransportConfig {
   double latency_ms_min = 5.0;
   double latency_ms_max = 50.0;
-  /// Probability a call is lost (request or response leg).
+  /// Probability a call is lost (request or response leg, sampled
+  /// independently per leg — see the file comment).
   double drop_rate = 0.0;
 };
 
 struct CallResult {
   bool delivered = false;
+  /// The endpoint saw the frame and rejected it (handler returned
+  /// nullopt): client-visible, distinguishable from an empty success.
+  bool rejected = false;
   Bytes response;
   double rtt_ms = 0.0;
 };
 
 struct TransportStats {
   std::uint64_t calls = 0;
+  /// Total undelivered calls: leg losses plus unknown-endpoint calls.
   std::uint64_t drops = 0;
+  /// Leg-loss split: drops_request + drops_response counts only sampled
+  /// loss; the remainder of `drops` is calls to unknown endpoints.
+  std::uint64_t drops_request = 0;
+  std::uint64_t drops_response = 0;
+  /// Handler rejections (nullopt responses) — delivered, but an error.
+  std::uint64_t rejected = 0;
   std::uint64_t bytes_sent = 0;      // client -> server
   std::uint64_t bytes_received = 0;  // server -> client
 };
 
-class Transport {
+/// The call surface of the transport, as seen by clients. Wrappers that
+/// inject policy (cbl::chaos::FaultInjector) or resilience implement
+/// this same interface, so the client stack composes over any of them.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Simulates one round trip. Undelivered calls (drops, unknown
+  /// endpoint) return delivered = false; handler rejections return
+  /// delivered = true with rejected = true and an empty response.
+  virtual CallResult call(const std::string& endpoint, ByteView request) = 0;
+};
+
+class Transport final : public Channel {
  public:
   /// A handler consumes a request frame and produces a response frame;
   /// nullopt means the endpoint rejects the frame (delivered error).
@@ -53,14 +85,19 @@ class Transport {
       : config_(config), rng_(rng) {}
 
   void register_endpoint(const std::string& name, Handler handler);
+  /// Tears an endpoint down (crash simulation / node shutdown): later
+  /// calls are unknown-endpoint drops until a handler is re-registered.
+  void unregister_endpoint(const std::string& name);
   bool has_endpoint(const std::string& name) const {
     return endpoints_.contains(name);
   }
 
-  /// Simulates one round trip. Undelivered calls (drops, unknown
-  /// endpoint) return delivered = false; handler rejections return
-  /// delivered = true with an empty response.
-  CallResult call(const std::string& endpoint, ByteView request);
+  CallResult call(const std::string& endpoint, ByteView request) override;
+
+  /// One two-leg latency sample from this transport's distribution,
+  /// without placing a call — fault injectors use it to price the
+  /// timeouts of calls they swallow themselves.
+  double sample_rtt() { return sample_latency() + sample_latency(); }
 
   /// Aggregate over every endpoint (plus calls to unknown endpoints).
   const TransportStats& stats() const { return stats_; }
@@ -81,11 +118,17 @@ class Transport {
     TransportStats stats;
     obs::Counter* calls = nullptr;
     obs::Counter* drops = nullptr;
+    obs::Counter* drops_request = nullptr;
+    obs::Counter* drops_response = nullptr;
+    obs::Counter* rejected = nullptr;
     obs::Counter* bytes_sent = nullptr;
     obs::Counter* bytes_received = nullptr;
   };
 
   double sample_latency();
+  /// True when this leg of the call is lost. Per-leg probability is
+  /// derived so that P(either leg lost) == config_.drop_rate.
+  bool leg_dropped();
   EndpointMetrics& metrics_for(const std::string& endpoint);
 
   TransportConfig config_;

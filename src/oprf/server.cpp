@@ -73,6 +73,14 @@ void OprfServer::rotate_key(unsigned num_threads) {
   rebuild(num_threads);
 }
 
+void OprfServer::restore_epoch(std::uint64_t floor) {
+  std::unique_lock lock(data_mutex_);
+  if (epoch_ < floor) {
+    epoch_ = floor;
+    refresh_data_gauges();
+  }
+}
+
 void OprfServer::rebuild(unsigned num_threads) {
   const auto& clock = obs::MetricsRegistry::global().clock();
   const std::uint64_t t0 = clock.now_ns();

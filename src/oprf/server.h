@@ -80,6 +80,15 @@ class OprfServer {
   std::vector<std::uint32_t> prefix_list() const;
 
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Crash-recovery support: raises the epoch to at least `floor`. A
+  /// rebuilt server restarts epoch numbering from zero, so without this
+  /// a recovered service could re-serve an epoch number that clients
+  /// already cached buckets for — under a DIFFERENT mask R, turning the
+  /// stale cache into silently wrong membership answers. Recovery code
+  /// must call this with (last served epoch) before going live; the next
+  /// setup/rotation then advances past every epoch ever served.
+  void restore_epoch(std::uint64_t floor);
   unsigned lambda() const { return lambda_; }
   std::size_t entry_count() const { return entries_.size(); }
 

@@ -1,0 +1,409 @@
+// The seeded chaos harness: randomized fault schedules swept over
+// thousands of membership queries, asserting the system-level
+// invariants the resilience stack exists for:
+//
+//   * no crash, no exception escaping the client;
+//   * NO WRONG MEMBERSHIP ANSWER, EVER — corruption surfaces as
+//     kMalformed or an honestly-tagged degraded answer, never a false
+//     verdict;
+//   * every injected fault is accounted for in cbl::obs;
+//   * the circuit breaker sheds during a blackout and walks
+//     open -> half-open -> closed afterwards;
+//   * a crashed-and-restarted node recovers deterministically, with an
+//     epoch floor that keeps stale client caches from going wrong.
+//
+// Every run is deterministic: plan seed -> injector ChaCha stream, and
+// all time is a shared ManualClock that the resilient client drives.
+// Failures print the plan description; replay any plan with e.g.
+//   CBL_CHAOS_SEED=<seed> ./tests/test_chaos
+// CBL_CHAOS_QUERIES=<n> scales the per-plan query count (default 400).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <unordered_set>
+
+#include "blocklist/generator.h"
+#include "chaos/chaos.h"
+#include "common/rng.h"
+#include "net/resilient_client.h"
+#include "obs/clock.h"
+
+namespace cbl::chaos {
+namespace {
+
+using net::CircuitBreaker;
+using net::Freshness;
+using net::ResilienceConfig;
+using net::ResilientClient;
+
+std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("CBL_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+int chaos_queries(int fallback = 400) {
+  if (const char* env = std::getenv("CBL_CHAOS_QUERIES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+/// One self-contained universe per plan: a seeded transport, an OPRF
+/// server + service node per endpoint, the fault injector in front of
+/// it all, and a resilient client driving the shared virtual clock.
+class ChaosWorld {
+ public:
+  ChaosWorld(FaultPlan plan, std::vector<std::string> endpoints,
+             ResilienceConfig config = ResilienceConfig(),
+             net::NodeLimits limits = net::NodeLimits())
+      : plan_(std::move(plan)),
+        endpoints_(std::move(endpoints)),
+        limits_(limits),
+        query_rng_(ChaChaRng::from_string_seed(
+            plan_.name + "/traffic/" + std::to_string(plan_.seed))),
+        transport_(net::TransportConfig{.latency_ms_min = 1.0,
+                                        .latency_ms_max = 10.0,
+                                        .drop_rate = 0.0},
+                   transport_rng_),
+        injector_(transport_, plan_, &clock_) {
+    obs::MetricsRegistry::global().set_clock(&clock_);
+    std::cout << "[chaos] " << plan_.describe() << "\n";
+
+    listed_ = blocklist::generate_corpus(150, corpus_rng_).addresses();
+    listed_set_.insert(listed_.begin(), listed_.end());
+    while (clean_.size() < 200) {
+      auto address =
+          blocklist::random_address(blocklist::Chain::kBitcoin, corpus_rng_);
+      if (!listed_set_.contains(address)) clean_.push_back(std::move(address));
+    }
+
+    servers_.resize(endpoints_.size());
+    nodes_.resize(endpoints_.size());
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      start_node(i, /*epoch_floor=*/0);
+      injector_.set_restart_hook(endpoints_[i], [this, i] {
+        // Crash recovery: brand-new process state, except the epoch
+        // floor. Without it the rebuilt server would re-number epochs
+        // from scratch and could re-serve an epoch number clients
+        // already cached buckets for — under a different mask, turning
+        // their caches into silently wrong answers.
+        const std::uint64_t floor = servers_[i]->epoch();
+        start_node(i, floor);
+      });
+    }
+    snapshot_fault_counters();
+    client_.emplace(injector_, endpoints_, client_rng_, config, &clock_);
+  }
+
+  ~ChaosWorld() {
+    obs::MetricsRegistry::global().set_clock(&obs::SteadyClock::instance());
+  }
+
+  struct RunSummary {
+    int queries = 0;
+    int wrong = 0;
+    int fresh = 0;
+    int stale = 0;
+    int prefix_only = 0;
+    int unavailable = 0;
+  };
+
+  /// The invariant loop. Each iteration asks about a random address
+  /// (half listed, half clean) and checks any non-Unknown verdict
+  /// against ground truth; `inter_arrival_ms` of virtual time passes
+  /// between queries on top of whatever the client itself consumed.
+  RunSummary run(int queries, double inter_arrival_ms = 2.0) {
+    SCOPED_TRACE(plan_.describe() + "  (replay: CBL_CHAOS_SEED=" +
+                 std::to_string(plan_.seed) + ")");
+    RunSummary s;
+    for (int i = 0; i < queries; ++i) {
+      const bool expect_listed = query_rng_.uniform(2) == 0;
+      const std::string& address =
+          expect_listed
+              ? listed_[query_rng_.uniform(listed_.size())]
+              : clean_[query_rng_.uniform(clean_.size())];
+
+      const auto out = client_->query(address);
+      ++s.queries;
+      switch (out.freshness) {
+        case Freshness::kFresh: ++s.fresh; break;
+        case Freshness::kStaleCache: ++s.stale; break;
+        case Freshness::kPrefixOnly: ++s.prefix_only; break;
+        case Freshness::kUnavailable: ++s.unavailable; break;
+      }
+      if (out.verdict == ResilientClient::Outcome::Verdict::kUnknown) {
+        // Unknown is only legal as an explicit, honestly-tagged failure.
+        EXPECT_EQ(out.freshness, Freshness::kUnavailable);
+      } else {
+        const bool answered_listed =
+            out.verdict == ResilientClient::Outcome::Verdict::kListed;
+        if (answered_listed != expect_listed) {
+          ++s.wrong;
+          ADD_FAILURE() << "WRONG MEMBERSHIP ANSWER at query #" << i
+                        << " address=" << address
+                        << " truth=" << (expect_listed ? "listed" : "clean")
+                        << " answered="
+                        << (answered_listed ? "listed" : "clean")
+                        << " freshness=" << net::to_string(out.freshness);
+        }
+      }
+      clock_.advance_ms(static_cast<std::uint64_t>(inter_arrival_ms));
+    }
+    return s;
+  }
+
+  /// Every transport round trip is accounted for: calls the injector
+  /// swallowed (blackouts, request drops) never reached the inner
+  /// transport, and duplicates reached it twice.
+  void expect_calls_accounted() const {
+    const ChaosStats& cs = injector_.stats();
+    EXPECT_EQ(transport_.stats().calls,
+              cs.calls - cs.blackout_drops - cs.dropped_requests +
+                  cs.duplicated)
+        << plan_.describe();
+  }
+
+  /// The cbl_chaos_faults_total{kind} counters mirror the local stats
+  /// exactly (deltas since this world was built).
+  void expect_faults_mirrored() const {
+    const ChaosStats& cs = injector_.stats();
+    EXPECT_EQ(fault_delta("blackout"), cs.blackout_drops);
+    EXPECT_EQ(fault_delta("drop_request"), cs.dropped_requests);
+    EXPECT_EQ(fault_delta("drop_response"), cs.dropped_responses);
+    EXPECT_EQ(fault_delta("corrupt"), cs.corrupted);
+    EXPECT_EQ(fault_delta("truncate"), cs.truncated);
+    EXPECT_EQ(fault_delta("duplicate"), cs.duplicated);
+    EXPECT_EQ(fault_delta("delay"), cs.delayed);
+    EXPECT_EQ(fault_delta("crash"), cs.crashes);
+    EXPECT_EQ(fault_delta("restart"), cs.restarts);
+  }
+
+  ResilientClient& client() { return *client_; }
+  FaultInjector& injector() { return injector_; }
+  net::Transport& transport() { return transport_; }
+  obs::ManualClock& clock() { return clock_; }
+  std::uint64_t server_epoch(std::size_t i) const {
+    return servers_[i]->epoch();
+  }
+
+ private:
+  void start_node(std::size_t i, std::uint64_t epoch_floor) {
+    nodes_[i].reset();  // tear the old handler down first
+    // lambda=16: sparse buckets, so the prefix list actually decides
+    // most clean addresses (with lambda=5 every bucket is occupied and
+    // the prefix-only degradation rung could never fire).
+    servers_[i].emplace(oprf::Oracle::fast(), 16u, server_rng_);
+    if (epoch_floor > 0) servers_[i]->restore_epoch(epoch_floor);
+    servers_[i]->setup(listed_);
+    nodes_[i].emplace(transport_, endpoints_[i], *servers_[i],
+                      oprf::Oracle::fast(), limits_);
+  }
+
+  static std::uint64_t fault_counter(const char* kind) {
+    return obs::MetricsRegistry::global()
+        .counter("cbl_chaos_faults_total", {{"kind", kind}})
+        .value();
+  }
+  void snapshot_fault_counters() {
+    for (const char* kind :
+         {"blackout", "drop_request", "drop_response", "corrupt", "truncate",
+          "duplicate", "delay", "crash", "restart"}) {
+      fault_before_[kind] = fault_counter(kind);
+    }
+  }
+  std::uint64_t fault_delta(const char* kind) const {
+    return fault_counter(kind) - fault_before_.at(kind);
+  }
+
+  FaultPlan plan_;
+  std::vector<std::string> endpoints_;
+  net::NodeLimits limits_;
+  obs::ManualClock clock_;
+  ChaChaRng corpus_rng_ = ChaChaRng::from_string_seed("chaos-corpus");
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("chaos-server");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("chaos-client");
+  ChaChaRng transport_rng_ = ChaChaRng::from_string_seed("chaos-transport");
+  ChaChaRng query_rng_;
+  std::vector<std::string> listed_;
+  std::unordered_set<std::string> listed_set_;
+  std::vector<std::string> clean_;
+  net::Transport transport_;
+  std::deque<std::optional<oprf::OprfServer>> servers_;
+  std::deque<std::optional<net::BlocklistServiceNode>> nodes_;
+  FaultInjector injector_;
+  std::optional<ResilientClient> client_;
+  std::map<std::string, std::uint64_t> fault_before_;
+};
+
+// ---------------------------------------------------------------- plans
+
+TEST(ChaosTest, FlakyLinksNeverProduceWrongAnswers) {
+  FaultPlan plan;
+  plan.name = "flaky-links";
+  plan.seed = chaos_seed(101);
+  plan.all.drop_request = 0.15;
+  plan.all.drop_response = 0.15;
+  ChaosWorld world(plan, {"alpha", "beta"});
+
+  const auto s = world.run(chaos_queries());
+  EXPECT_EQ(s.wrong, 0);
+  // Retries + two providers ride out 30% call loss almost completely.
+  EXPECT_GE(s.fresh, (s.queries * 9) / 10);
+  EXPECT_GT(world.injector().stats().dropped_requests, 0u);
+  EXPECT_GT(world.injector().stats().dropped_responses, 0u);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, HeavyTailsAndDuplicatesHedgeAndStayCorrect) {
+  auto& hedges =
+      obs::MetricsRegistry::global().counter("cbl_net_resilient_hedges_total");
+  const auto hedges_before = hedges.value();
+
+  FaultPlan plan;
+  plan.name = "heavy-tail-duplicates";
+  plan.seed = chaos_seed(202);
+  plan.all.latency.spike_prob = 0.15;
+  plan.all.latency.spike_ms = 300.0;  // > hedge_after_ms: triggers hedging
+  plan.all.latency.tail_prob = 0.05;
+  plan.all.latency.tail_scale_ms = 200.0;
+  plan.all.latency.tail_alpha = 1.3;
+  plan.all.duplicate_prob = 0.10;
+  ChaosWorld world(plan, {"alpha", "beta"});
+
+  const auto s = world.run(chaos_queries());
+  EXPECT_EQ(s.wrong, 0);
+  EXPECT_GE(s.fresh, (s.queries * 9) / 10);
+  // Slow primaries were hedged; duplicates hit the server but never the
+  // verdict.
+  EXPECT_GT(hedges.value(), hedges_before);
+  EXPECT_GT(world.injector().stats().duplicated, 0u);
+  EXPECT_GT(world.injector().stats().delayed, 0u);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, CorruptionStormIsMalformedNeverAFalseVerdict) {
+  FaultPlan plan;
+  plan.name = "corruption-storm";
+  plan.seed = chaos_seed(303);
+  plan.all.corrupt_prob = 0.35;
+  plan.all.truncate_prob = 0.15;
+  ChaosWorld world(plan, {"alpha", "beta"});
+
+  const auto s = world.run(chaos_queries());
+  // The load-bearing invariant of the frame checksum: roughly half of
+  // all responses were damaged in flight and not one produced a wrong
+  // membership answer.
+  EXPECT_EQ(s.wrong, 0);
+  EXPECT_GT(world.injector().stats().corrupted, 100u);
+  EXPECT_GT(world.injector().stats().truncated, 0u);
+  // Retries still get most queries through; the rest degrade honestly.
+  EXPECT_GE(s.fresh + s.stale + s.prefix_only, s.queries / 2);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, BlackoutTripsBreakerThenWalksHalfOpenToClosed) {
+  const auto transition = [](const char* to) {
+    return obs::MetricsRegistry::global()
+        .counter("cbl_net_breaker_transitions_total",
+                 {{"endpoint", "alpha"}, {"to", to}})
+        .value();
+  };
+  const auto open_before = transition("open");
+  const auto half_before = transition("half_open");
+  const auto closed_before = transition("closed");
+
+  FaultPlan plan;
+  plan.name = "blackout";
+  plan.seed = chaos_seed(404);
+  plan.per_endpoint["alpha"].blackouts = {{1000.0, 4000.0}};
+  ChaosWorld world(plan, {"alpha"});  // single provider: nowhere to hedge
+
+  const auto s = world.run(chaos_queries(), /*inter_arrival_ms=*/25.0);
+  EXPECT_EQ(s.wrong, 0);
+  EXPECT_GT(world.injector().stats().blackout_drops, 0u);
+  // The full breaker cycle: tripped open during the blackout (probably
+  // several times — each cooled-off probe fails while the window
+  // lasts), half-opened on probes, and closed again after it.
+  EXPECT_GT(transition("open"), open_before);
+  EXPECT_GT(transition("half_open"), half_before);
+  EXPECT_GT(transition("closed"), closed_before);
+  EXPECT_EQ(world.client().breaker_state("alpha"),
+            CircuitBreaker::State::kClosed);
+  // The degradation ladder was exercised while the provider was dark:
+  // cached repeats and prefix-list negatives, all honestly tagged.
+  EXPECT_GT(s.stale, 0);
+  EXPECT_GT(s.prefix_only, 0);
+  EXPECT_GT(s.fresh, 0);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, CrashRestartRecoversWithAFreshEpoch) {
+  FaultPlan plan;
+  plan.name = "crash-restart";
+  plan.seed = chaos_seed(505);
+  plan.all.drop_request = 0.05;
+  plan.all.drop_response = 0.05;
+  plan.per_endpoint["alpha"].crash_at_ms = 800.0;
+  plan.per_endpoint["alpha"].restart_at_ms = 2000.0;
+  ChaosWorld world(plan, {"alpha", "beta"});
+  const std::uint64_t epoch_before = world.server_epoch(0);
+
+  const auto s = world.run(chaos_queries(), /*inter_arrival_ms=*/10.0);
+  EXPECT_EQ(s.wrong, 0);
+  EXPECT_EQ(world.injector().stats().crashes, 1u);
+  EXPECT_EQ(world.injector().stats().restarts, 1u);
+  // The rebuilt server came back ABOVE the epoch it crashed at — the
+  // floor that keeps pre-crash client caches from matching a new mask.
+  EXPECT_GT(world.server_epoch(0), epoch_before);
+  // The second provider (plus hedging) carried the outage; the
+  // restarted one was probed back into service.
+  EXPECT_GE(s.fresh, (s.queries * 8) / 10);
+  EXPECT_EQ(world.client().breaker_state("alpha"),
+            CircuitBreaker::State::kClosed);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, KitchenSinkWithOverloadSheddingStaysAccountable) {
+  auto& shed = obs::MetricsRegistry::global().counter(
+      "cbl_net_shed_total", {{"endpoint", "alpha"}});
+  const auto shed_before = shed.value();
+
+  FaultPlan plan;
+  plan.name = "kitchen-sink";
+  plan.seed = chaos_seed(606);
+  plan.all.drop_request = 0.05;
+  plan.all.drop_response = 0.05;
+  plan.all.corrupt_prob = 0.05;
+  plan.all.truncate_prob = 0.03;
+  plan.all.duplicate_prob = 0.08;
+  plan.all.latency.spike_prob = 0.05;
+  plan.all.latency.spike_ms = 200.0;
+  // A slow node with a bounded queue: ~30ms of work per query arriving
+  // every ~12ms of virtual time means the backlog fills and sheds.
+  net::NodeLimits limits;
+  limits.service_ms = 30.0;
+  limits.max_inflight = 2;
+  ChaosWorld world(plan, {"alpha", "beta"}, ResilienceConfig(), limits);
+
+  const auto s = world.run(chaos_queries(), /*inter_arrival_ms=*/1.0);
+  EXPECT_EQ(s.wrong, 0);
+  // Overload shedding fired (kRateLimited + retry-after, not a hung
+  // queue) and the client still converted most queries into answers.
+  EXPECT_GT(shed.value(), shed_before);
+  EXPECT_GE(s.fresh, s.queries / 2);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+}  // namespace
+}  // namespace cbl::chaos

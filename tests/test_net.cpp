@@ -5,7 +5,9 @@
 
 #include "blocklist/generator.h"
 #include "common/rng.h"
+#include "net/resilient_client.h"
 #include "net/service_node.h"
+#include "obs/clock.h"
 
 namespace cbl::net {
 namespace {
@@ -137,17 +139,17 @@ TEST_F(NetTest, HostileNodeGarbageIsMalformedNotCrash) {
         if (!frame.empty() &&
             frame[0] == static_cast<std::uint8_t>(Method::kInfo)) {
           // A plausible hand-built info frame (lambda=4, fast oracle,
-          // epoch=1, 10 entries) so the client constructs...
-          Bytes out = {0};                              // kOk
+          // epoch=1, 10 entries), properly sealed so the client
+          // constructs...
           const Bytes info = {4, 0, 0, 0,               // lambda
                               0,                        // oracle kind
                               0, 0, 0, 0, 0, 0, 0, 0,   // argon2 params
                               1, 0, 0, 0, 0, 0, 0, 0,   // epoch
                               10, 0, 0, 0, 0, 0, 0, 0}; // entries
-          append(out, info);
-          return out;
+          return encode_response_frame(Status::kOk, info);
         }
-        // ...then answers queries with garbage.
+        // ...then answers queries with unsealed garbage: it fails the
+        // frame checksum before any body parser runs.
         return Bytes{0, 0xde, 0xad, 0xbe, 0xef};
       });
   RemoteBlocklistClient client(transport, "evil", client_rng_);
@@ -217,11 +219,16 @@ TEST_F(NetTest, FrameParsersAreTotalOnHostileInput) {
   // Empty frames carry no tag at all.
   EXPECT_FALSE(parse_request_frame({}).has_value());
   EXPECT_FALSE(parse_response_frame({}).has_value());
-  // Unknown method / status tags.
+  // Unknown method tags; unsealed response bytes fail the checksum gate.
   const Bytes bad_method = {0x77, 1, 2};
   EXPECT_FALSE(parse_request_frame(bad_method).has_value());
   const Bytes bad_status = {0x77, 1, 2};
   EXPECT_FALSE(parse_response_frame(bad_status).has_value());
+  // Even a correctly sealed frame is rejected when its status tag is
+  // unknown — the checksum authenticates bytes, not protocol validity.
+  const Bytes sealed_bad_status =
+      encode_response_frame(static_cast<Status>(0x77), Bytes{1, 2});
+  EXPECT_FALSE(parse_response_frame(sealed_bad_status).has_value());
   // A query frame's body aliases the input without the tag byte.
   const Bytes query = {static_cast<std::uint8_t>(Method::kQuery), 9, 8, 7};
   const auto parsed = parse_request_frame(query);
@@ -229,12 +236,21 @@ TEST_F(NetTest, FrameParsersAreTotalOnHostileInput) {
   EXPECT_EQ(parsed->method, Method::kQuery);
   ASSERT_EQ(parsed->body.size(), 3u);
   EXPECT_EQ(parsed->body[0], 9);
-  // Status-only responses (empty body) are well-formed.
-  const Bytes rate_limited = {static_cast<std::uint8_t>(Status::kRateLimited)};
+  // Sealed status-only responses (empty body) are well-formed.
+  const Bytes rate_limited = encode_response_frame(Status::kRateLimited);
   const auto response = parse_response_frame(rate_limited);
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, Status::kRateLimited);
   EXPECT_TRUE(response->body.empty());
+  // A single flipped bit anywhere in a sealed frame voids the whole
+  // frame — this is what turns channel corruption into kMalformed.
+  Bytes flipped = encode_response_frame(Status::kOk, Bytes{9, 8, 7});
+  flipped[2] ^= 0x10;
+  EXPECT_FALSE(parse_response_frame(flipped).has_value());
+  // So does truncation, even by a single trailing byte.
+  Bytes cut = encode_response_frame(Status::kOk, Bytes{9, 8, 7});
+  cut.pop_back();
+  EXPECT_FALSE(parse_response_frame(cut).has_value());
 }
 
 // A server under the attacker's control answers the info handshake
@@ -250,9 +266,7 @@ class HostileServer {
             ServiceInfo info;
             info.lambda = 5;
             info.entry_count = 10;
-            Bytes out = {static_cast<std::uint8_t>(Status::kOk)};
-            append(out, encode_info(info));
-            return out;
+            return encode_response_frame(Status::kOk, encode_info(info));
           }
           return payload_;
         });
@@ -275,8 +289,9 @@ TEST_F(NetTest, ClientClassifiesTruncatedResponseFrameAsMalformed) {
   EXPECT_EQ(outcome.kind,
             RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
 
-  // Status kOk but a truncated QueryResponse body.
-  hostile.set_payload({static_cast<std::uint8_t>(Status::kOk), 1, 2, 3});
+  // Correctly sealed, status kOk, but a truncated QueryResponse body —
+  // passes the checksum gate and must die in the body parser instead.
+  hostile.set_payload(encode_response_frame(Status::kOk, Bytes{1, 2, 3}));
   outcome = client.query(corpus_[0]);
   EXPECT_EQ(outcome.kind,
             RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
@@ -286,7 +301,10 @@ TEST_F(NetTest, ClientClassifiesUnknownStatusByteAsMalformed) {
   auto transport = make_transport();
   HostileServer hostile(transport, "evil");
   RemoteBlocklistClient client(transport, "evil", client_rng_);
-  hostile.set_payload({0x77, 0xaa, 0xbb});
+  // Sealed so the checksum passes: rejection must come from the status
+  // tag itself being unknown.
+  hostile.set_payload(
+      encode_response_frame(static_cast<Status>(0x77), Bytes{0xaa, 0xbb}));
   const auto outcome = client.query(corpus_[0]);
   EXPECT_EQ(outcome.kind,
             RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
@@ -298,21 +316,21 @@ TEST_F(NetTest, ClientRejectsOversizedLengthFieldsWithoutAllocating) {
   RemoteBlocklistClient client(transport, "evil", client_rng_);
 
   // A QueryResponse whose bucket-count field claims 2^32-1 entries with
-  // no bytes behind it: the parser must refuse before reserving.
-  Bytes bomb = {static_cast<std::uint8_t>(Status::kOk)};
+  // no bytes behind it: the parser must refuse before reserving. Sealed,
+  // so the length bomb actually reaches the body parser.
+  Bytes bomb;
   bomb.insert(bomb.end(), 32, 0x00);              // "evaluated" encoding
   bomb.insert(bomb.end(), 8, 0x00);               // epoch
   bomb.push_back(0);                              // bucket_omitted = false
   bomb.insert(bomb.end(), {0xff, 0xff, 0xff, 0xff});  // bucket count
-  hostile.set_payload(bomb);
+  hostile.set_payload(encode_response_frame(Status::kOk, bomb));
   const auto outcome = client.query(corpus_[0]);
   EXPECT_EQ(outcome.kind,
             RemoteBlocklistClient::QueryOutcome::Kind::kMalformed);
 
   // Same attack against the prefix-list download path.
-  Bytes list_bomb = {static_cast<std::uint8_t>(Status::kOk)};
-  list_bomb.insert(list_bomb.end(), {0xff, 0xff, 0xff, 0x0f});
-  hostile.set_payload(list_bomb);
+  const Bytes list_bomb = {0xff, 0xff, 0xff, 0x0f};
+  hostile.set_payload(encode_response_frame(Status::kOk, list_bomb));
   EXPECT_FALSE(client.sync_prefix_list());
 }
 
@@ -321,9 +339,10 @@ TEST_F(NetTest, SyncPrefixListRejectsTrailingJunk) {
   HostileServer hostile(transport, "evil");
   RemoteBlocklistClient client(transport, "evil", client_rng_);
   // A well-formed (empty) prefix list followed by trailing junk must be
-  // rejected whole — parsers accept no trailing bytes.
-  Bytes payload = {static_cast<std::uint8_t>(Status::kOk), 0, 0, 0, 0, 0xcc};
-  hostile.set_payload(std::move(payload));
+  // rejected whole — parsers accept no trailing bytes. Sealed, so the
+  // rejection is the body parser's, not the checksum's.
+  const Bytes body = {0, 0, 0, 0, 0xcc};
+  hostile.set_payload(encode_response_frame(Status::kOk, body));
   EXPECT_FALSE(client.sync_prefix_list());
 }
 
@@ -383,6 +402,257 @@ TEST_F(NetTest, TransportResetStatsZeroesAllAccounting) {
   (void)client.query(corpus_[1]);
   EXPECT_EQ(transport.endpoint_stats("scamdb").calls,
             transport.stats().calls);
+}
+
+// The two legs of a lossy call are sampled independently, so the stats
+// split request-leg losses (server never saw the frame) from
+// response-leg losses (server worked, reply lost) — and request bytes
+// count as sent whenever the request leg survived.
+TEST_F(NetTest, TransportSplitsDropLegsAndKeepsAggregateLoss) {
+  auto transport = make_transport(/*drop_rate=*/0.5);
+  transport.register_endpoint("echo",
+                              [](ByteView request) -> std::optional<Bytes> {
+                                return Bytes(request.begin(), request.end());
+                              });
+  const Bytes request = {1, 2, 3};
+  for (int i = 0; i < 400; ++i) (void)transport.call("echo", request);
+
+  const auto stats = transport.endpoint_stats("echo");
+  EXPECT_EQ(stats.calls, 400u);
+  EXPECT_GT(stats.drops_request, 0u);
+  EXPECT_GT(stats.drops_response, 0u);
+  EXPECT_EQ(stats.drops, stats.drops_request + stats.drops_response);
+  // Aggregate loss stays ~drop_rate (200 of 400; generous 3-sigma+ band).
+  EXPECT_GT(stats.drops, 150u);
+  EXPECT_LT(stats.drops, 250u);
+  // Bytes hit the wire on every call that survived the request leg,
+  // including the ones whose response was then lost.
+  EXPECT_EQ(stats.bytes_sent,
+            (stats.calls - stats.drops_request) * request.size());
+  EXPECT_EQ(stats.bytes_received,
+            (stats.calls - stats.drops) * request.size());
+  // The split is mirrored onto the obs registry.
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_GE(registry
+                .counter("cbl_net_drops_request_total",
+                         {{"endpoint", "echo"}})
+                .value(),
+            stats.drops_request);
+  EXPECT_GE(registry
+                .counter("cbl_net_drops_response_total",
+                         {{"endpoint", "echo"}})
+                .value(),
+            stats.drops_response);
+}
+
+// Regression: a handler returning nullopt used to be indistinguishable
+// from a successful empty response. It is now a delivered error with its
+// own accounting.
+TEST_F(NetTest, HandlerRejectionIsADeliveredErrorAndCounted) {
+  auto& rejected_total = obs::MetricsRegistry::global().counter(
+      "cbl_net_rejected_total", {{"endpoint", "picky"}});
+  const auto before = rejected_total.value();
+
+  auto transport = make_transport();
+  transport.register_endpoint(
+      "picky", [](ByteView) -> std::optional<Bytes> { return std::nullopt; });
+  const auto result = transport.call("picky", Bytes{1});
+  EXPECT_TRUE(result.delivered);
+  EXPECT_TRUE(result.rejected);
+  EXPECT_TRUE(result.response.empty());
+  EXPECT_EQ(transport.endpoint_stats("picky").rejected, 1u);
+  EXPECT_EQ(transport.stats().drops, 0u);  // not a drop: the server spoke
+  EXPECT_EQ(rejected_total.value(), before + 1);
+}
+
+// kRateLimited round-trips through the wire with its retry-after hint,
+// and the client outcome counters keep rate-limited, unreachable and ok
+// distinguishable on a dashboard.
+TEST_F(NetTest, RateLimitedRoundTripCarriesRetryAfterHint) {
+  using Kind = RemoteBlocklistClient::QueryOutcome::Kind;
+  auto& registry = obs::MetricsRegistry::global();
+  const auto kind_counter = [&](const char* kind) {
+    return &registry.counter("cbl_net_client_outcomes_total",
+                             {{"endpoint", "scamdb"}, {"kind", kind}});
+  };
+  const auto ok_before = kind_counter("ok")->value();
+  const auto limited_before = kind_counter("rate_limited")->value();
+  const auto unreachable_before = kind_counter("unreachable")->value();
+
+  auto transport = make_transport();
+  server_->enable_rate_limiting(1);
+  server_->authorize_key("k");
+  NodeLimits limits;
+  limits.retry_after_hint_ms = 750;
+  auto node = std::make_optional<BlocklistServiceNode>(
+      transport, "scamdb", *server_, oprf::Oracle::fast(), limits);
+  RemoteClientConfig cfg;
+  cfg.max_retries = 0;
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_, cfg);
+  client.set_api_key("k");
+
+  const auto first = client.query(corpus_[0]);
+  EXPECT_EQ(first.kind, Kind::kOk);
+  EXPECT_EQ(first.retry_after_ms, 0u);
+
+  const auto second = client.query(corpus_[1]);
+  EXPECT_EQ(second.kind, Kind::kRateLimited);
+  EXPECT_EQ(second.retry_after_ms, 750u);
+
+  node.reset();  // crash: endpoint gone, queries become unreachable
+  const auto third = client.query(corpus_[2]);
+  EXPECT_EQ(third.kind, Kind::kUnreachable);
+
+  EXPECT_EQ(kind_counter("ok")->value(), ok_before + 1);
+  EXPECT_EQ(kind_counter("rate_limited")->value(), limited_before + 1);
+  EXPECT_EQ(kind_counter("unreachable")->value(), unreachable_before + 1);
+}
+
+// The bounded in-flight budget sheds excess queries with kRateLimited
+// instead of queuing unboundedly, and admits again once the virtual-time
+// backlog drains.
+TEST_F(NetTest, OverloadSheddingBoundsTheQueueThenRecovers) {
+  using Kind = RemoteBlocklistClient::QueryOutcome::Kind;
+  obs::ManualClock clock;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_clock(&clock);
+
+  auto transport = make_transport();
+  NodeLimits limits;
+  limits.service_ms = 10.0;
+  limits.max_inflight = 2;
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast(), limits);
+  RemoteClientConfig cfg;
+  cfg.max_retries = 0;
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_, cfg);
+  const auto shed_before =
+      registry.counter("cbl_net_shed_total", {{"endpoint", "scamdb"}})
+          .value();
+
+  // No virtual time passes between arrivals, so the 10ms-per-query
+  // budget admits exactly max_inflight before the queue is full.
+  const auto q1 = client.query(corpus_[0]);
+  const auto q2 = client.query(corpus_[1]);
+  const auto q3 = client.query(corpus_[2]);
+  EXPECT_EQ(q1.kind, Kind::kOk);
+  EXPECT_EQ(q2.kind, Kind::kOk);
+  EXPECT_EQ(q3.kind, Kind::kRateLimited);
+  EXPECT_GT(q3.retry_after_ms, 0u);   // how long until a slot frees
+  EXPECT_LE(q3.retry_after_ms, 11u);  // one service slot, rounded up
+  EXPECT_EQ(registry.counter("cbl_net_shed_total", {{"endpoint", "scamdb"}})
+                .value(),
+            shed_before + 1);
+
+  // Shedding spent no crypto: the backlog is unchanged, and once it
+  // drains the node admits again.
+  clock.advance_ms(50);
+  const auto q4 = client.query(corpus_[3]);
+  EXPECT_EQ(q4.kind, Kind::kOk);
+
+  registry.set_clock(&obs::SteadyClock::instance());
+}
+
+// The resilient client honors kRateLimited: it backs off (at least the
+// server's hint) instead of hammering, never trips the breaker over it,
+// and serves the deadline-exceeded query honestly from cache.
+TEST_F(NetTest, ResilientClientBacksOffOnRateLimited) {
+  obs::ManualClock clock;
+  auto& registry = obs::MetricsRegistry::global();
+  auto& backoff_total =
+      registry.counter("cbl_net_resilient_backoff_ms_total", {});
+  auto& stale_total = registry.counter("cbl_net_resilient_answers_total",
+                                       {{"freshness", "stale_cache"}});
+
+  auto transport = make_transport();
+  server_->enable_rate_limiting(1);
+  server_->authorize_key("k");
+  NodeLimits limits;
+  limits.retry_after_hint_ms = 400;
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast(), limits);
+
+  ResilienceConfig config;
+  config.max_attempts = 3;
+  config.attempt_timeout_ms = 1e6;  // irrelevant here
+  config.call_deadline_ms = 1e6;
+  config.hedge_after_ms = 0.0;  // single provider
+  ResilientClient client(transport, {"scamdb"}, client_rng_, config, &clock);
+  client.set_api_key("k");
+
+  const auto fresh = client.query(corpus_[0]);
+  EXPECT_EQ(fresh.verdict, ResilientClient::Outcome::Verdict::kListed);
+  EXPECT_EQ(fresh.freshness, Freshness::kFresh);
+
+  const auto backoff_before = backoff_total.value();
+  const auto stale_before = stale_total.value();
+  const double t0 = client.now_ms();
+  const auto limited = client.query(corpus_[0]);  // window exhausted
+  // Degraded — but the verdict is still right, served from cache and
+  // labelled as such.
+  EXPECT_EQ(limited.verdict, ResilientClient::Outcome::Verdict::kListed);
+  EXPECT_EQ(limited.freshness, Freshness::kStaleCache);
+  EXPECT_EQ(limited.last_error,
+            RemoteBlocklistClient::QueryOutcome::Kind::kRateLimited);
+  EXPECT_EQ(limited.attempts, 3u);
+  // Every retry waited at least the server's 400ms hint (> the jitter
+  // cap would ever produce on its own here), in virtual time.
+  EXPECT_GE(client.now_ms() - t0, 3 * 400.0);
+  EXPECT_GE(backoff_total.value() - backoff_before, 3 * 400u);
+  EXPECT_EQ(stale_total.value() - stale_before, 1u);
+  // Rate limiting is liveness, not failure: the breaker stayed closed.
+  EXPECT_EQ(client.breaker_state("scamdb"), CircuitBreaker::State::kClosed);
+
+  // A fresh window serves normally again.
+  server_->advance_window();
+  const auto after = client.query(corpus_[1]);
+  EXPECT_EQ(after.freshness, Freshness::kFresh);
+}
+
+// Breaker lifecycle against a crashing provider: consecutive failures
+// trip it open (no further traffic), a cooled-off probe half-opens it,
+// and a successful probe closes it again.
+TEST_F(NetTest, ResilientClientBreakerOpensAndRecovers) {
+  obs::ManualClock clock;
+  auto transport = make_transport();
+  auto node = std::make_optional<BlocklistServiceNode>(
+      transport, "scamdb", *server_, oprf::Oracle::fast());
+
+  ResilienceConfig config;
+  config.max_attempts = 2;
+  config.attempt_timeout_ms = 1e6;
+  config.call_deadline_ms = 1e6;
+  config.hedge_after_ms = 0.0;
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_ms = 500.0;
+  ResilientClient client(transport, {"scamdb"}, client_rng_, config, &clock);
+
+  ASSERT_EQ(client.query(corpus_[0]).freshness, Freshness::kFresh);
+  node.reset();  // crash
+
+  // Two failing queries = 4 consecutive failures >= threshold 3: open.
+  (void)client.query(corpus_[0]);
+  const auto degraded = client.query(corpus_[0]);
+  EXPECT_EQ(degraded.freshness, Freshness::kStaleCache);
+  EXPECT_EQ(degraded.verdict, ResilientClient::Outcome::Verdict::kListed);
+  EXPECT_EQ(client.breaker_state("scamdb"), CircuitBreaker::State::kOpen);
+
+  // Open means *no traffic*: the transport sees nothing, the caller
+  // still gets an honest degraded answer.
+  const auto calls_before = transport.stats().calls;
+  const auto shed = client.query(corpus_[0]);
+  EXPECT_EQ(transport.stats().calls, calls_before);
+  EXPECT_EQ(shed.freshness, Freshness::kStaleCache);
+  EXPECT_EQ(shed.attempts, 0u);
+
+  // Service restored + cool-off elapsed: the half-open probe succeeds
+  // and closes the breaker.
+  node.emplace(transport, "scamdb", *server_, oprf::Oracle::fast());
+  clock.advance_ms(600);
+  const auto recovered = client.query(corpus_[0]);
+  EXPECT_EQ(recovered.freshness, Freshness::kFresh);
+  EXPECT_EQ(client.breaker_state("scamdb"),
+            CircuitBreaker::State::kClosed);
 }
 
 TEST_F(NetTest, SlowOracleParametersPropagate) {
