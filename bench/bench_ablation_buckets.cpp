@@ -4,17 +4,23 @@
 // size, prefix-list size, and the fraction of random negative queries a
 // prefix-list-holding client resolves locally (the Fig. 6 f-knob).
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "blocklist/generator.h"
 #include "common/rng.h"
 #include "oprf/anonymity.h"
 #include "oprf/client.h"
 #include "oprf/server.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cbl::ChaChaRng;
   namespace oprf = cbl::oprf;
+
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("ablation_buckets");
 
   constexpr std::size_t kCorpus = 16'384;
   auto rng = ChaChaRng::from_string_seed("ablation-buckets");
@@ -57,6 +63,14 @@ int main() {
                 anon.expected_anonymity_set, anon.shannon_entropy_bits,
                 stats.avg_size * 32.0 / 1024.0, list_entries,
                 static_cast<double>(online) / probes);
+    const std::string params = "lambda=" + std::to_string(lambda);
+    const double resp_bytes = stats.avg_size * 32.0;
+    summary.add({"ablation_buckets/k_anonymity_min", params, 0.0, resp_bytes,
+                 static_cast<double>(stats.k_anonymity), "entries"});
+    summary.add({"ablation_buckets/expected_anonymity_set", params, 0.0,
+                 resp_bytes, anon.expected_anonymity_set, "entries"});
+    summary.add({"ablation_buckets/negative_online_fraction", params, 0.0,
+                 resp_bytes, static_cast<double>(online) / probes, "frac"});
   }
 
   std::printf(
@@ -65,5 +79,8 @@ int main() {
       "2^lambda approaches the corpus size the negative-query online "
       "fraction collapses toward the list/universe ratio — this is the "
       "lever that trades Fig. 6 throughput against Table I anonymity.\n");
+  if (!json_path.empty() && summary.write(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

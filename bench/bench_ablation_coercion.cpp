@@ -5,15 +5,21 @@
 // the empirical grounding for the "increase k* by blending shareholders
 // into a larger pool" claim.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "game/sortition_math.h"
 #include "voting/coercion_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cbl::ChaChaRng;
   namespace voting = cbl::voting;
   namespace game = cbl::game;
+
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("ablation_coercion");
 
   auto rng = ChaChaRng::from_string_seed("coercion-bench");
   constexpr std::size_t kSeats = 5;
@@ -36,8 +42,16 @@ int main() {
       std::printf("%-8zu %-12zu %-14.3f %-14.3f %-12zu\n", pool, controlled,
                   r.empirical_capture_rate, r.analytical_capture_rate,
                   r.trials);
+      const std::string params = "pool=" + std::to_string(pool) +
+                                 ",coerced=" + std::to_string(controlled);
+      summary.add({"ablation_coercion/empirical_capture_rate", params, 0.0,
+                   0.0, r.empirical_capture_rate, "rate"});
+      summary.add({"ablation_coercion/analytical_capture_rate", params, 0.0,
+                   0.0, r.analytical_capture_rate, "rate"});
     }
     const auto k90 = game::effective_k_star(pool, kSeats, 0.90);
+    summary.add({"ablation_coercion/k_star_90", "pool=" + std::to_string(pool),
+                 0.0, 0.0, static_cast<double>(k90), "candidates"});
     std::printf("  -> k*(90%% capture) at pool %zu: %llu candidates "
                 "(vs %zu without dilution)\n\n",
                 pool, static_cast<unsigned long long>(k90), kSeats / 2 + 1);
@@ -65,5 +79,8 @@ int main() {
       "buy a nearly constant FRACTION of the pool, so its cost grows "
       "linearly with dilution while honest participation cost stays "
       "flat.\n");
+  if (!json_path.empty() && summary.write(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -4,6 +4,11 @@
 // shared-doubling multiscalar multiplication.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "commit/crs.h"
 #include "common/rng.h"
 #include "hash/argon2.h"
@@ -260,6 +265,64 @@ void BM_MultiscalarShared(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiscalarShared)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
+// Console reporter that also captures every run into a benchjson
+// Summary, so --json <path> works here like in the hand-rolled benches
+// (google-benchmark's own --benchmark_format=json has a different
+// schema than the BENCH_*.json family).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // "BM_DlpBrute/15" -> name "ablation_crypto/BM_DlpBrute", params
+      // "arg=15"; un-parameterized benches get empty params.
+      std::string name = run.benchmark_name();
+      std::string params;
+      const auto slash = name.find('/');
+      if (slash != std::string::npos) {
+        params = "arg=" + name.substr(slash + 1);
+        name.resize(slash);
+      }
+      // GetAdjustedRealTime() is in the run's display unit; rescale to ns.
+      const double ns_per_op =
+          run.GetAdjustedRealTime() *
+          (1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit));
+      summary_.add({"ablation_crypto/" + name, params, ns_per_op, 0.0});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const cbl::benchjson::Summary& summary() const { return summary_; }
+
+ private:
+  cbl::benchjson::Summary summary_{"ablation_crypto"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip --json <path> (benchmark::Initialize rejects flags
+// it does not know) before handing the rest to google-benchmark.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && reporter.summary().write(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

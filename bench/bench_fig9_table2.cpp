@@ -7,8 +7,10 @@
 //                 CPU at 1 gas = 0.1 us) vs N.
 //   Table II:     per-shareholder USD cost at 11.8 Gwei for N = 5..11.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "chain/blockchain.h"
 #include "common/rng.h"
 #include "voting/ceremony.h"
@@ -73,21 +75,35 @@ RunCost run_ceremony(std::size_t n, double thresh_ratio, unsigned seed_salt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("fig9_table2");
+
   std::printf("=== Fig. 9: on-chain cost growth with the number of voters "
               "===\n\n");
   std::printf("--- left panel: compulsory proof bytes stored on chain ---\n");
   std::printf("%-5s %-16s %-16s %-16s\n", "N", "thresh=1.2N", "thresh=1.5N",
               "thresh=2.0N");
   const std::vector<std::size_t> ns = {5, 9, 13, 17, 21, 25};
+  const double ratios[] = {1.2, 1.5, 2.0};
   std::vector<std::vector<RunCost>> all(ns.size());
   for (std::size_t i = 0; i < ns.size(); ++i) {
-    for (const double ratio : {1.2, 1.5, 2.0}) {
+    for (const double ratio : ratios) {
       all[i].push_back(run_ceremony(ns[i], ratio, static_cast<unsigned>(
                                                       ratio * 10)));
     }
     std::printf("%-5zu %-16zu %-16zu %-16zu\n", ns[i], all[i][0].proof_bytes,
                 all[i][1].proof_bytes, all[i][2].proof_bytes);
+    for (std::size_t r = 0; r < all[i].size(); ++r) {
+      char params[64];
+      std::snprintf(params, sizeof params, "n=%zu,thresh_ratio=%.1f", ns[i],
+                    ratios[r]);
+      summary.add({"fig9/proof_bytes", params, 0.0, 0.0,
+                   static_cast<double>(all[i][r].proof_bytes), "bytes"});
+      summary.add({"fig9/total_gas", params, 0.0, 0.0,
+                   static_cast<double>(all[i][r].total_gas), "gas"});
+    }
   }
 
   std::printf("\n--- right panel: converted Ethereum gas cost (storage + "
@@ -109,6 +125,9 @@ int main() {
   for (const auto n : table2_ns) {
     usd.push_back(run_ceremony(n, 1.2, 42).per_shareholder_usd);
     std::printf(" %-8zu", n);
+    summary.add({"table2/per_shareholder_usd",
+                 "n=" + std::to_string(n) + ",thresh_ratio=1.2", 0.0, 0.0,
+                 usd.back(), "usd"});
   }
   std::printf("\n%-24s", "Cost (USD)");
   for (const double u : usd) std::printf(" %-8.2f", u);
@@ -122,5 +141,8 @@ int main() {
       "(each member pays for its own constant-size proofs plus a slowly "
       "growing verification share) and lands at tens of USD, the paper's "
       "order of magnitude.\n");
+  if (!json_path.empty() && summary.write(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -22,6 +22,10 @@
 #                  over thousands of queries. CBL_CHAOS_SEED (default
 #                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
 #                  any failure replays bit-exactly
+#   9. perf-smoke  Release build of bench_throughput, run with
+#                  --json --quick; the emitted BENCH_throughput.json must
+#                  parse and the batched-encode kernel must not regress
+#                  below the scalar path (speedup >= 1 at batch >= 64)
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
@@ -33,7 +37,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke}"
+stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke perf-smoke}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
@@ -153,6 +157,45 @@ if want chaos-smoke; then
     "${chaos_dir}/tests/test_chaos ==="
   CBL_CHAOS_SEED="${chaos_seed}" CBL_CHAOS_QUERIES="${chaos_queries}" \
     "${chaos_dir}/tests/test_chaos"
+fi
+
+if want perf-smoke; then
+  perf_dir="${build_root}/perf-smoke"
+  perf_json="${perf_dir}/BENCH_throughput.json"
+  echo "=== [perf-smoke] configure (Release) ==="
+  cmake -S "${repo_root}" -B "${perf_dir}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE=Release
+  echo "=== [perf-smoke] build bench_throughput ==="
+  cmake --build "${perf_dir}" -j "${jobs}" --target bench_throughput
+  echo "=== [perf-smoke] run (--quick) ==="
+  "${perf_dir}/bench/bench_throughput" --quick --json "${perf_json}"
+  echo "=== [perf-smoke] sanity-check ${perf_json} ==="
+  python3 - "${perf_json}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+results = data["results"]
+assert results, "empty results"
+
+# The batched encode kernel must never be slower than the scalar path at
+# real batch sizes (>= 64); the full >=2x target is asserted by the
+# acceptance benches, CI only guards against a regression to < 1x.
+encode = {r["params"]: r["value"] for r in results
+          if r["name"] == "kernel/batch_encode"}
+assert encode, "no kernel/batch_encode records"
+for batch in (64, 256):
+    speedup = encode.get(f"batch={batch}")
+    assert speedup is not None, f"missing batch={batch} record"
+    assert speedup >= 1.0, f"batch_encode regressed: {speedup:.2f}x at batch={batch}"
+
+qps = [r for r in results if r["name"] == "pipeline/qps"]
+assert qps, "no pipeline/qps records"
+assert all(r["value"] > 0 for r in qps), "pipeline served zero queries"
+
+print(f"perf-smoke OK: batch_encode {encode['batch=64']:.2f}x @64, "
+      f"{encode['batch=256']:.2f}x @256, {len(qps)} QPS points")
+EOF
 fi
 
 echo "=== CI OK: stages [${stages}] all green ==="

@@ -1,6 +1,7 @@
 #include "ec/fe25519.h"
 
 #include <cstring>
+#include <vector>
 
 #include "common/ct.h"
 
@@ -161,6 +162,46 @@ Fe25519 Fe25519::invert() const noexcept {
   e[0] = 0xeb;
   e[31] = 0x7f;
   return pow(e);
+}
+
+void Fe25519::batch_invert(std::span<Fe25519> elems) noexcept {
+  const std::size_t n = elems.size();
+  if (n == 0) return;  // ct:public — batch size is protocol-visible
+  if (n == 1) {
+    elems[0] = elems[0].invert();
+    return;
+  }
+
+  // Montgomery's trick. prefix[i] holds the product of the first i+1
+  // inputs with every zero replaced by 1 (cmov, not a branch), so a
+  // single zero cannot poison the whole chain. The backward pass peels
+  // one factor per step:  elems[i] <- suffix_inv * prefix[i-1], then
+  // suffix_inv *= term[i].
+  std::vector<Fe25519> prefix(n);
+  std::vector<std::uint64_t> zmask(n);
+  Fe25519 acc = one();
+  for (std::size_t i = 0; i < n; ++i) {
+    zmask[i] = ct_mask_u64(elems[i].is_zero());
+    elems[i].cmov(one(), zmask[i]);
+    acc = acc * elems[i];
+    prefix[i] = acc;
+  }
+
+  Fe25519 suffix_inv = acc.invert();
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const Fe25519 term = elems[i];
+    elems[i] = suffix_inv * prefix[i - 1];
+    elems[i].cmov(zero(), zmask[i]);
+    suffix_inv = suffix_inv * term;
+  }
+  elems[0] = suffix_inv;  // = term[0]^-1 after all other factors peeled
+  elems[0].cmov(zero(), zmask[0]);
+
+  // The prefix products are entangled with every input; if any input was
+  // secret, so are they.
+  for (auto& p : prefix) p.wipe();
+  suffix_inv.wipe();
+  acc.wipe();
 }
 
 Fe25519 Fe25519::pow_p58() const noexcept {

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "common/bytes.h"
 
@@ -43,6 +44,14 @@ class Fe25519 {
 
   /// Multiplicative inverse via Fermat (x^(p-2)); inverse of zero is zero.
   Fe25519 invert() const noexcept;
+
+  /// Inverts every element in place with Montgomery's trick: one Fermat
+  /// inversion plus 3(n-1) multiplications for the whole batch, instead of
+  /// n inversions. Matches invert() exactly, including 0 -> 0: zero inputs
+  /// are swapped for 1 in the running product and restored to 0 at the end,
+  /// both via cmov, so the instruction trace depends only on the batch
+  /// size (public), never on which elements are zero (possibly secret).
+  static void batch_invert(std::span<Fe25519> elems) noexcept;
 
   /// x^((p-5)/8), the core exponentiation of the square-root algorithm.
   Fe25519 pow_p58() const noexcept;

@@ -107,13 +107,12 @@ std::optional<RistrettoPoint> RistrettoPoint::decode(
   return RistrettoPoint(x, y, Fe25519::one(), t);
 }
 
-RistrettoPoint::Encoding RistrettoPoint::encode() const noexcept {
+RistrettoPoint::Encoding RistrettoPoint::encode_with_invsqrt(
+    const Fe25519& inv_root) const noexcept {
   const Fe25519 u1 = (z_ + y_) * (z_ - y_);
   const Fe25519 u2 = x_ * y_;
-
-  const auto inv = sqrt_ratio_m1(Fe25519::one(), u1 * u2.square());
-  const Fe25519 den1 = inv.root * u1;
-  const Fe25519 den2 = inv.root * u2;
+  const Fe25519 den1 = inv_root * u1;
+  const Fe25519 den2 = inv_root * u2;
   const Fe25519 z_inv = den1 * den2 * t_;
 
   const Fe25519 ix = x_ * Fe25519::sqrt_m1();
@@ -128,6 +127,64 @@ RistrettoPoint::Encoding RistrettoPoint::encode() const noexcept {
   // cmov, not a branch: the coordinates may derive from secret scalars.
   y = Fe25519::select((x * z_inv).is_negative(), -y, y);
   return (den_inv * (z_ - y)).abs().to_bytes();
+}
+
+RistrettoPoint::Encoding RistrettoPoint::encode() const noexcept {
+  const Fe25519 u1 = (z_ + y_) * (z_ - y_);
+  const Fe25519 u2 = x_ * y_;
+  const auto inv = sqrt_ratio_m1(Fe25519::one(), u1 * u2.square());
+  return encode_with_invsqrt(inv.root);
+}
+
+std::vector<RistrettoPoint::Encoding> RistrettoPoint::double_and_encode_batch(
+    std::span<const RistrettoPoint> halves) {
+  const std::size_t n = halves.size();
+  std::vector<Encoding> out(n);
+  if (n == 0) return out;
+
+  // For P = (X:Y:Z:T), write e = 2XY, f = Z^2 + dT^2, g = Y^2 + X^2,
+  // h = Z^2 - dT^2. The curve identity Y^2 - X^2 = Z^2 + dT^2 turns the
+  // extended doubling formula into 2P = (eh : gf : fh : eg), and makes
+  // the encode target of 2P a rational square:
+  //   u1 * u2^2 = -(1+d) * (e^2 f^2 g h)^2,
+  // so 1/sqrt(u1*u2^2) = invsqrt_a_minus_d() / (e^2 f^2 g h) up to sign
+  // (encode_with_invsqrt is sign-invariant). One batch_invert over the
+  // W_i = e^2 f^2 g h replaces n per-point pow_p58 exponentiations.
+  // W_i = 0 exactly when 2P_i is in the identity coset; batch_invert's
+  // 0 -> 0 then yields the all-zero encoding, matching encode().
+  std::vector<RistrettoPoint> doubled(n);
+  std::vector<Fe25519> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RistrettoPoint& p = halves[i];
+    const Fe25519 xx = p.x_.square();
+    const Fe25519 yy = p.y_.square();
+    const Fe25519 zz = p.z_.square();
+    const Fe25519 dtt = Fe25519::edwards_d() * p.t_.square();
+    const Fe25519 e = (p.x_ + p.y_).square() - xx - yy;
+    const Fe25519 f = zz + dtt;
+    const Fe25519 g = yy + xx;
+    const Fe25519 h = zz - dtt;
+    doubled[i] = RistrettoPoint(e * h, g * f, f * h, e * g);
+    w[i] = e.square() * f.square() * g * h;
+  }
+
+  Fe25519::batch_invert(w);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = doubled[i].encode_with_invsqrt(invsqrt_a_minus_d() * w[i]);
+  }
+
+  // Intermediates are entangled with the (possibly secret-derived) inputs.
+  for (auto& v : w) v.wipe();
+  return out;
+}
+
+std::vector<RistrettoPoint> RistrettoPoint::batch_hash_to_group(
+    std::span<const Bytes> inputs, std::string_view domain_sep) {
+  std::vector<RistrettoPoint> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i] = hash_to_group(inputs[i], domain_sep);
+  }
+  return out;
 }
 
 RistrettoPoint RistrettoPoint::elligator_map(const Fe25519& t) noexcept {

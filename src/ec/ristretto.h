@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -36,6 +37,27 @@ class RistrettoPoint {
 
   /// Canonical 32-byte encoding.
   Encoding encode() const noexcept;
+
+  /// Encodes 2*P for every P in `halves`, paying ONE field inversion for
+  /// the whole batch (Fe25519::batch_invert) instead of one inverse
+  /// square root per point. Square roots do not Montgomery-batch, but for
+  /// a doubled point the invsqrt target collapses to a rational square
+  /// (see DESIGN.md "Throughput architecture"), so callers fold the 2
+  /// into the exponent: to obtain encodings of P_i * s, compute
+  /// Q_i = P_i * (s/2 mod l) and batch-encode the doubles of Q_i. Output
+  /// is bit-identical to (half * Scalar(2)).encode() per element,
+  /// including identity-coset inputs (all-zero encoding). Constant-time
+  /// discipline matches encode(): only the batch size is public.
+  static std::vector<Encoding> double_and_encode_batch(
+      std::span<const RistrettoPoint> halves);
+
+  /// Batched H(domain_sep || input_i). Elligator's sqrt_ratio_m1 must
+  /// accept non-square inputs, so unlike encoding there is no shared
+  /// inversion to amortize; this is the uniform batch surface (and the
+  /// seam bench/throughput tooling drives), computed per element exactly
+  /// as hash_to_group.
+  static std::vector<RistrettoPoint> batch_hash_to_group(
+      std::span<const Bytes> inputs, std::string_view domain_sep);
 
   /// Maps 64 uniformly random bytes to a group element (two Elligator2
   /// invocations, summed) — the "hash to group" used to build the random
@@ -84,6 +106,12 @@ class RistrettoPoint {
 
   static RistrettoPoint elligator_map(const Fe25519& t) noexcept;
   RistrettoPoint dbl() const noexcept;
+
+  /// The tail of encode() once 1/sqrt(u1*u2^2) is known. encode() feeds it
+  /// the sqrt_ratio_m1 root; double_and_encode_batch feeds it the
+  /// batch-inverted closed form. The output is invariant under
+  /// inv_root -> -inv_root, so the two agree bit-for-bit.
+  Encoding encode_with_invsqrt(const Fe25519& inv_root) const noexcept;
 
   // Extended twisted Edwards coordinates (X : Y : Z : T), x = X/Z,
   // y = Y/Z, T = XY/Z.

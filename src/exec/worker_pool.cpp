@@ -1,0 +1,177 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+
+namespace cbl::exec {
+
+WorkerPool::WorkerPool(Options options) : options_(std::move(options)) {
+  auto& reg = obs::MetricsRegistry::global();
+  depth_gauge_ = &reg.gauge("cbl_exec_queue_depth", {{"pool", options_.name}},
+                            "Tasks queued but not yet running");
+  tasks_total_ = &reg.counter("cbl_exec_tasks_total", {{"pool", options_.name}},
+                              "Tasks accepted (queued or run inline)");
+  rejected_total_ =
+      &reg.counter("cbl_exec_rejected_total", {{"pool", options_.name}},
+                   "try_submit refusals on a full or stopped pool");
+  workers_.reserve(options_.threads);
+  for (unsigned i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::WorkerPool() : WorkerPool(Options{}) {}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+unsigned WorkerPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool WorkerPool::enqueue_locked(std::unique_lock<std::mutex>& lock,
+                                Task& task) {
+  queue_.push_back(std::move(task));
+  depth_gauge_->set(static_cast<double>(queue_.size()));
+  tasks_total_->inc();
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool WorkerPool::submit(Task task) {
+  if (workers_.empty()) {
+    // Inline mode: the pool is a pass-through executor. No lock is held
+    // while the task runs, so tasks may themselves submit.
+    {
+      std::unique_lock lock(mutex_);
+      if (stopping_) return false;
+    }
+    tasks_total_->inc();
+    task();
+    return true;
+  }
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) return false;
+  return enqueue_locked(lock, task);
+}
+
+bool WorkerPool::try_submit(Task task) {
+  if (workers_.empty()) return submit(std::move(task));
+  std::unique_lock lock(mutex_);
+  if (stopping_ || queue_.size() >= options_.queue_capacity) {
+    lock.unlock();
+    rejected_total_->inc();
+    return false;
+  }
+  return enqueue_locked(lock, task);
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void WorkerPool::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_) {
+      lock.unlock();
+    } else {
+      stopping_ = true;
+      lock.unlock();
+      not_empty_.notify_all();
+      not_full_.notify_all();
+    }
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      depth_gauge_->set(static_cast<double>(queue_.size()));
+      ++active_;
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        lock.unlock();
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for_chunks(
+    WorkerPool* pool, std::size_t n, unsigned chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunks <= 1 || n < 2 * static_cast<std::size_t>(chunks)) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  struct Slice {
+    std::size_t begin, end;
+  };
+  std::vector<Slice> slices;
+  for (unsigned t = 0; t < chunks; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    slices.push_back({begin, end});
+  }
+
+  if (pool != nullptr && pool->threads() > 0) {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining = slices.size();
+    for (const Slice s : slices) {
+      const bool accepted = pool->submit([&, s] {
+        fn(s.begin, s.end);
+        // Notify under the lock: the waiter owns `m` and `done` on its
+        // stack, so signalling after unlock would race their destruction
+        // once the waiter observes remaining == 0 and returns.
+        std::lock_guard lock(m);
+        if (--remaining == 0) done.notify_one();
+      });
+      if (!accepted) {
+        // Pool shut down underneath us: run the slice on the caller so
+        // the result is still complete.
+        fn(s.begin, s.end);
+        std::unique_lock lock(m);
+        --remaining;
+      }
+    }
+    std::unique_lock lock(m);
+    done.wait(lock, [&] { return remaining == 0; });
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(slices.size());
+  for (const Slice s : slices) {
+    threads.emplace_back([&, s] { fn(s.begin, s.end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace cbl::exec

@@ -1,0 +1,100 @@
+// Execution primitives for the throughput layer: a fixed set of worker
+// threads draining a bounded MPMC task queue, plus a deterministic
+// chunked parallel-for used by the OPRF rebuild path. cbl_exec sits
+// beside cbl_obs near the bottom of the dependency order (it links only
+// cbl_obs), so any layer above can share a pool — the query pipeline in
+// src/net injects one, tests inject inline (0-thread) pools for
+// single-threaded determinism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cbl::exec {
+
+// Thread safety: submit / try_submit / drain / queue_depth may be called
+// concurrently from any thread. shutdown() may race with submitters
+// (late submits return false); the destructor runs shutdown().
+class WorkerPool {
+ public:
+  struct Options {
+    /// 0 = no workers: submit() runs the task inline on the caller. This
+    /// is the injectable test mode — same code path, no scheduling.
+    unsigned threads = 0;
+    /// Bound on queued (not yet running) tasks. submit() blocks on a full
+    /// queue (backpressure); try_submit() refuses (load shedding).
+    std::size_t queue_capacity = 1024;
+    /// Labels the cbl_exec_* metric families.
+    std::string name = "default";
+  };
+
+  explicit WorkerPool(Options options);
+  WorkerPool();  // inline pass-through pool (Options defaults)
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  using Task = std::function<void()>;
+
+  /// Enqueues (or runs inline when threads == 0). Blocks while the queue
+  /// is full; returns false only after shutdown().
+  bool submit(Task task);
+
+  /// Non-blocking variant: returns false when the queue is full or the
+  /// pool is shut down — the caller sheds the work.
+  bool try_submit(Task task);
+
+  /// Waits until the queue is empty and every worker is idle.
+  void drain();
+
+  /// Stops accepting work, lets the workers finish the queue, joins them.
+  /// Idempotent.
+  void shutdown();
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+  std::size_t queue_depth() const;
+
+  /// std::thread::hardware_concurrency(), floored at 1.
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+  bool enqueue_locked(std::unique_lock<std::mutex>& lock, Task& task);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  std::size_t active_ = 0;  // tasks currently running on workers
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  obs::Gauge* depth_gauge_;
+  obs::Counter* tasks_total_;
+  obs::Counter* rejected_total_;
+};
+
+/// Runs fn(begin, end) over contiguous slices of [0, n). The slice
+/// boundaries depend only on (n, chunks) — never on scheduling — so any
+/// output addressed by index is bit-identical for every thread count;
+/// this is what makes OprfServer::rebuild deterministic under its thread
+/// sweep. Degenerate cases (chunks <= 1, or n < 2 * chunks) run a single
+/// fn(0, n) on the caller. With `pool` null (or inline), slices run on
+/// ephemeral threads; otherwise they are submitted to the pool and the
+/// call blocks until all slices complete.
+void parallel_for_chunks(
+    WorkerPool* pool, std::size_t n, unsigned chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace cbl::exec

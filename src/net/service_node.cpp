@@ -5,6 +5,7 @@
 
 #include "ec/codec.h"
 #include "hash/blake2b.h"
+#include "net/query_pipeline.h"
 
 namespace cbl::net {
 
@@ -109,12 +110,14 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
                                            std::string endpoint,
                                            oprf::OprfServer& server,
                                            oprf::Oracle oracle,
-                                           NodeLimits limits)
+                                           NodeLimits limits,
+                                           QueryPipeline* pipeline)
     : transport_(&transport),
       endpoint_(std::move(endpoint)),
       server_(server),
       oracle_(oracle),
-      limits_(limits) {
+      limits_(limits),
+      pipeline_(pipeline) {
   auto& registry = obs::MetricsRegistry::global();
   const auto request_counter = [&](const char* method) {
     return &registry.counter("cbl_net_requests_total", {{"method", method}},
@@ -204,6 +207,20 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
       // the whole point is to spend nothing on load we cannot serve.
       if (const std::uint32_t hint_ms = admit_or_shed_query()) {
         return respond(Status::kRateLimited, retry_after_body(hint_ms));
+      }
+      if (pipeline_ != nullptr) {
+        // Batched serving path: the pipeline parses, coalesces with other
+        // in-flight queries, and hands back the serialized response.
+        auto result = pipeline_->serve(parsed->body);
+        if (result.status == Status::kRateLimited) {
+          const std::uint32_t hint = result.retry_after_ms != 0
+                                         ? result.retry_after_ms
+                                         : limits_.retry_after_hint_ms;
+          if (hint > 0) {
+            return respond(Status::kRateLimited, retry_after_body(hint));
+          }
+        }
+        return respond(result.status, result.body);
       }
       const auto request = oprf::parse_query_request(parsed->body);
       if (!request) return respond(Status::kBadRequest);

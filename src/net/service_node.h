@@ -91,14 +91,23 @@ struct NodeLimits {
   std::uint32_t retry_after_hint_ms = 0;
 };
 
+class QueryPipeline;
+
 /// Binds an OprfServer to a transport endpoint. The destructor tears the
 /// endpoint down again, so a destroyed node is unreachable (drops) — the
 /// crash half of crash-restart — rather than a dangling handler.
+///
+/// With a QueryPipeline attached, admitted queries are delegated to the
+/// pipeline's batched serving path (coalesced crypto, pipeline-level
+/// shedding) instead of calling OprfServer::handle inline; node-level
+/// admission (NodeLimits) still runs first, so shed load never reaches
+/// the pipeline. The pipeline must outlive the node.
 class BlocklistServiceNode {
  public:
   BlocklistServiceNode(Transport& transport, std::string endpoint,
                        oprf::OprfServer& server, oprf::Oracle oracle,
-                       NodeLimits limits = NodeLimits());
+                       NodeLimits limits = NodeLimits(),
+                       QueryPipeline* pipeline = nullptr);
   ~BlocklistServiceNode();
   BlocklistServiceNode(const BlocklistServiceNode&) = delete;
   BlocklistServiceNode& operator=(const BlocklistServiceNode&) = delete;
@@ -118,6 +127,7 @@ class BlocklistServiceNode {
   oprf::OprfServer& server_;
   oprf::Oracle oracle_;
   NodeLimits limits_;
+  QueryPipeline* pipeline_;  // optional batched serving path; not owned
   double busy_until_ms_ = 0.0;  // virtual-time end of the service queue
   // Per-method / per-status request accounting, resolved once.
   obs::Counter* requests_query_;

@@ -45,6 +45,39 @@ OprfClient::Prepared OprfClient::prepare(std::string_view entry) const {
   return p;
 }
 
+std::vector<OprfClient::Prepared> OprfClient::blind_batch(
+    std::span<const std::string> entries) const {
+  // 2^-1 mod l: blind by r/2 and let the batched encode double it away,
+  // so m = H(u)^r costs no per-entry inverse square root.
+  static const ec::Scalar inv_two = ec::Scalar::from_u64(2).invert();
+  std::vector<Prepared> out(entries.size());
+  std::vector<ec::RistrettoPoint> halves(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Bytes raw = to_bytes(entries[i]);
+    Prepared& p = out[i];
+    p.pending.blinding = ec::Scalar::random(rng_);
+    p.pending.hashed = oracle_.map_to_group(raw);
+    p.pending.prefix = Oracle::prefix(raw, lambda_);
+    ec::Scalar half_blinding = p.pending.blinding * inv_two;  // ct:secret
+    halves[i] = p.pending.hashed * half_blinding;
+    half_blinding.wipe();
+  }
+  const auto encodings = ec::RistrettoPoint::double_and_encode_batch(halves);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Prepared& p = out[i];
+    p.request.prefix = p.pending.prefix;
+    p.request.masked_query = encodings[i];
+    p.request.api_key = api_key_;
+    p.request.want_evaluation_proof = pinned_commitment_.has_value();
+    const auto it = cache_.find(p.pending.prefix);
+    if (it != cache_.end()) {
+      p.request.cached_epoch = it->second.epoch;
+      p.pending.used_cache_hint = true;
+    }
+  }
+  return out;
+}
+
 OprfClient::Result OprfClient::finish(const PendingQuery& pending,
                                       const QueryResponse& response) {
   const auto evaluated = ec::RistrettoPoint::decode(response.evaluated);

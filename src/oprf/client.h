@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,6 +33,14 @@ class OprfClient {
   /// Secure query (stage 2 of Fig. 2): m = H(u)^r plus the plaintext
   /// prefix. Expensive under the slow oracle — by design.
   Prepared prepare(std::string_view entry) const;
+
+  /// Batched prepare(): one blinding factor per entry, drawn from the rng
+  /// in entry order (a twin-seeded rng reproduces the sequential
+  /// prepare() stream exactly), with every masked-query encoding produced
+  /// by one shared double_and_encode_batch — the whole batch pays a
+  /// single field inversion. Requests and pending state are byte- and
+  /// value-identical to per-entry prepare() calls.
+  std::vector<Prepared> blind_batch(std::span<const std::string> entries) const;
 
   struct Result {
     bool listed = false;

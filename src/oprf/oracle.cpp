@@ -39,6 +39,18 @@ ec::RistrettoPoint Oracle::map_to_group(ByteView entry) const {
   return ec::RistrettoPoint::from_uniform_bytes(uniform);
 }
 
+std::vector<ec::RistrettoPoint> Oracle::map_to_group_batch(
+    std::span<const Bytes> entries) const {
+  if (kind_ == Kind::kFast) {
+    return ec::RistrettoPoint::batch_hash_to_group(entries, kFastDomain);
+  }
+  std::vector<ec::RistrettoPoint> out(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out[i] = map_to_group(entries[i]);
+  }
+  return out;
+}
+
 std::uint32_t Oracle::prefix(ByteView entry, unsigned lambda) {
   if (lambda == 0 || lambda > 32) {
     throw std::invalid_argument("Oracle::prefix: lambda must be in [1,32]");

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "ec/ristretto.h"
@@ -31,6 +33,12 @@ class Oracle {
 
   /// H(entry): maps an address string to a group element.
   ec::RistrettoPoint map_to_group(ByteView entry) const;
+
+  /// Batched H: element i equals map_to_group(entries[i]) exactly. The
+  /// fast oracle routes through RistrettoPoint::batch_hash_to_group; the
+  /// slow oracle is memory-hard by design, so it stays a per-entry loop.
+  std::vector<ec::RistrettoPoint> map_to_group_batch(
+      std::span<const Bytes> entries) const;
 
   /// The lambda-bit bucket prefix of an entry (lambda in [1, 32]).
   static std::uint32_t prefix(ByteView entry, unsigned lambda);

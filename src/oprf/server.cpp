@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <thread>
 
+#include "exec/worker_pool.h"
 #include "hash/sha256.h"
 
 namespace cbl::oprf {
+
+namespace {
+
+// 2^-1 mod l: hot paths exponentiate by R/2 and let the batched encode
+// kernel supply the doubling (see RistrettoPoint::double_and_encode_batch).
+const ec::Scalar& inv_two() {
+  static const ec::Scalar v = ec::Scalar::from_u64(2).invert();
+  return v;
+}
+
+}  // namespace
 
 OprfServer::OprfServer(Oracle oracle, unsigned lambda, Rng& rng)
     : oracle_(oracle), lambda_(lambda), rng_(rng) {
@@ -47,7 +59,10 @@ OprfServer::OprfServer(Oracle oracle, unsigned lambda, Rng& rng)
       "cbl_oprf_k_anonymity", {}, "Minimum non-empty bucket size");
 }
 
-OprfServer::~OprfServer() { mask_.wipe(); }
+OprfServer::~OprfServer() {
+  mask_.wipe();
+  half_mask_.wipe();
+}
 
 void OprfServer::refresh_data_gauges() {
   metrics_.entries->set(static_cast<double>(entries_.size()));
@@ -85,36 +100,38 @@ void OprfServer::rebuild(unsigned num_threads) {
   const auto& clock = obs::MetricsRegistry::global().clock();
   const std::uint64_t t0 = clock.now_ns();
   mask_ = ec::Scalar::random(rng_);
+  half_mask_ = mask_ * inv_two();
   key_commitment_ = ec::RistrettoPoint::base() * mask_;
   ++epoch_;
   buckets_.clear();
 
-  // Blind all entries: b = H(q)^R. The exponentiations dominate, so they
-  // are sharded over worker threads; bucket insertion stays sequential.
+  // Blind all entries: b = H(q)^R, computed as H(q)^(R/2) batch-doubled so
+  // each chunk pays one field inversion instead of one per entry. The
+  // exponentiations dominate, so chunks are sharded over worker threads
+  // (exec::parallel_for_chunks slices by index only — the per-entry bytes
+  // are identical for every thread count); bucket insertion stays
+  // sequential.
   std::vector<ec::RistrettoPoint::Encoding> blinded(entries_.size());
   std::vector<std::uint32_t> prefixes(entries_.size());
 
   auto work = [&](std::size_t begin, std::size_t end) {
+    std::vector<Bytes> raw(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      const Bytes entry = to_bytes(entries_[i]);
-      blinded[i] = (oracle_.map_to_group(entry) * mask_).encode();
-      prefixes[i] = Oracle::prefix(entry, lambda_);
+      raw[i - begin] = to_bytes(entries_[i]);
+    }
+    const auto hashed = oracle_.map_to_group_batch(raw);
+    std::vector<ec::RistrettoPoint> halves(hashed.size());
+    for (std::size_t j = 0; j < hashed.size(); ++j) {
+      halves[j] = hashed[j] * half_mask_;
+    }
+    const auto encodings =
+        ec::RistrettoPoint::double_and_encode_batch(halves);
+    for (std::size_t j = 0; j < encodings.size(); ++j) {
+      blinded[begin + j] = encodings[j];
+      prefixes[begin + j] = Oracle::prefix(raw[j], lambda_);
     }
   };
-
-  if (num_threads <= 1 || entries_.size() < 2 * num_threads) {
-    work(0, entries_.size());
-  } else {
-    std::vector<std::thread> threads;
-    const std::size_t chunk = (entries_.size() + num_threads - 1) / num_threads;
-    for (unsigned t = 0; t < num_threads; ++t) {
-      const std::size_t begin = t * chunk;
-      const std::size_t end = std::min(entries_.size(), begin + chunk);
-      if (begin >= end) break;
-      threads.emplace_back(work, begin, end);
-    }
-    for (auto& th : threads) th.join();
-  }
+  exec::parallel_for_chunks(nullptr, entries_.size(), num_threads, work);
 
   entry_index_.clear();
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -209,6 +226,109 @@ QueryResponse OprfServer::handle(const QueryRequest& request) {
     response.metadata = it->second.metadata;
   }
   return response;
+}
+
+std::vector<OprfServer::BatchOutcome> OprfServer::evaluate_batch(
+    std::span<const QueryRequest> requests) {
+  auto& registry = obs::MetricsRegistry::global();
+  const bool observing = registry.enabled();
+  std::vector<BatchOutcome> out(requests.size());
+
+  const auto fail = [&](std::size_t i, BatchOutcome::Status status,
+                        const char* what) {
+    out[i].status = status;
+    out[i].error = what;
+    (status == BatchOutcome::Status::kRateLimited
+         ? metrics_.queries_rate_limited
+         : metrics_.queries_bad_request)
+        ->inc();
+  };
+
+  if (rate_limiting_) {
+    // One limiter pass for the whole batch, with the same per-request
+    // accounting handle() performs.
+    std::lock_guard limiter_lock(limiter_mutex_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto it = authorized_.find(requests[i].api_key);
+      if (it == authorized_.end() || !it->second) {
+        fail(i, BatchOutcome::Status::kRateLimited,
+             "OprfServer: unauthorized api key");
+      } else if (++window_counts_[requests[i].api_key] > max_per_window_) {
+        fail(i, BatchOutcome::Status::kRateLimited,
+             "OprfServer: rate limit exceeded");
+      } else {
+        out[i].status = BatchOutcome::Status::kOk;  // provisional
+      }
+    }
+  } else {
+    for (auto& o : out) o.status = BatchOutcome::Status::kOk;
+  }
+
+  std::shared_lock lock(data_mutex_);
+  std::vector<std::size_t> live;
+  std::vector<ec::RistrettoPoint> masked_points;
+  live.reserve(requests.size());
+  masked_points.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (out[i].status != BatchOutcome::Status::kOk) continue;
+    if (requests[i].prefix >> lambda_ != 0) {
+      fail(i, BatchOutcome::Status::kBadRequest,
+           "OprfServer: prefix out of range for lambda");
+      continue;
+    }
+    const auto masked = ec::RistrettoPoint::decode(requests[i].masked_query);
+    if (!masked) {
+      fail(i, BatchOutcome::Status::kBadRequest,
+           "OprfServer: malformed masked query");
+      continue;
+    }
+    live.push_back(i);
+    masked_points.push_back(*masked);
+  }
+
+  // The crypto core: all exponentiations use R/2, the shared batched
+  // encode doubles them back to psi_i = masked_i^R.
+  const std::uint64_t t0 = observing ? registry.clock().now_ns() : 0;
+  std::vector<ec::RistrettoPoint> halves;
+  halves.reserve(live.size());
+  for (const auto& m : masked_points) halves.push_back(m * half_mask_);
+  const auto encodings = ec::RistrettoPoint::double_and_encode_batch(halves);
+  if (observing && !live.empty()) {
+    const double per_query_ms =
+        static_cast<double>(registry.clock().now_ns() - t0) / 1e6 /
+        static_cast<double>(live.size());
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      metrics_.eval_ms->observe(per_query_ms);
+    }
+  }
+
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const std::size_t i = live[k];
+    const QueryRequest& request = requests[i];
+    QueryResponse& response = out[i].response;
+    response.evaluated = encodings[k];
+    response.epoch = epoch_;
+    if (request.want_evaluation_proof) {
+      const ec::RistrettoPoint evaluated = halves[k] + halves[k];
+      std::lock_guard rng_lock(rng_mutex_);
+      response.evaluation_proof = nizk::DleqProof::prove(
+          ec::RistrettoPoint::base(), key_commitment_, masked_points[k],
+          evaluated, mask_, kEvalProofDomain, rng_);
+    }
+    metrics_.queries_ok->inc();
+    if (request.cached_epoch == epoch_) {
+      response.bucket_omitted = true;
+      metrics_.buckets_omitted->inc();
+      continue;
+    }
+    metrics_.buckets_served->inc();
+    const auto it = buckets_.find(request.prefix);
+    if (it != buckets_.end()) {
+      response.bucket = it->second.blinded;
+      response.metadata = it->second.metadata;
+    }
+  }
+  return out;
 }
 
 void OprfServer::insert_into_bucket(const std::string& entry) {

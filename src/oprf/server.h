@@ -69,6 +69,26 @@ class OprfServer {
   /// malformed queries or rate-limit violations.
   QueryResponse handle(const QueryRequest& request);
 
+  /// Per-request outcome of evaluate_batch: handle()'s ProtocolError
+  /// exits mapped to statuses so one bad request cannot abort a batch.
+  struct BatchOutcome {
+    enum class Status : std::uint8_t { kOk, kBadRequest, kRateLimited };
+    Status status = Status::kBadRequest;
+    /// The what() of the ProtocolError handle() would have thrown; empty
+    /// on kOk.
+    std::string error;
+    QueryResponse response;  // populated only when status == kOk
+  };
+
+  /// Batched online evaluation, semantically identical to calling
+  /// handle() per element — same responses byte-for-byte, same rate-limit
+  /// accounting and validation outcomes — but all evaluations share one
+  /// batched encode (RistrettoPoint::double_and_encode_batch over
+  /// masked_i * (R/2)), paying a single field inversion for the whole
+  /// batch instead of one inverse square root per query.
+  std::vector<BatchOutcome> evaluate_batch(
+      std::span<const QueryRequest> requests);
+
   /// The published key commitment g^R for the current epoch (the
   /// verifiable-OPRF anchor clients verify evaluation proofs against).
   const ec::RistrettoPoint& key_commitment() const { return key_commitment_; }
@@ -143,6 +163,10 @@ class OprfServer {
   unsigned lambda_;
   Rng& rng_;
   ec::Scalar mask_;  // R  ct:secret
+  // R * 2^-1 mod l, refreshed with mask_: the batched encode kernel
+  // produces encodings of 2*P, so hot paths exponentiate by R/2 and let
+  // double_and_encode_batch supply the doubling. ct:secret
+  ec::Scalar half_mask_;
   ec::RistrettoPoint key_commitment_;  // g^R
   std::uint64_t epoch_ = 0;
   std::vector<std::string> entries_;

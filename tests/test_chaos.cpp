@@ -27,6 +27,7 @@
 #include "blocklist/generator.h"
 #include "chaos/chaos.h"
 #include "common/rng.h"
+#include "net/query_pipeline.h"
 #include "net/resilient_client.h"
 #include "obs/clock.h"
 
@@ -60,10 +61,12 @@ class ChaosWorld {
  public:
   ChaosWorld(FaultPlan plan, std::vector<std::string> endpoints,
              ResilienceConfig config = ResilienceConfig(),
-             net::NodeLimits limits = net::NodeLimits())
+             net::NodeLimits limits = net::NodeLimits(),
+             bool use_pipeline = false)
       : plan_(std::move(plan)),
         endpoints_(std::move(endpoints)),
         limits_(limits),
+        use_pipeline_(use_pipeline),
         query_rng_(ChaChaRng::from_string_seed(
             plan_.name + "/traffic/" + std::to_string(plan_.seed))),
         transport_(net::TransportConfig{.latency_ms_min = 1.0,
@@ -83,6 +86,7 @@ class ChaosWorld {
     }
 
     servers_.resize(endpoints_.size());
+    pipelines_.resize(endpoints_.size());
     nodes_.resize(endpoints_.size());
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
       start_node(i, /*epoch_floor=*/0);
@@ -200,8 +204,13 @@ class ChaosWorld {
     servers_[i].emplace(oprf::Oracle::fast(), 16u, server_rng_);
     if (epoch_floor > 0) servers_[i]->restore_epoch(epoch_floor);
     servers_[i]->setup(listed_);
+    net::QueryPipeline* pipeline = nullptr;
+    if (use_pipeline_) {
+      pipelines_[i].emplace(*servers_[i], net::PipelineOptions{});
+      pipeline = &*pipelines_[i];
+    }
     nodes_[i].emplace(transport_, endpoints_[i], *servers_[i],
-                      oprf::Oracle::fast(), limits_);
+                      oprf::Oracle::fast(), limits_, pipeline);
   }
 
   static std::uint64_t fault_counter(const char* kind) {
@@ -223,6 +232,7 @@ class ChaosWorld {
   FaultPlan plan_;
   std::vector<std::string> endpoints_;
   net::NodeLimits limits_;
+  bool use_pipeline_ = false;
   obs::ManualClock clock_;
   ChaChaRng corpus_rng_ = ChaChaRng::from_string_seed("chaos-corpus");
   ChaChaRng server_rng_ = ChaChaRng::from_string_seed("chaos-server");
@@ -234,6 +244,9 @@ class ChaosWorld {
   std::vector<std::string> clean_;
   net::Transport transport_;
   std::deque<std::optional<oprf::OprfServer>> servers_;
+  // Declared before nodes_ so each node (which may hold a pipeline
+  // pointer) is destroyed before the pipeline it points at.
+  std::deque<std::optional<net::QueryPipeline>> pipelines_;
   std::deque<std::optional<net::BlocklistServiceNode>> nodes_;
   FaultInjector injector_;
   std::optional<ResilientClient> client_;
@@ -401,6 +414,67 @@ TEST(ChaosTest, KitchenSinkWithOverloadSheddingStaysAccountable) {
   // queue) and the client still converted most queries into answers.
   EXPECT_GT(shed.value(), shed_before);
   EXPECT_GE(s.fresh, s.queries / 2);
+  world.expect_calls_accounted();
+  world.expect_faults_mirrored();
+}
+
+TEST(ChaosTest, BatchedPipelineShedsBeforeBatchingAndStaysCorrect) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& enqueued = reg.counter("cbl_net_pipeline_enqueued_total");
+  auto& pipeline_shed = reg.counter("cbl_net_pipeline_shed_total");
+  auto& batch_size = reg.histogram("cbl_net_pipeline_batch_size",
+                                   obs::Histogram::log_buckets(1.0, 4096.0, 4));
+  auto& query_requests =
+      reg.counter("cbl_net_requests_total", {{"method", "query"}});
+  auto& shed_alpha =
+      reg.counter("cbl_net_shed_total", {{"endpoint", "alpha"}});
+  auto& shed_beta = reg.counter("cbl_net_shed_total", {{"endpoint", "beta"}});
+  const auto enqueued_before = enqueued.value();
+  const auto pipeline_shed_before = pipeline_shed.value();
+  const auto batches_before = batch_size.count();
+  const auto batch_sum_before = batch_size.sum();
+  const auto queries_before = query_requests.value();
+  const auto node_shed_before = shed_alpha.value() + shed_beta.value();
+
+  FaultPlan plan;
+  plan.name = "pipeline-drops-blackout";
+  plan.seed = chaos_seed(707);
+  plan.all.drop_request = 0.08;
+  plan.all.drop_response = 0.08;
+  plan.per_endpoint["alpha"].blackouts = {{1500.0, 3000.0}};
+  // An overloaded node in front of the batched path: node-level
+  // admission sheds BEFORE the pipeline, so refused queries must never
+  // occupy a batch slot.
+  net::NodeLimits limits;
+  limits.service_ms = 30.0;
+  limits.max_inflight = 2;
+  ChaosWorld world(plan, {"alpha", "beta"}, ResilienceConfig(), limits,
+                   /*use_pipeline=*/true);
+
+  const auto s = world.run(chaos_queries(), /*inter_arrival_ms=*/1.0);
+  // The batched serving path changes throughput, never answers: no
+  // wrong verdict under drops + a blackout + overload shedding.
+  EXPECT_EQ(s.wrong, 0);
+  EXPECT_GE(s.fresh, s.queries / 2);
+  EXPECT_GT(world.injector().stats().dropped_requests, 0u);
+  EXPECT_GT(world.injector().stats().blackout_drops, 0u);
+
+  const auto node_shed =
+      (shed_alpha.value() + shed_beta.value()) - node_shed_before;
+  EXPECT_GT(node_shed, 0u);
+  // Shed accounting: every query frame the nodes admitted was enqueued
+  // into a pipeline batch, and every shed one never reached it —
+  // admitted == arrived - shed, exactly.
+  EXPECT_EQ(enqueued.value() - enqueued_before,
+            (query_requests.value() - queries_before) - node_shed);
+  // The single-threaded harness never fills a shard queue, so the
+  // pipeline's own shedding stayed quiet...
+  EXPECT_EQ(pipeline_shed.value(), pipeline_shed_before);
+  // ...and every enqueued query is accounted for by exactly one batch
+  // slot (histogram sum = total coalesced queries).
+  EXPECT_EQ(static_cast<std::uint64_t>(batch_size.sum() - batch_sum_before),
+            enqueued.value() - enqueued_before);
+  EXPECT_GT(batch_size.count(), batches_before);
   world.expect_calls_accounted();
   world.expect_faults_mirrored();
 }

@@ -9,8 +9,11 @@
 #include "blocklist/generator.h"
 #include "chain/tx_auth.h"
 #include "common/rng.h"
+#include "exec/worker_pool.h"
+#include "net/query_pipeline.h"
 #include "oprf/client.h"
 #include "oprf/server.h"
+#include "oprf/wire.h"
 
 namespace cbl {
 namespace {
@@ -111,6 +114,91 @@ TEST(Concurrency, QueriesRideThroughMaintenance) {
   EXPECT_EQ(wrong.load(), 0);
   // Churn ended with a removal round: only the stable set remains.
   EXPECT_EQ(server.entry_count(), stable.size());
+}
+
+// The batched serving path under the same adversarial schedule, designed
+// to run under TSan: many client threads funnel through
+// QueryPipeline::serve (group-commit coalescing, WorkerPool sub-batch
+// split) while a maintenance thread rotates the key and churns entries.
+// Every non-shed answer must be a correct verdict; shed answers must be
+// kRateLimited and must never have occupied a batch slot.
+TEST(Concurrency, PipelineServesCorrectlyUnderChurnAndRotation) {
+  auto corpus_rng = ChaChaRng::from_string_seed("conc3-corpus");
+  auto all = blocklist::generate_corpus(240, corpus_rng).addresses();
+  const std::vector<std::string> stable(all.begin(), all.begin() + 120);
+  const std::vector<std::string> churn(all.begin() + 120, all.end());
+
+  auto server_rng = ChaChaRng::from_string_seed("conc3-server");
+  oprf::OprfServer server(oprf::Oracle::fast(), 4, server_rng);
+  server.setup(stable);
+
+  exec::WorkerPool pool({.threads = 2, .name = "conc3"});
+  net::PipelineOptions options;
+  options.shards = 2;
+  options.max_batch = 8;
+  options.max_queue = 2;  // small enough that bursts shed
+  options.pool = &pool;
+  net::QueryPipeline pipeline(server, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::atomic<int> ok_served{0};
+  std::atomic<int> shed{0};
+
+  std::thread maintenance([&] {
+    for (int round = 0; round < 6; ++round) {
+      server.add_entries(churn);
+      server.remove_entries(churn);
+      server.rotate_key();
+    }
+    stop = true;
+  });
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      auto rng =
+          ChaChaRng::from_string_seed("conc3-client-" + std::to_string(t));
+      oprf::OprfClient client(oprf::Oracle::fast(), 4, rng);
+      int q = 0;
+      while (!stop.load() || q < 30) {
+        const auto& target = stable[static_cast<std::size_t>(
+            (t * 31 + q) % static_cast<int>(stable.size()))];
+        const auto prepared = client.prepare(target);
+        const Bytes body = oprf::serialize(prepared.request);
+        const auto result = pipeline.serve(body);
+        if (result.status == net::Status::kRateLimited) {
+          // Pipeline shed: refused before enqueue, so it carries the
+          // pipeline's own retry hint and no body.
+          EXPECT_EQ(result.retry_after_ms, options.shed_retry_after_ms);
+          EXPECT_TRUE(result.body.empty());
+          ++shed;
+        } else if (result.status == net::Status::kOk) {
+          try {
+            const auto response = oprf::parse_query_response(result.body);
+            if (!response ||
+                !client.finish(prepared.pending, *response).listed) {
+              ++wrong;
+            }
+          } catch (const ProtocolError&) {
+            ++wrong;
+          }
+          ++ok_served;
+        } else {
+          ++wrong;  // a well-formed query must never be kBadRequest
+        }
+        client.clear_cache();  // epochs churn; keep every query cold
+        ++q;
+        if (q > 400) break;  // safety bound
+      }
+    });
+  }
+  maintenance.join();
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(ok_served.load(), 4 * 30 - shed.load());
+  EXPECT_GT(ok_served.load(), 0);
 }
 
 // ------------------------------------------------------------ tx gateway
