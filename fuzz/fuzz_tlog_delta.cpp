@@ -1,0 +1,61 @@
+// Decode surface: tlog/delta.h — the signed epoch-delta codec and the
+// full bucket-map download parser. Accepted messages must be canonical
+// (re-encode == input), and folding any accepted delta into a bucket
+// mirror must either succeed or leave the mirror bit-identical
+// (copy-then-swap: a rejected fold never corrupts cached state).
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fuzz/harness.h"
+#include "tlog/delta.h"
+
+using namespace cbl;
+
+namespace {
+
+/// A small fixed mirror to fold hostile deltas into.
+tlog::BucketMap base_mirror() {
+  tlog::BucketMap buckets;
+  ChaChaRng rng = ChaChaRng::from_string_seed("fuzz-tlog-delta");
+  for (std::uint32_t prefix : {7u, 9u, 1000u}) {
+    std::vector<ec::RistrettoPoint::Encoding> entries(3);
+    for (auto& e : entries) rng.fill(e.data(), e.size());
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+    buckets.emplace(prefix, std::move(entries));
+  }
+  return buckets;
+}
+
+}  // namespace
+
+CBL_FUZZ_TARGET(cbl_fuzz_tlog_delta) {
+  const ByteView input(data, size);
+
+  if (const auto delta = tlog::EpochDelta::from_bytes(input)) {
+    const Bytes re = delta->to_bytes();
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+    static const tlog::BucketMap base = base_mirror();
+    tlog::BucketMap mirror = base;
+    if (!tlog::fold_delta(mirror, *delta)) {
+      CBL_FUZZ_CHECK(mirror == base);  // rejected folds must not corrupt
+    }
+  }
+
+  if (const auto buckets = tlog::parse_bucket_map(input)) {
+    const Bytes re = tlog::encode_bucket_map(*buckets);
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+    // An accepted map must diff cleanly against itself (empty delta) and
+    // against the empty map (pure additions that fold back to it).
+    const auto self = tlog::diff_buckets(*buckets, *buckets);
+    CBL_FUZZ_CHECK(self.prefixes.empty());
+    auto grown = tlog::diff_buckets(tlog::BucketMap{}, *buckets);
+    tlog::BucketMap rebuilt;
+    CBL_FUZZ_CHECK(tlog::fold_delta(rebuilt, grown));
+    CBL_FUZZ_CHECK(rebuilt == *buckets);
+  }
+  return 0;
+}

@@ -13,11 +13,13 @@
 #include "blocklist/address.h"
 #include "blocklist/io.h"
 #include "common/rng.h"
+#include "ec/codec.h"
 #include "ec/ristretto.h"
 #include "ec/scalar.h"
 #include "net/service_node.h"
 #include "nizk/signature.h"
 #include "oprf/wire.h"
+#include "tlog/tlog.h"
 #include "voting/wire.h"
 #include "vrf/vrf.h"
 
@@ -246,6 +248,72 @@ int main(int argc, char** argv) {
   write("fuzz_ristretto_diff", "hex", std::string_view("deadbeef"));
   write("fuzz_ristretto_diff", "hex-upper", std::string_view("DEADBEEF"));
   write("fuzz_ristretto_diff", "hex-odd", std::string_view("abc"));
+
+  // ------------------------------------------------------- tlog_checkpoint
+  {
+    // Own DRBG so this section never shifts the draws (and bytes) of the
+    // sections around it.
+    ChaChaRng tlog_rng = ChaChaRng::from_string_seed("cbl-corpus-tlog");
+    const nizk::SigningKey tlog_key = nizk::SigningKey::generate(tlog_rng);
+    // A real publisher pass over a small server gives structurally valid
+    // checkpoints, deltas, proofs, and bucket maps in one sweep.
+    oprf::OprfServer server(oprf::Oracle::fast(), 8, tlog_rng);
+    std::vector<std::string> entries;
+    for (int i = 0; i < 24; ++i) entries.push_back("seed-" + std::to_string(i));
+    server.setup(entries);
+    tlog::EpochPublisher publisher(tlog_key, tlog_rng);
+    publisher.publish_epoch(server);
+    const std::uint64_t first_epoch = server.epoch();
+    server.add_entries(std::vector<std::string>{"seed-extra-1", "seed-extra-2"});
+    server.remove_entries(std::vector<std::string>{"seed-3"});
+    publisher.publish_epoch(server);
+
+    const tlog::Checkpoint cp = publisher.latest_checkpoint();
+    write("fuzz_tlog_checkpoint", "checkpoint", cp.to_bytes());
+    Bytes cp_bad_version = cp.to_bytes();
+    cp_bad_version[0] = 0x7f;
+    write("fuzz_tlog_checkpoint", "checkpoint-bad-version", cp_bad_version);
+    write("fuzz_tlog_checkpoint", "checkpoint-truncated",
+          ByteView(cp.to_bytes()).first(tlog::Checkpoint::kWireSize / 2));
+
+    const auto path =
+        publisher.audit_path(publisher.current_buckets().begin()->first);
+    write("fuzz_tlog_checkpoint", "audit-path",
+          tlog::encode_audit_path(*path));
+    write("fuzz_tlog_checkpoint", "inclusion",
+          tlog::encode_inclusion_proof(path->log_proof));
+    const auto consistency = publisher.consistency(1);
+    write("fuzz_tlog_checkpoint", "consistency",
+          tlog::encode_consistency_proof(consistency));
+    // Hostile step count: claims 65 steps (over the depth cap).
+    write("fuzz_tlog_checkpoint", "inclusion-overcount",
+          Bytes{0, 0, 0, 0, 0, 0, 0, 0,  1, 0, 0, 0, 0, 0, 0, 0,
+                65, 0, 0, 0});
+    write("fuzz_tlog_checkpoint", "empty", Bytes{});
+
+    // ------------------------------------------------------------ tlog_delta
+    const auto delta = publisher.delta_from(first_epoch);
+    write("fuzz_tlog_delta", "delta", delta->to_bytes());
+    Bytes delta_flipped = delta->to_bytes();
+    delta_flipped[delta_flipped.size() / 2] ^= 0x20;
+    write("fuzz_tlog_delta", "delta-flipped", delta_flipped);
+    write("fuzz_tlog_delta", "delta-truncated",
+          ByteView(delta->to_bytes()).first(delta->to_bytes().size() / 3));
+    write("fuzz_tlog_delta", "bucket-map",
+          tlog::encode_bucket_map(publisher.current_buckets()));
+    write("fuzz_tlog_delta", "bucket-map-empty",
+          tlog::encode_bucket_map(tlog::BucketMap{}));
+    // Unsorted prefix order: two buckets with descending prefixes.
+    {
+      ec::WireWriter w;
+      const auto entry = rand_point(tlog_rng).encode();
+      w.u32(2);
+      w.u32(9).u32(1).raw(ByteView(entry.data(), entry.size()));
+      w.u32(7).u32(1).raw(ByteView(entry.data(), entry.size()));
+      write("fuzz_tlog_delta", "bucket-map-unsorted", w.take());
+    }
+    write("fuzz_tlog_delta", "empty", Bytes{});
+  }
 
   // ------------------------------------------------------------- roundtrip
   // Inputs are DRBG seeds for the structure builder; content is arbitrary.

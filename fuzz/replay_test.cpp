@@ -20,6 +20,8 @@ int cbl_fuzz_blocklist_io(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_address(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_ristretto_diff(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_roundtrip(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_tlog_checkpoint(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_tlog_delta(const std::uint8_t* data, std::size_t size);
 }
 
 namespace {
@@ -77,6 +79,14 @@ TEST(FuzzCorpusReplay, RistrettoDiff) {
 
 TEST(FuzzCorpusReplay, Roundtrip) {
   EXPECT_GT(replay("fuzz_roundtrip", cbl_fuzz_roundtrip), 0u);
+}
+
+TEST(FuzzCorpusReplay, TlogCheckpoint) {
+  EXPECT_GT(replay("fuzz_tlog_checkpoint", cbl_fuzz_tlog_checkpoint), 0u);
+}
+
+TEST(FuzzCorpusReplay, TlogDelta) {
+  EXPECT_GT(replay("fuzz_tlog_delta", cbl_fuzz_tlog_delta), 0u);
 }
 
 }  // namespace

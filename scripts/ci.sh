@@ -22,10 +22,13 @@
 #                  over thousands of queries. CBL_CHAOS_SEED (default
 #                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
 #                  any failure replays bit-exactly
-#   9. perf-smoke  Release build of bench_throughput, run with
-#                  --json --quick; the emitted BENCH_throughput.json must
-#                  parse and the batched-encode kernel must not regress
-#                  below the scalar path (speedup >= 1 at batch >= 64)
+#   9. perf-smoke  Release build of bench_throughput and bench_tlog, run
+#                  with --json --quick; the emitted BENCH_*.json must
+#                  parse, the batched-encode kernel must not regress
+#                  below the scalar path (speedup >= 1 at batch >= 64),
+#                  and a signed epoch delta must cost fewer wire bytes
+#                  than the full bucket download it replaces at >= 2
+#                  changed entries per 1k
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
@@ -195,6 +198,43 @@ assert all(r["value"] > 0 for r in qps), "pipeline served zero queries"
 
 print(f"perf-smoke OK: batch_encode {encode['batch=64']:.2f}x @64, "
       f"{encode['batch=256']:.2f}x @256, {len(qps)} QPS points")
+EOF
+  tlog_json="${perf_dir}/BENCH_tlog.json"
+  echo "=== [perf-smoke] build bench_tlog ==="
+  cmake --build "${perf_dir}" -j "${jobs}" --target bench_tlog
+  echo "=== [perf-smoke] run bench_tlog (--quick) ==="
+  "${perf_dir}/bench/bench_tlog" --quick --json "${tlog_json}"
+  echo "=== [perf-smoke] sanity-check ${tlog_json} ==="
+  python3 - "${tlog_json}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+results = data["results"]
+assert results, "empty results"
+
+# The whole point of the delta path: a signed one-step delta must be
+# cheaper on the wire than the full bucket download it replaces, already
+# at the lowest churn level (2 changed entries per 1k).
+deltas = {r["params"]: r for r in results if r["name"] == "sync/delta_bytes"}
+assert deltas, "no sync/delta_bytes records"
+low = [r for p, r in deltas.items() if "churn=2per1k" in p]
+assert low, "missing churn=2per1k record"
+for r in low:
+    assert r["value"] > 1.0, (
+        f"delta sync regressed: delta={r['bytes_per_query']:.0f}B is not "
+        f"smaller than the full download ({r['params']})")
+
+full = [r for r in results if r["name"] == "sync/full_bytes"]
+assert full and all(r["bytes_per_query"] > 0 for r in full), \
+    "no/empty sync/full_bytes record"
+verify = [r for r in results if r["name"].startswith("verify/")]
+assert verify and all(r["ns_per_op"] > 0 for r in verify), \
+    "missing verify timings"
+
+ratios = ", ".join(f"{r['params'].split(',')[1]}={r['value']:.1f}x"
+                   for r in deltas.values())
+print(f"perf-smoke OK: tlog delta vs full download: {ratios}")
 EOF
 fi
 

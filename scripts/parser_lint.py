@@ -44,7 +44,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist"}
+WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist", "tlog"}
 SOURCE_GLOBS = ("*.h", "*.cpp")
 
 UNTRUSTED_ANNOT = re.compile(r"//\s*wire:untrusted\b(?:\s+fuzz=(\S+))?")

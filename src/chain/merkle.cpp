@@ -4,6 +4,18 @@
 
 namespace cbl::chain {
 
+namespace {
+
+/// Largest power of two strictly below n (RFC 6962's split point);
+/// requires n >= 2.
+std::size_t split_point(std::size_t n) {
+  std::size_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
 MerkleTree::Digest MerkleTree::hash_leaf(ByteView payload) {
   hash::Sha256 h;
   h.update("cbl/merkle/leaf").update(payload);
@@ -19,47 +31,39 @@ MerkleTree::Digest MerkleTree::hash_node(const Digest& left,
   return h.finalize();
 }
 
-MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
-    : leaf_count_(leaves.size()) {
-  if (leaves.empty()) return;
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  leaf_hashes_.reserve(leaves.size());
+  for (const auto& leaf : leaves) leaf_hashes_.push_back(hash_leaf(leaf));
+  if (!leaf_hashes_.empty()) root_ = subtree_root(0, leaf_hashes_.size());
+}
 
-  std::vector<Digest> level;
-  level.reserve(leaves.size());
-  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
-  levels_.push_back(level);
-
-  while (levels_.back().size() > 1) {
-    const auto& prev = levels_.back();
-    std::vector<Digest> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i < prev.size(); i += 2) {
-      // Odd tail is paired with itself (Bitcoin-style duplication is a
-      // known pitfall; with domain separation and fixed indices it is
-      // safe for inclusion proofs).
-      const Digest& right = i + 1 < prev.size() ? prev[i + 1] : prev[i];
-      next.push_back(hash_node(prev[i], right));
-    }
-    levels_.push_back(std::move(next));
-  }
-  root_ = levels_.back()[0];
+MerkleTree::Digest MerkleTree::subtree_root(std::size_t lo,
+                                            std::size_t hi) const {
+  if (hi - lo == 1) return leaf_hashes_[lo];
+  const std::size_t k = split_point(hi - lo);
+  return hash_node(subtree_root(lo, lo + k), subtree_root(lo + k, hi));
 }
 
 MerkleTree::Proof MerkleTree::prove(std::size_t index) const {
-  if (index >= leaf_count_) {
+  if (index >= leaf_count()) {
     throw std::out_of_range("MerkleTree::prove: index out of range");
   }
   Proof proof;
-  std::size_t i = index;
-  for (std::size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
-    const auto& level = levels_[depth];
-    const std::size_t sibling = i ^ 1;
-    ProofStep step;
-    step.sibling = sibling < level.size() ? level[sibling] : level[i];
-    step.sibling_on_right = (i & 1) == 0;
-    proof.push_back(step);
-    i >>= 1;
-  }
+  subtree_prove(index, 0, leaf_count(), proof);
   return proof;
+}
+
+void MerkleTree::subtree_prove(std::size_t index, std::size_t lo,
+                               std::size_t hi, Proof& out) const {
+  if (hi - lo == 1) return;
+  const std::size_t k = split_point(hi - lo);
+  if (index < lo + k) {
+    subtree_prove(index, lo, lo + k, out);
+    out.push_back(ProofStep{subtree_root(lo + k, hi), true});
+  } else {
+    subtree_prove(index, lo + k, hi, out);
+    out.push_back(ProofStep{subtree_root(lo, lo + k), false});
+  }
 }
 
 bool MerkleTree::verify(const Digest& root, ByteView leaf_payload,
@@ -70,6 +74,121 @@ bool MerkleTree::verify(const Digest& root, ByteView leaf_payload,
                                 : hash_node(step.sibling, acc);
   }
   return acc == root;
+}
+
+bool MerkleTree::verify(const Digest& root, std::size_t index,
+                        std::size_t leaf_count, ByteView leaf_payload,
+                        const Proof& proof) {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  // RFC 6962-bis inclusion check: walk the index/size pair up the tree,
+  // deriving at each level whether the path node is a left or right
+  // child. The proof's own flags must agree — a disagreement means the
+  // proof was generated for a different slot.
+  std::size_t fn = index;
+  std::size_t sn = leaf_count - 1;
+  Digest acc = hash_leaf(leaf_payload);
+  for (const auto& step : proof) {
+    if (sn == 0) return false;  // proof longer than the actual path
+    const bool sibling_left = (fn & 1) != 0 || fn == sn;
+    if (step.sibling_on_right == sibling_left) return false;
+    if (sibling_left) {
+      acc = hash_node(step.sibling, acc);
+      if ((fn & 1) == 0) {
+        // Right edge of the tree: the path skips the levels where this
+        // node has no sibling.
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      acc = hash_node(acc, step.sibling);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && acc == root;
+}
+
+MerkleTree::ConsistencyProof MerkleTree::prove_consistency(
+    std::size_t old_size) const {
+  if (old_size > leaf_count()) {
+    throw std::out_of_range(
+        "MerkleTree::prove_consistency: old_size exceeds leaf count");
+  }
+  ConsistencyProof proof;
+  if (old_size == 0 || old_size == leaf_count()) return proof;  // trivial
+  subtree_consistency(old_size, 0, leaf_count(), true, proof);
+  return proof;
+}
+
+void MerkleTree::subtree_consistency(std::size_t m, std::size_t lo,
+                                     std::size_t hi, bool complete,
+                                     ConsistencyProof& out) const {
+  const std::size_t n = hi - lo;
+  if (m == n) {
+    // The old tree is exactly this subtree; its root is implied when the
+    // verifier already holds it (complete), a proof node otherwise.
+    if (!complete) out.push_back(subtree_root(lo, hi));
+    return;
+  }
+  const std::size_t k = split_point(n);
+  if (m <= k) {
+    subtree_consistency(m, lo, lo + k, complete, out);
+    out.push_back(subtree_root(lo + k, hi));
+  } else {
+    subtree_consistency(m - k, lo + k, hi, false, out);
+    out.push_back(subtree_root(lo, lo + k));
+  }
+}
+
+bool MerkleTree::verify_consistency(const Digest& old_root,
+                                    std::size_t old_size,
+                                    const Digest& new_root,
+                                    std::size_t new_size,
+                                    const ConsistencyProof& proof) {
+  if (old_size > new_size) return false;
+  if (old_size == new_size) return proof.empty() && old_root == new_root;
+  if (old_size == 0) return proof.empty();  // empty tree extends to anything
+  // RFC 6962 consistency check: reconstruct both the old root (fr) and
+  // the new root (sr) from the proof nodes in one walk.
+  std::size_t fn = old_size - 1;
+  std::size_t sn = new_size - 1;
+  while ((fn & 1) != 0) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  std::size_t next = 0;
+  Digest fr;
+  Digest sr;
+  if (fn != 0) {
+    if (proof.empty()) return false;
+    fr = sr = proof[0];
+    next = 1;
+  } else {
+    // old_size is a power of two: the old root is itself a node of the
+    // new tree, so it seeds the fold directly.
+    fr = sr = old_root;
+  }
+  for (; next < proof.size(); ++next) {
+    const Digest& node = proof[next];
+    if (sn == 0) return false;
+    if ((fn & 1) != 0 || fn == sn) {
+      fr = hash_node(node, fr);
+      sr = hash_node(node, sr);
+      if ((fn & 1) == 0) {
+        while (fn != 0 && (fn & 1) == 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      sr = hash_node(sr, node);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && fr == old_root && sr == new_root;
 }
 
 }  // namespace cbl::chain

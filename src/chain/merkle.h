@@ -1,9 +1,16 @@
 // Binary Merkle tree over SHA-256 with domain-separated leaf/node
-// hashing (second-preimage hardened). The blockchain commits each sealed
-// block to the Merkle root of its transaction receipts, so a light
-// client can verify that a given transaction executed without replaying
-// the chain — the "publicly verifiable" integrity anchor of the threat
-// model.
+// hashing (second-preimage hardened) and RFC-6962 tree shape: an
+// unbalanced tree splits at the largest power of two below the leaf
+// count, so every prefix of the leaf sequence is a subtree and
+// append-only growth is provable with succinct consistency proofs.
+//
+// Two consumers ride on this one structure:
+//   * the blockchain commits each sealed block to the Merkle root of its
+//     transaction receipts, so a light client can verify that a given
+//     transaction executed without replaying the chain;
+//   * the transparency log (src/tlog) commits each epoch's bucket set,
+//     so a blocklist client can verify inclusion of its prefix buckets
+//     and append-only consistency between epochs.
 #pragma once
 
 #include <cstdint>
@@ -22,28 +29,61 @@ class MerkleTree {
     bool sibling_on_right;
   };
   using Proof = std::vector<ProofStep>;
+  /// RFC-6962 consistency proof: bare subtree hashes, leaf-to-root order.
+  using ConsistencyProof = std::vector<Digest>;
 
   /// Builds the tree over the given leaf payloads (hashed internally).
   /// An empty leaf set has the all-zero root.
   explicit MerkleTree(const std::vector<Bytes>& leaves);
 
   const Digest& root() const { return root_; }
-  std::size_t leaf_count() const { return leaf_count_; }
+  std::size_t leaf_count() const { return leaf_hashes_.size(); }
 
   /// Inclusion proof for leaf `index`; throws std::out_of_range.
   Proof prove(std::size_t index) const;
 
-  /// Verifies that `leaf_payload` is the index-th leaf under `root`.
+  /// Verifies that `leaf_payload` is a leaf under `root` along the path
+  /// described by the proof's direction flags. Cannot pin WHICH leaf
+  /// slot the payload occupies — use the index-bound overload when the
+  /// position matters (e.g. the transparency log).
   static bool verify(const Digest& root, ByteView leaf_payload,
                      const Proof& proof);
+
+  /// Index-bound verification: the fold directions are derived from
+  /// (index, leaf_count), not trusted from the proof, so a proof for
+  /// leaf i can never be replayed to place the payload at a same-path
+  /// index j, and proofs of the wrong length are rejected.
+  static bool verify(const Digest& root, std::size_t index,
+                     std::size_t leaf_count, ByteView leaf_payload,
+                     const Proof& proof);
+
+  /// RFC-6962 consistency proof that this tree is an append-only
+  /// extension of its own first `old_size` leaves; throws
+  /// std::out_of_range when old_size exceeds the leaf count.
+  ConsistencyProof prove_consistency(std::size_t old_size) const;
+
+  /// Verifies that the tree of `new_size` leaves under `new_root` is an
+  /// append-only extension of the tree of `old_size` leaves under
+  /// `old_root`. The empty tree (old_size 0) is consistent with
+  /// anything; equal sizes require equal roots and an empty proof.
+  static bool verify_consistency(const Digest& old_root,
+                                 std::size_t old_size,
+                                 const Digest& new_root,
+                                 std::size_t new_size,
+                                 const ConsistencyProof& proof);
 
   static Digest hash_leaf(ByteView payload);
   static Digest hash_node(const Digest& left, const Digest& right);
 
  private:
-  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+  Digest subtree_root(std::size_t lo, std::size_t hi) const;
+  void subtree_prove(std::size_t index, std::size_t lo, std::size_t hi,
+                     Proof& out) const;
+  void subtree_consistency(std::size_t m, std::size_t lo, std::size_t hi,
+                           bool complete, ConsistencyProof& out) const;
+
+  std::vector<Digest> leaf_hashes_;
   Digest root_{};
-  std::size_t leaf_count_ = 0;
 };
 
 }  // namespace cbl::chain

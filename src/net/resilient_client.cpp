@@ -104,7 +104,7 @@ ResilientClient::ResilientClient(Channel& channel,
   for (auto& endpoint : endpoints) {
     providers_.push_back(Provider{
         endpoint, std::nullopt, CircuitBreaker(endpoint, config_.breaker),
-        false});
+        false, std::nullopt, false});
   }
   auto& registry = obs::MetricsRegistry::global();
   const auto answer_counter = [&](const char* freshness) {
@@ -134,6 +134,10 @@ ResilientClient::ResilientClient(Channel& channel,
   metrics_.backoff_ms_total = &registry.counter(
       "cbl_net_resilient_backoff_ms_total", {},
       "Virtual milliseconds spent sleeping in backoff");
+  metrics_.distrusted = &registry.counter(
+      "cbl_tlog_providers_distrusted_total", {},
+      "Providers permanently distrusted after a transparency audit "
+      "failure");
   sync();
 }
 
@@ -160,9 +164,53 @@ void ResilientClient::set_api_key(std::string key) {
 std::size_t ResilientClient::sync() {
   std::size_t connected = 0;
   for (auto& provider : providers_) {
-    if (ensure_connected(provider)) ++connected;
+    if (provider.distrusted) continue;  // never talk to a condemned peer
+    if (ensure_connected(provider)) {
+      ++connected;
+      tlog_sync(provider);
+    }
   }
   return connected;
+}
+
+void ResilientClient::pin_tlog_key(const std::string& endpoint,
+                                   const ec::RistrettoPoint& provider_pk) {
+  for (auto& provider : providers_) {
+    if (provider.endpoint == endpoint) {
+      provider.auditor.emplace(provider_pk, endpoint);
+      return;
+    }
+  }
+}
+
+const tlog::Auditor* ResilientClient::tlog_auditor(
+    const std::string& endpoint) const {
+  for (const auto& provider : providers_) {
+    if (provider.endpoint == endpoint && provider.auditor) {
+      return &*provider.auditor;
+    }
+  }
+  return nullptr;
+}
+
+bool ResilientClient::distrusted(const std::string& endpoint) const {
+  for (const auto& provider : providers_) {
+    if (provider.endpoint == endpoint) return provider.distrusted;
+  }
+  return false;
+}
+
+void ResilientClient::tlog_sync(Provider& provider) {
+  if (!provider.auditor || !provider.client) return;
+  const auto report = provider.client->verified_sync(*provider.auditor);
+  if (report.failure ==
+      RemoteBlocklistClient::SyncReport::Failure::kAudit) {
+    // Audit evidence is about the provider, not the channel: condemn it
+    // for good. Transport failures just leave the mirror stale until a
+    // later sync() succeeds.
+    provider.distrusted = true;
+    metrics_.distrusted->inc();
+  }
 }
 
 std::size_t ResilientClient::connected_providers() const {
@@ -287,6 +335,7 @@ ResilientClient::Outcome ResilientClient::query(std::string_view address) {
     std::size_t primary_index = 0;
     for (std::size_t i = 0; i < providers_.size(); ++i) {
       const std::size_t index = (next_primary_ + i) % providers_.size();
+      if (providers_[index].distrusted) continue;  // failed its audit
       if (providers_[index].breaker.allow(now_ms())) {
         primary = &providers_[index];
         primary_index = index;
@@ -311,6 +360,7 @@ ResilientClient::Outcome ResilientClient::query(std::string_view address) {
     if (should_hedge) {
       for (std::size_t i = 1; i < providers_.size(); ++i) {
         const std::size_t index = (primary_index + i) % providers_.size();
+        if (providers_[index].distrusted) continue;
         if (providers_[index].breaker.allow(now_ms())) {
           secondary = &providers_[index];
           break;
@@ -390,6 +440,7 @@ ResilientClient::Outcome ResilientClient::degrade(std::string_view address,
   // (and leaks nothing new — the prefix list is public anyway). A prefix
   // hit decides nothing, so it cannot be answered here.
   for (const auto& provider : providers_) {
+    if (provider.distrusted) continue;  // its prefix list may be a lie
     if (provider.client && provider.client->has_prefix_list() &&
         !provider.client->may_be_listed(address)) {
       out.verdict = Outcome::Verdict::kNotListed;

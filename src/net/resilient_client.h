@@ -37,6 +37,7 @@
 
 #include "net/service_node.h"
 #include "obs/clock.h"
+#include "tlog/auditor.h"
 
 namespace cbl::net {
 
@@ -144,6 +145,22 @@ class ResilientClient {
   /// API key forwarded to every provider client (current and future).
   void set_api_key(std::string key);
 
+  /// Pins `provider_pk` as `endpoint`'s transparency signing key. From
+  /// then on every sync() runs a verified delta sync (checkpoint,
+  /// consistency, signed deltas, audit path) against that key, and any
+  /// AUDIT failure — bad signature, log inconsistency, equivocation,
+  /// root mismatch — permanently distrusts the endpoint: it is skipped
+  /// for queries and prefix-only answers, and the degradation ladder
+  /// serves what remains. Transport damage never distrusts.
+  void pin_tlog_key(const std::string& endpoint,
+                    const ec::RistrettoPoint& provider_pk);
+
+  /// The pinned endpoint's auditor (mirror state, trust flag), or
+  /// nullptr when no key is pinned.
+  const tlog::Auditor* tlog_auditor(const std::string& endpoint) const;
+  /// True once an audit failure has condemned the endpoint.
+  bool distrusted(const std::string& endpoint) const;
+
   CircuitBreaker::State breaker_state(const std::string& endpoint) const;
   std::size_t connected_providers() const;
   std::size_t cached_responses() const { return cache_.size(); }
@@ -155,6 +172,8 @@ class ResilientClient {
     std::optional<RemoteBlocklistClient> client;
     CircuitBreaker breaker;
     bool prefix_synced = false;
+    std::optional<tlog::Auditor> auditor;  // present once a key is pinned
+    bool distrusted = false;               // latched by audit failures
   };
   struct CachedVerdict {
     bool listed = false;
@@ -166,6 +185,9 @@ class ResilientClient {
   };
 
   bool ensure_connected(Provider& provider);
+  /// Runs the verified transparency sync for a pinned provider; latches
+  /// `distrusted` on audit failure.
+  void tlog_sync(Provider& provider);
   AttemptResult attempt(Provider& provider, std::string_view address);
   void sleep_ms(double ms);
   void remember(std::string_view address, bool listed);
@@ -193,6 +215,7 @@ class ResilientClient {
     obs::Counter* timeouts;
     obs::Counter* rate_limited;
     obs::Counter* backoff_ms_total;
+    obs::Counter* distrusted;
   };
   Metrics metrics_;
 };

@@ -6,6 +6,8 @@
 #include "ec/codec.h"
 #include "hash/blake2b.h"
 #include "net/query_pipeline.h"
+#include "tlog/auditor.h"
+#include "tlog/publisher.h"
 
 namespace cbl::net {
 
@@ -72,9 +74,22 @@ std::optional<RequestFrame> parse_request_frame(ByteView frame) {
       break;
     case static_cast<std::uint8_t>(Method::kPrefixList):
     case static_cast<std::uint8_t>(Method::kInfo):
+    case static_cast<std::uint8_t>(Method::kTlogCheckpoint):
+    case static_cast<std::uint8_t>(Method::kTlogBuckets):
       // Bodyless methods: trailing bytes after the tag are malformation,
       // not padding (regression: PrefixListRejectsTrailingBody).
       parsed.method = static_cast<Method>(tag);
+      break;
+    case static_cast<std::uint8_t>(Method::kTlogDelta):
+    case static_cast<std::uint8_t>(Method::kTlogConsistency):
+      // Exactly one u64 argument (from_epoch / old_size).
+      parsed.method = static_cast<Method>(tag);
+      parsed.body = r.view(8);
+      break;
+    case static_cast<std::uint8_t>(Method::kTlogAuditPath):
+      // Exactly one u32 argument (the prefix).
+      parsed.method = static_cast<Method>(tag);
+      parsed.body = r.view(4);
       break;
     default:
       r.fail();
@@ -111,13 +126,15 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
                                            oprf::OprfServer& server,
                                            oprf::Oracle oracle,
                                            NodeLimits limits,
-                                           QueryPipeline* pipeline)
+                                           QueryPipeline* pipeline,
+                                           tlog::EpochPublisher* publisher)
     : transport_(&transport),
       endpoint_(std::move(endpoint)),
       server_(server),
       oracle_(oracle),
       limits_(limits),
-      pipeline_(pipeline) {
+      pipeline_(pipeline),
+      publisher_(publisher) {
   auto& registry = obs::MetricsRegistry::global();
   const auto request_counter = [&](const char* method) {
     return &registry.counter("cbl_net_requests_total", {{"method", method}},
@@ -130,6 +147,7 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
   requests_query_ = request_counter("query");
   requests_prefix_list_ = request_counter("prefix_list");
   requests_info_ = request_counter("info");
+  requests_tlog_ = request_counter("tlog");
   requests_unknown_ = request_counter("unknown");
   responses_ok_ = response_counter("ok");
   responses_bad_request_ = response_counter("bad_request");
@@ -153,6 +171,12 @@ obs::Counter& BlocklistServiceNode::method_counter(Method method) {
       return *requests_prefix_list_;
     case Method::kInfo:
       return *requests_info_;
+    case Method::kTlogCheckpoint:
+    case Method::kTlogDelta:
+    case Method::kTlogAuditPath:
+    case Method::kTlogConsistency:
+    case Method::kTlogBuckets:
+      return *requests_tlog_;
   }
   return *requests_unknown_;
 }
@@ -257,8 +281,62 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
       const Bytes encoded = encode_info(info);
       return respond(Status::kOk, encoded);
     }
+    case Method::kTlogCheckpoint:
+    case Method::kTlogDelta:
+    case Method::kTlogAuditPath:
+    case Method::kTlogConsistency:
+    case Method::kTlogBuckets:
+      return handle_tlog(parsed->method, parsed->body);
   }
   return respond(Status::kBadRequest);
+}
+
+Bytes BlocklistServiceNode::handle_tlog(Method method, ByteView body) {
+  const auto respond = [this](Status status, ByteView resp_body = {}) {
+    status_counter(status).inc();
+    return encode_response_frame(status, resp_body);
+  };
+  if (publisher_ == nullptr) return respond(Status::kBadRequest);
+  switch (method) {
+    case Method::kTlogCheckpoint: {
+      // Publish-on-demand (idempotent): the served checkpoint always
+      // covers the server's current epoch.
+      const auto& checkpoint = publisher_->publish_epoch(server_);
+      return respond(Status::kOk, checkpoint.to_bytes());
+    }
+    case Method::kTlogDelta: {
+      ec::WireReader r(body);
+      const std::uint64_t from_epoch = r.u64();
+      if (!r.finish()) return respond(Status::kBadRequest);
+      const auto delta = publisher_->delta_from(from_epoch);
+      if (!delta) return respond(Status::kBadRequest);
+      return respond(Status::kOk, delta->to_bytes());
+    }
+    case Method::kTlogAuditPath: {
+      ec::WireReader r(body);
+      const std::uint32_t prefix = r.u32();
+      if (!r.finish()) return respond(Status::kBadRequest);
+      const auto path = publisher_->audit_path(prefix);
+      if (!path) return respond(Status::kBadRequest);
+      return respond(Status::kOk, tlog::encode_audit_path(*path));
+    }
+    case Method::kTlogConsistency: {
+      ec::WireReader r(body);
+      const std::uint64_t old_size = r.u64();
+      if (!r.finish() || old_size > publisher_->log().size()) {
+        return respond(Status::kBadRequest);
+      }
+      return respond(Status::kOk, tlog::encode_consistency_proof(
+                                      publisher_->consistency(old_size)));
+    }
+    case Method::kTlogBuckets: {
+      if (!publisher_->published()) return respond(Status::kBadRequest);
+      return respond(Status::kOk,
+                     tlog::encode_bucket_map(publisher_->current_buckets()));
+    }
+    default:
+      return respond(Status::kBadRequest);
+  }
 }
 
 RemoteBlocklistClient::RemoteBlocklistClient(Channel& channel,
@@ -275,6 +353,21 @@ RemoteBlocklistClient::RemoteBlocklistClient(Channel& channel,
   outcomes_unreachable_ = outcome_counter("unreachable");
   outcomes_malformed_ = outcome_counter("malformed");
   outcomes_rate_limited_ = outcome_counter("rate_limited");
+  const auto sync_counter = [&](const char* result) {
+    return &registry.counter("cbl_tlog_sync_total",
+                             {{"endpoint", endpoint_}, {"result", result}},
+                             "Verified transparency syncs by result");
+  };
+  sync_ok_ = sync_counter("ok");
+  sync_transport_ = sync_counter("transport");
+  sync_audit_ = sync_counter("audit");
+  const auto sync_bytes_counter = [&](const char* kind) {
+    return &registry.counter("cbl_tlog_sync_bytes_total",
+                             {{"endpoint", endpoint_}, {"kind", kind}},
+                             "Verified-sync body bytes by transfer kind");
+  };
+  sync_bytes_delta_ = sync_bytes_counter("delta");
+  sync_bytes_full_ = sync_bytes_counter("full");
 
   const Bytes frame = {static_cast<std::uint8_t>(Method::kInfo)};
   unsigned attempts = 0;
@@ -312,6 +405,145 @@ CallResult RemoteBlocklistClient::call_with_retry(ByteView frame,
     if (result.delivered) return result;
   }
   return result;
+}
+
+std::optional<Bytes> RemoteBlocklistClient::call_tlog(Method method,
+                                                      ByteView body,
+                                                      bool* transport_failed) {
+  *transport_failed = false;
+  Bytes frame = {static_cast<std::uint8_t>(method)};
+  append(frame, body);
+  unsigned attempts = 0;
+  const auto result = call_with_retry(frame, &attempts);
+  if (!result.delivered) {
+    *transport_failed = true;
+    return std::nullopt;
+  }
+  const auto response = parse_response_frame(result.response);
+  if (!response || response->status != Status::kOk) {
+    // A failed integrity checksum is channel damage; a non-kOk status is
+    // a service that is not publishing (or a stale argument). Neither is
+    // evidence of provider dishonesty.
+    *transport_failed = true;
+    return std::nullopt;
+  }
+  return Bytes(response->body.begin(), response->body.end());
+}
+
+RemoteBlocklistClient::SyncReport RemoteBlocklistClient::verified_sync(
+    tlog::Auditor& auditor) {
+  SyncReport report;
+  const auto finish = [&](SyncReport::Failure failure) {
+    report.failure = failure;
+    report.ok = failure == SyncReport::Failure::kNone;
+    report.epoch = auditor.has_state() ? auditor.mirror_epoch() : 0;
+    switch (failure) {
+      case SyncReport::Failure::kNone: sync_ok_->inc(); break;
+      case SyncReport::Failure::kTransport: sync_transport_->inc(); break;
+      case SyncReport::Failure::kAudit: sync_audit_->inc(); break;
+    }
+    sync_bytes_delta_->inc(report.delta_bytes);
+    sync_bytes_full_->inc(report.full_bytes);
+    return report;
+  };
+  if (!auditor.trusted()) return finish(SyncReport::Failure::kAudit);
+
+  // 1. Latest signed checkpoint.
+  bool transport_failed = false;
+  const auto cp_body = call_tlog(Method::kTlogCheckpoint, {}, &transport_failed);
+  if (!cp_body) {
+    return finish(transport_failed ? SyncReport::Failure::kTransport
+                                   : SyncReport::Failure::kAudit);
+  }
+  const auto checkpoint = tlog::Checkpoint::from_bytes(*cp_body);
+  if (!checkpoint) return finish(SyncReport::Failure::kAudit);
+
+  // 2. Append-only consistency when the log grew since our last accepted
+  // checkpoint.
+  std::optional<tlog::ConsistencyProofMsg> consistency;
+  const auto& previous = auditor.latest_checkpoint();
+  if (previous && checkpoint->tree_size > previous->tree_size) {
+    ec::WireWriter w;
+    w.u64(previous->tree_size);
+    const auto proof_body =
+        call_tlog(Method::kTlogConsistency, w.take(), &transport_failed);
+    if (!proof_body) {
+      return finish(transport_failed ? SyncReport::Failure::kTransport
+                                     : SyncReport::Failure::kAudit);
+    }
+    const auto parsed = tlog::parse_consistency_proof(*proof_body);
+    if (!parsed) return finish(SyncReport::Failure::kAudit);
+    consistency = *parsed;
+  }
+  if (auditor.observe_checkpoint(*checkpoint,
+                                 consistency ? &*consistency : nullptr) !=
+      tlog::Auditor::Status::kOk) {
+    return finish(SyncReport::Failure::kAudit);
+  }
+
+  // 3. Advance the mirror: fold signed one-step deltas while the service
+  // has the hop we need; fall back to a full verified download on first
+  // contact or when a hop is gone (e.g. the provider pruned old deltas).
+  bool need_full = !auditor.has_state();
+  while (!need_full && auditor.mirror_epoch() < checkpoint->epoch) {
+    ec::WireWriter w;
+    w.u64(auditor.mirror_epoch());
+    const auto delta_body =
+        call_tlog(Method::kTlogDelta, w.take(), &transport_failed);
+    if (!delta_body) {
+      if (transport_failed) return finish(SyncReport::Failure::kTransport);
+      need_full = true;  // hop unavailable: recover via full download
+      break;
+    }
+    const auto delta = tlog::EpochDelta::from_bytes(*delta_body);
+    if (!delta) return finish(SyncReport::Failure::kAudit);
+    if (auditor.apply_delta(*delta) != tlog::Auditor::Status::kOk) {
+      return finish(SyncReport::Failure::kAudit);
+    }
+    report.delta_bytes += delta_body->size();
+    ++report.deltas_applied;
+  }
+  if (need_full) {
+    const auto buckets_body =
+        call_tlog(Method::kTlogBuckets, {}, &transport_failed);
+    if (!buckets_body) {
+      return finish(transport_failed ? SyncReport::Failure::kTransport
+                                     : SyncReport::Failure::kAudit);
+    }
+    auto snapshot = tlog::parse_bucket_map(*buckets_body);
+    if (!snapshot) return finish(SyncReport::Failure::kAudit);
+    if (auditor.adopt_snapshot(std::move(*snapshot)) !=
+        tlog::Auditor::Status::kOk) {
+      return finish(SyncReport::Failure::kAudit);
+    }
+    report.full_bytes += buckets_body->size();
+  }
+  if (auditor.mirror_epoch() != checkpoint->epoch) {
+    // Deltas stopped short of the checkpointed epoch.
+    return finish(SyncReport::Failure::kAudit);
+  }
+
+  // 4. Bind the mirror root to the signed checkpoint with one audit
+  // path. Any mirrored prefix works — the path pins the epoch record
+  // (and with it the full bucket root) under the checkpoint; an empty
+  // bucket set has nothing to bind and nothing to audit.
+  if (!auditor.buckets().empty()) {
+    ec::WireWriter w;
+    w.u32(auditor.buckets().begin()->first);
+    const auto path_body =
+        call_tlog(Method::kTlogAuditPath, w.take(), &transport_failed);
+    if (!path_body) {
+      return finish(transport_failed ? SyncReport::Failure::kTransport
+                                     : SyncReport::Failure::kAudit);
+    }
+    const auto path = tlog::parse_audit_path(*path_body);
+    if (!path) return finish(SyncReport::Failure::kAudit);
+    if (auditor.verify_audit_path(auditor.buckets().begin()->first, *path) !=
+        tlog::Auditor::Status::kOk) {
+      return finish(SyncReport::Failure::kAudit);
+    }
+  }
+  return finish(SyncReport::Failure::kNone);
 }
 
 bool RemoteBlocklistClient::sync_prefix_list() {

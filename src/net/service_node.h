@@ -19,12 +19,24 @@
 #include "oprf/server.h"
 #include "oprf/wire.h"
 
+namespace cbl::tlog {
+class Auditor;
+class EpochPublisher;
+}  // namespace cbl::tlog
+
 namespace cbl::net {
 
 enum class Method : std::uint8_t {
   kQuery = 1,
   kPrefixList = 2,
   kInfo = 3,
+  // Transparency-log endpoints (src/tlog); served only when the node was
+  // given an EpochPublisher, kBadRequest otherwise.
+  kTlogCheckpoint = 4,   // bodyless -> Checkpoint
+  kTlogDelta = 5,        // u64 from_epoch -> EpochDelta
+  kTlogAuditPath = 6,    // u32 prefix -> AuditPath
+  kTlogConsistency = 7,  // u64 old_size -> ConsistencyProofMsg
+  kTlogBuckets = 8,      // bodyless -> full bucket map
 };
 
 enum class Status : std::uint8_t {
@@ -104,10 +116,15 @@ class QueryPipeline;
 /// the pipeline. The pipeline must outlive the node.
 class BlocklistServiceNode {
  public:
+  /// With a publisher attached the node serves the kTlog* methods; a
+  /// checkpoint request first runs publish_epoch (idempotent), so the
+  /// served checkpoint always covers the server's current epoch. The
+  /// publisher must outlive the node.
   BlocklistServiceNode(Transport& transport, std::string endpoint,
                        oprf::OprfServer& server, oprf::Oracle oracle,
                        NodeLimits limits = NodeLimits(),
-                       QueryPipeline* pipeline = nullptr);
+                       QueryPipeline* pipeline = nullptr,
+                       tlog::EpochPublisher* publisher = nullptr);
   ~BlocklistServiceNode();
   BlocklistServiceNode(const BlocklistServiceNode&) = delete;
   BlocklistServiceNode& operator=(const BlocklistServiceNode&) = delete;
@@ -116,6 +133,8 @@ class BlocklistServiceNode {
 
  private:
   std::optional<Bytes> handle_frame(ByteView frame);
+  /// Serves one kTlog* request; returns the sealed response frame.
+  Bytes handle_tlog(Method method, ByteView body);
   obs::Counter& method_counter(Method method);
   obs::Counter& status_counter(Status status);
   /// Returns the shed retry-after hint in ms when the query must be
@@ -128,11 +147,13 @@ class BlocklistServiceNode {
   oprf::Oracle oracle_;
   NodeLimits limits_;
   QueryPipeline* pipeline_;  // optional batched serving path; not owned
+  tlog::EpochPublisher* publisher_;  // optional transparency log; not owned
   double busy_until_ms_ = 0.0;  // virtual-time end of the service queue
   // Per-method / per-status request accounting, resolved once.
   obs::Counter* requests_query_;
   obs::Counter* requests_prefix_list_;
   obs::Counter* requests_info_;
+  obs::Counter* requests_tlog_;
   obs::Counter* requests_unknown_;
   obs::Counter* responses_ok_;
   obs::Counter* responses_bad_request_;
@@ -174,6 +195,34 @@ class RemoteBlocklistClient {
   /// path). Returns false if the transfer failed after retries.
   bool sync_prefix_list();
 
+  /// Outcome of one verified_sync pass, with the failure classified for
+  /// the resilience layer: kTransport covers undelivered calls and
+  /// frames that failed the integrity checksum (channel damage — retry,
+  /// never distrust) plus non-kOk statuses (service not publishing);
+  /// kAudit covers everything a checksum-VALID response got wrong —
+  /// undecodable bodies, bad signatures, consistency/equivocation
+  /// failures, root mismatches. kAudit is evidence about the provider,
+  /// not the channel, and callers must stop trusting the endpoint.
+  struct SyncReport {
+    enum class Failure : std::uint8_t { kNone, kTransport, kAudit };
+    bool ok = false;
+    Failure failure = Failure::kNone;
+    std::uint64_t epoch = 0;       // mirror epoch after the sync
+    unsigned deltas_applied = 0;
+    std::size_t delta_bytes = 0;   // wire bytes spent on deltas
+    std::size_t full_bytes = 0;    // wire bytes spent on full downloads
+  };
+
+  /// Brings `auditor`'s bucket mirror up to the provider's latest signed
+  /// checkpoint: fetches the checkpoint (with a consistency proof when
+  /// the log grew), then either folds signed one-step deltas into the
+  /// mirror or — on first contact or when a delta hop is unavailable —
+  /// adopts a full bucket download, and finally binds the mirror root to
+  /// the checkpoint with an audit path. Every step goes through the
+  /// auditor; nothing is applied unverified. A distrusted auditor is
+  /// refused up front (failure kAudit).
+  SyncReport verified_sync(tlog::Auditor& auditor);
+
   const ServiceInfo& info() const { return info_; }
   void set_api_key(std::string key) { client_->set_api_key(std::move(key)); }
 
@@ -189,6 +238,11 @@ class RemoteBlocklistClient {
  private:
   QueryOutcome query_uncounted(std::string_view address);
   CallResult call_with_retry(ByteView frame, unsigned* attempts);
+  /// One tlog method call; returns the response BODY on kOk, nullopt on
+  /// transport failure or non-kOk status (`*transport_failed` says
+  /// which).
+  std::optional<Bytes> call_tlog(Method method, ByteView body,
+                                 bool* transport_failed);
 
   Channel& channel_;
   std::string endpoint_;
@@ -201,6 +255,12 @@ class RemoteBlocklistClient {
   obs::Counter* outcomes_unreachable_;
   obs::Counter* outcomes_malformed_;
   obs::Counter* outcomes_rate_limited_;
+  // Verified-sync accounting (cbl_tlog_sync_*), resolved once.
+  obs::Counter* sync_ok_;
+  obs::Counter* sync_transport_;
+  obs::Counter* sync_audit_;
+  obs::Counter* sync_bytes_delta_;
+  obs::Counter* sync_bytes_full_;
 };
 
 }  // namespace cbl::net

@@ -403,6 +403,16 @@ std::vector<std::uint32_t> OprfServer::prefix_list() const {
   return out;  // std::map iteration order is already sorted
 }
 
+std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>>
+OprfServer::bucket_snapshot() const {
+  std::shared_lock lock(data_mutex_);
+  std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>> out;
+  for (const auto& [prefix, bucket] : buckets_) {
+    out.emplace(prefix, bucket.blinded);
+  }
+  return out;
+}
+
 OprfServer::BucketStats OprfServer::stats() const {
   std::shared_lock lock(data_mutex_);
   BucketStats s;

@@ -99,6 +99,13 @@ class OprfServer {
   /// Sorted list of non-empty prefixes, for distribution to clients.
   std::vector<std::uint32_t> prefix_list() const;
 
+  /// Snapshot of every non-empty bucket's blinded entries (sorted within
+  /// each bucket), keyed by prefix. This is what the transparency-log
+  /// publisher commits to per epoch; the encodings are public data — the
+  /// same bytes any querying client receives in bucket responses.
+  std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>>
+  bucket_snapshot() const;
+
   std::uint64_t epoch() const { return epoch_; }
 
   /// Crash-recovery support: raises the epoch to at least `floor`. A

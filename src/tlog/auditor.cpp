@@ -1,0 +1,209 @@
+#include "tlog/auditor.h"
+
+#include <iterator>
+#include <utility>
+
+namespace cbl::tlog {
+
+std::string_view Auditor::to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadSignature: return "bad_signature";
+    case Status::kInconsistent: return "inconsistent";
+    case Status::kEquivocation: return "equivocation";
+    case Status::kBadDelta: return "bad_delta";
+    case Status::kBadProof: return "bad_proof";
+    case Status::kRootMismatch: return "root_mismatch";
+    case Status::kDistrusted: return "distrusted";
+  }
+  return "unknown";
+}
+
+Auditor::Auditor(ec::RistrettoPoint provider_pk, std::string endpoint)
+    : provider_pk_(std::move(provider_pk)) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto audit = [&](Status s) {
+    return &reg.counter(
+        "cbl_tlog_audit_total",
+        {{"endpoint", endpoint}, {"result", std::string(to_string(s))}},
+        "Transparency audit checks by outcome");
+  };
+  metrics_.audit_ok = audit(Status::kOk);
+  metrics_.audit_bad_signature = audit(Status::kBadSignature);
+  metrics_.audit_inconsistent = audit(Status::kInconsistent);
+  metrics_.audit_equivocation = audit(Status::kEquivocation);
+  metrics_.audit_bad_delta = audit(Status::kBadDelta);
+  metrics_.audit_bad_proof = audit(Status::kBadProof);
+  metrics_.audit_root_mismatch = audit(Status::kRootMismatch);
+  metrics_.audit_distrusted = audit(Status::kDistrusted);
+  metrics_.equivocations =
+      &reg.counter("cbl_tlog_equivocations_total", {{"endpoint", endpoint}},
+                   "Signed checkpoint pairs proving a split view");
+  metrics_.deltas_applied =
+      &reg.counter("cbl_tlog_deltas_applied_total", {{"endpoint", endpoint}},
+                   "Epoch deltas verified and folded into the mirror");
+  metrics_.deltas_rejected =
+      &reg.counter("cbl_tlog_deltas_rejected_total", {{"endpoint", endpoint}},
+                   "Epoch deltas rejected before folding");
+  metrics_.mirror_epoch =
+      &reg.gauge("cbl_tlog_mirror_epoch", {{"endpoint", endpoint}},
+                 "Epoch the local bucket mirror sits at");
+}
+
+obs::Counter* Auditor::audit_counter(Status status) const {
+  switch (status) {
+    case Status::kOk: return metrics_.audit_ok;
+    case Status::kBadSignature: return metrics_.audit_bad_signature;
+    case Status::kInconsistent: return metrics_.audit_inconsistent;
+    case Status::kEquivocation: return metrics_.audit_equivocation;
+    case Status::kBadDelta: return metrics_.audit_bad_delta;
+    case Status::kBadProof: return metrics_.audit_bad_proof;
+    case Status::kRootMismatch: return metrics_.audit_root_mismatch;
+    case Status::kDistrusted: return metrics_.audit_distrusted;
+  }
+  return metrics_.audit_ok;
+}
+
+Auditor::Status Auditor::fail(Status status) {
+  trusted_ = false;
+  audit_counter(status)->inc();
+  return status;
+}
+
+Auditor::Status Auditor::observe_checkpoint(
+    const Checkpoint& checkpoint, const ConsistencyProofMsg* consistency) {
+  if (!trusted_) return fail(Status::kDistrusted);
+  if (!verify_checkpoint(provider_pk_, checkpoint)) {
+    return fail(Status::kBadSignature);
+  }
+  // Equivocation scan BEFORE any other acceptance logic: two validly
+  // signed roots for one size condemn the provider regardless of
+  // whatever else the message claims.
+  const auto seen = seen_roots_.find(checkpoint.tree_size);
+  if (seen != seen_roots_.end() && seen->second != checkpoint.root) {
+    metrics_.equivocations->inc();
+    return fail(Status::kEquivocation);
+  }
+  seen_roots_.emplace(checkpoint.tree_size, checkpoint.root);
+  if (latest_) {
+    if (checkpoint.tree_size < latest_->tree_size) {
+      return fail(Status::kInconsistent);  // the log never shrinks
+    }
+    if (checkpoint.tree_size > latest_->tree_size) {
+      if (consistency == nullptr ||
+          consistency->old_size != latest_->tree_size ||
+          consistency->new_size != checkpoint.tree_size ||
+          !chain::MerkleTree::verify_consistency(
+              latest_->root, latest_->tree_size, checkpoint.root,
+              checkpoint.tree_size, consistency->nodes)) {
+        return fail(Status::kInconsistent);
+      }
+    }
+    // Equal sizes with equal roots need no proof.
+  }
+  latest_ = checkpoint;
+  metrics_.audit_ok->inc();
+  return Status::kOk;
+}
+
+Auditor::Status Auditor::adopt_snapshot(BucketMap snapshot) {
+  if (!trusted_) return fail(Status::kDistrusted);
+  if (!latest_) return fail(Status::kBadProof);
+  BucketTree tree(snapshot);
+  buckets_ = std::move(snapshot);
+  mirror_root_ = tree.root();
+  mirror_epoch_ = latest_->epoch;
+  metrics_.mirror_epoch->set(static_cast<double>(mirror_epoch_));
+  metrics_.audit_ok->inc();
+  return Status::kOk;
+}
+
+Auditor::Status Auditor::apply_delta(const EpochDelta& delta) {
+  if (!trusted_) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kDistrusted);
+  }
+  if (!has_state()) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kBadDelta);
+  }
+  if (!verify_delta(provider_pk_, delta)) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kBadSignature);
+  }
+  if (delta.from_epoch != mirror_epoch_) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kBadDelta);
+  }
+  if (delta.base_bucket_root != *mirror_root_) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kRootMismatch);
+  }
+  BucketMap folded = buckets_;
+  if (!fold_delta(folded, delta)) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kBadDelta);
+  }
+  const Digest post_root = BucketTree(folded).root();
+  if (post_root != delta.post_bucket_root) {
+    metrics_.deltas_rejected->inc();
+    return fail(Status::kRootMismatch);
+  }
+  buckets_ = std::move(folded);
+  mirror_root_ = post_root;
+  mirror_epoch_ = delta.to_epoch;
+  metrics_.mirror_epoch->set(static_cast<double>(mirror_epoch_));
+  metrics_.deltas_applied->inc();
+  metrics_.audit_ok->inc();
+  return Status::kOk;
+}
+
+Auditor::Status Auditor::verify_audit_path(std::uint32_t prefix,
+                                           const AuditPath& path) {
+  if (!trusted_) return fail(Status::kDistrusted);
+  if (!latest_ || !has_state()) return fail(Status::kBadProof);
+  if (path.epoch != mirror_epoch_ || path.epoch != latest_->epoch) {
+    return fail(Status::kBadProof);
+  }
+  // The served record must carry the bucket root the mirror computed —
+  // otherwise the provider's committed state differs from what it sent.
+  if (path.bucket_root != *mirror_root_) {
+    return fail(Status::kRootMismatch);
+  }
+  // Bucket leaf: rebuilt from the MIRROR's entries, at the slot the
+  // mirror's own prefix ordering dictates.
+  const auto bucket_it = buckets_.find(prefix);
+  if (bucket_it == buckets_.end()) return fail(Status::kBadProof);
+  const std::size_t slot = static_cast<std::size_t>(
+      std::distance(buckets_.begin(), bucket_it));
+  if (path.bucket_proof.index != slot ||
+      path.bucket_proof.leaf_count != buckets_.size()) {
+    return fail(Status::kBadProof);
+  }
+  const Bytes bucket_leaf = bucket_leaf_payload(prefix, bucket_it->second);
+  if (!chain::MerkleTree::verify(path.bucket_root, slot, buckets_.size(),
+                                 bucket_leaf, path.bucket_proof.steps)) {
+    return fail(Status::kBadProof);
+  }
+  // Epoch record leaf under the signed checkpoint, pinned to the LAST
+  // slot — the latest epoch's record is by definition the newest leaf.
+  if (path.log_proof.leaf_count != latest_->tree_size ||
+      latest_->tree_size == 0 ||
+      path.log_proof.index != latest_->tree_size - 1) {
+    return fail(Status::kBadProof);
+  }
+  EpochRecord record;
+  record.epoch = path.epoch;
+  record.bucket_root = path.bucket_root;
+  record.delta_digest = path.delta_digest;
+  if (!chain::MerkleTree::verify(
+          latest_->root, static_cast<std::size_t>(path.log_proof.index),
+          static_cast<std::size_t>(path.log_proof.leaf_count),
+          record.leaf_payload(), path.log_proof.steps)) {
+    return fail(Status::kBadProof);
+  }
+  metrics_.audit_ok->inc();
+  return Status::kOk;
+}
+
+}  // namespace cbl::tlog

@@ -1,0 +1,118 @@
+// Client-side transparency auditor: holds one provider's pinned signing
+// key, the latest signed checkpoint accepted from it, and a local
+// mirror of the bucket set. Every message the provider serves is
+// checked here — checkpoint signatures, append-only consistency,
+// equivocation (same tree size, different root), delta base/post bucket
+// roots, and audit-path inclusion — and any failure latches a sticky
+// distrust flag. The auditor operates purely on parsed messages; the
+// wire loop that feeds it lives in net::RemoteBlocklistClient
+// (verified_sync) so this library stays below the net layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ec/ristretto.h"
+#include "obs/metrics.h"
+#include "tlog/checkpoint.h"
+#include "tlog/delta.h"
+#include "tlog/log.h"
+#include "tlog/proof.h"
+
+namespace cbl::tlog {
+
+class Auditor {
+ public:
+  enum class Status : std::uint8_t {
+    kOk = 0,
+    kBadSignature,   // checkpoint/delta signature failed under pinned key
+    kInconsistent,   // log shrank or consistency proof failed
+    kEquivocation,   // two signed roots for one tree size
+    kBadDelta,       // delta does not bridge the mirror state it claims
+    kBadProof,       // malformed/mis-slotted inclusion proof
+    kRootMismatch,   // verified artifact disagrees with the mirror root
+    kDistrusted,     // a previous failure latched distrust; refused unseen
+  };
+
+  /// `endpoint` labels this auditor's cbl_tlog_* metric slices.
+  Auditor(ec::RistrettoPoint provider_pk, std::string endpoint);
+
+  /// Feeds a freshly fetched checkpoint. When the log grew since the
+  /// last accepted checkpoint, `consistency` must carry the proof for
+  /// (previous size -> new size); it may be null on first contact or
+  /// when the size is unchanged. Any non-kOk outcome latches distrust.
+  Status observe_checkpoint(const Checkpoint& checkpoint,
+                            const ConsistencyProofMsg* consistency);
+
+  /// Installs a full bucket snapshot as the mirror at the latest
+  /// checkpoint's epoch (first sync, or recovery after falling behind).
+  /// Binding of the mirror root to the signed checkpoint happens in
+  /// verify_audit_path.
+  Status adopt_snapshot(BucketMap snapshot);
+
+  /// Folds a signed one-step delta into the mirror: checks the
+  /// signature, the claimed base epoch and base root against the mirror,
+  /// folds a copy, and requires the result to hash to the signed post
+  /// root. The mirror is only replaced on kOk.
+  Status apply_delta(const EpochDelta& delta);
+
+  /// Checks a served audit path against the mirror and the latest
+  /// checkpoint: the bucket leaf is rebuilt from the MIRROR's entries
+  /// for `prefix` (slot and count must match the mirror's own ordering),
+  /// the epoch record leaf is rebuilt from the path fields with the
+  /// mirror's bucket root, and both inclusion proofs are index-bound
+  /// verified — the bucket leaf under the record's bucket root, the
+  /// record under the signed checkpoint root at slot tree_size - 1.
+  Status verify_audit_path(std::uint32_t prefix, const AuditPath& path);
+
+  /// False once any audit check has failed; never resets. A distrusted
+  /// provider's data must not be folded into caches (the resilient
+  /// client drops to the degradation ladder instead).
+  bool trusted() const { return trusted_; }
+
+  bool has_state() const { return mirror_root_.has_value(); }
+  std::uint64_t mirror_epoch() const { return mirror_epoch_; }
+  const BucketMap& buckets() const { return buckets_; }
+  const Digest& mirror_root() const { return *mirror_root_; }
+  const std::optional<Checkpoint>& latest_checkpoint() const {
+    return latest_;
+  }
+
+  static std::string_view to_string(Status status);
+
+ private:
+  Status fail(Status status);
+
+  ec::RistrettoPoint provider_pk_;
+  bool trusted_ = true;
+
+  std::optional<Checkpoint> latest_;
+  /// Every (tree size -> root) pair ever seen under a valid signature;
+  /// a second root for a known size is proof of equivocation.
+  std::map<std::uint64_t, Digest> seen_roots_;
+
+  BucketMap buckets_;
+  std::optional<Digest> mirror_root_;
+  std::uint64_t mirror_epoch_ = 0;
+
+  struct Metrics {
+    obs::Counter* audit_ok;
+    obs::Counter* audit_bad_signature;
+    obs::Counter* audit_inconsistent;
+    obs::Counter* audit_equivocation;
+    obs::Counter* audit_bad_delta;
+    obs::Counter* audit_bad_proof;
+    obs::Counter* audit_root_mismatch;
+    obs::Counter* audit_distrusted;
+    obs::Counter* equivocations;
+    obs::Counter* deltas_applied;
+    obs::Counter* deltas_rejected;
+    obs::Gauge* mirror_epoch;
+  };
+  Metrics metrics_;
+  obs::Counter* audit_counter(Status status) const;
+};
+
+}  // namespace cbl::tlog

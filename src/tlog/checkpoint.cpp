@@ -1,0 +1,53 @@
+// wire:parser
+#include "tlog/checkpoint.h"
+
+#include "ec/codec.h"
+
+namespace cbl::tlog {
+
+Bytes Checkpoint::signing_payload() const {
+  ec::WireWriter w;
+  w.u64(tree_size).raw(ByteView(root.data(), root.size())).u64(epoch);
+  return w.take();
+}
+
+Bytes Checkpoint::to_bytes() const {
+  ec::WireWriter w;
+  w.u8(kCheckpointVersion);
+  w.u64(tree_size).raw(ByteView(root.data(), root.size())).u64(epoch);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+std::optional<Checkpoint> Checkpoint::from_bytes(ByteView data) {
+  ec::WireReader r(data);
+  Checkpoint cp;
+  if (r.u8() != kCheckpointVersion) r.fail();
+  cp.tree_size = r.u64();
+  r.fill(std::span(cp.root));
+  cp.epoch = r.u64();
+  cp.signature = r.nested<nizk::Signature>(nizk::Signature::kWireSize,
+                                           nizk::Signature::from_bytes);
+  if (!r.finish()) return std::nullopt;
+  return cp;
+}
+
+Checkpoint sign_checkpoint(const nizk::SigningKey& key,
+                           std::uint64_t tree_size, const Digest& root,
+                           std::uint64_t epoch, Rng& rng) {
+  Checkpoint cp;
+  cp.tree_size = tree_size;
+  cp.root = root;
+  cp.epoch = epoch;
+  cp.signature =
+      nizk::sign(key, cp.signing_payload(), kCheckpointSigDomain, rng);
+  return cp;
+}
+
+bool verify_checkpoint(const ec::RistrettoPoint& provider_pk,
+                       const Checkpoint& checkpoint) {
+  return nizk::verify_signature(provider_pk, checkpoint.signing_payload(),
+                                kCheckpointSigDomain, checkpoint.signature);
+}
+
+}  // namespace cbl::tlog

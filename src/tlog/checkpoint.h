@@ -1,0 +1,52 @@
+// Signed log checkpoints: the provider's sworn statement that "after
+// publishing epoch E the transparency log has N leaves and root H".
+// Checkpoints are what clients compare — between their own syncs
+// (append-only consistency) and, in a gossiping deployment, with each
+// other (split-view detection). Two valid signatures over the same tree
+// size and different roots are transferable proof of equivocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "chain/merkle.h"
+#include "common/rng.h"
+#include "nizk/signature.h"
+
+namespace cbl::tlog {
+
+using Digest = chain::MerkleTree::Digest;
+
+inline constexpr std::string_view kCheckpointSigDomain =
+    "cbl/tlog/checkpoint/v1";
+inline constexpr std::uint8_t kCheckpointVersion = 1;
+
+struct Checkpoint {
+  std::uint64_t tree_size = 0;  // log leaves covered by `root`
+  Digest root{};                // RFC-6962 log root at that size
+  std::uint64_t epoch = 0;      // server epoch the latest leaf records
+
+  nizk::Signature signature;
+
+  /// The bytes the provider signs (everything but the signature).
+  Bytes signing_payload() const;
+  Bytes to_bytes() const;
+  static constexpr std::size_t kWireSize =
+      1 + 8 + 32 + 8 + nizk::Signature::kWireSize;
+  // wire:untrusted fuzz=fuzz_tlog_checkpoint
+  [[nodiscard]] static std::optional<Checkpoint> from_bytes(ByteView data);
+};
+
+/// Signs a checkpoint over the given log state. Exposed as a free
+/// function (rather than publisher-only) so tests and the example can
+/// also produce what a *malicious* provider would: a second checkpoint
+/// at the same size with a different root.
+Checkpoint sign_checkpoint(const nizk::SigningKey& key,
+                           std::uint64_t tree_size, const Digest& root,
+                           std::uint64_t epoch, Rng& rng);
+
+bool verify_checkpoint(const ec::RistrettoPoint& provider_pk,
+                       const Checkpoint& checkpoint);
+
+}  // namespace cbl::tlog

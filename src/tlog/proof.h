@@ -1,0 +1,64 @@
+// Wire forms of the Merkle proofs the transparency endpoints serve:
+// index-bound inclusion proofs, append-only consistency proofs, and the
+// composite per-prefix audit path (bucket leaf -> bucket root -> epoch
+// record -> log root). All decoders treat input as hostile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/merkle.h"
+#include "tlog/checkpoint.h"
+
+namespace cbl::tlog {
+
+/// Proof path depth cap: a 2^64-leaf tree needs 64 steps, anything
+/// longer is hostile.
+inline constexpr std::size_t kMaxProofSteps = 64;
+
+/// An inclusion proof pinned to a slot: verified with the index-bound
+/// MerkleTree::verify overload, so it cannot be replayed for another
+/// leaf position.
+struct InclusionProof {
+  std::uint64_t index = 0;
+  std::uint64_t leaf_count = 0;
+  chain::MerkleTree::Proof steps;
+};
+
+Bytes encode_inclusion_proof(const InclusionProof& proof);
+// wire:untrusted fuzz=fuzz_tlog_checkpoint
+[[nodiscard]] std::optional<InclusionProof> parse_inclusion_proof(
+    ByteView data);
+
+/// Append-only consistency between two checkpointed log sizes.
+struct ConsistencyProofMsg {
+  std::uint64_t old_size = 0;
+  std::uint64_t new_size = 0;
+  chain::MerkleTree::ConsistencyProof nodes;
+};
+
+Bytes encode_consistency_proof(const ConsistencyProofMsg& proof);
+// wire:untrusted fuzz=fuzz_tlog_checkpoint
+[[nodiscard]] std::optional<ConsistencyProofMsg> parse_consistency_proof(
+    ByteView data);
+
+/// The composite audit answer for one prefix at the latest epoch: the
+/// epoch record (what the log leaf commits to), the bucket-tree
+/// inclusion proof for the prefix's bucket leaf under `bucket_root`,
+/// and the log inclusion proof for the epoch record under the
+/// checkpointed log root. The client reconstructs both leaf payloads
+/// itself — from its own mirrored bucket state and from the record
+/// fields — so the proofs bind the provider to the client's view.
+struct AuditPath {
+  std::uint64_t epoch = 0;
+  Digest bucket_root{};
+  Digest delta_digest{};
+  InclusionProof bucket_proof;  // prefix bucket leaf under bucket_root
+  InclusionProof log_proof;     // epoch record leaf under the log root
+};
+
+Bytes encode_audit_path(const AuditPath& path);
+// wire:untrusted fuzz=fuzz_tlog_checkpoint
+[[nodiscard]] std::optional<AuditPath> parse_audit_path(ByteView data);
+
+}  // namespace cbl::tlog

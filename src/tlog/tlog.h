@@ -1,0 +1,32 @@
+// cbl::tlog — Merkle transparency log and signed epoch deltas for the
+// blocklist service (DESIGN.md "Transparency & delta sync").
+//
+// The paper's trustless guarantees stop at the chain anchor: a provider
+// could still serve a split view of an epoch's bucket set, or silently
+// unlist an address, and every epoch push re-ships full buckets. This
+// subsystem closes both gaps the way auditable on-device blocklisting
+// does (PAPERS.md, Google's on-device blocklisting):
+//
+//   * every published epoch appends one record (epoch id, bucket-set
+//     Merkle root, delta digest) to an append-only RFC-6962-style log
+//     built on chain::MerkleTree;
+//   * the provider signs per-epoch CHECKPOINTS (tree size, log root,
+//     epoch id) and per-epoch DELTAS (per-prefix add/remove entries);
+//   * clients fold deltas into cached bucket state instead of
+//     re-downloading full buckets, and verify: delta signature, base and
+//     post bucket roots, inclusion of the epoch record under the signed
+//     checkpoint, and append-only consistency between checkpoints;
+//   * two signed checkpoints with the same tree size and different
+//     roots are cryptographic proof of provider equivocation.
+//
+// Everything the log commits to is public data (blinded bucket entries,
+// prefix ids, epoch numbers) — see the declassification notes in
+// DESIGN.md. All decode surfaces follow the hardened ByteReader policy.
+#pragma once
+
+#include "tlog/auditor.h"     // IWYU pragma: export
+#include "tlog/checkpoint.h"  // IWYU pragma: export
+#include "tlog/delta.h"       // IWYU pragma: export
+#include "tlog/log.h"         // IWYU pragma: export
+#include "tlog/proof.h"       // IWYU pragma: export
+#include "tlog/publisher.h"   // IWYU pragma: export

@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <deque>
 #include <iostream>
+#include <map>
+#include <span>
 #include <unordered_set>
 
 #include "blocklist/generator.h"
@@ -29,7 +31,9 @@
 #include "common/rng.h"
 #include "net/query_pipeline.h"
 #include "net/resilient_client.h"
+#include "net/service_node.h"
 #include "obs/clock.h"
+#include "tlog/tlog.h"
 
 namespace cbl::chaos {
 namespace {
@@ -477,6 +481,290 @@ TEST(ChaosTest, BatchedPipelineShedsBeforeBatchingAndStaysCorrect) {
   EXPECT_GT(batch_size.count(), batches_before);
   world.expect_calls_accounted();
   world.expect_faults_mirrored();
+}
+
+// ------------------------------------------- transparency sync under chaos
+
+/// Points the metrics registry at a ManualClock for the test's lifetime
+/// (the self-contained tlog worlds below don't go through ChaosWorld).
+struct ClockGuard {
+  explicit ClockGuard(obs::ManualClock& clock) {
+    obs::MetricsRegistry::global().set_clock(&clock);
+  }
+  ~ClockGuard() {
+    obs::MetricsRegistry::global().set_clock(&obs::SteadyClock::instance());
+  }
+};
+
+double counter_value(const char* name, obs::Labels labels) {
+  return obs::MetricsRegistry::global()
+      .counter(name, std::move(labels))
+      .value();
+}
+
+TEST(ChaosTest, TlogSyncUnderCorruptionNeverAppliesUnverifiedState) {
+  FaultPlan plan;
+  plan.name = "tlog-corruption";
+  plan.seed = chaos_seed(808);
+  plan.all.corrupt_prob = 0.20;
+  plan.all.truncate_prob = 0.08;
+
+  obs::ManualClock clock;
+  ClockGuard clock_guard(clock);
+  ChaChaRng transport_rng = ChaChaRng::from_string_seed("tlog-chaos-trans");
+  net::Transport transport(net::TransportConfig{.latency_ms_min = 1.0,
+                                                .latency_ms_max = 5.0,
+                                                .drop_rate = 0.0},
+                           transport_rng);
+  FaultInjector injector(transport, plan, &clock);
+  std::cout << "[chaos] " << plan.describe() << "\n";
+  SCOPED_TRACE(plan.describe() + "  (replay: CBL_CHAOS_SEED=" +
+               std::to_string(plan.seed) + ")");
+
+  ChaChaRng corpus_rng = ChaChaRng::from_string_seed("tlog-chaos-corpus");
+  ChaChaRng server_rng = ChaChaRng::from_string_seed("tlog-chaos-server");
+  ChaChaRng key_rng = ChaChaRng::from_string_seed("tlog-chaos-key");
+  ChaChaRng pub_rng = ChaChaRng::from_string_seed("tlog-chaos-pub");
+  ChaChaRng client_rng = ChaChaRng::from_string_seed("tlog-chaos-client");
+  const auto corpus = blocklist::generate_corpus(120, corpus_rng).addresses();
+  oprf::OprfServer server(oprf::Oracle::fast(), 6, server_rng);
+  server.setup(std::span<const std::string>(corpus).first(60));
+  const auto key = nizk::SigningKey::generate(key_rng);
+  tlog::EpochPublisher publisher(key, pub_rng);
+  net::BlocklistServiceNode node(transport, "tlog-chaos", server,
+                                 oprf::Oracle::fast(), net::NodeLimits(),
+                                 nullptr, &publisher);
+
+  // The client's info handshake rides the same damaged channel; a
+  // corrupted handshake throws ProtocolError, which is an honest
+  // failure — construction just retries like any transport loss.
+  std::optional<net::RemoteBlocklistClient> client;
+  for (int attempt = 0; !client && attempt < 20; ++attempt) {
+    try {
+      client.emplace(injector, "tlog-chaos", client_rng);
+    } catch (const ProtocolError&) {
+    }
+  }
+  ASSERT_TRUE(client.has_value());
+  tlog::Auditor auditor(key.pk, "tlog-chaos");
+
+  const auto sync_count = [](const char* result) {
+    return counter_value("cbl_tlog_sync_total", {{"endpoint", "tlog-chaos"},
+                                                 {"result", result}});
+  };
+  const auto ok_before = sync_count("ok");
+  const auto transport_before = sync_count("transport");
+  const auto audit_before = sync_count("audit");
+  const auto applied_before = counter_value("cbl_tlog_deltas_applied_total",
+                                            {{"endpoint", "tlog-chaos"}});
+  const auto equiv_before = counter_value("cbl_tlog_equivocations_total",
+                                          {{"endpoint", "tlog-chaos"}});
+  const auto corrupt_before =
+      counter_value("cbl_chaos_faults_total", {{"kind", "corrupt"}});
+  const auto truncate_before =
+      counter_value("cbl_chaos_faults_total", {{"kind", "truncate"}});
+
+  // Every bucket state the provider has ever committed to, keyed by
+  // epoch. The auditor's mirror must ALWAYS be one of these — a sync
+  // interrupted by corruption at any wire step must leave the mirror on
+  // a published state, never a half-applied one.
+  std::map<std::uint64_t, tlog::BucketMap> published;
+  published[server.epoch()] = server.bucket_snapshot();
+
+  int ok_syncs = 0;
+  int transport_syncs = 0;
+  unsigned deltas_applied = 0;
+  std::size_t next_fresh = 60;
+  for (int i = 0; i < 48; ++i) {
+    if (i % 4 == 3 && next_fresh + 2 <= corpus.size()) {
+      server.add_entries(
+          std::span<const std::string>(corpus).subspan(next_fresh, 2));
+      next_fresh += 2;
+      published[server.epoch()] = server.bucket_snapshot();
+    }
+    const auto report = client->verified_sync(auditor);
+    // Channel damage against an honest provider must NEVER read as
+    // dishonesty: no audit classification, no distrust latch.
+    ASSERT_NE(report.failure,
+              net::RemoteBlocklistClient::SyncReport::Failure::kAudit)
+        << "corruption misclassified as audit evidence at sync #" << i;
+    ASSERT_TRUE(auditor.trusted());
+    // A sync can verify-and-fold deltas and THEN lose a later wire step:
+    // those deltas were individually verified before folding, so they
+    // stand (the mirror just stops short of the checkpointed epoch).
+    deltas_applied += report.deltas_applied;
+    if (report.ok) {
+      ++ok_syncs;
+      EXPECT_EQ(auditor.mirror_epoch(), server.epoch());
+    } else {
+      ++transport_syncs;
+    }
+    if (auditor.has_state()) {
+      const auto it = published.find(auditor.mirror_epoch());
+      ASSERT_NE(it, published.end());
+      ASSERT_EQ(auditor.buckets(), it->second)
+          << "mirror left on an unpublished state at sync #" << i;
+    }
+    clock.advance_ms(5);
+  }
+
+  // Both outcomes actually happened under this plan, and the damage was
+  // heavy enough to mean something.
+  EXPECT_GT(ok_syncs, 0);
+  EXPECT_GT(transport_syncs, 0);
+  const ChaosStats& cs = injector.stats();
+  EXPECT_GT(cs.corrupted, 0u);
+  EXPECT_GT(cs.truncated, 0u);
+
+  // Counter reconciliation, exact: every sync outcome and every injected
+  // fault is accounted for in cbl::obs.
+  EXPECT_EQ(sync_count("ok") - ok_before, ok_syncs);
+  EXPECT_EQ(sync_count("transport") - transport_before, transport_syncs);
+  EXPECT_EQ(sync_count("audit") - audit_before, 0.0);
+  EXPECT_EQ(counter_value("cbl_tlog_deltas_applied_total",
+                          {{"endpoint", "tlog-chaos"}}) -
+                applied_before,
+            deltas_applied);
+  EXPECT_EQ(counter_value("cbl_tlog_equivocations_total",
+                          {{"endpoint", "tlog-chaos"}}) -
+                equiv_before,
+            0.0);
+  EXPECT_EQ(counter_value("cbl_chaos_faults_total", {{"kind", "corrupt"}}) -
+                corrupt_before,
+            cs.corrupted);
+  EXPECT_EQ(counter_value("cbl_chaos_faults_total", {{"kind", "truncate"}}) -
+                truncate_before,
+            cs.truncated);
+
+  // The channel heals nothing by itself, but retried syncs converge: run
+  // until one lands and check the mirror is the server's current state.
+  bool converged = false;
+  for (int i = 0; i < 200 && !converged; ++i) {
+    converged = client->verified_sync(auditor).ok;
+    clock.advance_ms(5);
+  }
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(auditor.buckets(), server.bucket_snapshot());
+  EXPECT_TRUE(auditor.trusted());
+}
+
+TEST(ChaosTest, CorruptedTlogSyncDegradesHonestlyThenEquivocatorIsCondemned) {
+  FaultPlan plan;
+  plan.name = "tlog-corruption-ladder";
+  plan.seed = chaos_seed(909);
+  plan.all.corrupt_prob = 0.25;
+  plan.all.truncate_prob = 0.10;
+
+  obs::ManualClock clock;
+  ClockGuard clock_guard(clock);
+  ChaChaRng transport_rng = ChaChaRng::from_string_seed("tlog-ladder-trans");
+  net::Transport transport(net::TransportConfig{.latency_ms_min = 1.0,
+                                                .latency_ms_max = 5.0,
+                                                .drop_rate = 0.0},
+                           transport_rng);
+  FaultInjector injector(transport, plan, &clock);
+  std::cout << "[chaos] " << plan.describe() << "\n";
+  SCOPED_TRACE(plan.describe() + "  (replay: CBL_CHAOS_SEED=" +
+               std::to_string(plan.seed) + ")");
+
+  ChaChaRng corpus_rng = ChaChaRng::from_string_seed("tlog-ladder-corpus");
+  ChaChaRng server_rng = ChaChaRng::from_string_seed("tlog-ladder-server");
+  ChaChaRng key_rng = ChaChaRng::from_string_seed("tlog-ladder-key");
+  ChaChaRng pub_rng = ChaChaRng::from_string_seed("tlog-ladder-pub");
+  ChaChaRng client_rng = ChaChaRng::from_string_seed("tlog-ladder-client");
+  const auto corpus = blocklist::generate_corpus(80, corpus_rng).addresses();
+  oprf::OprfServer server(oprf::Oracle::fast(), 6, server_rng);
+  server.setup(std::span<const std::string>(corpus).first(60));
+  const auto key = nizk::SigningKey::generate(key_rng);
+  tlog::EpochPublisher publisher(key, pub_rng);
+  auto node = std::make_optional<net::BlocklistServiceNode>(
+      transport, "tlog-ladder", server, oprf::Oracle::fast(),
+      net::NodeLimits(), nullptr, &publisher);
+
+  net::ResilienceConfig config;
+  config.hedge_after_ms = 0.0;  // single provider: nothing to hedge to
+  ResilientClient client(injector, {"tlog-ladder"}, client_rng, config,
+                         &clock);
+  client.pin_tlog_key("tlog-ladder", key.pk);
+  const auto distrusted_before =
+      counter_value("cbl_tlog_providers_distrusted_total", {});
+
+  // Phase 1: heavy corruption against an HONEST provider. Syncs fail
+  // transport-style and queries degrade down the ladder, but the
+  // distrust latch never fires and no answer is ever wrong.
+  std::size_t next_fresh = 60;
+  int answered = 0;
+  for (int round = 0; round < 30; ++round) {
+    if (round % 5 == 4 && next_fresh + 2 <= corpus.size()) {
+      server.add_entries(
+          std::span<const std::string>(corpus).subspan(next_fresh, 2));
+      next_fresh += 2;
+    }
+    (void)client.sync();
+    ASSERT_FALSE(client.distrusted("tlog-ladder"));
+    const tlog::Auditor* auditor = client.tlog_auditor("tlog-ladder");
+    if (auditor != nullptr) {
+      ASSERT_TRUE(auditor->trusted());
+    }
+
+    const auto out = client.query(corpus[round % 60]);
+    if (out.verdict != ResilientClient::Outcome::Verdict::kUnknown) {
+      ++answered;
+      // Every address queried is on the list; any definite answer must
+      // say so regardless of which ladder rung produced it.
+      EXPECT_EQ(out.verdict, ResilientClient::Outcome::Verdict::kListed)
+          << "wrong verdict under corruption at round #" << round;
+    } else {
+      EXPECT_EQ(out.freshness, Freshness::kUnavailable);
+    }
+    clock.advance_ms(10);
+  }
+  EXPECT_GT(answered, 0);
+  EXPECT_GT(injector.stats().corrupted, 0u);
+  EXPECT_EQ(counter_value("cbl_tlog_providers_distrusted_total", {}),
+            distrusted_before);
+
+  // Phase 2: the provider turns equivocator — same tree size, different
+  // signed root. Corruption may delay the evidence (damaged copies are
+  // transport noise), but the first clean delivery condemns it.
+  const tlog::Auditor* auditor = client.tlog_auditor("tlog-ladder");
+  ASSERT_NE(auditor, nullptr);
+  ASSERT_TRUE(auditor->latest_checkpoint().has_value());
+  const auto honest = *auditor->latest_checkpoint();
+  auto other_root = honest.root;
+  other_root[7] ^= 0x20;
+  const auto forged = tlog::sign_checkpoint(key, honest.tree_size, other_root,
+                                            honest.epoch, pub_rng);
+  node.reset();
+  transport.register_endpoint(
+      "tlog-ladder", [&forged](ByteView frame) -> std::optional<Bytes> {
+        const auto request = net::parse_request_frame(frame);
+        if (request && request->method == net::Method::kTlogCheckpoint) {
+          return net::encode_response_frame(net::Status::kOk,
+                                            forged.to_bytes());
+        }
+        return net::encode_response_frame(net::Status::kBadRequest);
+      });
+
+  for (int round = 0; round < 50 && !client.distrusted("tlog-ladder");
+       ++round) {
+    (void)client.sync();
+    clock.advance_ms(10);
+  }
+  EXPECT_TRUE(client.distrusted("tlog-ladder"));
+  EXPECT_EQ(counter_value("cbl_tlog_providers_distrusted_total", {}),
+            distrusted_before + 1);
+
+  // Condemned means condemned: answers come from the ladder, never
+  // fresh, and sync() refuses to put the endpoint on the wire at all.
+  const auto degraded = client.query(corpus[0]);
+  EXPECT_NE(degraded.freshness, Freshness::kFresh);
+  if (degraded.verdict != ResilientClient::Outcome::Verdict::kUnknown) {
+    EXPECT_EQ(degraded.verdict, ResilientClient::Outcome::Verdict::kListed);
+  }
+  const auto calls_before = injector.stats().calls;
+  EXPECT_EQ(client.sync(), 0u);
+  EXPECT_EQ(injector.stats().calls, calls_before);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
-// Tests for the Merkle tree and block-header chaining: proofs at every
-// index and size, tamper detection, odd-leaf handling, header chaining,
-// and light-client receipt verification against a live chain.
+// Tests for the Merkle tree and block-header chaining: inclusion proofs
+// at every index and size (path-only and index-bound), RFC-6962
+// consistency proofs over an exhaustive size sweep, tamper detection,
+// header chaining, and light-client receipt verification.
 #include <gtest/gtest.h>
 
 #include "chain/blockchain.h"
@@ -65,6 +66,115 @@ TEST_P(MerkleSizeSweep, EveryIndexProvesAndTamperFails) {
 INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizeSweep,
                          ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u,
                                            17u));
+
+TEST(Merkle, IndexBoundVerifyAcceptsEveryIndex) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 17u}) {
+    const auto leaves = make_leaves(n);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), i, n, leaves[i],
+                                     tree.prove(i)))
+          << n << ":" << i;
+    }
+  }
+}
+
+TEST(Merkle, IndexBoundVerifyRejectsReplayAtOtherIndex) {
+  // The unbound overload only checks the path shape, so leaf i's proof
+  // could place that payload at any same-shape slot; the index-bound
+  // overload derives the directions from (index, leaf_count) and must
+  // reject every (proof_i, index_j != i) pairing.
+  for (std::size_t n : {2u, 3u, 4u, 7u, 8u, 9u, 16u}) {
+    const auto leaves = make_leaves(n);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto proof = tree.prove(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        EXPECT_FALSE(MerkleTree::verify(tree.root(), j, n, leaves[i], proof))
+            << n << ":" << i << "->" << j;
+      }
+      // Out-of-range index is rejected outright. (An inclusion proof
+      // does not authenticate the tree size — the signed checkpoint
+      // does — but a claimed size too large for the proof's length can
+      // never fold down to the root.)
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), n, n, leaves[i], proof));
+      EXPECT_FALSE(
+          MerkleTree::verify(tree.root(), i, 2 * n + 2, leaves[i], proof));
+      // A proof that is too long for its slot is rejected, not folded.
+      auto padded = proof;
+      padded.push_back(MerkleTree::ProofStep{{}, true});
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), i, n, leaves[i], padded));
+      if (!proof.empty()) {
+        auto short_proof = proof;
+        short_proof.pop_back();
+        EXPECT_FALSE(
+            MerkleTree::verify(tree.root(), i, n, leaves[i], short_proof));
+      }
+    }
+  }
+}
+
+TEST(Merkle, ConsistencySweepAllPairs) {
+  // Exhaustive m <= n sweep: every old size of every tree up to 20
+  // leaves proves consistent with the grown tree, covering empty -> n,
+  // n -> n, and both power-of-two boundaries (m or n a power of two).
+  constexpr std::size_t kMax = 20;
+  const auto leaves = make_leaves(kMax);
+  std::vector<MerkleTree::Digest> roots(kMax + 1);
+  std::vector<MerkleTree> trees;
+  for (std::size_t n = 0; n <= kMax; ++n) {
+    trees.emplace_back(
+        std::vector<Bytes>(leaves.begin(), leaves.begin() + n));
+    roots[n] = trees.back().root();
+  }
+  for (std::size_t n = 0; n <= kMax; ++n) {
+    for (std::size_t m = 0; m <= n; ++m) {
+      const auto proof = trees[n].prove_consistency(m);
+      EXPECT_TRUE(MerkleTree::verify_consistency(roots[m], m, roots[n], n,
+                                                 proof))
+          << m << "->" << n;
+      if (m == 0 || m == n) EXPECT_TRUE(proof.empty()) << m << "->" << n;
+      // A different old root (a fork) must not verify.
+      if (m >= 1 && m < n) {
+        auto forged = roots[m];
+        forged[0] ^= 1;
+        EXPECT_FALSE(
+            MerkleTree::verify_consistency(forged, m, roots[n], n, proof))
+            << m << "->" << n;
+      }
+      // Tampering with any proof node must fail.
+      if (!proof.empty()) {
+        auto bad = proof;
+        bad[bad.size() / 2][0] ^= 1;
+        EXPECT_FALSE(
+            MerkleTree::verify_consistency(roots[m], m, roots[n], n, bad))
+            << m << "->" << n;
+      }
+    }
+    EXPECT_THROW((void)trees[n].prove_consistency(n + 1), std::out_of_range);
+  }
+}
+
+TEST(Merkle, ConsistencyRejectsMismatchedSizes) {
+  const auto leaves = make_leaves(9);
+  MerkleTree small(std::vector<Bytes>(leaves.begin(), leaves.begin() + 4));
+  MerkleTree big(leaves);
+  const auto proof = big.prove_consistency(4);
+  // Shrinking logs never verify.
+  EXPECT_FALSE(MerkleTree::verify_consistency(big.root(), 9, small.root(), 4,
+                                              proof));
+  // Equal sizes demand equal roots and an empty proof.
+  EXPECT_TRUE(
+      MerkleTree::verify_consistency(big.root(), 9, big.root(), 9, {}));
+  EXPECT_FALSE(
+      MerkleTree::verify_consistency(small.root(), 9, big.root(), 9, {}));
+  EXPECT_FALSE(MerkleTree::verify_consistency(big.root(), 9, big.root(), 9,
+                                              proof));
+  // Claiming the wrong old size with a valid proof fails.
+  EXPECT_FALSE(MerkleTree::verify_consistency(small.root(), 5, big.root(), 9,
+                                              proof));
+}
 
 TEST(Merkle, RootDependsOnOrderAndContent) {
   auto leaves = make_leaves(4);

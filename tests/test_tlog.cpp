@@ -1,0 +1,542 @@
+// Tests for the transparency-log subsystem (src/tlog) and its serving
+// integration: signed checkpoints and deltas, delta folding vs full
+// download equivalence (the acceptance criterion: a client syncing
+// epoch e -> e+1 via signed deltas lands on a bit-identical bucket
+// state), equivocation and tamper rejection with cbl_tlog_* metric
+// accounting, and the resilient client's permanent-distrust latch.
+#include <gtest/gtest.h>
+
+#include "blocklist/generator.h"
+#include "common/rng.h"
+#include "net/resilient_client.h"
+#include "net/service_node.h"
+#include "obs/metrics.h"
+#include "tlog/tlog.h"
+
+namespace cbl::tlog {
+namespace {
+
+using cbl::ChaChaRng;
+using net::BlocklistServiceNode;
+using net::RemoteBlocklistClient;
+
+class TlogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = blocklist::generate_corpus(120, corpus_rng_).addresses();
+    server_.emplace(oprf::Oracle::fast(), 6, server_rng_);
+    server_->setup(std::span<const std::string>(corpus_).first(80));
+    key_ = nizk::SigningKey::generate(key_rng_);
+    publisher_.emplace(key_, publisher_rng_);
+  }
+
+  /// Fresh-entry batches for add_entries (addresses 80.. are unused).
+  std::span<const std::string> fresh(std::size_t offset, std::size_t n) {
+    return std::span<const std::string>(corpus_).subspan(80 + offset, n);
+  }
+
+  double counter(const char* name, obs::Labels labels) {
+    return obs::MetricsRegistry::global().counter(name, std::move(labels))
+        .value();
+  }
+
+  ChaChaRng corpus_rng_ = ChaChaRng::from_string_seed("tlog-corpus");
+  ChaChaRng server_rng_ = ChaChaRng::from_string_seed("tlog-server");
+  ChaChaRng key_rng_ = ChaChaRng::from_string_seed("tlog-key");
+  ChaChaRng publisher_rng_ = ChaChaRng::from_string_seed("tlog-pub");
+  ChaChaRng client_rng_ = ChaChaRng::from_string_seed("tlog-client");
+  std::vector<std::string> corpus_;
+  std::optional<oprf::OprfServer> server_;
+  nizk::SigningKey key_;
+  std::optional<EpochPublisher> publisher_;
+};
+
+// --------------------------------------------------------- publisher core
+
+TEST_F(TlogTest, PublishIsIdempotentPerEpoch) {
+  const auto cp1 = publisher_->publish_epoch(*server_);
+  EXPECT_EQ(cp1.tree_size, 1u);
+  EXPECT_EQ(cp1.epoch, server_->epoch());
+  EXPECT_TRUE(verify_checkpoint(key_.pk, cp1));
+  // Same epoch again: no new log record, identical checkpoint bytes.
+  const auto cp2 = publisher_->publish_epoch(*server_);
+  EXPECT_EQ(cp2.to_bytes(), cp1.to_bytes());
+  EXPECT_EQ(publisher_->log().size(), 1u);
+
+  server_->add_entries(fresh(0, 5));
+  const auto cp3 = publisher_->publish_epoch(*server_);
+  EXPECT_EQ(cp3.tree_size, 2u);
+  EXPECT_GT(cp3.epoch, cp1.epoch);
+  EXPECT_TRUE(verify_checkpoint(key_.pk, cp3));
+}
+
+TEST_F(TlogTest, PublishedSnapshotMatchesServer) {
+  publisher_->publish_epoch(*server_);
+  EXPECT_EQ(publisher_->current_buckets(), server_->bucket_snapshot());
+  // The first record's delta digest is the all-zero sentinel.
+  EXPECT_EQ(publisher_->log().record(0).delta_digest, Digest{});
+  EXPECT_EQ(publisher_->log().record(0).bucket_root,
+            BucketTree(publisher_->current_buckets()).root());
+}
+
+TEST_F(TlogTest, DeltaBridgesEpochsExactly) {
+  publisher_->publish_epoch(*server_);
+  const auto base = publisher_->current_buckets();
+  const std::uint64_t base_epoch = server_->epoch();
+
+  server_->add_entries(fresh(0, 8));
+  server_->remove_entries(std::span<const std::string>(corpus_).first(4));
+  publisher_->publish_epoch(*server_);
+
+  const auto delta = publisher_->delta_from(base_epoch);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->from_epoch, base_epoch);
+  EXPECT_EQ(delta->to_epoch, server_->epoch());
+  EXPECT_TRUE(verify_delta(key_.pk, *delta));
+  EXPECT_EQ(delta->base_bucket_root, BucketTree(base).root());
+
+  // Folding the signed delta into the base snapshot reproduces the new
+  // snapshot bit for bit — the acceptance criterion at the data layer.
+  BucketMap folded = base;
+  ASSERT_TRUE(fold_delta(folded, *delta));
+  EXPECT_EQ(folded, publisher_->current_buckets());
+  EXPECT_EQ(BucketTree(folded).root(), delta->post_bucket_root);
+  // And the log's second record pins exactly this delta.
+  EXPECT_EQ(publisher_->log().record(1).delta_digest, delta->digest());
+
+  // An unknown hop is refused.
+  EXPECT_FALSE(publisher_->delta_from(server_->epoch()).has_value());
+}
+
+TEST_F(TlogTest, DiffAndFoldAreInverse) {
+  publisher_->publish_epoch(*server_);
+  const auto base = publisher_->current_buckets();
+  server_->add_entries(fresh(0, 10));
+  const auto post = server_->bucket_snapshot();
+
+  auto delta = diff_buckets(base, post);
+  BucketMap folded = base;
+  ASSERT_TRUE(fold_delta(folded, delta));
+  EXPECT_EQ(folded, post);
+
+  // A no-op diff is empty and folds to the identity.
+  EXPECT_TRUE(diff_buckets(post, post).prefixes.empty());
+  // A removal that is not present refuses the whole fold, untouched.
+  ASSERT_FALSE(delta.prefixes.empty());
+  ASSERT_FALSE(delta.prefixes[0].added.empty());
+  EpochDelta bogus = delta;
+  bogus.prefixes[0].removed.push_back(bogus.prefixes[0].added[0]);
+  bogus.prefixes[0].added.clear();
+  BucketMap untouched = base;
+  EXPECT_FALSE(fold_delta(untouched, bogus));
+  EXPECT_EQ(untouched, base);
+}
+
+// ----------------------------------------------------------- auditor core
+
+TEST_F(TlogTest, AuditorAcceptsHonestDeltaSync) {
+  Auditor auditor(key_.pk, "unit");
+  const auto applied_before =
+      counter("cbl_tlog_deltas_applied_total", {{"endpoint", "unit"}});
+
+  publisher_->publish_epoch(*server_);
+  ASSERT_EQ(auditor.observe_checkpoint(publisher_->latest_checkpoint(),
+                                       nullptr),
+            Auditor::Status::kOk);
+  ASSERT_EQ(auditor.adopt_snapshot(publisher_->current_buckets()),
+            Auditor::Status::kOk);
+  const std::uint64_t base_epoch = auditor.mirror_epoch();
+
+  server_->add_entries(fresh(0, 6));
+  publisher_->publish_epoch(*server_);
+  const auto consistency = publisher_->consistency(1);
+  ASSERT_EQ(auditor.observe_checkpoint(publisher_->latest_checkpoint(),
+                                       &consistency),
+            Auditor::Status::kOk);
+  const auto delta = publisher_->delta_from(base_epoch);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(auditor.apply_delta(*delta), Auditor::Status::kOk);
+
+  // Bit-identical to the full download, root pinned, epoch advanced.
+  EXPECT_EQ(auditor.buckets(), server_->bucket_snapshot());
+  EXPECT_EQ(auditor.mirror_root(), BucketTree(auditor.buckets()).root());
+  EXPECT_EQ(auditor.mirror_epoch(), server_->epoch());
+  EXPECT_TRUE(auditor.trusted());
+  EXPECT_EQ(counter("cbl_tlog_deltas_applied_total", {{"endpoint", "unit"}}),
+            applied_before + 1);
+
+  // The audit path for any mirrored prefix binds mirror to checkpoint.
+  const auto prefix = auditor.buckets().begin()->first;
+  const auto path = publisher_->audit_path(prefix);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(auditor.verify_audit_path(prefix, *path), Auditor::Status::kOk);
+}
+
+TEST_F(TlogTest, TamperedDeltaIsRejectedAndCounted) {
+  Auditor auditor(key_.pk, "tamper");
+  publisher_->publish_epoch(*server_);
+  (void)auditor.observe_checkpoint(publisher_->latest_checkpoint(), nullptr);
+  (void)auditor.adopt_snapshot(publisher_->current_buckets());
+  const std::uint64_t base_epoch = auditor.mirror_epoch();
+  const auto base = auditor.buckets();
+
+  server_->add_entries(fresh(0, 6));
+  publisher_->publish_epoch(*server_);
+  const auto consistency = publisher_->consistency(1);
+  (void)auditor.observe_checkpoint(publisher_->latest_checkpoint(),
+                                   &consistency);
+  auto delta = *publisher_->delta_from(base_epoch);
+
+  const auto rejected_before =
+      counter("cbl_tlog_deltas_rejected_total", {{"endpoint", "tamper"}});
+  // Dropping one addition breaks the signature; nothing is applied.
+  auto tampered = delta;
+  ASSERT_FALSE(tampered.prefixes.empty());
+  tampered.prefixes.pop_back();
+  EXPECT_EQ(auditor.apply_delta(tampered), Auditor::Status::kBadSignature);
+  EXPECT_EQ(auditor.buckets(), base);
+  EXPECT_FALSE(auditor.trusted());
+  EXPECT_EQ(counter("cbl_tlog_deltas_rejected_total", {{"endpoint", "tamper"}}),
+            rejected_before + 1);
+}
+
+TEST_F(TlogTest, ValidlySignedDeltaWithWrongPostRootIsRejected) {
+  // A malicious provider CAN sign whatever it wants — the fold-and-check
+  // makes the signed post root the binding commitment. Sign a delta that
+  // claims the wrong post state and watch it bounce.
+  Auditor auditor(key_.pk, "wrongroot");
+  publisher_->publish_epoch(*server_);
+  (void)auditor.observe_checkpoint(publisher_->latest_checkpoint(), nullptr);
+  (void)auditor.adopt_snapshot(publisher_->current_buckets());
+  const auto base = auditor.buckets();
+  const std::uint64_t base_epoch = auditor.mirror_epoch();
+
+  server_->add_entries(fresh(0, 6));
+  publisher_->publish_epoch(*server_);
+  const auto consistency = publisher_->consistency(1);
+  (void)auditor.observe_checkpoint(publisher_->latest_checkpoint(),
+                                   &consistency);
+
+  auto forged = *publisher_->delta_from(base_epoch);
+  forged.post_bucket_root[0] ^= 1;
+  forged = sign_delta(key_, std::move(forged), publisher_rng_);
+  EXPECT_EQ(auditor.apply_delta(forged), Auditor::Status::kRootMismatch);
+  EXPECT_EQ(auditor.buckets(), base);
+  EXPECT_FALSE(auditor.trusted());
+
+  // Sticky: even the honest delta is refused after distrust latched.
+  EXPECT_EQ(auditor.apply_delta(*publisher_->delta_from(base_epoch)),
+            Auditor::Status::kDistrusted);
+}
+
+TEST_F(TlogTest, EquivocationIsProofNotSuspicion) {
+  Auditor auditor(key_.pk, "equiv");
+  const auto equiv_before = counter("cbl_tlog_equivocations_total",
+                                    {{"endpoint", "equiv"}});
+  publisher_->publish_epoch(*server_);
+  const auto honest = publisher_->latest_checkpoint();
+  ASSERT_EQ(auditor.observe_checkpoint(honest, nullptr),
+            Auditor::Status::kOk);
+
+  // Same size, different root, VALID signature: a split view.
+  auto other_root = honest.root;
+  other_root[7] ^= 0x40;
+  const auto forged = sign_checkpoint(key_, honest.tree_size, other_root,
+                                      honest.epoch, publisher_rng_);
+  ASSERT_TRUE(verify_checkpoint(key_.pk, forged));
+  EXPECT_EQ(auditor.observe_checkpoint(forged, nullptr),
+            Auditor::Status::kEquivocation);
+  EXPECT_FALSE(auditor.trusted());
+  EXPECT_EQ(counter("cbl_tlog_equivocations_total", {{"endpoint", "equiv"}}),
+            equiv_before + 1);
+
+  // A bad signature, by contrast, never reaches the equivocation check.
+  Auditor fresh_auditor(key_.pk, "equiv2");
+  auto unsigned_forgery = honest;
+  unsigned_forgery.root[3] ^= 2;
+  EXPECT_EQ(fresh_auditor.observe_checkpoint(unsigned_forgery, nullptr),
+            Auditor::Status::kBadSignature);
+}
+
+TEST_F(TlogTest, ShrinkingOrForkedLogIsInconsistent) {
+  Auditor auditor(key_.pk, "consist");
+  publisher_->publish_epoch(*server_);
+  server_->add_entries(fresh(0, 4));
+  publisher_->publish_epoch(*server_);
+  const auto cp2 = publisher_->latest_checkpoint();
+  const auto consistency = publisher_->consistency(1);
+  server_->add_entries(fresh(4, 4));
+  publisher_->publish_epoch(*server_);
+  const auto cp3 = publisher_->latest_checkpoint();
+
+  ASSERT_EQ(auditor.observe_checkpoint(cp2, nullptr), Auditor::Status::kOk);
+  // A checkpoint whose tree SHRANK is rejected outright.
+  const auto shrunk = sign_checkpoint(key_, 1, publisher_->log().root(),
+                                      cp2.epoch, publisher_rng_);
+  EXPECT_EQ(auditor.observe_checkpoint(shrunk, nullptr),
+            Auditor::Status::kInconsistent);
+  EXPECT_FALSE(auditor.trusted());
+
+  // Growth without a consistency proof (or with a wrong one) fails too.
+  Auditor strict(key_.pk, "consist2");
+  ASSERT_EQ(strict.observe_checkpoint(cp2, nullptr), Auditor::Status::kOk);
+  EXPECT_EQ(strict.observe_checkpoint(cp3, nullptr),
+            Auditor::Status::kInconsistent);
+  Auditor strict2(key_.pk, "consist3");
+  ASSERT_EQ(strict2.observe_checkpoint(cp2, nullptr), Auditor::Status::kOk);
+  auto wrong = publisher_->consistency(2);
+  ASSERT_FALSE(wrong.nodes.empty());
+  wrong.nodes[0][0] ^= 1;
+  EXPECT_EQ(strict2.observe_checkpoint(cp3, &wrong),
+            Auditor::Status::kInconsistent);
+  // The honest proof, for contrast, passes a fresh auditor.
+  Auditor honest(key_.pk, "consist4");
+  ASSERT_EQ(honest.observe_checkpoint(cp2, nullptr), Auditor::Status::kOk);
+  const auto good = publisher_->consistency(2);
+  EXPECT_EQ(honest.observe_checkpoint(cp3, &good), Auditor::Status::kOk);
+}
+
+TEST_F(TlogTest, AuditPathCatchesForeignSnapshot) {
+  // adopt_snapshot takes any bucket map; the audit path is what binds it
+  // to the signed checkpoint. A snapshot with one extra entry smuggled
+  // in yields a different bucket root and must fail the path check.
+  Auditor auditor(key_.pk, "snapshot");
+  publisher_->publish_epoch(*server_);
+  (void)auditor.observe_checkpoint(publisher_->latest_checkpoint(), nullptr);
+  auto doctored = publisher_->current_buckets();
+  ASSERT_FALSE(doctored.empty());
+  auto smuggled = doctored.begin()->second.front();
+  smuggled[0] ^= 0x11;
+  doctored.begin()->second.push_back(smuggled);
+  ASSERT_EQ(auditor.adopt_snapshot(doctored), Auditor::Status::kOk);
+
+  const auto prefix = doctored.begin()->first;
+  const auto path = publisher_->audit_path(prefix);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_NE(auditor.verify_audit_path(prefix, *path), Auditor::Status::kOk);
+  EXPECT_FALSE(auditor.trusted());
+}
+
+// ------------------------------------------------- wire-level verified sync
+
+class TlogWireTest : public TlogTest {
+ protected:
+  net::Transport make_transport() {
+    net::TransportConfig cfg;
+    cfg.latency_ms_min = 1;
+    cfg.latency_ms_max = 5;
+    return net::Transport(cfg, transport_rng_);
+  }
+
+  ChaChaRng transport_rng_ = ChaChaRng::from_string_seed("tlog-transport");
+};
+
+TEST_F(TlogWireTest, VerifiedSyncDeltaStateIsBitIdenticalToFullDownload) {
+  auto transport = make_transport();
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast(), net::NodeLimits(), nullptr,
+                            &*publisher_);
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  Auditor auditor(key_.pk, "scamdb");
+  const auto ok_before = counter("cbl_tlog_sync_total",
+                                 {{"endpoint", "scamdb"}, {"result", "ok"}});
+
+  // First contact: full verified download.
+  auto report = client.verified_sync(auditor);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.deltas_applied, 0u);
+  EXPECT_GT(report.full_bytes, 0u);
+  EXPECT_EQ(auditor.buckets(), server_->bucket_snapshot());
+
+  // Epoch e -> e+1: the sync rides one signed delta, no full download,
+  // and the mirror is bit-identical to what a full download would give.
+  server_->add_entries(fresh(0, 6));
+  server_->remove_entries(std::span<const std::string>(corpus_).first(3));
+  report = client.verified_sync(auditor);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.deltas_applied, 1u);
+  EXPECT_GT(report.delta_bytes, 0u);
+  EXPECT_EQ(report.full_bytes, 0u);
+  EXPECT_EQ(report.epoch, server_->epoch());
+  EXPECT_EQ(auditor.buckets(), server_->bucket_snapshot());
+  EXPECT_TRUE(auditor.trusted());
+
+  // Multi-epoch gap: one hop per missed epoch.
+  server_->add_entries(fresh(6, 5));
+  publisher_->publish_epoch(*server_);
+  server_->add_entries(fresh(11, 5));
+  report = client.verified_sync(auditor);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_EQ(auditor.buckets(), server_->bucket_snapshot());
+
+  // An unchanged epoch syncs trivially (no deltas, no downloads).
+  report = client.verified_sync(auditor);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.deltas_applied, 0u);
+  EXPECT_EQ(report.delta_bytes + report.full_bytes, 0u);
+  EXPECT_EQ(counter("cbl_tlog_sync_total",
+                    {{"endpoint", "scamdb"}, {"result", "ok"}}),
+            ok_before + 4);
+}
+
+TEST_F(TlogWireTest, UnreachableTlogEndpointsAreTransportNotAudit) {
+  auto transport = make_transport();
+  // A node WITHOUT a publisher answers kTlog* with kBadRequest: the
+  // service is not publishing, which is a liveness problem, not
+  // dishonesty — the auditor must stay trusted.
+  BlocklistServiceNode node(transport, "scamdb", *server_,
+                            oprf::Oracle::fast());
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  Auditor auditor(key_.pk, "scamdb");
+  const auto transport_before =
+      counter("cbl_tlog_sync_total",
+              {{"endpoint", "scamdb"}, {"result", "transport"}});
+  const auto report = client.verified_sync(auditor);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failure,
+            RemoteBlocklistClient::SyncReport::Failure::kTransport);
+  EXPECT_TRUE(auditor.trusted());
+  EXPECT_EQ(counter("cbl_tlog_sync_total",
+                    {{"endpoint", "scamdb"}, {"result", "transport"}}),
+            transport_before + 1);
+}
+
+TEST_F(TlogWireTest, EquivocatingEndpointIsAuditFailureOverTheWire) {
+  auto transport = make_transport();
+  auto node = std::make_optional<BlocklistServiceNode>(
+      transport, "scamdb", *server_, oprf::Oracle::fast(),
+      net::NodeLimits(), nullptr, &*publisher_);
+  RemoteBlocklistClient client(transport, "scamdb", client_rng_);
+  Auditor auditor(key_.pk, "scamdb");
+  ASSERT_TRUE(client.verified_sync(auditor).ok);
+
+  // Swap the honest node for one that serves a second signed checkpoint
+  // at the same tree size with a different root.
+  node.reset();
+  const auto honest = publisher_->latest_checkpoint();
+  auto other_root = honest.root;
+  other_root[0] ^= 0x04;
+  const auto forged = sign_checkpoint(key_, honest.tree_size, other_root,
+                                      honest.epoch, publisher_rng_);
+  transport.register_endpoint(
+      "scamdb", [&forged](ByteView frame) -> std::optional<Bytes> {
+        const auto request = net::parse_request_frame(frame);
+        if (request && request->method == net::Method::kTlogCheckpoint) {
+          return net::encode_response_frame(net::Status::kOk,
+                                            forged.to_bytes());
+        }
+        return net::encode_response_frame(net::Status::kBadRequest);
+      });
+
+  const auto audit_before = counter(
+      "cbl_tlog_sync_total", {{"endpoint", "scamdb"}, {"result", "audit"}});
+  const auto report = client.verified_sync(auditor);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failure,
+            RemoteBlocklistClient::SyncReport::Failure::kAudit);
+  EXPECT_FALSE(auditor.trusted());
+  EXPECT_EQ(counter("cbl_tlog_sync_total",
+                    {{"endpoint", "scamdb"}, {"result", "audit"}}),
+            audit_before + 1);
+  // Distrust is sticky: later syncs fail without touching the wire.
+  const auto calls_before = transport.stats().calls;
+  EXPECT_FALSE(client.verified_sync(auditor).ok);
+  EXPECT_EQ(transport.stats().calls, calls_before);
+}
+
+TEST_F(TlogWireTest, ChecksumValidGarbageBodyIsAudit) {
+  auto transport = make_transport();
+  transport.register_endpoint(
+      "evil", [this](ByteView frame) -> std::optional<Bytes> {
+        const auto request = net::parse_request_frame(frame);
+        if (request && request->method == net::Method::kInfo) {
+          net::ServiceInfo info;
+          info.lambda = server_->lambda();
+          info.entry_count = server_->entry_count();
+          return net::encode_response_frame(net::Status::kOk,
+                                            net::encode_info(info));
+        }
+        // Properly sealed garbage: passes the checksum gate, dies in the
+        // Checkpoint decoder — that is provider dishonesty, not noise.
+        return net::encode_response_frame(net::Status::kOk,
+                                          Bytes{0xde, 0xad, 0xbe, 0xef});
+      });
+  RemoteBlocklistClient client(transport, "evil", client_rng_);
+  Auditor auditor(key_.pk, "evil");
+  const auto report = client.verified_sync(auditor);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failure,
+            RemoteBlocklistClient::SyncReport::Failure::kAudit);
+}
+
+TEST_F(TlogWireTest, ResilientClientDistrustsEquivocatorPermanently) {
+  auto transport = make_transport();
+  auto node = std::make_optional<BlocklistServiceNode>(
+      transport, "scamdb", *server_, oprf::Oracle::fast(),
+      net::NodeLimits(), nullptr, &*publisher_);
+
+  net::ResilienceConfig config;
+  config.hedge_after_ms = 0.0;
+  obs::ManualClock clock;
+  net::ResilientClient client(transport, {"scamdb"}, client_rng_, config,
+                              &clock);
+  client.pin_tlog_key("scamdb", key_.pk);
+  ASSERT_EQ(client.sync(), 1u);
+  ASSERT_NE(client.tlog_auditor("scamdb"), nullptr);
+  EXPECT_TRUE(client.tlog_auditor("scamdb")->trusted());
+  EXPECT_FALSE(client.distrusted("scamdb"));
+  const auto fresh_answer = client.query(corpus_[0]);
+  EXPECT_EQ(fresh_answer.freshness, net::Freshness::kFresh);
+  EXPECT_EQ(fresh_answer.verdict,
+            net::ResilientClient::Outcome::Verdict::kListed);
+
+  // The provider turns equivocator.
+  node.reset();
+  const auto honest = publisher_->latest_checkpoint();
+  auto other_root = honest.root;
+  other_root[11] ^= 0x80;
+  const auto forged = sign_checkpoint(key_, honest.tree_size, other_root,
+                                      honest.epoch, publisher_rng_);
+  transport.register_endpoint(
+      "scamdb", [this, &forged](ByteView frame) -> std::optional<Bytes> {
+        const auto request = net::parse_request_frame(frame);
+        if (!request) {
+          return net::encode_response_frame(net::Status::kBadRequest);
+        }
+        if (request->method == net::Method::kInfo) {
+          net::ServiceInfo info;
+          info.lambda = server_->lambda();
+          info.entry_count = server_->entry_count();
+          return net::encode_response_frame(net::Status::kOk,
+                                            net::encode_info(info));
+        }
+        if (request->method == net::Method::kTlogCheckpoint) {
+          return net::encode_response_frame(net::Status::kOk,
+                                            forged.to_bytes());
+        }
+        return net::encode_response_frame(net::Status::kBadRequest);
+      });
+
+  const auto distrusted_before =
+      counter("cbl_tlog_providers_distrusted_total", {});
+  (void)client.sync();
+  EXPECT_TRUE(client.distrusted("scamdb"));
+  EXPECT_EQ(counter("cbl_tlog_providers_distrusted_total", {}),
+            distrusted_before + 1);
+
+  // A condemned provider gets no query traffic: the answer degrades
+  // (stale cache here) and is never kFresh again, even though the
+  // endpoint is up and would answer.
+  const auto degraded = client.query(corpus_[0]);
+  EXPECT_NE(degraded.freshness, net::Freshness::kFresh);
+  EXPECT_EQ(degraded.verdict,
+            net::ResilientClient::Outcome::Verdict::kListed);
+  // And sync() refuses to talk to it at all.
+  const auto calls_before = transport.stats().calls;
+  EXPECT_EQ(client.sync(), 0u);
+  EXPECT_EQ(transport.stats().calls, calls_before);
+}
+
+}  // namespace
+}  // namespace cbl::tlog

@@ -13,6 +13,7 @@
 #include "oprf/client.h"
 #include "oprf/server.h"
 #include "oprf/wire.h"
+#include "tlog/tlog.h"
 #include "voting/shareholder.h"
 #include "voting/wire.h"
 
@@ -326,6 +327,110 @@ TEST(WireGoldenTest, SerializersAreByteIdenticalToSeedFormat) {
   EXPECT_EQ(prefixes.size(), 24u);
   EXPECT_EQ(sha_hex(prefixes),
             "60623abfb91d0ea473a6450b291f0fea53eb7a94209ffd6638721f661dddec34");
+}
+
+// Same byte-stability contract for the transparency-log formats: a
+// client folds deltas it fetched in one release with state cached by
+// another, and the golden corpora under fuzz/corpora/fuzz_tlog_* are
+// regenerated from these exact serializers — so no byte may move.
+// Digests captured from the serializers that shipped the subsystem.
+TEST(WireGoldenTest, TlogSerializersAreByteStable) {
+  auto rng = ChaChaRng::from_string_seed("tlog-wire-golden");
+  const auto key = nizk::SigningKey::generate(rng);
+  const auto sha_hex = [](const Bytes& data) {
+    const auto digest = hash::Sha256::digest(data);
+    return to_hex(ByteView(digest.data(), digest.size()));
+  };
+  const auto rand_enc = [&rng] {
+    return (ec::RistrettoPoint::base() * ec::Scalar::random(rng)).encode();
+  };
+  const auto sorted = [](std::vector<ec::RistrettoPoint::Encoding> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+
+  tlog::BucketMap base;
+  base[3] = sorted({rand_enc(), rand_enc()});
+  base[9] = {rand_enc()};
+  const auto base_bytes = tlog::encode_bucket_map(base);
+  EXPECT_EQ(base_bytes.size(), 116u);
+  EXPECT_EQ(sha_hex(base_bytes),
+            "5b158f0986c0c1630606fe9ceb18e0bb5851b8c9fb28e15ec31aeabb4627c447");
+
+  tlog::BucketMap post = base;
+  post[3].push_back(rand_enc());
+  post[3] = sorted(post[3]);
+  post[17] = {rand_enc()};
+  post.erase(9);
+  auto delta = tlog::diff_buckets(base, post);
+  delta.from_epoch = 4;
+  delta.to_epoch = 5;
+  delta.base_bucket_root = tlog::BucketTree(base).root();
+  delta.post_bucket_root = tlog::BucketTree(post).root();
+  delta = tlog::sign_delta(key, std::move(delta), rng);
+  const auto delta_bytes = delta.to_bytes();
+  EXPECT_EQ(delta_bytes.size(), 281u);
+  EXPECT_EQ(sha_hex(delta_bytes),
+            "b56dbe5d48cb95128f9a50467ae09dd12c9fb742556d33320b7a398e73c3a125");
+
+  const auto checkpoint = tlog::sign_checkpoint(
+      key, 2, chain::MerkleTree::hash_leaf(to_bytes("tlog-golden-root")), 5,
+      rng);
+  const auto cp_bytes = checkpoint.to_bytes();
+  EXPECT_EQ(cp_bytes.size(), tlog::Checkpoint::kWireSize);
+  EXPECT_EQ(sha_hex(cp_bytes),
+            "58391b92c42e983dff95303532481c06a35acd5b4ca63d1557e9251f00f4c376");
+
+  tlog::TransparencyLog log;
+  for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    tlog::EpochRecord record;
+    record.epoch = epoch;
+    record.bucket_root =
+        chain::MerkleTree::hash_leaf(to_bytes("bucket-" + std::to_string(epoch)));
+    record.delta_digest =
+        chain::MerkleTree::hash_leaf(to_bytes("delta-" + std::to_string(epoch)));
+    log.append(record);
+  }
+  const auto inclusion = log.prove_record(4);
+  const auto incl_bytes = tlog::encode_inclusion_proof(inclusion);
+  EXPECT_EQ(incl_bytes.size(), 53u);
+  EXPECT_EQ(sha_hex(incl_bytes),
+            "8d12209163569cfc6e0457a047aa9ce81bdd9cecc6a7837f3404fa91e740a2fc");
+
+  tlog::ConsistencyProofMsg consistency;
+  consistency.old_size = 3;
+  consistency.new_size = 5;
+  consistency.nodes = log.prove_consistency(3);
+  const auto cons_bytes = tlog::encode_consistency_proof(consistency);
+  EXPECT_EQ(cons_bytes.size(), 148u);
+  EXPECT_EQ(sha_hex(cons_bytes),
+            "3239af06036dfb53d34ff3ce2d57701cc259a643b8332a10172ff32c9abbe93a");
+
+  tlog::AuditPath path;
+  path.epoch = 5;
+  path.bucket_root = tlog::BucketTree(post).root();
+  path.delta_digest = delta.digest();
+  path.bucket_proof = tlog::BucketTree(post).prove(0);
+  path.log_proof = inclusion;
+  const auto path_bytes = tlog::encode_audit_path(path);
+  EXPECT_EQ(path_bytes.size(), 178u);
+  EXPECT_EQ(sha_hex(path_bytes),
+            "9b519003a5e8ae21bb0d23c550eb1c48e0d176262c2c6affe99a55960d12b64d");
+
+  // Each format parses back to the same canonical bytes.
+  EXPECT_EQ(tlog::encode_bucket_map(*tlog::parse_bucket_map(base_bytes)),
+            base_bytes);
+  EXPECT_EQ(tlog::EpochDelta::from_bytes(delta_bytes)->to_bytes(),
+            delta_bytes);
+  EXPECT_EQ(tlog::Checkpoint::from_bytes(cp_bytes)->to_bytes(), cp_bytes);
+  EXPECT_EQ(tlog::encode_inclusion_proof(
+                *tlog::parse_inclusion_proof(incl_bytes)),
+            incl_bytes);
+  EXPECT_EQ(tlog::encode_consistency_proof(
+                *tlog::parse_consistency_proof(cons_bytes)),
+            cons_bytes);
+  EXPECT_EQ(tlog::encode_audit_path(*tlog::parse_audit_path(path_bytes)),
+            path_bytes);
 }
 
 TEST_F(VotingWireTest, RandomBytesNeverParse) {
