@@ -2,27 +2,37 @@
 # CI entry point — the full analysis matrix:
 #
 #   1. lint        scripts/ct_lint.py (constant-time discipline, annotation
-#                  driven — see DESIGN.md "Constant-time policy")
+#                  driven — see DESIGN.md "Constant-time policy"),
+#                  scripts/parser_lint.py, and scripts/lock_lint.py
+#                  (locking discipline — see DESIGN.md "Concurrency &
+#                  locking policy"), each self-tested where applicable
 #   2. clang-tidy  .clang-tidy profile over src/ (skipped with a notice
 #                  when clang-tidy is not installed)
-#   3. release     optimized build + full test suite
-#   4. asan-ubsan  Debug + AddressSanitizer + UBSan, full test suite
-#   5. tsan        Debug + ThreadSanitizer, full test suite (query-service
+#   3. thread-safety  clang capability analysis: a negative/positive
+#                  self-test pair (tests/static/) proving the analysis is
+#                  armed — the seeded off-lock mutation MUST fail to
+#                  compile — then a full clang build of the tree with
+#                  -DCBL_THREAD_SAFETY=ON, i.e. -Wthread-safety
+#                  -Wthread-safety-beta -Werror=thread-safety-analysis
+#                  (skipped with a notice when clang++ is not installed)
+#   4. release     optimized build + full test suite
+#   5. asan-ubsan  Debug + AddressSanitizer + UBSan, full test suite
+#   6. tsan        Debug + ThreadSanitizer, full test suite (query-service
 #                  and voting paths are concurrent; see src/oprf locking)
-#   6. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
+#   7. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
 #                  with -fsanitize-coverage=trace-pc, then the differential
 #                  trace harness runs its self-test and the secret audit
-#   7. fuzz-smoke  Debug + ASan/UBSan + -DCBL_FUZZ=ON: every harness
+#   8. fuzz-smoke  Debug + ASan/UBSan + -DCBL_FUZZ=ON: every harness
 #                  replays its committed corpus, then mutation-fuzzes for
 #                  CBL_FUZZ_SMOKE_SECONDS (default 30) — any trap, sanitizer
 #                  report, or harness invariant violation aborts
-#   8. chaos-smoke Debug + ASan/UBSan: the seeded chaos harness
+#   9. chaos-smoke Debug + ASan/UBSan: the seeded chaos harness
 #                  (tests/test_chaos) sweeps randomized fault schedules —
 #                  drops, corruption, blackouts, crash-restart, overload —
 #                  over thousands of queries. CBL_CHAOS_SEED (default
 #                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
 #                  any failure replays bit-exactly
-#   9. perf-smoke  Release build of bench_throughput and bench_tlog, run
+#  10. perf-smoke  Release build of bench_throughput and bench_tlog, run
 #                  with --json --quick; the emitted BENCH_*.json must
 #                  parse, the batched-encode kernel must not regress
 #                  below the scalar path (speedup >= 1 at batch >= 64),
@@ -40,7 +50,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-stages="${CBL_CI_STAGES:-lint clang-tidy release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke perf-smoke}"
+stages="${CBL_CI_STAGES:-lint clang-tidy thread-safety release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke perf-smoke}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
@@ -68,6 +78,10 @@ if want lint; then
   python3 "${repo_root}/scripts/parser_lint.py" --self-test
   echo "=== [lint] scripts/parser_lint.py ==="
   python3 "${repo_root}/scripts/parser_lint.py" --root "${repo_root}"
+  echo "=== [lint] scripts/lock_lint.py self-test ==="
+  python3 "${repo_root}/scripts/lock_lint.py" --self-test
+  echo "=== [lint] scripts/lock_lint.py ==="
+  python3 "${repo_root}/scripts/lock_lint.py" --root "${repo_root}"
 fi
 
 if want clang-tidy; then
@@ -81,6 +95,45 @@ if want clang-tidy; then
       xargs -0 -P "${jobs}" -n 8 clang-tidy -p "${tidy_dir}" --quiet
   else
     echo "=== [clang-tidy] SKIPPED: clang-tidy not installed ==="
+  fi
+fi
+
+if want thread-safety; then
+  if command -v clang++ >/dev/null 2>&1; then
+    mkdir -p "${build_root}"
+    ts_flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src"
+              -Wthread-safety -Wthread-safety-beta
+              -Werror=thread-safety-analysis)
+    echo "=== [thread-safety] negative self-test (seeded off-lock access MUST fail) ==="
+    if clang++ "${ts_flags[@]}" \
+        "${repo_root}/tests/static/thread_safety_negative.cpp" \
+        2>"${build_root}/thread_safety_negative.log"; then
+      echo "thread-safety stage is NOT armed: the seeded off-lock" \
+        "mutation in tests/static/thread_safety_negative.cpp compiled" \
+        "cleanly" >&2
+      exit 1
+    fi
+    grep -q "thread-safety" "${build_root}/thread_safety_negative.log" || {
+      echo "negative self-test failed for the wrong reason:" >&2
+      cat "${build_root}/thread_safety_negative.log" >&2
+      exit 1
+    }
+    echo "=== [thread-safety] positive self-test (fixed twin must pass) ==="
+    clang++ "${ts_flags[@]}" \
+      "${repo_root}/tests/static/thread_safety_positive.cpp"
+    echo "=== [thread-safety] scripts/lock_lint.py ==="
+    python3 "${repo_root}/scripts/lock_lint.py" --self-test
+    python3 "${repo_root}/scripts/lock_lint.py" --root "${repo_root}"
+    ts_dir="${build_root}/thread-safety"
+    echo "=== [thread-safety] configure (clang + -Werror=thread-safety-analysis) ==="
+    cmake -S "${repo_root}" -B "${ts_dir}" "${generator_args[@]}" \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DCBL_THREAD_SAFETY=ON
+    echo "=== [thread-safety] build (any off-lock access is a compile error) ==="
+    cmake --build "${ts_dir}" -j "${jobs}"
+  else
+    echo "=== [thread-safety] SKIPPED: clang++ not installed ==="
   fi
 fi
 

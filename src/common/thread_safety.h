@@ -1,0 +1,189 @@
+// Compile-time race detection: clang -Wthread-safety capability
+// annotations for the concurrency layer, plus the cbl::Mutex family the
+// whole tree locks through.
+//
+// The macros expand to clang's capability attributes under clang and to
+// nothing everywhere else, so gcc builds are unaffected and the analysis
+// runs as its own ci.sh stage (`thread-safety`: clang build with
+// -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis).
+// The static leg is scripts/lock_lint.py, which enforces that every
+// mutex member documents what it guards and that every guarded sibling
+// is annotated; see DESIGN.md "Concurrency & locking policy".
+//
+// Why a wrapper instead of raw std::mutex: the analysis only tracks
+// types marked CBL_CAPABILITY, and std::condition_variable needs a real
+// std::unique_lock<std::mutex> to wait on. cbl::Mutex carries the
+// capability, cbl::MutexLock is the CBL_SCOPED_CAPABILITY guard, and
+// MutexLock::native() exposes the underlying unique_lock for cv waits —
+// the canonical wait shape keeps every guarded read in the annotated
+// function body (NOT inside a predicate lambda, which the analysis
+// cannot see into):
+//
+//   cbl::MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock.native());   // ready_ GUARDED_BY(mutex_)
+//
+// The analysis treats the capability as held across the wait; that is
+// exactly the invariant a cv wait preserves (the lock is reacquired
+// before the predicate is re-evaluated).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CBL_TS_HAVE_ANALYSIS 1
+#endif
+#endif
+#ifndef CBL_TS_HAVE_ANALYSIS
+#define CBL_TS_HAVE_ANALYSIS 0
+#endif
+
+#if CBL_TS_HAVE_ANALYSIS
+#define CBL_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CBL_TS_ATTRIBUTE(x)
+#endif
+
+/// Marks a type as a lockable capability; `x` names it in diagnostics.
+#define CBL_CAPABILITY(x) CBL_TS_ATTRIBUTE(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CBL_SCOPED_CAPABILITY CBL_TS_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability
+/// (shared suffices for reads, exclusive is required for writes).
+#define CBL_GUARDED_BY(x) CBL_TS_ATTRIBUTE(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define CBL_PT_GUARDED_BY(x) CBL_TS_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held exclusively.
+#define CBL_REQUIRES(...) CBL_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Function precondition: the listed capabilities are held at least shared.
+#define CBL_REQUIRES_SHARED(...) \
+  CBL_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (exclusive / shared).
+#define CBL_ACQUIRE(...) CBL_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CBL_ACQUIRE_SHARED(...) \
+  CBL_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the listed capabilities. The _GENERIC form releases
+/// whichever mode is held — the right annotation for a scoped guard's
+/// destructor when the guard may hold either mode.
+#define CBL_RELEASE(...) CBL_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define CBL_RELEASE_SHARED(...) \
+  CBL_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define CBL_RELEASE_GENERIC(...) \
+  CBL_TS_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+#define CBL_TRY_ACQUIRE(...) \
+  CBL_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking public entry points).
+#define CBL_EXCLUDES(...) CBL_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares a required acquisition order between two capability members.
+#define CBL_ACQUIRED_BEFORE(...) CBL_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define CBL_ACQUIRED_AFTER(...) CBL_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use in
+/// the tree requires a justification comment on the same line —
+/// scripts/lock_lint.py rule L3 rejects bare occurrences.
+#define CBL_NO_THREAD_SAFETY_ANALYSIS \
+  CBL_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace cbl {
+
+/// std::mutex carrying the capability the analysis tracks. Lock through
+/// MutexLock (or lock()/unlock() for split acquire/release shapes).
+class CBL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CBL_ACQUIRE() { mu_.lock(); }
+  void unlock() CBL_RELEASE() { mu_.unlock(); }
+  bool try_lock() CBL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable plumbing only —
+  /// locking through this bypasses the analysis.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the capability: exclusive for writers
+/// (WriterMutexLock), shared for readers (ReaderMutexLock).
+class CBL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CBL_ACQUIRE() { mu_.lock(); }
+  void unlock() CBL_RELEASE() { mu_.unlock(); }
+  void lock_shared() CBL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() CBL_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native_handle() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive guard over cbl::Mutex. Backed by std::unique_lock so
+/// condition variables can wait on native(); unlock()/lock() support the
+/// drop-the-lock-around-work shape (the analysis tracks both).
+class CBL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CBL_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~MutexLock() CBL_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() CBL_RELEASE() { lock_.unlock(); }
+  void lock() CBL_ACQUIRE() { lock_.lock(); }
+
+  /// For std::condition_variable::wait — the wait releases and reacquires
+  /// the mutex, preserving the held-when-running invariant the analysis
+  /// assumes. Keep guarded reads in the enclosing function body (explicit
+  /// `while (!cond) cv.wait(lock.native());`), never in a predicate
+  /// lambda: the analysis does not look inside lambdas.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped exclusive (writer) guard over cbl::SharedMutex.
+class CBL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CBL_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~WriterMutexLock() CBL_RELEASE() = default;
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Scoped shared (reader) guard over cbl::SharedMutex.
+class CBL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CBL_ACQUIRE_SHARED(mu)
+      : lock_(mu.native_handle()) {}
+  ~ReaderMutexLock() CBL_RELEASE_GENERIC() = default;
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace cbl

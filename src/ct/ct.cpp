@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "common/ct.h"
+#include "common/thread_safety.h"
 
 // ---------------------------------------------------------------------------
 // Valgrind client requests, inlined (ctgrind style).
@@ -81,11 +81,11 @@ namespace cbl::ct {
 namespace {
 
 // Software registry: currently-poisoned ranges keyed by start address.
-// Guarded by a plain mutex — the harness and tests are the only callers,
-// so this is nowhere near any hot path.
+// The harness and tests are the only callers, so this is nowhere near
+// any hot path.
 struct Registry {
-  std::mutex mu;
-  std::map<std::uintptr_t, std::size_t> ranges;  // start -> length
+  cbl::Mutex mu;  // lock: the poisoned-range map
+  std::map<std::uintptr_t, std::size_t> ranges CBL_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -97,14 +97,14 @@ std::atomic<std::uint64_t> g_declassified{0};
 
 void registry_poison(std::uintptr_t start, std::size_t len) {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.ranges[start] = std::max(reg.ranges[start], len);
 }
 
 // Removes [start, start+len) from the registry, trimming partial overlaps.
 void registry_unpoison(std::uintptr_t start, std::size_t len) {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   const std::uintptr_t end = start + len;
   auto it = reg.ranges.begin();
   while (it != reg.ranges.end()) {
@@ -156,7 +156,7 @@ bool is_poisoned(const void* p, std::size_t len) noexcept {
   const std::uintptr_t start = reinterpret_cast<std::uintptr_t>(p);
   const std::uintptr_t end = start + len;
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& [rs, rlen] : reg.ranges) {
     if (rs < end && rs + rlen > start) return true;
   }
@@ -165,7 +165,7 @@ bool is_poisoned(const void* p, std::size_t len) noexcept {
 
 std::size_t poisoned_bytes() noexcept {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::size_t total = 0;
   for (const auto& [rs, rlen] : reg.ranges) total += rlen;
   return total;
@@ -177,7 +177,7 @@ std::uint64_t declassified_events() noexcept {
 
 void reset_for_testing() noexcept {
   auto& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.ranges.clear();
   g_declassified.store(0, std::memory_order_relaxed);
 }

@@ -27,14 +27,10 @@ unsigned WorkerPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-bool WorkerPool::enqueue_locked(std::unique_lock<std::mutex>& lock,
-                                Task& task) {
+void WorkerPool::enqueue_locked(Task& task) {
   queue_.push_back(std::move(task));
   depth_gauge_->set(static_cast<double>(queue_.size()));
   tasks_total_->inc();
-  lock.unlock();
-  not_empty_.notify_one();
-  return true;
 }
 
 bool WorkerPool::submit(Task task) {
@@ -42,54 +38,62 @@ bool WorkerPool::submit(Task task) {
     // Inline mode: the pool is a pass-through executor. No lock is held
     // while the task runs, so tasks may themselves submit.
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return false;
     }
     tasks_total_->inc();
     task();
     return true;
   }
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock, [this] {
-    return stopping_ || queue_.size() < options_.queue_capacity;
-  });
+  MutexLock lock(mutex_);
+  while (!stopping_ && queue_.size() >= options_.queue_capacity) {
+    not_full_.wait(lock.native());
+  }
   if (stopping_) return false;
-  return enqueue_locked(lock, task);
+  enqueue_locked(task);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
 }
 
 bool WorkerPool::try_submit(Task task) {
   if (workers_.empty()) return submit(std::move(task));
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (stopping_ || queue_.size() >= options_.queue_capacity) {
     lock.unlock();
     rejected_total_->inc();
     return false;
   }
-  return enqueue_locked(lock, task);
+  enqueue_locked(task);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
 }
 
 std::size_t WorkerPool::queue_depth() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 void WorkerPool::drain() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_.wait(lock.native());
 }
 
 void WorkerPool::shutdown() {
   {
-    std::unique_lock lock(mutex_);
-    if (stopping_) {
-      lock.unlock();
-    } else {
-      stopping_ = true;
-      lock.unlock();
+    MutexLock lock(mutex_);
+    const bool already_stopping = stopping_;
+    stopping_ = true;
+    lock.unlock();
+    if (!already_stopping) {
       not_empty_.notify_all();
       not_full_.notify_all();
     }
   }
+  // Joins are serialized so concurrent shutdown() calls (including the
+  // destructor racing an explicit shutdown) never double-join a worker.
+  MutexLock join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -99,8 +103,8 @@ void WorkerPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) not_empty_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -110,12 +114,11 @@ void WorkerPool::worker_loop() {
     not_full_.notify_one();
     task();
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) {
-        lock.unlock();
-        idle_.notify_all();
-      }
+      const bool drained = queue_.empty() && active_ == 0;
+      lock.unlock();
+      if (drained) idle_.notify_all();
     }
   }
 }
@@ -141,7 +144,7 @@ void parallel_for_chunks(
   }
 
   if (pool != nullptr && pool->threads() > 0) {
-    std::mutex m;
+    cbl::Mutex m;
     std::condition_variable done;
     std::size_t remaining = slices.size();
     for (const Slice s : slices) {
@@ -150,19 +153,19 @@ void parallel_for_chunks(
         // Notify under the lock: the waiter owns `m` and `done` on its
         // stack, so signalling after unlock would race their destruction
         // once the waiter observes remaining == 0 and returns.
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         if (--remaining == 0) done.notify_one();
       });
       if (!accepted) {
         // Pool shut down underneath us: run the slice on the caller so
         // the result is still complete.
         fn(s.begin, s.end);
-        std::unique_lock lock(m);
+        MutexLock lock(m);
         --remaining;
       }
     }
-    std::unique_lock lock(m);
-    done.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(m);
+    while (remaining != 0) done.wait(lock.native());
     return;
   }
 

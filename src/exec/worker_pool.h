@@ -11,11 +11,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "obs/metrics.h"
 
 namespace cbl::exec {
@@ -47,42 +47,54 @@ class WorkerPool {
 
   /// Enqueues (or runs inline when threads == 0). Blocks while the queue
   /// is full; returns false only after shutdown().
-  bool submit(Task task);
+  bool submit(Task task) CBL_EXCLUDES(mutex_);
 
   /// Non-blocking variant: returns false when the queue is full or the
   /// pool is shut down — the caller sheds the work.
-  bool try_submit(Task task);
+  bool try_submit(Task task) CBL_EXCLUDES(mutex_);
 
   /// Waits until the queue is empty and every worker is idle.
-  void drain();
+  void drain() CBL_EXCLUDES(mutex_);
 
   /// Stops accepting work, lets the workers finish the queue, joins them.
-  /// Idempotent.
-  void shutdown();
+  /// Idempotent, and safe to race from several threads: the flag flip is
+  /// guarded by mutex_, the joins are serialized by join_mutex_.
+  void shutdown() CBL_EXCLUDES(mutex_, join_mutex_);
 
   unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const CBL_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency(), floored at 1.
   static unsigned hardware_threads();
 
  private:
-  void worker_loop();
-  bool enqueue_locked(std::unique_lock<std::mutex>& lock, Task& task);
+  void worker_loop() CBL_EXCLUDES(mutex_);
+  /// Pushes the task and updates the depth metrics. The caller notifies
+  /// not_empty_ after dropping the lock — the notify deliberately stays
+  /// outside so no waiter wakes into a still-held mutex.
+  void enqueue_locked(Task& task) CBL_REQUIRES(mutex_);
 
-  Options options_;
-  mutable std::mutex mutex_;
+  const Options options_;
+  mutable cbl::Mutex mutex_;  // lock: queue, lifecycle flags, idle tracking
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;
-  std::deque<Task> queue_;
-  std::size_t active_ = 0;  // tasks currently running on workers
-  bool stopping_ = false;
+  std::deque<Task> queue_ CBL_GUARDED_BY(mutex_);
+  /// Tasks currently running on workers.
+  std::size_t active_ CBL_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CBL_GUARDED_BY(mutex_) = false;
+  /// Serializes the join section of shutdown(): two threads racing
+  /// shutdown() must not both call join() on the same std::thread.
+  /// Never held together with mutex_ (acquired after mutex_ is released).
+  cbl::Mutex join_mutex_;  // lock: the join loop over workers_
+  /// lock:unguarded(sized once in the constructor; elements are only
+  /// mutated by the join loop, which join_mutex_ serializes)
   std::vector<std::thread> workers_;
 
-  obs::Gauge* depth_gauge_;
-  obs::Counter* tasks_total_;
-  obs::Counter* rejected_total_;
+  // Metric handles resolved once in the constructor, stable thereafter.
+  obs::Gauge* depth_gauge_;       // lock:unguarded(set in ctor, then read-only)
+  obs::Counter* tasks_total_;     // lock:unguarded(set in ctor, then read-only)
+  obs::Counter* rejected_total_;  // lock:unguarded(set in ctor, then read-only)
 };
 
 /// Runs fn(begin, end) over contiguous slices of [0, n). The slice

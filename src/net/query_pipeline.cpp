@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_safety.h"
 #include "obs/trace.h"
 #include "oprf/wire.h"
 
@@ -117,7 +118,7 @@ QueryPipeline::ServeResult QueryPipeline::serve(ByteView query_body) {
   Pending pending;
   pending.request = &*request;
 
-  std::unique_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.queue.size() >= options_.max_queue) {
     // Shed before enqueue: a refused query never holds a batch slot and
     // never reaches the crypto layer.
@@ -133,8 +134,9 @@ QueryPipeline::ServeResult QueryPipeline::serve(ByteView query_body) {
       // Follower: a leader is batching. Wake when our result lands, or
       // when leadership frees up with our query still queued (the leader
       // finished its own query mid-backlog and handed off).
-      shard.cv.wait(lock,
-                    [&] { return pending.done || !shard.leader_active; });
+      while (!pending.done && shard.leader_active) {
+        shard.cv.wait(lock.native());
+      }
       continue;
     }
     // Leader: drain the queue in arrival order, one crypto batch at a

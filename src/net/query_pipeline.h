@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "exec/worker_pool.h"
 #include "net/service_node.h"
 #include "oprf/server.h"
@@ -74,16 +74,21 @@ class QueryPipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  /// One caller's slot in a shard queue. Lives on the caller's stack;
+  /// every field (including `done` and `result`, written by the batch
+  /// leader) is accessed only under the owning Shard's mutex — that
+  /// convention can't be expressed as an annotation because the
+  /// capability is not a member of Pending.
   struct Pending {
     const oprf::QueryRequest* request = nullptr;
     ServeResult result;
     bool done = false;
   };
   struct Shard {
-    std::mutex mutex;
+    cbl::Mutex mutex;  // lock: queue, leadership, and every queued Pending
     std::condition_variable cv;
-    std::deque<Pending*> queue;
-    bool leader_active = false;
+    std::deque<Pending*> queue CBL_GUARDED_BY(mutex);
+    bool leader_active CBL_GUARDED_BY(mutex) = false;
   };
 
   std::size_t shard_of(const oprf::QueryRequest& request) const;

@@ -104,7 +104,7 @@ ResilientClient::ResilientClient(Channel& channel,
   for (auto& endpoint : endpoints) {
     providers_.push_back(Provider{
         endpoint, std::nullopt, CircuitBreaker(endpoint, config_.breaker),
-        false, std::nullopt, false});
+        false, nullptr, false});
   }
   auto& registry = obs::MetricsRegistry::global();
   const auto answer_counter = [&](const char* freshness) {
@@ -155,6 +155,7 @@ void ResilientClient::sleep_ms(double ms) {
 }
 
 void ResilientClient::set_api_key(std::string key) {
+  MutexLock lock(mutex_);
   api_key_ = std::move(key);
   for (auto& provider : providers_) {
     if (provider.client) provider.client->set_api_key(api_key_);
@@ -162,6 +163,7 @@ void ResilientClient::set_api_key(std::string key) {
 }
 
 std::size_t ResilientClient::sync() {
+  MutexLock lock(mutex_);
   std::size_t connected = 0;
   for (auto& provider : providers_) {
     if (provider.distrusted) continue;  // never talk to a condemned peer
@@ -175,9 +177,11 @@ std::size_t ResilientClient::sync() {
 
 void ResilientClient::pin_tlog_key(const std::string& endpoint,
                                    const ec::RistrettoPoint& provider_pk) {
+  MutexLock lock(mutex_);
   for (auto& provider : providers_) {
     if (provider.endpoint == endpoint) {
-      provider.auditor.emplace(provider_pk, endpoint);
+      provider.auditor =
+          std::make_unique<tlog::Auditor>(provider_pk, endpoint);
       return;
     }
   }
@@ -185,6 +189,7 @@ void ResilientClient::pin_tlog_key(const std::string& endpoint,
 
 const tlog::Auditor* ResilientClient::tlog_auditor(
     const std::string& endpoint) const {
+  MutexLock lock(mutex_);
   for (const auto& provider : providers_) {
     if (provider.endpoint == endpoint && provider.auditor) {
       return &*provider.auditor;
@@ -194,6 +199,7 @@ const tlog::Auditor* ResilientClient::tlog_auditor(
 }
 
 bool ResilientClient::distrusted(const std::string& endpoint) const {
+  MutexLock lock(mutex_);
   for (const auto& provider : providers_) {
     if (provider.endpoint == endpoint) return provider.distrusted;
   }
@@ -207,13 +213,18 @@ void ResilientClient::tlog_sync(Provider& provider) {
       RemoteBlocklistClient::SyncReport::Failure::kAudit) {
     // Audit evidence is about the provider, not the channel: condemn it
     // for good. Transport failures just leave the mirror stale until a
-    // later sync() succeeds.
-    provider.distrusted = true;
-    metrics_.distrusted->inc();
+    // later sync() succeeds. The latch guard keeps the distrust counter
+    // at exactly one increment per provider no matter how many threads
+    // observe the same equivocation.
+    if (!provider.distrusted) {
+      provider.distrusted = true;
+      metrics_.distrusted->inc();
+    }
   }
 }
 
 std::size_t ResilientClient::connected_providers() const {
+  MutexLock lock(mutex_);
   std::size_t connected = 0;
   for (const auto& provider : providers_) {
     if (provider.client) ++connected;
@@ -223,6 +234,7 @@ std::size_t ResilientClient::connected_providers() const {
 
 CircuitBreaker::State ResilientClient::breaker_state(
     const std::string& endpoint) const {
+  MutexLock lock(mutex_);
   for (const auto& provider : providers_) {
     if (provider.endpoint == endpoint) return provider.breaker.state();
   }
@@ -322,6 +334,7 @@ void ResilientClient::remember(std::string_view address, bool listed) {
 
 ResilientClient::Outcome ResilientClient::query(std::string_view address) {
   using Kind = RemoteBlocklistClient::QueryOutcome::Kind;
+  MutexLock lock(mutex_);
   const double start = now_ms();
   Outcome out;
   double previous_backoff = config_.backoff_base_ms;

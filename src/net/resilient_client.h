@@ -30,11 +30,13 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "net/service_node.h"
 #include "obs/clock.h"
 #include "tlog/auditor.h"
@@ -62,6 +64,10 @@ struct BreakerConfig {
 /// Per-endpoint circuit breaker. State is exported as the gauge
 /// cbl_net_breaker_state{endpoint} (0 closed / 1 open / 2 half-open)
 /// and every transition as cbl_net_breaker_transitions_total{endpoint,to}.
+///
+/// Not internally synchronized: every instance lives inside a
+/// ResilientClient::Provider, and all access runs under the owning
+/// client's mutex_.
 class CircuitBreaker {
  public:
   enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
@@ -135,15 +141,18 @@ class ResilientClient {
 
   /// One membership query under the full policy stack. Never throws on
   /// network trouble; the outcome says how good the answer is.
-  Outcome query(std::string_view address);
+  /// Thread-safe; concurrent queries serialize on the client's one lock
+  /// (this is a wallet-side component — the latch and cache must be
+  /// correct, parallel wire throughput is not a goal here).
+  Outcome query(std::string_view address) CBL_EXCLUDES(mutex_);
 
   /// Connects any still-unconnected providers and syncs their prefix
-  /// lists. Safe to call repeatedly; returns how many providers are
-  /// currently connected.
-  std::size_t sync();
+  /// lists. Safe to call repeatedly (and concurrently); returns how many
+  /// providers are currently connected.
+  std::size_t sync() CBL_EXCLUDES(mutex_);
 
   /// API key forwarded to every provider client (current and future).
-  void set_api_key(std::string key);
+  void set_api_key(std::string key) CBL_EXCLUDES(mutex_);
 
   /// Pins `provider_pk` as `endpoint`'s transparency signing key. From
   /// then on every sync() runs a verified delta sync (checkpoint,
@@ -153,17 +162,25 @@ class ResilientClient {
   /// for queries and prefix-only answers, and the degradation ladder
   /// serves what remains. Transport damage never distrusts.
   void pin_tlog_key(const std::string& endpoint,
-                    const ec::RistrettoPoint& provider_pk);
+                    const ec::RistrettoPoint& provider_pk)
+      CBL_EXCLUDES(mutex_);
 
   /// The pinned endpoint's auditor (mirror state, trust flag), or
-  /// nullptr when no key is pinned.
-  const tlog::Auditor* tlog_auditor(const std::string& endpoint) const;
+  /// nullptr when no key is pinned. The escaped pointer stays valid and
+  /// safe to use off-lock: providers_ never resizes after construction
+  /// and the Auditor is internally synchronized.
+  const tlog::Auditor* tlog_auditor(const std::string& endpoint) const
+      CBL_EXCLUDES(mutex_);
   /// True once an audit failure has condemned the endpoint.
-  bool distrusted(const std::string& endpoint) const;
+  bool distrusted(const std::string& endpoint) const CBL_EXCLUDES(mutex_);
 
-  CircuitBreaker::State breaker_state(const std::string& endpoint) const;
-  std::size_t connected_providers() const;
-  std::size_t cached_responses() const { return cache_.size(); }
+  CircuitBreaker::State breaker_state(const std::string& endpoint) const
+      CBL_EXCLUDES(mutex_);
+  std::size_t connected_providers() const CBL_EXCLUDES(mutex_);
+  std::size_t cached_responses() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return cache_.size();
+  }
   double now_ms() const;
 
  private:
@@ -172,7 +189,10 @@ class ResilientClient {
     std::optional<RemoteBlocklistClient> client;
     CircuitBreaker breaker;
     bool prefix_synced = false;
-    std::optional<tlog::Auditor> auditor;  // present once a key is pinned
+    /// Present once a key is pinned. Heap-held (the Auditor owns a
+    /// Mutex, so it is immovable) — which also keeps the pointer
+    /// escaped via tlog_auditor() stable for the client's lifetime.
+    std::unique_ptr<tlog::Auditor> auditor;
     bool distrusted = false;               // latched by audit failures
   };
   struct CachedVerdict {
@@ -184,25 +204,43 @@ class ResilientClient {
     bool timed_out = false;
   };
 
-  bool ensure_connected(Provider& provider);
+  bool ensure_connected(Provider& provider) CBL_REQUIRES(mutex_);
   /// Runs the verified transparency sync for a pinned provider; latches
-  /// `distrusted` on audit failure.
-  void tlog_sync(Provider& provider);
-  AttemptResult attempt(Provider& provider, std::string_view address);
+  /// `distrusted` on audit failure (exactly one counter increment per
+  /// provider, however many threads observe the same evidence).
+  void tlog_sync(Provider& provider) CBL_REQUIRES(mutex_);
+  AttemptResult attempt(Provider& provider, std::string_view address)
+      CBL_REQUIRES(mutex_);
   void sleep_ms(double ms);
-  void remember(std::string_view address, bool listed);
-  Outcome degrade(std::string_view address, Outcome partial);
-  double backoff_ms(double previous_ms) const;
+  void remember(std::string_view address, bool listed) CBL_REQUIRES(mutex_);
+  Outcome degrade(std::string_view address, Outcome partial)
+      CBL_REQUIRES(mutex_);
+  double backoff_ms(double previous_ms) const CBL_REQUIRES(mutex_);
 
+  /// lock:unguarded(reference bound in the ctor and never reseated; the
+  /// channel itself is only driven from attempt()/ensure_connected(),
+  /// which require mutex_)
   Channel& channel_;
-  Rng& rng_;
-  ResilienceConfig config_;
-  obs::ManualClock* clock_;
-  std::vector<Provider> providers_;
-  std::string api_key_;
-  std::unordered_map<std::string, CachedVerdict> cache_;
-  std::deque<std::string> cache_order_;  // FIFO eviction
-  std::size_t next_primary_ = 0;  // round-robin start among providers
+  /// Drawn for backoff jitter; serialized under mutex_ with the rest of
+  /// the query path.
+  Rng& rng_ CBL_GUARDED_BY(mutex_);
+  const ResilienceConfig config_;
+  obs::ManualClock* const clock_;
+
+  /// One coarse lock over all mutable client state. Held across wire
+  /// attempts, so concurrent queries serialize — see query()'s contract.
+  mutable cbl::Mutex mutex_;  // lock: providers, cache, rotation cursor
+  /// Sized once in the constructor and never resized, so Provider
+  /// addresses (including Auditor pointers escaped via tlog_auditor)
+  /// stay stable for the client's lifetime.
+  std::vector<Provider> providers_ CBL_GUARDED_BY(mutex_);
+  std::string api_key_ CBL_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, CachedVerdict> cache_
+      CBL_GUARDED_BY(mutex_);
+  std::deque<std::string> cache_order_
+      CBL_GUARDED_BY(mutex_);  // FIFO eviction
+  /// Round-robin start among providers.
+  std::size_t next_primary_ CBL_GUARDED_BY(mutex_) = 0;
 
   struct Metrics {
     obs::Counter* fresh;
@@ -217,6 +255,8 @@ class ResilientClient {
     obs::Counter* backoff_ms_total;
     obs::Counter* distrusted;
   };
+  // lock:unguarded(handles resolved once in the constructor; Counter
+  // increments are lock-free atomics)
   Metrics metrics_;
 };
 

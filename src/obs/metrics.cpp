@@ -115,7 +115,7 @@ MetricsRegistry& MetricsRegistry::global() {
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels,
                                   const std::string& help) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto& entry = counters_[Key{name, labels}];
   if (!entry.metric) {
     entry.metric.reset(new Counter(&enabled_));
@@ -126,7 +126,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
                               const std::string& help) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto& entry = gauges_[Key{name, labels}];
   if (!entry.metric) {
     entry.metric.reset(new Gauge(&enabled_));
@@ -139,7 +139,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const Labels& labels,
                                       const std::string& help) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto& entry = histograms_[Key{name, labels}];
   if (!entry.metric) {
     entry.metric.reset(new Histogram(&enabled_, std::move(bounds)));
@@ -149,7 +149,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, entry] : counters_) {
     entry.metric->value_.store(0, std::memory_order_relaxed);
   }
@@ -167,7 +167,7 @@ void MetricsRegistry::reset() {
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MetricSnapshot> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, entry] : counters_) {

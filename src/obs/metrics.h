@@ -15,11 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "obs/clock.h"
 
 namespace cbl::obs {
@@ -211,12 +211,14 @@ class MetricsRegistry {
     std::string help;
   };
 
+  // lock:unguarded(lock-free atomics; handles read them on the hot path)
   std::atomic<bool> enabled_{true};
+  // lock:unguarded(atomic pointer swap with acquire/release ordering)
   std::atomic<const Clock*> clock_{&SteadyClock::instance()};
-  mutable std::mutex mutex_;
-  std::map<Key, Entry<Counter>> counters_;
-  std::map<Key, Entry<Gauge>> gauges_;
-  std::map<Key, Entry<Histogram>> histograms_;
+  mutable cbl::Mutex mutex_;  // lock: the metric family maps below
+  std::map<Key, Entry<Counter>> counters_ CBL_GUARDED_BY(mutex_);
+  std::map<Key, Entry<Gauge>> gauges_ CBL_GUARDED_BY(mutex_);
+  std::map<Key, Entry<Histogram>> histograms_ CBL_GUARDED_BY(mutex_);
 };
 
 }  // namespace cbl::obs

@@ -10,7 +10,7 @@ TraceLog::TraceLog(std::size_t capacity)
 }
 
 void TraceLog::record(TraceEvent event) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -21,7 +21,7 @@ void TraceLog::record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TraceLog::snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -35,12 +35,12 @@ std::vector<TraceEvent> TraceLog::snapshot() const {
 }
 
 std::uint64_t TraceLog::recorded() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_;
 }
 
 void TraceLog::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;

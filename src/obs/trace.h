@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "obs/metrics.h"
 
 namespace cbl::obs {
@@ -37,10 +37,10 @@ class TraceLog {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t next_ = 0;
-  std::uint64_t recorded_ = 0;
+  mutable cbl::Mutex mutex_;  // lock: the ring and its write cursor
+  std::vector<TraceEvent> ring_ CBL_GUARDED_BY(mutex_);
+  std::size_t next_ CBL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ CBL_GUARDED_BY(mutex_) = 0;
 };
 
 /// Attaches/detaches the ring buffer spans feed (null detaches). The log

@@ -78,18 +78,18 @@ void OprfServer::refresh_data_gauges() {
 
 void OprfServer::setup(std::span<const std::string> entries,
                        unsigned num_threads) {
-  std::unique_lock lock(data_mutex_);
+  WriterMutexLock lock(data_mutex_);
   entries_.assign(entries.begin(), entries.end());
   rebuild(num_threads);
 }
 
 void OprfServer::rotate_key(unsigned num_threads) {
-  std::unique_lock lock(data_mutex_);
+  WriterMutexLock lock(data_mutex_);
   rebuild(num_threads);
 }
 
 void OprfServer::restore_epoch(std::uint64_t floor) {
-  std::unique_lock lock(data_mutex_);
+  WriterMutexLock lock(data_mutex_);
   if (epoch_ < floor) {
     epoch_ = floor;
     refresh_data_gauges();
@@ -99,7 +99,13 @@ void OprfServer::restore_epoch(std::uint64_t floor) {
 void OprfServer::rebuild(unsigned num_threads) {
   const auto& clock = obs::MetricsRegistry::global().clock();
   const std::uint64_t t0 = clock.now_ns();
-  mask_ = ec::Scalar::random(rng_);
+  {
+    // rng_mutex_ nested inside the held data_mutex_ (documented order:
+    // data_mutex_ -> rng_mutex_) so the sampling cannot interleave with a
+    // concurrent evaluation-proof draw.
+    MutexLock rng_lock(rng_mutex_);
+    mask_ = ec::Scalar::random(rng_);
+  }
   half_mask_ = mask_ * inv_two();
   key_commitment_ = ec::RistrettoPoint::base() * mask_;
   ++epoch_;
@@ -114,15 +120,22 @@ void OprfServer::rebuild(unsigned num_threads) {
   std::vector<ec::RistrettoPoint::Encoding> blinded(entries_.size());
   std::vector<std::uint32_t> prefixes(entries_.size());
 
+  // The worker lambda runs on threads that do not themselves hold
+  // data_mutex_ — the exclusive lock held by THIS caller for the whole
+  // parallel region is what makes the shared reads safe. The analysis
+  // cannot see across that hand-off, so the guarded state the workers
+  // need is bound to locals here, under the lock.
+  const std::vector<std::string>& entries = entries_;
+  const ec::Scalar half_mask = half_mask_;
   auto work = [&](std::size_t begin, std::size_t end) {
     std::vector<Bytes> raw(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      raw[i - begin] = to_bytes(entries_[i]);
+      raw[i - begin] = to_bytes(entries[i]);
     }
     const auto hashed = oracle_.map_to_group_batch(raw);
     std::vector<ec::RistrettoPoint> halves(hashed.size());
     for (std::size_t j = 0; j < hashed.size(); ++j) {
-      halves[j] = hashed[j] * half_mask_;
+      halves[j] = hashed[j] * half_mask;
     }
     const auto encodings =
         ec::RistrettoPoint::double_and_encode_batch(halves);
@@ -174,8 +187,8 @@ void OprfServer::rebuild(unsigned num_threads) {
 QueryResponse OprfServer::handle(const QueryRequest& request) {
   auto& registry = obs::MetricsRegistry::global();
   const bool observing = registry.enabled();
-  if (rate_limiting_) {
-    std::lock_guard limiter_lock(limiter_mutex_);
+  if (rate_limiting_.load(std::memory_order_acquire)) {
+    MutexLock limiter_lock(limiter_mutex_);
     const auto it = authorized_.find(request.api_key);
     if (it == authorized_.end() || !it->second) {
       metrics_.queries_rate_limited->inc();
@@ -186,7 +199,7 @@ QueryResponse OprfServer::handle(const QueryRequest& request) {
       throw ProtocolError("OprfServer: rate limit exceeded");
     }
   }
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   if (request.prefix >> lambda_ != 0) {
     metrics_.queries_bad_request->inc();
     throw ProtocolError("OprfServer: prefix out of range for lambda");
@@ -203,7 +216,7 @@ QueryResponse OprfServer::handle(const QueryRequest& request) {
   response.evaluated = evaluated.encode();
   response.epoch = epoch_;
   if (request.want_evaluation_proof) {
-    std::lock_guard rng_lock(rng_mutex_);
+    MutexLock rng_lock(rng_mutex_);
     response.evaluation_proof = nizk::DleqProof::prove(
         ec::RistrettoPoint::base(), key_commitment_, *masked, evaluated,
         mask_, kEvalProofDomain, rng_);
@@ -244,10 +257,10 @@ std::vector<OprfServer::BatchOutcome> OprfServer::evaluate_batch(
         ->inc();
   };
 
-  if (rate_limiting_) {
+  if (rate_limiting_.load(std::memory_order_acquire)) {
     // One limiter pass for the whole batch, with the same per-request
     // accounting handle() performs.
-    std::lock_guard limiter_lock(limiter_mutex_);
+    MutexLock limiter_lock(limiter_mutex_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const auto it = authorized_.find(requests[i].api_key);
       if (it == authorized_.end() || !it->second) {
@@ -264,7 +277,7 @@ std::vector<OprfServer::BatchOutcome> OprfServer::evaluate_batch(
     for (auto& o : out) o.status = BatchOutcome::Status::kOk;
   }
 
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   std::vector<std::size_t> live;
   std::vector<ec::RistrettoPoint> masked_points;
   live.reserve(requests.size());
@@ -310,7 +323,7 @@ std::vector<OprfServer::BatchOutcome> OprfServer::evaluate_batch(
     response.epoch = epoch_;
     if (request.want_evaluation_proof) {
       const ec::RistrettoPoint evaluated = halves[k] + halves[k];
-      std::lock_guard rng_lock(rng_mutex_);
+      MutexLock rng_lock(rng_mutex_);
       response.evaluation_proof = nizk::DleqProof::prove(
           ec::RistrettoPoint::base(), key_commitment_, masked_points[k],
           evaluated, mask_, kEvalProofDomain, rng_);
@@ -349,7 +362,7 @@ void OprfServer::insert_into_bucket(const std::string& entry) {
 }
 
 std::size_t OprfServer::add_entries(std::span<const std::string> entries) {
-  std::unique_lock lock(data_mutex_);
+  WriterMutexLock lock(data_mutex_);
   std::size_t added = 0;
   for (const auto& entry : entries) {
     if (entry_index_.contains(entry)) continue;
@@ -365,7 +378,7 @@ std::size_t OprfServer::add_entries(std::span<const std::string> entries) {
 }
 
 std::size_t OprfServer::remove_entries(std::span<const std::string> entries) {
-  std::unique_lock lock(data_mutex_);
+  WriterMutexLock lock(data_mutex_);
   std::size_t removed = 0;
   for (const auto& entry : entries) {
     const auto idx = entry_index_.find(entry);
@@ -396,7 +409,7 @@ std::size_t OprfServer::remove_entries(std::span<const std::string> entries) {
 }
 
 std::vector<std::uint32_t> OprfServer::prefix_list() const {
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   std::vector<std::uint32_t> out;
   out.reserve(buckets_.size());
   for (const auto& [prefix, bucket] : buckets_) out.push_back(prefix);
@@ -405,7 +418,7 @@ std::vector<std::uint32_t> OprfServer::prefix_list() const {
 
 std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>>
 OprfServer::bucket_snapshot() const {
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>> out;
   for (const auto& [prefix, bucket] : buckets_) {
     out.emplace(prefix, bucket.blinded);
@@ -414,7 +427,7 @@ OprfServer::bucket_snapshot() const {
 }
 
 OprfServer::BucketStats OprfServer::stats() const {
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   BucketStats s;
   s.buckets_total = std::size_t{1} << lambda_;
   s.buckets_nonempty = buckets_.size();
@@ -438,7 +451,7 @@ OprfServer::BucketStats OprfServer::stats() const {
 }
 
 std::vector<std::size_t> OprfServer::bucket_sizes() const {
-  std::shared_lock lock(data_mutex_);
+  ReaderMutexLock lock(data_mutex_);
   std::vector<std::size_t> sizes;
   sizes.reserve(buckets_.size());
   for (const auto& [prefix, bucket] : buckets_) {
@@ -448,24 +461,30 @@ std::vector<std::size_t> OprfServer::bucket_sizes() const {
 }
 
 void OprfServer::enable_rate_limiting(std::uint32_t max_queries_per_window) {
-  rate_limiting_ = true;
+  MutexLock limiter_lock(limiter_mutex_);
   max_per_window_ = max_queries_per_window;
+  // Release store pairs with the acquire load in handle()/evaluate_batch:
+  // the window bound above is visible before any limiter pass runs.
+  rate_limiting_.store(true, std::memory_order_release);
 }
 
 void OprfServer::authorize_key(const std::string& key) {
+  MutexLock limiter_lock(limiter_mutex_);
   authorized_[key] = true;
 }
 
 void OprfServer::revoke_key(const std::string& key) {
+  MutexLock limiter_lock(limiter_mutex_);
   authorized_[key] = false;
 }
 
 void OprfServer::advance_window() {
-  std::lock_guard limiter_lock(limiter_mutex_);
+  MutexLock limiter_lock(limiter_mutex_);
   window_counts_.clear();
 }
 
 void OprfServer::set_metadata_provider(MetadataProvider provider) {
+  WriterMutexLock lock(data_mutex_);
   metadata_provider_ = std::move(provider);
 }
 

@@ -5,17 +5,17 @@
 // limiter the paper recommends against service-exhaustion attacks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/errors.h"
+#include "common/thread_safety.h"
 #include "common/rng.h"
 #include "ec/ristretto.h"
 #include "ec/scalar.h"
@@ -47,27 +47,32 @@ class OprfServer {
   /// Data preprocessing (stage 1 of Fig. 2): samples a fresh mask R,
   /// blinds every entry and partitions into buckets. `num_threads` > 1
   /// parallelizes the exponentiations as in the paper's 8-core setup.
-  void setup(std::span<const std::string> entries, unsigned num_threads = 1);
+  void setup(std::span<const std::string> entries, unsigned num_threads = 1)
+      CBL_EXCLUDES(data_mutex_);
 
   /// Key rotation: new R, same data ("S can run this protocol in rotation
   /// whenever there is a demand for adjusting R"). Bumps the epoch, which
   /// invalidates client caches.
-  void rotate_key(unsigned num_threads = 1);
+  void rotate_key(unsigned num_threads = 1) CBL_EXCLUDES(data_mutex_);
 
   /// Incremental maintenance under the CURRENT mask R: blinds only the
   /// new entries (one exponentiation each) instead of re-running setup.
   /// Bumps the epoch once per call (bucket contents changed, so client
   /// caches must refresh). Returns how many entries were actually
   /// added/removed (duplicates and absentees are skipped).
-  std::size_t add_entries(std::span<const std::string> entries);
-  std::size_t remove_entries(std::span<const std::string> entries);
-  bool serves(const std::string& entry) const {
+  std::size_t add_entries(std::span<const std::string> entries)
+      CBL_EXCLUDES(data_mutex_);
+  std::size_t remove_entries(std::span<const std::string> entries)
+      CBL_EXCLUDES(data_mutex_);
+  bool serves(const std::string& entry) const CBL_EXCLUDES(data_mutex_) {
+    cbl::ReaderMutexLock lock(data_mutex_);
     return entry_index_.contains(entry);
   }
 
   /// Online evaluation (stage 3 of Fig. 2). Throws ProtocolError on
   /// malformed queries or rate-limit violations.
-  QueryResponse handle(const QueryRequest& request);
+  QueryResponse handle(const QueryRequest& request)
+      CBL_EXCLUDES(data_mutex_, limiter_mutex_, rng_mutex_);
 
   /// Per-request outcome of evaluate_batch: handle()'s ProtocolError
   /// exits mapped to statuses so one bad request cannot abort a batch.
@@ -87,26 +92,35 @@ class OprfServer {
   /// masked_i * (R/2)), paying a single field inversion for the whole
   /// batch instead of one inverse square root per query.
   std::vector<BatchOutcome> evaluate_batch(
-      std::span<const QueryRequest> requests);
+      std::span<const QueryRequest> requests)
+      CBL_EXCLUDES(data_mutex_, limiter_mutex_, rng_mutex_);
 
   /// The published key commitment g^R for the current epoch (the
   /// verifiable-OPRF anchor clients verify evaluation proofs against).
-  const ec::RistrettoPoint& key_commitment() const { return key_commitment_; }
+  /// Returned by value: a reference could be read mid-rotation while
+  /// rebuild() swaps in the next epoch's commitment.
+  ec::RistrettoPoint key_commitment() const CBL_EXCLUDES(data_mutex_) {
+    cbl::ReaderMutexLock lock(data_mutex_);
+    return key_commitment_;
+  }
 
   static constexpr std::string_view kEvalProofDomain =
       "cbl/oprf/evaluation-proof/v1";
 
   /// Sorted list of non-empty prefixes, for distribution to clients.
-  std::vector<std::uint32_t> prefix_list() const;
+  std::vector<std::uint32_t> prefix_list() const CBL_EXCLUDES(data_mutex_);
 
   /// Snapshot of every non-empty bucket's blinded entries (sorted within
   /// each bucket), keyed by prefix. This is what the transparency-log
   /// publisher commits to per epoch; the encodings are public data — the
   /// same bytes any querying client receives in bucket responses.
   std::map<std::uint32_t, std::vector<ec::RistrettoPoint::Encoding>>
-  bucket_snapshot() const;
+  bucket_snapshot() const CBL_EXCLUDES(data_mutex_);
 
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const CBL_EXCLUDES(data_mutex_) {
+    cbl::ReaderMutexLock lock(data_mutex_);
+    return epoch_;
+  }
 
   /// Crash-recovery support: raises the epoch to at least `floor`. A
   /// rebuilt server restarts epoch numbering from zero, so without this
@@ -115,9 +129,12 @@ class OprfServer {
   /// stale cache into silently wrong membership answers. Recovery code
   /// must call this with (last served epoch) before going live; the next
   /// setup/rotation then advances past every epoch ever served.
-  void restore_epoch(std::uint64_t floor);
+  void restore_epoch(std::uint64_t floor) CBL_EXCLUDES(data_mutex_);
   unsigned lambda() const { return lambda_; }
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count() const CBL_EXCLUDES(data_mutex_) {
+    cbl::ReaderMutexLock lock(data_mutex_);
+    return entries_.size();
+  }
 
   struct BucketStats {
     std::size_t buckets_total = 0;      // 2^lambda
@@ -130,20 +147,24 @@ class OprfServer {
     std::size_t k_anonymity = 0;
     std::size_t avg_response_bytes = 0;
   };
-  BucketStats stats() const;
+  BucketStats stats() const CBL_EXCLUDES(data_mutex_);
 
   /// Sizes of all non-empty buckets (input to anonymity analysis).
-  std::vector<std::size_t> bucket_sizes() const;
+  std::vector<std::size_t> bucket_sizes() const CBL_EXCLUDES(data_mutex_);
 
   // --- Rate limiting (authorized keys) -----------------------------------
-  void enable_rate_limiting(std::uint32_t max_queries_per_window);
-  void authorize_key(const std::string& key);
-  void revoke_key(const std::string& key);
+  // All limiter maintenance locks limiter_mutex_ so it is safe against a
+  // concurrent handle()/evaluate_batch limiter pass.
+  void enable_rate_limiting(std::uint32_t max_queries_per_window)
+      CBL_EXCLUDES(limiter_mutex_);
+  void authorize_key(const std::string& key) CBL_EXCLUDES(limiter_mutex_);
+  void revoke_key(const std::string& key) CBL_EXCLUDES(limiter_mutex_);
   /// Starts a new accounting window (driven by the host's clock).
-  void advance_window();
+  void advance_window() CBL_EXCLUDES(limiter_mutex_);
 
   // --- Metadata extension -------------------------------------------------
-  void set_metadata_provider(MetadataProvider provider);
+  void set_metadata_provider(MetadataProvider provider)
+      CBL_EXCLUDES(data_mutex_);
 
   /// Derives the symmetric key protecting entry metadata from the OPRF
   /// output F(R, entry) = H(entry)^R. Exposed so the client can derive
@@ -163,32 +184,44 @@ class OprfServer {
     std::vector<Bytes> metadata;                        // aligned with blinded
   };
 
-  void rebuild(unsigned num_threads);
-  void insert_into_bucket(const std::string& entry);
+  /// Full preprocessing pass under a fresh mask. Takes rng_mutex_ for
+  /// the mask sampling (nested inside the already-held exclusive data
+  /// lock — see the DESIGN.md lock-ordering table).
+  void rebuild(unsigned num_threads) CBL_REQUIRES(data_mutex_)
+      CBL_EXCLUDES(rng_mutex_);
+  void insert_into_bucket(const std::string& entry)
+      CBL_REQUIRES(data_mutex_);
 
-  Oracle oracle_;
-  unsigned lambda_;
-  Rng& rng_;
-  ec::Scalar mask_;  // R  ct:secret
-  // R * 2^-1 mod l, refreshed with mask_: the batched encode kernel
-  // produces encodings of 2*P, so hot paths exponentiate by R/2 and let
-  // double_and_encode_batch supply the doubling. ct:secret
-  ec::Scalar half_mask_;
-  ec::RistrettoPoint key_commitment_;  // g^R
-  std::uint64_t epoch_ = 0;
-  std::vector<std::string> entries_;
-  std::unordered_map<std::string, std::uint32_t> entry_index_;  // -> prefix
-  std::map<std::uint32_t, Bucket> buckets_;
-  MetadataProvider metadata_provider_;
+  const Oracle oracle_;  // stateless hash-to-group; safe to share
+  const unsigned lambda_;
 
-  bool rate_limiting_ = false;
-  std::uint32_t max_per_window_ = 0;
-  std::unordered_map<std::string, std::uint32_t> window_counts_;
-  std::unordered_map<std::string, bool> authorized_;
+  mutable cbl::SharedMutex data_mutex_;  // lock: buckets / mask / epoch
+  // ct:secret — the mask R. half_mask_ is R * 2^-1 mod l, refreshed with
+  // mask_: the batched encode kernel produces encodings of 2*P, so hot
+  // paths exponentiate by R/2 and let double_and_encode_batch supply the
+  // doubling. ct:secret
+  ec::Scalar mask_ CBL_GUARDED_BY(data_mutex_);
+  ec::Scalar half_mask_ CBL_GUARDED_BY(data_mutex_);
+  ec::RistrettoPoint key_commitment_ CBL_GUARDED_BY(data_mutex_);  // g^R
+  std::uint64_t epoch_ CBL_GUARDED_BY(data_mutex_) = 0;
+  std::vector<std::string> entries_ CBL_GUARDED_BY(data_mutex_);
+  std::unordered_map<std::string, std::uint32_t> entry_index_
+      CBL_GUARDED_BY(data_mutex_);  // -> prefix
+  std::map<std::uint32_t, Bucket> buckets_ CBL_GUARDED_BY(data_mutex_);
+  MetadataProvider metadata_provider_ CBL_GUARDED_BY(data_mutex_);
 
-  mutable std::shared_mutex data_mutex_;   // buckets / mask / epoch
-  mutable std::mutex limiter_mutex_;       // rate-limiter counters
-  mutable std::mutex rng_mutex_;           // evaluation-proof randomness
+  mutable cbl::Mutex limiter_mutex_;  // lock: rate-limiter config/counters
+  // lock:unguarded(atomic on/off switch; the guarded limiter state below
+  // is published before the release store that flips it on)
+  std::atomic<bool> rate_limiting_{false};
+  std::uint32_t max_per_window_ CBL_GUARDED_BY(limiter_mutex_) = 0;
+  std::unordered_map<std::string, std::uint32_t> window_counts_
+      CBL_GUARDED_BY(limiter_mutex_);
+  std::unordered_map<std::string, bool> authorized_
+      CBL_GUARDED_BY(limiter_mutex_);
+
+  mutable cbl::Mutex rng_mutex_;  // lock: rng_ (evaluation-proof randomness)
+  Rng& rng_ CBL_GUARDED_BY(rng_mutex_);
 
   // Observability handles (process-global cbl_oprf_* families, resolved
   // once in the constructor; see DESIGN.md "Observability").
@@ -207,8 +240,10 @@ class OprfServer {
     obs::Gauge* buckets_nonempty;
     obs::Gauge* k_anonymity;
   };
+  // lock:unguarded(handles resolved once in the constructor; increments
+  // are lock-free atomics)
   Metrics metrics_;
-  void refresh_data_gauges();  // caller holds data_mutex_
+  void refresh_data_gauges() CBL_REQUIRES(data_mutex_);
 };
 
 }  // namespace cbl::oprf

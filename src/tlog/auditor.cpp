@@ -72,6 +72,7 @@ Auditor::Status Auditor::fail(Status status) {
 
 Auditor::Status Auditor::observe_checkpoint(
     const Checkpoint& checkpoint, const ConsistencyProofMsg* consistency) {
+  MutexLock lock(mutex_);
   if (!trusted_) return fail(Status::kDistrusted);
   if (!verify_checkpoint(provider_pk_, checkpoint)) {
     return fail(Status::kBadSignature);
@@ -107,6 +108,7 @@ Auditor::Status Auditor::observe_checkpoint(
 }
 
 Auditor::Status Auditor::adopt_snapshot(BucketMap snapshot) {
+  MutexLock lock(mutex_);
   if (!trusted_) return fail(Status::kDistrusted);
   if (!latest_) return fail(Status::kBadProof);
   BucketTree tree(snapshot);
@@ -119,11 +121,12 @@ Auditor::Status Auditor::adopt_snapshot(BucketMap snapshot) {
 }
 
 Auditor::Status Auditor::apply_delta(const EpochDelta& delta) {
+  MutexLock lock(mutex_);
   if (!trusted_) {
     metrics_.deltas_rejected->inc();
     return fail(Status::kDistrusted);
   }
-  if (!has_state()) {
+  if (!has_state_locked()) {
     metrics_.deltas_rejected->inc();
     return fail(Status::kBadDelta);
   }
@@ -160,8 +163,9 @@ Auditor::Status Auditor::apply_delta(const EpochDelta& delta) {
 
 Auditor::Status Auditor::verify_audit_path(std::uint32_t prefix,
                                            const AuditPath& path) {
+  MutexLock lock(mutex_);
   if (!trusted_) return fail(Status::kDistrusted);
-  if (!latest_ || !has_state()) return fail(Status::kBadProof);
+  if (!latest_ || !has_state_locked()) return fail(Status::kBadProof);
   if (path.epoch != mirror_epoch_ || path.epoch != latest_->epoch) {
     return fail(Status::kBadProof);
   }

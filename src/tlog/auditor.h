@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_safety.h"
 #include "ec/ristretto.h"
 #include "obs/metrics.h"
 #include "tlog/checkpoint.h"
@@ -39,24 +40,32 @@ class Auditor {
   /// `endpoint` labels this auditor's cbl_tlog_* metric slices.
   Auditor(ec::RistrettoPoint provider_pk, std::string endpoint);
 
+  // Thread safety: every public method locks the auditor's own mutex,
+  // so N threads feeding it the same evidence converge on exactly one
+  // failure transition — the first latches distrust (and counts the
+  // root cause, e.g. kEquivocation, once); every later observer gets
+  // kDistrusted. Accessors return snapshots by value, never references
+  // into state a concurrent audit could be rewriting.
+
   /// Feeds a freshly fetched checkpoint. When the log grew since the
   /// last accepted checkpoint, `consistency` must carry the proof for
   /// (previous size -> new size); it may be null on first contact or
   /// when the size is unchanged. Any non-kOk outcome latches distrust.
   Status observe_checkpoint(const Checkpoint& checkpoint,
-                            const ConsistencyProofMsg* consistency);
+                            const ConsistencyProofMsg* consistency)
+      CBL_EXCLUDES(mutex_);
 
   /// Installs a full bucket snapshot as the mirror at the latest
   /// checkpoint's epoch (first sync, or recovery after falling behind).
   /// Binding of the mirror root to the signed checkpoint happens in
   /// verify_audit_path.
-  Status adopt_snapshot(BucketMap snapshot);
+  Status adopt_snapshot(BucketMap snapshot) CBL_EXCLUDES(mutex_);
 
   /// Folds a signed one-step delta into the mirror: checks the
   /// signature, the claimed base epoch and base root against the mirror,
   /// folds a copy, and requires the result to hash to the signed post
   /// root. The mirror is only replaced on kOk.
-  Status apply_delta(const EpochDelta& delta);
+  Status apply_delta(const EpochDelta& delta) CBL_EXCLUDES(mutex_);
 
   /// Checks a served audit path against the mirror and the latest
   /// checkpoint: the bucket leaf is rebuilt from the MIRROR's entries
@@ -65,37 +74,63 @@ class Auditor {
   /// mirror's bucket root, and both inclusion proofs are index-bound
   /// verified — the bucket leaf under the record's bucket root, the
   /// record under the signed checkpoint root at slot tree_size - 1.
-  Status verify_audit_path(std::uint32_t prefix, const AuditPath& path);
+  Status verify_audit_path(std::uint32_t prefix, const AuditPath& path)
+      CBL_EXCLUDES(mutex_);
 
   /// False once any audit check has failed; never resets. A distrusted
   /// provider's data must not be folded into caches (the resilient
   /// client drops to the degradation ladder instead).
-  bool trusted() const { return trusted_; }
+  bool trusted() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return trusted_;
+  }
 
-  bool has_state() const { return mirror_root_.has_value(); }
-  std::uint64_t mirror_epoch() const { return mirror_epoch_; }
-  const BucketMap& buckets() const { return buckets_; }
-  const Digest& mirror_root() const { return *mirror_root_; }
-  const std::optional<Checkpoint>& latest_checkpoint() const {
+  bool has_state() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return mirror_root_.has_value();
+  }
+  std::uint64_t mirror_epoch() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return mirror_epoch_;
+  }
+  /// Mirror snapshot, by value: a reference would dangle into state a
+  /// concurrent apply_delta may replace.
+  BucketMap buckets() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return buckets_;
+  }
+  /// Precondition: has_state().
+  Digest mirror_root() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return *mirror_root_;
+  }
+  std::optional<Checkpoint> latest_checkpoint() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
     return latest_;
   }
 
   static std::string_view to_string(Status status);
 
  private:
-  Status fail(Status status);
+  Status fail(Status status) CBL_REQUIRES(mutex_);
+  /// Lock-free view of has_state() for use while mutex_ is held.
+  bool has_state_locked() const CBL_REQUIRES(mutex_) {
+    return mirror_root_.has_value();
+  }
 
-  ec::RistrettoPoint provider_pk_;
-  bool trusted_ = true;
+  const ec::RistrettoPoint provider_pk_;
 
-  std::optional<Checkpoint> latest_;
+  mutable cbl::Mutex mutex_;  // lock: audit state and the distrust latch
+  bool trusted_ CBL_GUARDED_BY(mutex_) = true;
+
+  std::optional<Checkpoint> latest_ CBL_GUARDED_BY(mutex_);
   /// Every (tree size -> root) pair ever seen under a valid signature;
   /// a second root for a known size is proof of equivocation.
-  std::map<std::uint64_t, Digest> seen_roots_;
+  std::map<std::uint64_t, Digest> seen_roots_ CBL_GUARDED_BY(mutex_);
 
-  BucketMap buckets_;
-  std::optional<Digest> mirror_root_;
-  std::uint64_t mirror_epoch_ = 0;
+  BucketMap buckets_ CBL_GUARDED_BY(mutex_);
+  std::optional<Digest> mirror_root_ CBL_GUARDED_BY(mutex_);
+  std::uint64_t mirror_epoch_ CBL_GUARDED_BY(mutex_) = 0;
 
   struct Metrics {
     obs::Counter* audit_ok;
@@ -111,6 +146,8 @@ class Auditor {
     obs::Counter* deltas_rejected;
     obs::Gauge* mirror_epoch;
   };
+  // lock:unguarded(handles resolved once in the constructor; increments
+  // are lock-free atomics)
   Metrics metrics_;
   obs::Counter* audit_counter(Status status) const;
 };

@@ -1,0 +1,30 @@
+// Seeded NEGATIVE case for the thread-safety CI stage (scripts/ci.sh):
+// a textbook off-lock mutation of a guarded member. The stage compiles
+// this TU with clang -fsyntax-only -Wthread-safety
+// -Werror=thread-safety-analysis and REQUIRES the compile to fail —
+// proving the analysis is actually armed, not silently passing
+// everything. Not part of any CMake target.
+//
+// Keep this file minimal and obviously wrong: it is the fixture the
+// whole stage's negative self-test hangs on.
+#include "common/thread_safety.h"
+
+namespace cbl::selftest {
+
+class Counter {
+ public:
+  void increment_locked() CBL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): mutates value_ without holding mu_. The capability
+  // analysis must reject this TU with -Werror=thread-safety-analysis.
+  void increment_racy() CBL_EXCLUDES(mu_) { ++value_; }
+
+ private:
+  cbl::Mutex mu_;  // lock: value_
+  long value_ CBL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cbl::selftest

@@ -1,0 +1,28 @@
+// Seeded POSITIVE twin of thread_safety_negative.cpp: the same class
+// with the race fixed. The thread-safety CI stage compiles this TU with
+// the same clang -fsyntax-only -Wthread-safety
+// -Werror=thread-safety-analysis flags and requires it to SUCCEED —
+// ruling out the degenerate "stage fails on everything" reading of the
+// negative test. Not part of any CMake target.
+#include "common/thread_safety.h"
+
+namespace cbl::selftest {
+
+class Counter {
+ public:
+  void increment_locked() CBL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  long value() const CBL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable cbl::Mutex mu_;  // lock: value_
+  long value_ CBL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cbl::selftest
