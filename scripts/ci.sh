@@ -3,9 +3,11 @@
 #
 #   1. lint        scripts/ct_lint.py (constant-time discipline, annotation
 #                  driven — see DESIGN.md "Constant-time policy"),
-#                  scripts/parser_lint.py, and scripts/lock_lint.py
-#                  (locking discipline — see DESIGN.md "Concurrency &
-#                  locking policy"), each self-tested where applicable
+#                  scripts/parser_lint.py, scripts/lock_lint.py (locking
+#                  discipline — see DESIGN.md "Concurrency & locking
+#                  policy"), and scripts/secret_flow_lint.py (secret-flow
+#                  policy), self-tested where applicable and run
+#                  concurrently
 #   2. clang-tidy  .clang-tidy profile over src/ (skipped with a notice
 #                  when clang-tidy is not installed)
 #   3. thread-safety  clang capability analysis: a negative/positive
@@ -15,24 +17,33 @@
 #                  -DCBL_THREAD_SAFETY=ON, i.e. -Wthread-safety
 #                  -Wthread-safety-beta -Werror=thread-safety-analysis
 #                  (skipped with a notice when clang++ is not installed)
-#   4. release     optimized build + full test suite
-#   5. asan-ubsan  Debug + AddressSanitizer + UBSan, full test suite
-#   6. tsan        Debug + ThreadSanitizer, full test suite (query-service
+#   4. secret-flow whole-program secret-flow analysis
+#                  (scripts/secret_flow_lint.py over the Secret<T> taint
+#                  layer of src/common/secret.h): self-test, then a
+#                  negative/positive TU pair (tests/static/) proving the
+#                  analyzer is armed — the seeded secret-into-vartime call
+#                  MUST be flagged S1, its declassified twin must pass —
+#                  then the full-tree run. Uses libclang +
+#                  compile_commands.json when the python bindings exist,
+#                  the regex fallback (with a notice) otherwise
+#   5. release     optimized build + full test suite
+#   6. asan-ubsan  Debug + AddressSanitizer + UBSan, full test suite
+#   7. tsan        Debug + ThreadSanitizer, full test suite (query-service
 #                  and voting paths are concurrent; see src/oprf locking)
-#   7. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
+#   8. ctcheck     Debug + -DCBL_CTCHECK=ON: crypto libraries instrumented
 #                  with -fsanitize-coverage=trace-pc, then the differential
 #                  trace harness runs its self-test and the secret audit
-#   8. fuzz-smoke  Debug + ASan/UBSan + -DCBL_FUZZ=ON: every harness
+#   9. fuzz-smoke  Debug + ASan/UBSan + -DCBL_FUZZ=ON: every harness
 #                  replays its committed corpus, then mutation-fuzzes for
 #                  CBL_FUZZ_SMOKE_SECONDS (default 30) — any trap, sanitizer
 #                  report, or harness invariant violation aborts
-#   9. chaos-smoke Debug + ASan/UBSan: the seeded chaos harness
+#  10. chaos-smoke Debug + ASan/UBSan: the seeded chaos harness
 #                  (tests/test_chaos) sweeps randomized fault schedules —
 #                  drops, corruption, blackouts, crash-restart, overload —
 #                  over thousands of queries. CBL_CHAOS_SEED (default
 #                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
 #                  any failure replays bit-exactly
-#  10. perf-smoke  Release build of bench_throughput and bench_tlog, run
+#  11. perf-smoke  Release build of bench_throughput and bench_tlog, run
 #                  with --json --quick; the emitted BENCH_*.json must
 #                  parse, the batched-encode kernel must not regress
 #                  below the scalar path (speedup >= 1 at batch >= 64),
@@ -42,15 +53,25 @@
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
+#   scripts/ci.sh --list                # enumerate stages, one per line
 #   CBL_CI_STAGES="lint release" scripts/ci.sh    # run a subset
 #
-# Any failure (lint finding, configure, compile, or test) aborts.
+# Every run ends with a per-stage wall-clock timing summary. Any failure
+# (lint finding, configure, compile, or test) aborts.
 set -euo pipefail
+
+all_stages=(lint clang-tidy thread-safety secret-flow release asan-ubsan
+            tsan ctcheck fuzz-smoke chaos-smoke perf-smoke)
+
+if [[ "${1:-}" == "--list" ]]; then
+  printf '%s\n' "${all_stages[@]}"
+  exit 0
+fi
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_root="${1:-${repo_root}/build-ci}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-stages="${CBL_CI_STAGES:-lint clang-tidy thread-safety release asan-ubsan tsan ctcheck fuzz-smoke chaos-smoke perf-smoke}"
+stages="${CBL_CI_STAGES:-${all_stages[*]}}"
 
 generator_args=()
 if command -v ninja >/dev/null 2>&1; then
@@ -71,23 +92,42 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-if want lint; then
-  echo "=== [lint] scripts/ct_lint.py ==="
-  python3 "${repo_root}/scripts/ct_lint.py" --root "${repo_root}"
-  echo "=== [lint] scripts/parser_lint.py self-test ==="
-  python3 "${repo_root}/scripts/parser_lint.py" --self-test
-  echo "=== [lint] scripts/parser_lint.py ==="
-  python3 "${repo_root}/scripts/parser_lint.py" --root "${repo_root}"
-  echo "=== [lint] scripts/lock_lint.py self-test ==="
-  python3 "${repo_root}/scripts/lock_lint.py" --self-test
-  echo "=== [lint] scripts/lock_lint.py ==="
-  python3 "${repo_root}/scripts/lock_lint.py" --root "${repo_root}"
-fi
+stage_lint() {
+  # The four lints are independent read-only analyses — run them
+  # concurrently and serialize their logs afterwards.
+  mkdir -p "${build_root}"
+  local names=(ct_lint parser_lint lock_lint secret_flow_lint)
+  local pids=() logs=()
+  echo "=== [lint] ${names[*]} (concurrent) ==="
+  local name log
+  for name in "${names[@]}"; do
+    log="${build_root}/lint_${name}.log"
+    logs+=("${log}")
+    (
+      if [[ "${name}" != "ct_lint" ]]; then
+        echo "--- ${name} --self-test ---"
+        python3 "${repo_root}/scripts/${name}.py" --self-test
+      fi
+      echo "--- ${name} ---"
+      python3 "${repo_root}/scripts/${name}.py" --root "${repo_root}"
+    ) >"${log}" 2>&1 &
+    pids+=($!)
+  done
+  local failed=0 i
+  for i in "${!names[@]}"; do
+    if ! wait "${pids[$i]}"; then
+      failed=1
+      echo "=== [lint] ${names[$i]} FAILED ===" >&2
+    fi
+    cat "${logs[$i]}"
+  done
+  return "${failed}"
+}
 
-if want clang-tidy; then
+stage_clang_tidy() {
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "=== [clang-tidy] configure (compile database) ==="
-    tidy_dir="${build_root}/clang-tidy"
+    local tidy_dir="${build_root}/clang-tidy"
     cmake -S "${repo_root}" -B "${tidy_dir}" "${generator_args[@]}" \
       -DCMAKE_BUILD_TYPE=Debug -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
     echo "=== [clang-tidy] analyze src/ ==="
@@ -96,14 +136,14 @@ if want clang-tidy; then
   else
     echo "=== [clang-tidy] SKIPPED: clang-tidy not installed ==="
   fi
-fi
+}
 
-if want thread-safety; then
+stage_thread_safety() {
   if command -v clang++ >/dev/null 2>&1; then
     mkdir -p "${build_root}"
-    ts_flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src"
-              -Wthread-safety -Wthread-safety-beta
-              -Werror=thread-safety-analysis)
+    local ts_flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src"
+                    -Wthread-safety -Wthread-safety-beta
+                    -Werror=thread-safety-analysis)
     echo "=== [thread-safety] negative self-test (seeded off-lock access MUST fail) ==="
     if clang++ "${ts_flags[@]}" \
         "${repo_root}/tests/static/thread_safety_negative.cpp" \
@@ -124,7 +164,7 @@ if want thread-safety; then
     echo "=== [thread-safety] scripts/lock_lint.py ==="
     python3 "${repo_root}/scripts/lock_lint.py" --self-test
     python3 "${repo_root}/scripts/lock_lint.py" --root "${repo_root}"
-    ts_dir="${build_root}/thread-safety"
+    local ts_dir="${build_root}/thread-safety"
     echo "=== [thread-safety] configure (clang + -Werror=thread-safety-analysis) ==="
     cmake -S "${repo_root}" -B "${ts_dir}" "${generator_args[@]}" \
       -DCMAKE_BUILD_TYPE=Debug \
@@ -135,26 +175,70 @@ if want thread-safety; then
   else
     echo "=== [thread-safety] SKIPPED: clang++ not installed ==="
   fi
-fi
+}
 
-if want release; then
+stage_secret_flow() {
+  mkdir -p "${build_root}"
+  local cxx="${CXX:-c++}"
+  command -v "${cxx}" >/dev/null 2>&1 || cxx=g++
+  if python3 -c "import clang.cindex" >/dev/null 2>&1; then
+    echo "=== [secret-flow] libclang python bindings found: AST front-end available ==="
+  else
+    echo "=== [secret-flow] libclang python bindings not installed:" \
+      "the analyzer will use its regex fallback front-end (same rules," \
+      "reduced precision) ==="
+  fi
+  echo "=== [secret-flow] lintlib + secret_flow_lint self-tests ==="
+  python3 "${repo_root}/scripts/lintlib.py" --self-test
+  python3 "${repo_root}/scripts/secret_flow_lint.py" --self-test
+  echo "=== [secret-flow] static pair is valid C++ (${cxx} -fsyntax-only) ==="
+  "${cxx}" -std=c++20 -fsyntax-only -I "${repo_root}/src" \
+    "${repo_root}/tests/static/secret_flow_negative.cpp" \
+    "${repo_root}/tests/static/secret_flow_positive.cpp"
+  local armed="${build_root}/secret-flow-armed"
+  local neg_log="${build_root}/secret_flow_negative.log"
+  echo "=== [secret-flow] negative self-test (seeded secret-into-vartime MUST be flagged S1) ==="
+  rm -rf "${armed}"
+  mkdir -p "${armed}/src/demo"
+  cp "${repo_root}/tests/static/secret_flow_negative.cpp" "${armed}/src/demo/"
+  if python3 "${repo_root}/scripts/secret_flow_lint.py" --root "${armed}" \
+      >"${neg_log}" 2>&1; then
+    echo "secret-flow stage is NOT armed: the seeded secret-into-vartime" \
+      "call in tests/static/secret_flow_negative.cpp passed the lint" >&2
+    cat "${neg_log}" >&2
+    exit 1
+  fi
+  grep -q ": S1: " "${neg_log}" || {
+    echo "negative self-test failed for the wrong reason (no S1 finding):" >&2
+    cat "${neg_log}" >&2
+    exit 1
+  }
+  echo "=== [secret-flow] positive self-test (declassified twin must pass) ==="
+  rm -f "${armed}/src/demo/secret_flow_negative.cpp"
+  cp "${repo_root}/tests/static/secret_flow_positive.cpp" "${armed}/src/demo/"
+  python3 "${repo_root}/scripts/secret_flow_lint.py" --root "${armed}"
+  echo "=== [secret-flow] full-tree analysis ==="
+  python3 "${repo_root}/scripts/secret_flow_lint.py" --root "${repo_root}"
+}
+
+stage_release() {
   run_config release -DCMAKE_BUILD_TYPE=Release
-fi
+}
 
-if want asan-ubsan; then
+stage_asan_ubsan() {
   run_config asan-ubsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCBL_SANITIZE="address;undefined"
-fi
+}
 
-if want tsan; then
+stage_tsan() {
   run_config tsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCBL_SANITIZE="thread"
-fi
+}
 
-if want ctcheck; then
-  ct_dir="${build_root}/ctcheck"
+stage_ctcheck() {
+  local ct_dir="${build_root}/ctcheck"
   echo "=== [ctcheck] configure ==="
   cmake -S "${repo_root}" -B "${ct_dir}" "${generator_args[@]}" \
     -DCMAKE_BUILD_TYPE=Debug -DCBL_CTCHECK=ON
@@ -170,11 +254,11 @@ if want ctcheck; then
   else
     echo "=== [ctcheck] valgrind not installed; trace backend only ==="
   fi
-fi
+}
 
-if want fuzz-smoke; then
-  fuzz_dir="${build_root}/fuzz-smoke"
-  fuzz_seconds="${CBL_FUZZ_SMOKE_SECONDS:-30}"
+stage_fuzz_smoke() {
+  local fuzz_dir="${build_root}/fuzz-smoke"
+  local fuzz_seconds="${CBL_FUZZ_SMOKE_SECONDS:-30}"
   echo "=== [fuzz-smoke] configure (ASan/UBSan + harness binaries) ==="
   cmake -S "${repo_root}" -B "${fuzz_dir}" "${generator_args[@]}" \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -182,8 +266,10 @@ if want fuzz-smoke; then
     -DCBL_FUZZ=ON
   echo "=== [fuzz-smoke] build ==="
   cmake --build "${fuzz_dir}" -j "${jobs}"
+  local driver
   driver="$(cat "${fuzz_dir}/fuzz_driver.txt")"
   echo "=== [fuzz-smoke] driver: ${driver}, ${fuzz_seconds}s per harness ==="
+  local harness name corpus
   for harness in "${fuzz_dir}"/fuzz/fuzz_*; do
     [[ -x "${harness}" ]] || continue
     name="$(basename "${harness}")"
@@ -195,12 +281,12 @@ if want fuzz-smoke; then
       "${harness}" -seconds="${fuzz_seconds}" "${corpus}"
     fi
   done
-fi
+}
 
-if want chaos-smoke; then
-  chaos_dir="${build_root}/chaos-smoke"
-  chaos_seed="${CBL_CHAOS_SEED:-20260806}"
-  chaos_queries="${CBL_CHAOS_QUERIES:-1000}"
+stage_chaos_smoke() {
+  local chaos_dir="${build_root}/chaos-smoke"
+  local chaos_seed="${CBL_CHAOS_SEED:-20260806}"
+  local chaos_queries="${CBL_CHAOS_QUERIES:-1000}"
   echo "=== [chaos-smoke] configure (ASan/UBSan) ==="
   cmake -S "${repo_root}" -B "${chaos_dir}" "${generator_args[@]}" \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -213,11 +299,11 @@ if want chaos-smoke; then
     "${chaos_dir}/tests/test_chaos ==="
   CBL_CHAOS_SEED="${chaos_seed}" CBL_CHAOS_QUERIES="${chaos_queries}" \
     "${chaos_dir}/tests/test_chaos"
-fi
+}
 
-if want perf-smoke; then
-  perf_dir="${build_root}/perf-smoke"
-  perf_json="${perf_dir}/BENCH_throughput.json"
+stage_perf_smoke() {
+  local perf_dir="${build_root}/perf-smoke"
+  local perf_json="${perf_dir}/BENCH_throughput.json"
   echo "=== [perf-smoke] configure (Release) ==="
   cmake -S "${repo_root}" -B "${perf_dir}" "${generator_args[@]}" \
     -DCMAKE_BUILD_TYPE=Release
@@ -252,7 +338,7 @@ assert all(r["value"] > 0 for r in qps), "pipeline served zero queries"
 print(f"perf-smoke OK: batch_encode {encode['batch=64']:.2f}x @64, "
       f"{encode['batch=256']:.2f}x @256, {len(qps)} QPS points")
 EOF
-  tlog_json="${perf_dir}/BENCH_tlog.json"
+  local tlog_json="${perf_dir}/BENCH_tlog.json"
   echo "=== [perf-smoke] build bench_tlog ==="
   cmake --build "${perf_dir}" -j "${jobs}" --target bench_tlog
   echo "=== [perf-smoke] run bench_tlog (--quick) ==="
@@ -289,6 +375,17 @@ ratios = ", ".join(f"{r['params'].split(',')[1]}={r['value']:.1f}x"
                    for r in deltas.values())
 print(f"perf-smoke OK: tlog delta vs full download: {ratios}")
 EOF
-fi
+}
 
+timing_summary=()
+for stage in "${all_stages[@]}"; do
+  want "${stage}" || continue
+  stage_t0="$(date +%s)"
+  "stage_${stage//-/_}"
+  timing_summary+=("$(printf '%-14s %5ds' "${stage}" \
+    "$(( $(date +%s) - stage_t0 ))")")
+done
+
+echo "=== CI timing summary (wall clock) ==="
+printf '  %s\n' "${timing_summary[@]}"
 echo "=== CI OK: stages [${stages}] all green ==="

@@ -37,8 +37,11 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (Finding, SOURCE_GLOBS, module_of,
+                     strip_strings_and_comments)
+
 CRYPTO_MODULES = {"ec", "oprf", "hash", "commit", "vrf", "nizk", "common"}
-SOURCE_GLOBS = ("*.h", "*.cpp")
 
 SECRET_ANNOT = re.compile(r"//.*\bct:secret\b")
 KEYHOLDER_ANNOT = re.compile(r"//\s*ct:key-holder\b")
@@ -54,52 +57,6 @@ DECL_NAME = re.compile(
 
 MEMCMP = re.compile(r"\b(?:std::)?memcmp\s*\(")
 STRUCT_DECL = re.compile(r"\b(?:struct|class)\s+([A-Za-z_][A-Za-z0-9_]*)")
-
-
-def strip_strings_and_comments(line: str) -> str:
-    """Blanks out string/char literals and trailing // comments so the
-    pattern rules below do not fire inside them."""
-    out = []
-    i, n = 0, len(line)
-    in_str = None
-    while i < n:
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            if c == in_str:
-                in_str = None
-            i += 1
-            continue
-        if c in ('"', "'"):
-            in_str = c
-            out.append(" ")
-            i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # drop the comment tail
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path: Path, lineno: int, rule: str, message: str):
-        self.path = path
-        self.lineno = lineno
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
-
-
-def module_of(path: Path, src_root: Path) -> str:
-    rel = path.relative_to(src_root)
-    return rel.parts[0] if len(rel.parts) > 1 else ""
 
 
 def collect_secret_names(files_by_module: dict[str, list[Path]]) -> dict[str, set[str]]:

@@ -46,7 +46,10 @@ import sys
 import tempfile
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.h", "*.cpp")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (Finding, SOURCE_GLOBS, check_self_test,
+                     strip_strings_and_comments)
+
 THREAD_SAFETY_HEADER = Path("common") / "thread_safety.h"
 
 MUTEX_MEMBER = re.compile(
@@ -80,47 +83,6 @@ NON_MEMBER = re.compile(
     r"^\s*(?:using|typedef|friend|static_assert|template|enum|namespace)\b|"
     r"^\s*#"
 )
-
-
-class Finding:
-    def __init__(self, path: Path, lineno: int, rule: str, message: str):
-        self.path = path
-        self.lineno = lineno
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
-
-
-def strip_strings_and_comments(line: str) -> str:
-    """Blanks out string/char literals and trailing // comments so the
-    pattern rules below do not fire inside them."""
-    out = []
-    i, n = 0, len(line)
-    in_str = None
-    while i < n:
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            if c == in_str:
-                in_str = None
-            i += 1
-            continue
-        if c in ('"', "'"):
-            in_str = c
-            out.append(" ")
-            i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # drop the comment tail
-        out.append(c)
-        i += 1
-    return "".join(out)
 
 
 def is_comment_line(raw: str) -> bool:
@@ -430,29 +392,10 @@ def self_test() -> int:
         (root / "src" / "demo" / "good.h").write_text(SELFTEST_GOOD)
         (root / "DESIGN.md").write_text(SELFTEST_DESIGN)
         findings, _ = run(root)
-        by_rule: dict[str, list[Finding]] = {}
-        for f in findings:
-            by_rule.setdefault(f.rule, []).append(f)
-        failures = []
-        for rule in ("L1", "L2", "L3", "L4", "L5"):
-            hits = [f for f in by_rule.get(rule, [])
-                    if f.path.name in ("bad.h", "DESIGN.md")]
-            if not hits:
-                failures.append(f"seeded {rule} violation not flagged")
-        clean = [f for f in findings if f.path.name == "good.h"]
-        if clean:
-            failures.append(
-                "clean file flagged: " + "; ".join(str(f) for f in clean))
-        if failures:
-            for f in findings:
-                print(f)
-            for msg in failures:
-                print(f"lock_lint self-test: {msg}")
-            print("lock_lint self-test: FAIL")
-            return 1
-        print(f"lock_lint self-test: OK — all 5 rules fire on the seeded "
-              f"file, clean file passes ({len(findings)} seeded finding(s))")
-        return 0
+        return check_self_test("lock_lint", findings,
+                               expected_rules={"L1", "L2", "L3", "L4", "L5"},
+                               bad_names={"bad.h", "DESIGN.md"},
+                               clean_names={"good.h"})
 
 
 def main() -> int:

@@ -44,8 +44,11 @@ import sys
 import tempfile
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (Finding, SOURCE_GLOBS, declaration_after,
+                     function_bodies, module_of, strip_strings_and_comments)
+
 WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist", "tlog"}
-SOURCE_GLOBS = ("*.h", "*.cpp")
 
 UNTRUSTED_ANNOT = re.compile(r"//\s*wire:untrusted\b(?:\s+fuzz=(\S+))?")
 PARSER_ANNOT = re.compile(r"//\s*wire:parser\b")
@@ -63,47 +66,6 @@ REINTERPRET = re.compile(r"\breinterpret_cast\b")
 CONST_LEN = re.compile(r"(?:sizeof\b|\b\d+\s*\)?\s*$)")
 
 
-def strip_strings_and_comments(line: str) -> str:
-    """Blanks out string/char literals and trailing // comments so the
-    pattern rules below do not fire inside them."""
-    out = []
-    i, n = 0, len(line)
-    in_str = None
-    while i < n:
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            if c == in_str:
-                in_str = None
-            i += 1
-            continue
-        if c in ('"', "'"):
-            in_str = c
-            out.append(" ")
-            i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # drop the comment tail
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path: Path, lineno: int, rule: str, message: str):
-        self.path = path
-        self.lineno = lineno
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
-
-
 class Surface:
     """One wire:untrusted annotation: the decode entry it covers."""
 
@@ -114,26 +76,6 @@ class Surface:
         self.name = name
         self.decl = decl
         self.fuzz_target = fuzz_target
-
-
-def module_of(path: Path, src_root: Path) -> str:
-    rel = path.relative_to(src_root)
-    return rel.parts[0] if len(rel.parts) > 1 else ""
-
-
-def declaration_after(lines: list[str], start: int) -> tuple[str, int]:
-    """Joins lines from `start` (0-based) until the statement ends at a
-    `;` or an opening `{` — enough of the declaration to see the return
-    type, the [[nodiscard]], and the function name."""
-    joined: list[str] = []
-    for offset in range(6):
-        if start + offset >= len(lines):
-            break
-        code = strip_strings_and_comments(lines[start + offset])
-        joined.append(code)
-        if ";" in code or "{" in code:
-            break
-    return " ".join(joined), start + 1
 
 
 def collect_surfaces(path: Path, findings: list[Finding]) -> list[Surface]:
@@ -175,50 +117,6 @@ def check_w1(surface: Surface, findings: list[Finding]) -> None:
             Finding(surface.path, surface.lineno, "W1",
                     f"{surface.name} is wire:untrusted but not [[nodiscard]] "
                     "— a dropped parse result hides malformed input"))
-
-
-def function_bodies(text: str, name: str) -> list[tuple[int, str]]:
-    """Finds definitions of `name` in `text` and returns (lineno, body)
-    pairs, matching braces from the parameter list's `{`."""
-    bodies: list[tuple[int, str]] = []
-    for m in re.finditer(rf"\b{re.escape(name)}\s*\(", text):
-        # Match the parameter list.
-        depth = 0
-        i = m.end() - 1
-        while i < len(text):
-            if text[i] == "(":
-                depth += 1
-            elif text[i] == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        else:
-            continue
-        # Skip qualifiers between the parameter list and the body.
-        j = i + 1
-        while j < len(text) and (text[j].isspace() or
-                                 text[j:j + 8].startswith(("const", "noexcept",
-                                                           "override", "final"))):
-            if text[j].isspace():
-                j += 1
-            else:
-                j = re.match(r"\w+", text[j:]).end() + j
-        if j >= len(text) or text[j] != "{":
-            continue  # a declaration or a call, not a definition
-        depth = 0
-        k = j
-        while k < len(text):
-            if text[k] == "{":
-                depth += 1
-            elif text[k] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            k += 1
-        lineno = text[: m.start()].count("\n") + 1
-        bodies.append((lineno, text[j:k + 1]))
-    return bodies
 
 
 def check_w2(surfaces: list[Surface], all_files: list[Path],

@@ -1,0 +1,686 @@
+#!/usr/bin/env python3
+"""Whole-program secret-flow lint: the analysis half of the Secret<T>
+taint layer (src/common/secret.h).
+
+The type system already stops a `Secret<T>` converting back to T without
+an explicit `expose_secret()` (taint-preserving borrow) or
+`reveal_for("reason")` (audited declassification). What the compiler
+cannot see is a secret flowing onward — through an assignment, a call, a
+return value — into code that is variable-time or externally visible.
+This lint closes that gap.
+
+Taint sources
+  * values of type `Secret<...>`;
+  * identifiers declared on a `// ct:secret` line (same annotation
+    ct_lint.py keys on).
+Taint propagates through assignments and (one level of call-graph)
+name-matched function parameters. It does NOT cross the DL boundary:
+a group element computed from a secret scalar (RistrettoPoint,
+Commitment, encodings of either) is treated as public — recovering the
+scalar from g^x is the discrete-log problem, and the constant-time
+story of the ladder itself is audited dynamically by the ctcheck
+harness. `expose_secret()` preserves taint; `reveal_for(...)` clears it.
+
+Rules
+  S1  a tainted value reaches a CBL_VARTIME callee (vartime is only
+      legal on public inputs — the gate the Straus/Pippenger
+      verification path must pass through);
+  S2  a tainted value reaches a sink — WireWriter methods, obs metric /
+      trace label strings, printf/format/log calls — without an
+      adjacent `ct:declassify(reason)` annotation;
+  S3  a `.reveal_for(...)` or `ct::declassify(...)` without a reason (a
+      non-empty string literal argument, or for the raw ct:: form an
+      adjacent `// ct:declassify(reason)` comment);
+  S4  a CBL_VARTIME function without a `// vartime: public-inputs-only`
+      justification comment;
+  S5  declassification reasons and the DESIGN.md registry drifting: a
+      reason used in code but missing from the table between the
+      `<!-- declassify-registry:begin/end -->` markers, or a table row
+      no code site uses.
+
+Suppression: `// sf:ok(reason)` on the flagged line.
+
+Front-ends: when the clang python bindings and a compile_commands.json
+are available the analyzer walks real ASTs (CBL_VARTIME is a clang
+`annotate` attribute); otherwise it falls back to a regex analysis of
+the same rules and says so. Exit 0 clean / 1 findings / 2 usage error.
+
+Usage:
+  scripts/secret_flow_lint.py [--root DIR] [--self-test] [--force-fallback]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (Finding, SOURCE_GLOBS, SelfTestTree, check_self_test,
+                     module_of, strip_strings_and_comments,
+                     suppression_pattern)
+
+SUPPRESS = suppression_pattern("sf")
+
+SECRET_ANNOT = re.compile(r"//.*\bct:secret\b")
+SECRET_DECL = re.compile(r"\bSecret\s*<[^;=({]*>\s*(?:&\s*)?"
+                         r"([A-Za-z_][A-Za-z0-9_]*)\s*[;={(,)]")
+DECL_NAME = re.compile(
+    r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\])?\s*(?:[;={]|=)")
+VARTIME_DEF = re.compile(r"\bCBL_VARTIME\b")
+VARTIME_JUSTIFY = re.compile(r"//\s*vartime:\s*public-inputs-only\b")
+FUNC_NAME_AFTER_VARTIME = re.compile(
+    r"\bCBL_VARTIME\b[^;{(]*?([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+
+REVEAL_CALL = re.compile(r"\.\s*reveal_for\s*\(\s*([^)]*)\)")
+DECLASSIFY_CALL = re.compile(r"\bct::declassify\s*\(")
+DECLASSIFY_ANNOT = re.compile(r"//\s*ct:declassify\(([^)]+)\)")
+STRING_REASON = re.compile(r'^\s*"([^"]+)"')
+
+# Types on the public side of the DL boundary: assignments into these
+# never propagate taint (the scalar is computationally unrecoverable).
+PUBLIC_TYPES = re.compile(
+    r"\b(?:RistrettoPoint|Commitment|Encoding|Proof|DleqProof|"
+    r"SchnorrProof|bool|void)\b")
+SCALARISH_DECL = re.compile(
+    r"\b(?:(?:ec::)?Scalar|Secret\s*<[^>]*>|auto|Bytes|"
+    r"std::array\s*<\s*(?:std::)?uint8_t[^>]*>)\s+(?:const\s+)?&?\s*"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*[=;{]")
+ASSIGN = re.compile(
+    r"(?:^|[;{(]\s*)(?:const\s+)?(?:[\w:<>,&*\s]+?\s)?"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([^;]+);")
+ENCODE_BOUNDARY = re.compile(r"\.encode\s*\(|\bhash_to_group\b|"
+                             r"\bbase\s*\(\)|\breveal_for\s*\(")
+
+# Sinks (S2): wire serialization, observability label/values, logging.
+WIREWRITER_DECL = re.compile(r"\bWireWriter\s*&?\s+([A-Za-z_][A-Za-z0-9_]*)")
+SINK_CALLS = (
+    re.compile(r"\b(?:std::)?(?:printf|fprintf|snprintf|format)\s*\("),
+    re.compile(r"\.(?:counter|gauge|histogram)\s*\("),
+    re.compile(r"\btrace_to_json\s*\("),
+    re.compile(r"\blog(?:_line)?\s*\("),
+)
+
+REGISTRY_BEGIN = "<!-- declassify-registry:begin -->"
+REGISTRY_END = "<!-- declassify-registry:end -->"
+
+
+# --------------------------------------------------------------------------
+# Shared collection (both front-ends)
+
+def iter_files(src_root: Path) -> list[Path]:
+    out: list[Path] = []
+    for glob in SOURCE_GLOBS:
+        out.extend(sorted(src_root.rglob(glob)))
+    return out
+
+
+def load_registry(design_md: Path,
+                  findings: list[Finding]) -> set[str] | None:
+    """Reasons listed in DESIGN.md's declassification registry table.
+    Returns None (and no finding) when the file or markers are absent —
+    the self-test trees don't carry a DESIGN.md."""
+    if not design_md.is_file():
+        return None
+    text = design_md.read_text(encoding="utf-8")
+    begin = text.find(REGISTRY_BEGIN)
+    end = text.find(REGISTRY_END)
+    if begin < 0 or end < 0:
+        return None
+    reasons: set[str] = set()
+    for line in text[begin:end].splitlines():
+        m = re.match(r"\s*\|\s*`([^`]+)`", line)
+        if m:
+            reasons.add(m.group(1))
+    return reasons
+
+
+def collect_vartime(files: list[Path], findings: list[Finding]
+                    ) -> set[str]:
+    """All CBL_VARTIME function names; flags S4 when the annotation has
+    no `// vartime: public-inputs-only` justification within the three
+    preceding lines (or on the line itself)."""
+    names: set[str] = set()
+    for path in files:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for i, raw in enumerate(lines):
+            if raw.lstrip().startswith("#"):
+                continue  # the macro's own #define / #if lines
+            if not VARTIME_DEF.search(strip_strings_and_comments(raw)):
+                continue
+            decl = " ".join(lines[i:i + 3])
+            m = FUNC_NAME_AFTER_VARTIME.search(decl)
+            if m:
+                names.add(m.group(1))
+            window = lines[max(0, i - 3):i + 1]
+            if not any(VARTIME_JUSTIFY.search(w) for w in window):
+                if SUPPRESS.search(raw):
+                    continue
+                findings.append(Finding(
+                    path, i + 1, "S4",
+                    "CBL_VARTIME function lacks a '// vartime: "
+                    "public-inputs-only' justification comment"))
+    # The macro's own definition is not a function.
+    names.discard("annotate")
+    return names
+
+
+def check_declassify_sites(files: list[Path], registry: set[str] | None,
+                           findings: list[Finding]) -> set[str]:
+    """S3 (missing reasons) and the code half of S5. Returns the set of
+    reasons used in code."""
+    used: set[str] = set()
+    for path in files:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for i, raw in enumerate(lines):
+            code = strip_strings_and_comments(raw)
+            for m in REVEAL_CALL.finditer(raw):
+                arg = m.group(1).strip()
+                sm = STRING_REASON.match(arg)
+                if not sm:
+                    if SUPPRESS.search(raw):
+                        continue
+                    findings.append(Finding(
+                        path, i + 1, "S3",
+                        "reveal_for(...) without a non-empty string-"
+                        "literal reason"))
+                    continue
+                reason = sm.group(1)
+                used.add(reason)
+                if registry is not None and reason not in registry:
+                    findings.append(Finding(
+                        path, i + 1, "S5",
+                        f"declassification reason '{reason}' is not in "
+                        f"the DESIGN.md declassify-registry table"))
+            if DECLASSIFY_CALL.search(code):
+                window = lines[max(0, i - 2):i + 1]
+                annots = [a for w in window
+                          for a in DECLASSIFY_ANNOT.findall(w)]
+                if not annots:
+                    if any(SUPPRESS.search(w) for w in window):
+                        continue
+                    findings.append(Finding(
+                        path, i + 1, "S3",
+                        "ct::declassify(...) without an adjacent "
+                        "'// ct:declassify(reason)' annotation"))
+                    continue
+                for reason in annots:
+                    reason = reason.strip()
+                    used.add(reason)
+                    if registry is not None and reason not in registry:
+                        findings.append(Finding(
+                            path, i + 1, "S5",
+                            f"declassification reason '{reason}' is not "
+                            f"in the DESIGN.md declassify-registry table"))
+    return used
+
+
+def check_registry_drift(design_md: Path, registry: set[str] | None,
+                         used: set[str], findings: list[Finding]) -> None:
+    if registry is None:
+        return
+    for stale in sorted(registry - used):
+        findings.append(Finding(
+            design_md, 1, "S5",
+            f"registry row '{stale}' has no matching ct:declassify / "
+            f"reveal_for site in the tree"))
+
+
+# --------------------------------------------------------------------------
+# Regex fallback front-end
+
+def collect_declared_types(files: list[Path]) -> dict[str, str]:
+    """Tree-wide `identifier -> declared type` map ('public' for
+    DL-boundary types, 'scalarish' for taint-capable ones). Conflicting
+    redeclarations collapse to 'mixed', which the propagation treats as
+    not taintable (conservative toward zero false positives)."""
+    kinds: dict[str, str] = {}
+
+    def note(name: str, kind: str) -> None:
+        if kinds.get(name, kind) != kind:
+            kinds[name] = "mixed"
+        else:
+            kinds[name] = kind
+
+    decl = re.compile(r"\b([\w:]+(?:\s*<[^;={]*>)?)\s+(?:const\s+)?&?\s*"
+                      r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\])?\s*[;={]")
+    for path in files:
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            code = strip_strings_and_comments(raw)
+            for m in decl.finditer(code):
+                type_str, name = m.group(1), m.group(2)
+                if type_str in ("return", "delete", "new", "case"):
+                    continue
+                if PUBLIC_TYPES.search(type_str):
+                    note(name, "public")
+                elif re.search(r"\bScalar\b|\bSecret\b|\bBytes\b|uint8_t",
+                               type_str):
+                    note(name, "scalarish")
+    return kinds
+
+
+def collect_taint_seeds(files: list[Path], src_root: Path
+                        ) -> dict[str, set[str]]:
+    """Per-module tainted identifiers: Secret<...> declarations plus
+    `// ct:secret` names (ct_lint's convention)."""
+    seeds: dict[str, set[str]] = {}
+    for path in files:
+        module = module_of(path, src_root)
+        names = seeds.setdefault(module, set())
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            code = strip_strings_and_comments(raw)
+            for m in SECRET_DECL.finditer(code):
+                names.add(m.group(1))
+            if SECRET_ANNOT.search(raw):
+                m = DECL_NAME.search(raw.split("//", 1)[0])
+                if m:
+                    names.add(m.group(1))
+    return {k: v for k, v in seeds.items() if v}
+
+
+def propagate_file_taint(lines: list[str], tainted: set[str],
+                         types: dict[str, str]) -> set[str]:
+    """Fixpoint over assignments in one file: `x = <expr mentioning a
+    tainted name>` taints x unless the expression crosses the DL
+    boundary (.encode()/hash_to_group/base()/reveal_for) or x has a
+    public declared type."""
+    local = set(tainted)
+    for _ in range(4):
+        grew = False
+        for raw in lines:
+            code = strip_strings_and_comments(raw)
+            for m in ASSIGN.finditer(code):
+                lhs, rhs = m.group(1), m.group(2)
+                if lhs in local:
+                    continue
+                if types.get(lhs) in ("public", "mixed"):
+                    continue
+                if ENCODE_BOUNDARY.search(rhs):
+                    continue
+                if any(re.search(rf"\b{re.escape(t)}\b", rhs)
+                       for t in local):
+                    local.add(lhs)
+                    grew = True
+        if not grew:
+            break
+    return local
+
+
+def taint_hits(args: str, tainted: set[str]) -> list[str]:
+    cleared = re.sub(r"\.\s*reveal_for\s*\([^)]*\)", "", args)
+    return [t for t in sorted(tainted)
+            if re.search(rf"\b{re.escape(t)}\b", cleared)]
+
+
+def scan_file_fallback(path: Path, tainted: set[str], vartime: set[str],
+                       types: dict[str, str],
+                       findings: list[Finding]) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    local = propagate_file_taint(lines, tainted, types)
+    writers: set[str] = set()
+    vt_pat = (re.compile(
+        r"\b(" + "|".join(re.escape(v) for v in sorted(vartime)) +
+        r")\s*\(([^;]*)\)") if vartime else None)
+    for i, raw in enumerate(lines):
+        code = strip_strings_and_comments(raw)
+        if SUPPRESS.search(raw):
+            continue
+        for m in WIREWRITER_DECL.finditer(code):
+            writers.add(m.group(1))
+        # S1: tainted argument to a vartime callee.
+        if vt_pat:
+            for m in vt_pat.finditer(code):
+                if VARTIME_DEF.search(code):
+                    continue  # the definition itself, not a call
+                hits = taint_hits(m.group(2), local)
+                if hits:
+                    findings.append(Finding(
+                        path, i + 1, "S1",
+                        f"tainted value(s) {', '.join(hits)} passed to "
+                        f"variable-time function '{m.group(1)}'"))
+        # S2: tainted argument reaching a sink without declassification.
+        sink_here = any(p.search(code) for p in SINK_CALLS)
+        if not sink_here and writers:
+            sink_here = any(re.search(rf"\b{re.escape(w)}\s*\.", code)
+                            for w in writers)
+        if sink_here:
+            window = lines[max(0, i - 2):i + 1]
+            if any(DECLASSIFY_ANNOT.search(w) for w in window):
+                continue
+            hits = taint_hits(code, local)
+            if hits:
+                findings.append(Finding(
+                    path, i + 1, "S2",
+                    f"tainted value(s) {', '.join(hits)} reach a sink "
+                    f"without a ct:declassify(reason) annotation"))
+
+
+def interprocedural_pass(files: list[Path], seeds_by_module: dict[str, set[str]],
+                         src_root: Path, vartime: set[str],
+                         types: dict[str, str],
+                         findings: list[Finding]) -> None:
+    """One worklist round over the name-matched call graph: find calls
+    that pass a tainted value into a named function, then re-scan that
+    function's definitions with the receiving parameters tainted."""
+    from lintlib import function_bodies
+
+    texts = {p: p.read_text(encoding="utf-8") for p in files}
+    call = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(([^;{]*)\)")
+    tainted_params: dict[str, set[int]] = {}
+    skip = {"Secret", "if", "while", "for", "switch", "return", "sizeof",
+            "expose_secret", "reveal_for", "wipe", "declassify"}
+    for path in files:
+        module = module_of(path, src_root)
+        tainted = seeds_by_module.get(module, set())
+        if not tainted:
+            continue
+        local = propagate_file_taint(texts[path].splitlines(), tainted,
+                                     types)
+        for m in call.finditer(texts[path]):
+            fname, args = m.group(1), m.group(2)
+            if fname in skip or fname in vartime:
+                continue
+            for idx, arg in enumerate(args.split(",")):
+                if taint_hits(arg, local):
+                    tainted_params.setdefault(fname, set()).add(idx)
+    if not tainted_params:
+        return
+    param_decl = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^,]*)?$")
+    for path in files:
+        text = texts[path]
+        for fname, indices in tainted_params.items():
+            if not re.search(rf"\b{re.escape(fname)}\s*\(", text):
+                continue
+            for lineno, body in function_bodies(text, fname):
+                # Parameter names from the definition line.
+                header = text.splitlines()[lineno - 1]
+                pm = re.search(rf"{re.escape(fname)}\s*\(([^)]*)", header)
+                if not pm:
+                    continue
+                params = pm.group(1).split(",")
+                names = set()
+                for idx in indices:
+                    if idx < len(params):
+                        nm = param_decl.search(params[idx].strip())
+                        if nm:
+                            names.add(nm.group(1))
+                if not names:
+                    continue
+                body_lines = body.splitlines()
+                sub = propagate_file_taint(body_lines, names, types)
+                vt_pat = (re.compile(
+                    r"\b(" + "|".join(re.escape(v)
+                                      for v in sorted(vartime)) +
+                    r")\s*\(([^;]*)\)") if vartime else None)
+                if not vt_pat:
+                    continue
+                for off, raw in enumerate(body_lines):
+                    code = strip_strings_and_comments(raw)
+                    if SUPPRESS.search(raw):
+                        continue
+                    for m in vt_pat.finditer(code):
+                        hits = taint_hits(m.group(2), sub)
+                        if hits:
+                            findings.append(Finding(
+                                path, lineno + off, "S1",
+                                f"tainted parameter value(s) "
+                                f"{', '.join(hits)} passed to variable-"
+                                f"time function '{m.group(1)}' (via "
+                                f"call-graph taint of '{fname}')"))
+
+
+def run_fallback(root: Path) -> tuple[list[Finding], int]:
+    src_root = root / "src"
+    files = iter_files(src_root)
+    findings: list[Finding] = []
+    registry = load_registry(root / "DESIGN.md", findings)
+    vartime = collect_vartime(files, findings)
+    used = check_declassify_sites(files, registry, findings)
+    check_registry_drift(root / "DESIGN.md", registry, used, findings)
+    types = collect_declared_types(files)
+    seeds = collect_taint_seeds(files, src_root)
+    for path in files:
+        module = module_of(path, src_root)
+        tainted = seeds.get(module, set())
+        if tainted:
+            scan_file_fallback(path, tainted, vartime, types, findings)
+    interprocedural_pass(files, seeds, src_root, vartime, types, findings)
+    # Stable order, no duplicates (interprocedural + local can agree).
+    seen: set[str] = set()
+    unique = []
+    for f in sorted(findings, key=lambda f: (str(f.path), f.lineno, f.rule)):
+        if str(f) not in seen:
+            seen.add(str(f))
+            unique.append(f)
+    return unique, len(files)
+
+
+# --------------------------------------------------------------------------
+# libclang front-end
+
+def try_libclang():
+    try:
+        import clang.cindex as cindex  # type: ignore
+        idx = cindex.Index.create()
+        return cindex, idx
+    except Exception:
+        return None, None
+
+
+def run_libclang(root: Path, cindex, index) -> tuple[list[Finding], int] | None:
+    """AST-level analysis over compile_commands.json. Returns None when
+    no compilation database is usable (caller falls back)."""
+    db_dirs = [root / "build", root / "build-ci" / "release"]
+    db = None
+    for d in db_dirs:
+        if (d / "compile_commands.json").is_file():
+            try:
+                db = cindex.CompilationDatabase.fromDirectory(str(d))
+                break
+            except Exception:
+                continue
+    if db is None:
+        return None
+
+    findings: list[Finding] = []
+    src_root = root / "src"
+    files = iter_files(src_root)
+    registry = load_registry(root / "DESIGN.md", findings)
+    vartime = collect_vartime(files, findings)
+    used = check_declassify_sites(files, registry, findings)
+    check_registry_drift(root / "DESIGN.md", registry, used, findings)
+
+    ck = cindex.CursorKind
+
+    def is_vartime(decl) -> bool:
+        return any(c.kind == ck.ANNOTATE_ATTR and
+                   c.spelling == "cbl::vartime"
+                   for c in decl.get_children())
+
+    def is_secret_type(t) -> bool:
+        return "Secret<" in t.spelling
+
+    def expr_tainted(node) -> bool:
+        """A reference to a Secret-typed value (or a member annotated
+        ct:secret) anywhere under this expression, unless it passes
+        through reveal_for."""
+        if node.kind == ck.CALL_EXPR and node.spelling == "reveal_for":
+            return False
+        if node.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR):
+            if node.type is not None and is_secret_type(node.type):
+                return True
+            ref = node.referenced
+            if ref is not None and ref.type is not None and \
+                    is_secret_type(ref.type):
+                return True
+        return any(expr_tainted(c) for c in node.get_children())
+
+    scanned = 0
+    suppressed_lines: dict[str, set[int]] = {}
+
+    def line_suppressed(fname: str, line: int) -> bool:
+        if fname not in suppressed_lines:
+            marks: set[int] = set()
+            try:
+                for i, raw in enumerate(
+                        Path(fname).read_text(encoding="utf-8")
+                        .splitlines(), start=1):
+                    if SUPPRESS.search(raw):
+                        marks.add(i)
+            except OSError:
+                pass
+            suppressed_lines[fname] = marks
+        return line in suppressed_lines[fname]
+
+    for path in sorted({Path(c.filename)
+                        for c in db.getAllCompileCommands()}):
+        if src_root not in path.parents and path.parent != src_root:
+            continue
+        cmds = db.getCompileCommands(str(path))
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:-1]
+                if a not in ("-c", "-o", str(path))]
+        try:
+            tu = index.parse(str(path), args=args)
+        except Exception:
+            continue
+        scanned += 1
+        for node in tu.cursor.walk_preorder():
+            if node.location.file is None or \
+                    Path(node.location.file.name) != path:
+                continue
+            if node.kind != ck.CALL_EXPR:
+                continue
+            callee = node.referenced
+            if callee is None or not is_vartime(callee):
+                continue
+            for arg in node.get_arguments():
+                if expr_tainted(arg):
+                    loc = node.location
+                    if line_suppressed(loc.file.name, loc.line):
+                        continue
+                    findings.append(Finding(
+                        Path(loc.file.name), loc.line, "S1",
+                        f"tainted value passed to variable-time "
+                        f"function '{callee.spelling}'"))
+    if scanned == 0:
+        return None
+    return findings, scanned
+
+
+# --------------------------------------------------------------------------
+
+SELFTEST_BAD = """\
+#pragma once
+#include "common/secret.h"
+// vartime: public-inputs-only — verification combines wire data.
+CBL_VARTIME int vartime_combine(int s);
+
+struct Spacer {};
+
+CBL_VARTIME int vartime_unjustified(int s);
+
+struct Holder {
+  Secret<ec::Scalar> sk;
+  ec::Scalar legacy_mask;  // ct:secret
+};
+
+inline void leak(Holder& h, WireWriter& w) {
+  ec::Scalar copy = h.legacy_mask;
+  vartime_combine(copy);
+  w.scalar(h.legacy_mask);
+  const auto nr = h.sk.reveal_for("");
+  ct::declassify(&copy, sizeof copy);
+  const auto ok = h.sk.reveal_for("unregistered-reason");
+}
+"""
+
+SELFTEST_GOOD = """\
+#pragma once
+#include "common/secret.h"
+// vartime: public-inputs-only — verification combines wire data.
+CBL_VARTIME int vartime_combine(int s);
+
+struct CleanHolder {
+  Secret<ec::Scalar> sk;
+};
+
+inline void fine(CleanHolder& h, WireWriter& w, int public_input) {
+  vartime_combine(public_input);
+  const auto r = h.sk.reveal_for("registered-reason");
+  // ct:declassify(registered-reason) — epoch export is public by design.
+  ct::declassify(&r, sizeof r);
+  w.scalar(r);
+}
+"""
+
+SELFTEST_DESIGN = f"""\
+# Design
+
+{REGISTRY_BEGIN}
+| Reason | Why it is sound |
+|---|---|
+| `registered-reason` | demo row |
+| `stale-reason` | no code site uses this |
+{REGISTRY_END}
+"""
+
+
+def self_test() -> int:
+    with SelfTestTree("secret_flow_lint") as tree:
+        tree.write("src/demo/bad.h", SELFTEST_BAD)
+        tree.write("src/demo/good.h", SELFTEST_GOOD)
+        tree.write("DESIGN.md", SELFTEST_DESIGN)
+        findings, _ = run_fallback(tree.root)
+        return check_self_test(
+            "secret_flow_lint", findings,
+            expected_rules={"S1", "S2", "S3", "S4", "S5"},
+            bad_names={"bad.h", "DESIGN.md"},
+            clean_names={"good.h"})
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the script's parent)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation self-test")
+    ap.add_argument("--force-fallback", action="store_true",
+                    help="skip the libclang front-end even if available")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = Path(args.root) if args.root \
+        else Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"secret_flow_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    frontend = "fallback"
+    result = None
+    if not args.force_fallback:
+        cindex, index = try_libclang()
+        if cindex is not None:
+            result = run_libclang(root, cindex, index)
+            if result is not None:
+                frontend = "libclang"
+    if result is None:
+        if not args.force_fallback:
+            print("secret_flow_lint: libclang (python clang bindings + "
+                  "compile_commands.json) unavailable — using the regex "
+                  "fallback front-end")
+        result = run_fallback(root)
+
+    findings, scanned = result
+    for f in findings:
+        print(f)
+    status = "FAIL" if findings else "OK"
+    print(f"secret_flow_lint: {status} — {len(findings)} finding(s) over "
+          f"{scanned} file(s) [{frontend} front-end]")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,16 @@ namespace cbl::commit {
 
 // ct:key-holder — openings are the secrets of the commitment scheme.
 struct Opening {
-  ec::Scalar value;       // ct:secret
-  ec::Scalar randomness;  // ct:secret
+  Secret<ec::Scalar> value;       // ct:secret
+  Secret<ec::Scalar> randomness;  // ct:secret
 
   Opening() = default;
-  Opening(ec::Scalar v, ec::Scalar r) : value(v), randomness(r) {}
+  Opening(const ec::Scalar& v, const ec::Scalar& r)
+      : value(v), randomness(r) {}
+  Opening(Secret<ec::Scalar> v, Secret<ec::Scalar> r)
+      : value(v), randomness(r) {}
+  Opening(const ec::Scalar& v, Secret<ec::Scalar> r)
+      : value(v), randomness(r) {}
   Opening(const Opening&) = default;
   Opening(Opening&&) = default;
   Opening& operator=(const Opening&) = default;

@@ -90,7 +90,8 @@ ChaChaRng ChaChaRng::from_entropy() {
 }
 
 void ChaChaRng::refill() {
-  chacha20_block(key_, counter_++, nonce_, buffer_);
+  chacha20_block(key_.expose_secret(), counter_++, nonce_,
+                 buffer_.expose_secret_mut().data());
   avail_ = 64;
 }
 
@@ -98,7 +99,9 @@ void ChaChaRng::fill(std::uint8_t* out, std::size_t len) {
   while (len > 0) {
     if (avail_ == 0) refill();
     const std::size_t take = std::min(len, avail_);
-    std::memcpy(out, buffer_ + (64 - avail_), take);
+    // Handing keystream to the caller is this type's entire contract; the
+    // caller's holder (blinding factor, mask, ...) carries its own taint.
+    std::memcpy(out, buffer_.expose_secret().data() + (64 - avail_), take);
     avail_ -= take;
     out += take;
     len -= take;

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/ct.h"
+#include "common/secret.h"
 
 namespace cbl {
 
@@ -39,7 +40,9 @@ class Rng {
   }
 
   /// Uniform value in [0, bound) via rejection sampling; bound must be > 0.
-  std::uint64_t uniform(std::uint64_t bound);
+  // vartime: public-inputs-only — the retry count depends only on `bound`
+  // and rejected keystream words, never on a value the caller keeps.
+  CBL_VARTIME std::uint64_t uniform(std::uint64_t bound);
 };
 
 /// Deterministic ChaCha20-based DRBG.
@@ -62,17 +65,17 @@ class ChaChaRng final : public Rng {
   ChaChaRng& operator=(const ChaChaRng&) = default;
   ChaChaRng& operator=(ChaChaRng&&) = default;
   ~ChaChaRng() override {
-    secure_wipe(key_);
-    secure_wipe(buffer_, sizeof buffer_);
+    key_.wipe();
+    buffer_.wipe();
   }
 
  private:
   void refill();
 
-  std::array<std::uint8_t, 32> key_;  // ct:secret
+  Secret<std::array<std::uint8_t, 32>> key_;  // ct:secret
   std::array<std::uint8_t, 12> nonce_{};
   std::uint32_t counter_ = 0;
-  std::uint8_t buffer_[64];  // ct:secret
+  Secret<std::array<std::uint8_t, 64>> buffer_;  // ct:secret
   std::size_t avail_ = 0;
 };
 

@@ -106,7 +106,8 @@ std::vector<Check> audited_checks() {
     auto bytes = s.to_bytes();
     ct::SecretScope scope(bytes.data(), bytes.size());
     const auto enc = (ec::RistrettoPoint::base() * s).encode();
-    ct::declassify(enc.data(), enc.size());  // OPRF outputs go on the wire
+    // ct:declassify(group-element-encoding) — OPRF outputs go on the wire
+    ct::declassify(enc.data(), enc.size());
     sink(enc.data(), enc.size());
   }});
 
@@ -158,7 +159,8 @@ std::vector<Check> audited_checks() {
     auto rb = r.to_bytes();
     ct::SecretScope scope(rb.data(), rb.size());
     const auto enc = (hashed * r).encode();
-    ct::declassify(enc.data(), enc.size());  // m = H(u)^r is sent to S
+    // ct:declassify(blinded-query) — m = H(u)^r is sent to S
+    ct::declassify(enc.data(), enc.size());
     sink(enc.data(), enc.size());
   }});
 
@@ -171,7 +173,8 @@ std::vector<Check> audited_checks() {
     auto mb = mask.to_bytes();
     ct::SecretScope scope(mb.data(), mb.size());
     const auto enc = (blinded * mask).encode();
-    ct::declassify(enc.data(), enc.size());  // psi = m^R is sent back
+    // ct:declassify(evaluated-query) — psi = m^R is sent back to C
+    ct::declassify(enc.data(), enc.size());
     sink(enc.data(), enc.size());
   }});
 
@@ -204,8 +207,8 @@ std::vector<Check> audited_checks() {
     static const ec::RistrettoPoint h =
         ec::RistrettoPoint::hash_to_group(to_bytes("h"), "ctcheck/crs");
     commit::Opening opening(ec::Scalar::random(rng), ec::Scalar::random(rng));
-    auto vb = opening.value.to_bytes();
-    auto rb = opening.randomness.to_bytes();
+    auto vb = opening.value.expose_secret().to_bytes();
+    auto rb = opening.randomness.expose_secret().to_bytes();
     ct::SecretScope sv(vb.data(), vb.size());
     ct::SecretScope sr(rb.data(), rb.size());
     const commit::Commitment c = commit::Commitment::commit(g, h, opening);

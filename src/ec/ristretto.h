@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "ec/fe25519.h"
 #include "ec/scalar.h"
 
@@ -95,7 +96,9 @@ class RistrettoPoint {
 
   /// sum(scalars[i] * points[i]); sizes must match. Variable-time by
   /// design — verification-only path, never call with secret scalars.
-  static RistrettoPoint multiscalar_mul(
+  // vartime: public-inputs-only — DLEQ/Schnorr verification combines
+  // proof scalars and public points; every input arrived on the wire.
+  CBL_VARTIME static RistrettoPoint multiscalar_mul(
       const std::vector<Scalar>& scalars,
       const std::vector<RistrettoPoint>& points);
 
@@ -120,6 +123,21 @@ class RistrettoPoint {
 
 inline RistrettoPoint operator*(const Scalar& s, const RistrettoPoint& p) noexcept {
   return p * s;
+}
+
+// Secret-scalar multiplications. The point result deliberately exits the
+// Secret<> taint: recovering the scalar from P and s*P is the discrete-log
+// problem, and the underlying operator* is the constant-time fixed-window
+// ladder (ctcheck's differential traces audit that claim dynamically).
+// What stays forbidden is the scalar itself escaping — that still needs
+// expose_secret()/reveal_for().
+inline RistrettoPoint operator*(const RistrettoPoint& p,
+                                const Secret<Scalar>& s) noexcept {
+  return p * s.expose_secret();
+}
+inline RistrettoPoint operator*(const Secret<Scalar>& s,
+                                const RistrettoPoint& p) noexcept {
+  return p * s.expose_secret();
 }
 
 }  // namespace cbl::ec

@@ -29,7 +29,7 @@ OprfClient::OprfClient(Oracle oracle, unsigned lambda, Rng& rng)
 OprfClient::Prepared OprfClient::prepare(std::string_view entry) const {
   const Bytes raw = to_bytes(entry);
   Prepared p;
-  p.pending.blinding = ec::Scalar::random(rng_);
+  p.pending.blinding = Secret(ec::Scalar::random(rng_));
   p.pending.hashed = oracle_.map_to_group(raw);
   p.pending.prefix = Oracle::prefix(raw, lambda_);
 
@@ -55,12 +55,11 @@ std::vector<OprfClient::Prepared> OprfClient::blind_batch(
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Bytes raw = to_bytes(entries[i]);
     Prepared& p = out[i];
-    p.pending.blinding = ec::Scalar::random(rng_);
+    p.pending.blinding = Secret(ec::Scalar::random(rng_));
     p.pending.hashed = oracle_.map_to_group(raw);
     p.pending.prefix = Oracle::prefix(raw, lambda_);
-    ec::Scalar half_blinding = p.pending.blinding * inv_two;  // ct:secret
+    const Secret half_blinding = p.pending.blinding * inv_two;  // ct:secret
     halves[i] = p.pending.hashed * half_blinding;
-    half_blinding.wipe();
   }
   const auto encodings = ec::RistrettoPoint::double_and_encode_batch(halves);
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -13,7 +13,7 @@ KeywordStore::KeywordStore(Oracle oracle, unsigned lambda, Rng& rng)
 
 void KeywordStore::build(
     const std::vector<std::pair<std::string, Bytes>>& records) {
-  mask_ = ec::Scalar::random(rng_);
+  mask_ = Secret(ec::Scalar::random(rng_));
   buckets_.clear();
   record_count_ = 0;
 
@@ -55,7 +55,7 @@ KeywordStore::prepare(const Oracle& oracle, unsigned lambda,
                       std::string_view keyword, Rng& rng) {
   const Bytes raw = to_bytes(keyword);
   Pending pending;
-  pending.blinding = ec::Scalar::random(rng);
+  pending.blinding = Secret(ec::Scalar::random(rng));
   pending.prefix = Oracle::prefix(raw, lambda);
 
   LookupRequest request;

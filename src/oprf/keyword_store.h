@@ -62,7 +62,7 @@ class KeywordStore {
   // Client primitives (exposed so the round trip can cross a transport).
   // ct:key-holder
   struct Pending {
-    ec::Scalar blinding;  // ct:secret
+    Secret<ec::Scalar> blinding;  // ct:secret
     std::uint32_t prefix = 0;
 
     Pending() = default;
@@ -83,7 +83,7 @@ class KeywordStore {
   Oracle oracle_;
   unsigned lambda_;
   Rng& rng_;
-  ec::Scalar mask_;  // R  ct:secret
+  Secret<ec::Scalar> mask_;  // R  ct:secret
   std::map<std::uint32_t, std::vector<TaggedRecord>> buckets_;
   std::size_t record_count_ = 0;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "ec/ristretto.h"
 #include "nizk/sigma.h"
 
@@ -59,7 +60,7 @@ struct QueryResponse {
 /// Client-side state kept between prepare() and finish().
 // ct:key-holder — the blinding factor is what keeps the query private.
 struct PendingQuery {
-  ec::Scalar blinding;          // r  ct:secret
+  Secret<ec::Scalar> blinding;  // r  ct:secret
   ec::RistrettoPoint hashed;    // H(u)
   std::uint32_t prefix = 0;
   bool used_cache_hint = false;

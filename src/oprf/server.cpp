@@ -104,7 +104,7 @@ void OprfServer::rebuild(unsigned num_threads) {
     // data_mutex_ -> rng_mutex_) so the sampling cannot interleave with a
     // concurrent evaluation-proof draw.
     MutexLock rng_lock(rng_mutex_);
-    mask_ = ec::Scalar::random(rng_);
+    mask_ = Secret(ec::Scalar::random(rng_));
   }
   half_mask_ = mask_ * inv_two();
   key_commitment_ = ec::RistrettoPoint::base() * mask_;
@@ -126,7 +126,7 @@ void OprfServer::rebuild(unsigned num_threads) {
   // cannot see across that hand-off, so the guarded state the workers
   // need is bound to locals here, under the lock.
   const std::vector<std::string>& entries = entries_;
-  const ec::Scalar half_mask = half_mask_;
+  const Secret<ec::Scalar> half_mask = half_mask_;
   auto work = [&](std::size_t begin, std::size_t end) {
     std::vector<Bytes> raw(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
@@ -219,7 +219,7 @@ QueryResponse OprfServer::handle(const QueryRequest& request) {
     MutexLock rng_lock(rng_mutex_);
     response.evaluation_proof = nizk::DleqProof::prove(
         ec::RistrettoPoint::base(), key_commitment_, *masked, evaluated,
-        mask_, kEvalProofDomain, rng_);
+        mask_.expose_secret(), kEvalProofDomain, rng_);
   }
   if (observing) {
     metrics_.eval_ms->observe(
@@ -326,7 +326,7 @@ std::vector<OprfServer::BatchOutcome> OprfServer::evaluate_batch(
       MutexLock rng_lock(rng_mutex_);
       response.evaluation_proof = nizk::DleqProof::prove(
           ec::RistrettoPoint::base(), key_commitment_, masked_points[k],
-          evaluated, mask_, kEvalProofDomain, rng_);
+          evaluated, mask_.expose_secret(), kEvalProofDomain, rng_);
     }
     metrics_.queries_ok->inc();
     if (request.cached_epoch == epoch_) {

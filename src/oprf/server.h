@@ -200,8 +200,8 @@ class OprfServer {
   // mask_: the batched encode kernel produces encodings of 2*P, so hot
   // paths exponentiate by R/2 and let double_and_encode_batch supply the
   // doubling. ct:secret
-  ec::Scalar mask_ CBL_GUARDED_BY(data_mutex_);
-  ec::Scalar half_mask_ CBL_GUARDED_BY(data_mutex_);
+  Secret<ec::Scalar> mask_ CBL_GUARDED_BY(data_mutex_);
+  Secret<ec::Scalar> half_mask_ CBL_GUARDED_BY(data_mutex_);
   ec::RistrettoPoint key_commitment_ CBL_GUARDED_BY(data_mutex_);  // g^R
   std::uint64_t epoch_ CBL_GUARDED_BY(data_mutex_) = 0;
   std::vector<std::string> entries_ CBL_GUARDED_BY(data_mutex_);

@@ -98,7 +98,8 @@ void Ceremony::payoff_and_withdraw() {
     const auto opening = p.shareholder->updated_note_opening(
         result_.outcome.approved, config_.reward, config_.penalty);
     const auto claim = static_cast<chain::Amount>(
-        load_le64(opening.value.to_bytes().data()));
+        load_le64(
+            opening.value.reveal_for("payoff-claim-amount").to_bytes().data()));
     chain_.execute(p.payout_account, "withdraw", 32 + 64, [&] {
       chain_.shielded_pool().unshield(
           updated, claim,

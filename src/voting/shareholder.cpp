@@ -91,7 +91,7 @@ Round2Submission Shareholder::build_round2(
 
 nizk::Signature Shareholder::sign_settlement(ByteView message,
                                              Rng& rng) const {
-  const nizk::SigningKey key{vrf_keys_.sk, vrf_keys_.pk};
+  const nizk::SigningKey key{vrf_keys_.sk.expose_secret(), vrf_keys_.pk};
   return nizk::sign(key, message, Round2Channel::kSettleDomain, rng);
 }
 
@@ -105,14 +105,14 @@ commit::Opening Shareholder::updated_note_opening(
   const auto tau = ec::Scalar::from_u64(weight_);
 
   commit::Opening opening;
-  opening.value =
+  opening.value = Secret(
       ec::Scalar::from_u64(static_cast<std::uint64_t>(total_stake())) +
       ec::Scalar::from_u64(eq) * swing * tau -
-      ec::Scalar::from_u64(static_cast<std::uint64_t>(penalty)) * tau;
+      ec::Scalar::from_u64(static_cast<std::uint64_t>(penalty)) * tau);
   // helper = C^swing (outcome=1) or (g^tau/C)^swing (outcome=0); its
   // h-exponent is +x*swing or -x*swing respectively.
-  opening.randomness = outcome ? deposit_randomness_ + secret_ * swing
-                               : deposit_randomness_ - secret_ * swing;
+  opening.randomness = Secret(outcome ? deposit_randomness_ + secret_ * swing
+                                      : deposit_randomness_ - secret_ * swing);
   return opening;
 }
 
@@ -125,7 +125,8 @@ nizk::SchnorrProof Shareholder::make_withdraw_proof(bool outcome,
       commit::Commitment::commit(crs_.g, crs_.h, opening);
   const ec::RistrettoPoint residue =
       updated.point() - crs_.g * opening.value;
-  return nizk::SchnorrProof::prove(crs_.h, residue, opening.randomness,
+  return nizk::SchnorrProof::prove(crs_.h, residue,
+                                   opening.randomness.expose_secret(),
                                    chain::ShieldedPool::kSpendDomain, rng);
 }
 

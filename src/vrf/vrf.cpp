@@ -22,7 +22,7 @@ ec::RistrettoPoint hash_point(const ec::RistrettoPoint& pk, ByteView input) {
 
 KeyPair KeyPair::generate(Rng& rng) {
   KeyPair kp;
-  kp.sk = ec::Scalar::random(rng);
+  kp.sk = Secret(ec::Scalar::random(rng));
   kp.pk = ec::RistrettoPoint::base() * kp.sk;
   return kp;
 }
@@ -32,7 +32,8 @@ Proof prove(const KeyPair& keys, ByteView input, Rng& rng) {
   Proof proof;
   proof.gamma = h * keys.sk;
   proof.dleq = nizk::DleqProof::prove(ec::RistrettoPoint::base(), keys.pk, h,
-                                      proof.gamma, keys.sk, kDleqDomain, rng);
+                                      proof.gamma, keys.sk.expose_secret(),
+                                      kDleqDomain, rng);
   return proof;
 }
 

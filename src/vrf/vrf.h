@@ -20,7 +20,7 @@ namespace cbl::vrf {
 
 // ct:key-holder — sk is the candidate's long-lived sortition secret.
 struct KeyPair {
-  ec::Scalar sk;  // ct:secret
+  Secret<ec::Scalar> sk;  // ct:secret
   ec::RistrettoPoint pk;
 
   static KeyPair generate(Rng& rng);

@@ -1,0 +1,37 @@
+// Seeded NEGATIVE case for the secret-flow CI stage (scripts/ci.sh):
+// a Secret<Scalar> fed straight into a CBL_VARTIME callee. The stage
+// copies this TU into a scratch tree and REQUIRES
+// scripts/secret_flow_lint.py to flag it with rule S1 — proving the
+// analyzer is actually armed, not silently passing everything. The TU
+// itself is valid C++ (the stage also compiles it with -fsyntax-only);
+// the bug is a policy violation, not a type error. Not part of any
+// CMake target.
+//
+// Keep this file minimal and obviously wrong: it is the fixture the
+// whole stage's negative self-test hangs on.
+#include <vector>
+
+#include "common/secret.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+
+namespace cbl::selftest {
+
+// vartime: public-inputs-only — verification-only combiner (the fixture
+// mirrors RistrettoPoint::multiscalar_mul's contract).
+CBL_VARTIME inline ec::RistrettoPoint vartime_combine(
+    const std::vector<ec::Scalar>& scalars,
+    const std::vector<ec::RistrettoPoint>& points) {
+  return ec::RistrettoPoint::multiscalar_mul(scalars, points);
+}
+
+// BUG (deliberate): borrows the long-lived secret and hands it to the
+// variable-time combiner. expose_secret() preserves taint, so the lint
+// must report S1 here.
+inline ec::RistrettoPoint leak_secret_into_vartime(
+    const Secret<ec::Scalar>& sk) {
+  ec::Scalar leaked = sk.expose_secret();
+  return vartime_combine({leaked}, {ec::RistrettoPoint::base()});
+}
+
+}  // namespace cbl::selftest

@@ -1,0 +1,31 @@
+// POSITIVE twin of secret_flow_negative.cpp: the same shape with the
+// secret declassified through reveal_for("reason") before it reaches
+// the CBL_VARTIME callee. scripts/secret_flow_lint.py must pass this TU
+// clean — together the pair proves the secret-flow stage distinguishes
+// a leak from an audited declassification. Not part of any CMake target.
+#include <vector>
+
+#include "common/secret.h"
+#include "ec/ristretto.h"
+#include "ec/scalar.h"
+
+namespace cbl::selftest {
+
+// vartime: public-inputs-only — verification-only combiner (the fixture
+// mirrors RistrettoPoint::multiscalar_mul's contract).
+CBL_VARTIME inline ec::RistrettoPoint vartime_combine(
+    const std::vector<ec::Scalar>& scalars,
+    const std::vector<ec::RistrettoPoint>& points) {
+  return ec::RistrettoPoint::multiscalar_mul(scalars, points);
+}
+
+// OK: the scalar is declassified with an audited reason first, so the
+// value entering the variable-time path is public by decision, not by
+// accident.
+inline ec::RistrettoPoint combine_declassified(
+    const Secret<ec::Scalar>& sk) {
+  const ec::Scalar pub = sk.reveal_for("selftest-public-exponent");
+  return vartime_combine({pub}, {ec::RistrettoPoint::base()});
+}
+
+}  // namespace cbl::selftest

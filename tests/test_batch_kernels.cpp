@@ -364,8 +364,8 @@ TEST(BlindBatch, MatchesSequentialPrepare) {
     EXPECT_EQ(cbl::oprf::serialize(got[i].request),
               cbl::oprf::serialize(expected[i].request))
         << "i=" << i;
-    EXPECT_EQ(got[i].pending.blinding.to_bytes(),
-              expected[i].pending.blinding.to_bytes());
+    EXPECT_EQ(got[i].pending.blinding.expose_secret().to_bytes(),
+              expected[i].pending.blinding.expose_secret().to_bytes());
     EXPECT_TRUE(got[i].pending.hashed == expected[i].pending.hashed);
     EXPECT_EQ(got[i].pending.prefix, expected[i].pending.prefix);
   }

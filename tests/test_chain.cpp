@@ -43,7 +43,8 @@ class ChainTest : public ::testing::Test {
     const ec::RistrettoPoint residue =
         n.note.point() -
         crs.g * Scalar::from_u64(static_cast<std::uint64_t>(claimed));
-    return nizk::SchnorrProof::prove(crs.h, residue, n.opening.randomness,
+    return nizk::SchnorrProof::prove(crs.h, residue,
+                                     n.opening.randomness.expose_secret(),
                                      ShieldedPool::kSpendDomain, rng_);
   }
 };
@@ -217,8 +218,8 @@ TEST_F(ChainTest, SplitConservesValueHomomorphically) {
   const auto out1 = Commitment::commit(crs.g, crs.h, o1);
   const auto out2 = Commitment::commit(crs.g, crs.h, o2);
   const auto auth = nizk::RepresentationProof::prove(
-      crs.g, crs.h, n.note.point(), n.opening.value, n.opening.randomness,
-      ShieldedPool::kSpendDomain, rng_);
+      crs.g, crs.h, n.note.point(), n.opening.value.expose_secret(),
+      n.opening.randomness.expose_secret(), ShieldedPool::kSpendDomain, rng_);
   chain_.shielded_pool().split(n.note, auth, out1, out2);
 
   EXPECT_TRUE(chain_.shielded_pool().note_spent(n.note));
@@ -229,7 +230,7 @@ TEST_F(ChainTest, SplitConservesValueHomomorphically) {
   const ec::RistrettoPoint residue1 = out1.point() - crs.g * o1.value;
   chain_.shielded_pool().unshield(
       out1, 20,
-      nizk::SchnorrProof::prove(crs.h, residue1, o1.randomness,
+      nizk::SchnorrProof::prove(crs.h, residue1, o1.randomness.expose_secret(),
                                 ShieldedPool::kSpendDomain, rng_),
       bob);
   EXPECT_EQ(chain_.ledger().balance(bob), 20);
@@ -245,8 +246,8 @@ TEST_F(ChainTest, SplitRejectsValueInflation) {
   Opening o1{Scalar::from_u64(30), Scalar::random(rng_)};
   Opening o2{Scalar::from_u64(30), n.opening.randomness - o1.randomness};
   const auto auth = nizk::RepresentationProof::prove(
-      crs.g, crs.h, n.note.point(), n.opening.value, n.opening.randomness,
-      ShieldedPool::kSpendDomain, rng_);
+      crs.g, crs.h, n.note.point(), n.opening.value.expose_secret(),
+      n.opening.randomness.expose_secret(), ShieldedPool::kSpendDomain, rng_);
   EXPECT_THROW(
       chain_.shielded_pool().split(n.note, auth,
                                    Commitment::commit(crs.g, crs.h, o1),
@@ -265,8 +266,9 @@ TEST_F(ChainTest, SplitRejectsForeignSpendAuth) {
   // Proof for a DIFFERENT note does not authorize this spend.
   const auto other = make_note(50);
   const auto bad_auth = nizk::RepresentationProof::prove(
-      crs.g, crs.h, other.note.point(), other.opening.value,
-      other.opening.randomness, ShieldedPool::kSpendDomain, rng_);
+      crs.g, crs.h, other.note.point(), other.opening.value.expose_secret(),
+      other.opening.randomness.expose_secret(), ShieldedPool::kSpendDomain,
+      rng_);
   EXPECT_THROW(
       chain_.shielded_pool().split(n.note, bad_auth,
                                    Commitment::commit(crs.g, crs.h, o1),

@@ -266,8 +266,8 @@ TEST(KeyHygiene, OpeningDestructorCompilesWithBraceInit) {
   const ec::Scalar v = ec::Scalar::random(rng);
   const ec::Scalar r = ec::Scalar::random(rng);
   commit::Opening o{v, r};
-  EXPECT_TRUE(o.value == v);
-  EXPECT_TRUE(o.randomness == r);
+  EXPECT_TRUE(o.value.expose_secret() == v);
+  EXPECT_TRUE(o.randomness.expose_secret() == r);
 }
 
 }  // namespace

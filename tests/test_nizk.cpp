@@ -58,7 +58,7 @@ TEST_F(NizkTest, PedersenCommitVerify) {
       Commitment::commit_random(crs_.g, crs_.h, Scalar::from_u64(42), rng_);
   EXPECT_TRUE(c.verify(crs_.g, crs_.h, opening));
   Opening wrong = opening;
-  wrong.value = Scalar::from_u64(43);
+  wrong.value = cbl::Secret(Scalar::from_u64(43));
   EXPECT_FALSE(c.verify(crs_.g, crs_.h, wrong));
 }
 

@@ -1,0 +1,173 @@
+// Tests for the cbl::Secret<T> taint wrapper (src/common/secret.h): the
+// ownership/wiping semantics, the reveal_for -> ct::declassify interop,
+// and a fixed-seed OPRF end-to-end golden proving the Secret<> sweep of
+// the crypto holders (masks, blinding factors, VRF sk, RNG key) did not
+// change a single protocol byte.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/secret.h"
+#include "ct/ct.h"
+#include "ec/scalar.h"
+#include "oprf/client.h"
+#include "oprf/oracle.h"
+#include "oprf/server.h"
+
+namespace cbl {
+namespace {
+
+using Bytes32 = std::array<std::uint8_t, 32>;
+
+Bytes32 pattern_bytes() {
+  Bytes32 b{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return b;
+}
+
+template <std::size_t N>
+std::string to_hex(const std::array<std::uint8_t, N>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * N);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+TEST(Secret, CopyKeepsBothCopiesIntact) {
+  const Secret<Bytes32> original(pattern_bytes());
+  Secret<Bytes32> copy(original);
+  EXPECT_EQ(original.expose_secret(), pattern_bytes());
+  EXPECT_EQ(copy.expose_secret(), pattern_bytes());
+  EXPECT_TRUE(copy == original);
+
+  Secret<Bytes32> assigned;
+  assigned = original;
+  EXPECT_EQ(assigned.expose_secret(), pattern_bytes());
+}
+
+TEST(Secret, MoveWipesTheSource) {
+  Secret<Bytes32> source(pattern_bytes());
+  Secret<Bytes32> dest(std::move(source));
+  EXPECT_EQ(dest.expose_secret(), pattern_bytes());
+  EXPECT_EQ(source.expose_secret(), Bytes32{});  // NOLINT(bugprone-use-after-move)
+
+  Secret<Bytes32> source2(pattern_bytes());
+  Secret<Bytes32> dest2;
+  dest2 = std::move(source2);
+  EXPECT_EQ(dest2.expose_secret(), pattern_bytes());
+  EXPECT_EQ(source2.expose_secret(), Bytes32{});  // NOLINT(bugprone-use-after-move)
+
+  // Self-move must not wipe the value.
+  Secret<Bytes32>* alias = &dest;
+  dest = std::move(*alias);
+  EXPECT_EQ(dest.expose_secret(), pattern_bytes());
+}
+
+TEST(Secret, DestructorZeroesTheUnderlyingBytes) {
+  alignas(Secret<Bytes32>) std::array<unsigned char,
+                                      sizeof(Secret<Bytes32>)> storage{};
+  auto* secret = ::new (storage.data()) Secret<Bytes32>(pattern_bytes());
+  ASSERT_EQ(secret->expose_secret(), pattern_bytes());
+  secret->~Secret();
+  // Inspect the raw storage the object lived in: the wiping destructor
+  // (secure_wipe behind a compiler barrier) must have zeroed it. Read
+  // through a volatile pointer so the check survives the object's
+  // lifetime having formally ended.
+  const volatile unsigned char* raw = storage.data();
+  Bytes32 leftover{};
+  for (std::size_t i = 0; i < leftover.size(); ++i) {
+    leftover[i] = raw[i];
+  }
+  EXPECT_EQ(leftover, Bytes32{});
+}
+
+TEST(Secret, ExplicitWipeZeroes) {
+  Secret<Bytes32> s(pattern_bytes());
+  s.wipe();
+  EXPECT_EQ(s.expose_secret(), Bytes32{});
+}
+
+TEST(Secret, RevealForRoutesThroughCtDeclassify) {
+  ct::reset_for_testing();
+  const Secret<Bytes32> s(pattern_bytes());
+  const std::uint64_t before = ct::declassified_events();
+  const Bytes32 revealed = s.reveal_for("test-fixture-reveal");
+  EXPECT_EQ(revealed, pattern_bytes());
+  EXPECT_EQ(ct::declassified_events(), before + 1);
+  // The wrapped value is untouched by declassifying a copy.
+  EXPECT_EQ(s.expose_secret(), pattern_bytes());
+}
+
+TEST(Secret, ScalarArithmeticMatchesUnwrapped) {
+  const ec::Scalar a = ec::Scalar::from_u64(1234567);
+  const ec::Scalar b = ec::Scalar::from_u64(7654321);
+  const Secret<ec::Scalar> sa(a);
+  const Secret<ec::Scalar> sb(b);
+
+  EXPECT_TRUE((sa * sb).expose_secret() == a * b);
+  EXPECT_TRUE((sa * b).expose_secret() == a * b);
+  EXPECT_TRUE((sa + sb).expose_secret() == a + b);
+  EXPECT_TRUE((sa - sb).expose_secret() == a - b);
+  EXPECT_TRUE(sa.invert().expose_secret() == a.invert());
+  EXPECT_TRUE((sa * sa.invert()).expose_secret() == ec::Scalar::one());
+}
+
+// Fixed-seed end-to-end golden. These hex strings were captured from the
+// tree BEFORE the Secret<T> sweep (raw-Scalar holders) and verified
+// bit-identical afterwards: the taint wrapper is a type-level change
+// only, every protocol byte — key commitment, blinded queries, OPRF
+// evaluations, membership verdicts — is unchanged.
+TEST(SecretSweep, OprfEndToEndBytesAreUnchanged) {
+  constexpr const char* kCommitment =
+      "dce0b45b83d90db608e4b257e40e35e118eba8149027f8b80b9097b0fe52821c";
+  constexpr const char* kMasked1 =
+      "7cef4dab41912b0f707de4a794eec12f4cd963c43e0b03113152041ec63df117";
+  constexpr const char* kEval1 =
+      "b4857b52077bfb76e6c3085a92537882bcd8b9dc837e5eb53674c49cca30276a";
+  constexpr const char* kMasked2 =
+      "9274af7cc0c1b5776daadc25e6cdd6ebcdda5f3dddb78adfcb48e5cf519e951e";
+  constexpr const char* kEval2 =
+      "d01defcb620c656a4c3623c4f5cc73675354e86995610153ddb9b45778460868";
+
+  oprf::Oracle oracle = oprf::Oracle::fast();
+  ChaChaRng server_rng = ChaChaRng::from_string_seed("secret-sweep/server");
+  ChaChaRng client_rng = ChaChaRng::from_string_seed("secret-sweep/client");
+
+  oprf::OprfServer server(oracle, /*lambda=*/8, server_rng);
+  const std::vector<std::string> entries = {
+      "addr-listed-1", "addr-listed-2", "addr-listed-3", "addr-other"};
+  server.setup(entries);
+  oprf::OprfClient client(oracle, /*lambda=*/8, client_rng);
+
+  EXPECT_EQ(to_hex(server.key_commitment().encode()), kCommitment);
+
+  auto p1 = client.prepare("addr-listed-2");
+  EXPECT_EQ(to_hex(p1.request.masked_query), kMasked1);
+  auto r1 = server.handle(p1.request);
+  EXPECT_EQ(to_hex(r1.evaluated), kEval1);
+  auto v1 = client.finish(p1.pending, r1);
+  EXPECT_TRUE(v1.listed);
+  EXPECT_EQ(r1.bucket.size(), 1u);
+
+  auto p2 = client.prepare("definitely-not-listed");
+  EXPECT_EQ(to_hex(p2.request.masked_query), kMasked2);
+  auto r2 = server.handle(p2.request);
+  EXPECT_EQ(to_hex(r2.evaluated), kEval2);
+  auto v2 = client.finish(p2.pending, r2);
+  EXPECT_FALSE(v2.listed);
+}
+
+}  // namespace
+}  // namespace cbl
