@@ -1,0 +1,176 @@
+// Durability benchmark: the cost of the src/store primitives on the
+// paths owners actually pay — synced journal appends (one per audited
+// checkpoint/delta), atomic snapshot commits (one per compaction), and
+// cold-start recovery (scan + checksum-verify the whole journal, parse
+// the snapshot, replay). Emits BENCH_store.json via --json <path>;
+// --quick shrinks sizes/reps for the CI perf-smoke stage, which gates
+// on recovery returning every appended record.
+//
+// Records:
+//   journal/append    fs=mem|real,payload=B   ns per fsynced append
+//   journal/recover   fs=mem,records=N,payload=B   ns per full scan;
+//                     value = records recovered (unit "records")
+//   snapshot/commit   fs=mem|real,payload=B   ns per tmp+sync+rename+
+//                     dirsync commit
+//   store/load        fs=mem,records=N   ns per StateStore::load();
+//                     value = records replayed (unit "records")
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "store/state_store.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using cbl::Bytes;
+using cbl::ChaChaRng;
+namespace store = cbl::store;
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+/// Times fn() `reps` times, returns best-of ns per op for `ops` ops.
+template <typename Fn>
+double time_ns_per_op(int reps, std::size_t ops, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    best = std::min(best, ns / static_cast<double>(ops));
+  }
+  return best;
+}
+
+void bench_append(cbl::benchjson::Summary& summary, store::Fs& fs,
+                  const char* fs_name, std::size_t payload_size,
+                  std::size_t appends, int reps, ChaChaRng& rng) {
+  const Bytes payload = rng.bytes(payload_size);
+  const double ns = time_ns_per_op(reps, appends, [&] {
+    store::Journal journal(fs, "bench-append.jrnl");
+    journal.reset();
+    for (std::size_t i = 0; i < appends; ++i) {
+      if (!journal.append(payload)) std::abort();
+    }
+  });
+  const std::string params = std::string("fs=") + fs_name +
+                             ",payload=" + std::to_string(payload_size);
+  summary.add({"journal/append", params, ns,
+               static_cast<double>(payload_size)});
+  std::printf("%-18s %-28s %12.0f %14zu\n", "journal/append", params.c_str(),
+              ns, payload_size);
+}
+
+void bench_snapshot(cbl::benchjson::Summary& summary, store::Fs& fs,
+                    const char* fs_name, std::size_t payload_size, int reps,
+                    ChaChaRng& rng) {
+  const Bytes payload = rng.bytes(payload_size);
+  const double ns = time_ns_per_op(reps, 1, [&] {
+    if (!store::write_snapshot(fs, "bench.snap", payload)) std::abort();
+  });
+  const std::string params = std::string("fs=") + fs_name +
+                             ",payload=" + std::to_string(payload_size);
+  summary.add({"snapshot/commit", params, ns,
+               static_cast<double>(payload_size)});
+  std::printf("%-18s %-28s %12.0f %14zu\n", "snapshot/commit", params.c_str(),
+              ns, payload_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::string json_path =
+      cbl::benchjson::json_path_from_args(argc, argv);
+  cbl::benchjson::Summary summary("store");
+  ChaChaRng rng = ChaChaRng::from_string_seed("bench-store");
+
+  const std::size_t records = quick ? 256 : 4096;
+  const std::size_t payload_size = 1024;
+  const int reps = quick ? 3 : 10;
+
+  std::printf("store bench: records=%zu quick=%d\n", records, quick ? 1 : 0);
+  std::printf("%-18s %-28s %12s %14s\n", "record", "params", "ns/op",
+              "bytes");
+
+  store::MemFs mem;
+  bench_append(summary, mem, "mem", 64, records, reps, rng);
+  bench_append(summary, mem, "mem", payload_size, records, reps, rng);
+  bench_snapshot(summary, mem, "mem", std::size_t{1} << 20, reps, rng);
+
+  // Real-filesystem numbers (true fsync costs); the directory is scratch
+  // and removed on exit.
+  {
+    const std::string root = "bench-store-tmp";
+    std::filesystem::remove_all(root);
+    store::RealFs real(root);
+    bench_append(summary, real, "real", payload_size,
+                 quick ? std::size_t{16} : std::size_t{128}, reps, rng);
+    bench_snapshot(summary, real, "real", std::size_t{1} << 20, reps, rng);
+    std::filesystem::remove_all(root);
+  }
+
+  // Recovery: scan + checksum-verify a journal of `records` entries.
+  {
+    store::Journal journal(mem, "bench-recover.jrnl");
+    journal.reset();
+    const Bytes payload = rng.bytes(payload_size);
+    for (std::size_t i = 0; i < records; ++i) {
+      if (!journal.append(payload)) std::abort();
+    }
+    std::size_t recovered = 0;
+    const double ns = time_ns_per_op(reps, 1, [&] {
+      store::Journal reader(mem, "bench-recover.jrnl");
+      const auto rec = reader.recover();
+      if (rec.status != store::RecoverStatus::kOk) std::abort();
+      recovered = rec.records.size();
+    });
+    const std::string params = "fs=mem,records=" + std::to_string(records) +
+                               ",payload=" + std::to_string(payload_size);
+    summary.add({"journal/recover", params, ns,
+                 static_cast<double>(records * payload_size),
+                 static_cast<double>(recovered), "records"});
+    std::printf("%-18s %-28s %12.0f %14zu  (%zu records)\n",
+                "journal/recover", params.c_str(), ns,
+                records * payload_size, recovered);
+  }
+
+  // Cold-start StateStore load: snapshot parse + journal replay.
+  {
+    store::StateStore state(mem, "bench-state");
+    state.load();
+    if (!state.checkpoint(rng.bytes(std::size_t{1} << 18))) std::abort();
+    const Bytes record = rng.bytes(256);
+    for (std::size_t i = 0; i < records; ++i) {
+      if (!state.append(record)) std::abort();
+    }
+    std::size_t replayed = 0;
+    const double ns = time_ns_per_op(reps, 1, [&] {
+      store::StateStore reader(mem, "bench-state");
+      const auto loaded = reader.load();
+      if (loaded.corrupt || !loaded.snapshot.has_value()) std::abort();
+      replayed = loaded.records.size();
+    });
+    const std::string params = "fs=mem,records=" + std::to_string(records);
+    summary.add({"store/load", params, ns, 0.0,
+                 static_cast<double>(replayed), "records"});
+    std::printf("%-18s %-28s %12.0f %14s  (%zu records)\n", "store/load",
+                params.c_str(), ns, "-", replayed);
+  }
+
+  if (!json_path.empty()) {
+    if (!summary.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

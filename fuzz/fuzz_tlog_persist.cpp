@@ -1,0 +1,42 @@
+// Decode surface: tlog/persist.h — the Auditor's durable forms: the
+// transferable equivocation evidence, the compacted AuditorSnapshot,
+// and the incremental AuditorRecord. All three are parsed from
+// UNTRUSTED at-rest bytes on recovery; each parser must be total, and
+// every accepted value must be canonical (re-encode == input) so the
+// store's golden hashes pin a single on-disk form.
+#include <algorithm>
+
+#include "fuzz/harness.h"
+#include "tlog/persist.h"
+
+using namespace cbl;
+
+CBL_FUZZ_TARGET(cbl_fuzz_tlog_persist) {
+  const ByteView input(data, size);
+
+  if (const auto evidence = tlog::EquivocationEvidence::from_bytes(input)) {
+    const Bytes re = evidence->to_bytes();
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+    CBL_FUZZ_CHECK(re.size() == tlog::EquivocationEvidence::kWireSize);
+  }
+
+  if (const auto snapshot = tlog::AuditorSnapshot::from_bytes(input)) {
+    const Bytes re = snapshot->to_bytes();
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+    // The seen list is a strictly increasing spine — the invariant the
+    // recovery path's equivocation checks lean on.
+    for (std::size_t i = 1; i < snapshot->seen.size(); ++i) {
+      CBL_FUZZ_CHECK(snapshot->seen[i - 1].tree_size <
+                     snapshot->seen[i].tree_size);
+    }
+  }
+
+  if (const auto record = tlog::AuditorRecord::from_bytes(input)) {
+    const Bytes re = record->to_bytes();
+    CBL_FUZZ_CHECK(re.size() == input.size() &&
+                   std::equal(re.begin(), re.end(), input.begin()));
+  }
+  return 0;
+}

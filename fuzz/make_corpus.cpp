@@ -19,6 +19,9 @@
 #include "net/service_node.h"
 #include "nizk/signature.h"
 #include "oprf/wire.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+#include "tlog/persist.h"
 #include "tlog/tlog.h"
 #include "voting/wire.h"
 #include "vrf/vrf.h"
@@ -313,6 +316,111 @@ int main(int argc, char** argv) {
       write("fuzz_tlog_delta", "bucket-map-unsorted", w.take());
     }
     write("fuzz_tlog_delta", "empty", Bytes{});
+  }
+
+  // -------------------------------------------- store + auditor persistence
+  {
+    // Own DRBG so this section never shifts the draws of its neighbors.
+    ChaChaRng store_rng = ChaChaRng::from_string_seed("cbl-corpus-store");
+
+    // --------------------------------------------------------- store_journal
+    const Bytes frame_a =
+        store::encode_journal_record(to_bytes("journal-payload-a"));
+    const Bytes frame_b = store::encode_journal_record(store_rng.bytes(48));
+    write("fuzz_store_journal", "record", frame_a);
+    write("fuzz_store_journal", "record-truncated",
+          ByteView(frame_a).first(frame_a.size() / 2));
+    Bytes journal_file = to_bytes(store::kJournalMagic);
+    journal_file.insert(journal_file.end(), frame_a.begin(), frame_a.end());
+    journal_file.insert(journal_file.end(), frame_b.begin(), frame_b.end());
+    write("fuzz_store_journal", "file", journal_file);
+    Bytes journal_torn = journal_file;
+    journal_torn.resize(journal_torn.size() - frame_b.size() / 2);
+    write("fuzz_store_journal", "file-torn-tail", journal_torn);
+    Bytes journal_flipped = journal_file;
+    journal_flipped.back() ^= 0x10;  // last payload byte: checksum must fail
+    write("fuzz_store_journal", "file-bit-rot", journal_flipped);
+    Bytes journal_bad_magic = journal_file;
+    journal_bad_magic[0] ^= 0x01;
+    write("fuzz_store_journal", "file-bad-magic", journal_bad_magic);
+    write("fuzz_store_journal", "header-only",
+          to_bytes(store::kJournalMagic));
+    write("fuzz_store_journal", "empty", Bytes{});
+
+    // -------------------------------------------------------- store_snapshot
+    const Bytes snap = store::encode_snapshot(to_bytes("snapshot-payload"));
+    write("fuzz_store_snapshot", "snapshot", snap);
+    write("fuzz_store_snapshot", "snapshot-empty-payload",
+          store::encode_snapshot(ByteView()));
+    write("fuzz_store_snapshot", "snapshot-truncated",
+          ByteView(snap).first(snap.size() - 3));
+    Bytes snap_flipped = snap;
+    snap_flipped[snap_flipped.size() / 2] ^= 0x04;
+    write("fuzz_store_snapshot", "snapshot-bit-rot", snap_flipped);
+    Bytes snap_bad_version = snap;
+    snap_bad_version[store::kSnapshotMagic.size()] = 0x7f;
+    write("fuzz_store_snapshot", "snapshot-bad-version", snap_bad_version);
+    write("fuzz_store_snapshot", "empty", Bytes{});
+
+    // ---------------------------------------------------------- tlog_persist
+    // A real publisher pass gives signed checkpoints and a delta, so the
+    // seeds exercise the full nested decoders, not just the framing.
+    const nizk::SigningKey persist_key = nizk::SigningKey::generate(store_rng);
+    oprf::OprfServer persist_server(oprf::Oracle::fast(), 8, store_rng);
+    std::vector<std::string> persist_entries;
+    for (int i = 0; i < 12; ++i) {
+      persist_entries.push_back("persist-" + std::to_string(i));
+    }
+    persist_server.setup(persist_entries);
+    tlog::EpochPublisher persist_pub(persist_key, store_rng);
+    const tlog::Checkpoint cp1 = persist_pub.publish_epoch(persist_server);
+    const std::uint64_t persist_first_epoch = persist_server.epoch();
+    persist_server.add_entries(
+        std::vector<std::string>{"persist-extra-1", "persist-extra-2"});
+    const tlog::Checkpoint cp2 = persist_pub.publish_epoch(persist_server);
+
+    tlog::EquivocationEvidence evidence;
+    evidence.first = cp1;
+    evidence.second = cp2;
+    write("fuzz_tlog_persist", "evidence", evidence.to_bytes());
+    write("fuzz_tlog_persist", "evidence-truncated",
+          ByteView(evidence.to_bytes()).first(tlog::Checkpoint::kWireSize));
+
+    tlog::AuditorSnapshot auditor_snap;
+    auditor_snap.latest = cp2;
+    auditor_snap.seen = {cp1, cp2};
+    auditor_snap.has_mirror = true;
+    auditor_snap.mirror_epoch = persist_server.epoch();
+    auditor_snap.buckets = persist_pub.current_buckets();
+    write("fuzz_tlog_persist", "auditor-trusted", auditor_snap.to_bytes());
+    tlog::AuditorSnapshot distrusted_snap;
+    distrusted_snap.trusted = false;
+    distrusted_snap.distrust_reason = 4;
+    distrusted_snap.evidence = evidence;
+    write("fuzz_tlog_persist", "auditor-distrusted",
+          distrusted_snap.to_bytes());
+    Bytes snap_rot = auditor_snap.to_bytes();
+    snap_rot[snap_rot.size() / 3] ^= 0x40;
+    write("fuzz_tlog_persist", "auditor-bit-rot", snap_rot);
+
+    tlog::AuditorRecord rec_cp;
+    rec_cp.kind = tlog::AuditorRecord::Kind::kCheckpoint;
+    rec_cp.checkpoint = cp2;
+    write("fuzz_tlog_persist", "record-checkpoint", rec_cp.to_bytes());
+    tlog::AuditorRecord rec_delta;
+    rec_delta.kind = tlog::AuditorRecord::Kind::kDelta;
+    rec_delta.delta_bytes =
+        persist_pub.delta_from(persist_first_epoch)->to_bytes();
+    write("fuzz_tlog_persist", "record-delta", rec_delta.to_bytes());
+    tlog::AuditorRecord rec_distrust;
+    rec_distrust.kind = tlog::AuditorRecord::Kind::kDistrust;
+    rec_distrust.distrust_reason = 4;
+    rec_distrust.evidence = evidence;
+    write("fuzz_tlog_persist", "record-distrust", rec_distrust.to_bytes());
+    write("fuzz_tlog_persist", "record-truncated",
+          ByteView(rec_cp.to_bytes()).first(10));
+    write("fuzz_tlog_persist", "bad-kind", Bytes{0x09, 0x00});
+    write("fuzz_tlog_persist", "empty", Bytes{});
   }
 
   // ------------------------------------------------------------- roundtrip

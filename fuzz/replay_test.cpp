@@ -22,6 +22,9 @@ int cbl_fuzz_ristretto_diff(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_roundtrip(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_tlog_checkpoint(const std::uint8_t* data, std::size_t size);
 int cbl_fuzz_tlog_delta(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_tlog_persist(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_store_journal(const std::uint8_t* data, std::size_t size);
+int cbl_fuzz_store_snapshot(const std::uint8_t* data, std::size_t size);
 }
 
 namespace {
@@ -87,6 +90,18 @@ TEST(FuzzCorpusReplay, TlogCheckpoint) {
 
 TEST(FuzzCorpusReplay, TlogDelta) {
   EXPECT_GT(replay("fuzz_tlog_delta", cbl_fuzz_tlog_delta), 0u);
+}
+
+TEST(FuzzCorpusReplay, TlogPersist) {
+  EXPECT_GT(replay("fuzz_tlog_persist", cbl_fuzz_tlog_persist), 0u);
+}
+
+TEST(FuzzCorpusReplay, StoreJournal) {
+  EXPECT_GT(replay("fuzz_store_journal", cbl_fuzz_store_journal), 0u);
+}
+
+TEST(FuzzCorpusReplay, StoreSnapshot) {
+  EXPECT_GT(replay("fuzz_store_snapshot", cbl_fuzz_store_snapshot), 0u);
 }
 
 }  // namespace

@@ -43,13 +43,21 @@
 #                  over thousands of queries. CBL_CHAOS_SEED (default
 #                  pinned) and CBL_CHAOS_QUERIES (per plan) are printed so
 #                  any failure replays bit-exactly
-#  11. perf-smoke  Release build of bench_throughput and bench_tlog, run
-#                  with --json --quick; the emitted BENCH_*.json must
-#                  parse, the batched-encode kernel must not regress
-#                  below the scalar path (speedup >= 1 at batch >= 64),
-#                  and a signed epoch delta must cost fewer wire bytes
-#                  than the full bucket download it replaces at >= 2
-#                  changed entries per 1k
+#  11. crash-smoke Debug + ASan/UBSan: the durable-state suite
+#                  (tests/test_store — journal/snapshot parsers, fault
+#                  injection, restart recovery) plus the crash-at-every-
+#                  fs-op-boundary sweep and store-gremlin rounds from
+#                  tests/test_chaos, under a pinned CBL_CHAOS_SEED so any
+#                  failure replays bit-exactly (the replay command is
+#                  printed before the run)
+#  12. perf-smoke  Release build of bench_throughput, bench_tlog and
+#                  bench_store, run with --json --quick; the emitted
+#                  BENCH_*.json must parse, the batched-encode kernel
+#                  must not regress below the scalar path (speedup >= 1
+#                  at batch >= 64), a signed epoch delta must cost fewer
+#                  wire bytes than the full bucket download it replaces
+#                  at >= 2 changed entries per 1k, and store recovery
+#                  must replay every appended journal record
 #
 # Usage:
 #   scripts/ci.sh [build-root]          # default build root: build-ci/
@@ -61,7 +69,7 @@
 set -euo pipefail
 
 all_stages=(lint clang-tidy thread-safety secret-flow release asan-ubsan
-            tsan ctcheck fuzz-smoke chaos-smoke perf-smoke)
+            tsan ctcheck fuzz-smoke chaos-smoke crash-smoke perf-smoke)
 
 if [[ "${1:-}" == "--list" ]]; then
   printf '%s\n' "${all_stages[@]}"
@@ -301,6 +309,25 @@ stage_chaos_smoke() {
     "${chaos_dir}/tests/test_chaos"
 }
 
+stage_crash_smoke() {
+  local crash_dir="${build_root}/crash-smoke"
+  local crash_seed="${CBL_CHAOS_SEED:-20260806}"
+  echo "=== [crash-smoke] configure (ASan/UBSan) ==="
+  cmake -S "${repo_root}" -B "${crash_dir}" "${generator_args[@]}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCBL_SANITIZE="address;undefined"
+  echo "=== [crash-smoke] build ==="
+  cmake --build "${crash_dir}" -j "${jobs}" --target test_store test_chaos
+  echo "=== [crash-smoke] durable-state suite (journal, snapshots, fault injection, recovery) ==="
+  "${crash_dir}/tests/test_store"
+  echo "=== [crash-smoke] seed=${crash_seed} ==="
+  echo "=== [crash-smoke] replay any failure with:" \
+    "CBL_CHAOS_SEED=${crash_seed} ${crash_dir}/tests/test_chaos" \
+    "--gtest_filter='*CrashSweepAtEveryFsOpBoundary*:*StoreGremlins*' ==="
+  CBL_CHAOS_SEED="${crash_seed}" "${crash_dir}/tests/test_chaos" \
+    --gtest_filter='*CrashSweepAtEveryFsOpBoundary*:*StoreGremlins*'
+}
+
 stage_perf_smoke() {
   local perf_dir="${build_root}/perf-smoke"
   local perf_json="${perf_dir}/BENCH_throughput.json"
@@ -374,6 +401,47 @@ assert verify and all(r["ns_per_op"] > 0 for r in verify), \
 ratios = ", ".join(f"{r['params'].split(',')[1]}={r['value']:.1f}x"
                    for r in deltas.values())
 print(f"perf-smoke OK: tlog delta vs full download: {ratios}")
+EOF
+  local store_json="${perf_dir}/BENCH_store.json"
+  echo "=== [perf-smoke] build bench_store ==="
+  cmake --build "${perf_dir}" -j "${jobs}" --target bench_store
+  echo "=== [perf-smoke] run bench_store (--quick) ==="
+  (cd "${perf_dir}" && "${perf_dir}/bench/bench_store" --quick \
+    --json "${store_json}")
+  echo "=== [perf-smoke] sanity-check ${store_json} ==="
+  python3 - "${store_json}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+results = data["results"]
+assert results, "empty results"
+
+def records_in(params):
+    return int(params.split("records=")[1].split(",")[0])
+
+appends = [r for r in results if r["name"] == "journal/append"]
+assert appends and all(r["ns_per_op"] > 0 for r in appends), \
+    "missing/zero journal append timings"
+snaps = [r for r in results if r["name"] == "snapshot/commit"]
+assert snaps and all(r["ns_per_op"] > 0 for r in snaps), \
+    "missing/zero snapshot commit timings"
+
+# The durability contract CI actually guards: recovery must hand back
+# every record a synced append promised (no silent truncation, no
+# checksum rejects on our own writes).
+for name in ("journal/recover", "store/load"):
+    recs = [r for r in results if r["name"] == name]
+    assert recs, f"no {name} records"
+    for r in recs:
+        want = records_in(r["params"])
+        assert r["value"] == want, (
+            f"{name} lost records: replayed {r['value']:.0f} of {want}")
+
+mem_append = next(r["ns_per_op"] for r in appends
+                  if "fs=mem" in r["params"])
+print(f"perf-smoke OK: store append {mem_append:.0f}ns (mem), "
+      "recovery replayed every record")
 EOF
 }
 

@@ -48,7 +48,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from lintlib import (Finding, SOURCE_GLOBS, declaration_after,
                      function_bodies, module_of, strip_strings_and_comments)
 
-WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist", "tlog"}
+WIRE_MODULES = {"voting", "oprf", "net", "nizk", "vrf", "blocklist", "tlog",
+                "store"}
 
 UNTRUSTED_ANNOT = re.compile(r"//\s*wire:untrusted\b(?:\s+fuzz=(\S+))?")
 PARSER_ANNOT = re.compile(r"//\s*wire:parser\b")

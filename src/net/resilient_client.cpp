@@ -176,12 +176,19 @@ std::size_t ResilientClient::sync() {
 }
 
 void ResilientClient::pin_tlog_key(const std::string& endpoint,
-                                   const ec::RistrettoPoint& provider_pk) {
+                                   const ec::RistrettoPoint& provider_pk,
+                                   store::StateStore* store) {
   MutexLock lock(mutex_);
   for (auto& provider : providers_) {
     if (provider.endpoint == endpoint) {
       provider.auditor =
-          std::make_unique<tlog::Auditor>(provider_pk, endpoint);
+          std::make_unique<tlog::Auditor>(provider_pk, endpoint, store);
+      if (!provider.auditor->trusted()) {
+        // The store recovered a latched distrust: the provider was
+        // condemned before a restart and stays condemned. The latch
+        // is restored without re-counting a new distrust transition.
+        provider.distrusted = true;
+      }
       return;
     }
   }

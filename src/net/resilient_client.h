@@ -161,8 +161,16 @@ class ResilientClient {
   /// root mismatch — permanently distrusts the endpoint: it is skipped
   /// for queries and prefix-only answers, and the degradation ladder
   /// serves what remains. Transport damage never distrusts.
+  ///
+  /// With a non-null `store` the auditor becomes durable: it recovers
+  /// its mirror, seen roots, equivocation evidence and distrust latch
+  /// from disk (so a provider condemned before a crash stays condemned,
+  /// and the next verified sync folds deltas onto the persisted cache
+  /// instead of re-downloading), and persists every later state change.
+  /// The store must outlive this client.
   void pin_tlog_key(const std::string& endpoint,
-                    const ec::RistrettoPoint& provider_pk)
+                    const ec::RistrettoPoint& provider_pk,
+                    store::StateStore* store = nullptr)
       CBL_EXCLUDES(mutex_);
 
   /// The pinned endpoint's auditor (mirror state, trust flag), or

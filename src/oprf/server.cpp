@@ -92,8 +92,21 @@ void OprfServer::restore_epoch(std::uint64_t floor) {
   WriterMutexLock lock(data_mutex_);
   if (epoch_ < floor) {
     epoch_ = floor;
+    note_epoch_locked();
     refresh_data_gauges();
   }
+}
+
+void OprfServer::set_epoch_listener(
+    std::function<void(std::uint64_t)> listener) {
+  WriterMutexLock lock(data_mutex_);
+  epoch_listener_ = std::move(listener);
+  // Cover epochs served before the hook existed.
+  if (epoch_ > 0) note_epoch_locked();
+}
+
+void OprfServer::note_epoch_locked() {
+  if (epoch_listener_) epoch_listener_(epoch_);
 }
 
 void OprfServer::rebuild(unsigned num_threads) {
@@ -109,6 +122,7 @@ void OprfServer::rebuild(unsigned num_threads) {
   half_mask_ = mask_ * inv_two();
   key_commitment_ = ec::RistrettoPoint::base() * mask_;
   ++epoch_;
+  note_epoch_locked();
   buckets_.clear();
 
   // Blind all entries: b = H(q)^R, computed as H(q)^(R/2) batch-doubled so
@@ -372,6 +386,7 @@ std::size_t OprfServer::add_entries(std::span<const std::string> entries) {
   }
   if (added > 0) {
     ++epoch_;
+    note_epoch_locked();
     refresh_data_gauges();
   }
   return added;
@@ -403,6 +418,7 @@ std::size_t OprfServer::remove_entries(std::span<const std::string> entries) {
   }
   if (removed > 0) {
     ++epoch_;
+    note_epoch_locked();
     refresh_data_gauges();
   }
   return removed;

@@ -130,6 +130,16 @@ class OprfServer {
   /// must call this with (last served epoch) before going live; the next
   /// setup/rotation then advances past every epoch ever served.
   void restore_epoch(std::uint64_t floor) CBL_EXCLUDES(data_mutex_);
+
+  /// Installs a hook invoked (under the data write lock) with the new
+  /// epoch number at every epoch change — rebuilds, add/remove batches,
+  /// and restore_epoch. Recovery code points this at a durable
+  /// store::EpochLog so the "never recycle a served epoch" floor
+  /// survives a crash; the hook must not call back into the server.
+  /// Installing also fires the hook with the current epoch when it is
+  /// non-zero, so the floor covers epochs served before installation.
+  void set_epoch_listener(std::function<void(std::uint64_t)> listener)
+      CBL_EXCLUDES(data_mutex_);
   unsigned lambda() const { return lambda_; }
   std::size_t entry_count() const CBL_EXCLUDES(data_mutex_) {
     cbl::ReaderMutexLock lock(data_mutex_);
@@ -191,6 +201,8 @@ class OprfServer {
       CBL_EXCLUDES(rng_mutex_);
   void insert_into_bucket(const std::string& entry)
       CBL_REQUIRES(data_mutex_);
+  /// Fires the epoch listener (if any) with the current epoch.
+  void note_epoch_locked() CBL_REQUIRES(data_mutex_);
 
   const Oracle oracle_;  // stateless hash-to-group; safe to share
   const unsigned lambda_;
@@ -204,6 +216,10 @@ class OprfServer {
   Secret<ec::Scalar> half_mask_ CBL_GUARDED_BY(data_mutex_);
   ec::RistrettoPoint key_commitment_ CBL_GUARDED_BY(data_mutex_);  // g^R
   std::uint64_t epoch_ CBL_GUARDED_BY(data_mutex_) = 0;
+  /// Durability hook: told about every epoch change while the write
+  /// lock is held, so the durable floor can never lag a served epoch.
+  std::function<void(std::uint64_t)> epoch_listener_
+      CBL_GUARDED_BY(data_mutex_);
   std::vector<std::string> entries_ CBL_GUARDED_BY(data_mutex_);
   std::unordered_map<std::string, std::uint32_t> entry_index_
       CBL_GUARDED_BY(data_mutex_);  // -> prefix

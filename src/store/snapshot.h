@@ -1,0 +1,59 @@
+// Atomic snapshots — the compacted half of the durability layer (the
+// journal is the incremental half; StateStore composes the two).
+//
+// On-disk layout:
+//
+//   "CBLSNAP1"                                   8-byte file magic
+//   u8  format version (currently 1)
+//   u32 payload length (LE)
+//   32-byte keyed-BLAKE2b checksum of the payload
+//   payload bytes
+//
+// Commit discipline (write_snapshot): the new image is written to a
+// temp name, fsynced, renamed over the final name, and the directory is
+// fsynced — so at every instant the final name holds either the old
+// complete snapshot or the new complete snapshot, never a torn hybrid.
+// A crash mid-commit leaves at worst a stale temp file, which the next
+// commit overwrites.
+//
+// Snapshots read back from disk are UNTRUSTED bytes: parse_snapshot is
+// total over arbitrary inputs (ByteReader discipline) and any failure —
+// bad magic, wrong version, short file, checksum mismatch — yields
+// nullopt, which owners treat as "no snapshot" and fail safe to a full
+// resync.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "store/fs.h"
+
+namespace cbl::store {
+
+inline constexpr std::string_view kSnapshotMagic = "CBLSNAP1";
+inline constexpr std::string_view kSnapshotChecksumDomain =
+    "cbl/store/snapshot/v1";
+inline constexpr std::size_t kSnapshotChecksumSize = 32;
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+/// Pre-allocation bound against hostile length prefixes.
+inline constexpr std::size_t kSnapshotMaxPayloadSize = std::size_t{1} << 28;
+
+/// The full file image for one snapshot payload.
+Bytes encode_snapshot(ByteView payload);
+/// The payload, iff the image verifies end to end; nullopt otherwise.
+// wire:untrusted fuzz=fuzz_store_snapshot
+[[nodiscard]] std::optional<Bytes> parse_snapshot(ByteView file);
+
+/// Atomically commits `payload` as the snapshot at `path` via
+/// tmp + fsync + rename + dir-fsync. Returns true only when every step
+/// succeeded (a false return means the OLD snapshot, if any, is still
+/// the durable one — the commit never tears).
+bool write_snapshot(Fs& fs, const std::string& path, ByteView payload);
+
+/// Reads and verifies the snapshot at `path`; nullopt when absent or
+/// damaged in any way (owners must then fall back to a full resync).
+std::optional<Bytes> load_snapshot(Fs& fs, const std::string& path);
+
+}  // namespace cbl::store

@@ -1,0 +1,76 @@
+#include "store/state_store.h"
+
+#include <utility>
+
+#include "common/codec.h"
+
+namespace cbl::store {
+
+StateStore::StateStore(Fs& fs, std::string base)
+    : fs_(fs),
+      snap_path_(base + ".snap"),
+      journal_(fs, std::move(base) + ".jrnl") {}
+
+LoadedState StateStore::load() {
+  LoadedState out;
+  if (const auto file = fs_.read(snap_path_)) {
+    out.snapshot = parse_snapshot(*file);
+    if (!out.snapshot) {
+      // A snapshot is committed atomically, so a present-but-unparsable
+      // file is at-rest corruption, never a torn write.
+      out.snapshot_present_but_damaged = true;
+      out.corrupt = true;
+    }
+  }
+  const RecoveredJournal rec = journal_.recover();
+  out.records = rec.records;
+  out.journal_status = rec.status;
+  if (rec.status == RecoverStatus::kCorrupt) out.corrupt = true;
+  return out;
+}
+
+bool StateStore::append(ByteView record) {
+  return journal_.append(record);
+}
+
+bool StateStore::checkpoint(ByteView payload) {
+  if (!write_snapshot(fs_, snap_path_, payload)) return false;
+  // Crash window: new snapshot durable, old journal still present.
+  // Owners' records are replay-safe over a newer snapshot, so recovery
+  // through that window stays correct; the reset just compacts.
+  return journal_.reset();
+}
+
+EpochLog::EpochLog(Fs& fs, std::string path)
+    : journal_(fs, std::move(path)) {}
+
+std::uint64_t EpochLog::recover() {
+  const RecoveredJournal rec = journal_.recover();
+  std::uint64_t best = 0;
+  for (const Bytes& record : rec.records) {
+    ByteReader r(record);
+    const std::uint64_t epoch = r.u64();
+    if (r.finish() && epoch > best) best = epoch;
+  }
+  floor_ = best;
+  // Compact: one record carrying the floor replaces the whole history.
+  if (best > 0 && (rec.records.size() > 1 || rec.status != RecoverStatus::kOk)) {
+    if (journal_.reset()) {
+      ByteWriter w;
+      w.u64(best);
+      journal_.append(w.take());
+    }
+  }
+  return best;
+}
+
+bool EpochLog::note(std::uint64_t epoch) {
+  if (epoch <= floor_) return true;  // already covered by the floor
+  ByteWriter w;
+  w.u64(epoch);
+  const bool ok = journal_.append(w.take());
+  if (ok) floor_ = epoch;
+  return ok;
+}
+
+}  // namespace cbl::store

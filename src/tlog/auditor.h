@@ -17,9 +17,11 @@
 #include "common/thread_safety.h"
 #include "ec/ristretto.h"
 #include "obs/metrics.h"
+#include "store/state_store.h"
 #include "tlog/checkpoint.h"
 #include "tlog/delta.h"
 #include "tlog/log.h"
+#include "tlog/persist.h"
 #include "tlog/proof.h"
 
 namespace cbl::tlog {
@@ -39,6 +41,17 @@ class Auditor {
 
   /// `endpoint` labels this auditor's cbl_tlog_* metric slices.
   Auditor(ec::RistrettoPoint provider_pk, std::string endpoint);
+
+  /// As above, plus durability: recovers all audit state — the distrust
+  /// latch, equivocation evidence, seen roots, latest checkpoint and the
+  /// bucket mirror — from `store` (which must outlive the auditor), and
+  /// persists every later state change back through it. Recovery treats
+  /// at-rest bytes as untrusted: every signature is re-verified, the
+  /// mirror root is recomputed, and any damage beyond a torn journal
+  /// tail drops the caches (forcing a full resync) while preserving any
+  /// verified distrust — a condemned provider stays condemned.
+  Auditor(ec::RistrettoPoint provider_pk, std::string endpoint,
+          store::StateStore* store);
 
   // Thread safety: every public method locks the auditor's own mutex,
   // so N threads feeding it the same evidence converge on exactly one
@@ -108,25 +121,69 @@ class Auditor {
     cbl::MutexLock lock(mutex_);
     return latest_;
   }
+  /// The signed checkpoint pair that condemned the provider, if the
+  /// distrust latch was tripped by equivocation. Transferable proof:
+  /// survives restarts via the attached store.
+  std::optional<EquivocationEvidence> equivocation_evidence() const
+      CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return evidence_;
+  }
+  /// Appends/checkpoints that could not be made durable (each one means
+  /// a crash right now would forget the corresponding state change).
+  std::uint64_t persist_failures() const CBL_EXCLUDES(mutex_) {
+    cbl::MutexLock lock(mutex_);
+    return persist_failures_;
+  }
 
   static std::string_view to_string(Status status);
 
  private:
   Status fail(Status status) CBL_REQUIRES(mutex_);
+  /// Recovery from the attached store (constructor-time only).
+  void recover_from_store() CBL_EXCLUDES(mutex_);
+  /// Folds one verified snapshot into blank state; returns false when
+  /// anything inside failed re-verification (treated as damage).
+  bool restore_snapshot_locked(const AuditorSnapshot& snapshot)
+      CBL_REQUIRES(mutex_);
+  /// Replays one journal record (idempotent and monotone, so replaying
+  /// a stale journal over a newer snapshot is harmless); returns false
+  /// on re-verification failure.
+  bool replay_record_locked(const AuditorRecord& record)
+      CBL_REQUIRES(mutex_);
+  AuditorSnapshot snapshot_locked() const CBL_REQUIRES(mutex_);
+  /// Durably appends one record, compacting into a snapshot when the
+  /// journal has grown past kCompactEvery records.
+  void persist_record_locked(const AuditorRecord& record)
+      CBL_REQUIRES(mutex_);
+  void persist_snapshot_locked() CBL_REQUIRES(mutex_);
+  void persist_distrust_locked(Status reason) CBL_REQUIRES(mutex_);
   /// Lock-free view of has_state() for use while mutex_ is held.
   bool has_state_locked() const CBL_REQUIRES(mutex_) {
     return mirror_root_.has_value();
   }
 
+  /// Journal records accumulated before compacting into a snapshot.
+  static constexpr std::size_t kCompactEvery = 64;
+
   const ec::RistrettoPoint provider_pk_;
+  /// Durable backing, or null for a purely in-memory auditor. The
+  /// pointee outlives the auditor; all access runs under mutex_ (lock
+  /// order: Auditor::mutex_ before any Fs mutex inside the store).
+  store::StateStore* const store_;
 
   mutable cbl::Mutex mutex_;  // lock: audit state and the distrust latch
   bool trusted_ CBL_GUARDED_BY(mutex_) = true;
+  Status distrust_reason_ CBL_GUARDED_BY(mutex_) = Status::kOk;
 
   std::optional<Checkpoint> latest_ CBL_GUARDED_BY(mutex_);
-  /// Every (tree size -> root) pair ever seen under a valid signature;
-  /// a second root for a known size is proof of equivocation.
-  std::map<std::uint64_t, Digest> seen_roots_ CBL_GUARDED_BY(mutex_);
+  /// Every checkpoint ever accepted under a valid signature, keyed by
+  /// tree size; a second root for a known size is proof of equivocation
+  /// (and keeping the full signed checkpoint makes that proof
+  /// transferable — see EquivocationEvidence).
+  std::map<std::uint64_t, Checkpoint> seen_roots_ CBL_GUARDED_BY(mutex_);
+  std::optional<EquivocationEvidence> evidence_ CBL_GUARDED_BY(mutex_);
+  std::uint64_t persist_failures_ CBL_GUARDED_BY(mutex_) = 0;
 
   BucketMap buckets_ CBL_GUARDED_BY(mutex_);
   std::optional<Digest> mirror_root_ CBL_GUARDED_BY(mutex_);
@@ -144,6 +201,7 @@ class Auditor {
     obs::Counter* equivocations;
     obs::Counter* deltas_applied;
     obs::Counter* deltas_rejected;
+    obs::Counter* persist_failures;
     obs::Gauge* mirror_epoch;
   };
   // lock:unguarded(handles resolved once in the constructor; increments

@@ -1,0 +1,175 @@
+// wire:parser — auditor persistence images are parsed from untrusted
+// at-rest bytes; all access goes through cbl::ByteReader.
+#include "tlog/persist.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace cbl::tlog {
+
+bool EquivocationEvidence::proves_equivocation(
+    const ec::RistrettoPoint& provider_pk) const {
+  return verify_checkpoint(provider_pk, first) &&
+         verify_checkpoint(provider_pk, second) &&
+         first.tree_size == second.tree_size && first.root != second.root;
+}
+
+Bytes EquivocationEvidence::to_bytes() const {
+  ByteWriter w;
+  w.raw(first.to_bytes());
+  w.raw(second.to_bytes());
+  return w.take();
+}
+
+std::optional<EquivocationEvidence> EquivocationEvidence::from_bytes(
+    ByteView data) {
+  ByteReader r(data);
+  const Bytes first_bytes = r.raw(Checkpoint::kWireSize);
+  const Bytes second_bytes = r.raw(Checkpoint::kWireSize);
+  if (!r.finish()) return std::nullopt;
+  const auto first = Checkpoint::from_bytes(first_bytes);
+  const auto second = Checkpoint::from_bytes(second_bytes);
+  if (!first || !second) return std::nullopt;
+  EquivocationEvidence out;
+  out.first = *first;
+  out.second = *second;
+  return out;
+}
+
+namespace {
+
+constexpr std::uint8_t kFlagTrusted = 1u << 0;
+constexpr std::uint8_t kFlagLatest = 1u << 1;
+constexpr std::uint8_t kFlagMirror = 1u << 2;
+constexpr std::uint8_t kFlagEvidence = 1u << 3;
+
+}  // namespace
+
+Bytes AuditorSnapshot::to_bytes() const {
+  ByteWriter w;
+  w.u8(kAuditorSnapshotVersion);
+  std::uint8_t flags = 0;
+  if (trusted) flags |= kFlagTrusted;
+  if (latest) flags |= kFlagLatest;
+  if (has_mirror) flags |= kFlagMirror;
+  if (evidence) flags |= kFlagEvidence;
+  w.u8(flags);
+  w.u8(distrust_reason);
+  if (latest) w.raw(latest->to_bytes());
+  w.u32(static_cast<std::uint32_t>(seen.size()));
+  for (const Checkpoint& checkpoint : seen) w.raw(checkpoint.to_bytes());
+  if (has_mirror) {
+    w.u64(mirror_epoch);
+    w.var_bytes(encode_bucket_map(buckets));
+  }
+  if (evidence) w.raw(evidence->to_bytes());
+  return w.take();
+}
+
+std::optional<AuditorSnapshot> AuditorSnapshot::from_bytes(ByteView data) {
+  ByteReader r(data);
+  if (r.u8() != kAuditorSnapshotVersion) return std::nullopt;
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~(kFlagTrusted | kFlagLatest | kFlagMirror | kFlagEvidence)) !=
+      0) {
+    return std::nullopt;
+  }
+  AuditorSnapshot out;
+  out.trusted = (flags & kFlagTrusted) != 0;
+  out.distrust_reason = r.u8();
+  if ((flags & kFlagLatest) != 0) {
+    const auto latest = Checkpoint::from_bytes(r.raw(Checkpoint::kWireSize));
+    if (!latest) return std::nullopt;
+    out.latest = *latest;
+  }
+  const std::uint32_t count = r.u32();
+  if (count > kMaxPersistSeenRoots) return std::nullopt;
+  out.seen.reserve(std::min<std::size_t>(
+      count, r.remaining() / Checkpoint::kWireSize + 1));
+  std::uint64_t previous_size = 0;
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    const auto checkpoint =
+        Checkpoint::from_bytes(r.raw(Checkpoint::kWireSize));
+    if (!checkpoint) return std::nullopt;
+    // Strictly increasing by tree size keeps the encoding canonical and
+    // the recovered seen-roots map collision-free.
+    if (i > 0 && checkpoint->tree_size <= previous_size) return std::nullopt;
+    previous_size = checkpoint->tree_size;
+    out.seen.push_back(*checkpoint);
+  }
+  if ((flags & kFlagMirror) != 0) {
+    out.has_mirror = true;
+    out.mirror_epoch = r.u64();
+    const auto buckets = parse_bucket_map(r.var_bytes(kMaxPersistBucketBytes));
+    if (!buckets) return std::nullopt;
+    out.buckets = *buckets;
+  }
+  if ((flags & kFlagEvidence) != 0) {
+    const auto evidence = EquivocationEvidence::from_bytes(
+        r.raw(EquivocationEvidence::kWireSize));
+    if (!evidence) return std::nullopt;
+    out.evidence = *evidence;
+  }
+  if (!r.finish()) return std::nullopt;
+  return out;
+}
+
+Bytes AuditorRecord::to_bytes() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kCheckpoint:
+      w.raw(checkpoint.to_bytes());
+      break;
+    case Kind::kDelta:
+      w.var_bytes(delta_bytes);
+      break;
+    case Kind::kDistrust:
+      w.u8(distrust_reason);
+      w.u8(evidence ? 1 : 0);
+      if (evidence) w.raw(evidence->to_bytes());
+      break;
+  }
+  return w.take();
+}
+
+std::optional<AuditorRecord> AuditorRecord::from_bytes(ByteView data) {
+  ByteReader r(data);
+  AuditorRecord out;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(Kind::kCheckpoint): {
+      out.kind = Kind::kCheckpoint;
+      const auto checkpoint =
+          Checkpoint::from_bytes(r.raw(Checkpoint::kWireSize));
+      if (!checkpoint) return std::nullopt;
+      out.checkpoint = *checkpoint;
+      break;
+    }
+    case static_cast<std::uint8_t>(Kind::kDelta): {
+      out.kind = Kind::kDelta;
+      out.delta_bytes = r.var_bytes(kMaxPersistBucketBytes);
+      break;
+    }
+    case static_cast<std::uint8_t>(Kind::kDistrust): {
+      out.kind = Kind::kDistrust;
+      out.distrust_reason = r.u8();
+      const std::uint8_t has_evidence = r.u8();
+      if (has_evidence > 1) return std::nullopt;
+      if (has_evidence == 1) {
+        const auto evidence = EquivocationEvidence::from_bytes(
+            r.raw(EquivocationEvidence::kWireSize));
+        if (!evidence) return std::nullopt;
+        out.evidence = *evidence;
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.finish()) return std::nullopt;
+  return out;
+}
+
+}  // namespace cbl::tlog

@@ -1,0 +1,88 @@
+// Durable forms of the Auditor's audit state — what makes the paper's
+// trustless-blocklisting guarantee survive a process restart: the
+// sticky distrust latch, the transferable equivocation evidence behind
+// it, every signed root ever accepted (the gossip/equivocation base),
+// and the bucket mirror that lets delta sync resume instead of paying
+// a full re-download.
+//
+// Layering: these are pure wire formats over tlog message types; the
+// Auditor composes them with a store::StateStore (snapshot = compacted
+// AuditorSnapshot, journal = incremental AuditorRecords). Everything
+// read back from disk is UNTRUSTED — the store layer's checksums catch
+// rot, and the Auditor additionally re-verifies every signature on
+// recovery, because at-rest bytes get no more trust than wire bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tlog/checkpoint.h"
+#include "tlog/delta.h"
+
+namespace cbl::tlog {
+
+inline constexpr std::uint8_t kAuditorSnapshotVersion = 1;
+/// Pre-allocation bounds against hostile at-rest length fields.
+inline constexpr std::size_t kMaxPersistSeenRoots = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxPersistBucketBytes = std::size_t{1} << 28;
+
+/// Two validly signed checkpoints for the same tree size with different
+/// roots: self-contained, transferable proof that the provider forked
+/// its log. This is what must never be lost across a crash.
+struct EquivocationEvidence {
+  Checkpoint first;
+  Checkpoint second;
+
+  /// True iff both signatures verify under `provider_pk`, the sizes are
+  /// equal, and the roots differ — i.e. the pair actually condemns.
+  bool proves_equivocation(const ec::RistrettoPoint& provider_pk) const;
+
+  Bytes to_bytes() const;
+  static constexpr std::size_t kWireSize = 2 * Checkpoint::kWireSize;
+  // wire:untrusted fuzz=fuzz_tlog_persist
+  [[nodiscard]] static std::optional<EquivocationEvidence> from_bytes(
+      ByteView data);
+};
+
+/// Full compacted image of an Auditor — a StateStore snapshot payload.
+struct AuditorSnapshot {
+  bool trusted = true;
+  std::uint8_t distrust_reason = 0;  // Auditor::Status, when !trusted
+  std::optional<Checkpoint> latest;
+  /// Every checkpoint ever accepted, strictly increasing by tree_size
+  /// (full signed checkpoints, not bare roots, so a post-restart
+  /// equivocation yields transferable evidence).
+  std::vector<Checkpoint> seen;
+  bool has_mirror = false;
+  std::uint64_t mirror_epoch = 0;
+  BucketMap buckets;
+  std::optional<EquivocationEvidence> evidence;
+
+  Bytes to_bytes() const;
+  // wire:untrusted fuzz=fuzz_tlog_persist
+  [[nodiscard]] static std::optional<AuditorSnapshot> from_bytes(
+      ByteView data);
+};
+
+/// One incremental journal record: a checkpoint acceptance, a folded
+/// delta, or the distrust transition (with its evidence, if any).
+struct AuditorRecord {
+  enum class Kind : std::uint8_t {
+    kCheckpoint = 1,
+    kDelta = 2,
+    kDistrust = 3,
+  };
+
+  Kind kind = Kind::kCheckpoint;
+  Checkpoint checkpoint;             // kCheckpoint
+  Bytes delta_bytes;                 // kDelta: an EpochDelta wire image
+  std::uint8_t distrust_reason = 0;  // kDistrust
+  std::optional<EquivocationEvidence> evidence;  // kDistrust
+
+  Bytes to_bytes() const;
+  // wire:untrusted fuzz=fuzz_tlog_persist
+  [[nodiscard]] static std::optional<AuditorRecord> from_bytes(ByteView data);
+};
+
+}  // namespace cbl::tlog

@@ -28,11 +28,13 @@
 
 #include "blocklist/generator.h"
 #include "chaos/chaos.h"
+#include "chaos/fault_fs.h"
 #include "common/rng.h"
 #include "net/query_pipeline.h"
 #include "net/resilient_client.h"
 #include "net/service_node.h"
 #include "obs/clock.h"
+#include "store/state_store.h"
 #include "tlog/tlog.h"
 
 namespace cbl::chaos {
@@ -89,19 +91,19 @@ class ChaosWorld {
       if (!listed_set_.contains(address)) clean_.push_back(std::move(address));
     }
 
+    fs_.resize(endpoints_.size());
+    epoch_logs_.resize(endpoints_.size());
     servers_.resize(endpoints_.size());
     pipelines_.resize(endpoints_.size());
     nodes_.resize(endpoints_.size());
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-      start_node(i, /*epoch_floor=*/0);
+      start_node(i);
       injector_.set_restart_hook(endpoints_[i], [this, i] {
-        // Crash recovery: brand-new process state, except the epoch
-        // floor. Without it the rebuilt server would re-number epochs
-        // from scratch and could re-serve an epoch number clients
-        // already cached buckets for — under a different mask, turning
-        // their caches into silently wrong answers.
-        const std::uint64_t floor = servers_[i]->epoch();
-        start_node(i, floor);
+        // Power loss, not graceful shutdown: the node's MemFs reverts
+        // to its durable view and the rebuilt process recovers from
+        // that — no in-memory state crosses the crash.
+        fs_[i].crash();
+        start_node(i);
       });
     }
     snapshot_fault_counters();
@@ -200,13 +202,24 @@ class ChaosWorld {
   }
 
  private:
-  void start_node(std::size_t i, std::uint64_t epoch_floor) {
+  void start_node(std::size_t i) {
     nodes_[i].reset();  // tear the old handler down first
     // lambda=16: sparse buckets, so the prefix list actually decides
     // most clean addresses (with lambda=5 every bucket is occupied and
     // the prefix-only degradation rung could never fire).
+    // The old server (whose epoch listener points at the old EpochLog)
+    // is destroyed before the log is re-created over the same file.
     servers_[i].emplace(oprf::Oracle::fast(), 16u, server_rng_);
-    if (epoch_floor > 0) servers_[i]->restore_epoch(epoch_floor);
+    epoch_logs_[i].emplace(fs_[i], "epoch.jrnl");
+    // Crash recovery: brand-new process state, except the epoch floor
+    // recovered from the durable store. Without it the rebuilt server
+    // would re-number epochs from scratch and could re-serve an epoch
+    // number clients already cached buckets for — under a different
+    // mask, turning their caches into silently wrong answers.
+    const std::uint64_t floor = epoch_logs_[i]->recover();
+    if (floor > 0) servers_[i]->restore_epoch(floor);
+    servers_[i]->set_epoch_listener(
+        [log = &*epoch_logs_[i]](std::uint64_t epoch) { log->note(epoch); });
     servers_[i]->setup(listed_);
     net::QueryPipeline* pipeline = nullptr;
     if (use_pipeline_) {
@@ -247,6 +260,11 @@ class ChaosWorld {
   std::unordered_set<std::string> listed_set_;
   std::vector<std::string> clean_;
   net::Transport transport_;
+  // Per-endpoint durable "disk" plus the epoch floor log on it. Declared
+  // before servers_ so each server (whose epoch listener points into its
+  // log) is destroyed first.
+  std::deque<store::MemFs> fs_;
+  std::deque<std::optional<store::EpochLog>> epoch_logs_;
   std::deque<std::optional<oprf::OprfServer>> servers_;
   // Declared before nodes_ so each node (which may hold a pipeline
   // pointer) is destroyed before the pipeline it points at.
@@ -765,6 +783,269 @@ TEST(ChaosTest, CorruptedTlogSyncDegradesHonestlyThenEquivocatorIsCondemned) {
   const auto calls_before = injector.stats().calls;
   EXPECT_EQ(client.sync(), 0u);
   EXPECT_EQ(injector.stats().calls, calls_before);
+}
+
+// ----------------------------------------- durable state crash sweeps
+
+/// One step of a provider's published history: the signed checkpoint,
+/// the consistency proof from the previous step, the signed delta out
+/// of the previous epoch, and the full bucket state it commits to.
+struct TimelineStep {
+  tlog::Checkpoint checkpoint;
+  tlog::ConsistencyProofMsg consistency;   // meaningful when delta is set
+  std::optional<tlog::EpochDelta> delta;   // bridges from the previous step
+  tlog::BucketMap buckets;
+  std::uint64_t epoch = 0;
+};
+
+/// Ground truth for the store sweeps, precomputed once: everything an
+/// honest provider signed over a short run of epochs, plus one forged
+/// equivocating checkpoint for the final tree size.
+struct TlogTimeline {
+  ec::RistrettoPoint pk;
+  std::vector<TimelineStep> steps;
+  tlog::Checkpoint forged;
+  std::map<std::uint64_t, tlog::BucketMap> published;
+};
+
+TlogTimeline build_timeline() {
+  ChaChaRng corpus_rng = ChaChaRng::from_string_seed("store-sweep-corpus");
+  ChaChaRng server_rng = ChaChaRng::from_string_seed("store-sweep-server");
+  ChaChaRng key_rng = ChaChaRng::from_string_seed("store-sweep-key");
+  ChaChaRng pub_rng = ChaChaRng::from_string_seed("store-sweep-pub");
+  const auto corpus = blocklist::generate_corpus(40, corpus_rng).addresses();
+  oprf::OprfServer server(oprf::Oracle::fast(), 6, server_rng);
+  server.setup(std::span<const std::string>(corpus).first(28));
+  const auto key = nizk::SigningKey::generate(key_rng);
+  tlog::EpochPublisher publisher(key, pub_rng);
+
+  TlogTimeline t;
+  t.pk = key.pk;
+  std::uint64_t prev_epoch = 0;
+  std::uint64_t prev_size = 0;
+  std::size_t next_fresh = 28;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) {
+      server.add_entries(
+          std::span<const std::string>(corpus).subspan(next_fresh, 2));
+      next_fresh += 2;
+    }
+    TimelineStep step;
+    step.checkpoint = publisher.publish_epoch(server);
+    step.epoch = server.epoch();
+    step.buckets = server.bucket_snapshot();
+    if (i > 0) {
+      step.consistency = publisher.consistency(prev_size);
+      step.delta = publisher.delta_from(prev_epoch);
+      EXPECT_TRUE(step.delta.has_value());
+    }
+    prev_epoch = step.epoch;
+    prev_size = step.checkpoint.tree_size;
+    t.published[step.epoch] = step.buckets;
+    t.steps.push_back(std::move(step));
+  }
+  auto other_root = t.steps.back().checkpoint.root;
+  other_root[5] ^= 0x40;
+  t.forged = tlog::sign_checkpoint(key, t.steps.back().checkpoint.tree_size,
+                                   other_root, t.steps.back().epoch, pub_rng);
+  return t;
+}
+
+/// What the pre-crash run established as durable ground truth.
+struct SweepOutcome {
+  std::uint64_t last_durable_epoch = 0;  // last note() that reported true
+  bool distrust_durable = false;
+  bool crashed = false;
+};
+
+/// Drives one provider-audit scenario against the (possibly faulty) fs:
+/// a durable Auditor and an EpochLog consume the published timeline,
+/// then the provider equivocates. The in-memory objects keep going when
+/// the disk dies mid-run — only durable claims made BEFORE the crash
+/// point are recorded in the outcome.
+SweepOutcome drive_scenario(const TlogTimeline& t, FaultFs& ffs) {
+  SweepOutcome out;
+  store::StateStore store(ffs, "aud");
+  tlog::Auditor auditor(t.pk, "crash-sweep", &store);
+  store::EpochLog elog(ffs, "srv-epoch.jrnl");
+  (void)elog.recover();
+  for (const auto& step : t.steps) {
+    if (elog.note(step.epoch) && !ffs.crashed()) {
+      out.last_durable_epoch = step.epoch;
+    }
+    (void)auditor.observe_checkpoint(step.checkpoint,
+                                     step.delta ? &step.consistency : nullptr);
+    if (step.delta) {
+      (void)auditor.apply_delta(*step.delta);
+    } else {
+      (void)auditor.adopt_snapshot(step.buckets);
+    }
+  }
+  EXPECT_EQ(auditor.observe_checkpoint(t.forged, nullptr),
+            tlog::Auditor::Status::kEquivocation);
+  EXPECT_FALSE(auditor.trusted());
+  out.crashed = ffs.crashed();
+  out.distrust_durable =
+      !auditor.trusted() && auditor.persist_failures() == 0 && !out.crashed;
+  return out;
+}
+
+/// Rebuilds every durable owner from the post-crash disk and checks the
+/// recovery invariant: recovered state is always prefix-consistent with
+/// the published history — no unpublished mirror, no rolled-back epoch
+/// floor, no lost distrust. With `strict_durability` false (fsync-lie /
+/// torn-write plans, where success reports may have been lies) only the
+/// fail-safe half is asserted.
+void assert_recovered(const TlogTimeline& t, store::MemFs& mem,
+                      const SweepOutcome& out, bool strict_durability,
+                      const std::string& trace) {
+  SCOPED_TRACE(trace);
+  store::StateStore store(mem, "aud");
+  tlog::Auditor rec(t.pk, "crash-sweep-rec", &store);
+  store::EpochLog elog(mem, "srv-epoch.jrnl");
+  const std::uint64_t floor = elog.recover();
+  EXPECT_LE(floor, t.steps.back().epoch);
+  if (strict_durability) {
+    EXPECT_GE(floor, out.last_durable_epoch) << "epoch floor rolled back";
+  }
+  if (rec.has_state()) {
+    const auto it = t.published.find(rec.mirror_epoch());
+    ASSERT_NE(it, t.published.end()) << "mirror at an unpublished epoch";
+    EXPECT_EQ(rec.buckets(), it->second) << "mirror not a published state";
+  }
+  if (const auto latest = rec.latest_checkpoint()) {
+    bool known = false;
+    for (const auto& step : t.steps) {
+      known |= step.checkpoint.tree_size == latest->tree_size &&
+               step.checkpoint.root == latest->root;
+    }
+    EXPECT_TRUE(known) << "recovered checkpoint the provider never signed";
+  }
+  if (strict_durability && out.distrust_durable) {
+    EXPECT_FALSE(rec.trusted()) << "durable distrust was lost";
+    ASSERT_TRUE(rec.equivocation_evidence().has_value());
+    EXPECT_TRUE(rec.equivocation_evidence()->proves_equivocation(t.pk));
+  }
+  // A recovered trusted mirror resumes DELTA sync from where it stands:
+  // the published artifacts bridging out of its epoch fold cleanly.
+  if (rec.trusted() && rec.has_state()) {
+    for (const auto& step : t.steps) {
+      if (!step.delta || step.delta->from_epoch != rec.mirror_epoch()) {
+        continue;
+      }
+      const auto* consistency =
+          rec.latest_checkpoint()->tree_size < step.checkpoint.tree_size
+              ? &step.consistency
+              : nullptr;
+      EXPECT_EQ(rec.observe_checkpoint(step.checkpoint, consistency),
+                tlog::Auditor::Status::kOk);
+      EXPECT_EQ(rec.apply_delta(*step.delta), tlog::Auditor::Status::kOk);
+      EXPECT_EQ(rec.buckets(), step.buckets);
+    }
+  }
+}
+
+// The tentpole acceptance sweep: a fault-free probe run counts every
+// mutating fs operation the scenario performs, then the scenario is
+// re-run with a crash injected at EVERY operation boundary; after each
+// power cut the durable owners are rebuilt from disk and the recovery
+// invariant is asserted. Replayable from the printed seed.
+TEST(ChaosTest, CrashSweepAtEveryFsOpBoundaryRecoversConsistently) {
+  const TlogTimeline t = build_timeline();
+
+  FsFaultPlan probe;
+  probe.name = "store-crash-probe";
+  probe.seed = chaos_seed(1010);
+  std::uint64_t total_ops = 0;
+  {
+    store::MemFs mem;
+    FaultFs ffs(mem, probe);
+    const auto out = drive_scenario(t, ffs);
+    EXPECT_FALSE(out.crashed);
+    EXPECT_TRUE(out.distrust_durable);
+    total_ops = ffs.stats().ops;
+    mem.crash();  // even the clean run must survive a power cut
+    assert_recovered(t, mem, out, /*strict_durability=*/true,
+                     "fault-free baseline");
+  }
+  ASSERT_GT(total_ops, 20u);
+  std::cout << "[chaos] store crash sweep: " << total_ops
+            << " op boundaries (replay: CBL_CHAOS_SEED=" << probe.seed
+            << ")\n";
+
+  for (std::uint64_t k = 0; k < total_ops; ++k) {
+    FsFaultPlan plan;
+    plan.name = "store-crash-sweep";
+    plan.seed = chaos_seed(1010);
+    plan.crash_at_op = static_cast<std::int64_t>(k);
+    store::MemFs mem;
+    FaultFs ffs(mem, plan);
+    const auto out = drive_scenario(t, ffs);
+    EXPECT_TRUE(ffs.crashed());
+    EXPECT_EQ(ffs.stats().crashes, 1u);
+    mem.crash();
+    assert_recovered(t, mem, out, /*strict_durability=*/true,
+                     plan.describe() + "  (replay: CBL_CHAOS_SEED=" +
+                         std::to_string(plan.seed) + ")");
+  }
+}
+
+// Probabilistic fs gremlins — short writes, torn writes, bit flips,
+// fsync lies, rename failures — over many seeded rounds. Durability
+// REPORTS can be lies here, so only the fail-safe half of the invariant
+// is asserted: whatever recovery yields is prefix-consistent with
+// published history, and damaged state is dropped, never served.
+TEST(ChaosTest, StoreGremlinsNeverYieldUnpublishedRecoveredState) {
+  const TlogTimeline t = build_timeline();
+  const std::uint64_t base_seed = chaos_seed(1111);
+  FsFaultStats totals;
+  const auto fs_fault_before = [](const char* kind) {
+    return counter_value("cbl_chaos_fs_faults_total", {{"kind", kind}});
+  };
+  const double short_before = fs_fault_before("short_write");
+  const double torn_before = fs_fault_before("torn_write");
+  const double flip_before = fs_fault_before("bit_flip");
+  const double lie_before = fs_fault_before("fsync_lie");
+  const double rename_before = fs_fault_before("rename_fail");
+
+  for (std::uint64_t round = 0; round < 24; ++round) {
+    FsFaultPlan plan;
+    plan.name = "store-gremlins";
+    plan.seed = base_seed + round;
+    plan.short_write_prob = 0.06;
+    plan.torn_write_prob = 0.06;
+    plan.bit_flip_prob = 0.04;
+    plan.fsync_lie_prob = 0.06;
+    plan.rename_fail_prob = 0.06;
+    store::MemFs mem;
+    FaultFs ffs(mem, plan);
+    const auto out = drive_scenario(t, ffs);
+    mem.crash();
+    assert_recovered(t, mem, out, /*strict_durability=*/false,
+                     plan.describe() + "  (replay: CBL_CHAOS_SEED=" +
+                         std::to_string(plan.seed) + ")");
+    const auto st = ffs.stats();
+    totals.ops += st.ops;
+    totals.short_writes += st.short_writes;
+    totals.torn_writes += st.torn_writes;
+    totals.bit_flips += st.bit_flips;
+    totals.fsync_lies += st.fsync_lies;
+    totals.rename_fails += st.rename_fails;
+  }
+  // Every fault class actually fired across the rounds, and the obs
+  // counters mirror the local stats exactly.
+  EXPECT_GT(totals.short_writes, 0u);
+  EXPECT_GT(totals.torn_writes, 0u);
+  EXPECT_GT(totals.bit_flips, 0u);
+  EXPECT_GT(totals.fsync_lies, 0u);
+  EXPECT_GT(totals.rename_fails, 0u);
+  EXPECT_EQ(fs_fault_before("short_write") - short_before,
+            totals.short_writes);
+  EXPECT_EQ(fs_fault_before("torn_write") - torn_before, totals.torn_writes);
+  EXPECT_EQ(fs_fault_before("bit_flip") - flip_before, totals.bit_flips);
+  EXPECT_EQ(fs_fault_before("fsync_lie") - lie_before, totals.fsync_lies);
+  EXPECT_EQ(fs_fault_before("rename_fail") - rename_before,
+            totals.rename_fails);
 }
 
 }  // namespace

@@ -13,6 +13,9 @@
 #include "oprf/client.h"
 #include "oprf/server.h"
 #include "oprf/wire.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+#include "tlog/persist.h"
 #include "tlog/tlog.h"
 #include "voting/shareholder.h"
 #include "voting/wire.h"
@@ -431,6 +434,86 @@ TEST(WireGoldenTest, TlogSerializersAreByteStable) {
             cons_bytes);
   EXPECT_EQ(tlog::encode_audit_path(*tlog::parse_audit_path(path_bytes)),
             path_bytes);
+}
+
+// Same contract for the durable-state formats: a journal or snapshot
+// written by one release must recover under the next, and the corpora
+// under fuzz/corpora/fuzz_store_* and fuzz_tlog_persist are regenerated
+// from these exact serializers — so no byte may move. Digests captured
+// from the serializers that shipped the store subsystem.
+TEST(WireGoldenTest, StoreAndPersistFormatsAreByteStable) {
+  auto rng = ChaChaRng::from_string_seed("store-wire-golden");
+  const auto sha_hex = [](const Bytes& data) {
+    const auto digest = hash::Sha256::digest(data);
+    return to_hex(ByteView(digest.data(), digest.size()));
+  };
+
+  const Bytes frame =
+      store::encode_journal_record(to_bytes("golden-journal-record"));
+  EXPECT_EQ(frame.size(), 4u + store::kJournalChecksumSize + 21u);
+  EXPECT_EQ(sha_hex(frame), "2d82c792b0f0dada44749f7c0d918aa4d6477702eee931feaf3da6fbc4695c9f");
+  EXPECT_EQ(store::encode_journal_record(*store::parse_journal_record(frame)),
+            frame);
+
+  Bytes journal = to_bytes(store::kJournalMagic);
+  append(journal, frame);
+  append(journal, store::encode_journal_record(rng.bytes(33)));
+  EXPECT_EQ(journal.size(), 86u);
+  EXPECT_EQ(sha_hex(journal), "bc1ff5106ca0b5d3b0e7ed43687efa68ade6bcda309b5e6fd17f0f4fa30064e1");
+  const auto recovered = store::scan_journal(journal);
+  EXPECT_EQ(recovered.status, store::RecoverStatus::kOk);
+  EXPECT_EQ(recovered.records.size(), 2u);
+  EXPECT_EQ(recovered.valid_bytes, journal.size());
+
+  const Bytes snap = store::encode_snapshot(to_bytes("golden-snapshot"));
+  EXPECT_EQ(snap.size(), store::kSnapshotMagic.size() + 1 + 4 +
+                             store::kSnapshotChecksumSize + 15);
+  EXPECT_EQ(sha_hex(snap), "3013b1bb862731119e70e52cf79e84a8f8c9cd66c149601271634141d7d2b994");
+  EXPECT_EQ(store::encode_snapshot(*store::parse_snapshot(snap)), snap);
+
+  const auto key = nizk::SigningKey::generate(rng);
+  const auto cp1 = tlog::sign_checkpoint(
+      key, 3, chain::MerkleTree::hash_leaf(to_bytes("persist-golden-1")), 1,
+      rng);
+  const auto cp2 = tlog::sign_checkpoint(
+      key, 5, chain::MerkleTree::hash_leaf(to_bytes("persist-golden-2")), 2,
+      rng);
+
+  tlog::EquivocationEvidence evidence;
+  evidence.first = cp1;
+  evidence.second = cp2;
+  const Bytes evidence_bytes = evidence.to_bytes();
+  EXPECT_EQ(evidence_bytes.size(), tlog::EquivocationEvidence::kWireSize);
+  EXPECT_EQ(sha_hex(evidence_bytes), "ac950ff74a45851b13b181135e4064f5898ea1d443956fb1d55ff7f653df63aa");
+
+  tlog::AuditorSnapshot auditor;
+  auditor.latest = cp2;
+  auditor.seen = {cp1, cp2};
+  auditor.has_mirror = true;
+  auditor.mirror_epoch = 2;
+  auditor.buckets[3] = {(ec::RistrettoPoint::base() * ec::Scalar::random(rng))
+                            .encode()};
+  auditor.evidence = evidence;
+  const Bytes auditor_bytes = auditor.to_bytes();
+  EXPECT_EQ(auditor_bytes.size(), 628u);
+  EXPECT_EQ(sha_hex(auditor_bytes), "a1c5d87445b905db3bf35b1a783951352c014c85718085f5e6cb59ed3f3194e8");
+
+  tlog::AuditorRecord record;
+  record.kind = tlog::AuditorRecord::Kind::kDistrust;
+  record.distrust_reason = 4;
+  record.evidence = evidence;
+  const Bytes record_bytes = record.to_bytes();
+  EXPECT_EQ(record_bytes.size(),
+            3 + tlog::EquivocationEvidence::kWireSize);
+  EXPECT_EQ(sha_hex(record_bytes), "1634b7c568fb4dd79ad831d35b7a896bddb648cc59d19f5b3b9c2d71b27adfaf");
+
+  // Each format parses back to the same canonical bytes.
+  EXPECT_EQ(tlog::EquivocationEvidence::from_bytes(evidence_bytes)->to_bytes(),
+            evidence_bytes);
+  EXPECT_EQ(tlog::AuditorSnapshot::from_bytes(auditor_bytes)->to_bytes(),
+            auditor_bytes);
+  EXPECT_EQ(tlog::AuditorRecord::from_bytes(record_bytes)->to_bytes(),
+            record_bytes);
 }
 
 TEST_F(VotingWireTest, RandomBytesNeverParse) {
