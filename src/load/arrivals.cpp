@@ -1,0 +1,38 @@
+#include "load/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "load/zipf.h"
+
+namespace cbl::load {
+
+PoissonArrivals::PoissonArrivals(double rate_qps, std::uint64_t start_ns)
+    : rate_qps_(rate_qps), t_ns_(static_cast<double>(start_ns)) {
+  if (!(rate_qps > 0.0)) {
+    throw std::invalid_argument("PoissonArrivals: rate must be positive");
+  }
+}
+
+std::uint64_t PoissonArrivals::next_ns(Rng& rng) {
+  const double u = uniform_unit(rng);
+  // Inverse-CDF exponential gap; -log1p(-u) = -ln(1-u) is exact for u
+  // near 0 where most draws land.
+  const double gap_s = -std::log1p(-u) / rate_qps_;
+  t_ns_ += gap_s * 1e9;
+  return static_cast<std::uint64_t>(t_ns_);
+}
+
+std::vector<std::uint64_t> poisson_schedule_ns(double rate_qps,
+                                               std::size_t count, Rng& rng,
+                                               std::uint64_t start_ns) {
+  PoissonArrivals arrivals(rate_qps, start_ns);
+  std::vector<std::uint64_t> schedule;
+  schedule.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    schedule.push_back(arrivals.next_ns(rng));
+  }
+  return schedule;
+}
+
+}  // namespace cbl::load

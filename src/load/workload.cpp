@@ -1,0 +1,74 @@
+#include "load/workload.h"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "blocklist/address.h"
+#include "blocklist/generator.h"
+
+namespace cbl::load {
+
+namespace {
+
+/// Rank -> address-index bijection over [0, n) for n a power of two:
+/// multiplication by an odd constant is invertible mod 2^k, so popular
+/// ranks scatter across the universe instead of clustering at the
+/// listed prefix — popularity and listedness stay independent.
+std::size_t permute(std::size_t rank, std::size_t n) {
+  return (rank * 2654435761u) & (n - 1);
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadConfig& config, Rng& corpus_rng)
+    : config_(config),
+      zipf_(config.unique_addresses == 0 ? 1 : config.unique_addresses,
+            config.zipf_s) {
+  const std::size_t n = config_.unique_addresses;
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument(
+        "Workload: unique_addresses must be a power of two");
+  }
+  if (config_.listed_addresses == 0 || config_.listed_addresses >= n) {
+    throw std::invalid_argument(
+        "Workload: listed_addresses must be in (0, unique_addresses)");
+  }
+
+  // Listed subset first: a synthetic scam corpus, topped up (it
+  // deduplicates to "approximately" the requested count) or truncated
+  // to the exact ground-truth size.
+  addresses_ = blocklist::generate_corpus(config_.listed_addresses,
+                                          corpus_rng)
+                   .addresses();
+  std::unordered_set<std::string> seen(addresses_.begin(), addresses_.end());
+  while (addresses_.size() < config_.listed_addresses) {
+    auto address =
+        blocklist::random_address(blocklist::Chain::kBitcoin, corpus_rng);
+    if (seen.insert(address).second) addresses_.push_back(std::move(address));
+  }
+  addresses_.resize(config_.listed_addresses);
+
+  // Clean remainder: format-valid addresses never put on the list.
+  addresses_.reserve(n);
+  while (addresses_.size() < n) {
+    auto address =
+        blocklist::random_address(blocklist::Chain::kBitcoin, corpus_rng);
+    if (seen.insert(address).second) addresses_.push_back(std::move(address));
+  }
+}
+
+Workload::Query Workload::sample(Rng& rng) const {
+  Query query;
+  const std::size_t rank = zipf_.sample(rng);
+  const std::size_t idx = permute(rank, config_.unique_addresses);
+  query.address = &addresses_[idx];
+  query.listed = idx < config_.listed_addresses;
+  query.cache_hit = uniform_unit(rng) < config_.cache_hit_ratio;
+  if (!query.cache_hit && !query.listed) {
+    query.prefix_local = uniform_unit(rng) < config_.prefix_local_ratio;
+  }
+  return query;
+}
+
+}  // namespace cbl::load

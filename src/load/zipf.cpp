@@ -1,0 +1,42 @@
+#include "load/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cbl::load {
+
+double uniform_unit(Rng& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s), norm_(0.0) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  if (!(s >= 0.0)) throw std::invalid_argument("ZipfSampler: negative skew");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (double& c : cdf_) c /= norm_;
+  // Guard against the top of the table falling a few ulps short of 1:
+  // a uniform draw just below 1 must always invert to a valid rank.
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = uniform_unit(rng);
+  // Smallest k with cdf_[k] > u; u < 1 and cdf_.back() == 1 guarantee a
+  // hit.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return std::pow(static_cast<double>(rank + 1), -s_) / norm_;
+}
+
+}  // namespace cbl::load

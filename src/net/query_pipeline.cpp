@@ -1,6 +1,7 @@
 #include "net/query_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/thread_safety.h"
 #include "obs/trace.h"
@@ -32,6 +33,9 @@ QueryPipeline::QueryPipeline(oprf::OprfServer& server, PipelineOptions options)
       "Queries coalesced per evaluate_batch call");
   queue_depth_ = &reg.gauge("cbl_net_pipeline_queue_depth", {},
                             "Queries waiting for a shard leader, all shards");
+  crypto_ns_total_ = &reg.counter(
+      "cbl_net_pipeline_crypto_ns_total", {},
+      "Real CPU ns spent in batched OPRF evaluation (leader threads)");
 }
 
 std::size_t QueryPipeline::shard_of(const oprf::QueryRequest& request) const {
@@ -59,6 +63,7 @@ void QueryPipeline::run_batch(std::vector<Pending*>& batch) {
   for (const Pending* p : batch) requests.push_back(*p->request);
 
   std::vector<oprf::OprfServer::BatchOutcome> outcomes;
+  const auto crypto_begin = std::chrono::steady_clock::now();
   exec::WorkerPool* pool = options_.pool;
   const unsigned workers = pool != nullptr ? pool->threads() : 0;
   if (workers > 1 && requests.size() >= 2 * static_cast<std::size_t>(workers)) {
@@ -80,6 +85,11 @@ void QueryPipeline::run_batch(std::vector<Pending*>& batch) {
         });
   } else {
     outcomes = server_.evaluate_batch(requests);
+  }
+  const auto crypto_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - crypto_begin);
+  if (crypto_ns.count() > 0) {
+    crypto_ns_total_->inc(static_cast<std::uint64_t>(crypto_ns.count()));
   }
 
   {

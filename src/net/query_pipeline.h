@@ -103,6 +103,7 @@ class QueryPipeline {
   obs::Counter* enqueued_total_;
   obs::Counter* shed_total_;
   obs::Counter* batches_total_;
+  obs::Counter* crypto_ns_total_;
   obs::Histogram* batch_size_;
   obs::Gauge* queue_depth_;
 };

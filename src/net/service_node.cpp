@@ -2,6 +2,7 @@
 #include "net/service_node.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "ec/codec.h"
 #include "hash/blake2b.h"
@@ -25,6 +26,17 @@ Bytes retry_after_body(std::uint32_t hint_ms) {
   ec::WireWriter w;
   w.u32(hint_ms);
   return w.take();
+}
+
+/// Real elapsed nanoseconds between two steady-clock points. Stage CPU
+/// accounting deliberately uses wall time, not the obs registry clock:
+/// the registry clock is virtual in load harnesses, while per-stage
+/// cost is a property of the actual machine.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point begin,
+                         std::chrono::steady_clock::time_point end) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin);
+  return d.count() > 0 ? static_cast<std::uint64_t>(d.count()) : 0u;
 }
 
 }  // namespace
@@ -155,6 +167,18 @@ BlocklistServiceNode::BlocklistServiceNode(Transport& transport,
   shed_ = &registry.counter(
       "cbl_net_shed_total", {{"endpoint", endpoint_}},
       "Queries shed by the bounded in-flight budget (overload)");
+  const auto stage_counter = [&](const char* stage) {
+    return &registry.counter("cbl_net_stage_cpu_ns_total",
+                             {{"stage", stage}},
+                             "Real CPU ns spent per query-serving stage");
+  };
+  stage_parse_ns_ = stage_counter("parse");
+  stage_crypto_ns_ = stage_counter("crypto");
+  stage_seal_ns_ = stage_counter("seal");
+  queue_wait_ms_ = &registry.histogram(
+      "cbl_net_queue_wait_ms", obs::Histogram::default_latency_ms_buckets(),
+      {{"endpoint", endpoint_}},
+      "Virtual-time wait admitted queries spend behind the service queue");
   transport.register_endpoint(
       endpoint_, [this](ByteView frame) { return handle_frame(frame); });
 }
@@ -193,7 +217,9 @@ obs::Counter& BlocklistServiceNode::status_counter(Status status) {
   return *responses_bad_request_;
 }
 
-std::uint32_t BlocklistServiceNode::admit_or_shed_query() {
+std::uint32_t BlocklistServiceNode::admit_or_shed_query(
+    double* queue_wait_ms) {
+  *queue_wait_ms = 0.0;
   if (limits_.max_inflight == 0 || limits_.service_ms <= 0.0) return 0;
   const double now =
       static_cast<double>(obs::MetricsRegistry::global().clock().now_ns()) /
@@ -209,6 +235,10 @@ std::uint32_t BlocklistServiceNode::admit_or_shed_query() {
     const double wait_ms = backlog_ms + limits_.service_ms - capacity_ms;
     return static_cast<std::uint32_t>(wait_ms) + 1;
   }
+  // Admitted: this query waits out the existing backlog before its own
+  // service slot starts.
+  *queue_wait_ms = backlog_ms;
+  queue_wait_ms_->observe(backlog_ms);
   busy_until_ms_ += limits_.service_ms;
   return 0;
 }
@@ -218,7 +248,10 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
     status_counter(status).inc();
     return encode_response_frame(status, body);
   };
+  const auto parse_begin = std::chrono::steady_clock::now();
   const auto parsed = parse_request_frame(frame);
+  const std::uint64_t parse_ns =
+      elapsed_ns(parse_begin, std::chrono::steady_clock::now());
   if (!parsed) {
     requests_unknown_->inc();
     return respond(Status::kBadRequest);
@@ -226,42 +259,8 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
   method_counter(parsed->method).inc();
 
   switch (parsed->method) {
-    case Method::kQuery: {
-      // Overload shedding happens before any parsing or crypto work —
-      // the whole point is to spend nothing on load we cannot serve.
-      if (const std::uint32_t hint_ms = admit_or_shed_query()) {
-        return respond(Status::kRateLimited, retry_after_body(hint_ms));
-      }
-      if (pipeline_ != nullptr) {
-        // Batched serving path: the pipeline parses, coalesces with other
-        // in-flight queries, and hands back the serialized response.
-        auto result = pipeline_->serve(parsed->body);
-        if (result.status == Status::kRateLimited) {
-          const std::uint32_t hint = result.retry_after_ms != 0
-                                         ? result.retry_after_ms
-                                         : limits_.retry_after_hint_ms;
-          if (hint > 0) {
-            return respond(Status::kRateLimited, retry_after_body(hint));
-          }
-        }
-        return respond(result.status, result.body);
-      }
-      const auto request = oprf::parse_query_request(parsed->body);
-      if (!request) return respond(Status::kBadRequest);
-      try {
-        const auto response = server_.handle(*request);
-        const Bytes serialized = oprf::serialize(response);
-        return respond(Status::kOk, serialized);
-      } catch (const ProtocolError&) {
-        // Rate limit / auth failures surface as a distinct status so the
-        // client can back off instead of retrying.
-        if (limits_.retry_after_hint_ms > 0) {
-          return respond(Status::kRateLimited,
-                         retry_after_body(limits_.retry_after_hint_ms));
-        }
-        return respond(Status::kRateLimited);
-      }
-    }
+    case Method::kQuery:
+      return handle_query(parsed->body, parse_ns);
     case Method::kPrefixList: {
       const Bytes serialized =
           oprf::serialize_prefix_list(server_.prefix_list());
@@ -289,6 +288,71 @@ std::optional<Bytes> BlocklistServiceNode::handle_frame(ByteView frame) {
       return handle_tlog(parsed->method, parsed->body);
   }
   return respond(Status::kBadRequest);
+}
+
+Bytes BlocklistServiceNode::handle_query(ByteView body,
+                                         std::uint64_t parse_ns) {
+  QueryStageTiming timing;
+  timing.parse_ns = parse_ns;
+  stage_parse_ns_->inc(parse_ns);
+  const auto finish = [this, &timing](Status status, ByteView resp_body) {
+    status_counter(status).inc();
+    const auto seal_begin = std::chrono::steady_clock::now();
+    Bytes sealed = encode_response_frame(status, resp_body);
+    timing.seal_ns = elapsed_ns(seal_begin, std::chrono::steady_clock::now());
+    stage_seal_ns_->inc(timing.seal_ns);
+    if (stage_hook_) stage_hook_(timing);
+    return sealed;
+  };
+
+  // Overload shedding happens before any body parsing or crypto work —
+  // the whole point is to spend nothing on load we cannot serve.
+  if (const std::uint32_t hint_ms = admit_or_shed_query(&timing.queue_wait_ms)) {
+    timing.shed = true;
+    const Bytes hint = retry_after_body(hint_ms);
+    return finish(Status::kRateLimited, hint);
+  }
+  timing.service_ms = limits_.service_ms;
+
+  Status status = Status::kBadRequest;
+  Bytes resp_body;
+  const auto crypto_begin = std::chrono::steady_clock::now();
+  if (pipeline_ != nullptr) {
+    // Batched serving path: the pipeline parses, coalesces with other
+    // in-flight queries, and hands back the serialized response. The
+    // crypto stage here includes time blocked on the shared batch.
+    auto result = pipeline_->serve(body);
+    status = result.status;
+    resp_body = std::move(result.body);
+    if (status == Status::kRateLimited) {
+      const std::uint32_t hint = result.retry_after_ms != 0
+                                     ? result.retry_after_ms
+                                     : limits_.retry_after_hint_ms;
+      if (hint > 0) resp_body = retry_after_body(hint);
+    }
+  } else {
+    const auto request = oprf::parse_query_request(body);
+    if (!request) {
+      status = Status::kBadRequest;
+    } else {
+      try {
+        const auto response = server_.handle(*request);
+        resp_body = oprf::serialize(response);
+        status = Status::kOk;
+      } catch (const ProtocolError&) {
+        // Rate limit / auth failures surface as a distinct status so the
+        // client can back off instead of retrying.
+        status = Status::kRateLimited;
+        if (limits_.retry_after_hint_ms > 0) {
+          resp_body = retry_after_body(limits_.retry_after_hint_ms);
+        }
+      }
+    }
+  }
+  timing.crypto_ns =
+      elapsed_ns(crypto_begin, std::chrono::steady_clock::now());
+  stage_crypto_ns_->inc(timing.crypto_ns);
+  return finish(status, resp_body);
 }
 
 Bytes BlocklistServiceNode::handle_tlog(Method method, ByteView body) {

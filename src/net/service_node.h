@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "net/transport.h"
 #include "oprf/client.h"
@@ -105,6 +106,21 @@ struct NodeLimits {
 
 class QueryPipeline;
 
+/// Per-query stage accounting delivered to the node's stage hook: the
+/// virtual-time queue wait charged by NodeLimits admission, plus real
+/// (steady-clock) CPU nanoseconds spent in each serving stage. For a
+/// shed query only parse_ns and queue-independent fields are meaningful.
+/// Load harnesses fold queue_wait_ms into end-to-end latency; the CPU
+/// fields feed the per-stage breakdown in BENCH_macro.json.
+struct QueryStageTiming {
+  double queue_wait_ms = 0.0;   // virtual-time wait behind the queue
+  double service_ms = 0.0;      // virtual service time charged on admit
+  std::uint64_t parse_ns = 0;   // request-frame parsing
+  std::uint64_t crypto_ns = 0;  // OPRF evaluation + response serialize
+  std::uint64_t seal_ns = 0;    // response sealing (status + checksum)
+  bool shed = false;            // rejected by NodeLimits admission
+};
+
 /// Binds an OprfServer to a transport endpoint. The destructor tears the
 /// endpoint down again, so a destroyed node is unreachable (drops) — the
 /// crash half of crash-restart — rather than a dangling handler.
@@ -131,15 +147,26 @@ class BlocklistServiceNode {
 
   const std::string& endpoint() const { return endpoint_; }
 
+  /// Observes every kQuery frame, admitted or shed. Set it before
+  /// traffic starts — the hook is not synchronized against in-flight
+  /// frames. Pass nullptr (default) to disable.
+  using StageHook = std::function<void(const QueryStageTiming&)>;
+  void set_stage_hook(StageHook hook) { stage_hook_ = std::move(hook); }
+
  private:
   std::optional<Bytes> handle_frame(ByteView frame);
+  /// Serves one kQuery request with per-stage timing; returns the
+  /// sealed response frame.
+  Bytes handle_query(ByteView body, std::uint64_t parse_ns);
   /// Serves one kTlog* request; returns the sealed response frame.
   Bytes handle_tlog(Method method, ByteView body);
   obs::Counter& method_counter(Method method);
   obs::Counter& status_counter(Status status);
   /// Returns the shed retry-after hint in ms when the query must be
-  /// shed, 0 when it was admitted (and the backlog charged).
-  std::uint32_t admit_or_shed_query();
+  /// shed, 0 when it was admitted (and the backlog charged). On
+  /// admission *queue_wait_ms receives the virtual-time backlog the
+  /// query waits behind before its own service slot.
+  std::uint32_t admit_or_shed_query(double* queue_wait_ms);
 
   Transport* transport_;
   std::string endpoint_;
@@ -149,6 +176,7 @@ class BlocklistServiceNode {
   QueryPipeline* pipeline_;  // optional batched serving path; not owned
   tlog::EpochPublisher* publisher_;  // optional transparency log; not owned
   double busy_until_ms_ = 0.0;  // virtual-time end of the service queue
+  StageHook stage_hook_;        // optional per-query timing observer
   // Per-method / per-status request accounting, resolved once.
   obs::Counter* requests_query_;
   obs::Counter* requests_prefix_list_;
@@ -159,6 +187,12 @@ class BlocklistServiceNode {
   obs::Counter* responses_bad_request_;
   obs::Counter* responses_rate_limited_;
   obs::Counter* shed_;
+  // Per-stage CPU spend (real steady-clock ns, not virtual time) and
+  // virtual-time queue wait of admitted queries.
+  obs::Counter* stage_parse_ns_;
+  obs::Counter* stage_crypto_ns_;
+  obs::Counter* stage_seal_ns_;
+  obs::Histogram* queue_wait_ms_;
 };
 
 /// Retry policy for the remote client.

@@ -177,6 +177,20 @@ std::string to_json(const MetricsRegistry& registry) {
   return to_json(registry.snapshot());
 }
 
+const MetricSnapshot* find_metric(const std::vector<MetricSnapshot>& samples,
+                                  const std::string& name,
+                                  const Labels& labels) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double snapshot_quantile(const MetricSnapshot& sample, double q) {
+  if (sample.kind != MetricSnapshot::Kind::kHistogram) return 0.0;
+  return quantile_from_buckets(sample.bounds, sample.bucket_counts, q);
+}
+
 std::string trace_to_json(const std::vector<TraceEvent>& events) {
   std::string out = "[";
   for (std::size_t i = 0; i < events.size(); ++i) {

@@ -29,4 +29,16 @@ std::string trace_to_json(const std::vector<TraceEvent>& events);
 /// values print without a trailing ".0" mantissa. Exposed for tests.
 std::string format_double(double v);
 
+/// Finds the sample for (name, labels) in a snapshot; nullptr if absent.
+/// Bench reporters use this to pull one series out of a full snapshot
+/// without re-implementing the (name, labels) match.
+const MetricSnapshot* find_metric(const std::vector<MetricSnapshot>& samples,
+                                  const std::string& name,
+                                  const Labels& labels = {});
+
+/// Quantile of a histogram sample via the shared fixed-bucket estimator
+/// (identical to Histogram::quantile on the live object). Returns 0 for
+/// non-histogram samples and empty data.
+double snapshot_quantile(const MetricSnapshot& sample, double q);
+
 }  // namespace cbl::obs

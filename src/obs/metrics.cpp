@@ -11,9 +11,18 @@ std::vector<double> Histogram::log_buckets(double min, double max,
   if (!(min > 0.0) || !(max > min) || per_decade == 0) {
     throw std::invalid_argument("Histogram::log_buckets: bad range");
   }
-  const double step = std::pow(10.0, 1.0 / per_decade);
+  // Each bound is computed independently as min * 10^(i/per_decade)
+  // (one rounding per bound) instead of by repeated multiplication,
+  // which accumulated ~1 ulp of drift per step: the bound meant to be
+  // exactly 10.0 came out as 10.00000000000002, so "le" semantics at
+  // decade boundaries — and every quantile interpolated against them —
+  // were off by the drift. With the default scales the decade bounds
+  // are now exactly representable and exactly placed.
   std::vector<double> bounds;
-  for (double b = min; b < max * (1.0 + 1e-12); b *= step) {
+  for (unsigned i = 0;; ++i) {
+    const double b =
+        min * std::pow(10.0, static_cast<double>(i) / per_decade);
+    if (!(b < max * (1.0 + 1e-12))) break;
     bounds.push_back(b);
   }
   return bounds;

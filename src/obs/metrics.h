@@ -109,6 +109,7 @@ class Histogram {
   double p50() const { return quantile(0.50); }
   double p90() const { return quantile(0.90); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
   /// Adds another histogram's counts into this one. Merging is
   /// commutative and associative, so shard-local registries can be

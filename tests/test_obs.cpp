@@ -31,14 +31,93 @@ double reference_quantile(const std::vector<double>& bounds,
 TEST(ObsHistogram, LogBucketsAreGeometric) {
   const auto bounds = obs::Histogram::log_buckets(1.0, 1000.0, 1);
   ASSERT_EQ(bounds.size(), 4u);  // 1, 10, 100, 1000
+  // Decade bounds are bit-exact, not merely close: the generator computes
+  // each bound independently instead of by repeated multiplication.
   EXPECT_DOUBLE_EQ(bounds[0], 1.0);
-  EXPECT_NEAR(bounds[1], 10.0, 1e-9);
-  EXPECT_NEAR(bounds[2], 100.0, 1e-6);
-  EXPECT_NEAR(bounds[3], 1000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(bounds[1], 10.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 100.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 1000.0);
   EXPECT_THROW(obs::Histogram::log_buckets(0.0, 10.0, 5),
                std::invalid_argument);
   EXPECT_THROW(obs::Histogram::log_buckets(10.0, 1.0, 5),
                std::invalid_argument);
+}
+
+TEST(ObsHistogram, DefaultLatencyDecadeBoundsAreExact) {
+  // Regression pin for the log-bucket drift bug: the old generator
+  // multiplied the running bound by 10^(1/per_decade) each step, and by
+  // the top of the 1us..100s grid the accumulated ulp error had pushed
+  // every decade bound high (10.0 printed as 10.00000000000002). An
+  // observation of exactly 10.0 still bucketed correctly under "le"
+  // semantics, but one at the true boundary successor flipped buckets,
+  // and quantiles interpolated against the drifted edges. Pin the grid.
+  const auto& bounds = obs::Histogram::default_latency_ms_buckets();
+  ASSERT_EQ(bounds.size(), 41u);  // 1e-3 .. 1e5, 5 per decade
+  for (std::size_t i = 0; i < bounds.size(); i += 5) {
+    const double decade = std::pow(10.0, static_cast<double>(i / 5) - 3.0);
+    EXPECT_DOUBLE_EQ(bounds[i], decade) << "i=" << i;
+  }
+  EXPECT_DOUBLE_EQ(bounds[3 * 5], 1.0);     // 1 ms
+  EXPECT_DOUBLE_EQ(bounds[6 * 5], 1000.0);  // 1 s
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e5);     // 100 s
+}
+
+TEST(ObsHistogram, SparseTailP999Golden) {
+  // p999 on a sparse tail: 997 fast observations, 2 in a mid bucket, 1
+  // in the last finite bucket. The estimator must land the 999th rank
+  // inside the tail bucket, not interpolate below it, and must clamp
+  // overflow-rank quantiles to the largest finite bound.
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 997; ++i) h.observe(0.5);
+  h.observe(6.0);
+  h.observe(6.0);
+  h.observe(9.0);  // overflow bucket
+
+  // rank(0.5) = 500 of 997 in [0,1): exact linear interpolation.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 500.0 / 997.0);
+  // rank(0.999) = 999 = the second 6.0: tops out the (4, 8] bucket.
+  EXPECT_DOUBLE_EQ(h.p999(), 8.0);
+  // rank(0.9995) = 999.5 crosses into overflow: clamps to 8.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9995), 8.0);
+  // rank(0.998) = 998 crosses in the (4, 8] bucket holding both 6.0s.
+  EXPECT_DOUBLE_EQ(h.quantile(0.998), 4.0 + 4.0 * (998.0 - 997.0) / 2.0);
+  EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(ObsHistogram, P999AgreesWithBruteForceSort) {
+  const auto bounds = obs::Histogram::log_buckets(0.01, 1e3, 5);
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h", bounds);
+  std::vector<double> observations;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;  // deterministic LCG-ish mix
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0,1)
+    const double v = 0.05 * std::exp(6.0 * u);  // log-uniform 0.05..~20
+    observations.push_back(v);
+    h.observe(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Bucket estimator vs the same estimator fed independently bucketed
+    // raw data (exact agreement) ...
+    EXPECT_DOUBLE_EQ(h.quantile(q),
+                     reference_quantile(bounds, observations, q))
+        << "q=" << q;
+    // ... and vs a brute-force sort, within one bucket's width. The
+    // estimator targets 1-based rank ceil(q*n); that order statistic
+    // lies inside the interpolated bucket, so the estimate is within a
+    // factor of the bucket ratio of the exact value.
+    std::vector<double> sorted = observations;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    const double exact = sorted[std::min(rank, sorted.size()) - 1];
+    const double step = std::pow(10.0, 1.0 / 5.0);
+    EXPECT_GE(h.quantile(q), exact / step) << "q=" << q;
+    EXPECT_LE(h.quantile(q), exact * step) << "q=" << q;
+  }
 }
 
 TEST(ObsHistogram, BucketBoundariesUseLessOrEqualSemantics) {
@@ -303,6 +382,28 @@ TEST(ObsExport, EscapesLabelValues) {
   registry.counter("cbl_esc_total", {{"path", "a\"b\\c"}}).inc();
   const std::string text = obs::to_prometheus(registry);
   EXPECT_NE(text.find("path=\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(ObsExport, FindMetricAndSnapshotQuantile) {
+  obs::MetricsRegistry registry;
+  registry.counter("cbl_x_total", {{"k", "v"}}).inc(7);
+  auto& h = registry.histogram("cbl_x_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  const auto samples = registry.snapshot();
+
+  const auto* c = obs::find_metric(samples, "cbl_x_total", {{"k", "v"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 7.0);
+  EXPECT_EQ(obs::find_metric(samples, "cbl_x_total"), nullptr);  // labels
+  EXPECT_EQ(obs::find_metric(samples, "cbl_missing"), nullptr);
+
+  const auto* hist = obs::find_metric(samples, "cbl_x_ms");
+  ASSERT_NE(hist, nullptr);
+  // Snapshot quantiles reproduce the live histogram's exactly.
+  EXPECT_DOUBLE_EQ(obs::snapshot_quantile(*hist, 0.5), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(obs::snapshot_quantile(*hist, 0.999), h.p999());
+  EXPECT_DOUBLE_EQ(obs::snapshot_quantile(*c, 0.5), 0.0);  // non-histogram
 }
 
 TEST(ObsExport, TraceJson) {
